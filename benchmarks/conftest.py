@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-fig9", action="store_true", default=False,
+        help="run the heavyweight Figure 9 rows (heap sorts, "
+             "stack-smashing, MD5) in addition to the fast ones")

@@ -1,0 +1,31 @@
+"""Figure 2 — Phase 1 initial annotations of the running example.
+
+Regenerates the initial-typestate/initial-constraint table and
+benchmarks the preparation phase.
+"""
+
+from repro import parse_spec
+from repro.analysis.prepare import prepare
+from repro.programs.sum_array import SPEC
+from repro.typesys.state import PointsTo
+
+
+def test_figure2_initial_annotations(benchmark):
+    spec = parse_spec(SPEC)
+    preparation = benchmark(prepare, spec)
+
+    rendered = preparation.render_figure2()
+    print("\n--- Figure 2 (reproduced) ---")
+    print(rendered)
+
+    # The paper's table: e:<int, initialized, ro>,
+    # %o0:<int[n], {e}, rwfo>, %o1:<int, initialized, rwo>, n>=1, n=%o1.
+    store = preparation.initial_store
+    assert str(store["e"]) == "<int32, initialized, o>"
+    assert str(store["%o0"].type) == "int32[n]"
+    assert store["%o0"].state == PointsTo(frozenset({"e"}))
+    assert store["%o0"].followable
+    assert str(store["%o1"].type) == "int32"
+    constraints = str(preparation.initial_constraints)
+    assert "n-1 >= 0" in constraints
+    assert "-%o1+n = 0" in constraints

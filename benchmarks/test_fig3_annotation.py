@@ -1,0 +1,54 @@
+"""Figure 3 — assertions and safety preconditions at line 7 of the
+running example; benchmarks Phases 3+4.
+"""
+
+import pytest
+
+from repro import parse_spec
+from repro.analysis.annotate import annotate
+from repro.analysis.prepare import prepare
+from repro.analysis.propagate import propagate
+from repro.analysis.semantics import Usage
+from repro.analysis.verify import verify_local
+from repro.cfg import build_cfg
+from repro.programs.sum_array import SOURCE, SPEC
+from repro.sparc import assemble
+
+
+@pytest.fixture(scope="module")
+def fixpoint():
+    program = assemble(SOURCE, name="sum")
+    spec = parse_spec(SPEC)
+    preparation = prepare(spec)
+    cfg = build_cfg(program)
+    propagation = propagate(cfg, preparation, spec)
+    return cfg, propagation, spec, preparation
+
+
+def test_figure3_line7_annotation(benchmark, fixpoint):
+    cfg, propagation, spec, preparation = fixpoint
+
+    def phase34():
+        annotations = annotate(cfg, propagation.inputs, spec,
+                               preparation.locations)
+        return annotations, verify_local(annotations)
+
+    annotations, local_violations = benchmark(phase34)
+
+    line7 = next(a for a in annotations.values() if a.index == 7)
+    print("\n--- Figure 3 (reproduced), line 7 ---")
+    print(line7.render_figure3())
+
+    assert line7.usage is Usage.ARRAY_ACCESS
+    # Assertions: %o2 holds the base address of an integer array.
+    assert any("base address of an array" in a for a in line7.assertions)
+    # Local preconditions all hold (paper: "the local safety
+    # preconditions are all true at line 7").
+    assert all(p.holds for p in line7.local)
+    assert local_violations == []
+    # Global preconditions: null check, bounds checks, alignment —
+    # matching Figure 3's list.
+    formulas = [str(g.formula) for g in line7.global_]
+    assert any("%o2" in f and "-1 >= 0" in f for f in formulas)  # != NULL
+    assert any("4n" in f for f in formulas)                      # < 4n
+    assert any("mod 4" in f for f in formulas)                   # align

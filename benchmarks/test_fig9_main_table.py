@@ -1,0 +1,89 @@
+"""Figure 9 — the paper's main results table, regenerated.
+
+For every example: program characteristics (instructions, branches,
+loops, calls, number of global safety conditions), per-phase times, and
+the verification outcome, printed side by side with the paper's numbers
+(440 MHz Sun Ultra 10).  Absolute times differ (pure-Python prover vs
+the C Omega library on 1999 hardware); the *shape* — which examples are
+cheap, where global verification dominates, which programs are flagged
+— is the reproduction target.
+
+The fast rows always run.  The heavyweight rows (heap sorts,
+stack-smashing, MD5) run with ``--full-fig9``:
+
+    pytest benchmarks/test_fig9_main_table.py --benchmark-only --full-fig9
+"""
+
+import pytest
+
+from repro.analysis.report import render_figure9
+from repro.programs import all_programs, fast_programs
+
+FAST = {p.name for p in fast_programs()}
+_RESULTS = {}
+
+
+def _check_one(program):
+    result = program.check()
+    _RESULTS[program.name] = (program, result)
+    return result
+
+
+@pytest.mark.parametrize("program",
+                         [p for p in all_programs() if p.name in FAST],
+                         ids=lambda p: p.name)
+def test_fig9_fast_rows(benchmark, program):
+    result = benchmark.pedantic(_check_one, args=(program,),
+                                rounds=1, iterations=1)
+    assert result.safe == program.expect_safe, result.summary()
+    if not program.expect_safe:
+        assert set(result.violated_instructions()) \
+            == set(program.expected_violation_indices)
+
+
+@pytest.mark.parametrize("program",
+                         [p for p in all_programs()
+                          if p.name not in FAST],
+                         ids=lambda p: p.name)
+def test_fig9_heavy_rows(benchmark, program, request):
+    if not request.config.getoption("--full-fig9"):
+        pytest.skip("heavyweight row; pass --full-fig9 to run")
+    result = benchmark.pedantic(_check_one, args=(program,),
+                                rounds=1, iterations=1)
+    assert result.safe == program.expect_safe, result.summary()
+
+
+def test_zz_print_figure9_table(benchmark):
+    """Prints the comparison table for every row checked this session
+    (named zz… so it runs after the parametrized rows)."""
+    if not _RESULTS:
+        pytest.skip("no rows were checked")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n--- Figure 9 (reproduced) ---")
+    print(render_figure9([result for __, result in _RESULTS.values()]))
+    print("\n--- paper vs measured ---")
+    header = ("%-16s %6s/%-6s %5s/%-5s %5s/%-5s %8s/%-8s"
+              % ("example", "instr", "paper", "conds", "paper",
+                 "loops", "paper", "total(s)", "paper(s)"))
+    print(header)
+    for name, (program, result) in _RESULTS.items():
+        row = program.paper_row
+        c = result.characteristics
+        print("%-16s %6d/%-6d %5d/%-5d %5d/%-5d %8.2f/%-8.2f"
+              % (name, c.instructions, row.instructions,
+                 c.global_conditions, row.global_conditions,
+                 c.loops, row.loops,
+                 result.times.total, row.total_seconds))
+    # Shape assertions on the rows that always run:
+    results = {name: result for name, (__, result) in _RESULTS.items()}
+    if {"sum", "btree"} <= set(results):
+        # Figure 9's ordering: Sum is the cheapest example; Btree costs
+        # more (more conditions, two loops).
+        assert results["sum"].characteristics.global_conditions \
+            <= results["btree"].characteristics.global_conditions
+    # Global verification dominates the phase breakdown in aggregate,
+    # as in the paper's table (per-row ratios wobble with warm-up).
+    totals = sum(r.times.total for r in results.values())
+    global_time = sum(r.times.global_verification
+                      for r in results.values())
+    assert global_time >= 0.5 * totals

@@ -1,0 +1,67 @@
+"""Section 5.2.2 — the induction-iteration derivation on the running
+example, benchmarked, with the synthesized invariant checked against
+the paper's (%g3 < n ∧ %o1 ≤ n).
+"""
+
+import pytest
+
+from repro import parse_spec
+from repro.analysis.annotate import annotate
+from repro.analysis.prepare import prepare
+from repro.analysis.propagate import propagate
+from repro.analysis.verify import VerificationEngine
+from repro.cfg import CFG, build_cfg, find_loops
+from repro.logic import Prover, conj, le, lt
+from repro.logic.terms import Linear
+from repro.programs.sum_array import SOURCE, SPEC
+from repro.sparc import assemble
+
+
+@pytest.fixture()
+def engine():
+    from repro.analysis.options import CheckerOptions
+    program = assemble(SOURCE, name="sum")
+    spec = parse_spec(SPEC)
+    preparation = prepare(spec)
+    cfg = build_cfg(program)
+    propagation = propagate(cfg, preparation, spec)
+    annotations = annotate(cfg, propagation.inputs, spec,
+                           preparation.locations)
+    # The Section 5.2.2 derivation is about induction iteration itself:
+    # run in the paper's base configuration (forward bounds off), so the
+    # invariant really is synthesized rather than read off the forward
+    # facts.
+    options = CheckerOptions()
+    options.enable_forward_bounds = False
+    return (VerificationEngine(cfg, propagation, preparation, spec,
+                               options),
+            cfg, annotations)
+
+
+def test_sec52_loop_invariant_synthesis(benchmark, engine):
+    eng, cfg, annotations = engine
+    line7 = next(a for a in annotations.values() if a.index == 7)
+    upper = next(g.formula for g in line7.global_
+                 if "upper" in g.description)
+
+    proved = benchmark.pedantic(
+        eng.prove_at, args=(line7.uid, upper, {}, 0),
+        rounds=1, iterations=1)
+    assert proved
+    assert eng.induction_runs >= 1
+
+    # The synthesized invariant must match the paper's
+    # "%g3 < n ∧ %o1 ≤ n" (Section 5.2.2) up to logical equivalence.
+    forest = find_loops(cfg, CFG.MAIN)
+    header = forest.loops[0].header
+    invariants = eng._proven_invariants.get(header, [])
+    assert invariants, "no invariant recorded for the loop"
+    g3, o1, n = (Linear.var("%g3"), Linear.var("%o1"), Linear.var("n"))
+    paper_invariant = conj(lt(g3, n), le(o1, n))
+    prover = Prover()
+    assert any(prover.implies(inv, paper_invariant)
+               for inv in invariants), \
+        "synthesized %s does not subsume the paper's invariant" \
+        % [str(i) for i in invariants]
+    print("\nSynthesized invariant(s): %s"
+          % "; ".join(str(i) for i in invariants))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Auditing an opaque binary: check machine code you did not assemble.
+
+The scenario the paper opens with: a host receives an extension as
+*machine code* — no source, no compiler trust — and must decide whether
+to load it.  This example plays both sides:
+
+1. the (honest) producer compiles the array-summation extension and
+   ships raw SPARC V8 bytes;
+2. the host disassembles the bytes for audit, runs the safety checker,
+   and accepts;
+3. a tampered variant — one byte changed, turning the loop's exit test
+   ``bl`` into ``ble`` (a classic off-by-one) — is rejected, with the
+   faulty instruction pinpointed, even though the tampering happened at
+   the *binary* level.
+
+Run:  python examples/binary_audit.py
+"""
+
+from repro import (
+    SafetyChecker, assemble, decode_program, encode_program, parse_spec,
+)
+
+PRODUCER_SOURCE = """
+1: mov %o0,%o2
+2: clr %o0
+3: cmp %o0,%o1
+4: bge 12
+5: clr %g3
+6: sll %g3, 2,%g2
+7: ld [%o2+%g2],%g2
+8: inc %g3
+9: cmp %g3,%o1
+10:bl 6
+11:add %o0,%g2,%o0
+12:retl
+13:nop
+"""
+
+HOST_POLICY = """
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+
+def producer_ships_binary() -> bytes:
+    """The producer's side: compile and ship bytes."""
+    return encode_program(assemble(PRODUCER_SOURCE, name="extension"))
+
+
+def tamper(blob: bytes) -> bytes:
+    """Flip the condition field of the loop branch (instruction 10):
+    bl (cond 0011) becomes ble (cond 0010) — reads one element past the
+    end."""
+    words = bytearray(blob)
+    index = 9 * 4  # instruction 10, zero-based byte offset
+    # Bicc cond field is bits 25-28 of the big-endian word.
+    words[index] = (words[index] & 0xE1) | (0b0010 << 1)
+    return bytes(words)
+
+
+def host_audits(blob: bytes, label: str) -> bool:
+    spec = parse_spec(HOST_POLICY)
+    program = decode_program(blob, name=label)
+    print("--- auditing %s (%d bytes) ---" % (label, len(blob)))
+    print(program.listing(canonical=True))
+    result = SafetyChecker(program, spec).check()
+    print(result.summary())
+    print()
+    return result.safe
+
+
+def main() -> None:
+    blob = producer_ships_binary()
+    assert host_audits(blob, "extension.bin"), \
+        "the honest binary must be accepted"
+
+    tampered = tamper(blob)
+    assert tampered != blob
+    accepted = host_audits(tampered, "extension-tampered.bin")
+    assert not accepted, "the tampered binary must be rejected"
+    print("The tampered loop bound was caught at the machine-code "
+          "level — no source, no compiler trust, exactly the paper's "
+          "premise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Policy exploration: the same untrusted code under different host
+policies.
+
+The paper's central point (Section 2): the safety policy is decoupled
+from the code.  One piece of untrusted code — a thread-list walker that
+reads ``tid``/``lwpid`` and follows ``next`` — is checked here under
+four policies of increasing permissiveness:
+
+1. *sandbox*    — no host region access at all: every load is rejected;
+2. *read-only*  — fields readable but pointers not followable: the
+                  ``next`` traversal is rejected;
+3. *traversal*  — the paper's example policy ([H: thread.tid,
+                  thread.lwpid: ro], [H: thread.next: rfo]): verifies;
+4. *mutation*   — additionally lets the extension overwrite ``lwpid``:
+                  a writing variant verifies only under this policy.
+
+Run:  python examples/policy_exploration.py
+"""
+
+from repro import check_assembly
+
+# Find the lwpid of the thread with a given tid (returns 0 if absent).
+WALKER = """
+ 1: mov %o1,%g2      ! g2 = wanted tid
+ 2: mov %o0,%o3      ! p = thread list head
+ 3: cmp %o3,0        ! while p != NULL
+ 4: be 15
+ 5: nop
+ 6: ld [%o3],%g1     ! p->tid
+ 7: cmp %g1,%g2
+ 8: be 13            ! found it
+ 9: nop
+10: ba 3
+11: ld [%o3+8],%o3   ! (delay slot) p = p->next
+12: nop
+13: retl
+14: ld [%o3+4],%o0   ! (delay slot) return p->lwpid
+15: retl
+16: clr %o0          ! not found
+"""
+
+# A variant that also *writes* the lwpid field (rebinds the thread).
+REBINDER = WALKER.replace("14: ld [%o3+4],%o0   ! (delay slot) return p->lwpid",
+                          "14: st %o2,[%o3+4]   ! (delay slot) p->lwpid = new")
+
+_BASE = """
+type thread = struct { tid: int; lwpid: int; next: thread ptr }
+loc th   : thread            perms r   region H summary
+loc head : thread ptr = {th} perms rfo region H
+invoke %o0 = head
+invoke %o1 = tid
+invoke %o2 = newlwp
+"""
+
+POLICIES = {
+    "sandbox": _BASE + """
+# No access rules at all: the host region is off limits.
+""",
+    "read-only": _BASE + """
+rule [H : thread.tid, thread.lwpid : ro]
+rule [H : thread.next : ro]
+""",
+    "traversal": _BASE + """
+rule [H : thread.tid, thread.lwpid : ro]
+rule [H : thread.next : rfo]
+""",
+    "mutation": _BASE.replace("perms r ", "perms rw") + """
+rule [H : thread.tid : ro]
+rule [H : thread.lwpid : rwo]
+rule [H : thread.next : rfo]
+""",
+}
+
+
+def main() -> None:
+    print("%-12s %-12s %-12s" % ("policy", "walker", "rebinder"))
+    print("-" * 38)
+    outcomes = {}
+    for name, spec in POLICIES.items():
+        walker = check_assembly(WALKER, spec, name="walker-" + name)
+        rebinder = check_assembly(REBINDER, spec,
+                                  name="rebinder-" + name)
+        outcomes[name] = (walker.safe, rebinder.safe)
+        print("%-12s %-12s %-12s" % (
+            name,
+            "SAFE" if walker.safe else "rejected",
+            "SAFE" if rebinder.safe else "rejected"))
+
+    assert outcomes["sandbox"] == (False, False)
+    assert outcomes["read-only"] == (False, False)   # cannot follow next
+    assert outcomes["traversal"] == (True, False)    # reads ok, write not
+    assert outcomes["mutation"][1] is True           # write permitted
+    print("\nSame machine code, four verdicts — driven purely by the "
+          "host-side policy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+A classic setup.py is kept (rather than PEP 621 metadata only) so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package, via the legacy develop-mode path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Safety Checking of Machine Code' (Xu, Miller, "
+        "Reps; PLDI 2000): a typestate + linear-constraint safety checker "
+        "for SPARC machine code"
+    ),
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,38 @@
+"""repro — a reproduction of "Safety Checking of Machine Code"
+(Xu, Miller, Reps; PLDI 2000).
+
+A static safety checker for SPARC machine code: given untrusted machine
+code plus a small host-side annotation (typestates of the inputs and
+linear constraints), it either proves the code respects the host's
+safety conditions or pinpoints the instructions that may violate them.
+
+Quickstart::
+
+    from repro import check_assembly
+
+    result = check_assembly(CODE, SPEC)
+    print(result.summary())
+
+Top-level surface: :func:`check_assembly` / :class:`SafetyChecker` (the
+checker), :mod:`repro.sparc` (assembler, encoder/decoder, emulator),
+:mod:`repro.cfg` (control flow), :mod:`repro.typesys` (the typestate
+model), :mod:`repro.policy` (host specifications), :mod:`repro.logic`
+(the Omega-style prover), and :mod:`repro.programs` (the paper's 13
+benchmark programs).
+"""
+
+from repro.analysis.checker import SafetyChecker, check_assembly
+from repro.analysis.options import CheckerOptions
+from repro.analysis.report import CheckResult, render_figure9
+from repro.policy.parser import parse_spec
+from repro.sparc.assembler import assemble
+from repro.sparc.decoder import decode_program
+from repro.sparc.encoder import encode_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SafetyChecker", "check_assembly", "CheckerOptions", "CheckResult",
+    "render_figure9", "parse_spec", "assemble", "decode_program",
+    "encode_program", "__version__",
+]

@@ -1,0 +1,31 @@
+"""The five-phase safety-checking analysis (paper Sections 3-5)."""
+
+from repro.analysis.annotate import (
+    GlobalPredicate, LocalPredicate, NodeAnnotation, annotate,
+)
+from repro.analysis.checker import SafetyChecker, check_assembly
+from repro.analysis.forward import FactSet, ForwardBounds
+from repro.analysis.options import CheckerOptions
+from repro.analysis.prepare import Preparation, prepare
+from repro.analysis.propagate import PropagationResult, propagate
+from repro.analysis.report import (
+    CheckResult, PhaseTimes, ProgramCharacteristics, figure9_row,
+    render_figure9,
+)
+from repro.analysis.semantics import Usage
+from repro.analysis.verify import (
+    ProofRecord, VerificationEngine, Violation, verify_local,
+)
+
+__all__ = [
+    "GlobalPredicate", "LocalPredicate", "NodeAnnotation", "annotate",
+    "SafetyChecker", "check_assembly",
+    "FactSet", "ForwardBounds",
+    "CheckerOptions",
+    "Preparation", "prepare",
+    "PropagationResult", "propagate",
+    "CheckResult", "PhaseTimes", "ProgramCharacteristics",
+    "figure9_row", "render_figure9",
+    "Usage",
+    "ProofRecord", "VerificationEngine", "Violation", "verify_local",
+]

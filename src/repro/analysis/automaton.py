@@ -1,0 +1,183 @@
+"""Security automata over trusted-call events (paper Section 1).
+
+"Typestates can be related to security automata.  In a security
+automaton, all states are accepting states; the automaton detects a
+security-policy violation whenever [it] read[s] a symbol for which the
+automaton's current state has no transition defined.  …  Typestate
+checking provides a method, therefore, for statically assessing whether
+a security violation might be possible."
+
+This module implements that extension: a host specification may declare
+automata whose alphabet is the set of *trusted host functions*; a call
+to a monitored function is an event.  The checker propagates the set of
+possible automaton states over the CFG (flow-sensitively, like
+typestates) and reports a violation wherever
+
+* a monitored function is called while some reachable automaton state
+  has no transition for it, or
+* control returns to the host while some reachable state is not among
+  the automaton's declared final states.
+
+A classic instance is a locking discipline: ``MonitorEnter`` must
+precede element access, ``MonitorExit`` must precede return, and
+neither may be repeated — undetectable by types alone, and exactly the
+kind of property the paper's remark is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cfg.graph import CFG, EdgeKind
+from repro.errors import SpecError
+from repro.policy.model import HostSpec
+from repro.sparc.isa import Kind
+from repro.analysis.verify import Violation
+
+CAT_AUTOMATON = "security-automaton"
+
+
+@dataclass
+class SecurityAutomaton:
+    """One automaton: named states, a start state, optional final
+    states, and transitions keyed by (state, event)."""
+
+    name: str
+    start: str = ""
+    states: Set[str] = field(default_factory=set)
+    finals: Set[str] = field(default_factory=set)
+    transitions: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: Events allowed in every state (self-loops everywhere).
+    unrestricted: Set[str] = field(default_factory=set)
+
+    # -- construction -------------------------------------------------------
+
+    def add_state(self, name: str, start: bool = False,
+                  final: bool = False) -> None:
+        self.states.add(name)
+        if start:
+            if self.start and self.start != name:
+                raise SpecError("automaton %s has two start states"
+                                % self.name)
+            self.start = name
+        if final:
+            self.finals.add(name)
+
+    def add_transition(self, source: str, target: str,
+                       event: str) -> None:
+        for state in (source, target):
+            if state not in self.states:
+                raise SpecError(
+                    "automaton %s: unknown state %r" % (self.name,
+                                                        state))
+        self.transitions[(source, event)] = target
+
+    def allow_anywhere(self, event: str) -> None:
+        self.unrestricted.add(event)
+
+    def validate(self) -> None:
+        if not self.start:
+            raise SpecError("automaton %s has no start state"
+                            % self.name)
+
+    # -- semantics -------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Set[str]:
+        return ({event for __, event in self.transitions}
+                | set(self.unrestricted))
+
+    def step(self, state: str, event: str) -> Optional[str]:
+        """The successor state, or None when the event is a violation
+        in this state."""
+        if event in self.unrestricted \
+                and (state, event) not in self.transitions:
+            return state
+        return self.transitions.get((state, event))
+
+
+@dataclass
+class AutomatonReport:
+    violations: List[Violation] = field(default_factory=list)
+    #: Possible automaton states before each CFG node (for diagnostics).
+    states: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+
+def check_automata(cfg: CFG, spec: HostSpec) -> List[Violation]:
+    """Check every declared automaton; returns the violations."""
+    automata = getattr(spec, "automata", {})
+    out: List[Violation] = []
+    for automaton in automata.values():
+        out.extend(_check_one(cfg, spec, automaton).violations)
+    return out
+
+
+def _check_one(cfg: CFG, spec: HostSpec,
+               automaton: SecurityAutomaton) -> AutomatonReport:
+    automaton.validate()
+    report = AutomatonReport()
+    alphabet = automaton.alphabet
+    before: Dict[int, FrozenSet[str]] = {
+        cfg.entry_uid: frozenset({automaton.start})}
+    worklist = [cfg.entry_uid]
+    flagged: Set[Tuple[int, str]] = set()
+
+    def flag(index: int, description: str) -> None:
+        if (index, description) not in flagged:
+            flagged.add((index, description))
+            report.violations.append(Violation(
+                index=index, category=CAT_AUTOMATON,
+                description=description, phase="local"))
+
+    while worklist:
+        uid = worklist.pop()
+        states = before[uid]
+        node = cfg.node(uid)
+        after = states
+        inst = node.instruction
+        if inst is not None and inst.kind is Kind.CALL:
+            event = _event_of(inst, spec)
+            if event is not None and event in alphabet:
+                successors: Set[str] = set()
+                for state in states:
+                    target = automaton.step(state, event)
+                    if target is None:
+                        flag(inst.index,
+                             "automaton %s: %s is not permitted in "
+                             "state %r" % (automaton.name, event, state))
+                    else:
+                        successors.add(target)
+                after = frozenset(successors) or states
+        if inst is not None and inst.is_return \
+                and node.function == CFG.MAIN and automaton.finals:
+            bad = states - automaton.finals
+            for state in sorted(bad):
+                flag(inst.index,
+                     "automaton %s: return to the host in state %r "
+                     "(finals: %s)" % (automaton.name, state,
+                                       ", ".join(sorted(
+                                           automaton.finals))))
+        for edge in cfg.successors(uid):
+            if edge.kind is EdgeKind.RETURN:
+                continue
+            known = before.get(edge.dst)
+            merged = after if known is None else (known | after)
+            if known is None or merged != known:
+                before[edge.dst] = frozenset(merged)
+                worklist.append(edge.dst)
+    report.states = before
+    return report
+
+
+def _event_of(inst, spec: HostSpec) -> Optional[str]:
+    """The event name of a call instruction: the trusted function's
+    name, or None for untrusted (analyzed) callees."""
+    if inst.target is None:
+        return None
+    label = inst.target.label
+    if inst.target.index == 0:
+        return label
+    if label and label in spec.functions:
+        return label
+    return None

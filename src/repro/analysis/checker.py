@@ -1,0 +1,152 @@
+"""The safety checker facade: the five-phase pipeline of the paper.
+
+``SafetyChecker(program, spec).check()`` runs
+
+1. preparation,
+2. typestate propagation,
+3. annotation,
+4. local verification, and
+5. global verification,
+
+and returns a :class:`~repro.analysis.report.CheckResult` that either
+certifies the program safe or pinpoints the instructions where safety
+conditions are violated.  Programs can be supplied as assembly text,
+an assembled :class:`~repro.sparc.program.Program`, or raw machine-code
+bytes/words (decoded first — the checker operates on binary code).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.graph import CFG
+from repro.cfg.loops import find_loops
+from repro.logic.prover import Prover
+from repro.policy.model import HostSpec
+from repro.sparc.assembler import assemble
+from repro.sparc.decoder import decode_program
+from repro.sparc.program import Program
+from repro.analysis.annotate import annotate
+from repro.analysis.options import CheckerOptions
+from repro.analysis.prepare import prepare
+from repro.analysis.propagate import propagate
+from repro.analysis.report import (
+    CheckResult, PhaseTimes, ProgramCharacteristics,
+)
+from repro.analysis.verify import (
+    VerificationEngine, verify_local,
+)
+
+
+class SafetyChecker:
+    """Checks one untrusted program against one host specification."""
+
+    def __init__(self, program: Union[Program, str, bytes, list],
+                 spec: HostSpec,
+                 options: Optional[CheckerOptions] = None,
+                 name: Optional[str] = None):
+        if isinstance(program, str):
+            program = assemble(program, name=name or "untrusted")
+        elif isinstance(program, (bytes, bytearray, list)):
+            program = decode_program(program, name=name or "decoded")
+        self.program: Program = program
+        if name:
+            self.program.name = name
+        self.spec = spec
+        self.options = options or CheckerOptions()
+        self.prover = Prover(enable_cache=self.options.enable_prover_cache)
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def check(self) -> CheckResult:
+        times = PhaseTimes()
+
+        # Phase 1: preparation.
+        t0 = time.perf_counter()
+        preparation = prepare(self.spec)
+        entry = 1
+        label = self.spec.invocation.entry_label
+        if label:
+            entry = self.program.label_index(label)
+        cfg = build_cfg(self.program,
+                        trusted_labels=set(self.spec.functions),
+                        entry=entry)
+        CallGraph(cfg).check_no_recursion()
+        times.preparation = time.perf_counter() - t0
+
+        # Phase 2: typestate propagation.
+        t0 = time.perf_counter()
+        propagation = propagate(cfg, preparation, self.spec, self.options)
+        times.typestate_propagation = time.perf_counter() - t0
+
+        # Phase 3 + 4: annotation and local verification.
+        t0 = time.perf_counter()
+        annotations = annotate(cfg, propagation.inputs, self.spec,
+                               preparation.locations)
+        local_violations = verify_local(annotations)
+        if self.spec.automata:
+            from repro.analysis.automaton import check_automata
+            local_violations = local_violations \
+                + check_automata(cfg, self.spec)
+        times.annotation_and_local = time.perf_counter() - t0
+
+        # Phase 5: global verification.
+        t0 = time.perf_counter()
+        engine = VerificationEngine(cfg, propagation, preparation,
+                                    self.spec, self.options, self.prover)
+        proofs, global_violations = engine.verify(annotations)
+        times.global_verification = time.perf_counter() - t0
+
+        violations = local_violations + global_violations
+        characteristics = self._characteristics(cfg, annotations)
+        return CheckResult(
+            name=self.program.name,
+            safe=not violations,
+            characteristics=characteristics,
+            times=times,
+            violations=violations,
+            proofs=proofs,
+            annotations=annotations,
+            induction_runs=engine.induction_runs,
+            prover_queries=self.prover.stats.satisfiability_queries,
+        )
+
+    # -- characteristics (Figure 9 columns) -----------------------------------------
+
+    def _characteristics(self, cfg: CFG, annotations
+                         ) -> ProgramCharacteristics:
+        counts = self.program.counts()
+        loops = inner = 0
+        for label in cfg.functions:
+            forest = find_loops(cfg, label)
+            loops += forest.count
+            inner += forest.inner_count
+        trusted = 0
+        for inst in self.program:
+            if inst.kind.name == "CALL" and inst.target is not None:
+                label = inst.target.label
+                if inst.target.index == 0 or (
+                        label and label in self.spec.functions):
+                    trusted += 1
+        global_conditions = sum(len(a.global_)
+                                for a in annotations.values())
+        return ProgramCharacteristics(
+            instructions=counts["instructions"],
+            branches=counts["branches"],
+            loops=loops, inner_loops=inner,
+            calls=counts["calls"], trusted_calls=trusted,
+            global_conditions=global_conditions,
+        )
+
+
+def check_assembly(source: str, spec_text: str,
+                   name: str = "untrusted",
+                   options: Optional[CheckerOptions] = None) -> CheckResult:
+    """One-call convenience: assemble *source*, parse *spec_text*, run
+    the checker."""
+    from repro.policy.parser import parse_spec
+    return SafetyChecker(source, parse_spec(spec_text), options=options,
+                         name=name).check()

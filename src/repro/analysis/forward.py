@@ -1,0 +1,463 @@
+"""Forward propagation of linear facts (paper Sections 5.2.3 and 6).
+
+The paper reports: "Simple experiments that we carried out demonstrated
+substantial speedups in the induction-iteration method by selectively
+pushing conditions involving array bounds down in the program's
+control-flow graph" — a forward pass in the style of Cousot & Halbwachs
+that discovers facts like ``%o0 ≥ 1``, ``%o0 ≡ 0 (mod 4)``, or
+``%g6 = len`` at loop headers, so the backward engine does not have to
+re-derive them through entry sweeps and generalization.
+
+The domain here is a conjunction of affine atoms over registers and
+spec symbols, kept as a normalized set:
+
+* inequalities ``d·x⃗ ≥ −c`` keyed by their direction vector (joins keep
+  the weaker bound);
+* congruences ``t ≡ r (mod m)`` keyed by their term (joins weaken the
+  modulus to gcd(m, r₁ − r₂));
+* equalities are represented as two opposite inequalities.
+
+Transfer is exact for the invertible assignments (``x := x ± k``) and
+copies, uses the mask/shift ranges for ``and``/``srl``, and kills facts
+about registers whose new value is not affine.  The join is a widening-
+free intersection — the atom set only shrinks, so the fixpoint
+terminates without further machinery.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfg.graph import CFG, Edge, EdgeKind, Node
+from repro.logic.formula import Cong, Formula, Geq, conj
+from repro.logic.terms import Linear
+from repro.analysis.wlp import ICC, condition_formula, operand_term
+from repro.sparc.isa import Imm, Instruction, Kind
+
+#: Direction key: sorted (variable, coefficient) pairs.
+Direction = Tuple[Tuple[str, int], ...]
+
+
+class FactSet:
+    """A normalized conjunction of affine atoms.
+
+    ``lower[d]`` holds the constant c of the strongest known fact
+    ``d·x⃗ + c ≥ 0``; ``congruences[(d, m)]`` the residue r of
+    ``d·x⃗ ≡ r (mod m)``.
+    """
+
+    __slots__ = ("lower", "congruences")
+
+    def __init__(self) -> None:
+        self.lower: Dict[Direction, int] = {}
+        self.congruences: Dict[Tuple[Direction, int], int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def from_formula(f: Formula) -> "FactSet":
+        facts = FactSet()
+        for atom in _conjunctive_atoms(f):
+            facts.add_atom(atom)
+        return facts
+
+    def copy(self) -> "FactSet":
+        out = FactSet()
+        out.lower = dict(self.lower)
+        out.congruences = dict(self.congruences)
+        return out
+
+    def add_atom(self, atom: Formula) -> None:
+        from repro.logic.formula import Eq
+        if isinstance(atom, Geq):
+            self._add_geq(atom.term)
+        elif isinstance(atom, Eq):
+            self._add_geq(atom.term)
+            self._add_geq(atom.term.scale(-1))
+        elif isinstance(atom, Cong):
+            self._add_cong(atom.term, atom.modulus)
+
+    def _add_geq(self, term: Linear) -> None:
+        direction, constant = _normalize_geq(term)
+        if direction is None:
+            return
+        best = self.lower.get(direction)
+        # term + c >= 0 is stronger for smaller c... d·x ≥ −c: smaller c
+        # means a larger right-hand side: keep the minimum.
+        if best is None or constant < best:
+            self.lower[direction] = constant
+
+    def _add_cong(self, term: Linear, modulus: int) -> None:
+        direction, residue, modulus = _normalize_cong(term, modulus)
+        if direction is None or modulus < 2:
+            return
+        key = (direction, modulus)
+        known = self.congruences.get(key)
+        if known is None:
+            self.congruences[key] = residue
+        elif known != residue:
+            # Contradictory congruence facts: weaken to their gcd.
+            del self.congruences[key]
+            weaker = gcd(modulus, abs(known - residue))
+            if weaker >= 2:
+                self._add_cong(
+                    Linear(dict(direction), -(residue % weaker)), weaker)
+
+    # -- lattice join (control-flow merge) -------------------------------------
+
+    def join(self, other: "FactSet", widen: bool = False) -> "FactSet":
+        """Control-flow merge.  With ``widen`` (applied after a few
+        visits of the same node), bounds that are still *changing* are
+        dropped instead of weakened — the standard widening that makes
+        counter loops converge instead of drifting one step per
+        iteration."""
+        out = FactSet()
+        for direction, c1 in self.lower.items():
+            c2 = other.lower.get(direction)
+            if c2 is None:
+                continue
+            if widen and c2 > c1:
+                continue  # still weakening: widen it away
+            out.lower[direction] = max(c1, c2)  # the weaker bound
+        for key, r1 in self.congruences.items():
+            r2 = other.congruences.get(key)
+            if r2 is None:
+                # Retention: a side that pins the direction to a single
+                # value consistent with the congruence still implies it.
+                direction, modulus = key
+                pinned = other._equalities().get(direction)
+                if pinned is not None and pinned % modulus == r1:
+                    out.congruences[key] = r1
+                continue
+            if r1 == r2:
+                out.congruences[key] = r1
+            else:
+                direction, modulus = key
+                weaker = gcd(modulus, abs(r1 - r2))
+                if weaker >= 2:
+                    out._add_cong(Linear(dict(direction), -(r1 % weaker)),
+                                  weaker)
+        # Retention in the other direction as well.
+        self_equalities = self._equalities()
+        for key, r2 in other.congruences.items():
+            if key in self.congruences or key in out.congruences:
+                continue
+            direction, modulus = key
+            pinned = self_equalities.get(direction)
+            if pinned is not None and pinned % modulus == r2:
+                out.congruences[key] = r2
+        # Congruence synthesis: two sides that pin the same direction to
+        # *different* constants (d·x⃗ = v₁ vs = v₂) agree modulo their
+        # difference — how a stride-4 counter learns x ≡ 0 (mod 4).
+        for direction, v1 in self_equalities.items():
+            v2 = other._equalities().get(direction)
+            if v2 is not None and v1 != v2 and abs(v1 - v2) >= 2:
+                out._add_cong(Linear(dict(direction), -v1),
+                              abs(v1 - v2))
+        return out
+
+    def _equalities(self) -> Dict[Direction, int]:
+        """Directions pinned to a single value: d·x⃗ = v (both the d and
+        −d bounds present and tight)."""
+        out: Dict[Direction, int] = {}
+        for direction, constant in self.lower.items():
+            negated = tuple(sorted((var, -coeff)
+                                   for var, coeff in direction))
+            opposite = self.lower.get(negated)
+            if opposite is not None and constant + opposite == 0:
+                out[direction] = -constant
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FactSet):
+            return NotImplemented
+        return (self.lower == other.lower
+                and self.congruences == other.congruences)
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    # -- transfer --------------------------------------------------------------
+
+    def kill(self, var: str) -> None:
+        self.lower = {d: c for d, c in self.lower.items()
+                      if not _mentions(d, var)}
+        self.congruences = {k: r for k, r in self.congruences.items()
+                            if not _mentions(k[0], var)}
+
+    def substitute(self, var: str, replacement: Linear) -> "FactSet":
+        """Exact inverse-assignment transfer: every fact's occurrences
+        of *var* are rewritten (used for x := x ± k with the shift
+        x ↦ x ∓ k)."""
+        out = FactSet()
+        for direction, constant in self.lower.items():
+            term = Linear(dict(direction), constant)
+            out._add_geq(term.substitute(var, replacement))
+        for (direction, modulus), residue in self.congruences.items():
+            term = Linear(dict(direction), -residue)
+            rewritten = term.substitute(var, replacement)
+            out._add_cong(rewritten, modulus)
+        return out
+
+    def assign(self, var: str, value: Optional[Linear]) -> "FactSet":
+        """x := value (None = unknown).  Exact for affine values."""
+        if value is None:
+            out = self.copy()
+            out.kill(var)
+            return out
+        coefficient = value.coefficient(var)
+        if coefficient == 1:
+            # x := x + k: facts shift by substitution x -> x − k.
+            shift = value - Linear.var(var)
+            if shift.is_constant:
+                return self.substitute(var,
+                                       Linear.var(var) - shift.constant)
+            out = self.copy()
+            out.kill(var)
+            return out
+        if coefficient != 0:
+            out = self.copy()
+            out.kill(var)
+            return out
+        out = self.copy()
+        out.kill(var)
+        out._add_geq(Linear.var(var) - value)          # x − e ≥ 0
+        out._add_geq(value - Linear.var(var))          # e − x ≥ 0
+        return out
+
+    # -- output -----------------------------------------------------------------
+
+    def atoms(self) -> List[Formula]:
+        out: List[Formula] = []
+        for direction, constant in sorted(self.lower.items()):
+            out.append(Geq(Linear(dict(direction), constant)))
+        for (direction, modulus), residue in sorted(
+                self.congruences.items()):
+            out.append(Cong(Linear(dict(direction), -residue), modulus))
+        return out
+
+    def to_formula(self) -> Formula:
+        return conj(*self.atoms())
+
+    def __repr__(self) -> str:
+        return "FactSet(%s)" % ", ".join(str(a) for a in self.atoms())
+
+
+# ---------------------------------------------------------------------------
+# normalization helpers
+# ---------------------------------------------------------------------------
+
+
+def _normalize_geq(term: Linear):
+    coeffs = dict(term.coefficients)
+    if not coeffs:
+        return None, 0
+    g = term.content()
+    constant = term.constant
+    if g > 1:
+        coeffs = {v: c // g for v, c in coeffs.items()}
+        constant = constant // g  # floor: sound tightening
+    return tuple(sorted(coeffs.items())), constant
+
+
+def _normalize_cong(term: Linear, modulus: int):
+    coeffs = {v: c % modulus for v, c in term.coefficients.items()
+              if c % modulus}
+    if not coeffs:
+        return None, 0, 0
+    residue = (-term.constant) % modulus
+    return tuple(sorted(coeffs.items())), residue, modulus
+
+
+def _mentions(direction: Direction, var: str) -> bool:
+    return any(name == var for name, __ in direction)
+
+
+def _conjunctive_atoms(f: Formula) -> List[Formula]:
+    from repro.logic.formula import And, Eq
+    if isinstance(f, And):
+        out: List[Formula] = []
+        for part in f.parts:
+            out.extend(_conjunctive_atoms(part))
+        return out
+    if isinstance(f, (Geq, Eq, Cong)):
+        return [f]
+    return []  # disjunctions etc. contribute nothing (sound)
+
+
+# ---------------------------------------------------------------------------
+# the forward pass
+# ---------------------------------------------------------------------------
+
+
+class ForwardBounds:
+    """Worklist forward propagation of :class:`FactSet` over the CFG.
+
+    Produces, per node, facts that hold whenever control reaches it —
+    in particular at loop headers, where the verification engine uses
+    them as ambient invariants.
+    """
+
+    def __init__(self, cfg: CFG, initial: Formula):
+        self.cfg = cfg
+        self.before: Dict[int, FactSet] = {}
+        self._run(initial)
+
+    def facts_at(self, uid: int) -> Formula:
+        facts = self.before.get(uid)
+        return facts.to_formula() if facts is not None else conj()
+
+    # -- engine ------------------------------------------------------------
+
+    #: Recomputations of one node before widening kicks in.
+    WIDENING_DELAY = 3
+
+    def _run(self, initial: Formula) -> None:
+        """Pull-style fixpoint: each node's facts are recomputed as the
+        join over its predecessors' *current* outputs, so stale path
+        contributions are replaced rather than accumulated."""
+        entry = self.cfg.entry_uid
+        self.before[entry] = FactSet.from_formula(initial)
+        after: Dict[int, FactSet] = {}
+        visits: Dict[int, int] = {}
+        worklist = [entry]
+        queued = {entry}
+        steps = 0
+        while worklist and steps < 100_000:
+            steps += 1
+            uid = worklist.pop(0)
+            queued.discard(uid)
+            if uid != entry:
+                combined: Optional[FactSet] = None
+                for edge in self.cfg.predecessors(uid):
+                    if edge.kind is EdgeKind.RETURN:
+                        continue  # summarized through SUMMARY edges
+                    source = after.get(edge.src)
+                    if source is None:
+                        continue
+                    flowed = self._along_edge(edge, source)
+                    combined = flowed if combined is None \
+                        else combined.join(flowed)
+                if combined is None:
+                    continue
+                old = self.before.get(uid)
+                if old is not None:
+                    # Iteration-to-iteration narrowing with widening:
+                    # only ever lose facts relative to the previous
+                    # value, dropping bounds that keep weakening.
+                    count = visits.get(uid, 0)
+                    combined = old.join(
+                        combined, widen=count >= self.WIDENING_DELAY)
+                    if combined == old:
+                        new_after = self._transfer(self.cfg.node(uid),
+                                                   combined)
+                        if after.get(uid) == new_after:
+                            continue
+                self.before[uid] = combined
+                visits[uid] = visits.get(uid, 0) + 1
+            out_facts = self._transfer(self.cfg.node(uid),
+                                       self.before[uid])
+            if after.get(uid) == out_facts:
+                continue
+            after[uid] = out_facts
+            for edge in self.cfg.successors(uid):
+                if edge.kind is EdgeKind.RETURN:
+                    continue
+                if edge.dst not in queued:
+                    queued.add(edge.dst)
+                    worklist.append(edge.dst)
+
+    def _along_edge(self, edge: Edge, facts: FactSet) -> FactSet:
+        out = facts
+        if edge.condition is not None:
+            formula = condition_formula(edge.condition)
+            out = out.copy()
+            for atom in _conjunctive_atoms(formula):
+                out.add_atom(atom)
+        if edge.kind is EdgeKind.SUMMARY:
+            # Crossing a call: drop facts about everything a callee may
+            # write (conservative; returns are not modeled here).
+            out = out.copy()
+            for bank in ("%o", "%g", "%l", "%i"):
+                for i in range(8):
+                    out.kill("%s%d" % (bank, i))
+            out.kill(ICC)
+        if edge.kind is EdgeKind.CALL:
+            out = out.copy()
+            out.kill(ICC)
+        return out
+
+    def _transfer(self, node: Node, facts: FactSet) -> FactSet:
+        inst = node.instruction
+        if inst is None:
+            return facts
+        kind = inst.kind
+        if kind is Kind.ALU:
+            return self._transfer_alu(inst, facts)
+        if kind is Kind.SETHI:
+            if inst.rd is not None and inst.rd.name != "%g0":
+                return facts.assign(inst.rd.name,
+                                    Linear.const(inst.op2.value))
+            return facts
+        if kind is Kind.LOAD:
+            if inst.rd is not None and inst.rd.name != "%g0":
+                out = facts.assign(inst.rd.name, None)
+                size = {"ldub": 256, "lduh": 65536}.get(inst.op)
+                if size is not None:
+                    # Unsigned sub-word loads are range-bounded.
+                    out._add_geq(Linear.var(inst.rd.name))
+                    out._add_geq(Linear({inst.rd.name: -1}, size - 1))
+                return out
+            return facts
+        if kind in (Kind.STORE, Kind.BRANCH):
+            return facts
+        if kind in (Kind.CALL, Kind.JMPL):
+            out = facts.copy()
+            out.kill("%o7")
+            return out
+        return facts
+
+    def _transfer_alu(self, inst: Instruction,
+                      facts: FactSet) -> FactSet:
+        assert inst.rs1 is not None
+        rs1 = operand_term(inst.rs1)
+        op2 = operand_term(inst.op2)
+        op = inst.op
+        base = op[:-2] if op.endswith("cc") else op
+        value: Optional[Linear] = None
+        extra: List[Formula] = []
+        target = inst.rd.name if inst.rd is not None else "%g0"
+
+        if base == "add":
+            value = rs1 + op2
+        elif base == "sub":
+            value = rs1 - op2
+        elif base == "or" and inst.rs1.name == "%g0":
+            value = op2
+        elif base == "sll" and isinstance(inst.op2, Imm):
+            value = rs1.scale(1 << (inst.op2.value & 31))
+        elif base in ("umul", "smul") and isinstance(inst.op2, Imm):
+            value = rs1.scale(inst.op2.value)
+        elif base == "and" and isinstance(inst.op2, Imm) \
+                and inst.op2.value > 0 \
+                and (inst.op2.value + 1) & inst.op2.value == 0:
+            mask = inst.op2.value
+            extra = [Geq(Linear.var(target)),
+                     Geq(Linear({target: -1}, mask))]
+        out = facts
+        if target != "%g0":
+            out = out.assign(target, value)
+            for atom in extra:
+                out.add_atom(atom)
+        if inst.sets_cc:
+            icc_value = None
+            if base == "sub":
+                icc_value = rs1 - op2
+            elif base == "add":
+                icc_value = rs1 + op2
+            elif base == "or" and inst.rs1.name == "%g0":
+                icc_value = op2
+            out = out.assign(ICC, icc_value)
+        return out

@@ -1,0 +1,55 @@
+"""Tunable knobs of the safety-checking analysis.
+
+Defaults match the paper's prototype; the ablation benchmarks flip the
+enhancement flags to measure their effect (paper Sections 5.2.1, 5.2.3,
+and 6 discuss each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CheckerOptions:
+    """Configuration for :class:`repro.analysis.checker.SafetyChecker`."""
+
+    #: MAX_NUMBER_OF_ITERATIONS of the induction-iteration algorithm
+    #: (paper Section 5.2.3: "it seems to be sufficient to set the
+    #: maximum allowable number of iterations to three").
+    max_induction_iterations: int = 3
+
+    #: Enhancement 3: try the disjuncts of wlp(loop-body, W(i−1)) as
+    #: W(i) candidates, breadth-first.
+    enable_disjunct_candidates: bool = True
+
+    #: Enhancement 4: generalization via Fourier–Motzkin elimination,
+    #: ``generalize(f) = ¬(eliminate(¬f))``.
+    enable_generalization: bool = True
+
+    #: Enhancement 5: simplify formulas at junction points during
+    #: backward VC generation.
+    enable_junction_simplification: bool = True
+
+    #: Enhancement 6: group comparable formulas at loop entries and
+    #: prove only the strongest of each group.
+    enable_formula_grouping: bool = True
+
+    #: Planned enhancement implemented here: canonical-form result
+    #: caching inside the theorem prover.
+    enable_prover_cache: bool = True
+
+    #: Section 6 extension: forward propagation of linear facts
+    #: (Cousot–Halbwachs style); loop headers get ambient invariants
+    #: that discharge conditions without induction iteration.
+    enable_forward_bounds: bool = True
+
+    #: Upper bound on candidate invariants explored per loop by the
+    #: breadth-first search.
+    max_invariant_candidates: int = 24
+
+    #: Recursion guard for interprocedural wlp walks.
+    max_call_depth: int = 8
+
+    #: Worklist iteration guard for typestate propagation.
+    max_propagation_steps: int = 200_000

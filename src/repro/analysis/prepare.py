@@ -1,0 +1,312 @@
+"""Phase 1 — Preparation (paper Sections 3 and 5.1, Figure 2).
+
+Takes the host-typestate specification, the safety policy, and the
+invocation specification, and translates them into *initial
+annotations*: the abstract-location table, the abstract store at the
+entry node, and the initial linear constraints.
+
+Concretely:
+
+* every declared host location becomes an abstract location (struct
+  declarations additionally materialize one child location per member,
+  named ``parent.label``);
+* policy rules assign each location its ``r``/``w`` attributes and its
+  value's ``f``/``x``/``o`` permissions by matching (region, category);
+  per-declaration permission letters, when present, are intersected
+  with the policy grant;
+* invocation bindings seed the registers: binding a register to a
+  declared location copies that declaration's typestate into the
+  register; binding it to a spec symbol gives the register an
+  initialized integer plus the constraint ``symbol = register``;
+* pointer bindings contribute address facts to the initial constraints:
+  non-null (≥ 1, since 0 is the null address) and alignment
+  congruences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic.formula import Formula, congruent, conj, eq, ge
+from repro.logic.terms import Linear
+from repro.policy.model import HostSpec, LocationDecl, split_perms
+from repro.typesys.access import AccessSet, access
+from repro.typesys.locations import AbstractLocation, LocationTable
+from repro.typesys.state import INIT, PointsTo, State
+from repro.typesys.store import AbstractStore
+from repro.typesys.types import (
+    INT32, PointerType, StructType, Type,
+    UnionType, sizeof,
+)
+from repro.typesys.typestate import Typestate
+
+
+@dataclass
+class Preparation:
+    """The initial annotations: everything later phases consume."""
+
+    locations: LocationTable
+    initial_store: AbstractStore
+    initial_constraints: Formula
+    #: Typestates by declared-location name (before policy application
+    #: they are raw; these are final).
+    declared: Dict[str, Typestate] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+
+    def render_figure2(self) -> str:
+        """Render in the style of paper Figure 2 (initial typestate +
+        initial constraints)."""
+        lines = ["Initial Typestate"]
+        named = sorted(self.declared)
+        for name in named:
+            lines.append("  %s: %s" % (name, self.declared[name]))
+        store_names = sorted(set(self.initial_store.known_names())
+                             - set(named))
+        for name in store_names:
+            lines.append("  %s: %s" % (name, self.initial_store[name]))
+        lines.append("Initial Constraints")
+        lines.append("  %s" % (self.initial_constraints,))
+        return "\n".join(lines)
+
+
+def prepare(spec: HostSpec) -> Preparation:
+    """Run Phase 1 on a host specification."""
+    return _Preparer(spec).run()
+
+
+class _Preparer:
+    def __init__(self, spec: HostSpec):
+        self.spec = spec
+        self.table = LocationTable()
+        self.store = AbstractStore()
+        self.constraints: List[Formula] = list(spec.constraints)
+        self.declared: Dict[str, Typestate] = {}
+        self.warnings: List[str] = []
+
+    def run(self) -> Preparation:
+        for decl in self.spec.locations:
+            self._materialize(decl)
+        self._apply_invocation()
+        return Preparation(
+            locations=self.table,
+            initial_store=self.store,
+            initial_constraints=conj(*self.constraints),
+            declared=self.declared,
+            warnings=self.warnings,
+        )
+
+    # -- locations ---------------------------------------------------------------
+
+    def _materialize(self, decl: LocationDecl) -> None:
+        type_ = self.spec.resolve_type(decl)
+        state = self.spec.resolve_state(decl)
+        readable, writable, value_access = self._effective_perms(
+            decl, type_)
+        size = decl.size if decl.size is not None else _safe_sizeof(type_)
+        self.table.add(AbstractLocation(
+            name=decl.name, size=size, align=decl.align,
+            readable=readable, writable=writable, summary=decl.summary,
+            region=decl.region,
+            field_labels=tuple(m.label for m in type_.members)
+            if isinstance(type_, (StructType, UnionType)) else (),
+        ))
+        ts = Typestate(type=type_, state=state, access=value_access)
+        self.declared[decl.name] = ts
+        if isinstance(type_, (StructType, UnionType)):
+            self._materialize_fields(decl, type_)
+        else:
+            self.store = self.store.set(decl.name, ts)
+
+    def _materialize_fields(self, decl: LocationDecl,
+                            struct: StructType) -> None:
+        """Create one child abstract location per struct member; the
+        member category (``struct.label``) selects its policy row."""
+        for member in struct.members:
+            child_name = "%s.%s" % (decl.name, member.label)
+            category = "%s.%s" % (struct.name, member.label)
+            grant = self._policy_grant(decl.region, [category],
+                                       str(member.type))
+            if grant is None:
+                readable, writable, value_access = False, False, access("")
+            else:
+                readable, writable, value_access = grant
+            mtype = self._resolve_member_type(member.type, decl)
+            self.table.add(AbstractLocation(
+                name=child_name, size=_safe_sizeof(member.type),
+                align=_field_alignment(decl.align, member.offset),
+                readable=readable, writable=writable,
+                summary=decl.summary, region=decl.region,
+            ))
+            state = self._member_state(decl, member.label, mtype)
+            self.store = self.store.set(
+                child_name,
+                Typestate(type=mtype, state=state, access=value_access))
+
+    def _resolve_member_type(self, mtype: Type,
+                             decl: LocationDecl) -> Type:
+        """Resolve the ``_self_<name>`` stand-in used for recursive
+        struct pointers back to a pointer to the declared struct."""
+        if isinstance(mtype, PointerType):
+            inner = mtype.pointee
+            name = getattr(inner, "name", "")
+            if isinstance(name, str) and name.startswith("_self_"):
+                real = self.spec.types.lookup(name[len("_self_"):])
+                if real is not None:
+                    return PointerType(pointee=real)
+        return mtype
+
+    def _member_state(self, decl: LocationDecl, label: str,
+                      mtype: Type) -> State:
+        """Member states: pointers in recursive summaries point back to
+        the summary (plus null); everything else follows the parent's
+        declared scalar state."""
+        override = getattr(decl, "member_states", None)
+        if override and label in override:
+            from repro.policy.model import parse_state
+            return parse_state(override[label])
+        if mtype.is_pointer and decl.summary:
+            return PointsTo(frozenset({decl.name, "null"}))
+        base = self.spec.resolve_state(decl)
+        if isinstance(base, (PointsTo,)):
+            return base
+        return base
+
+    # -- permissions ----------------------------------------------------------------
+
+    def _effective_perms(self, decl: LocationDecl, type_: Type
+                         ) -> Tuple[bool, bool, AccessSet]:
+        """Combine per-declaration letters with policy-rule grants.
+
+        The policy is the source of truth; explicit declaration letters
+        intersect with it.  With no matching rule, the declaration
+        letters stand alone (a host may describe private data it never
+        grants — such locations end up unreadable)."""
+        decl_r, decl_w, decl_access = split_perms(decl.perms)
+        grant = self._policy_grant(decl.region, [str(type_)],
+                                   str(type_))
+        if grant is None:
+            return decl_r, decl_w, decl_access
+        rule_r, rule_w, rule_access = grant
+        merged = decl_access.meet(rule_access)
+        assert isinstance(merged, AccessSet)
+        return decl_r and rule_r, decl_w and rule_w, merged
+
+    def _policy_grant(self, region: str, categories: List[str],
+                      type_text: str
+                      ) -> Optional[Tuple[bool, bool, AccessSet]]:
+        """Union of all policy rules matching (region, any category)."""
+        readable = writable = False
+        value = access("")
+        matched = False
+        wanted = set(categories) | {type_text}
+        for rule in self.spec.rules:
+            if rule.region != region:
+                continue
+            if not (set(rule.categories) & wanted):
+                continue
+            matched = True
+            r, w, a = split_perms(rule.perms)
+            readable = readable or r
+            writable = writable or w
+            value = access("".join(sorted(set(str(value)) - {"∅"}
+                                          | set(str(a)) - {"∅"})))
+        if not matched:
+            return None
+        return readable, writable, value
+
+    # -- invocation ------------------------------------------------------------------
+
+    def _apply_invocation(self) -> None:
+        for register, value in self.spec.invocation.bindings.items():
+            if any(d.name == value for d in self.spec.locations):
+                self._bind_location(register, value)
+            else:
+                self._bind_symbol(register, value)
+        self._default_registers()
+
+    def _default_registers(self) -> None:
+        """Registers without initial annotations start at ⟨⊥t, ⊥s, ∅⟩
+        (paper Section 5.1) — reading them is a use of an uninitialized
+        value.  ``%g0`` is the hardwired zero (a constant, hence
+        operable) and ``%o7`` holds the host's return address."""
+        from repro.sparc.registers import REGISTER_NAMES
+        from repro.typesys.typestate import BOTTOM_TYPESTATE
+        updates: Dict[str, Typestate] = {}
+        for name in REGISTER_NAMES:
+            if name in set(self.store.known_names()):
+                continue
+            if name == "%g0":
+                updates[name] = Typestate(type=INT32, state=INIT,
+                                          access=access("o"))
+            elif name == "%o7":
+                from repro.analysis.semantics import RETADDR_TYPESTATE
+                updates[name] = RETADDR_TYPESTATE
+            else:
+                updates[name] = BOTTOM_TYPESTATE
+        self.store = self.store.set_many(updates)
+
+    def _bind_location(self, register: str, name: str) -> None:
+        """The register holds the *address of* (for aggregates/arrays'
+        element summaries this is the declared pointer value) the named
+        declaration; it receives the declaration's typestate."""
+        ts = self.declared[name]
+        decl = self.spec.location(name)
+        if isinstance(ts.type, (StructType, UnionType)):
+            # Passing a struct by reference: the register is a pointer
+            # to the struct location.
+            reg_ts = Typestate(
+                type=PointerType(pointee=ts.type),
+                state=PointsTo(frozenset({name})),
+                access=self._pointer_access(decl),
+            )
+        else:
+            reg_ts = ts
+        self.store = self.store.set(register, reg_ts)
+        self._pointer_facts(register, reg_ts, decl)
+
+    def _pointer_access(self, decl: LocationDecl) -> AccessSet:
+        __, __, value_access = split_perms(decl.perms)
+        if not value_access.perms:
+            return access("fo")
+        return value_access
+
+    def _bind_symbol(self, register: str, symbol: str) -> None:
+        """Integer argument: initialized, operable, constrained to equal
+        the spec symbol."""
+        self.store = self.store.set(
+            register, Typestate(type=INT32, state=INIT,
+                                access=access("o")))
+        self.constraints.append(
+            eq(Linear.var(symbol), Linear.var(register)))
+
+    def _pointer_facts(self, register: str, ts: Typestate,
+                       decl: LocationDecl) -> None:
+        """Address facts for pointer arguments: non-null unless the
+        points-to set includes null, plus alignment congruence."""
+        if not ts.type.is_pointer:
+            return
+        if isinstance(ts.state, PointsTo) and ts.state.may_be_null:
+            return
+        self.constraints.append(ge(Linear.var(register), 1))
+        if decl.align > 1:
+            self.constraints.append(
+                congruent(Linear.var(register), decl.align))
+
+
+def _safe_sizeof(type_: Type) -> int:
+    try:
+        return sizeof(type_)
+    except ValueError:
+        return 4
+
+
+def _field_alignment(parent_align: int, offset: int) -> int:
+    """Alignment known for a member at *offset* within a parent of
+    alignment *parent_align*."""
+    if parent_align <= 0:
+        return 0
+    align = parent_align
+    while align > 1 and offset % align:
+        align //= 2
+    return align

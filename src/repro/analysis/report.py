@@ -1,0 +1,168 @@
+"""Check results and the Figure 9 reporting format.
+
+A :class:`CheckResult` bundles everything the evaluation section of the
+paper reports per example: program characteristics (instructions,
+branches, loops, calls, number of global safety conditions), per-phase
+wall-clock times, and the verification outcome (safe, or the list of
+violations with their instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.annotate import NodeAnnotation
+from repro.analysis.verify import ProofRecord, Violation
+
+
+@dataclass
+class PhaseTimes:
+    """Seconds spent per phase, matching Figure 9's breakdown."""
+
+    preparation: float = 0.0
+    typestate_propagation: float = 0.0
+    annotation_and_local: float = 0.0
+    global_verification: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.preparation + self.typestate_propagation
+                + self.annotation_and_local + self.global_verification)
+
+
+@dataclass
+class ProgramCharacteristics:
+    """The static features Figure 9 tabulates."""
+
+    instructions: int = 0
+    branches: int = 0
+    loops: int = 0
+    inner_loops: int = 0
+    calls: int = 0
+    trusted_calls: int = 0
+    global_conditions: int = 0
+
+    def loops_cell(self) -> str:
+        if self.inner_loops:
+            return "%d (%d)" % (self.loops, self.inner_loops)
+        return str(self.loops)
+
+    def calls_cell(self) -> str:
+        if self.trusted_calls:
+            return "%d (%d)" % (self.calls, self.trusted_calls)
+        return str(self.calls)
+
+
+@dataclass
+class CheckResult:
+    """Everything the safety checker reports for one program."""
+
+    name: str
+    safe: bool
+    characteristics: ProgramCharacteristics
+    times: PhaseTimes
+    violations: List[Violation] = field(default_factory=list)
+    proofs: List[ProofRecord] = field(default_factory=list)
+    annotations: Dict[int, NodeAnnotation] = field(default_factory=dict)
+    induction_runs: int = 0
+    prover_queries: int = 0
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def local_violations(self) -> List[Violation]:
+        return [v for v in self.violations if v.phase == "local"]
+
+    @property
+    def global_violations(self) -> List[Violation]:
+        return [v for v in self.violations if v.phase == "global"]
+
+    def violated_instructions(self) -> List[int]:
+        return sorted({v.index for v in self.violations})
+
+    def proved_count(self) -> int:
+        return sum(1 for p in self.proofs if p.proved)
+
+    # -- rendering -------------------------------------------------------------
+
+    def annotated_listing(self, program) -> str:
+        """Interleave the assembly listing with the per-instruction
+        verdicts: flagged instructions get their violations inline, and
+        instructions carrying proved global conditions are marked."""
+        by_index = {}
+        for violation in self.violations:
+            by_index.setdefault(violation.index, []).append(violation)
+        proved = {}
+        for proof in self.proofs:
+            if proof.proved:
+                proved[proof.index] = proved.get(proof.index, 0) + 1
+        lines = []
+        width = len(str(len(program)))
+        for inst in program:
+            marker = "!!" if inst.index in by_index else \
+                ("ok" if inst.index in proved else "  ")
+            lines.append("%s %*d: %s" % (marker, width, inst.index,
+                                         inst.render()))
+            for violation in by_index.get(inst.index, ()):
+                lines.append("%s      ^ %s (%s)"
+                             % (" " * width, violation.description,
+                                violation.category))
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = ["%s: %s" % (self.name,
+                             "SAFE" if self.safe else "UNSAFE")]
+        c = self.characteristics
+        lines.append(
+            "  instructions=%d branches=%d loops=%s calls=%s "
+            "global-conditions=%d"
+            % (c.instructions, c.branches, c.loops_cell(), c.calls_cell(),
+               c.global_conditions))
+        lines.append(
+            "  times: propagation=%.3fs annotation+local=%.4fs "
+            "global=%.3fs total=%.3fs"
+            % (self.times.typestate_propagation,
+               self.times.annotation_and_local,
+               self.times.global_verification, self.times.total))
+        for violation in self.violations:
+            lines.append("  VIOLATION %s" % violation)
+        return "\n".join(lines)
+
+
+#: Column layout of the Figure 9 table.
+FIGURE9_COLUMNS = [
+    "Example", "Instructions", "Branches", "Loops (Inner)", "Calls",
+    "Global Conds", "Propagation (s)", "Annot+Local (s)", "Global (s)",
+    "Total (s)", "Outcome",
+]
+
+
+def figure9_row(result: CheckResult) -> List[str]:
+    c, t = result.characteristics, result.times
+    return [
+        result.name, str(c.instructions), str(c.branches),
+        c.loops_cell(), c.calls_cell(), str(c.global_conditions),
+        "%.3f" % t.typestate_propagation,
+        "%.4f" % t.annotation_and_local,
+        "%.3f" % t.global_verification,
+        "%.3f" % t.total,
+        "safe" if result.safe else
+        "violations@%s" % ",".join(map(str,
+                                       result.violated_instructions())),
+    ]
+
+
+def render_figure9(results: List[CheckResult]) -> str:
+    """Render the main results table in the shape of paper Figure 9."""
+    rows = [FIGURE9_COLUMNS] + [figure9_row(r) for r in results]
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(FIGURE9_COLUMNS))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * widths[i]
+                                   for i in range(len(widths))))
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""Weakest liberal preconditions of SPARC instructions (paper Section
+5.2).
+
+``node_transfer(node, Q)`` returns the condition that must hold *before*
+an instruction occurrence so that Q holds after it.  Register
+assignments are handled by substitution (Dijkstra); loads and stores go
+through a select/update view of the abstract store (Morris's general
+axiom of assignment): a load from a single non-summary abstract
+location substitutes that location's value variable, anything less
+determinate universally quantifies a fresh value (sound havoc).
+
+The SPARC condition codes are modeled by the single variable ``$icc``
+(paper Section 5.2.2): ``subcc a, b`` binds ``$icc := a − b`` and each
+CFG edge out of a conditional branch carries a sign constraint on
+``$icc``.  ``andcc`` with a ``2^k − 1`` mask and constant right shifts
+get exact guarded-havoc encodings with congruences, which is what makes
+hash-mask bounds and alignment conditions provable.
+
+Unsigned branch relations are mapped to their signed counterparts; this
+is exact for values in [0, 2³¹), which the checked extensions satisfy
+(sizes, indices, and addresses are non-negative) and is recorded in
+DESIGN.md as a modeling assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.cfg.graph import BranchCondition, Node
+from repro.logic.formula import (
+    Cong, Formula, TRUE, conj, eq, forall, fresh_variable, ge,
+    gt, implies, le, lt, ne, neg,
+)
+from repro.logic.terms import Linear
+from repro.sparc.isa import Imm, Instruction, Kind, Reg
+from repro.typesys.locations import LocationTable
+from repro.typesys.store import AbstractStore
+from repro.analysis.semantics import Usage, resolve_memory
+
+#: The condition-code pseudo-variable.
+ICC = "$icc"
+
+
+def operand_term(op2: Union[Reg, Imm, None]) -> Linear:
+    if isinstance(op2, Reg):
+        return Linear.const(0) if op2.name == "%g0" else Linear.var(op2.name)
+    if isinstance(op2, Imm):
+        return Linear.const(op2.value)
+    return Linear.const(0)
+
+
+def condition_formula(condition: BranchCondition) -> Formula:
+    """The linear constraint a CFG edge imposes on ``$icc``."""
+    icc = Linear.var(ICC)
+    base: Formula
+    op = condition.op
+    if op in ("be",):
+        base = eq(icc, 0)
+    elif op in ("bne",):
+        base = ne(icc, 0)
+    elif op in ("bl", "bneg", "bcs"):
+        base = lt(icc, 0)
+    elif op in ("bge", "bpos", "bcc"):
+        base = ge(icc, 0)
+    elif op in ("ble", "bleu"):
+        base = le(icc, 0)
+    elif op in ("bg", "bgu"):
+        base = gt(icc, 0)
+    else:
+        # bvs/bvc (overflow tests) carry no linear information; both
+        # edges get TRUE, which makes the wlp require both paths.
+        return TRUE
+    return base if condition.taken else neg(base)
+
+
+#: Universal havocs over bodies up to this size are eliminated eagerly
+#: (exact QE), which keeps backward-substitution formulas small instead
+#: of accumulating quantifiers until one giant elimination at the end.
+EAGER_QE_LIMIT = 80
+
+
+def _eager_eliminate(f: Formula) -> Formula:
+    from repro.logic.prover import DEFAULT_PROVER
+    from repro.logic.simplify import simplify
+    if _size(f) > EAGER_QE_LIMIT:
+        return f
+    try:
+        return simplify(DEFAULT_PROVER.eliminate_quantifiers(f))
+    except Exception:
+        return f
+
+
+def _size(f: Formula) -> int:
+    parts = getattr(f, "parts", None)
+    if parts is not None:
+        return sum(_size(p) for p in parts)
+    body = getattr(f, "body", None)
+    if body is not None:
+        return _size(body)
+    part = getattr(f, "part", None)
+    if part is not None:
+        return _size(part)
+    return 1
+
+
+def havoc(q: Formula, var: str) -> Formula:
+    """∀v. Q[var ↦ v] — the value becomes unknown."""
+    if var not in q.free_variables():
+        return q
+    fresh = fresh_variable("$h")
+    return _eager_eliminate(
+        forall([fresh], q.substitute(var, Linear.var(fresh))))
+
+
+def guarded_havoc(q: Formula, var: str, guard_of) -> Formula:
+    """∀v. guard(v) → Q[var ↦ v] for partially known results."""
+    if var not in q.free_variables():
+        return q
+    fresh = fresh_variable("$h")
+    body = implies(guard_of(Linear.var(fresh)),
+                   q.substitute(var, Linear.var(fresh)))
+    return _eager_eliminate(forall([fresh], body))
+
+
+def _power_of_two(value: int) -> Optional[int]:
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+class WlpTransfer:
+    """Per-node wlp transfer, resolved against the typestate-propagation
+    fixpoint (needed to know which abstract locations a memory access
+    touches)."""
+
+    def __init__(self, stores: Dict[int, AbstractStore],
+                 locations: LocationTable):
+        self._stores = stores
+        self._locations = locations
+
+    # -- entry point ---------------------------------------------------------
+
+    def node_transfer(self, node: Node, q: Formula) -> Formula:
+        inst = node.instruction
+        if inst is None or q is TRUE:
+            return q
+        kind = inst.kind
+        if kind is Kind.ALU:
+            return self._alu(node, inst, q)
+        if kind is Kind.SETHI:
+            return self._assign(q, inst.rd, Linear.const(inst.op2.value))
+        if kind is Kind.LOAD:
+            return self._load(node, inst, q)
+        if kind is Kind.STORE:
+            return self._store(node, inst, q)
+        if kind is Kind.BRANCH:
+            return q
+        if kind is Kind.CALL:
+            return havoc(q, "%o7")
+        if kind is Kind.JMPL:
+            if inst.rd is not None and inst.rd.name != "%g0":
+                return havoc(q, inst.rd.name)
+            return q
+        return q
+
+    # -- register assignment -----------------------------------------------------
+
+    @staticmethod
+    def _assign(q: Formula, rd: Optional[Reg],
+                value: Optional[Linear]) -> Formula:
+        if rd is None or rd.name == "%g0":
+            return q
+        if value is None:
+            return havoc(q, rd.name)
+        return q.substitute(rd.name, value)
+
+    def _alu(self, node: Node, inst: Instruction, q: Formula) -> Formula:
+        assert inst.rs1 is not None
+        rs1 = operand_term(inst.rs1)
+        op2 = operand_term(inst.op2)
+        op = inst.op
+        base = op[:-2] if op.endswith("cc") else op
+
+        # Value computed into rd (None = not linearly expressible).
+        result: Optional[Linear] = None
+        guard = None  # (guard_of) for guarded havoc
+        if base == "add":
+            result = rs1 + op2
+        elif base == "sub":
+            result = rs1 - op2
+        elif base == "or":
+            if inst.rs1.name == "%g0":
+                result = op2
+            elif isinstance(inst.op2, Reg) and inst.op2.name == "%g0":
+                result = rs1
+            elif isinstance(inst.op2, Imm) and inst.op2.value == 0:
+                result = rs1
+        elif base == "and":
+            if isinstance(inst.op2, Imm):
+                k = _power_of_two(inst.op2.value + 1)
+                if k is not None:
+                    # rd = rs1 mod 2^k (for non-negative rs1): exact
+                    # characterization v ≡ rs1 (mod 2^k), 0 ≤ v < 2^k.
+                    modulus = 1 << k
+                    guard = lambda v, rs1=rs1, modulus=modulus: conj(
+                        Cong((v - rs1), modulus) if not (v - rs1).is_constant
+                        else TRUE,
+                        ge(v, 0), lt(v, modulus))
+        elif base in ("sll",):
+            if isinstance(inst.op2, Imm):
+                result = rs1.scale(1 << (inst.op2.value & 31))
+        elif base in ("srl", "sra"):
+            if isinstance(inst.op2, Imm):
+                factor = 1 << (inst.op2.value & 31)
+                guard = lambda v, rs1=rs1, factor=factor: conj(
+                    le(v.scale(factor), rs1),
+                    le(rs1, v.scale(factor) + (factor - 1)))
+        elif base in ("umul", "smul"):
+            if isinstance(inst.op2, Imm):
+                result = rs1.scale(inst.op2.value)
+        # xor/andn/orn/xnor/udiv/sdiv and register-shift forms: havoc.
+
+        out = q
+        # rd first (old-value semantics), then $icc; see module doc.
+        if result is not None:
+            out = self._assign(out, inst.rd, result)
+        elif guard is not None and inst.rd is not None \
+                and inst.rd.name != "%g0":
+            out = guarded_havoc(out, inst.rd.name, guard)
+        else:
+            out = self._assign(out, inst.rd, None)
+
+        if inst.sets_cc:
+            out = self._set_icc(out, base, inst, rs1, op2, result)
+        return out
+
+    def _set_icc(self, q: Formula, base: str, inst: Instruction,
+                 rs1: Linear, op2: Linear,
+                 result: Optional[Linear]) -> Formula:
+        if ICC not in q.free_variables():
+            return q
+        if base == "sub":
+            return q.substitute(ICC, rs1 - op2)
+        if base == "add":
+            return q.substitute(ICC, rs1 + op2)
+        if base == "or":
+            # tst: or %g0, rs — icc reflects rs.  A true bitwise or of
+            # two unknown values is not linear.
+            if inst.rs1.name == "%g0":
+                return q.substitute(ICC, op2)
+            if (isinstance(inst.op2, Reg) and inst.op2.name == "%g0") \
+                    or (isinstance(inst.op2, Imm)
+                        and inst.op2.value == 0):
+                return q.substitute(ICC, rs1)
+        if base == "and" and isinstance(inst.op2, Imm):
+            k = _power_of_two(inst.op2.value + 1)
+            if k is not None:
+                modulus = 1 << k
+                return guarded_havoc(
+                    q, ICC,
+                    lambda v, rs1=rs1, modulus=modulus: conj(
+                        Cong(v - rs1, modulus), ge(v, 0), lt(v, modulus)))
+        if result is not None:
+            return q.substitute(ICC, result)
+        return havoc(q, ICC)
+
+    # -- memory -----------------------------------------------------------------
+
+    def _load(self, node: Node, inst: Instruction, q: Formula) -> Formula:
+        assert inst.rd is not None
+        if inst.rd.name == "%g0":
+            return q
+        if inst.rd.name not in q.free_variables():
+            return q
+        resolution = self._resolve(node, inst)
+        if resolution is not None \
+                and resolution.usage in (Usage.FIELD_ACCESS,
+                                         Usage.POINTER_ACCESS) \
+                and len(resolution.targets) == 1 \
+                and not self._locations.is_summary(resolution.targets[0]):
+            return q.substitute(inst.rd.name,
+                                Linear.var(resolution.targets[0]))
+        return havoc(q, inst.rd.name)
+
+    def _store(self, node: Node, inst: Instruction, q: Formula) -> Formula:
+        resolution = self._resolve(node, inst)
+        if resolution is None:
+            return self._havoc_all_memory(q)
+        targets = resolution.targets
+        if (resolution.usage in (Usage.FIELD_ACCESS, Usage.POINTER_ACCESS)
+                and len(targets) == 1
+                and not self._locations.is_summary(targets[0])):
+            value = (Linear.const(0) if inst.rs1.name == "%g0"
+                     else Linear.var(inst.rs1.name))
+            return q.substitute(targets[0], value)
+        out = q
+        for target in targets:
+            out = havoc(out, target)
+        return out
+
+    def _resolve(self, node: Node, inst: Instruction):
+        store = self._stores.get(node.uid)
+        if store is None:
+            return None
+        return resolve_memory(inst, store, self._locations)
+
+    def _havoc_all_memory(self, q: Formula) -> Formula:
+        out = q
+        for location in self._locations.memory_locations():
+            out = havoc(out, location.name)
+        return out

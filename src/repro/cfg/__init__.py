@@ -1,0 +1,18 @@
+"""Control-flow substrate: CFGs with delay-slot replication, dominators,
+natural loops, and the call graph."""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.dominators import compute_idoms, dominates, reverse_postorder
+from repro.cfg.graph import (
+    CFG, BranchCondition, Edge, EdgeKind, FunctionInfo, Node, NodeRole,
+)
+from repro.cfg.loops import Loop, LoopForest, find_loops
+
+__all__ = [
+    "build_cfg", "CallGraph",
+    "compute_idoms", "dominates", "reverse_postorder",
+    "CFG", "BranchCondition", "Edge", "EdgeKind", "FunctionInfo", "Node",
+    "NodeRole",
+    "Loop", "LoopForest", "find_loops",
+]

@@ -1,0 +1,234 @@
+"""Interprocedural CFG construction with delay-slot replication.
+
+The paper (Section 5.2.2, Figure 8) models SPARC's delayed branches by
+replicating the delay-slot instruction onto each outgoing path of the
+branch.  This builder does exactly that:
+
+* conditional branch ``b<cc> T`` at *i* with slot *s* = *i*+1:
+
+  - taken:        ``i ──(cc)──▶ s′ ──▶ T``
+  - fall-through: ``i ──(¬cc)─▶ s″ ──▶ i+2``
+  - with the annul bit, the fall-through edge skips the slot entirely;
+
+* ``ba T`` executes the slot on its single path (``ba,a`` skips it);
+
+* ``call F``: the slot executes, then control enters *F*.  The graph gets
+  a CALL edge (slot → entry of F), a RETURN edge (exit of F → return
+  point *i*+2), and a SUMMARY edge (slot → *i*+2) so intraprocedural
+  analyses (dominators, loops) see each function as a contiguous region.
+  Calls to *trusted* host functions get only the SUMMARY edge — their
+  bodies are not analyzed; pre/post-conditions from the host control
+  specification are applied at the call site instead;
+
+* ``jmpl %o7+8/%i7+8, %g0`` (``retl``/``ret``): the slot executes, then
+  control flows to the function's synthetic EXIT node.
+
+Each ``call`` target inside the untrusted code starts a new function;
+functions are discovered on demand and every node is tagged with its
+function label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import CFGError
+from repro.sparc.isa import Instruction, Kind
+from repro.sparc.program import Program
+from repro.cfg.graph import (
+    CFG, BranchCondition, EdgeKind, FunctionInfo, NodeRole,
+)
+
+
+def build_cfg(program: Program,
+              trusted_labels: Iterable[str] = (),
+              entry: int = 1) -> CFG:
+    """Build the interprocedural CFG of *program*.
+
+    *trusted_labels* are labels of host (trusted) functions: calls to
+    them are summarized rather than analyzed.  *entry* is the one-based
+    index of the instruction the host invokes (specifications may name
+    an entry label other than the first instruction).
+    """
+    return _Builder(program, set(trusted_labels)).build(entry)
+
+
+class _Builder:
+    def __init__(self, program: Program, trusted: Set[str]):
+        self.program = program
+        self.trusted = trusted
+        self.cfg = CFG()
+        # (function label, index) -> uid of the NORMAL node.
+        self._normal: Dict[Tuple[str, int], int] = {}
+        # Call sites discovered while walking: (call uid, slot uid,
+        # return-point index, callee index, caller function label).
+        self._pending_calls: List[Tuple[int, int, int, int, str]] = []
+        self._built_functions: Set[int] = set()
+
+    # -- top level -------------------------------------------------------------
+
+    def build(self, entry: int = 1) -> CFG:
+        self._build_function(CFG.MAIN, entry_index=entry)
+        self.cfg.entry_uid = self.cfg.functions[CFG.MAIN].entry
+        # Functions are discovered from call sites breadth-first.
+        while self._pending_calls:
+            call_uid, slot_uid, ret_index, callee_index, caller = \
+                self._pending_calls.pop(0)
+            label = self._function_label(callee_index)
+            if label not in self.cfg.functions:
+                self._build_function(label, entry_index=callee_index)
+            info = self.cfg.functions[label]
+            ret_uid = self._normal_uid(caller, ret_index)
+            self.cfg.add_edge(slot_uid, info.entry, kind=EdgeKind.CALL,
+                              call_site=call_uid)
+            self.cfg.add_edge(info.exit, ret_uid, kind=EdgeKind.RETURN,
+                              call_site=call_uid)
+        return self.cfg
+
+    def _function_label(self, entry_index: int) -> str:
+        label = self.program.label_at(entry_index)
+        if label is not None and not label.isdigit():
+            return label
+        return "fn@%d" % entry_index
+
+    # -- per-function walk --------------------------------------------------------
+
+    def _build_function(self, label: str, entry_index: int) -> None:
+        exit_node = self.cfg.add_node(None, role=NodeRole.EXIT,
+                                      function=label)
+        info = FunctionInfo(label=label, entry=-1, exit=exit_node.uid)
+        self.cfg.functions[label] = info
+        info.entry = self._normal_uid(label, entry_index)
+        worklist = [entry_index]
+        visited: Set[int] = set()
+        while worklist:
+            index = worklist.pop()
+            if index in visited:
+                continue
+            visited.add(index)
+            for nxt in self._expand(label, index, info):
+                if nxt not in visited:
+                    worklist.append(nxt)
+        info.node_uids = [n.uid for n in self.cfg.nodes.values()
+                          if n.function == label]
+
+    def _normal_uid(self, function: str, index: int) -> int:
+        key = (function, index)
+        uid = self._normal.get(key)
+        if uid is None:
+            inst = self._instruction(index)
+            node = self.cfg.add_node(inst, role=NodeRole.NORMAL,
+                                     function=function)
+            uid = node.uid
+            self._normal[key] = uid
+        return uid
+
+    def _instruction(self, index: int) -> Instruction:
+        try:
+            return self.program.instruction(index)
+        except IndexError:
+            raise CFGError("control flow reaches instruction %d, outside "
+                           "the program" % index)
+
+    def _slot_instruction(self, index: int) -> Instruction:
+        slot = self._instruction(index)
+        if slot.is_control_transfer:
+            raise CFGError(
+                "instruction %d is a control transfer in a delay slot "
+                "(DCTI couples are not supported)" % index)
+        return slot
+
+    def _replica(self, function: str, index: int,
+                 role: NodeRole) -> int:
+        inst = self._slot_instruction(index)
+        return self.cfg.add_node(inst, role=role, function=function).uid
+
+    # -- expansion of one instruction ------------------------------------------------
+
+    def _expand(self, function: str, index: int,
+                info: FunctionInfo) -> List[int]:
+        """Create the out-edges of the NORMAL node at *index*; return
+        indices of NORMAL nodes that must be expanded next."""
+        uid = self._normal_uid(function, index)
+        inst = self._instruction(index)
+        if inst.kind is Kind.BRANCH:
+            return self._expand_branch(function, uid, inst)
+        if inst.kind is Kind.CALL:
+            return self._expand_call(function, uid, inst)
+        if inst.kind is Kind.JMPL:
+            return self._expand_jmpl(function, uid, inst, info)
+        # Straight-line instruction.
+        nxt = index + 1
+        self.cfg.add_edge(uid, self._normal_uid(function, nxt))
+        return [nxt]
+
+    def _expand_branch(self, function: str, uid: int,
+                       inst: Instruction) -> List[int]:
+        assert inst.target is not None
+        index, target = inst.index, inst.target.index
+        slot_index = index + 1
+        out: List[int] = []
+        if inst.op == "ba":
+            if inst.annul:
+                self.cfg.add_edge(uid, self._normal_uid(function, target))
+            else:
+                slot = self._replica(function, slot_index,
+                                     NodeRole.SLOT_TAKEN)
+                self.cfg.add_edge(uid, slot)
+                self.cfg.add_edge(slot, self._normal_uid(function, target))
+            return [target]
+        if inst.op == "bn":
+            raise CFGError("bn (branch never) at %d is not supported"
+                           % index)
+        # Conditional: taken path through a slot replica.
+        taken_slot = self._replica(function, slot_index,
+                                   NodeRole.SLOT_TAKEN)
+        self.cfg.add_edge(uid, taken_slot,
+                          condition=BranchCondition(inst.op, True))
+        self.cfg.add_edge(taken_slot, self._normal_uid(function, target))
+        out.append(target)
+        # Fall-through path.
+        fall_index = index + 2
+        fall_cond = BranchCondition(inst.op, False)
+        if inst.annul:
+            self.cfg.add_edge(uid, self._normal_uid(function, fall_index),
+                              condition=fall_cond)
+        else:
+            fall_slot = self._replica(function, slot_index,
+                                      NodeRole.SLOT_FALL)
+            self.cfg.add_edge(uid, fall_slot, condition=fall_cond)
+            self.cfg.add_edge(fall_slot,
+                              self._normal_uid(function, fall_index))
+        out.append(fall_index)
+        return out
+
+    def _expand_call(self, function: str, uid: int,
+                     inst: Instruction) -> List[int]:
+        assert inst.target is not None
+        index, target = inst.index, inst.target.index
+        slot = self._replica(function, index + 1, NodeRole.SLOT_TAKEN)
+        self.cfg.add_edge(uid, slot)
+        ret_index = index + 2
+        ret_uid = self._normal_uid(function, ret_index)
+        self.cfg.add_edge(slot, ret_uid, kind=EdgeKind.SUMMARY,
+                          call_site=uid)
+        if target == 0:
+            # External call: target label is not in the untrusted code, so
+            # the callee is necessarily a trusted host function.
+            return [ret_index]
+        callee_label = self.program.label_at(target)
+        if callee_label is None or callee_label not in self.trusted:
+            self._pending_calls.append((uid, slot, ret_index, target,
+                                        function))
+        return [ret_index]
+
+    def _expand_jmpl(self, function: str, uid: int, inst: Instruction,
+                     info: FunctionInfo) -> List[int]:
+        if not inst.is_return:
+            raise CFGError(
+                "indirect jump at instruction %d is not supported by the "
+                "analysis (only retl/ret)" % inst.index)
+        slot = self._replica(function, inst.index + 1, NodeRole.SLOT_TAKEN)
+        self.cfg.add_edge(uid, slot)
+        self.cfg.add_edge(slot, info.exit)
+        return []

@@ -1,0 +1,69 @@
+"""Call-graph construction and recursion rejection.
+
+The paper's prototype "detects and rejects recursive programs" (Section
+5.2.1).  The call graph is derived from the CALL edges of the
+interprocedural CFG; a cycle (including self-calls) raises
+:class:`~repro.errors.RecursionRejected`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import RecursionRejected
+from repro.cfg.graph import CFG, EdgeKind
+
+
+class CallGraph:
+    """Edges between function labels; built from a CFG."""
+
+    def __init__(self, cfg: CFG):
+        self.callees: Dict[str, Set[str]] = {
+            label: set() for label in cfg.functions
+        }
+        for node in cfg.nodes.values():
+            for edge in cfg.successors(node.uid):
+                if edge.kind is EdgeKind.CALL:
+                    caller = cfg.nodes[edge.src].function
+                    callee = cfg.nodes[edge.dst].function
+                    self.callees[caller].add(callee)
+
+    def check_no_recursion(self) -> None:
+        """Raise :class:`RecursionRejected` if the call graph is cyclic."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {label: WHITE for label in self.callees}
+
+        def visit(label: str, path: List[str]) -> None:
+            color[label] = GRAY
+            path.append(label)
+            for callee in sorted(self.callees[label]):
+                if color[callee] == GRAY:
+                    cycle = path[path.index(callee):] + [callee]
+                    raise RecursionRejected(
+                        "recursive call chain: %s" % " -> ".join(cycle))
+                if color[callee] == WHITE:
+                    visit(callee, path)
+            path.pop()
+            color[label] = BLACK
+
+        for label in sorted(self.callees):
+            if color[label] == WHITE:
+                visit(label, [])
+
+    def topological_order(self) -> List[str]:
+        """Functions ordered callees-first (valid only when acyclic)."""
+        self.check_no_recursion()
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(label: str) -> None:
+            if label in visited:
+                return
+            visited.add(label)
+            for callee in sorted(self.callees[label]):
+                visit(callee)
+            order.append(label)
+
+        for label in sorted(self.callees):
+            visit(label)
+        return order

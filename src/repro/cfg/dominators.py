@@ -1,0 +1,89 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Dominators are computed per function over the intraprocedural subgraph
+(FLOW and SUMMARY edges), and are the basis for natural-loop detection
+and the reducibility check required by the induction-iteration method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.graph import CFG
+
+
+def reverse_postorder(cfg: CFG, function: str) -> List[int]:
+    """Reverse postorder of the function's intraprocedural subgraph,
+    starting at its entry.  Unreachable nodes are omitted."""
+    entry = cfg.functions[function].entry
+    order: List[int] = []
+    visited = set()
+    # Iterative DFS with an explicit stack of (node, successor iterator).
+    stack = [(entry, iter(cfg.intraprocedural_successors(entry)))]
+    visited.add(entry)
+    while stack:
+        uid, successors = stack[-1]
+        advanced = False
+        for edge in successors:
+            if edge.dst not in visited:
+                visited.add(edge.dst)
+                stack.append(
+                    (edge.dst,
+                     iter(cfg.intraprocedural_successors(edge.dst))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(uid)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def compute_idoms(cfg: CFG, function: str) -> Dict[int, Optional[int]]:
+    """Immediate dominators for the function's intraprocedural subgraph.
+
+    Returns a map ``uid -> idom uid`` with the entry mapping to None.
+    """
+    entry = cfg.functions[function].entry
+    order = reverse_postorder(cfg, function)
+    position = {uid: i for i, uid in enumerate(order)}
+    idom: Dict[int, Optional[int]] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for uid in order:
+            if uid == entry:
+                continue
+            preds = [e.src for e in cfg.intraprocedural_predecessors(uid)
+                     if e.src in position]
+            processed = [p for p in preds if p in idom]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for p in processed[1:]:
+                new_idom = intersect(p, new_idom)
+            if idom.get(uid) != new_idom:
+                idom[uid] = new_idom
+                changed = True
+    result: Dict[int, Optional[int]] = dict(idom)
+    result[entry] = None
+    return result
+
+
+def dominates(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    """True if *a* dominates *b* under the immediate-dominator map."""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False

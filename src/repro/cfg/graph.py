@@ -1,0 +1,219 @@
+"""Control-flow graph representation.
+
+Nodes represent *occurrences* of instructions, not instruction indices:
+the paper models SPARC delayed branches by **replicating** delay-slot
+instructions onto each outgoing path of a branch (Figure 8 replicates
+lines 5 and 11 of the running example).  A single instruction can
+therefore appear as several nodes, distinguished by their
+:class:`NodeRole`.
+
+Edges carry an optional branch condition — the paper labels each CFG edge
+out of a conditional branch with the condition under which the edge is
+taken, phrased over the ``icc`` condition-code variable (set by the most
+recent ``subcc``/``cmp``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.sparc.isa import Instruction
+
+
+class NodeRole(enum.Enum):
+    """Why this node exists."""
+
+    NORMAL = "normal"
+    #: Replica of a delay-slot instruction on the taken path.
+    SLOT_TAKEN = "slot-taken"
+    #: Replica of a delay-slot instruction on the fall-through path.
+    SLOT_FALL = "slot-fall"
+    #: Synthetic function-exit node (no instruction).
+    EXIT = "exit"
+
+
+class EdgeKind(enum.Enum):
+    FLOW = "flow"        # ordinary intraprocedural control flow
+    CALL = "call"        # from a call's delay slot to the callee entry
+    RETURN = "return"    # from a callee's exit back to a return point
+    #: From a call node straight to its return point, summarizing a call
+    #: to a *trusted* host function (no body to analyze).
+    SUMMARY = "summary"
+
+
+@dataclass(frozen=True)
+class BranchCondition:
+    """The condition labeling an edge out of a conditional branch.
+
+    *op* is the canonical branch mnemonic (``bl``, ``bge`` …); *taken*
+    says whether this edge is the taken or the fall-through edge.  The
+    verification phase turns this into a linear constraint on the
+    operands of the dominating ``cmp``.
+    """
+
+    op: str
+    taken: bool
+
+    def __str__(self) -> str:
+        return ("icc: %s" % self.op[1:]) if self.taken \
+            else ("icc: not-%s" % self.op[1:])
+
+
+@dataclass
+class Node:
+    """One CFG node.  ``uid`` is unique; ``instruction`` is None only for
+    synthetic EXIT nodes."""
+
+    uid: int
+    instruction: Optional[Instruction]
+    role: NodeRole = NodeRole.NORMAL
+    #: One-based index of the underlying instruction (0 for EXIT nodes).
+    index: int = 0
+    #: Label of the function this node belongs to.
+    function: str = ""
+
+    def __repr__(self) -> str:
+        if self.instruction is None:
+            return "Node(%d, <exit %s>)" % (self.uid, self.function)
+        tag = "" if self.role is NodeRole.NORMAL else " %s" % self.role.value
+        return "Node(%d, %d:%s%s)" % (self.uid, self.index,
+                                      self.instruction.op, tag)
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    kind: EdgeKind = EdgeKind.FLOW
+    condition: Optional[BranchCondition] = None
+    #: For CALL/RETURN/SUMMARY edges, the uid of the call node.
+    call_site: Optional[int] = None
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function bookkeeping inside an interprocedural CFG."""
+
+    label: str
+    entry: int                      # uid of entry node
+    exit: int                       # uid of synthetic exit node
+    node_uids: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """An interprocedural control-flow graph over instruction occurrences.
+
+    The graph always contains the *main* function (label ``"<main>"``,
+    entered at instruction 1) plus one :class:`FunctionInfo` per untrusted
+    function reachable via ``call``.
+    """
+
+    MAIN = "<main>"
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, Node] = {}
+        self._succ: Dict[int, List[Edge]] = {}
+        self._pred: Dict[int, List[Edge]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.entry_uid: int = -1
+        self._next_uid = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, instruction: Optional[Instruction],
+                 role: NodeRole = NodeRole.NORMAL,
+                 function: str = "") -> Node:
+        uid = self._next_uid
+        self._next_uid += 1
+        node = Node(uid=uid, instruction=instruction, role=role,
+                    index=instruction.index if instruction else 0,
+                    function=function)
+        self.nodes[uid] = node
+        self._succ[uid] = []
+        self._pred[uid] = []
+        return node
+
+    def add_edge(self, src: int, dst: int,
+                 kind: EdgeKind = EdgeKind.FLOW,
+                 condition: Optional[BranchCondition] = None,
+                 call_site: Optional[int] = None) -> Edge:
+        edge = Edge(src=src, dst=dst, kind=kind, condition=condition,
+                    call_site=call_site)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+        return edge
+
+    # -- queries -----------------------------------------------------------------
+
+    def successors(self, uid: int) -> List[Edge]:
+        return list(self._succ[uid])
+
+    def predecessors(self, uid: int) -> List[Edge]:
+        return list(self._pred[uid])
+
+    def succ_uids(self, uid: int,
+                  kinds: Optional[Iterable[EdgeKind]] = None) -> List[int]:
+        wanted = set(kinds) if kinds is not None else None
+        return [e.dst for e in self._succ[uid]
+                if wanted is None or e.kind in wanted]
+
+    def pred_uids(self, uid: int,
+                  kinds: Optional[Iterable[EdgeKind]] = None) -> List[int]:
+        wanted = set(kinds) if kinds is not None else None
+        return [e.src for e in self._pred[uid]
+                if wanted is None or e.kind in wanted]
+
+    def node(self, uid: int) -> Node:
+        return self.nodes[uid]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def function_of(self, uid: int) -> FunctionInfo:
+        return self.functions[self.nodes[uid].function]
+
+    def nodes_of_function(self, label: str) -> List[Node]:
+        return [self.nodes[u] for u in self.functions[label].node_uids]
+
+    def intraprocedural_successors(self, uid: int) -> List[Edge]:
+        """FLOW and SUMMARY edges only (calls summarized away)."""
+        return [e for e in self._succ[uid]
+                if e.kind in (EdgeKind.FLOW, EdgeKind.SUMMARY)]
+
+    def intraprocedural_predecessors(self, uid: int) -> List[Edge]:
+        return [e for e in self._pred[uid]
+                if e.kind in (EdgeKind.FLOW, EdgeKind.SUMMARY)]
+
+    def nodes_for_index(self, index: int) -> List[Node]:
+        """All occurrence nodes of the instruction at one-based *index*."""
+        return [n for n in self.nodes.values() if n.index == index]
+
+    # -- rendering ------------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Render in Graphviz dot format (used to reproduce Figure 8)."""
+        lines = ["digraph cfg {", "  node [shape=box, fontname=monospace];"]
+        for node in self.nodes.values():
+            if node.instruction is None:
+                text = "exit %s" % node.function
+            else:
+                text = "%d: %s" % (node.index,
+                                   node.instruction.render(canonical=False))
+                if node.role in (NodeRole.SLOT_TAKEN, NodeRole.SLOT_FALL):
+                    text += " (replica)"
+            lines.append('  n%d [label="%s"];'
+                         % (node.uid, text.replace('"', "'")))
+        for edges in self._succ.values():
+            for edge in edges:
+                attrs = []
+                if edge.condition is not None:
+                    attrs.append('label="%s"' % edge.condition)
+                if edge.kind is not EdgeKind.FLOW:
+                    attrs.append('style=dashed')
+                lines.append("  n%d -> n%d%s;"
+                             % (edge.src, edge.dst,
+                                " [%s]" % ", ".join(attrs) if attrs else ""))
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Natural-loop detection, nesting, and reducibility.
+
+The induction-iteration method (paper Section 5.2.1) requires a
+*reducible* control-flow graph partitioned into cyclic regions (natural
+loops) and acyclic regions.  This module finds back edges via dominance,
+builds natural-loop bodies, nests them, and verifies reducibility (every
+retreating edge must be a back edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import CFGError
+from repro.cfg.dominators import compute_idoms, dominates, reverse_postorder
+from repro.cfg.graph import CFG
+
+
+@dataclass
+class Loop:
+    """One natural loop: *header* plus the body node set (header
+    included).  ``parent`` is the immediately enclosing loop, if any."""
+
+    header: int
+    body: Set[int] = field(default_factory=set)
+    back_edges: List[Tuple[int, int]] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth, loop = 1, self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def is_inner(self) -> bool:
+        return self.parent is not None
+
+    def __repr__(self) -> str:
+        return "Loop(header=%d, |body|=%d, depth=%d)" % (
+            self.header, len(self.body), self.depth)
+
+
+@dataclass
+class LoopForest:
+    """All loops of one function, outermost first, plus lookup tables."""
+
+    loops: List[Loop]
+    #: Innermost loop containing each node (absent if in no loop).
+    innermost: Dict[int, Loop]
+
+    def loop_with_header(self, header: int) -> Optional[Loop]:
+        for loop in self.loops:
+            if loop.header == header:
+                return loop
+        return None
+
+    def containing(self, uid: int) -> Optional[Loop]:
+        return self.innermost.get(uid)
+
+    @property
+    def count(self) -> int:
+        return len(self.loops)
+
+    @property
+    def inner_count(self) -> int:
+        return sum(1 for loop in self.loops if loop.is_inner())
+
+
+def find_loops(cfg: CFG, function: str) -> LoopForest:
+    """Find the natural loops of *function* and check reducibility."""
+    idom = compute_idoms(cfg, function)
+    order = reverse_postorder(cfg, function)
+    position = {uid: i for i, uid in enumerate(order)}
+
+    back_edges: List[Tuple[int, int]] = []
+    for uid in order:
+        for edge in cfg.intraprocedural_successors(uid):
+            if edge.dst not in position:
+                continue
+            if position[edge.dst] <= position[uid]:
+                # Retreating edge: must be a back edge or the graph is
+                # irreducible.
+                if not dominates(idom, edge.dst, uid):
+                    raise CFGError(
+                        "irreducible control flow in %s: retreating edge "
+                        "%d -> %d whose target does not dominate its "
+                        "source" % (function, uid, edge.dst))
+                back_edges.append((uid, edge.dst))
+
+    # Group back edges by header; each header yields one natural loop.
+    by_header: Dict[int, List[Tuple[int, int]]] = {}
+    for src, header in back_edges:
+        by_header.setdefault(header, []).append((src, header))
+
+    loops: List[Loop] = []
+    for header, edges in by_header.items():
+        body = _natural_loop_body(cfg, header, [s for s, __ in edges])
+        loops.append(Loop(header=header, body=body, back_edges=edges))
+
+    _nest(loops)
+    # Outermost (smallest depth) first, then by header position for
+    # determinism.
+    loops.sort(key=lambda l: (l.depth, position.get(l.header, 0)))
+
+    innermost: Dict[int, Loop] = {}
+    for loop in loops:  # deeper loops overwrite shallower ones
+        for uid in loop.body:
+            current = innermost.get(uid)
+            if current is None or loop.depth > current.depth:
+                innermost[uid] = loop
+    return LoopForest(loops=loops, innermost=innermost)
+
+
+def _natural_loop_body(cfg: CFG, header: int, latches: List[int]
+                       ) -> Set[int]:
+    """Backward closure from the latch nodes up to the header."""
+    body = {header}
+    stack = [l for l in latches if l != header]
+    while stack:
+        uid = stack.pop()
+        if uid in body:
+            continue
+        body.add(uid)
+        for edge in cfg.intraprocedural_predecessors(uid):
+            if edge.src not in body:
+                stack.append(edge.src)
+    return body
+
+
+def _nest(loops: List[Loop]) -> None:
+    """Establish parent links: the parent of L is the smallest loop that
+    strictly contains L's header and is not L itself."""
+    for loop in loops:
+        best: Optional[Loop] = None
+        for other in loops:
+            if other is loop:
+                continue
+            if loop.header in other.body and loop.body <= other.body:
+                if best is None or len(other.body) < len(best.body):
+                    best = other
+        loop.parent = best

@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+::
+
+    repro check CODE.s SPEC.policy        # run the safety checker
+    repro check CODE.bin SPEC.policy --binary
+    repro asm CODE.s -o CODE.bin          # assemble to SPARC V8 words
+    repro disasm CODE.bin                 # disassemble machine code
+    repro cfg CODE.s --dot                # control-flow graph (Graphviz)
+    repro run CODE.s --reg %o0=7 ...      # concrete emulation
+    repro fig9 [--full]                   # regenerate the paper's table
+
+Exit status of ``check``: 0 = certified safe, 1 = violations found,
+2 = error (bad input, unsupported construct).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.analysis.checker import SafetyChecker
+from repro.analysis.report import render_figure9
+from repro.policy.parser import parse_spec
+from repro.sparc.assembler import assemble
+from repro.sparc.decoder import decode_program
+from repro.sparc.emulator import Emulator
+from repro.sparc.encoder import encode_program
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Safety checker for SPARC machine code "
+                    "(PLDI 2000 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check untrusted code against "
+                                         "a host specification")
+    check.add_argument("code", help="assembly file (or binary with "
+                                    "--binary)")
+    check.add_argument("spec", help="host specification file")
+    check.add_argument("--binary", action="store_true",
+                       help="treat CODE as raw SPARC V8 machine code")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    check.add_argument("--verbose", action="store_true",
+                       help="print per-condition proof outcomes")
+    check.add_argument("--annotate", action="store_true",
+                       help="print the listing with inline verdicts")
+    check.set_defaults(handler=_cmd_check)
+
+    asm = sub.add_parser("asm", help="assemble to machine code")
+    asm.add_argument("code")
+    asm.add_argument("-o", "--output", required=True)
+    asm.set_defaults(handler=_cmd_asm)
+
+    disasm = sub.add_parser("disasm", help="disassemble machine code")
+    disasm.add_argument("binary")
+    disasm.set_defaults(handler=_cmd_disasm)
+
+    cfg = sub.add_parser("cfg", help="print the control-flow graph")
+    cfg.add_argument("code")
+    cfg.add_argument("--dot", action="store_true",
+                     help="Graphviz dot output (default: listing)")
+    cfg.set_defaults(handler=_cmd_cfg)
+
+    run = sub.add_parser("run", help="run on the concrete emulator")
+    run.add_argument("code")
+    run.add_argument("--reg", action="append", default=[],
+                     metavar="%reg=value",
+                     help="initial register value (repeatable)")
+    run.add_argument("--mem", action="append", default=[],
+                     metavar="addr=word",
+                     help="initial memory word (repeatable)")
+    run.add_argument("--max-steps", type=int, default=1_000_000)
+    run.set_defaults(handler=_cmd_run)
+
+    fig9 = sub.add_parser("fig9", help="regenerate the paper's Figure 9 "
+                                       "table")
+    fig9.add_argument("--full", action="store_true",
+                      help="include the heavyweight rows (heap sorts, "
+                           "stack-smashing, MD5)")
+    fig9.set_defaults(handler=_cmd_fig9)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def _load_program(args):
+    if getattr(args, "binary", False) or args.code.endswith((".bin",
+                                                            ".ro")):
+        with open(args.code, "rb") as handle:
+            blob = handle.read()
+        if blob[:4] == b"RPRO":
+            from repro.sparc.objfile import read_object
+            return read_object(blob, name=args.code)
+        return decode_program(blob, name=args.code)
+    with open(args.code) as handle:
+        return assemble(handle.read(), name=args.code)
+
+
+def _cmd_check(args) -> int:
+    program = _load_program(args)
+    with open(args.spec) as handle:
+        spec = parse_spec(handle.read())
+    result = SafetyChecker(program, spec).check()
+    if args.json:
+        print(json.dumps({
+            "name": result.name,
+            "safe": result.safe,
+            "instructions": result.characteristics.instructions,
+            "global_conditions":
+                result.characteristics.global_conditions,
+            "times": {
+                "propagation": result.times.typestate_propagation,
+                "annotation_local": result.times.annotation_and_local,
+                "global": result.times.global_verification,
+                "total": result.times.total,
+            },
+            "violations": [{
+                "instruction": v.index,
+                "category": v.category,
+                "description": v.description,
+                "phase": v.phase,
+            } for v in result.violations],
+        }, indent=2))
+    else:
+        print(result.summary())
+        if args.annotate:
+            print()
+            print(result.annotated_listing(program))
+        if args.verbose:
+            for proof in result.proofs:
+                print("  line %-4d %-50s %s" % (
+                    proof.index, proof.predicate.description,
+                    "PROVED" if proof.proved else "FAILED"))
+    return 0 if result.safe else 1
+
+
+def _cmd_asm(args) -> int:
+    program = _load_program(args)
+    if args.output.endswith(".ro"):
+        from repro.sparc.objfile import write_object
+        blob = write_object(program)
+    else:
+        blob = encode_program(program)
+    with open(args.output, "wb") as handle:
+        handle.write(blob)
+    print("wrote %d bytes (%d instructions) to %s"
+          % (len(blob), len(program), args.output))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    with open(args.binary, "rb") as handle:
+        blob = handle.read()
+    if blob[:4] == b"RPRO":
+        from repro.sparc.objfile import read_object
+        program = read_object(blob, name=args.binary)
+    else:
+        program = decode_program(blob, name=args.binary)
+    print(program.listing(canonical=True))
+    return 0
+
+
+def _cmd_cfg(args) -> int:
+    from repro.cfg.builder import build_cfg
+    program = _load_program(args)
+    cfg = build_cfg(program)
+    if args.dot:
+        print(cfg.to_dot())
+    else:
+        print(program.listing(canonical=True))
+        print("\nfunctions: %s" % ", ".join(sorted(cfg.functions)))
+        print("nodes: %d" % len(cfg))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = _load_program(args)
+    emulator = Emulator(program, max_steps=args.max_steps)
+    for binding in args.reg:
+        name, __, value = binding.partition("=")
+        emulator.set_register(name, int(value, 0))
+    for binding in args.mem:
+        address, __, value = binding.partition("=")
+        emulator.write_memory(int(address, 0), int(value, 0), 4)
+    steps = emulator.run()
+    print("executed %d instructions" % steps)
+    for bank in ("o", "g", "l", "i"):
+        row = []
+        for i in range(8):
+            name = "%%%s%d" % (bank, i)
+            value = emulator.register(name)
+            if value:
+                row.append("%s=0x%x" % (name, value))
+        if row:
+            print("  " + "  ".join(row))
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from repro.programs import all_programs, fast_programs
+    chosen = all_programs() if args.full else fast_programs()
+    results = []
+    for program in chosen:
+        result = program.check()
+        results.append(result)
+        print("%-16s %s" % (program.name,
+                            "SAFE" if result.safe else "UNSAFE"),
+              file=sys.stderr)
+    print(render_figure9(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

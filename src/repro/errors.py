@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  The sub-hierarchy
+mirrors the subsystems: assembly/encoding errors, CFG construction errors,
+specification errors, and analysis errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblyError(ReproError):
+    """Raised when SPARC assembly text cannot be parsed.
+
+    Carries the one-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded to a machine word."""
+
+
+class DecodingError(ReproError):
+    """Raised when a 32-bit word is not a recognized SPARC instruction."""
+
+
+class EmulationError(ReproError):
+    """Raised by the concrete emulator on an illegal run-time action."""
+
+
+class CFGError(ReproError):
+    """Raised when a control-flow graph cannot be constructed.
+
+    This includes branches to nonexistent targets and irreducible graphs
+    (the induction-iteration method requires reducible control flow).
+    """
+
+
+class SpecError(ReproError):
+    """Raised when a host typestate/invocation/policy specification is
+    malformed or internally inconsistent."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the safety-checking analysis cannot proceed.
+
+    Examples: recursive programs (rejected per paper Section 5.2.1) and
+    instructions outside the supported abstract semantics.
+    """
+
+
+class RecursionRejected(AnalysisError):
+    """The untrusted code is recursive; the prototype rejects recursion
+    (paper Section 5.2.1, second enhancement)."""
+
+
+class ProverError(ReproError):
+    """Raised on internal prover failures (not on 'formula is invalid',
+    which is an ordinary result)."""

@@ -1,0 +1,451 @@
+"""Presburger formulas: affine constraints under ∧, ∨, ¬, ∃, ∀.
+
+This is the formula language of the paper's verification phase: "linear
+equalities and inequalities that are combined with ∧, ∨, ¬, and the
+quantifiers ∀ and ∃" (Section 1), i.e. Presburger arithmetic, extended
+with congruence atoms (used for address-alignment conditions, which the
+Omega library also supports via stride constraints).
+
+Atoms are normalized to three shapes over a :class:`Linear` term *e*:
+
+* ``Geq(e)``  — e ≥ 0
+* ``Eq(e)``   — e = 0
+* ``Cong(e, m)`` — e ≡ 0 (mod m), m ≥ 2
+
+Smart constructors (:func:`conj`, :func:`disj`, :func:`neg` …) flatten
+and constant-fold so that formula trees stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Mapping, Sequence, Set, Tuple, Union
+
+from repro.logic.terms import Linear, linear
+
+
+class Formula:
+    """Base class; immutable, hashable."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def substitute(self, var: str, replacement: Linear) -> "Formula":
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Formula":
+        raise NotImplementedError
+
+    # Conveniences so formulas compose with operators.
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return neg(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return self
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return self
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return self
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return self
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class Geq(Formula):
+    """``term ≥ 0``."""
+
+    term: Linear
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset(self.term.variables())
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return _fold_geq(self.term.substitute(var, replacement))
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return _fold_geq(self.term.rename(mapping))
+
+    def __str__(self) -> str:
+        return "%s >= 0" % (self.term,)
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """``term = 0``."""
+
+    term: Linear
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset(self.term.variables())
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return _fold_eq(self.term.substitute(var, replacement))
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return _fold_eq(self.term.rename(mapping))
+
+    def __str__(self) -> str:
+        return "%s = 0" % (self.term,)
+
+
+@dataclass(frozen=True)
+class Cong(Formula):
+    """``term ≡ 0 (mod modulus)``; used for alignment conditions."""
+
+    term: Linear
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus < 2:
+            raise ValueError("congruence modulus must be >= 2")
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset(self.term.variables())
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return _fold_cong(self.term.substitute(var, replacement),
+                          self.modulus)
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return _fold_cong(self.term.rename(mapping), self.modulus)
+
+    def __str__(self) -> str:
+        return "%s ≡ 0 (mod %d)" % (self.term, self.modulus)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    parts: Tuple[Formula, ...]
+
+    def free_variables(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for p in self.parts:
+            out |= p.free_variables()
+        return frozenset(out)
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return conj(*(p.substitute(var, replacement) for p in self.parts))
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return conj(*(p.rename(mapping) for p in self.parts))
+
+    def __str__(self) -> str:
+        return "(%s)" % " ∧ ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    parts: Tuple[Formula, ...]
+
+    def free_variables(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for p in self.parts:
+            out |= p.free_variables()
+        return frozenset(out)
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return disj(*(p.substitute(var, replacement) for p in self.parts))
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return disj(*(p.rename(mapping) for p in self.parts))
+
+    def __str__(self) -> str:
+        return "(%s)" % " ∨ ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    part: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.part.free_variables()
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        return neg(self.part.substitute(var, replacement))
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return neg(self.part.rename(mapping))
+
+    def __str__(self) -> str:
+        return "¬%s" % (self.part,)
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    variables: Tuple[str, ...]
+    body: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - frozenset(self.variables)
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        if var in self.variables:
+            return self
+        clash = frozenset(replacement.variables()) & frozenset(
+            self.variables)
+        inner = self
+        if clash:
+            inner = _refresh_bound(self, clash)
+        assert isinstance(inner, Exists)
+        return Exists(inner.variables,
+                      inner.body.substitute(var, replacement))
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        safe = {k: v for k, v in mapping.items()
+                if k not in self.variables}
+        return Exists(self.variables, self.body.rename(safe))
+
+    def __str__(self) -> str:
+        return "∃%s.%s" % (",".join(self.variables), self.body)
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    variables: Tuple[str, ...]
+    body: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - frozenset(self.variables)
+
+    def substitute(self, var: str, replacement: Linear) -> Formula:
+        if var in self.variables:
+            return self
+        clash = frozenset(replacement.variables()) & frozenset(
+            self.variables)
+        inner = self
+        if clash:
+            inner = _refresh_bound(self, clash)
+        assert isinstance(inner, Forall)
+        return Forall(inner.variables,
+                      inner.body.substitute(var, replacement))
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        safe = {k: v for k, v in mapping.items()
+                if k not in self.variables}
+        return Forall(self.variables, self.body.rename(safe))
+
+    def __str__(self) -> str:
+        return "∀%s.%s" % (",".join(self.variables), self.body)
+
+
+# ---------------------------------------------------------------------------
+# smart constructors
+# ---------------------------------------------------------------------------
+
+
+def _fold_geq(term: Linear) -> Formula:
+    if term.is_constant:
+        return TRUE if term.constant >= 0 else FALSE
+    return Geq(term)
+
+
+def _fold_eq(term: Linear) -> Formula:
+    if term.is_constant:
+        return TRUE if term.constant == 0 else FALSE
+    return Eq(term)
+
+
+def _fold_cong(term: Linear, modulus: int) -> Formula:
+    if term.is_constant:
+        return TRUE if term.constant % modulus == 0 else FALSE
+    return Cong(term, modulus)
+
+
+def conj(*parts: Formula) -> Formula:
+    flat = []
+    seen = set()
+    for part in parts:
+        if isinstance(part, TrueFormula):
+            continue
+        if isinstance(part, FalseFormula):
+            return FALSE
+        items = part.parts if isinstance(part, And) else (part,)
+        for item in items:
+            if item not in seen:
+                seen.add(item)
+                flat.append(item)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*parts: Formula) -> Formula:
+    flat = []
+    seen = set()
+    for part in parts:
+        if isinstance(part, FalseFormula):
+            continue
+        if isinstance(part, TrueFormula):
+            return TRUE
+        items = part.parts if isinstance(part, Or) else (part,)
+        for item in items:
+            if item not in seen:
+                seen.add(item)
+                flat.append(item)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def neg(part: Formula) -> Formula:
+    if isinstance(part, TrueFormula):
+        return FALSE
+    if isinstance(part, FalseFormula):
+        return TRUE
+    if isinstance(part, Not):
+        return part.part
+    # Negated atoms dissolve immediately over the integers (keeping
+    # formulas Not-free at the leaves, which the simplifier's
+    # complementary-guard merging relies on).
+    if isinstance(part, Geq):
+        return Geq(part.term.scale(-1) - 1)
+    if isinstance(part, Eq):
+        return disj(Geq(part.term - 1), Geq(part.term.scale(-1) - 1))
+    if isinstance(part, Cong):
+        return disj(*(Cong(part.term - r, part.modulus)
+                      for r in range(1, part.modulus)))
+    return Not(part)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    return disj(neg(antecedent), consequent)
+
+
+# -- comparison helpers (integers: strict becomes ±1 slack) ------------------
+
+TermLike = Union[Linear, int, str]
+
+
+def ge(a: TermLike, b: TermLike) -> Formula:
+    """a ≥ b."""
+    return _fold_geq(linear(a) - linear(b))
+
+
+def le(a: TermLike, b: TermLike) -> Formula:
+    """a ≤ b."""
+    return _fold_geq(linear(b) - linear(a))
+
+
+def gt(a: TermLike, b: TermLike) -> Formula:
+    """a > b  (integers: a − b − 1 ≥ 0)."""
+    return _fold_geq(linear(a) - linear(b) - 1)
+
+
+def lt(a: TermLike, b: TermLike) -> Formula:
+    """a < b."""
+    return _fold_geq(linear(b) - linear(a) - 1)
+
+
+def eq(a: TermLike, b: TermLike) -> Formula:
+    """a = b."""
+    return _fold_eq(linear(a) - linear(b))
+
+
+def ne(a: TermLike, b: TermLike) -> Formula:
+    """a ≠ b, expressed as (a < b) ∨ (a > b)."""
+    return disj(lt(a, b), gt(a, b))
+
+
+def congruent(a: TermLike, modulus: int, residue: int = 0) -> Formula:
+    """a ≡ residue (mod modulus)."""
+    return _fold_cong(linear(a) - residue, modulus)
+
+
+def exists(variables: Sequence[str], body: Formula) -> Formula:
+    vs = tuple(v for v in variables if v in body.free_variables())
+    if not vs:
+        return body
+    if isinstance(body, Exists):
+        return Exists(vs + body.variables, body.body)
+    return Exists(vs, body)
+
+
+def forall(variables: Sequence[str], body: Formula) -> Formula:
+    vs = tuple(v for v in variables if v in body.free_variables())
+    if not vs:
+        return body
+    if isinstance(body, Forall):
+        return Forall(vs + body.variables, body.body)
+    return Forall(vs, body)
+
+
+# ---------------------------------------------------------------------------
+# bound-variable refresh (capture avoidance)
+# ---------------------------------------------------------------------------
+
+_fresh_counter = [0]
+
+
+def fresh_variable(stem: str = "$v") -> str:
+    """A globally fresh variable name."""
+    _fresh_counter[0] += 1
+    return "%s%d" % (stem, _fresh_counter[0])
+
+
+def _refresh_bound(quantified: Union[Exists, Forall],
+                   clash: Iterable[str]) -> Formula:
+    mapping = {v: fresh_variable("$r") for v in clash}
+    new_vars = tuple(mapping.get(v, v) for v in quantified.variables)
+    body = quantified.body
+    for old, new in mapping.items():
+        body = _rename_everywhere(body, old, new)
+    cls = type(quantified)
+    return cls(new_vars, body)
+
+
+def _rename_everywhere(f: Formula, old: str, new: str) -> Formula:
+    """Rename *old* to *new* even under binders that bind *old*."""
+    if isinstance(f, (TrueFormula, FalseFormula)):
+        return f
+    if isinstance(f, Geq):
+        return Geq(f.term.rename({old: new}))
+    if isinstance(f, Eq):
+        return Eq(f.term.rename({old: new}))
+    if isinstance(f, Cong):
+        return Cong(f.term.rename({old: new}), f.modulus)
+    if isinstance(f, And):
+        return And(tuple(_rename_everywhere(p, old, new) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(_rename_everywhere(p, old, new) for p in f.parts))
+    if isinstance(f, Not):
+        return Not(_rename_everywhere(f.part, old, new))
+    if isinstance(f, (Exists, Forall)):
+        vs = tuple(new if v == old else v for v in f.variables)
+        cls = type(f)
+        return cls(vs, _rename_everywhere(f.body, old, new))
+    raise TypeError(f)

@@ -1,0 +1,116 @@
+"""Negation normal form and disjunctive normal form.
+
+Negation is pushed to the atoms and *dissolved* there — over the
+integers every negated atom has a positive rewriting:
+
+* ¬(e ≥ 0)        →  −e − 1 ≥ 0
+* ¬(e = 0)        →  (e − 1 ≥ 0) ∨ (−e − 1 ≥ 0)
+* ¬(e ≡ 0 mod m)  →  ⋁_{r=1}^{m−1}  e − r ≡ 0 (mod m)
+* ¬∃x.φ → ∀x.¬φ,  ¬∀x.φ → ∃x.¬φ
+
+so NNF formulas contain no :class:`Not` nodes at all.  DNF conversion
+applies to quantifier-free NNF formulas and is guarded by a size limit
+(the paper controls the same blow-up by simplifying at junction points
+during VC generation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ProverError
+from repro.logic.formula import (
+    And, Cong, Eq, Exists, FALSE, FalseFormula, Forall, Formula, Geq, Not,
+    Or, TRUE, TrueFormula, conj, disj,
+)
+
+#: Guard against exponential DNF blow-up.
+MAX_DNF_CONJUNCTS = 50_000
+
+
+def to_nnf(f: Formula) -> Formula:
+    """Negation normal form with negations dissolved into atoms."""
+    return _nnf(f, negate=False)
+
+
+def _nnf(f: Formula, negate: bool) -> Formula:
+    if isinstance(f, TrueFormula):
+        return FALSE if negate else TRUE
+    if isinstance(f, FalseFormula):
+        return TRUE if negate else FALSE
+    if isinstance(f, Geq):
+        if not negate:
+            return f
+        return Geq(f.term.scale(-1) - 1)
+    if isinstance(f, Eq):
+        if not negate:
+            return f
+        return disj(Geq(f.term - 1), Geq(f.term.scale(-1) - 1))
+    if isinstance(f, Cong):
+        if not negate:
+            return f
+        return disj(*(Cong(f.term - r, f.modulus)
+                      for r in range(1, f.modulus)))
+    if isinstance(f, Not):
+        return _nnf(f.part, not negate)
+    if isinstance(f, And):
+        parts = tuple(_nnf(p, negate) for p in f.parts)
+        return disj(*parts) if negate else conj(*parts)
+    if isinstance(f, Or):
+        parts = tuple(_nnf(p, negate) for p in f.parts)
+        return conj(*parts) if negate else disj(*parts)
+    if isinstance(f, Exists):
+        body = _nnf(f.body, negate)
+        return Forall(f.variables, body) if negate \
+            else Exists(f.variables, body)
+    if isinstance(f, Forall):
+        body = _nnf(f.body, negate)
+        return Exists(f.variables, body) if negate \
+            else Forall(f.variables, body)
+    raise TypeError("unexpected formula %r" % (f,))
+
+
+#: A DNF conjunct: just a tuple of atoms (Geq / Eq / Cong).
+Conjunct = Tuple[Formula, ...]
+
+
+def to_dnf(f: Formula) -> List[Conjunct]:
+    """Disjunctive normal form of a quantifier-free NNF formula.
+
+    Returns a list of conjuncts; the empty list means *false*, and a
+    conjunct with no atoms means *true*.
+    """
+    if isinstance(f, TrueFormula):
+        return [()]
+    if isinstance(f, FalseFormula):
+        return []
+    if isinstance(f, (Geq, Eq, Cong)):
+        return [(f,)]
+    if isinstance(f, Or):
+        out: List[Conjunct] = []
+        for part in f.parts:
+            out.extend(to_dnf(part))
+            if len(out) > MAX_DNF_CONJUNCTS:
+                raise ProverError("DNF blow-up: more than %d conjuncts"
+                                  % MAX_DNF_CONJUNCTS)
+        return out
+    if isinstance(f, And):
+        product: List[Conjunct] = [()]
+        for part in f.parts:
+            branches = to_dnf(part)
+            product = [existing + branch
+                       for existing in product for branch in branches]
+            if len(product) > MAX_DNF_CONJUNCTS:
+                raise ProverError("DNF blow-up: more than %d conjuncts"
+                                  % MAX_DNF_CONJUNCTS)
+        return product
+    if isinstance(f, (Exists, Forall, Not)):
+        raise ProverError(
+            "to_dnf requires a quantifier-free NNF formula, got %r"
+            % type(f).__name__)
+    raise TypeError("unexpected formula %r" % (f,))
+
+
+def dnf_to_formula(conjuncts: List[Conjunct]) -> Formula:
+    """Rebuild a formula from DNF conjuncts."""
+    return disj(*(conj(*parts) for parts in conjuncts))

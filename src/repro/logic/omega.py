@@ -1,0 +1,561 @@
+"""The Omega test: exact integer reasoning over conjunctions of affine
+constraints (Pugh, Supercomputing '91).
+
+This is the engine behind the paper's theorem prover ("our theorem
+prover is based on the Omega Library", Section 5.2).  It provides:
+
+* :func:`satisfiable` — exact satisfiability of a conjunction over ℤ
+  with every variable existentially quantified;
+* :func:`project` — exact elimination (integer projection) of a set of
+  variables, returning a disjunction of conjunctions over the remaining
+  variables;
+* :func:`project_real` — rational Fourier–Motzkin projection, the
+  over-approximation used by the *generalization* heuristic of the
+  induction-iteration method (paper Section 5.2.1).
+
+The ingredients, exactly as in Pugh's paper:
+
+* **normalization** — divide every constraint by the gcd of its
+  coefficients, tightening inequalities (⌊·⌋) and refuting equalities
+  whose constant is not divisible;
+* **equality elimination** — substitute when some variable has a unit
+  coefficient; otherwise apply the symmetric-modulo reduction that
+  introduces a fresh variable σ and strictly shrinks coefficients;
+* **inequality elimination** — the *real shadow* (plain FM, an upper
+  bound on satisfiability), the *dark shadow* (a lower bound), and
+  *splinters* (finitely many equality cases) when the two disagree;
+  when every lower or every upper coefficient is 1 the shadows
+  coincide and elimination is exact in one step.
+
+Congruence atoms ``e ≡ 0 (mod m)`` are lowered to equalities
+``e − m·q = 0`` with fresh existential ``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProverError
+from repro.logic.formula import (
+    Cong, Eq, Formula, Geq, conj, disj, fresh_variable,
+)
+from repro.logic.terms import Linear
+
+#: Safety valves; exceeded only by pathological inputs.
+MAX_ELIMINATION_STEPS = 4_000
+MAX_CONSTRAINTS = 4_000
+
+
+@dataclass
+class Constraints:
+    """One conjunction: ``geqs`` (e ≥ 0), ``eqs`` (e = 0), ``congs``
+    ((e, m): e ≡ 0 mod m).  ``None`` results elsewhere mean *unsat*."""
+
+    geqs: List[Linear] = field(default_factory=list)
+    eqs: List[Linear] = field(default_factory=list)
+    congs: List[Tuple[Linear, int]] = field(default_factory=list)
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def from_atoms(atoms: Iterable[Formula]) -> "Constraints":
+        c = Constraints()
+        for atom in atoms:
+            if isinstance(atom, Geq):
+                c.geqs.append(atom.term)
+            elif isinstance(atom, Eq):
+                c.eqs.append(atom.term)
+            elif isinstance(atom, Cong):
+                c.congs.append((atom.term, atom.modulus))
+            else:
+                raise ProverError("not an atom: %r" % (atom,))
+        return c
+
+    def copy(self) -> "Constraints":
+        return Constraints(list(self.geqs), list(self.eqs),
+                           list(self.congs))
+
+    def to_formula(self) -> Formula:
+        atoms: List[Formula] = [Geq(t) for t in self.geqs]
+        atoms += [Eq(t) for t in self.eqs]
+        atoms += [Cong(t, m) for t, m in self.congs]
+        return conj(*atoms)
+
+    # -- inspection -------------------------------------------------------------
+
+    def variables(self) -> Set[str]:
+        out: Set[str] = set()
+        for term in self.geqs:
+            out |= set(term.variables())
+        for term in self.eqs:
+            out |= set(term.variables())
+        for term, __ in self.congs:
+            out |= set(term.variables())
+        return out
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return not self.geqs and not self.eqs and not self.congs
+
+    def size(self) -> int:
+        return len(self.geqs) + len(self.eqs) + len(self.congs)
+
+    # -- substitution ---------------------------------------------------------------
+
+    def substitute(self, var: str, replacement: Linear) -> "Constraints":
+        return Constraints(
+            [t.substitute(var, replacement) for t in self.geqs],
+            [t.substitute(var, replacement) for t in self.eqs],
+            [(t.substitute(var, replacement), m) for t, m in self.congs],
+        )
+
+
+def normalize(c: Constraints) -> Optional[Constraints]:
+    """gcd-normalize and constant-fold; ``None`` means unsat."""
+    out = Constraints()
+    seen_geq: Set[Linear] = set()
+    for term in c.geqs:
+        g = term.content()
+        if g == 0:
+            if term.constant < 0:
+                return None
+            continue
+        if g > 1:
+            coeffs = {v: k // g for v, k in term.coefficients.items()}
+            term = Linear(coeffs, _floor_div(term.constant, g))
+        if term not in seen_geq:
+            seen_geq.add(term)
+            out.geqs.append(term)
+    seen_eq: Set[Linear] = set()
+    for term in c.eqs:
+        g = term.content()
+        if g == 0:
+            if term.constant != 0:
+                return None
+            continue
+        if term.constant % g:
+            return None
+        if g > 1:
+            term = term.divide_exact(g)
+        # Canonical sign: first sorted variable has positive coefficient.
+        lead = min(term.variables())
+        if term.coefficient(lead) < 0:
+            term = term.scale(-1)
+        if term not in seen_eq:
+            seen_eq.add(term)
+            out.eqs.append(term)
+    seen_cong: Set[Tuple[Linear, int]] = set()
+    for term, m in c.congs:
+        coeffs = {v: k % m for v, k in term.coefficients.items()}
+        term = Linear(coeffs, term.constant % m)
+        if term.is_constant:
+            if term.constant % m:
+                return None
+            continue
+        if (term, m) not in seen_cong:
+            seen_cong.add((term, m))
+            out.congs.append((term, m))
+    if out.size() > MAX_CONSTRAINTS:
+        raise ProverError("constraint explosion (%d atoms)" % out.size())
+    return out
+
+
+def _floor_div(a: int, b: int) -> int:
+    return a // b  # Python's // is floor division
+
+
+# ---------------------------------------------------------------------------
+# equality elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_equalities(c: Constraints, eliminable: Set[str]
+                         ) -> Optional[Constraints]:
+    """Remove equalities by solving for eliminable variables.
+
+    Three exact rules, each of which removes at least one variable from
+    the whole system (hence termination):
+
+    1. **gcd rule** — if every eliminable variable of an equality occurs
+       *only* in that equality, ``∃x⃗. Σaᵢxᵢ + r = 0`` is equivalent to
+       ``r ≡ 0 (mod gcd(aᵢ))`` over the remaining variables;
+    2. **unit substitution** — an eliminable variable with coefficient
+       ±1 is solved for and substituted everywhere;
+    3. **scale elimination** — for ``a·x + r = 0`` with |a| > 1,
+       multiply every other constraint containing x by |a|, replace
+       ``a·x`` by ``−r`` in it, and record the integrality side
+       condition ``r ≡ 0 (mod |a|)``.
+
+    Equalities with no eliminable variable are kept.  Returns ``None``
+    on unsatisfiability.
+    """
+    work = c.copy()
+    eliminable = set(eliminable)
+    for __ in range(MAX_ELIMINATION_STEPS):
+        normalized = normalize(work)
+        if normalized is None:
+            return None
+        work = normalized
+        target = _pick_equality(work, eliminable)
+        if target is None:
+            return work
+        index, term, elim_vars = target
+        lonely = all(_occurrences(work, v) == 1 for v in elim_vars)
+        if lonely:
+            # gcd rule.
+            work.eqs.pop(index)
+            g = 0
+            rest = term
+            for v in elim_vars:
+                g = gcd(g, abs(term.coefficient(v)))
+                rest = rest - Linear.var(v, term.coefficient(v))
+            if g > 1:
+                work.congs.append((rest, g))
+            continue
+        unit = next((v for v in elim_vars
+                     if abs(term.coefficient(v)) == 1), None)
+        if unit is not None:
+            work.eqs.pop(index)
+            coeff = term.coefficient(unit)
+            rest = term - Linear.var(unit, coeff)
+            # coeff·var + rest = 0  =>  var = −rest / coeff.
+            replacement = rest.scale(-1) if coeff == 1 else rest
+            work = work.substitute(unit, replacement)
+            continue
+        # Scale elimination on the variable with the smallest |coeff|.
+        var = min(elim_vars, key=lambda v: (abs(term.coefficient(v)), v))
+        work.eqs.pop(index)
+        a = term.coefficient(var)
+        rest = term - Linear.var(var, a)  # a·x + rest = 0
+        work = _scale_out(work, var, a, rest)
+        work.congs.append((rest, abs(a)))
+    raise ProverError("equality elimination did not terminate")
+
+
+def _pick_equality(c: Constraints, eliminable: Set[str]
+                   ) -> Optional[Tuple[int, Linear, List[str]]]:
+    """Choose the next equality to eliminate: prefer ones with a
+    unit-coefficient eliminable variable."""
+    fallback: Optional[Tuple[int, Linear, List[str]]] = None
+    for i, term in enumerate(c.eqs):
+        evs = sorted(v for v in term.variables() if v in eliminable)
+        if not evs:
+            continue
+        if any(abs(term.coefficient(v)) == 1 for v in evs):
+            return i, term, evs
+        if fallback is None:
+            fallback = (i, term, evs)
+    return fallback
+
+
+def _occurrences(c: Constraints, var: str) -> int:
+    count = 0
+    for term in c.geqs:
+        if term.coefficient(var):
+            count += 1
+    for term in c.eqs:
+        if term.coefficient(var):
+            count += 1
+    for term, __ in c.congs:
+        if term.coefficient(var):
+            count += 1
+    return count
+
+
+def _scale_out(c: Constraints, var: str, a: int, rest: Linear
+               ) -> Constraints:
+    """Eliminate *var* from every constraint using ``a·var = −rest``.
+
+    A constraint with var-coefficient b is multiplied by |a| (order-
+    preserving), after which ``b·|a|·var = b·sign(a)·(a·var)`` is
+    replaced by ``−b·sign(a)·rest``.
+    """
+    mag, sign = abs(a), (1 if a > 0 else -1)
+
+    def rewrite(term: Linear) -> Linear:
+        b = term.coefficient(var)
+        if not b:
+            return term
+        without = term - Linear.var(var, b)
+        return without.scale(mag) + rest.scale(-b * sign)
+
+    return Constraints(
+        [rewrite(t) for t in c.geqs],
+        [rewrite(t) for t in c.eqs],
+        [(rewrite(t), m * (mag if t.coefficient(var) else 1))
+         for t, m in c.congs],
+    )
+
+
+# ---------------------------------------------------------------------------
+# inequality elimination
+# ---------------------------------------------------------------------------
+
+
+def _split_bounds(c: Constraints, var: str
+                  ) -> Tuple[List[Linear], List[Linear], List[Linear]]:
+    """Split geqs into (lower-bound terms, upper-bound terms, rest).
+
+    A lower-bound term e has positive coefficient on var (a·x + r ≥ 0);
+    an upper-bound term has negative coefficient.
+    """
+    lowers, uppers, rest = [], [], []
+    for term in c.geqs:
+        coeff = term.coefficient(var)
+        if coeff > 0:
+            lowers.append(term)
+        elif coeff < 0:
+            uppers.append(term)
+        else:
+            rest.append(term)
+    return lowers, uppers, rest
+
+
+def _shadow(lowers: Sequence[Linear], uppers: Sequence[Linear], var: str,
+            dark: bool) -> List[Linear]:
+    """Pairwise FM combinations: real shadow, or dark shadow when
+    *dark*."""
+    out = []
+    for low in lowers:
+        a = low.coefficient(var)
+        for up in uppers:
+            b = -up.coefficient(var)
+            combined = low.scale(b) + up.scale(a)
+            if dark:
+                combined = combined - (a - 1) * (b - 1)
+            out.append(combined)
+    return out
+
+
+def _exact_single_step(c: Constraints, var: str) -> Optional[Constraints]:
+    """Exact elimination of *var* from a geq-only occurrence, when one
+    side has all-unit coefficients; None when not applicable."""
+    lowers, uppers, rest = _split_bounds(c, var)
+    if not lowers or not uppers:
+        result = c.copy()
+        result.geqs = rest
+        return result
+    if all(t.coefficient(var) == 1 for t in lowers) \
+            or all(-t.coefficient(var) == 1 for t in uppers):
+        result = c.copy()
+        result.geqs = rest + _shadow(lowers, uppers, var, dark=False)
+        return result
+    return None
+
+
+def resolve_equalities_and_congruences(
+        c: Constraints, eliminable: Set[str]
+) -> Optional[Tuple[Constraints, Set[str]]]:
+    """Iterate congruence lowering and equality elimination to a
+    fixpoint.
+
+    Congruences mentioning an eliminable variable become equalities with
+    fresh quotient variables (themselves eliminable); equality
+    elimination may mint new congruences.  On exit no equality or
+    congruence mentions an eliminable variable.  Returns the resolved
+    constraints and the full eliminable set, or ``None`` if unsat.
+    """
+    eliminable = set(eliminable)
+    work = c
+    for __ in range(MAX_ELIMINATION_STEPS):
+        work, fresh = lower_congruences_for(work, eliminable)
+        eliminable |= fresh
+        solved = eliminate_equalities(work, eliminable)
+        if solved is None:
+            return None
+        work = solved
+        if not any(set(t.variables()) & eliminable
+                   for t, __ in work.congs):
+            return work, eliminable
+    raise ProverError("equality/congruence resolution did not terminate")
+
+
+def project(c: Constraints, variables: Iterable[str]
+            ) -> List[Constraints]:
+    """Exact integer projection: eliminate *variables*, returning a
+    disjunction (list) of constraint sets over the remaining variables.
+
+    An empty list means unsat; a constraint set with no atoms means
+    true.
+    """
+    pending: List[Tuple[Constraints, Set[str]]] = [(c, set(variables))]
+    result: List[Constraints] = []
+    steps = 0
+    while pending:
+        steps += 1
+        if steps > MAX_ELIMINATION_STEPS:
+            raise ProverError("projection did not terminate")
+        current, remove = pending.pop()
+        resolved = resolve_equalities_and_congruences(current, remove)
+        if resolved is None:
+            continue
+        current, remove = resolved
+        normalized = normalize(current)
+        if normalized is None:
+            continue
+        current = normalized
+        live = current.variables() & remove
+        if not live:
+            result.append(current)
+            continue
+        var = _pick_variable(current, live)
+        easy = _exact_single_step(current, var)
+        if easy is not None:
+            pending.append((easy, remove))
+            continue
+        pending.extend((piece, set(remove))
+                       for piece in _hard_split(current, var))
+    return result
+
+
+def lower_congruences_for(c: Constraints, remove: Set[str]
+                          ) -> Tuple[Constraints, Set[str]]:
+    """Lower only the congruences that mention a variable being
+    eliminated (others stay as congruence atoms in the output)."""
+    touched = [i for i, (term, __) in enumerate(c.congs)
+               if set(term.variables()) & remove]
+    if not touched:
+        return c, set()
+    out = c.copy()
+    fresh: Set[str] = set()
+    for i in sorted(touched, reverse=True):
+        term, m = out.congs.pop(i)
+        q = fresh_variable("$q")
+        fresh.add(q)
+        out.eqs.append(term - Linear.var(q, m))
+    return out, fresh
+
+
+def _pick_variable(c: Constraints, candidates: Set[str]) -> str:
+    """Prefer the variable with the cheapest elimination (fewest shadow
+    pairs, unit coefficients first)."""
+    best_var, best_key = None, None
+    for var in sorted(candidates):
+        lowers, uppers, __ = _split_bounds(c, var)
+        unit = all(t.coefficient(var) == 1 for t in lowers) \
+            or all(-t.coefficient(var) == 1 for t in uppers)
+        key = (0 if unit else 1, len(lowers) * len(uppers))
+        if best_key is None or key < best_key:
+            best_var, best_key = var, key
+    assert best_var is not None
+    return best_var
+
+
+def _hard_split(c: Constraints, var: str) -> List[Constraints]:
+    """Dark shadow plus splinters: the exact projection when neither
+    bound side has all-unit coefficients."""
+    lowers, uppers, rest = _split_bounds(c, var)
+    dark = c.copy()
+    dark.geqs = rest + _shadow(lowers, uppers, var, dark=True)
+    out = [dark]
+    b_max = max(-t.coefficient(var) for t in uppers)
+    for low in lowers:
+        a = low.coefficient(var)
+        limit = (a * b_max - a - b_max) // b_max
+        for i in range(limit + 1):
+            splinter = c.copy()
+            splinter.eqs = splinter.eqs + [low - i]
+            out.append(splinter)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# decision procedure
+# ---------------------------------------------------------------------------
+
+
+def satisfiable(c: Constraints) -> bool:
+    """Exact satisfiability over ℤ with all variables existential."""
+    resolved = resolve_equalities_and_congruences(
+        c, c.variables() | {v for t, __ in c.congs
+                            for v in t.variables()})
+    if resolved is None:
+        return False
+    current, __ = resolved
+    normalized = normalize(current)
+    if normalized is None:
+        return False
+    current = normalized
+    assert not current.eqs and not current.congs
+    return _sat_geqs(current, 0)
+
+
+def _sat_geqs(c: Constraints, depth: int) -> bool:
+    if depth > 60:
+        raise ProverError("satisfiability recursion too deep")
+    normalized = normalize(c)
+    if normalized is None:
+        return False
+    c = normalized
+    live = c.variables()
+    if not live:
+        return True  # normalize() removed all satisfied ground atoms
+    var = _pick_variable(c, live)
+    lowers, uppers, rest = _split_bounds(c, var)
+    if not lowers or not uppers:
+        trimmed = c.copy()
+        trimmed.geqs = rest
+        return _sat_geqs(trimmed, depth + 1)
+    exact = _exact_single_step(c, var)
+    if exact is not None:
+        return _sat_geqs(exact, depth + 1)
+    dark = c.copy()
+    dark.geqs = rest + _shadow(lowers, uppers, var, dark=True)
+    if _sat_geqs(dark, depth + 1):
+        return True
+    real = c.copy()
+    real.geqs = rest + _shadow(lowers, uppers, var, dark=False)
+    if not _sat_geqs(real, depth + 1):
+        return False
+    # Disagreement: decide by splinters.
+    b_max = max(-t.coefficient(var) for t in uppers)
+    for low in lowers:
+        a = low.coefficient(var)
+        limit = (a * b_max - a - b_max) // b_max
+        for i in range(limit + 1):
+            splinter = c.copy()
+            splinter.eqs = [low - i]
+            if satisfiable(splinter):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# rational projection (for the generalization heuristic)
+# ---------------------------------------------------------------------------
+
+
+def project_real(c: Constraints, variables: Iterable[str]) -> Constraints:
+    """Rational Fourier–Motzkin projection (real shadow only).
+
+    This is what the induction-iteration *generalization* step uses:
+    ``generalize(f) = ¬ eliminate(¬f)``, where eliminate removes
+    variables with plain FM.  Congruences and equalities mentioning an
+    eliminated variable are dropped after being used for substitution
+    where possible (a sound over-approximation of ∃).
+    """
+    work = c.copy()
+    for var in variables:
+        solved = eliminate_equalities(work, {var})
+        if solved is None:
+            return Constraints(geqs=[Linear.const(-1)])  # unsat marker
+        work = solved
+        if var not in work.variables():
+            continue
+        lowers, uppers, rest = _split_bounds(work, var)
+        combined = _shadow(lowers, uppers, var, dark=False) \
+            if lowers and uppers else []
+        work.geqs = rest + combined
+        work.eqs = [t for t in work.eqs if not t.coefficient(var)]
+        work.congs = [(t, m) for t, m in work.congs
+                      if not t.coefficient(var)]
+    normalized = normalize(work)
+    if normalized is None:
+        return Constraints(geqs=[Linear.const(-1)])
+    return normalized
+
+
+def constraints_to_formula(sets: List[Constraints]) -> Formula:
+    return disj(*(c.to_formula() for c in sets))

@@ -1,0 +1,156 @@
+"""The theorem prover: validity and satisfiability of Presburger
+formulas, plus full quantifier elimination.
+
+The paper checks verification conditions "in a demand-driven fashion …
+one at a time" with a prover based on the Omega library.  This module
+is that prover: formulas go through NNF → quantifier elimination
+(exact integer projection, :mod:`repro.logic.omega`) → DNF → per-
+conjunction Omega-test satisfiability.
+
+A result cache keyed on the formula is built in — the paper lists
+"caching in the theorem prover … represent formulas in a canonical form
+and use previous results whenever possible" as a planned enhancement
+(Section 5.2.3); it is implemented here and can be disabled for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ProverError
+from repro.logic.formula import (
+    And, Cong, Eq, Exists, FalseFormula, Forall, Formula, Geq, Not, Or,
+    TrueFormula, conj, disj, neg, )
+from repro.logic.normalize import to_dnf, to_nnf
+from repro.logic.omega import (
+    Constraints, constraints_to_formula, project, satisfiable,
+)
+
+
+@dataclass
+class ProverStats:
+    """Counters for the evaluation tables."""
+
+    validity_queries: int = 0
+    satisfiability_queries: int = 0
+    cache_hits: int = 0
+    difference_fast_path_hits: int = 0
+
+    def reset(self) -> None:
+        self.validity_queries = 0
+        self.satisfiability_queries = 0
+        self.cache_hits = 0
+        self.difference_fast_path_hits = 0
+
+
+class Prover:
+    """Decision procedure for Presburger formulas with ∃/∀."""
+
+    def __init__(self, enable_cache: bool = True,
+                 enable_difference_fast_path: bool = True):
+        self.enable_cache = enable_cache
+        self.enable_difference_fast_path = enable_difference_fast_path
+        self.stats = ProverStats()
+        self._sat_cache: Dict[Formula, bool] = {}
+
+    # -- public queries ------------------------------------------------------
+
+    def is_satisfiable(self, f: Formula) -> bool:
+        """Is there an integer assignment of the free variables making
+        *f* true?"""
+        self.stats.satisfiability_queries += 1
+        if self.enable_cache:
+            cached = self._sat_cache.get(f)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+        try:
+            result = self._decide_satisfiable(f)
+        except ProverError:
+            # Resource blow-up (DNF or elimination limits): answer
+            # conservatively — "may be satisfiable" makes every
+            # validity query fail safe.
+            return True
+        if self.enable_cache:
+            self._sat_cache[f] = result
+        return result
+
+    def is_valid(self, f: Formula) -> bool:
+        """Is *f* true for every integer assignment of its free
+        variables?"""
+        self.stats.validity_queries += 1
+        return not self.is_satisfiable(neg(f))
+
+    def implies(self, antecedent: Formula, consequent: Formula) -> bool:
+        """Validity of antecedent → consequent."""
+        return self.is_valid(disj(neg(antecedent), consequent))
+
+    def equivalent(self, a: Formula, b: Formula) -> bool:
+        return self.implies(a, b) and self.implies(b, a)
+
+    # -- engine ------------------------------------------------------------------
+
+    def _decide_satisfiable(self, f: Formula) -> bool:
+        qf = self.eliminate_quantifiers(f)
+        if isinstance(qf, TrueFormula):
+            return True
+        if isinstance(qf, FalseFormula):
+            return False
+        for atoms in to_dnf(qf):
+            if self.enable_difference_fast_path:
+                # Section 5.2.3 enhancement: difference systems are
+                # decided by negative-cycle detection without touching
+                # the Omega machinery.
+                from repro.logic.diffsolver import try_satisfiable
+                fast = try_satisfiable(atoms)
+                if fast is not None:
+                    self.stats.difference_fast_path_hits += 1
+                    if fast:
+                        return True
+                    continue
+            if satisfiable(Constraints.from_atoms(atoms)):
+                return True
+        return False
+
+    def eliminate_quantifiers(self, f: Formula) -> Formula:
+        """Return an equivalent quantifier-free formula."""
+        return self._eliminate(to_nnf(f))
+
+    def _eliminate(self, f: Formula) -> Formula:
+        if isinstance(f, (TrueFormula, FalseFormula, Geq, Eq, Cong)):
+            return f
+        if isinstance(f, And):
+            return conj(*(self._eliminate(p) for p in f.parts))
+        if isinstance(f, Or):
+            return disj(*(self._eliminate(p) for p in f.parts))
+        if isinstance(f, Exists):
+            body = self._eliminate(f.body)
+            pieces: List[Formula] = []
+            for atoms in to_dnf(body):
+                projected = project(Constraints.from_atoms(atoms),
+                                    f.variables)
+                pieces.append(constraints_to_formula(projected))
+            return disj(*pieces)
+        if isinstance(f, Forall):
+            inner = to_nnf(neg(f.body))
+            eliminated = self._eliminate(Exists(f.variables, inner))
+            return to_nnf(neg(eliminated))
+        if isinstance(f, Not):  # NNF leaves no Not nodes
+            raise AssertionError("negation survived NNF: %r" % (f,))
+        raise TypeError("unexpected formula %r" % (f,))
+
+
+#: A module-level default prover for casual use; analyses construct
+#: their own to get isolated statistics.
+DEFAULT_PROVER = Prover()
+
+
+def is_valid(f: Formula) -> bool:
+    """Module-level convenience using the default prover."""
+    return DEFAULT_PROVER.is_valid(f)
+
+
+def is_satisfiable(f: Formula) -> bool:
+    return DEFAULT_PROVER.is_satisfiable(f)

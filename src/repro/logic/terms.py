@@ -1,0 +1,198 @@
+"""Integer linear terms over named variables.
+
+A :class:`Linear` is ``Σ coeff_i · var_i + const`` with integer
+coefficients.  Variables are plain strings: machine registers
+(``"%g3"``), specification symbols (``"n"``), and fresh variables
+introduced by the prover (``"$k7"``).
+
+Terms are immutable and hashable; arithmetic returns new terms.  This is
+the carrier for the Presburger formulas in :mod:`repro.logic.formula`,
+mirroring the affine constraints of the Omega library the paper builds
+its theorem prover on.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, Iterable, Mapping, Union
+
+
+class Linear:
+    """An affine integer term: coefficients plus a constant."""
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(self, coeffs: Union[Mapping[str, int], None] = None,
+                 const: int = 0):
+        items = {}
+        if coeffs:
+            for var, coeff in coeffs.items():
+                if coeff:
+                    items[var] = int(coeff)
+        self._coeffs: Dict[str, int] = items
+        self._const = int(const)
+        self._hash: int = -1  # computed lazily; terms are immutable
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "Linear":
+        return Linear({name: coeff})
+
+    @staticmethod
+    def const(value: int) -> "Linear":
+        return Linear({}, value)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def constant(self) -> int:
+        return self._const
+
+    @property
+    def coefficients(self) -> Mapping[str, int]:
+        return dict(self._coeffs)
+
+    def coefficient(self, var: str) -> int:
+        return self._coeffs.get(var, 0)
+
+    def variables(self) -> Iterable[str]:
+        return self._coeffs.keys()
+
+    @property
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def content(self) -> int:
+        """gcd of the variable coefficients (0 for constant terms)."""
+        g = 0
+        for coeff in self._coeffs.values():
+            g = gcd(g, abs(coeff))
+        return g
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other: Union["Linear", int]) -> "Linear":
+        if isinstance(other, int):
+            return Linear(self._coeffs, self._const + other)
+        coeffs = dict(self._coeffs)
+        for var, coeff in other._coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        return Linear(coeffs, self._const + other._const)
+
+    def __radd__(self, other: int) -> "Linear":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Linear", int]) -> "Linear":
+        if isinstance(other, int):
+            return Linear(self._coeffs, self._const - other)
+        return self + other.scale(-1)
+
+    def __rsub__(self, other: int) -> "Linear":
+        return self.scale(-1) + other
+
+    def __neg__(self) -> "Linear":
+        return self.scale(-1)
+
+    def scale(self, factor: int) -> "Linear":
+        if factor == 0:
+            return Linear({}, 0)
+        return Linear({v: c * factor for v, c in self._coeffs.items()},
+                      self._const * factor)
+
+    def divide_exact(self, divisor: int) -> "Linear":
+        """Divide all coefficients and the constant; they must divide
+        evenly."""
+        assert divisor != 0
+        coeffs = {}
+        for var, coeff in self._coeffs.items():
+            if coeff % divisor:
+                raise ValueError("coefficient %d of %s not divisible by %d"
+                                 % (coeff, var, divisor))
+            coeffs[var] = coeff // divisor
+        if self._const % divisor:
+            raise ValueError("constant %d not divisible by %d"
+                             % (self._const, divisor))
+        return Linear(coeffs, self._const // divisor)
+
+    # -- substitution ---------------------------------------------------------------
+
+    def substitute(self, var: str, replacement: "Linear") -> "Linear":
+        """Replace *var* by *replacement*."""
+        coeff = self._coeffs.get(var, 0)
+        if not coeff:
+            return self
+        rest = Linear({v: c for v, c in self._coeffs.items() if v != var},
+                      self._const)
+        return rest + replacement.scale(coeff)
+
+    def substitute_all(self, mapping: Mapping[str, "Linear"]) -> "Linear":
+        """Simultaneous substitution of several variables."""
+        rest = Linear({v: c for v, c in self._coeffs.items()
+                       if v not in mapping}, self._const)
+        for var, coeff in self._coeffs.items():
+            if var in mapping:
+                rest = rest + mapping[var].scale(coeff)
+        return rest
+
+    def rename(self, mapping: Mapping[str, str]) -> "Linear":
+        coeffs: Dict[str, int] = {}
+        for var, coeff in self._coeffs.items():
+            new = mapping.get(var, var)
+            coeffs[new] = coeffs.get(new, 0) + coeff
+        return Linear(coeffs, self._const)
+
+    def evaluate(self, valuation: Mapping[str, int]) -> int:
+        total = self._const
+        for var, coeff in self._coeffs.items():
+            total += coeff * valuation[var]
+        return total
+
+    # -- equality / rendering ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Linear):
+            return NotImplemented
+        return (self._coeffs == other._coeffs
+                and self._const == other._const)
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        if self._hash == -1:
+            value = hash((frozenset(self._coeffs.items()), self._const))
+            self._hash = value if value != -1 else -2
+        return self._hash
+
+    def __str__(self) -> str:
+        parts = []
+        for var in sorted(self._coeffs):
+            coeff = self._coeffs[var]
+            if coeff == 1:
+                parts.append("+%s" % var)
+            elif coeff == -1:
+                parts.append("-%s" % var)
+            else:
+                parts.append("%+d%s" % (coeff, var))
+        if self._const or not parts:
+            parts.append("%+d" % self._const)
+        text = "".join(parts)
+        return text[1:] if text.startswith("+") else text
+
+    def __repr__(self) -> str:
+        return "Linear(%s)" % (self,)
+
+
+ZERO = Linear()
+ONE = Linear.const(1)
+
+
+def linear(value: Union["Linear", int, str]) -> Linear:
+    """Coerce ints and variable names to :class:`Linear`."""
+    if isinstance(value, Linear):
+        return value
+    if isinstance(value, int):
+        return Linear.const(value)
+    return Linear.var(value)

@@ -1,0 +1,14 @@
+"""Host-side specifications: typestate declarations, access policies,
+trusted functions, invocation specs, and their textual language."""
+
+from repro.policy.model import (
+    HostSpec, InvocationSpec, LocationDecl, PolicyRule, TrustedFunction,
+    TypeEnvironment, parse_state, split_perms,
+)
+from repro.policy.parser import ConstraintParser, parse_constraint, parse_spec
+
+__all__ = [
+    "HostSpec", "InvocationSpec", "LocationDecl", "PolicyRule",
+    "TrustedFunction", "TypeEnvironment", "parse_state", "split_perms",
+    "ConstraintParser", "parse_constraint", "parse_spec",
+]

@@ -1,0 +1,302 @@
+"""The host-side specification model (paper Section 2).
+
+Safety checking takes four inputs; all but the untrusted code come from
+the host and are modeled here:
+
+* a **host typestate specification** — a *data aspect* (type and state
+  of host data before the invocation: :class:`LocationDecl`) and a
+  *control aspect* (safety pre/postconditions for callable host
+  functions: :class:`TrustedFunction`);
+* an **invocation specification** — the initial values passed to the
+  untrusted code (:class:`InvocationSpec`);
+* a **safety policy** — region/category/access triples
+  (:class:`PolicyRule`) controlling which memory is reachable and how
+  it may be used, plus optional safety postconditions.
+
+A :class:`TypeEnvironment` holds named types and parses the type
+expressions (``int[n]``, ``thread ptr``, ``int(n]`` …) used throughout
+specifications.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SpecError
+from repro.logic.formula import Formula, TRUE, conj
+from repro.typesys.access import AccessSet, access
+from repro.typesys.state import INIT, State, UNINIT, points_to
+from repro.typesys.types import (
+    AbstractType, ArrayBaseType, ArrayMidType, FunctionPointerType, Member,
+    PointerType, StructType, Type, ground_type, sizeof,
+)
+from repro.typesys.typestate import Typestate
+
+
+class TypeEnvironment:
+    """Named types visible to specifications."""
+
+    def __init__(self) -> None:
+        self._named: Dict[str, Type] = {}
+
+    def define(self, name: str, type_: Type) -> Type:
+        if name in self._named:
+            raise SpecError("type %r already defined" % name)
+        self._named[name] = type_
+        return type_
+
+    def define_struct(self, name: str,
+                      members: Sequence[Tuple[str, Union[str, Type]]],
+                      ) -> StructType:
+        """Define a struct by (label, type) pairs; offsets are assigned
+        sequentially with natural alignment."""
+        built: List[Member] = []
+        offset = 0
+        for label, texpr in members:
+            mtype = texpr if isinstance(texpr, Type) else self.parse(texpr)
+            size = sizeof(mtype)
+            align = min(size, 4) or 1
+            offset = (offset + align - 1) // align * align
+            built.append(Member(label=label, type=mtype, offset=offset))
+            offset += size
+        struct = StructType(name=name, members=tuple(built))
+        self.define(name, struct)
+        return struct
+
+    def define_abstract(self, name: str, size: int,
+                        align: int = 4) -> AbstractType:
+        return self.define(name, AbstractType(name=name, size=size,
+                                              align=align))  # type: ignore[return-value]
+
+    def lookup(self, name: str) -> Optional[Type]:
+        return self._named.get(name)
+
+    # -- type expressions ---------------------------------------------------
+
+    _SUFFIX = re.compile(
+        r"\s*(?:(?P<ptr>ptr)\b"
+        r"|\[\s*(?P<base_size>\w+)\s*\]"
+        r"|\(\s*(?P<mid_size>\w+)\s*\])")
+
+    def parse(self, text: str) -> Type:
+        """Parse a type expression.
+
+        Grammar: a base name (ground type, named struct/union/abstract
+        type, or ``name()`` for a function pointer) followed by any
+        number of ``[n]`` (array-base pointer), ``(n]`` (array-middle
+        pointer), and ``ptr`` suffixes, applied left to right.
+        """
+        text = text.strip()
+        match = re.match(r"(\w+)\s*(\(\s*\))?", text)
+        if not match:
+            raise SpecError("cannot parse type expression %r" % text)
+        name = match.group(1)
+        rest = text[match.end():]
+        if match.group(2):
+            current: Type = FunctionPointerType(name=name)
+        else:
+            named = self._named.get(name)
+            if named is not None:
+                current = named
+            else:
+                try:
+                    current = ground_type(name)
+                except KeyError:
+                    raise SpecError("unknown type %r in %r" % (name, text))
+        while rest.strip():
+            suffix = self._SUFFIX.match(rest)
+            if not suffix:
+                raise SpecError("cannot parse type suffix %r in %r"
+                                % (rest, text))
+            if suffix.group("ptr"):
+                current = PointerType(pointee=current)
+            elif suffix.group("base_size") is not None:
+                current = ArrayBaseType(element=current,
+                                        size=_size(suffix.group("base_size")))
+            else:
+                current = ArrayMidType(element=current,
+                                       size=_size(suffix.group("mid_size")))
+            rest = rest[suffix.end():]
+        return current
+
+
+def _size(text: str) -> Union[int, str]:
+    return int(text) if text.isdigit() else text
+
+
+# ---------------------------------------------------------------------------
+# data aspect: location declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LocationDecl:
+    """One abstract location of the host's data (or a named initial
+    value such as ``arr`` in paper Figure 1).
+
+    ``state`` accepts a :class:`State`, the string ``"initialized"`` /
+    ``"uninitialized"``, or a set-like string ``"{e, null}"`` naming
+    points-to targets.  ``perms`` uses the paper's five letters
+    (``rwfxo``): ``r``/``w`` become location attributes, the rest the
+    value's access permissions.
+    """
+
+    name: str
+    type: Union[str, Type]
+    state: Union[str, State] = "initialized"
+    perms: str = "ro"
+    region: str = ""
+    #: True when this location summarizes several physical locations
+    #: (array elements, all nodes of a list); forces weak updates.
+    summary: bool = False
+    #: Known alignment of the location's address (bytes).
+    align: int = 4
+    #: Size override (defaults to sizeof(type)).
+    size: Optional[int] = None
+
+
+@dataclass
+class PolicyRule:
+    """``[Region : Category : Access]`` (paper Section 2).
+
+    *categories* are type expressions (``int``, ``int[n]``) or
+    aggregate-field paths (``thread.tid``); *perms* any subset of
+    ``rwfxo``.
+    """
+
+    region: str
+    categories: Tuple[str, ...]
+    perms: str
+
+    def __str__(self) -> str:
+        return "[%s : %s : %s]" % (self.region,
+                                   ", ".join(self.categories), self.perms)
+
+
+@dataclass
+class TrustedFunction:
+    """Control aspect: a host function the untrusted code may call.
+
+    ``params`` maps argument registers to the typestates they must hold
+    at the call; ``precondition``/``postcondition`` are linear
+    constraints over registers and spec symbols; ``returns`` maps
+    registers to their typestates after the call; ``clobbers`` lists
+    additional caller-saved registers whose contents become unknown.
+    """
+
+    name: str
+    params: Dict[str, Typestate] = field(default_factory=dict)
+    precondition: Formula = TRUE
+    returns: Dict[str, Typestate] = field(default_factory=dict)
+    postcondition: Formula = TRUE
+    clobbers: Tuple[str, ...] = ("%o1", "%o2", "%o3", "%o4", "%o5",
+                                 "%g1", "%g2", "%g3", "%g4")
+
+
+@dataclass
+class InvocationSpec:
+    """How the host invokes the untrusted code.
+
+    ``bindings`` maps argument registers to what they initially hold:
+    the name of a declared location (the register receives that
+    declaration's typestate) or a spec symbol (the register holds an
+    initialized integer constrained by ``symbol = register``).
+    """
+
+    bindings: Dict[str, str] = field(default_factory=dict)
+    entry_label: str = ""
+
+
+@dataclass
+class HostSpec:
+    """Everything the host provides: types, data declarations, trusted
+    functions, the access policy, the invocation, initial linear
+    constraints, and optional security automata over trusted-call
+    events."""
+
+    types: TypeEnvironment = field(default_factory=TypeEnvironment)
+    locations: List[LocationDecl] = field(default_factory=list)
+    functions: Dict[str, TrustedFunction] = field(default_factory=dict)
+    rules: List[PolicyRule] = field(default_factory=list)
+    invocation: InvocationSpec = field(default_factory=InvocationSpec)
+    constraints: List[Formula] = field(default_factory=list)
+    #: Security automata by name (paper Section 1's extension).
+    automata: Dict[str, object] = field(default_factory=dict)
+    #: Safety postcondition that must hold when control returns to the
+    #: host (paper Section 2, last paragraph).
+    postcondition: Formula = TRUE
+
+    # -- builder helpers -----------------------------------------------------
+
+    def declare(self, decl: LocationDecl) -> LocationDecl:
+        if any(d.name == decl.name for d in self.locations):
+            raise SpecError("location %r declared twice" % decl.name)
+        self.locations.append(decl)
+        return decl
+
+    def rule(self, region: str, categories: Sequence[str],
+             perms: str) -> PolicyRule:
+        rule = PolicyRule(region=region, categories=tuple(categories),
+                          perms=perms)
+        self.rules.append(rule)
+        return rule
+
+    def trust(self, fn: TrustedFunction) -> TrustedFunction:
+        self.functions[fn.name] = fn
+        return fn
+
+    def bind(self, register: str, value: str) -> None:
+        self.invocation.bindings[register] = value
+
+    def constrain(self, *formulas: Formula) -> None:
+        self.constraints.extend(formulas)
+
+    def initial_constraint(self) -> Formula:
+        return conj(*self.constraints)
+
+    # -- resolution helpers ------------------------------------------------------
+
+    def location(self, name: str) -> LocationDecl:
+        for decl in self.locations:
+            if decl.name == name:
+                return decl
+        raise SpecError("unknown location %r" % name)
+
+    def resolve_type(self, decl: LocationDecl) -> Type:
+        if isinstance(decl.type, Type):
+            return decl.type
+        return self.types.parse(decl.type)
+
+    def resolve_state(self, decl: LocationDecl) -> State:
+        return parse_state(decl.state)
+
+
+def parse_state(spec: Union[str, State]) -> State:
+    """Turn a state specification into a :class:`State` value."""
+    if isinstance(spec, State):
+        return spec
+    text = spec.strip()
+    if text in ("initialized", "init", "[it]"):
+        return INIT
+    if text in ("uninitialized", "uninit", "[ut]", "[up]"):
+        return UNINIT
+    if text.startswith("{") and text.endswith("}"):
+        names = [part.strip() for part in text[1:-1].split(",")
+                 if part.strip()]
+        if not names:
+            raise SpecError("empty points-to set in state spec")
+        return points_to(*names)
+    raise SpecError("cannot parse state %r" % (spec,))
+
+
+def split_perms(perms: str) -> Tuple[bool, bool, AccessSet]:
+    """Split five-letter ``rwfxo`` permissions into (readable, writable,
+    value access) — r/w are location attributes, f/x/o value permissions
+    (paper Section 4.1)."""
+    bad = set(perms) - set("rwfxo")
+    if bad:
+        raise SpecError("invalid permission letters %s" % sorted(bad))
+    value = "".join(ch for ch in perms if ch in "fxo")
+    return "r" in perms, "w" in perms, access(value)

@@ -1,0 +1,75 @@
+"""Common infrastructure for the paper's 13 benchmark programs.
+
+Each program module exposes a :class:`BenchmarkProgram`: the SPARC
+assembly source, the host specification, the expected checking outcome
+(safe, or which instructions/categories are flagged), the paper's
+Figure 9 row for comparison, and — where meaningful — a concrete
+emulation oracle used for differential testing of the SPARC substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.analysis.checker import SafetyChecker
+from repro.analysis.options import CheckerOptions
+from repro.analysis.report import CheckResult
+from repro.policy.model import HostSpec
+from repro.policy.parser import parse_spec
+from repro.sparc.assembler import assemble
+from repro.sparc.program import Program
+
+
+@dataclass
+class PaperRow:
+    """The numbers Figure 9 reports for this example (440 MHz Ultra 10)."""
+
+    instructions: int
+    branches: int
+    loops: int
+    inner_loops: int
+    calls: int
+    trusted_calls: int
+    global_conditions: int
+    total_seconds: float
+
+
+@dataclass
+class BenchmarkProgram:
+    """One of the paper's evaluation examples, re-created."""
+
+    name: str
+    paper_name: str
+    description: str
+    source: str
+    spec_text: str
+    expect_safe: bool
+    #: Instructions the checker is expected to flag (empty = safe).
+    expected_violation_indices: Tuple[int, ...] = ()
+    #: Categories expected among the violations.
+    expected_violation_categories: Tuple[str, ...] = ()
+    #: True when the flagged violations are known false alarms that the
+    #: paper itself reports as analysis imprecision (jPVM).
+    violations_are_false_alarms: bool = False
+    paper_row: Optional[PaperRow] = None
+    #: Optional concrete oracle: receives the assembled Program, runs it
+    #: on the emulator, and raises AssertionError on mismatch.
+    emulation_oracle: Optional[Callable[[Program], None]] = None
+
+    # -- conveniences ---------------------------------------------------------
+
+    def program(self) -> Program:
+        return assemble(self.source, name=self.name)
+
+    def spec(self) -> HostSpec:
+        return parse_spec(self.spec_text)
+
+    def check(self, options: Optional[CheckerOptions] = None
+              ) -> CheckResult:
+        return SafetyChecker(self.program(), self.spec(),
+                             options=options, name=self.name).check()
+
+    def run_emulation_oracle(self) -> None:
+        if self.emulation_oracle is not None:
+            self.emulation_oracle(self.program())

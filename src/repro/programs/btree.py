@@ -1,0 +1,192 @@
+"""``Btree`` / ``Btree2`` — binary-tree lookups over a host-owned tree
+(paper Section 6: "two versions of Btree traversal (one version
+compares keys via a function call)").
+
+Both walk an array of query keys (outer loop) and descend the tree for
+each (inner loop), with a fuel counter bounding the descent.  ``Btree``
+compares keys inline; ``Btree2`` calls an *untrusted* helper function
+``cmpkey``, which exercises the interprocedural machinery: typestates
+flow through CALL/RETURN edges and the wlp walks through the callee as
+if inlined.  The paper observes that the version with procedure calls
+can verify *faster* than the inlined one because the callee's
+conditions are not replicated."""
+
+from __future__ import annotations
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+# struct bt { int key; struct bt *left; struct bt *right; }
+_TREE_SPEC = """
+type bt = struct { key: int; left: bt ptr; right: bt ptr }
+loc nd   : bt              perms r   region H summary
+loc root : bt ptr = {nd}   perms rfo region H
+loc e    : int  = initialized perms ro region V summary
+loc keys : int[m] = {e}    perms rfo region V
+rule [H : bt.key : ro]
+rule [H : bt.left, bt.right : rfo]
+rule [V : int : ro]
+rule [V : int[m] : rfo]
+invoke %o0 = root
+invoke %o1 = keys
+invoke %o2 = m
+assume m >= 1
+"""
+
+BTREE_SOURCE = """
+! Btree: count how many of keys[0..m) are present in the tree.
+! %o0 = root, %o1 = keys, %o2 = m; returns hit count.
+ 1: clr %o5            ! hits = 0
+ 2: clr %o4            ! i = 0
+ 3: cmp %o4,%o2        ! outer: while i < m
+ 4: bge 36
+ 5: nop
+ 6: sll %o4,2,%g1      ! off = 4i
+ 7: ld [%o1+%g1],%g2   ! key = keys[i]
+ 8: mov %o0,%o3        ! p = root
+ 9: mov 64,%g5         ! fuel: bound the descent
+10: cmp %o3,0          ! inner: while p != NULL
+11: be 33              ! miss
+12: nop
+13: cmp %g5,0          ! out of fuel?
+14: ble 33
+15: nop
+16: ld [%o3],%g3       ! k = p->key
+17: cmp %g2,%g3
+18: bl 25              ! key < k: go left
+19: nop
+20: cmp %g2,%g3
+21: bg 28              ! key > k: go right
+22: nop
+23: ba 32              ! key == k: hit
+24: inc %o5            ! (delay slot) hits++
+25: ld [%o3+4],%o3     ! p = p->left
+26: ba 10
+27: dec %g5            ! (delay slot) fuel--
+28: ld [%o3+8],%o3     ! p = p->right
+29: ba 10
+30: dec %g5            ! (delay slot) fuel--
+31: nop                ! (unreachable padding, as gcc emits)
+32: nop                ! hit lands here
+33: inc %o4            ! i++
+34: ba 3
+35: nop
+36: retl
+37: mov %o5,%o0
+"""
+
+BTREE2_SOURCE = """
+! Btree2: the same lookup, but key comparison happens in the untrusted
+! helper `cmpkey` (returns negative / zero / positive).
+! %o0 = root, %o1 = keys, %o2 = m; returns hit count.
+ 1: mov %o7,%g4        ! save the host return address
+ 2: mov %o0,%g5        ! g5 = root   (call-surviving copies)
+ 3: mov %o1,%g6        ! g6 = keys
+ 4: mov %o2,%g7        ! g7 = m
+ 5: clr %o5            ! hits = 0
+ 6: clr %o4            ! i = 0
+ 7: cmp %o4,%g7        ! outer: while i < m
+ 8: bge 41
+ 9: nop
+10: sll %o4,2,%g1      ! off = 4i
+11: ld [%g6+%g1],%g2   ! key = keys[i]
+12: mov %g5,%o3        ! p = root
+13: mov 64,%g3         ! fuel
+14: cmp %o3,0          ! inner: while p != NULL
+15: be 38              ! miss
+16: nop
+17: cmp %g3,0
+18: ble 38             ! out of fuel
+19: nop
+20: mov %g2,%o0        ! cmpkey(key, p->key)
+21: call cmpkey
+22: ld [%o3],%o1       ! (delay slot) second argument = p->key
+23: cmp %o0,0
+24: bl 31              ! key < k: go left
+25: nop
+26: cmp %o0,0
+27: bg 34              ! key > k: go right
+28: nop
+29: ba 37              ! key == k: hit
+30: inc %o5            ! (delay slot) hits++
+31: ld [%o3+4],%o3     ! p = p->left
+32: ba 14
+33: dec %g3            ! (delay slot) fuel--
+34: ld [%o3+8],%o3     ! p = p->right
+35: ba 14
+36: dec %g3            ! (delay slot) fuel--
+37: nop                ! hit lands here
+38: inc %o4            ! i++
+39: ba 7
+40: nop
+41: mov %g4,%o7        ! restore return address
+42: retl
+43: mov %o5,%o0
+
+cmpkey:
+44: retl
+45: sub %o0,%o1,%o0    ! (delay slot) a - b
+"""
+
+
+def _tree(emulator, base):
+    """Build:        50
+                    /  \\
+                  30    70
+                 /  \\     \\
+                20  40    90        at addresses base+16*i."""
+    nodes = {}
+    def node(i, key, left, right):
+        addr = base + 16 * i
+        nodes[key] = addr
+        emulator.write_words(addr, [key, left, right])
+        return addr
+    n20 = node(3, 20, 0, 0)
+    n40 = node(4, 40, 0, 0)
+    n90 = node(5, 90, 0, 0)
+    n30 = node(1, 30, n20, n40)
+    n70 = node(2, 70, 0, n90)
+    n50 = node(0, 50, n30, n70)
+    return n50
+
+
+def _btree_oracle(program) -> None:
+    emulator = Emulator(program)
+    root = _tree(emulator, 0x70000)
+    keys = [50, 25, 90, 20, 100, 40]
+    keys_base = 0x71000
+    emulator.write_words(keys_base, keys)
+    emulator.set_register("%o0", root)
+    emulator.set_register("%o1", keys_base)
+    emulator.set_register("%o2", len(keys))
+    emulator.run()
+    got = emulator.register_signed("%o0")
+    assert got == 4, "btree: got %d hits, want 4" % got
+
+
+PROGRAM_BTREE = BenchmarkProgram(
+    name="btree",
+    paper_name="Btree",
+    description="Binary-tree lookups with inline key comparison.",
+    source=BTREE_SOURCE,
+    spec_text=_TREE_SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=41, branches=11, loops=2,
+                       inner_loops=1, calls=0, trusted_calls=0,
+                       global_conditions=41, total_seconds=0.59),
+    emulation_oracle=_btree_oracle,
+)
+
+PROGRAM_BTREE2 = BenchmarkProgram(
+    name="btree2",
+    paper_name="Btree2",
+    description="Binary-tree lookups comparing keys via an untrusted "
+                "helper function.",
+    source=BTREE2_SOURCE,
+    spec_text=_TREE_SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=51, branches=11, loops=2,
+                       inner_loops=1, calls=4, trusted_calls=0,
+                       global_conditions=42, total_seconds=0.53),
+    emulation_oracle=_btree_oracle,
+)

@@ -1,0 +1,78 @@
+"""``BubbleSort`` — in-place bubble sort of a host integer array (paper
+Section 6).
+
+This is the nested-loop stress test: the inner loop accesses ``arr[j]``
+and ``arr[j+1]`` (loads *and* stores), so the checker must synthesize
+the inner invariant ``j ≥ 0 ∧ j < i`` together with the outer fact
+``i ≤ n − 1`` — which only the generalization enhancement can supply
+(the naive wlp chain never learns an upper bound for ``i``)."""
+
+from __future__ import annotations
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+SOURCE = """
+! %o0 = arr (int[n], elements writable), %o1 = n
+ 1: mov %o1,%o2        ! i = n
+ 2: dec %o2            ! i = n - 1
+ 3: cmp %o2,0          ! outer: while i > 0
+ 4: ble 24
+ 5: nop
+ 6: clr %o3            ! j = 0
+ 7: cmp %o3,%o2        ! inner: while j < i
+ 8: bge 22
+ 9: nop
+10: sll %o3,2,%g1      ! off  = 4j
+11: ld [%o0+%g1],%g2   ! a = arr[j]
+12: add %g1,4,%g3      ! off2 = 4j + 4
+13: ld [%o0+%g3],%g4   ! b = arr[j+1]
+14: cmp %g2,%g4
+15: ble 19             ! already ordered
+16: nop
+17: st %g4,[%o0+%g1]   ! arr[j]   = b
+18: st %g2,[%o0+%g3]   ! arr[j+1] = a
+19: inc %o3            ! j++
+20: ba 7
+21: nop
+22: ba 3
+23: dec %o2            ! (delay slot) i--
+24: retl
+25: nop
+"""
+
+SPEC = """
+loc e   : int    = initialized  perms rwo region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : rwo]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+
+def _oracle(program) -> None:
+    values = [5, 1, 4, 2, 8, 0, 3, 3, -7, 12]
+    emulator = Emulator(program)
+    base = 0x60000
+    emulator.write_words(base, values)
+    emulator.set_register("%o0", base)
+    emulator.set_register("%o1", len(values))
+    emulator.run()
+    got = emulator.read_words(base, len(values))
+    assert got == sorted(values), "bubble sort produced %r" % (got,)
+
+
+PROGRAM = BenchmarkProgram(
+    name="bubble-sort",
+    paper_name="BubbleSort",
+    description="In-place bubble sort over a writable host array.",
+    source=SOURCE,
+    spec_text=SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=25, branches=5, loops=2,
+                       inner_loops=1, calls=0, trusted_calls=0,
+                       global_conditions=19, total_seconds=0.48),
+    emulation_oracle=_oracle,
+)

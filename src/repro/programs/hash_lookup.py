@@ -1,0 +1,104 @@
+"""``Hash`` — hash-table lookup (paper Section 6).
+
+The extension hashes an integer key into a 64-bucket table of chain
+heads, walks the chain comparing keys, and reports the result to the
+host through a trusted call.  Proving the bucket access safe requires
+reasoning about the ``and``-mask (``idx = key & 63``) and the shift
+that scales it — the exact congruence encodings of those instructions
+make the bounds and alignment conditions provable."""
+
+from __future__ import annotations
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+SOURCE = """
+! %o0 = bucket table (array of 64 chain heads), %o1 = key
+! struct node { int key; int value; struct node *next; }
+ 1: mov %o7,%g4       ! save the host return address
+ 2: and %o1,63,%g1    ! idx = key & 63
+ 3: sll %g1,2,%g1     ! byte offset = 4 * idx
+ 4: ld [%o0+%g1],%o3  ! p = tab[idx]
+ 5: cmp %o3,0
+ 6: be 16             ! empty chain: not found
+ 7: nop
+ 8: ld [%o3],%g2      ! g2 = p->key
+ 9: cmp %g2,%o1
+10: be 19             ! hit
+11: nop
+12: ld [%o3+8],%o3    ! p = p->next
+13: cmp %o3,0
+14: bne 8             ! while p != NULL
+15: nop
+16: clr %o0           ! miss: result 0
+17: ba 21
+18: nop
+19: ld [%o3+4],%o0    ! result = p->value
+20: nop
+21: call report       ! trusted: report(result)
+22: nop
+23: mov %g4,%o7       ! restore the return address
+24: retl
+25: nop
+"""
+
+SPEC = """
+# 64 chain-head pointers, each chain made of host-owned nodes.
+type node = struct { key: int; value: int; next: node ptr }
+loc nd  : node                      perms r   region H summary
+loc bkt : node ptr = {nd, null}     perms rfo region H summary
+loc tab : node ptr[64] = {bkt}      perms rfo region H
+rule [H : node.key, node.value : ro]
+rule [H : node.next : rfo]
+rule [H : node ptr : rfo]
+invoke %o0 = tab
+invoke %o1 = key
+function report {
+    param %o0 : int = initialized perms o
+    clobbers %g1
+}
+"""
+
+
+def _oracle(program) -> None:
+    reported = []
+    emulator = Emulator(program, host_functions={
+        "report": lambda emu: reported.append(
+            emu.register_signed("%o0"))})
+    tab = 0x50000
+    emulator.write_words(tab, [0] * 64)
+    # Insert (key=7, value=111) and (key=71, value=222) — both hash to
+    # bucket 7; the second is chained in front.
+    node_a, node_b = 0x51000, 0x51010
+    emulator.write_words(node_a, [7, 111, 0])
+    emulator.write_words(node_b, [71, 222, node_a])
+    emulator.write_words(tab + 4 * 7, [node_b])
+    emulator.set_register("%o0", tab)
+    emulator.set_register("%o1", 7)
+    emulator.run()
+    assert reported == [111], reported
+    assert emulator.register_signed("%o0") == 111
+    # Miss case: key 8 hashes to the empty bucket 8.
+    reported.clear()
+    emulator2 = Emulator(program, host_functions={
+        "report": lambda emu: reported.append(
+            emu.register_signed("%o0"))})
+    emulator2.memory.update(emulator.memory)
+    emulator2.set_register("%o0", tab)
+    emulator2.set_register("%o1", 8)
+    emulator2.run()
+    assert reported == [0], reported
+
+
+PROGRAM = BenchmarkProgram(
+    name="hash",
+    paper_name="Hash",
+    description="Hash-table lookup with masked index and chain walk.",
+    source=SOURCE,
+    spec_text=SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=25, branches=4, loops=1,
+                       inner_loops=0, calls=1, trusted_calls=1,
+                       global_conditions=14, total_seconds=0.39),
+    emulation_oracle=_oracle,
+)

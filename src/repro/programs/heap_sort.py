@@ -1,0 +1,248 @@
+"""``HeapSort`` / ``HeapSort2`` — the paper's heap-sort pair (Section
+6): one manually inlined version and one interprocedural version.
+
+``HeapSort2`` (the paper's 71-instruction row) keeps ``sift`` as a
+separate leaf routine called from the build and extract phases; the
+safety conditions inside ``sift`` (array indices bounded by ``end``,
+``end ≤ n``, ``start ≥ 0``) float to its entry and are re-proven at
+every call site.  ``HeapSort`` (the 95-instruction row) replicates the
+``sift`` body in both phases, so the same conditions are verified
+twice — the paper's observation that "verifying an interprocedural
+version … can take less time than verifying a manually inlined version"
+falls out of exactly this difference."""
+
+from __future__ import annotations
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+_HEAP_SPEC = """
+loc e   : int    = initialized  perms rwo region V summary
+loc arr : int[n] = {e}          perms rfo  region V
+rule [V : int : rwo]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+HEAPSORT2_SOURCE = """
+! HeapSort2 (interprocedural): %o0 = arr, %o1 = n.
+    mov %o7,%g4          ! save the host return address
+    mov %o0,%g5          ! g5 = a
+    mov %o1,%g6          ! g6 = n
+    srl %o1,1,%g7        ! n / 2
+    dec %g7              ! s = n/2 - 1
+build:
+    cmp %g7,0            ! build phase: for s = n/2-1 down to 0
+    bl extract
+    nop
+    mov %g5,%o0
+    mov %g7,%o1          ! start = s
+    call sift
+    mov %g6,%o2          ! (delay slot) end = n
+    dec %g7
+    ba build
+    nop
+extract:
+    mov %g6,%g7
+    dec %g7              ! i = n - 1
+extloop:
+    cmp %g7,0            ! extract phase: while i > 0
+    ble done
+    nop
+    ld [%g5],%g1         ! tmp = a[0]
+    sll %g7,2,%g2
+    ld [%g5+%g2],%g3     ! a[i]
+    st %g3,[%g5]         ! a[0] = a[i]
+    st %g1,[%g5+%g2]     ! a[i] = tmp
+    mov %g5,%o0
+    clr %o1              ! start = 0
+    call sift
+    mov %g7,%o2          ! (delay slot) end = i
+    dec %g7
+    ba extloop
+    nop
+done:
+    mov %g4,%o7          ! restore the return address
+    retl
+    nop
+
+sift:
+! sift(a=%o0, root=%o1, end=%o2): standard sift-down (max-heap).
+siftloop:
+    sll %o1,1,%g1
+    add %g1,1,%o4        ! child = 2*root + 1
+    cmp %o4,%o2
+    bge siftret          ! child >= end: done
+    nop
+    add %o4,1,%o5
+    cmp %o5,%o2
+    bge pick             ! no right sibling
+    nop
+    sll %o4,2,%g1
+    ld [%o0+%g1],%g2     ! a[child]
+    sll %o5,2,%g1
+    ld [%o0+%g1],%g3     ! a[child+1]
+    cmp %g2,%g3
+    bge pick
+    nop
+    mov %o5,%o4          ! right sibling is larger
+pick:
+    sll %o1,2,%g1        ! g1 = 4*root
+    ld [%o0+%g1],%g2     ! g2 = a[root]
+    sll %o4,2,%g3        ! g3 = 4*child
+    ld [%o0+%g3],%o3     ! o3 = a[child]
+    cmp %g2,%o3
+    bge siftret          ! parent already >= child
+    nop
+    st %o3,[%o0+%g1]     ! a[root]  = a[child]
+    st %g2,[%o0+%g3]     ! a[child] = old parent
+    ba siftloop
+    mov %o4,%o1          ! (delay slot) root = child
+siftret:
+    retl
+    nop
+"""
+
+# The manually inlined version: the sift body appears once in the build
+# phase (registers %o1=root, %o2=end) and once in the extract phase.
+HEAPSORT_SOURCE = """
+! HeapSort (manually inlined): %o0 = arr, %o1 = n.
+    mov %o0,%g5          ! g5 = a
+    mov %o1,%g6          ! g6 = n
+    srl %o1,1,%g7        ! n / 2
+    dec %g7              ! s = n/2 - 1
+build:
+    cmp %g7,0
+    bl extract
+    nop
+    mov %g7,%o1          ! root = s
+    mov %g6,%o2          ! end = n
+bsift:
+    sll %o1,1,%g1
+    add %g1,1,%o4        ! child = 2*root + 1
+    cmp %o4,%o2
+    bge bdone
+    nop
+    add %o4,1,%o5
+    cmp %o5,%o2
+    bge bpick
+    nop
+    sll %o4,2,%g1
+    ld [%g5+%g1],%g2
+    sll %o5,2,%g1
+    ld [%g5+%g1],%g3
+    cmp %g2,%g3
+    bge bpick
+    nop
+    mov %o5,%o4
+bpick:
+    sll %o1,2,%g1
+    ld [%g5+%g1],%g2     ! a[root]
+    sll %o4,2,%g3
+    ld [%g5+%g3],%o3     ! a[child]
+    cmp %g2,%o3
+    bge bdone
+    nop
+    st %o3,[%g5+%g1]
+    st %g2,[%g5+%g3]
+    ba bsift
+    mov %o4,%o1
+bdone:
+    dec %g7
+    ba build
+    nop
+extract:
+    mov %g6,%g7
+    dec %g7              ! i = n - 1
+extloop:
+    cmp %g7,0
+    ble done
+    nop
+    ld [%g5],%g1         ! tmp = a[0]
+    sll %g7,2,%g2
+    ld [%g5+%g2],%g3
+    st %g3,[%g5]         ! a[0] = a[i]
+    st %g1,[%g5+%g2]     ! a[i] = tmp
+    clr %o1              ! root = 0
+    mov %g7,%o2          ! end = i
+esift:
+    sll %o1,1,%g1
+    add %g1,1,%o4        ! child = 2*root + 1
+    cmp %o4,%o2
+    bge edone
+    nop
+    add %o4,1,%o5
+    cmp %o5,%o2
+    bge epick
+    nop
+    sll %o4,2,%g1
+    ld [%g5+%g1],%g2
+    sll %o5,2,%g1
+    ld [%g5+%g1],%g3
+    cmp %g2,%g3
+    bge epick
+    nop
+    mov %o5,%o4
+epick:
+    sll %o1,2,%g1
+    ld [%g5+%g1],%g2
+    sll %o4,2,%g3
+    ld [%g5+%g3],%o3
+    cmp %g2,%o3
+    bge edone
+    nop
+    st %o3,[%g5+%g1]
+    st %g2,[%g5+%g3]
+    ba esift
+    mov %o4,%o1
+edone:
+    dec %g7
+    ba extloop
+    nop
+done:
+    retl
+    nop
+"""
+
+
+def _oracle(program) -> None:
+    values = [9, 4, 8, 1, 7, 3, 6, 2, 5, 0, 11, -2]
+    emulator = Emulator(program)
+    base = 0x80000
+    emulator.write_words(base, values)
+    emulator.set_register("%o0", base)
+    emulator.set_register("%o1", len(values))
+    emulator.run()
+    got = emulator.read_words(base, len(values))
+    assert got == sorted(values), "heap sort produced %r" % (got,)
+
+
+HEAPSORT2 = BenchmarkProgram(
+    name="heapsort2",
+    paper_name="HeapSort 2",
+    description="Heap sort, interprocedural (sift as a separate leaf "
+                "routine).",
+    source=HEAPSORT2_SOURCE,
+    spec_text=_HEAP_SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=71, branches=9, loops=4,
+                       inner_loops=2, calls=3, trusted_calls=0,
+                       global_conditions=56, total_seconds=2.18),
+    emulation_oracle=_oracle,
+)
+
+HEAPSORT = BenchmarkProgram(
+    name="heapsort",
+    paper_name="HeapSort",
+    description="Heap sort, manually inlined (sift body replicated in "
+                "both phases).",
+    source=HEAPSORT_SOURCE,
+    spec_text=_HEAP_SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=95, branches=16, loops=4,
+                       inner_loops=2, calls=0, trusted_calls=0,
+                       global_conditions=84, total_seconds=3.67),
+    emulation_oracle=_oracle,
+)

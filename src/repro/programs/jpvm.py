@@ -1,0 +1,342 @@
+"""``jPVM`` — the ``Java_jPVM_addhosts`` JNI stub (paper Section 6).
+
+jPVM is a Java native interface to PVM; ``addhosts`` receives a Java
+array of host names, converts each element to a C string through JNI
+calls, collects the strings into a scratch argument vector, hands the
+vector to ``pvm_addhosts``, and releases the strings.  "In the jPVM
+example, we verify that calls into JNI methods and PVM library
+functions are safe, i.e., they obey the safety preconditions."
+
+This program also reproduces the paper's reported *imprecision*: "our
+analysis reported that some actual parameters to the host methods and
+functions are undefined [uninitialized] in the jPVM example, when they
+were in fact defined" — the argument vector is summarized by a single
+abstract location, the fill loop's stores are weak updates, so the
+release loop's reloads look possibly-uninitialized.  The checker flags
+those call arguments; they are known false alarms
+(``violations_are_false_alarms`` is set)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+SPEC = """
+# JNI environment and object handles are opaque host data; the scratch
+# argument vector lives in host scratch space.
+abstract jnienv size 4
+abstract jobject size 4
+loc env    : jnienv ptr = {envobj} perms rfo region J
+loc envobj : jnienv                perms r   region J
+loc hosts  : jobject ptr = {harr}  perms rfo region J
+loc harr   : jobject               perms r   region J summary
+loc aslot  : int = uninitialized   perms rwo region S summary
+loc argv   : int[16] = {aslot}     perms rfo region S
+rule [J : jnienv, jobject : ro]
+rule [S : int : rwo]
+rule [S : int[16] : rfo]
+invoke %o0 = env
+invoke %o1 = hosts
+invoke %o2 = argv
+
+function GetArrayLength {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o1 : jobject ptr = {harr}  perms fo
+    requires %o0 != null
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function GetObjectArrayElement {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o2 : int = initialized perms o
+    requires %o0 != null and %o2 >= 0
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function GetStringUTFChars {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o1 : int = initialized perms o
+    requires %o0 != null
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function ReleaseStringUTFChars {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o1 : int = initialized perms o
+    requires %o0 != null
+    clobbers %g1 %g2
+}
+function pvm_addhosts {
+    param %o0 : int[16] = {aslot} perms fo
+    param %o1 : int = initialized perms o
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function ExceptionCheck {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function ThrowNew {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o1 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function pvm_config {
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function GetStringUTFLength {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o1 : int = initialized perms o
+    requires %o0 != null
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function MonitorEnter {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o1 : jobject ptr = {harr} perms fo
+    requires %o0 != null
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function MonitorExit {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    param %o1 : jobject ptr = {harr} perms fo
+    requires %o0 != null
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+function ExceptionClear {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    clobbers %g1 %g2
+}
+function pvm_notify {
+    param %o0 : int = initialized perms o
+    returns %o0 : int = initialized perms o
+    clobbers %g1 %g2
+}
+"""
+
+
+def _generate() -> Tuple[str, Tuple[int, ...]]:
+    lines: List[str] = []
+    counter = [0]
+    flagged: List[int] = []
+
+    def emit(text: str, flag: bool = False) -> int:
+        counter[0] += 1
+        lines.append(text)
+        if flag:
+            flagged.append(counter[0])
+        return counter[0]
+
+    def label(name: str) -> None:
+        lines.append("%s:" % name)
+
+    emit("mov %o7,%g4            ! save the host return address")
+    emit("mov %o0,%g5            ! g5 = env")
+    emit("mov %o1,%g6            ! g6 = hosts")
+    emit("mov %o2,%l5            ! l5 = argv base")
+
+    # n = GetArrayLength(env, hosts); clamp to the scratch capacity.
+    emit("mov %g5,%o0")
+    emit("call GetArrayLength")
+    emit("mov %g6,%o1")
+    emit("mov %o0,%g7            ! g7 = n")
+    emit("cmp %g7,16")
+    emit("ble lenok")
+    emit("nop")
+    emit("mov 16,%g7             ! n = min(n, 16)")
+    label("lenok")
+
+    # Sanity calls the JNI discipline requires.
+    emit("mov %g5,%o0")
+    emit("call ExceptionCheck")
+    emit("nop")
+    emit("cmp %o0,0")
+    emit("bne bail")
+    emit("nop")
+    emit("call pvm_config")
+    emit("nop")
+    emit("cmp %o0,0")
+    emit("bl bail")
+    emit("nop")
+
+    # Zero the scratch vector first (JNI hygiene).
+    emit("clr %l0")
+    label("zero")
+    emit("cmp %l0,64")
+    emit("bge zerodone")
+    emit("nop")
+    emit("st %g0,[%l5+%l0]")
+    emit("ba zero")
+    emit("add %l0,4,%l0")
+    label("zerodone")
+
+    # The array is JNI-shared state: hold its monitor across the scan.
+    emit("mov %g5,%o0")
+    emit("call MonitorEnter")
+    emit("mov %g6,%o1            ! (delay slot) the hosts array")
+
+    # Fill loop: argv[i] = GetStringUTFChars(env,
+    #                       GetObjectArrayElement(env, hosts, i)).
+    emit("clr %l1                ! total utf length")
+    emit("clr %l0                ! i = 0")
+    label("fill")
+    emit("cmp %l0,%g7")
+    emit("bge filldone")
+    emit("nop")
+    emit("mov %g5,%o0")
+    emit("mov %g6,%o1")
+    emit("call GetObjectArrayElement")
+    emit("mov %l0,%o2            ! (delay slot) index argument")
+    emit("mov %o0,%o1            ! element handle")
+    emit("call GetStringUTFChars")
+    emit("mov %g5,%o0            ! (delay slot) env argument")
+    emit("mov %o0,%l6            ! keep the utf handle")
+    emit("mov %g5,%o0")
+    emit("call GetStringUTFLength")
+    emit("mov %l6,%o1            ! (delay slot) handle argument")
+    emit("add %l1,%o0,%l1        ! accumulate total length")
+    emit("sll %l0,2,%g1")
+    emit("st %l6,[%l5+%g1]       ! argv[i] = utf pointer handle")
+    emit("ba fill")
+    emit("inc %l0")
+    label("filldone")
+    emit("mov %g5,%o0")
+    emit("call MonitorExit")
+    emit("mov %g6,%o1            ! (delay slot) release the array")
+
+    # info = pvm_addhosts(argv, n).
+    emit("mov %l5,%o0")
+    emit("call pvm_addhosts")
+    emit("mov %g7,%o1            ! (delay slot) count")
+    emit("mov %o0,%l4            ! l4 = info")
+
+    # Release loop: ReleaseStringUTFChars(env, argv[i]).  The reload of
+    # argv[i] goes through the summarized scratch vector, so its state
+    # is 'may be uninitialized' — the paper's reported false alarm.
+    emit("clr %l0")
+    label("release")
+    emit("cmp %l0,%g7")
+    emit("bge reldone")
+    emit("nop")
+    emit("sll %l0,2,%g1")
+    emit("ld [%l5+%g1],%o1       ! argv[i] (summary: may look uninit)")
+    emit("mov %g5,%o0")
+    emit("call ReleaseStringUTFChars", flag=True)
+    emit("nop")
+    emit("ba release")
+    emit("inc %l0")
+    label("reldone")
+
+    # if (info < 0) ThrowNew(env, info); three more JNI bookkeeping
+    # calls round out the stub's epilogue.
+    emit("cmp %l4,0")
+    emit("bge finish")
+    emit("nop")
+    emit("mov %g5,%o0")
+    emit("call ThrowNew")
+    emit("mov %l4,%o1            ! (delay slot) error code")
+    label("finish")
+    emit("mov %g5,%o0")
+    emit("call ExceptionCheck")
+    emit("nop")
+    emit("cmp %o0,0")
+    emit("be noexc")
+    emit("nop")
+    emit("mov %g5,%o0")
+    emit("call ThrowNew")
+    emit("mov 1,%o1")
+    label("noexc")
+    emit("mov %g5,%o0")
+    emit("call ExceptionCheck")
+    emit("nop")
+    emit("cmp %o0,0")
+    emit("be clean")
+    emit("nop")
+    emit("mov %g5,%o0")
+    emit("call ExceptionClear")
+    emit("nop")
+    label("clean")
+    emit("mov %l1,%o0")
+    emit("call pvm_notify        ! report the total bytes shipped")
+    emit("nop")
+    emit("mov %g4,%o7            ! restore the return address")
+    emit("retl")
+    emit("mov %l4,%o0            ! return the pvm_addhosts status")
+
+    # Early-bail path: raise a JNI error and return failure.
+    label("bail")
+    emit("mov %g5,%o0")
+    emit("call ThrowNew")
+    emit("mov 7,%o1              ! (delay slot) error code")
+    emit("mov %g4,%o7")
+    emit("retl")
+    emit("mov -1,%o0")
+
+    return "\n".join(lines), tuple(flagged)
+
+
+_SOURCE, _FLAGGED = _generate()
+
+
+def _oracle(program) -> None:
+    calls: List[str] = []
+    released: List[int] = []
+
+    def jni(name, result=None):
+        def handler(emu):
+            calls.append(name)
+            if name == "GetArrayLength":
+                emu.set_register("%o0", 3)
+            elif name == "GetObjectArrayElement":
+                emu.set_register("%o0", 0x100 + emu.register("%o2"))
+            elif name == "GetStringUTFChars":
+                emu.set_register("%o0", emu.register("%o1") + 0x1000)
+            elif name == "ReleaseStringUTFChars":
+                released.append(emu.register_signed("%o1"))
+            elif name == "pvm_addhosts":
+                emu.set_register("%o0", emu.register("%o1"))
+            elif name == "GetStringUTFLength":
+                emu.set_register("%o0", 11)
+            elif name in ("ExceptionCheck", "pvm_config",
+                          "MonitorEnter", "MonitorExit", "pvm_notify"):
+                emu.set_register("%o0", 0)
+        return handler
+
+    names = ["GetArrayLength", "GetObjectArrayElement",
+             "GetStringUTFChars", "ReleaseStringUTFChars",
+             "pvm_addhosts", "ExceptionCheck", "ThrowNew", "pvm_config",
+             "GetStringUTFLength", "MonitorEnter", "MonitorExit",
+             "ExceptionClear", "pvm_notify"]
+    emulator = Emulator(program,
+                        host_functions={n: jni(n) for n in names})
+    emulator.set_register("%o0", 0xA0000)   # env
+    emulator.set_register("%o1", 0xA1000)   # hosts
+    emulator.set_register("%o2", 0xA2000)   # argv scratch
+    emulator.run()
+    assert released == [0x1100, 0x1101, 0x1102], released
+    assert emulator.register_signed("%o0") == 3
+    assert calls.count("GetStringUTFChars") == 3
+
+
+PROGRAM = BenchmarkProgram(
+    name="jpvm",
+    paper_name="jPVM",
+    description="Java_jPVM_addhosts JNI stub: 20+ trusted host calls "
+                "with preconditions.",
+    source=_SOURCE,
+    spec_text=SPEC,
+    expect_safe=False,
+    expected_violation_indices=_FLAGGED,
+    expected_violation_categories=("trusted-call",),
+    violations_are_false_alarms=True,
+    paper_row=PaperRow(instructions=157, branches=12, loops=3,
+                       inner_loops=0, calls=21, trusted_calls=21,
+                       global_conditions=57, total_seconds=5.25),
+    emulation_oracle=_oracle,
+)

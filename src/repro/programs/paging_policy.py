@@ -1,0 +1,85 @@
+"""``PagingPolicy`` — a kernel extension implementing a page-replacement
+policy (paper Section 6; the kernel-extension workload of Small &
+Seltzer's OS-extension comparison).
+
+The extension scans a linked list of page frames once per pass, looking
+for a page whose reference bit is clear.  It contains the bug the paper
+reports finding: the scan loop advances ``p = p->next`` and then
+dereferences ``p`` again *without testing it against NULL* — the loop
+only terminates when a clear reference bit is found, so a pass over a
+list whose pages are all referenced runs off the end.  The checker must
+flag the two dereferences of the possibly-null pointer (instructions 7
+and 12)."""
+
+from __future__ import annotations
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+SOURCE = """
+! %o0 = head of the page-frame list, %o1 = number of passes
+! struct page { int refbit; struct page *next; }
+ 1: clr %o2          ! pass = 0
+ 2: clr %o4          ! victims = 0
+ 3: cmp %o2,%o1      ! outer loop: while pass < passes
+ 4: bge 17
+ 5: nop
+ 6: mov %o0,%o3      ! p = head
+ 7: ld [%o3],%g1     ! g1 = p->refbit    (BUG: p may be NULL here)
+ 8: cmp %g1,0
+ 9: be 13            ! refbit clear -> victim found
+10: nop
+11: ba 7             ! keep scanning
+12: ld [%o3+4],%o3   ! (delay slot) p = p->next -- may become NULL
+13: inc %o4          ! victims++
+14: inc %o2          ! pass++
+15: ba 3
+16: nop
+17: retl
+18: mov %o4,%o0      ! return victim count
+"""
+
+SPEC = """
+# The host's page-frame list: pg summarizes every page frame.
+type page = struct { refbit: int; next: page ptr }
+loc pg   : page            perms r   region H summary
+loc head : page ptr = {pg} perms rfo region H
+rule [H : page.refbit : ro]
+rule [H : page.next : rfo]
+invoke %o0 = head
+invoke %o1 = passes
+assume passes >= 1
+"""
+
+
+def _oracle(program) -> None:
+    """Concretely: 3 pages, middle one unreferenced; every pass finds it
+    before falling off the list, and returns one victim per pass."""
+    emulator = Emulator(program)
+    base = 0x30000
+    # page0: refbit=1 -> page1: refbit=0 -> page2: refbit=1 -> NULL
+    emulator.write_words(base + 0, [1, base + 8])
+    emulator.write_words(base + 8, [0, base + 16])
+    emulator.write_words(base + 16, [1, 0])
+    emulator.set_register("%o0", base)
+    emulator.set_register("%o1", 4)
+    emulator.run()
+    got = emulator.register_signed("%o0")
+    assert got == 4, "paging: got %d victims, want 4" % got
+
+
+PROGRAM = BenchmarkProgram(
+    name="paging-policy",
+    paper_name="PagingPolicy",
+    description="Page-replacement kernel extension with the paper's "
+                "null-pointer bug.",
+    source=SOURCE,
+    spec_text=SPEC,
+    expect_safe=False,
+    expected_violation_indices=(7, 12),
+    expected_violation_categories=("null-pointer",),
+    paper_row=PaperRow(instructions=20, branches=5, loops=2,
+                       inner_loops=1, calls=0, trusted_calls=0,
+                       global_conditions=9, total_seconds=0.47),
+    emulation_oracle=_oracle,
+)

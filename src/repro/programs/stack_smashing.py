@@ -1,0 +1,243 @@
+"""``Stack-smashing`` — a re-creation of example 9.b from Smith's
+"Stack Smashing Vulnerabilities in the UNIX Operating System" (paper
+Section 6).
+
+The original is a request parser that copies attacker-controlled data
+into fixed-size stack buffers with no bounds checks.  The paper reports
+that the checker "identified all array out-of-bounds violations" and
+that the stack frames of functions with local arrays had to be
+annotated; the specification below does exactly that — the frame's
+buffers are declared as abstract locations (``nameBuf``/``valueBuf``)
+whose base addresses are handed to the code.
+
+The program is generated: a long character-validation ladder (the
+branch-heavy parsing the paper's 89-branch count reflects), a separator
+scan, two *unchecked* copy loops (the smash — flagged), a bounded
+uppercase pass, a checksum with an inner token loop, a bounded padding
+loop, and two trusted log calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+SPEC = """
+# Request bytes (read-only) and the annotated stack-frame buffers.
+loc rb       : uint8     = initialized   perms ro  region R summary
+loc req      : uint8[len] = {rb}         perms rfo region R
+# The host zeroes the frame before invoking the extension, so the
+# buffer bytes start initialized (the paper annotates stack frames of
+# functions with local arrays in the same way).
+loc nb       : uint8     = initialized   perms rwo region F summary
+loc vb       : uint8     = initialized   perms rwo region F summary
+loc nameBuf  : uint8[32] = {nb}          perms rfo region F
+loc valueBuf : uint8[64] = {vb}          perms rfo region F
+rule [R : uint8 : ro]
+rule [R : uint8[len] : rfo]
+rule [F : uint8 : rwo]
+rule [F : uint8[32], uint8[64] : rfo]
+invoke %o0 = req
+invoke %o1 = len
+invoke %o2 = nameBuf
+invoke %o3 = valueBuf
+assume len >= 1
+function log {
+    param %o0 : int = initialized perms o
+    clobbers %g1
+}
+"""
+
+
+def _generate() -> Tuple[str, Tuple[int, ...]]:
+    """Emit the assembly and the indices of the smashing stores."""
+    lines: List[str] = []
+    counter = [0]
+    flagged: List[int] = []
+
+    def emit(text: str, flag: bool = False) -> int:
+        counter[0] += 1
+        lines.append(text)
+        if flag:
+            flagged.append(counter[0])
+        return counter[0]
+
+    def label(name: str) -> None:
+        lines.append("%s:" % name)
+
+    emit("mov %o7,%g4            ! save the host return address")
+    emit("mov %o0,%g5            ! g5 = req")
+    emit("mov %o1,%g6            ! g6 = len")
+    emit("clr %o5                ! checksum accumulator")
+
+    # --- character-validation ladder (branch heavy, all safe) --------
+    # Validate the first up-to-20 request bytes against 3 character
+    # classes each; each probe is bounds-checked against len.  Each
+    # block's rejects rejoin at the next block (the shape a parser's
+    # if/else chains compile to).
+    for i in range(20):
+        label("val%d" % i)
+        emit("cmp %%g6,%d            ! enough bytes?" % (i + 1))
+        emit("ble val%d" % (i + 1))
+        emit("nop")
+        emit("ldub [%%g5+%d],%%g1    ! req[%d]" % (i, i))
+        emit("cmp %g1,32             ! printable?")
+        emit("bl val%d" % (i + 1))
+        emit("nop")
+        emit("cmp %g1,126")
+        emit("bg val%d" % (i + 1))
+        emit("nop")
+        emit("cmp %g1,58             ! colon?")
+        emit("bne val%d" % (i + 1))
+        emit("nop")
+        emit("add %%o5,%d,%%o5" % i)
+    label("val20")
+    label("valdone")
+
+    # --- loop 1: scan for the '=' separator (safe: bounded by len) ---
+    emit("clr %l0                 ! i = 0")
+    label("scan")
+    emit("cmp %l0,%g6")
+    emit("bge scandone")
+    emit("nop")
+    emit("ldub [%g5+%l0],%g1")
+    emit("cmp %g1,61              ! '='")
+    emit("be scandone")
+    emit("nop")
+    emit("ba scan")
+    emit("inc %l0                 ! (delay slot) i++")
+    label("scandone")
+
+    # --- loop 2: THE SMASH — copy name bytes with no 32-byte check ---
+    emit("clr %l1                 ! j = 0")
+    label("copy1")
+    emit("cmp %l1,%l0             ! while j < sep")
+    emit("bge copy1done")
+    emit("nop")
+    emit("ldub [%g5+%l1],%g1")
+    emit("stb %g1,[%o2+%l1]       ! nameBuf[j] = req[j]  (UNBOUNDED)",
+         flag=True)
+    emit("ba copy1")
+    emit("inc %l1")
+    label("copy1done")
+
+    # --- loop 3: THE SMASH — copy value bytes, no 64-byte check ------
+    emit("add %l0,1,%l2           ! k = sep + 1")
+    emit("clr %l3                 ! m = 0")
+    label("copy2")
+    emit("cmp %l2,%g6             ! while k < len")
+    emit("bge copy2done")
+    emit("nop")
+    emit("ldub [%g5+%l2],%g1")
+    emit("stb %g1,[%o3+%l3]       ! valueBuf[m] = req[k]  (UNBOUNDED)",
+         flag=True)
+    emit("inc %l2")
+    emit("ba copy2")
+    emit("inc %l3")
+    label("copy2done")
+
+    # --- loop 4: uppercase nameBuf in place (safe: bounded by 32) ----
+    emit("clr %l1")
+    label("upper")
+    emit("cmp %l1,32")
+    emit("bge upperdone")
+    emit("nop")
+    emit("ldub [%o2+%l1],%g1")
+    emit("cmp %g1,97              ! 'a'")
+    emit("bl uppernext")
+    emit("nop")
+    emit("cmp %g1,122             ! 'z'")
+    emit("bg uppernext")
+    emit("nop")
+    emit("sub %g1,32,%g1")
+    emit("stb %g1,[%o2+%l1]")
+    label("uppernext")
+    emit("ba upper")
+    emit("inc %l1")
+    label("upperdone")
+
+    # --- loop 5 with inner loop 6: token checksum over req -----------
+    emit("clr %l0                 ! i = 0")
+    label("cksum")
+    emit("cmp %l0,%g6")
+    emit("bge cksumdone")
+    emit("nop")
+    label("token")              # inner: advance over non-space bytes
+    emit("cmp %l0,%g6")
+    emit("bge cksumdone")
+    emit("nop")
+    emit("ldub [%g5+%l0],%g1")
+    emit("add %o5,%g1,%o5")
+    emit("cmp %g1,32              ! token ends at a space")
+    emit("be cksum_adv")
+    emit("nop")
+    emit("ba token")
+    emit("inc %l0")
+    label("cksum_adv")
+    emit("ba cksum")
+    emit("inc %l0")
+    label("cksumdone")
+
+    # --- loop 7: zero-pad valueBuf tail (safe: bounded by 64) --------
+    emit("clr %l3")
+    label("pad")
+    emit("cmp %l3,64")
+    emit("bge paddone")
+    emit("nop")
+    emit("stb %g0,[%o3+%l3]")
+    emit("ba pad")
+    emit("inc %l3")
+    label("paddone")
+
+    # --- report and return --------------------------------------------
+    emit("mov %o5,%o0")
+    emit("call log")
+    emit("nop")
+    emit("mov %l0,%o0")
+    emit("call log")
+    emit("nop")
+    emit("mov %g4,%o7             ! restore the return address")
+    emit("retl")
+    emit("mov %o5,%o0")
+
+    return "\n".join(lines), tuple(flagged)
+
+
+_SOURCE, _FLAGGED = _generate()
+
+
+def _oracle(program) -> None:
+    """Concrete run with a benign request that fits the buffers."""
+    logged = []
+    emulator = Emulator(program, host_functions={
+        "log": lambda emu: logged.append(emu.register_signed("%o0"))})
+    request = b"user=alice"
+    req, name_buf, value_buf = 0x90000, 0x91000, 0x92000
+    emulator.write_bytes(req, request)
+    emulator.set_register("%o0", req)
+    emulator.set_register("%o1", len(request))
+    emulator.set_register("%o2", name_buf)
+    emulator.set_register("%o3", value_buf)
+    emulator.run()
+    assert emulator.read_bytes(name_buf, 4) == b"USER"
+    assert emulator.read_bytes(value_buf, 5) == b"\0\0\0\0\0"
+    assert len(logged) == 2
+
+
+PROGRAM = BenchmarkProgram(
+    name="stack-smashing",
+    paper_name="Stack-smashing",
+    description="Smith's stack-smashing example: unchecked copies into "
+                "annotated stack buffers.",
+    source=_SOURCE,
+    spec_text=SPEC,
+    expect_safe=False,
+    expected_violation_indices=_FLAGGED,
+    expected_violation_categories=("array-bounds",),
+    paper_row=PaperRow(instructions=309, branches=89, loops=7,
+                       inner_loops=1, calls=2, trusted_calls=2,
+                       global_conditions=162, total_seconds=11.60),
+    emulation_oracle=_oracle,
+)

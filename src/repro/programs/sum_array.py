@@ -1,0 +1,67 @@
+"""``Sum`` — the paper's running example (Figure 1): summing the
+elements of an integer array.
+
+The code, host typestate, safety policy, and invocation specification
+are reproduced verbatim from Figure 1.  The checker must prove, at the
+``ld`` on line 7, that the index register stays inside ``[0, 4n)``,
+which requires synthesizing the loop invariant ``%g3 < n ∧ %o1 ≤ n``
+(paper Section 5.2.2)."""
+
+from __future__ import annotations
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+SOURCE = """
+1: mov %o0,%o2      ! move %o0 into %o2
+2: clr %o0          ! set %o0 to zero
+3: cmp %o0,%o1      ! compare %o0 and %o1
+4: bge 12           ! branch to 12 if %o0 >= %o1
+5: clr %g3          ! set %g3 to zero
+6: sll %g3, 2,%g2   ! %g2 = 4 x %g3
+7: ld [%o2+%g2],%g2 ! load from address %o2+%g2
+8: inc %g3          ! %g3 = %g3 + 1
+9: cmp %g3,%o1      ! compare %g3 and %o1
+10:bl 6             ! branch to 6 if %g3 < %o1
+11:add %o0,%g2,%o0  ! %o0 = %o0 + %g2
+12:retl
+13:nop
+"""
+
+SPEC = """
+# Figure 1 host side: arr is an integer array of size n (n >= 1); e is
+# the abstract location summarizing all of arr's elements.
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+
+def _oracle(program) -> None:
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+    emulator = Emulator(program)
+    base = 0x20000
+    emulator.write_words(base, values)
+    emulator.set_register("%o0", base)
+    emulator.set_register("%o1", len(values))
+    emulator.run()
+    got = emulator.register_signed("%o0")
+    assert got == sum(values), "sum: got %d, want %d" % (got, sum(values))
+
+
+PROGRAM = BenchmarkProgram(
+    name="sum",
+    paper_name="Sum",
+    description="Sum the elements of an integer array (paper Figure 1).",
+    source=SOURCE,
+    spec_text=SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=13, branches=2, loops=1,
+                       inner_loops=0, calls=0, trusted_calls=0,
+                       global_conditions=4, total_seconds=0.06),
+    emulation_oracle=_oracle,
+)

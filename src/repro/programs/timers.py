@@ -1,0 +1,161 @@
+"""``StartTimer`` / ``StopTimer`` — performance-instrumentation
+primitives from the Paradyn suite (paper Section 6).
+
+Both operate on a host-owned timer structure and call trusted host
+functions (``getTime``; StopTimer also reports through ``logEvent``).
+StartTimer starts the timer if it is not already running and bumps the
+nesting counter; StopTimer decrements the counter and, when it reaches
+zero, accumulates the elapsed time.  Both are safe: the checker proves
+every field access non-null and permission-correct and that the trusted
+calls satisfy their host preconditions."""
+
+from __future__ import annotations
+
+from repro.programs.base import BenchmarkProgram, PaperRow
+from repro.sparc.emulator import Emulator
+
+# struct timer { int counter; int active; int start; int total }
+_TIMER_SPEC = """
+type timer = struct { counter: int; active: int; start: int; total: int }
+loc tm  : timer            perms rw  region T
+loc tmr : timer ptr = {tm} perms rfo region T
+rule [T : timer.counter, timer.active, timer.start, timer.total : rwo]
+invoke %o0 = tmr
+function getTime {
+    returns %o0 : int = initialized perms o
+    clobbers %g1
+}
+function logEvent {
+    param %o0 : int = initialized perms o
+    clobbers %g1
+}
+"""
+
+START_SOURCE = """
+! StartTimer(timer *t): if (t->counter == 0) { t->start = getTime();
+!                                              t->active = 1; }
+!                       return ++t->counter;
+ 1: mov %o0,%o5       ! keep the timer pointer across the call
+ 2: ld [%o5],%g1      ! g1 = t->counter
+ 3: cmp %g1,0
+ 4: bne 18            ! already running
+ 5: nop
+ 6: mov %o7,%g4       ! save the host return address (leaf-call idiom)
+ 7: call getTime      ! trusted host call
+ 8: nop
+ 9: mov %g4,%o7       ! restore the return address
+10: st %o0,[%o5+8]    ! t->start = now
+11: mov 1,%g2
+12: st %g2,[%o5+4]    ! t->active = 1
+13: ld [%o5],%g1
+14: inc %g1
+15: st %g1,[%o5]      ! t->counter = 1
+16: retl
+17: mov %g1,%o0
+18: ld [%o5],%g1      ! nested start: just bump the counter
+19: inc %g1
+20: st %g1,[%o5]
+21: ld [%o5+12],%g3   ! keep the running total warm in cache
+22: retl
+23: mov %g1,%o0
+"""
+
+STOP_SOURCE = """
+! StopTimer(timer *t): if (--t->counter == 0) {
+!     t->total += getTime() - t->start; t->active = 0;
+!     logEvent(t->total); }
+!   return t->counter;
+ 1: mov %o0,%o5       ! keep the timer pointer across the calls
+ 2: mov %o7,%g4       ! save the host return address
+ 3: ld [%o5],%g1      ! g1 = t->counter
+ 4: cmp %g1,0
+ 5: ble 33            ! not running: nothing to stop
+ 6: nop
+ 7: dec %g1
+ 8: st %g1,[%o5]      ! t->counter--
+ 9: cmp %g1,0
+10: bne 30            ! still nested: done
+11: nop
+12: call getTime      ! now = getTime()
+13: nop
+14: mov %g4,%o7       ! restore the return address
+15: ld [%o5+8],%g2    ! g2 = t->start
+16: sub %o0,%g2,%g3   ! elapsed = now - start
+17: ld [%o5+12],%g2   ! g2 = t->total
+18: add %g2,%g3,%g2
+19: st %g2,[%o5+12]   ! t->total += elapsed
+20: clr %g3
+21: st %g3,[%o5+4]    ! t->active = 0
+22: ld [%o5+12],%o0
+23: call logEvent     ! report the accumulated total
+24: nop
+25: mov %g4,%o7       ! restore the return address again
+26: ld [%o5],%g1
+27: mov %g1,%o0
+28: retl
+29: nop
+30: ld [%o5],%g1      ! nested stop
+31: retl
+32: mov %g1,%o0
+33: clr %o0           ! stopping a stopped timer is a no-op
+34: retl
+35: nop
+"""
+
+
+def _start_oracle(program) -> None:
+    emulator = Emulator(
+        program, host_functions={
+            "getTime": lambda emu: emu.set_register("%o0", 1000)})
+    base = 0x40000
+    emulator.write_words(base, [0, 0, 0, 0])
+    emulator.set_register("%o0", base)
+    emulator.run()
+    counter, active, start, total = emulator.read_words(base, 4)
+    assert (counter, active, start, total) == (1, 1, 1000, 0), \
+        "StartTimer wrote %r" % ((counter, active, start, total),)
+    assert emulator.register_signed("%o0") == 1
+
+
+def _stop_oracle(program) -> None:
+    events = []
+    emulator = Emulator(
+        program, host_functions={
+            "getTime": lambda emu: emu.set_register("%o0", 1500),
+            "logEvent": lambda emu: events.append(
+                emu.register_signed("%o0"))})
+    base = 0x40000
+    emulator.write_words(base, [1, 1, 1000, 7])   # counter=1, start=1000
+    emulator.set_register("%o0", base)
+    emulator.run()
+    counter, active, start, total = emulator.read_words(base, 4)
+    assert (counter, active, total) == (0, 0, 507), \
+        "StopTimer wrote %r" % ((counter, active, start, total),)
+    assert events == [507], events
+
+
+START_TIMER = BenchmarkProgram(
+    name="start-timer",
+    paper_name="StartTimer",
+    description="Paradyn start-timer instrumentation primitive.",
+    source=START_SOURCE,
+    spec_text=_TIMER_SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=22, branches=1, loops=0,
+                       inner_loops=0, calls=1, trusted_calls=1,
+                       global_conditions=13, total_seconds=0.08),
+    emulation_oracle=_start_oracle,
+)
+
+STOP_TIMER = BenchmarkProgram(
+    name="stop-timer",
+    paper_name="StopTimer",
+    description="Paradyn stop-timer instrumentation primitive.",
+    source=STOP_SOURCE,
+    spec_text=_TIMER_SPEC,
+    expect_safe=True,
+    paper_row=PaperRow(instructions=36, branches=3, loops=0,
+                       inner_loops=0, calls=2, trusted_calls=2,
+                       global_conditions=17, total_seconds=0.13),
+    emulation_oracle=_stop_oracle,
+)

@@ -1,0 +1,23 @@
+"""SPARC V8 substrate: ISA model, assembler, encoder/decoder, emulator."""
+
+from repro.sparc.assembler import assemble, Assembler
+from repro.sparc.decoder import decode_instruction, decode_program
+from repro.sparc.emulator import Emulator, CODE_BASE, EXIT_ADDRESS
+from repro.sparc.encoder import (
+    encode_instruction, encode_program, encode_words,
+)
+from repro.sparc.objfile import read_object, write_object
+from repro.sparc.isa import (
+    Imm, Instruction, Kind, Mem, Reg, Target,
+)
+from repro.sparc.program import Program
+
+__all__ = [
+    "Assembler", "assemble",
+    "decode_instruction", "decode_program",
+    "encode_instruction", "encode_program", "encode_words",
+    "Emulator", "CODE_BASE", "EXIT_ADDRESS",
+    "Imm", "Instruction", "Kind", "Mem", "Reg", "Target",
+    "read_object", "write_object",
+    "Program",
+]

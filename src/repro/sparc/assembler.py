@@ -1,0 +1,431 @@
+"""A two-pass assembler for the SPARC V8 subset used by the paper.
+
+The accepted syntax is the Sun assembly dialect that appears in the
+paper's figures and in ``gcc -O`` output for SPARC:
+
+* one instruction per line; ``!`` starts a comment;
+* optional labels (``name:`` on its own line or prefixed), including the
+  paper's numeric line labels (``7:``);
+* branch targets may be labels or absolute one-based instruction numbers
+  (the style used in paper Figure 1, e.g. ``bge 12``);
+* synthetic instructions are expanded: ``mov``, ``clr``, ``cmp``, ``tst``,
+  ``inc``, ``dec``, ``neg``, ``not``, ``set``, ``retl``, ``ret``, ``jmp``,
+  ``nop``, bare ``restore``, and ``b`` for ``ba``;
+* ``%hi(expr)`` / ``%lo(expr)`` operators;
+* assembler directives (lines starting with ``.``, e.g. ``.text``) are
+  ignored except that ``.Lname:`` labels are honored.
+
+Pass one collects labels and raw statements; pass two resolves targets and
+produces a :class:`~repro.sparc.program.Program`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblyError
+from repro.sparc import registers
+from repro.sparc.isa import (
+    ALU_OPS, BRANCH_COND, BRANCH_SYNONYMS, MEM_OP3, Imm, Instruction, Kind,
+    Mem, Operand2, Reg, Target,
+)
+from repro.sparc.program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*|\d+):")
+_SIMM13_MIN, _SIMM13_MAX = -4096, 4095
+
+
+def assemble(text: str, name: str = "untrusted") -> Program:
+    """Assemble SPARC assembly *text* into a :class:`Program`."""
+    return Assembler(text, name=name).assemble()
+
+
+class _Statement:
+    """A raw parsed statement: mnemonic + operand text, pre-resolution."""
+
+    def __init__(self, mnemonic: str, operands: List[str], line: int,
+                 text: str):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line = line
+        self.text = text
+
+
+class Assembler:
+    """Two-pass assembler; see module docstring for the accepted dialect."""
+
+    def __init__(self, text: str, name: str = "untrusted"):
+        self._text = text
+        self._name = name
+
+    # -- public entry --------------------------------------------------------
+
+    def assemble(self) -> Program:
+        statements, labels = self._parse_statements()
+        instructions: List[Instruction] = []
+        # Map from statement position to instruction index: synthetic `set`
+        # may expand to two instructions, so positions must be tracked.
+        label_indices: Dict[str, int] = {}
+        pending: List[Tuple[str, int]] = []  # (label, statement position)
+        for label, position in labels:
+            pending.append((label, position))
+
+        position = 0
+        for stmt in statements:
+            while pending and pending[0][1] == position:
+                label_indices[pending.pop(0)[0]] = len(instructions) + 1
+            for inst in self._expand(stmt):
+                instructions.append(inst)
+            position += 1
+        # Labels bound past the last statement point one past the end.
+        while pending:
+            label_indices[pending.pop(0)[0]] = len(instructions) + 1
+
+        resolved = [self._resolve_target(inst, label_indices,
+                                         len(instructions))
+                    for inst in instructions]
+        return Program(resolved, labels=label_indices, name=self._name)
+
+    # -- pass one: statement parsing ----------------------------------------
+
+    def _parse_statements(self) -> Tuple[List[_Statement],
+                                         List[Tuple[str, int]]]:
+        statements: List[_Statement] = []
+        labels: List[Tuple[str, int]] = []
+        for lineno, raw in enumerate(self._text.splitlines(), start=1):
+            line = raw.split("!", 1)[0].strip()
+            # The paper's figures prefix each instruction with "N:"; treat a
+            # numeric prefix as a label bound to this statement.
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                labels.append((match.group(1), len(statements)))
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                continue  # directive
+            mnemonic, __, rest = line.partition(" ")
+            mnemonic = mnemonic.strip().lower()
+            operands = _split_operands(rest.strip())
+            statements.append(_Statement(mnemonic, operands, lineno, line))
+        return statements, labels
+
+    # -- pass two: expansion -------------------------------------------------
+
+    def _expand(self, stmt: _Statement) -> List[Instruction]:
+        """Expand one statement into one or more canonical instructions."""
+        handler = _EXPANDERS.get(stmt.mnemonic)
+        try:
+            if handler is not None:
+                return handler(self, stmt)
+            return self._expand_primary(stmt)
+        except AssemblyError:
+            raise
+        except (ValueError, KeyError, IndexError) as exc:
+            raise AssemblyError("cannot assemble %r (%s)"
+                                % (stmt.text, exc), stmt.line)
+
+    def _expand_primary(self, stmt: _Statement) -> List[Instruction]:
+        m = stmt.mnemonic
+        base_annul = m.endswith(",a")
+        branch_name = m[:-2] if base_annul else m
+        branch_name = BRANCH_SYNONYMS.get(branch_name, branch_name)
+        if branch_name in BRANCH_COND:
+            if len(stmt.operands) != 1:
+                raise AssemblyError("branch takes one target", stmt.line)
+            return [Instruction(
+                op=branch_name, kind=Kind.BRANCH, annul=base_annul,
+                target=_unresolved_target(stmt.operands[0]),
+                source_mnemonic=m, source_text=stmt.text)]
+        if m in ALU_OPS:
+            rs1, op2, rd = self._parse_three(stmt)
+            return [Instruction(op=m, kind=Kind.ALU, rs1=rs1, op2=op2,
+                                rd=rd, source_mnemonic=m,
+                                source_text=stmt.text)]
+        if m in MEM_OP3:
+            if m.startswith("st"):
+                if len(stmt.operands) != 2:
+                    raise AssemblyError("store takes 2 operands", stmt.line)
+                rs = self._reg(stmt.operands[0], stmt.line)
+                mem = self._mem(stmt.operands[1], stmt.line)
+                return [Instruction(op=m, kind=Kind.STORE, rs1=rs, mem=mem,
+                                    source_mnemonic=m,
+                                    source_text=stmt.text)]
+            if len(stmt.operands) != 2:
+                raise AssemblyError("load takes 2 operands", stmt.line)
+            mem = self._mem(stmt.operands[0], stmt.line)
+            rd = self._reg(stmt.operands[1], stmt.line)
+            return [Instruction(op=m, kind=Kind.LOAD, mem=mem, rd=rd,
+                                source_mnemonic=m, source_text=stmt.text)]
+        if m == "sethi":
+            # _imm_value already reduces %hi(x) to x >> 10 (the imm22
+            # field); either way the Imm records the value written to rd.
+            value = self._imm_value(stmt.operands[0], stmt.line)
+            value = (value << 10) & 0xFFFFFFFF
+            rd = self._reg(stmt.operands[1], stmt.line)
+            return [Instruction(op="sethi", kind=Kind.SETHI, op2=Imm(value),
+                                rd=rd, source_mnemonic=m,
+                                source_text=stmt.text)]
+        if m == "call":
+            return [Instruction(op="call", kind=Kind.CALL,
+                                target=_unresolved_target(stmt.operands[0]),
+                                source_mnemonic=m, source_text=stmt.text)]
+        if m == "jmpl":
+            rs1, offset = self._address(stmt.operands[0], stmt.line)
+            rd = self._reg(stmt.operands[1], stmt.line)
+            return [Instruction(op="jmpl", kind=Kind.JMPL, rs1=rs1,
+                                op2=offset, rd=rd, source_mnemonic=m,
+                                source_text=stmt.text)]
+        if m in ("save", "restore"):
+            kind = Kind.SAVE if m == "save" else Kind.RESTORE
+            if not stmt.operands:
+                g0 = Reg(registers.G0)
+                return [Instruction(op=m, kind=kind, rs1=g0, op2=g0, rd=g0,
+                                    source_mnemonic=m,
+                                    source_text=stmt.text)]
+            rs1, op2, rd = self._parse_three(stmt)
+            return [Instruction(op=m, kind=kind, rs1=rs1, op2=op2, rd=rd,
+                                source_mnemonic=m, source_text=stmt.text)]
+        raise AssemblyError("unknown mnemonic %r" % (m,), stmt.line)
+
+    # -- synthetic expansions -------------------------------------------------
+
+    def _expand_mov(self, stmt: _Statement) -> List[Instruction]:
+        op2 = self._operand2(stmt.operands[0], stmt.line)
+        rd = self._reg(stmt.operands[1], stmt.line)
+        return [Instruction(op="or", kind=Kind.ALU, rs1=Reg(registers.G0),
+                            op2=op2, rd=rd, source_mnemonic="mov",
+                            source_text=stmt.text)]
+
+    def _expand_clr(self, stmt: _Statement) -> List[Instruction]:
+        operand = stmt.operands[0]
+        if operand.startswith("["):
+            mem = self._mem(operand, stmt.line)
+            return [Instruction(op="st", kind=Kind.STORE,
+                                rs1=Reg(registers.G0), mem=mem,
+                                source_mnemonic="clr",
+                                source_text=stmt.text)]
+        rd = self._reg(operand, stmt.line)
+        g0 = Reg(registers.G0)
+        return [Instruction(op="or", kind=Kind.ALU, rs1=g0, op2=g0, rd=rd,
+                            source_mnemonic="clr", source_text=stmt.text)]
+
+    def _expand_cmp(self, stmt: _Statement) -> List[Instruction]:
+        rs1 = self._reg(stmt.operands[0], stmt.line)
+        op2 = self._operand2(stmt.operands[1], stmt.line)
+        return [Instruction(op="subcc", kind=Kind.ALU, rs1=rs1, op2=op2,
+                            rd=Reg(registers.G0), source_mnemonic="cmp",
+                            source_text=stmt.text)]
+
+    def _expand_tst(self, stmt: _Statement) -> List[Instruction]:
+        rs = self._reg(stmt.operands[0], stmt.line)
+        g0 = Reg(registers.G0)
+        return [Instruction(op="orcc", kind=Kind.ALU, rs1=g0, op2=rs, rd=g0,
+                            source_mnemonic="tst", source_text=stmt.text)]
+
+    def _expand_incdec(self, stmt: _Statement) -> List[Instruction]:
+        op = "add" if stmt.mnemonic == "inc" else "sub"
+        if len(stmt.operands) == 1:
+            amount, rd_text = 1, stmt.operands[0]
+        else:
+            amount = self._imm_value(stmt.operands[0], stmt.line)
+            rd_text = stmt.operands[1]
+        rd = self._reg(rd_text, stmt.line)
+        return [Instruction(op=op, kind=Kind.ALU, rs1=rd, op2=Imm(amount),
+                            rd=rd, source_mnemonic=stmt.mnemonic,
+                            source_text=stmt.text)]
+
+    def _expand_neg(self, stmt: _Statement) -> List[Instruction]:
+        rs = self._reg(stmt.operands[0], stmt.line)
+        rd = (self._reg(stmt.operands[1], stmt.line)
+              if len(stmt.operands) > 1 else rs)
+        return [Instruction(op="sub", kind=Kind.ALU, rs1=Reg(registers.G0),
+                            op2=rs, rd=rd, source_mnemonic="neg",
+                            source_text=stmt.text)]
+
+    def _expand_not(self, stmt: _Statement) -> List[Instruction]:
+        rs = self._reg(stmt.operands[0], stmt.line)
+        rd = (self._reg(stmt.operands[1], stmt.line)
+              if len(stmt.operands) > 1 else rs)
+        return [Instruction(op="xnor", kind=Kind.ALU, rs1=rs,
+                            op2=Reg(registers.G0), rd=rd,
+                            source_mnemonic="not", source_text=stmt.text)]
+
+    def _expand_set(self, stmt: _Statement) -> List[Instruction]:
+        value = self._imm_value(stmt.operands[0], stmt.line)
+        rd = self._reg(stmt.operands[1], stmt.line)
+        if _SIMM13_MIN <= value <= _SIMM13_MAX:
+            return [Instruction(op="or", kind=Kind.ALU,
+                                rs1=Reg(registers.G0), op2=Imm(value), rd=rd,
+                                source_mnemonic="set",
+                                source_text=stmt.text)]
+        high = (value >> 10) << 10
+        out = [Instruction(op="sethi", kind=Kind.SETHI, op2=Imm(high), rd=rd,
+                           source_mnemonic="set", source_text=stmt.text)]
+        low = value & 0x3FF
+        if low:
+            out.append(Instruction(op="or", kind=Kind.ALU, rs1=rd,
+                                   op2=Imm(low), rd=rd,
+                                   source_mnemonic="set",
+                                   source_text=stmt.text))
+        return out
+
+    def _expand_return(self, stmt: _Statement) -> List[Instruction]:
+        link = registers.O7 if stmt.mnemonic == "retl" else registers.I7
+        return [Instruction(op="jmpl", kind=Kind.JMPL, rs1=Reg(link),
+                            op2=Imm(8), rd=Reg(registers.G0),
+                            source_mnemonic=stmt.mnemonic,
+                            source_text=stmt.text)]
+
+    def _expand_jmp(self, stmt: _Statement) -> List[Instruction]:
+        rs1, offset = self._address(stmt.operands[0], stmt.line)
+        return [Instruction(op="jmpl", kind=Kind.JMPL, rs1=rs1, op2=offset,
+                            rd=Reg(registers.G0), source_mnemonic="jmp",
+                            source_text=stmt.text)]
+
+    def _expand_nop(self, stmt: _Statement) -> List[Instruction]:
+        return [Instruction(op="sethi", kind=Kind.SETHI, op2=Imm(0),
+                            rd=Reg(registers.G0), source_mnemonic="nop",
+                            source_text=stmt.text)]
+
+    # -- operand parsing -------------------------------------------------------
+
+    def _parse_three(self, stmt: _Statement) -> Tuple[Reg, Operand2, Reg]:
+        if len(stmt.operands) != 3:
+            raise AssemblyError("%s takes 3 operands" % stmt.mnemonic,
+                                stmt.line)
+        rs1 = self._reg(stmt.operands[0], stmt.line)
+        op2 = self._operand2(stmt.operands[1], stmt.line)
+        rd = self._reg(stmt.operands[2], stmt.line)
+        return rs1, op2, rd
+
+    def _reg(self, text: str, line: int) -> Reg:
+        if not registers.is_register_name(text):
+            raise AssemblyError("expected register, got %r" % (text,), line)
+        return Reg(registers.register_number(text))
+
+    def _operand2(self, text: str, line: int) -> Operand2:
+        if registers.is_register_name(text):
+            return Reg(registers.register_number(text))
+        value = self._imm_value(text, line)
+        if not _SIMM13_MIN <= value <= _SIMM13_MAX:
+            raise AssemblyError("immediate %d does not fit simm13" % value,
+                                line)
+        return Imm(value)
+
+    def _imm_value(self, text: str, line: int) -> int:
+        text = text.strip()
+        for prefix, shift, mask in (("%hi(", 10, None), ("%lo(", 0, 0x3FF)):
+            if text.startswith(prefix) and text.endswith(")"):
+                inner = self._imm_value(text[len(prefix):-1], line)
+                value = inner >> shift if shift else inner
+                return value & mask if mask is not None else value
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblyError("expected integer, got %r" % (text,), line)
+
+    def _address(self, text: str, line: int) -> Tuple[Reg, Operand2]:
+        """Parse a jmpl-style address ``%reg`` / ``%reg+imm`` / ``%reg+%reg``
+        / ``%reg-imm``."""
+        text = text.strip().strip("[]")
+        plus = text.find("+", 1)
+        minus = text.find("-", 1)
+        if plus >= 0:
+            head, tail = text[:plus].strip(), text[plus + 1:].strip()
+            rs1 = self._reg(head, line)
+            if registers.is_register_name(tail):
+                return rs1, Reg(registers.register_number(tail))
+            return rs1, Imm(self._imm_value(tail, line))
+        if minus >= 0:
+            head, tail = text[:minus].strip(), text[minus:].strip()
+            rs1 = self._reg(head, line)
+            return rs1, Imm(self._imm_value(tail, line))
+        return self._reg(text, line), Imm(0)
+
+    def _mem(self, text: str, line: int) -> Mem:
+        text = text.strip()
+        if not (text.startswith("[") and text.endswith("]")):
+            raise AssemblyError("expected memory operand, got %r" % (text,),
+                                line)
+        base, op2 = self._address(text, line)
+        if isinstance(op2, Reg):
+            if op2.number == registers.G0:
+                return Mem(base=base, offset=0)
+            return Mem(base=base, index=op2)
+        return Mem(base=base, offset=op2.value)
+
+    # -- target resolution ------------------------------------------------------
+
+    def _resolve_target(self, inst: Instruction,
+                        labels: Dict[str, int], count: int) -> Instruction:
+        if inst.target is None or inst.target.index >= 0:
+            return inst
+        label = inst.target.label
+        assert label is not None
+        if label in labels:
+            index = labels[label]
+        elif label.lstrip("-").isdigit():
+            index = int(label)
+        elif inst.kind is Kind.CALL:
+            # A call to a label not defined in the untrusted code is an
+            # *external* call (to the trusted host).  Target index 0 marks
+            # externals; the CFG builder summarizes them via the host's
+            # control specification.
+            from dataclasses import replace
+            return replace(inst, target=Target(index=0, label=label))
+        else:
+            raise AssemblyError("undefined label %r in %r"
+                                % (label, inst.source_text))
+        if not 1 <= index <= count + 1:
+            raise AssemblyError("branch target %d out of range in %r"
+                                % (index, inst.source_text))
+        from dataclasses import replace
+        return replace(inst, target=Target(index=index, label=label))
+
+
+def _unresolved_target(text: str) -> Target:
+    """A target placeholder carrying the raw label text (index -1)."""
+    return Target(index=-1, label=text.strip())
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas that are not inside brackets or
+    parentheses (so ``[%o2+%g2]`` and ``%hi(0x1000)`` survive)."""
+    if not text:
+        return []
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current).strip())
+    return [p for p in parts if p]
+
+
+_EXPANDERS = {
+    "mov": Assembler._expand_mov,
+    "clr": Assembler._expand_clr,
+    "cmp": Assembler._expand_cmp,
+    "tst": Assembler._expand_tst,
+    "inc": Assembler._expand_incdec,
+    "dec": Assembler._expand_incdec,
+    "neg": Assembler._expand_neg,
+    "not": Assembler._expand_not,
+    "set": Assembler._expand_set,
+    "retl": Assembler._expand_return,
+    "ret": Assembler._expand_return,
+    "jmp": Assembler._expand_jmp,
+    "nop": Assembler._expand_nop,
+}

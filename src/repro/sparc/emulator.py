@@ -1,0 +1,437 @@
+"""A concrete SPARC V8 emulator for the supported instruction subset.
+
+The emulator exists to validate the rest of the stack: benchmark programs
+are executed concretely (summing arrays, sorting, hashing …) and their
+results compared against pure-Python oracles, which gives end-to-end
+evidence that the assembler, encoder/decoder, and the abstract semantics
+used by the safety checker all agree on what the instructions mean.
+
+Faithfully modeled: 32-bit two's-complement arithmetic, integer condition
+codes (N/Z/V/C), delayed control transfer with ``pc``/``npc`` and the
+annul bit, register windows with the SPARC in/out overlap, and big-endian
+byte-addressable memory.  Host functions can be registered so programs
+that call into the trusted host (e.g. the jPVM example) run concretely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import EmulationError
+from repro.sparc import registers
+from repro.sparc.isa import (
+    Imm, Instruction, Kind, Mem, Reg, LOAD_SIGNED, MEM_SIZE,
+)
+from repro.sparc.program import Program
+
+#: Address at which instruction 1 lives.
+CODE_BASE = 0x10000
+#: Jumping here terminates execution (the host's return continuation).
+EXIT_ADDRESS = 0xDEAD0000
+#: Calls to external (host) symbols dispatch through addresses here.
+EXTERNAL_BASE = 0xE0000000
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _to_unsigned(value: int) -> int:
+    return value & _MASK32
+
+
+class _Window:
+    """One register window: outs, locals, ins (8 each)."""
+
+    __slots__ = ("outs", "locals", "ins")
+
+    def __init__(self, outs=None, locals_=None, ins=None):
+        self.outs: List[int] = list(outs) if outs else [0] * 8
+        self.locals: List[int] = list(locals_) if locals_ else [0] * 8
+        self.ins: List[int] = list(ins) if ins else [0] * 8
+
+
+class Emulator:
+    """Concrete interpreter for an assembled :class:`Program`.
+
+    Typical use::
+
+        emu = Emulator(program)
+        emu.set_register("%o0", array_address)
+        emu.set_register("%o1", length)
+        emu.write_words(array_address, values)
+        emu.run()
+        result = emu.register("%o0")
+    """
+
+    def __init__(self, program: Program,
+                 host_functions: Optional[Dict[str, Callable]] = None,
+                 max_steps: int = 1_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.memory: Dict[int, int] = {}
+        self.globals: List[int] = [0] * 8
+        self.windows: List[_Window] = [_Window()]
+        self.n = self.z = self.v = self.c = False
+        self.steps = 0
+        self.host_functions: Dict[int, Callable[["Emulator"], None]] = {}
+        #: Handlers for calls to *external* labels (not defined in the
+        #: untrusted code): address -> handler.
+        self._external_handlers: Dict[int, Callable[["Emulator"], None]] = {}
+        self._external_addresses: Dict[str, int] = {}
+        for label, fn in (host_functions or {}).items():
+            if label in program.labels:
+                self.host_functions[program.label_index(label)] = fn
+            else:
+                address = EXTERNAL_BASE + 4 * len(self._external_addresses)
+                self._external_addresses[label] = address
+                self._external_handlers[address] = fn
+        # Arrange for the top-level return (jmpl %o7+8) to exit cleanly.
+        self.set_register("%o7", EXIT_ADDRESS - 8)
+        self.set_register("%sp", 0x7F0000)
+        self.set_register("%fp", 0x7F0400)
+
+    # -- register access ------------------------------------------------------
+
+    def _window(self) -> _Window:
+        return self.windows[-1]
+
+    def read_reg(self, number: int) -> int:
+        if number == registers.G0:
+            return 0
+        if number < 8:
+            return self.globals[number]
+        window = self._window()
+        if number < 16:
+            return window.outs[number - 8]
+        if number < 24:
+            return window.locals[number - 16]
+        return window.ins[number - 24]
+
+    def write_reg(self, number: int, value: int) -> None:
+        value = _to_unsigned(value)
+        if number == registers.G0:
+            return
+        if number < 8:
+            self.globals[number] = value
+            return
+        window = self._window()
+        if number < 16:
+            window.outs[number - 8] = value
+        elif number < 24:
+            window.locals[number - 16] = value
+        else:
+            window.ins[number - 24] = value
+
+    def register(self, name: str) -> int:
+        """Read a register by name (unsigned 32-bit value)."""
+        return self.read_reg(registers.register_number(name))
+
+    def register_signed(self, name: str) -> int:
+        """Read a register by name as a signed 32-bit value."""
+        return _to_signed(self.register(name))
+
+    def set_register(self, name: str, value: int) -> None:
+        """Write a register by name."""
+        self.write_reg(registers.register_number(name), value)
+
+    # -- memory access ---------------------------------------------------------
+
+    def read_memory(self, address: int, size: int, signed: bool) -> int:
+        value = 0
+        for i in range(size):
+            value = (value << 8) | self.memory.get(address + i, 0)
+        if signed:
+            sign = 1 << (size * 8 - 1)
+            if value & sign:
+                value -= 1 << (size * 8)
+        return value
+
+    def write_memory(self, address: int, value: int, size: int) -> None:
+        value &= (1 << (size * 8)) - 1
+        for i in range(size):
+            shift = (size - 1 - i) * 8
+            self.memory[address + i] = (value >> shift) & 0xFF
+        self._written = getattr(self, "_written", set())
+        self._written.update(range(address, address + size))
+
+    def write_words(self, address: int, values) -> None:
+        """Write a sequence of 32-bit words starting at *address*."""
+        for i, value in enumerate(values):
+            self.write_memory(address + 4 * i, value, 4)
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        """Read *count* signed 32-bit words starting at *address*."""
+        return [self.read_memory(address + 4 * i, 4, signed=True)
+                for i in range(count)]
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        return bytes(self.memory.get(address + i, 0) for i in range(count))
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.memory[address + i] = byte
+
+    def read_cstring(self, address: int) -> bytes:
+        out = bytearray()
+        while True:
+            byte = self.memory.get(address + len(out), 0)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            if len(out) > 1 << 20:
+                raise EmulationError("unterminated string at 0x%x" % address)
+
+    # -- address/index conversion ----------------------------------------------
+
+    @staticmethod
+    def address_of(index: int) -> int:
+        return CODE_BASE + (index - 1) * 4
+
+    @staticmethod
+    def index_of(address: int) -> int:
+        return (address - CODE_BASE) // 4 + 1
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, entry: int = 1) -> int:
+        """Run from instruction index *entry* until the top-level return.
+
+        Returns the number of instructions executed.
+        """
+        pc = self.address_of(entry)
+        npc = pc + 4
+        start = self.steps
+        while pc != EXIT_ADDRESS:
+            if self.steps - start >= self.max_steps:
+                raise EmulationError("exceeded %d steps" % self.max_steps)
+            external = self._external_handlers.get(pc)
+            if external is not None:
+                external(self)
+                pc = _to_unsigned(self.register("%o7") + 8)
+                npc = pc + 4
+                continue
+            index = self.index_of(pc)
+            host = self.host_functions.get(index)
+            if host is not None:
+                host(self)
+                # Simulate the callee's "retl; nop": return past the caller's
+                # delay slot.
+                pc = _to_unsigned(self.register("%o7") + 8)
+                npc = pc + 4
+                continue
+            if not 1 <= index <= len(self.program):
+                raise EmulationError("execution left the program at 0x%x"
+                                     % pc)
+            inst = self.program.instruction(index)
+            pc, npc = self._execute(inst, pc, npc)
+            self.steps += 1
+        return self.steps - start
+
+    def _execute(self, inst: Instruction, pc: int, npc: int):
+        """Execute one instruction; return the next (pc, npc)."""
+        kind = inst.kind
+        if kind is Kind.ALU:
+            self._execute_alu(inst)
+            return npc, npc + 4
+        if kind is Kind.SETHI:
+            assert isinstance(inst.op2, Imm) and inst.rd is not None
+            self.write_reg(inst.rd.number, inst.op2.value)
+            return npc, npc + 4
+        if kind is Kind.LOAD:
+            assert inst.mem is not None and inst.rd is not None
+            address = self._effective_address(inst.mem)
+            size = MEM_SIZE[inst.op]
+            self._check_alignment(address, size, inst)
+            value = self.read_memory(address, min(size, 4),
+                                     LOAD_SIGNED[inst.op])
+            self.write_reg(inst.rd.number, value)
+            if inst.op == "ldd":
+                self.write_reg(inst.rd.number | 1,
+                               self.read_memory(address + 4, 4, True))
+            return npc, npc + 4
+        if kind is Kind.STORE:
+            assert inst.mem is not None and inst.rs1 is not None
+            address = self._effective_address(inst.mem)
+            size = MEM_SIZE[inst.op]
+            self._check_alignment(address, size, inst)
+            self.write_memory(address, self.read_reg(inst.rs1.number),
+                              min(size, 4))
+            if inst.op == "std":
+                self.write_memory(address + 4,
+                                  self.read_reg(inst.rs1.number | 1), 4)
+            return npc, npc + 4
+        if kind is Kind.BRANCH:
+            taken = self._branch_taken(inst.op)
+            if taken:
+                target = self.address_of(inst.target.index)
+                if inst.annul and inst.op == "ba":
+                    return target, target + 4  # ba,a annuls the delay slot
+                return npc, target
+            if inst.annul:
+                return npc + 4, npc + 8  # untaken with annul: skip the slot
+            return npc, npc + 4
+        if kind is Kind.CALL:
+            self.write_reg(registers.O7, pc)
+            assert inst.target is not None
+            if inst.target.index == 0:  # external (host) symbol
+                label = inst.target.label or ""
+                address = self._external_addresses.get(label)
+                if address is None:
+                    raise EmulationError(
+                        "call to external %r without a registered host "
+                        "function at instruction %d" % (label, inst.index))
+                return npc, address
+            return npc, self.address_of(inst.target.index)
+        if kind is Kind.JMPL:
+            assert inst.rs1 is not None and inst.op2 is not None
+            target = _to_unsigned(self.read_reg(inst.rs1.number)
+                                  + self._operand2_value(inst.op2))
+            if inst.rd is not None:
+                self.write_reg(inst.rd.number, pc)
+            return npc, target
+        if kind is Kind.SAVE:
+            return self._execute_save(inst, npc)
+        if kind is Kind.RESTORE:
+            return self._execute_restore(inst, npc)
+        raise EmulationError("cannot execute %r" % (inst,))
+
+    # -- instruction helpers -------------------------------------------------------
+
+    def _operand2_value(self, op2) -> int:
+        if isinstance(op2, Reg):
+            return self.read_reg(op2.number)
+        return op2.value
+
+    def _effective_address(self, mem: Mem) -> int:
+        base = self.read_reg(mem.base.number)
+        if mem.index is not None:
+            return _to_unsigned(base + self.read_reg(mem.index.number))
+        return _to_unsigned(base + mem.offset)
+
+    def _check_alignment(self, address: int, size: int,
+                         inst: Instruction) -> None:
+        if size > 1 and address % size:
+            raise EmulationError(
+                "alignment trap: %s accesses 0x%x (size %d) at instruction "
+                "%d" % (inst.op, address, size, inst.index))
+
+    def _execute_alu(self, inst: Instruction) -> None:
+        assert inst.rs1 is not None and inst.op2 is not None
+        a = self.read_reg(inst.rs1.number)
+        b = self._operand2_value(inst.op2)
+        op = inst.op
+        base = op[:-2] if op.endswith("cc") else op
+        if base == "add":
+            result = a + b
+            if op.endswith("cc"):
+                self._set_add_cc(a, b, result)
+        elif base == "sub":
+            result = a - b
+            if op.endswith("cc"):
+                self._set_sub_cc(a, b, result)
+        elif base in ("and", "or", "xor", "andn", "orn", "xnor"):
+            if base == "and":
+                result = a & b
+            elif base == "or":
+                result = a | b
+            elif base == "xor":
+                result = a ^ b
+            elif base == "andn":
+                result = a & ~b
+            elif base == "orn":
+                result = a | (~b & _MASK32)
+            else:
+                result = ~(a ^ b)
+            result = _to_unsigned(result)
+            if op.endswith("cc"):
+                self._set_logic_cc(result)
+        elif base == "umul":
+            result = (a * b) & _MASK32
+            if op.endswith("cc"):
+                self._set_logic_cc(result)
+        elif base == "smul":
+            result = _to_unsigned(_to_signed(a) * _to_signed(b))
+            if op.endswith("cc"):
+                self._set_logic_cc(result)
+        elif base == "udiv":
+            if b == 0:
+                raise EmulationError("division by zero at instruction %d"
+                                     % inst.index)
+            result = a // b
+        elif base == "sdiv":
+            if b == 0:
+                raise EmulationError("division by zero at instruction %d"
+                                     % inst.index)
+            result = _to_unsigned(int(_to_signed(a) / _to_signed(b)))
+        elif base == "sll":
+            result = (a << (b & 31)) & _MASK32
+        elif base == "srl":
+            result = (a & _MASK32) >> (b & 31)
+        elif base == "sra":
+            result = _to_unsigned(_to_signed(a) >> (b & 31))
+        else:
+            raise EmulationError("cannot execute ALU op %r" % (op,))
+        if inst.rd is not None:
+            self.write_reg(inst.rd.number, result)
+
+    def _set_add_cc(self, a: int, b: int, result: int) -> None:
+        result32 = _to_unsigned(result)
+        self.n = bool(result32 & 0x80000000)
+        self.z = result32 == 0
+        sa, sb, sr = a >> 31 & 1, b >> 31 & 1, result32 >> 31 & 1
+        self.v = sa == sb and sa != sr
+        self.c = result > _MASK32
+
+    def _set_sub_cc(self, a: int, b: int, result: int) -> None:
+        result32 = _to_unsigned(result)
+        self.n = bool(result32 & 0x80000000)
+        self.z = result32 == 0
+        sa, sb, sr = a >> 31 & 1, b >> 31 & 1, result32 >> 31 & 1
+        self.v = sa != sb and sb == sr
+        self.c = _to_unsigned(a) < _to_unsigned(b)
+
+    def _set_logic_cc(self, result: int) -> None:
+        self.n = bool(result & 0x80000000)
+        self.z = result == 0
+        self.v = False
+        self.c = False
+
+    def _branch_taken(self, op: str) -> bool:
+        n, z, v, c = self.n, self.z, self.v, self.c
+        table = {
+            "ba": True, "bn": False,
+            "be": z, "bne": not z,
+            "bl": n != v, "bge": n == v,
+            "ble": z or (n != v), "bg": not (z or (n != v)),
+            "bleu": c or z, "bgu": not (c or z),
+            "bcs": c, "bcc": not c,
+            "bneg": n, "bpos": not n,
+            "bvs": v, "bvc": not v,
+        }
+        return table[op]
+
+    def _execute_save(self, inst: Instruction, npc: int):
+        a = self.read_reg(inst.rs1.number)
+        b = self._operand2_value(inst.op2)
+        old = self._window()
+        new = _Window(ins=old.outs)
+        self.windows.append(new)
+        if inst.rd is not None:
+            self.write_reg(inst.rd.number, a + b)
+        return npc, npc + 4
+
+    def _execute_restore(self, inst: Instruction, npc: int):
+        a = self.read_reg(inst.rs1.number)
+        b = self._operand2_value(inst.op2)
+        if len(self.windows) < 2:
+            raise EmulationError("register window underflow at instruction "
+                                 "%d" % inst.index)
+        popped = self.windows.pop()
+        self._window().outs = popped.ins
+        if inst.rd is not None:
+            self.write_reg(inst.rd.number, a + b)
+        return npc, npc + 4

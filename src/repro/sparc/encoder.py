@@ -1,0 +1,132 @@
+"""SPARC V8 binary encoder: instructions to 32-bit machine words.
+
+Together with :mod:`repro.sparc.decoder`, this makes the safety checker
+operate genuinely on machine code: programs can be assembled, encoded to
+V8 words, shipped as bytes, decoded on the host side, and only then
+checked.  Control-transfer displacements are expressed in words
+(instructions), consistent with the one-based instruction indices used
+throughout the library.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.errors import EncodingError
+from repro.sparc.isa import (
+    ALU_OP3, BRANCH_COND, MEM_OP3, Imm, Instruction, Kind, Mem, Reg,
+)
+from repro.sparc.program import Program
+
+_SIMM13_MIN, _SIMM13_MAX = -4096, 4095
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Encode one instruction to its 32-bit word.
+
+    PC-relative displacements (branch/call) are computed from the
+    instruction's ``index`` and its target's index, so instructions must
+    come from an assembled :class:`Program`.
+    """
+    if inst.kind is Kind.CALL:
+        return _encode_call(inst)
+    if inst.kind is Kind.BRANCH:
+        return _encode_branch(inst)
+    if inst.kind is Kind.SETHI:
+        return _encode_sethi(inst)
+    if inst.kind in (Kind.ALU, Kind.SAVE, Kind.RESTORE, Kind.JMPL):
+        return _encode_format3_arith(inst)
+    if inst.kind in (Kind.LOAD, Kind.STORE):
+        return _encode_format3_mem(inst)
+    raise EncodingError("cannot encode %r" % (inst,))
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a whole program to big-endian machine code (SPARC byte
+    order)."""
+    words = [encode_instruction(inst) for inst in program]
+    return struct.pack(">%dI" % len(words), *words)
+
+
+def encode_words(program: Program) -> List[int]:
+    """Encode a whole program to a list of 32-bit words."""
+    return [encode_instruction(inst) for inst in program]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _fit(value: int, bits: int, what: str) -> int:
+    low = -(1 << (bits - 1))
+    high = (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError("%s %d does not fit %d bits" % (what, value,
+                                                            bits))
+    return value & ((1 << bits) - 1)
+
+
+def _encode_call(inst: Instruction) -> int:
+    if inst.target is None:
+        raise EncodingError("call without target: %r" % (inst,))
+    if inst.target.index == 0:
+        raise EncodingError(
+            "call to external symbol %r cannot be encoded without a link "
+            "map; resolve it to an instruction index first"
+            % (inst.target.label,))
+    disp30 = _fit(inst.target.index - inst.index, 30, "call displacement")
+    return (1 << 30) | disp30
+
+
+def _encode_branch(inst: Instruction) -> int:
+    if inst.target is None:
+        raise EncodingError("branch without target: %r" % (inst,))
+    disp22 = _fit(inst.target.index - inst.index, 22, "branch displacement")
+    cond = BRANCH_COND[inst.op]
+    a_bit = 1 if inst.annul else 0
+    return (a_bit << 29) | (cond << 25) | (0b010 << 22) | disp22
+
+
+def _encode_sethi(inst: Instruction) -> int:
+    assert isinstance(inst.op2, Imm) and inst.rd is not None
+    imm22 = (inst.op2.value >> 10) & 0x3FFFFF
+    return (inst.rd.number << 25) | (0b100 << 22) | imm22
+
+
+def _encode_format3_arith(inst: Instruction) -> int:
+    op3 = ALU_OP3[inst.op]
+    if inst.rd is None or inst.rs1 is None or inst.op2 is None:
+        raise EncodingError("incomplete format-3 instruction: %r" % (inst,))
+    word = (2 << 30) | (inst.rd.number << 25) | (op3 << 19) \
+        | (inst.rs1.number << 14)
+    return word | _encode_operand2(inst.op2)
+
+
+def _encode_format3_mem(inst: Instruction) -> int:
+    op3 = MEM_OP3[inst.op]
+    if inst.mem is None:
+        raise EncodingError("memory instruction without address: %r"
+                            % (inst,))
+    data = inst.rd if inst.kind is Kind.LOAD else inst.rs1
+    if data is None:
+        raise EncodingError("memory instruction without data register: %r"
+                            % (inst,))
+    word = (3 << 30) | (data.number << 25) | (op3 << 19) \
+        | (inst.mem.base.number << 14)
+    return word | _encode_mem_tail(inst.mem)
+
+
+def _encode_operand2(op2) -> int:
+    if isinstance(op2, Reg):
+        return op2.number
+    value = _fit(op2.value, 13, "immediate")
+    return (1 << 13) | value
+
+
+def _encode_mem_tail(mem: Mem) -> int:
+    if mem.index is not None:
+        return mem.index.number
+    value = _fit(mem.offset, 13, "memory offset")
+    return (1 << 13) | value

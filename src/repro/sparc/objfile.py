@@ -1,0 +1,129 @@
+"""A minimal relocatable object format for untrusted extensions.
+
+Plain ``encode_program`` produces raw SPARC V8 words, which cannot
+express calls to *external* (host) symbols — precisely the calls the
+jPVM-style extensions make.  Real systems ship such code as object
+files with relocation records; this module defines a tiny container in
+that spirit so every benchmark program can round-trip through bytes:
+
+.. code-block:: text
+
+    magic   "RPRO"                      4 bytes
+    version u16 (= 1)
+    count   u32   number of instructions
+    nreloc  u32   number of call relocations
+    nsym    u32   number of exported labels
+    code    count × u32 big-endian SPARC words
+            (external calls are encoded with displacement 0)
+    relocs  nreloc × { u32 instruction index, u16 len, name bytes }
+    symbols nsym  × { u32 instruction index, u16 len, name bytes }
+
+``write_object`` and ``read_object`` are exact inverses on the
+supported programs; the safety checker accepts the result of
+``read_object`` like any other :class:`~repro.sparc.program.Program`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.errors import DecodingError, EncodingError
+from repro.sparc.decoder import decode_instruction
+from repro.sparc.encoder import encode_instruction
+from repro.sparc.isa import Kind, Target
+from repro.sparc.program import Program
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+
+def write_object(program: Program) -> bytes:
+    """Serialize *program*, including external-call relocations and its
+    label table."""
+    words: List[int] = []
+    relocations: List[Tuple[int, str]] = []
+    for inst in program:
+        if inst.kind is Kind.CALL and inst.target is not None \
+                and inst.target.index == 0:
+            if not inst.target.label:
+                raise EncodingError(
+                    "external call at %d has no symbol" % inst.index)
+            relocations.append((inst.index, inst.target.label))
+            # Encode with a self-displacement placeholder.
+            placeholder = replace(inst,
+                                  target=Target(index=inst.index,
+                                                label=inst.target.label))
+            words.append(encode_instruction(placeholder))
+        else:
+            words.append(encode_instruction(inst))
+    symbols = [(index, name) for name, index in sorted(
+        program.labels.items(), key=lambda item: (item[1], item[0]))
+        if not name.isdigit()]
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack(">HIII", VERSION, len(words), len(relocations),
+                       len(symbols))
+    out += struct.pack(">%dI" % len(words), *words)
+    for index, name in relocations:
+        encoded = name.encode("utf-8")
+        out += struct.pack(">IH", index, len(encoded)) + encoded
+    for index, name in symbols:
+        encoded = name.encode("utf-8")
+        out += struct.pack(">IH", index, len(encoded)) + encoded
+    return bytes(out)
+
+
+def read_object(blob: bytes, name: str = "object") -> Program:
+    """Parse an object produced by :func:`write_object`."""
+    reader = _Reader(blob)
+    if reader.take(4) != MAGIC:
+        raise DecodingError("not a RPRO object (bad magic)")
+    version, count, nreloc, nsym = reader.unpack(">HIII")
+    if version != VERSION:
+        raise DecodingError("unsupported object version %d" % version)
+    words = reader.unpack(">%dI" % count) if count else ()
+    instructions = [decode_instruction(word, index)
+                    for index, word in enumerate(words, start=1)]
+    for __ in range(nreloc):
+        index, namelen = reader.unpack(">IH")
+        symbol = reader.take(namelen).decode("utf-8")
+        if not 1 <= index <= count:
+            raise DecodingError("relocation index %d out of range"
+                                % index)
+        inst = instructions[index - 1]
+        if inst.kind is not Kind.CALL:
+            raise DecodingError(
+                "relocation at %d does not target a call" % index)
+        instructions[index - 1] = replace(
+            inst, target=Target(index=0, label=symbol))
+    labels: Dict[str, int] = {}
+    for __ in range(nsym):
+        index, namelen = reader.unpack(">IH")
+        labels[reader.take(namelen).decode("utf-8")] = index
+    if reader.remaining():
+        raise DecodingError("%d trailing bytes in object"
+                            % reader.remaining())
+    return Program(instructions, labels=labels, name=name)
+
+
+class _Reader:
+    def __init__(self, blob: bytes):
+        self._blob = blob
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self._pos + count > len(self._blob):
+            raise DecodingError("truncated object file")
+        out = self._blob[self._pos:self._pos + count]
+        self._pos += count
+        return out
+
+    def unpack(self, fmt: str):
+        size = struct.calcsize(fmt)
+        values = struct.unpack(fmt, self.take(size))
+        return values if len(values) > 1 else values[0]
+
+    def remaining(self) -> int:
+        return len(self._blob) - self._pos

@@ -1,0 +1,97 @@
+"""Container for an assembled SPARC program.
+
+A :class:`Program` is an ordered sequence of instructions with one-based
+indices (matching the paper's figures, which number instructions from 1),
+plus the label map produced by the assembler.  It is the unit consumed by
+the CFG builder, the emulator, the encoder, and the safety checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.sparc.isa import Instruction, Kind
+
+
+class Program:
+    """An assembled program: instructions plus label bindings.
+
+    Instructions are addressed by one-based index.  If the program was
+    decoded from machine words, labels are synthesized for branch targets.
+    """
+
+    def __init__(self, instructions: List[Instruction],
+                 labels: Optional[Dict[str, int]] = None,
+                 name: str = "untrusted"):
+        self.name = name
+        self.instructions: List[Instruction] = [
+            inst.with_index(i + 1) for i, inst in enumerate(instructions)
+        ]
+        self.labels: Dict[str, int] = dict(labels or {})
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def instruction(self, index: int) -> Instruction:
+        """Return the instruction at one-based *index*."""
+        if not 1 <= index <= len(self.instructions):
+            raise IndexError("instruction index %d out of range 1..%d"
+                             % (index, len(self.instructions)))
+        return self.instructions[index - 1]
+
+    def label_index(self, label: str) -> int:
+        """Return the one-based index bound to *label*."""
+        return self.labels[label]
+
+    def label_at(self, index: int) -> Optional[str]:
+        """Return a label bound to *index*, if any."""
+        for name, bound in self.labels.items():
+            if bound == index:
+                return name
+        return None
+
+    # -- structure queries ---------------------------------------------------
+
+    def call_target_indices(self) -> List[int]:
+        """Indices that are targets of ``call`` instructions (function
+        entries, in source order, deduplicated)."""
+        seen = []
+        for inst in self.instructions:
+            if inst.kind is Kind.CALL and inst.target is not None:
+                if inst.target.index not in seen:
+                    seen.append(inst.target.index)
+        return seen
+
+    def counts(self) -> Dict[str, int]:
+        """Instruction-mix statistics (used by the Figure 9 table)."""
+        branches = sum(1 for i in self.instructions
+                       if i.kind is Kind.BRANCH and i.op != "ba")
+        calls = sum(1 for i in self.instructions if i.kind is Kind.CALL)
+        return {
+            "instructions": len(self.instructions),
+            "branches": branches,
+            "calls": calls,
+        }
+
+    # -- rendering -----------------------------------------------------------
+
+    def listing(self, canonical: bool = False) -> str:
+        """Render a numbered assembly listing, paper-figure style."""
+        width = len(str(len(self.instructions)))
+        lines = []
+        for inst in self.instructions:
+            label = self.label_at(inst.index)
+            if label is not None and not label.isdigit():
+                lines.append("%s:" % label)
+            lines.append("%*d: %s" % (width, inst.index,
+                                      inst.render(canonical=canonical)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "Program(%r, %d instructions)" % (self.name,
+                                                 len(self.instructions))

@@ -1,0 +1,95 @@
+"""SPARC V8 integer register model.
+
+The SPARC integer unit exposes 32 registers at any time: 8 globals
+(``%g0``-``%g7``) and a 24-register window (``%o0``-``%o7``,
+``%l0``-``%l7``, ``%i0``-``%i7``).  ``%g0`` always reads as zero and
+ignores writes.  ``%o6`` is the stack pointer (``%sp``), ``%i6`` the frame
+pointer (``%fp``), ``%o7`` holds the return address after ``call``, and
+``%i7`` the caller's return address after ``save``.
+
+Registers are identified by their architectural number 0..31:
+``%g0``-``%g7`` are 0..7, ``%o0``-``%o7`` are 8..15, ``%l0``-``%l7`` are
+16..23, and ``%i0``-``%i7`` are 24..31.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Number of architecturally visible integer registers.
+NUM_REGISTERS = 32
+
+#: Canonical names indexed by register number.
+REGISTER_NAMES: List[str] = (
+    ["%g" + str(i) for i in range(8)]
+    + ["%o" + str(i) for i in range(8)]
+    + ["%l" + str(i) for i in range(8)]
+    + ["%i" + str(i) for i in range(8)]
+)
+
+#: Aliases accepted by the assembler, mapping to canonical names.
+REGISTER_ALIASES: Dict[str, str] = {
+    "%sp": "%o6",
+    "%fp": "%i6",
+    "%r0": "%g0",
+}
+# %r0..%r31 numeric aliases.
+for _n in range(NUM_REGISTERS):
+    REGISTER_ALIASES["%r" + str(_n)] = REGISTER_NAMES[_n]
+
+_NAME_TO_NUMBER: Dict[str, int] = {
+    name: number for number, name in enumerate(REGISTER_NAMES)
+}
+
+# Well-known register numbers.
+G0 = 0
+SP = 14  # %o6
+O7 = 15  # return-address register written by call
+FP = 30  # %i6
+I7 = 31  # caller's return address inside a window
+
+
+def is_register_name(text: str) -> bool:
+    """Return True if *text* names an integer register (canonically or
+    via an alias)."""
+    return text in _NAME_TO_NUMBER or text in REGISTER_ALIASES
+
+
+def canonical_name(text: str) -> str:
+    """Resolve aliases such as ``%sp`` to the canonical register name.
+
+    Raises ``KeyError`` for non-register text.
+    """
+    if text in _NAME_TO_NUMBER:
+        return text
+    return REGISTER_ALIASES[text]
+
+
+def register_number(text: str) -> int:
+    """Map a register name (or alias) to its architectural number 0..31."""
+    return _NAME_TO_NUMBER[canonical_name(text)]
+
+
+def register_name(number: int) -> str:
+    """Map an architectural register number 0..31 to its canonical name."""
+    return REGISTER_NAMES[number]
+
+
+def is_global(number: int) -> bool:
+    """True for %g0-%g7."""
+    return 0 <= number <= 7
+
+
+def is_out(number: int) -> bool:
+    """True for %o0-%o7."""
+    return 8 <= number <= 15
+
+
+def is_local(number: int) -> bool:
+    """True for %l0-%l7."""
+    return 16 <= number <= 23
+
+
+def is_in(number: int) -> bool:
+    """True for %i0-%i7."""
+    return 24 <= number <= 31

@@ -1,0 +1,37 @@
+"""The abstract storage model: types, states, access permissions,
+typestates, abstract locations, and abstract stores (paper Section 4)."""
+
+from repro.typesys.access import (
+    Access, AccessSet, AccessTuple, ALL_ACCESS, NO_ACCESS, OPERATE_ONLY,
+    access,
+)
+from repro.typesys.locations import AbstractLocation, LocationTable
+from repro.typesys.state import (
+    AggregateState, BOTTOM_STATE, INIT, NULL, PointsTo, State, TOP_STATE,
+    UNINIT, UNINIT_POINTER, points_to,
+)
+from repro.typesys.store import AbstractStore, TOP_STORE
+from repro.typesys.types import (
+    AbstractType, ArrayBaseType, ArrayMidType, BOTTOM_TYPE, FunctionPointerType,
+    GroundType, INT, INT8, INT16, INT32, Member, PointerType, StructType,
+    TOP_TYPE, Type, UINT8, UINT16, UINT32, UnionType, alignof, ground_type,
+    is_ground_subtype, lookup_fields, meet, sizeof,
+)
+from repro.typesys.typestate import (
+    BOTTOM_TYPESTATE, TOP_TYPESTATE, Typestate,
+)
+
+__all__ = [
+    "Access", "AccessSet", "AccessTuple", "ALL_ACCESS", "NO_ACCESS",
+    "OPERATE_ONLY", "access",
+    "AbstractLocation", "LocationTable",
+    "AggregateState", "BOTTOM_STATE", "INIT", "NULL", "PointsTo", "State",
+    "TOP_STATE", "UNINIT", "UNINIT_POINTER", "points_to",
+    "AbstractStore", "TOP_STORE",
+    "AbstractType", "ArrayBaseType", "ArrayMidType", "BOTTOM_TYPE",
+    "FunctionPointerType", "GroundType", "INT", "INT8", "INT16", "INT32",
+    "Member", "PointerType", "StructType", "TOP_TYPE", "Type", "UINT8",
+    "UINT16", "UINT32", "UnionType", "alignof", "ground_type",
+    "is_ground_subtype", "lookup_fields", "meet", "sizeof",
+    "BOTTOM_TYPESTATE", "TOP_TYPESTATE", "Typestate",
+]

@@ -1,0 +1,104 @@
+"""Access permissions (paper Sections 2 and 4.1).
+
+A safety policy speaks of five permissions — ``r`` (readable), ``w``
+(writable), ``f`` (followable), ``x`` (executable), ``o`` (operable) —
+but only ``f``/``x``/``o`` are properties of a *value* and live inside a
+typestate; ``r``/``w`` are properties of a *location* and live on the
+abstract location itself.
+
+The access component of a typestate is either a subset of ``{f, x, o}``
+or, for aggregates, a tuple of access permissions, one per member.  The
+meet of two access sets is their intersection; tuples meet
+component-wise.  ⊤a (all permissions) is the top of the lattice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+FOLLOW = "f"
+EXECUTE = "x"
+OPERATE = "o"
+
+_VALID = frozenset({FOLLOW, EXECUTE, OPERATE})
+
+
+class Access:
+    """Base class: a set of value permissions or a tuple thereof."""
+
+    def meet(self, other: "Access") -> "Access":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AccessSet(Access):
+    """A subset of {f, x, o}."""
+
+    perms: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        bad = self.perms - _VALID
+        if bad:
+            raise ValueError("invalid permissions %s" % sorted(bad))
+
+    def meet(self, other: Access) -> Access:
+        if isinstance(other, AccessSet):
+            return AccessSet(self.perms & other.perms)
+        # set ∧ tuple: distribute over the tuple's members.
+        assert isinstance(other, AccessTuple)
+        return AccessTuple(tuple(self.meet(m) for m in other.members))
+
+    @property
+    def followable(self) -> bool:
+        return FOLLOW in self.perms
+
+    @property
+    def executable(self) -> bool:
+        return EXECUTE in self.perms
+
+    @property
+    def operable(self) -> bool:
+        return OPERATE in self.perms
+
+    def __str__(self) -> str:
+        return "".join(p for p in "fxo" if p in self.perms) or "∅"
+
+
+@dataclass(frozen=True)
+class AccessTuple(Access):
+    """Access of an aggregate: one access per member, in member order."""
+
+    members: Tuple[Access, ...]
+
+    def meet(self, other: Access) -> Access:
+        if isinstance(other, AccessTuple) \
+                and len(other.members) == len(self.members):
+            return AccessTuple(tuple(
+                a.meet(b) for a, b in zip(self.members, other.members)))
+        if isinstance(other, AccessSet):
+            return other.meet(self)
+        return access("")  # incompatible shapes: no permissions survive
+
+    def __str__(self) -> str:
+        return "(%s)" % ", ".join(str(m) for m in self.members)
+
+
+def access(letters: str) -> AccessSet:
+    """Build an :class:`AccessSet` from permission letters, e.g.
+    ``access("fo")``.  ``r``/``w`` letters are rejected — those belong on
+    abstract locations, not on values (paper Section 4.1)."""
+    letters = letters.replace("∅", "")
+    if any(ch in "rw" for ch in letters):
+        raise ValueError(
+            "r/w are location attributes, not value permissions: %r"
+            % (letters,))
+    return AccessSet(frozenset(letters))
+
+
+#: All value permissions (the access lattice's top).
+ALL_ACCESS = access("fxo")
+#: No permissions.
+NO_ACCESS = access("")
+#: What a plain initialized scalar normally carries.
+OPERATE_ONLY = access("o")

@@ -1,0 +1,99 @@
+"""Abstract locations and the location table (paper Section 4.1).
+
+An abstract location summarizes a set of physical locations so the
+analysis has a finite domain: one location may stand for all elements of
+an array, all nodes of a linked structure, or all activation records of
+a procedure.  A location has a name, a size, an alignment, optional
+``r``/``w`` attributes, and a *summary* flag (true when it stands for
+more than one physical location, which forces weak updates).
+
+Registers are abstract locations too: always readable and writable,
+alignment 0 (paper: "A register is always readable and writable, and has
+an alignment of zero").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.sparc.registers import REGISTER_NAMES
+
+
+@dataclass(frozen=True)
+class AbstractLocation:
+    """One abstract location.
+
+    ``align`` is the known alignment of the location's address (0 means
+    "perfectly aligned / not a memory address", as for registers);
+    ``region`` names the policy region the location belongs to.
+    """
+
+    name: str
+    size: int = 4
+    align: int = 0
+    readable: bool = True
+    writable: bool = True
+    summary: bool = False
+    region: str = ""
+    #: For struct locations: the field suffixes (label order) that have
+    #: their own child locations named ``<name>.<label>``.
+    field_labels: tuple = ()
+
+    @property
+    def is_register(self) -> bool:
+        return self.name.startswith("%")
+
+    def field_location_name(self, label: str) -> str:
+        return "%s.%s" % (self.name, label)
+
+    def __str__(self) -> str:
+        flags = "".join((
+            "r" if self.readable else "",
+            "w" if self.writable else "",
+            "s" if self.summary else "",
+        ))
+        return "%s[%d,%s]" % (self.name, self.size, flags or "-")
+
+
+class LocationTable:
+    """The finite set ``absLoc`` the analysis works over.
+
+    Built during preparation from the host typestate specification plus
+    the 32 registers; queried throughout propagation and verification.
+    """
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, AbstractLocation] = {}
+        for name in REGISTER_NAMES:
+            self._locations[name] = AbstractLocation(
+                name=name, size=4, align=0, readable=True, writable=True)
+
+    def add(self, location: AbstractLocation) -> AbstractLocation:
+        if location.name in self._locations:
+            raise ValueError("duplicate abstract location %r"
+                             % location.name)
+        self._locations[location.name] = location
+        return location
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._locations
+
+    def __getitem__(self, name: str) -> AbstractLocation:
+        return self._locations[name]
+
+    def get(self, name: str) -> Optional[AbstractLocation]:
+        return self._locations.get(name)
+
+    def names(self) -> List[str]:
+        return list(self._locations)
+
+    def __iter__(self) -> Iterator[AbstractLocation]:
+        return iter(self._locations.values())
+
+    def memory_locations(self) -> List[AbstractLocation]:
+        return [l for l in self._locations.values() if not l.is_register]
+
+    def is_summary(self, name: str) -> bool:
+        loc = self._locations.get(name)
+        return loc is not None and loc.summary

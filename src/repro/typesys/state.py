@@ -1,0 +1,165 @@
+"""The state component of typestates (paper Figure 5).
+
+States form a meet semi-lattice with ⊥s (an undefined value of any type)
+at the bottom and ⊤s at the top (the "no information yet" value the
+propagation starts from).  Between them:
+
+* **scalars**: ``[it]`` (initialized) above ``[ut]`` (uninitialized) —
+  a value initialized on one path only meets to uninitialized;
+* **pointers**: a points-to set ``P`` of abstract-location names (which
+  may include ``null``) above ``[up]`` (uninitialized pointer).  For
+  points-to sets the order is ``P1 ⊒ P2  iff  P2 ⊇ P1`` (paper Section
+  4.1), so the meet of two sets is their **union**;
+* **aggregates**: a tuple of field states, met component-wise.
+
+Because state descriptors also track abstract locations that represent
+stack- and heap-allocated storage, they play the role of the
+storage-shape graphs of Chase et al. (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+#: The distinguished points-to element for the null pointer.
+NULL = "null"
+
+
+class State:
+    """Base class; instances immutable and hashable."""
+
+    def meet(self, other: "State") -> "State":
+        if self == other:
+            return self
+        if isinstance(other, TopState):
+            return self
+        if isinstance(self, TopState):
+            return other
+        if isinstance(self, BottomState) or isinstance(other, BottomState):
+            return BOTTOM_STATE
+        return self._meet_distinct(other)
+
+    def _meet_distinct(self, other: "State") -> "State":
+        return BOTTOM_STATE
+
+    def leq(self, other: "State") -> bool:
+        """Lattice order: self ⊑ other iff meet(self, other) == self."""
+        return self.meet(other) == self
+
+
+@dataclass(frozen=True)
+class TopState(State):
+    def __str__(self) -> str:
+        return "⊤s"
+
+
+@dataclass(frozen=True)
+class BottomState(State):
+    def __str__(self) -> str:
+        return "⊥s"
+
+
+@dataclass(frozen=True)
+class Uninitialized(State):
+    """``[ut]``: a scalar value that may be uninitialized."""
+
+    def _meet_distinct(self, other: State) -> State:
+        if isinstance(other, Initialized):
+            return self
+        return BOTTOM_STATE
+
+    def __str__(self) -> str:
+        return "uninitialized"
+
+
+@dataclass(frozen=True)
+class Initialized(State):
+    """``[it]``: a definitely initialized scalar value."""
+
+    def _meet_distinct(self, other: State) -> State:
+        if isinstance(other, Uninitialized):
+            return other
+        return BOTTOM_STATE
+
+    def __str__(self) -> str:
+        return "initialized"
+
+
+@dataclass(frozen=True)
+class UninitPointer(State):
+    """``[up]``: an uninitialized pointer value."""
+
+    def _meet_distinct(self, other: State) -> State:
+        if isinstance(other, PointsTo):
+            return self
+        return BOTTOM_STATE
+
+    def __str__(self) -> str:
+        return "[up]"
+
+
+@dataclass(frozen=True)
+class PointsTo(State):
+    """A non-empty set of abstract locations the pointer may reference;
+    one element may be :data:`NULL`."""
+
+    targets: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("points-to set must be non-empty")
+
+    def _meet_distinct(self, other: State) -> State:
+        if isinstance(other, PointsTo):
+            return PointsTo(self.targets | other.targets)
+        if isinstance(other, UninitPointer):
+            return other
+        return BOTTOM_STATE
+
+    @property
+    def may_be_null(self) -> bool:
+        return NULL in self.targets
+
+    @property
+    def non_null_targets(self) -> FrozenSet[str]:
+        return self.targets - {NULL}
+
+    def without_null(self) -> "State":
+        rest = self.targets - {NULL}
+        if not rest:
+            return BOTTOM_STATE
+        return PointsTo(rest)
+
+    def __str__(self) -> str:
+        return "{%s}" % ", ".join(sorted(self.targets))
+
+
+@dataclass(frozen=True)
+class AggregateState(State):
+    """State of a struct/union value: one state per member, in member
+    order."""
+
+    fields: Tuple[State, ...]
+
+    def _meet_distinct(self, other: State) -> State:
+        if isinstance(other, AggregateState) \
+                and len(other.fields) == len(self.fields):
+            return AggregateState(tuple(
+                a.meet(b) for a, b in zip(self.fields, other.fields)))
+        return BOTTOM_STATE
+
+    def __str__(self) -> str:
+        return "<%s>" % ", ".join(str(f) for f in self.fields)
+
+
+TOP_STATE = TopState()
+BOTTOM_STATE = BottomState()
+UNINIT = Uninitialized()
+INIT = Initialized()
+UNINIT_POINTER = UninitPointer()
+
+
+def points_to(*targets: str) -> PointsTo:
+    """Convenience constructor for points-to states."""
+    return PointsTo(frozenset(targets))

@@ -1,0 +1,318 @@
+"""The type component of typestates (paper Figure 4).
+
+The type language is::
+
+    t ::= ground            ground types (int8 … uint32), with subtyping
+        | abstract          host-opaque types
+        | t [n]             pointer to the base of an array of t, size n
+        | t (n]             pointer into the middle of an array of t, size n
+        | t ptr             pointer to t
+        | s {m1, …, mk}     struct
+        | u {|m1, …, mk|}   union
+        | (t1, …, tk) -> t  function
+        | ⊤t | ⊥t
+
+Array sizes *n* are symbolic (spec variables such as ``n``) or concrete
+integers.  Types form a meet semi-lattice (paper Section 4.1):
+
+* meet of two different non-pointer types is ⊥t — except along the
+  ground-type subtyping chains (footnote 2), where the meet is the
+  narrower type;
+* meet of two different pointer types, or of a pointer and a
+  non-pointer, is ⊥t;
+* ``t[n] ∧ t(n] = t(n]``; ``t[n] ∧ t[m] = ⊥t`` and ``t(n] ∧ t(m] = ⊥t``
+  when ``m ≠ n``.
+
+All types carry size and alignment constraints (paper: "with the
+addition of … alignment and size constraints on types").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+class Type:
+    """Base class for all types.  Instances are immutable and hashable."""
+
+    def meet(self, other: "Type") -> "Type":
+        if self == other:
+            return self
+        if isinstance(other, TopType):
+            return self
+        if isinstance(self, TopType):
+            return other
+        return _meet_distinct(self, other)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, (PointerType, ArrayBaseType, ArrayMidType,
+                                 FunctionPointerType))
+
+
+@dataclass(frozen=True)
+class TopType(Type):
+    def __str__(self) -> str:
+        return "⊤t"
+
+
+@dataclass(frozen=True)
+class BottomType(Type):
+    def __str__(self) -> str:
+        return "⊥t"
+
+
+TOP_TYPE = TopType()
+BOTTOM_TYPE = BottomType()
+
+
+@dataclass(frozen=True)
+class GroundType(Type):
+    """A machine integer type: name, byte size, signedness."""
+
+    name: str
+    size: int
+    signed: bool
+
+    @property
+    def align(self) -> int:
+        return self.size
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT8 = GroundType("int8", 1, True)
+UINT8 = GroundType("uint8", 1, False)
+INT16 = GroundType("int16", 2, True)
+UINT16 = GroundType("uint16", 2, False)
+INT32 = GroundType("int32", 4, True)
+UINT32 = GroundType("uint32", 4, False)
+
+#: The default machine word type; the paper's figures write it ``int``.
+INT = INT32
+
+_GROUND_BY_NAME = {
+    t.name: t for t in (INT8, UINT8, INT16, UINT16, INT32, UINT32)
+}
+_GROUND_BY_NAME["int"] = INT32
+_GROUND_BY_NAME["uint"] = UINT32
+_GROUND_BY_NAME["char"] = INT8
+_GROUND_BY_NAME["uchar"] = UINT8
+_GROUND_BY_NAME["short"] = INT16
+_GROUND_BY_NAME["ushort"] = UINT16
+
+
+def ground_type(name: str) -> GroundType:
+    """Look up a ground type by name (``int``, ``uint8``, ``char`` …)."""
+    return _GROUND_BY_NAME[name]
+
+
+def is_ground_subtype(small: Type, big: Type) -> bool:
+    """Ground-type subtyping (paper footnote 2): a narrower integer is a
+    subtype of a wider one of the same signedness, and an unsigned
+    integer is a subtype of any *strictly* wider signed integer (its
+    value range embeds, as in C's integer promotions — this is what
+    makes ``ldub`` results usable in ``int`` arithmetic).  Reflexive."""
+    if not isinstance(small, GroundType) or not isinstance(big, GroundType):
+        return False
+    if small == big:
+        return True
+    if small.signed == big.signed and small.size <= big.size:
+        return True
+    return (not small.signed) and big.signed and small.size < big.size
+
+
+@dataclass(frozen=True)
+class AbstractType(Type):
+    """A host-opaque (abstract) type: contents invisible to the untrusted
+    code; only its size and alignment are known."""
+
+    name: str
+    size: int
+    align: int = 4
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Symbolic or concrete array size.
+SizeExpr = Union[int, str]
+
+
+@dataclass(frozen=True)
+class ArrayBaseType(Type):
+    """``t[n]``: pointer to the *base* of an array of ``t`` of size n."""
+
+    element: Type
+    size: SizeExpr
+
+    def __str__(self) -> str:
+        return "%s[%s]" % (self.element, self.size)
+
+
+@dataclass(frozen=True)
+class ArrayMidType(Type):
+    """``t(n]``: pointer *into the middle* of an array of ``t`` of size
+    n (i.e. to any element)."""
+
+    element: Type
+    size: SizeExpr
+
+    def __str__(self) -> str:
+        return "%s(%s]" % (self.element, self.size)
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """``t ptr``: pointer to a single ``t``."""
+
+    pointee: Type
+
+    def __str__(self) -> str:
+        return "%s ptr" % (self.pointee,)
+
+
+@dataclass(frozen=True)
+class Member:
+    """A struct/union member: label, type, byte offset (paper's
+    ``m :: (t, l, i)``)."""
+
+    label: str
+    type: Type
+    offset: int
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    name: str
+    members: Tuple[Member, ...]
+
+    def __str__(self) -> str:
+        return "struct %s" % (self.name,)
+
+    def member(self, label: str) -> Member:
+        for m in self.members:
+            if m.label == label:
+                return m
+        raise KeyError(label)
+
+
+@dataclass(frozen=True)
+class UnionType(Type):
+    name: str
+    members: Tuple[Member, ...]
+
+    def __str__(self) -> str:
+        return "union %s" % (self.name,)
+
+
+@dataclass(frozen=True)
+class FunctionPointerType(Type):
+    """Pointer to function ``(t1, …, tk) -> t`` (carries the x access
+    permission when callable)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "(%s)() ptr" % (self.name,)
+
+
+# ---------------------------------------------------------------------------
+# size / alignment
+# ---------------------------------------------------------------------------
+
+_POINTER_SIZE = 4  # SPARC V8 is a 32-bit architecture
+
+
+def sizeof(t: Type) -> int:
+    """Byte size of a value of type *t* (paper's ``sizeof``)."""
+    if isinstance(t, GroundType):
+        return t.size
+    if isinstance(t, AbstractType):
+        return t.size
+    if t.is_pointer:
+        return _POINTER_SIZE
+    if isinstance(t, (StructType, UnionType)):
+        if not t.members:
+            return 0
+        end = max(m.offset + sizeof(m.type) for m in t.members)
+        align = alignof(t)
+        return (end + align - 1) // align * align
+    raise ValueError("sizeof undefined for %s" % (t,))
+
+
+def alignof(t: Type) -> int:
+    """Required alignment of a value of type *t* (paper's ``align``)."""
+    if isinstance(t, GroundType):
+        return t.align
+    if isinstance(t, AbstractType):
+        return t.align
+    if t.is_pointer:
+        return _POINTER_SIZE
+    if isinstance(t, (StructType, UnionType)):
+        return max((alignof(m.type) for m in t.members), default=1)
+    raise ValueError("alignof undefined for %s" % (t,))
+
+
+def lookup_fields(t: Type, offset: int, size: int) -> Tuple[Member, ...]:
+    """The paper's ``lookUp(type, n, m)``: members of *t* at byte offset
+    *offset* whose type has byte size *size* (∅ if none).
+
+    For nested aggregates the search recurses, concatenating labels with
+    ``.``.
+    """
+    if isinstance(t, (StructType, UnionType)):
+        found = []
+        for m in t.members:
+            if m.offset == offset and sizeof(m.type) == size:
+                found.append(m)
+            elif isinstance(m.type, (StructType, UnionType)) \
+                    and m.offset <= offset < m.offset + sizeof(m.type):
+                for inner in lookup_fields(m.type, offset - m.offset, size):
+                    found.append(Member(label="%s.%s" % (m.label,
+                                                         inner.label),
+                                        type=inner.type,
+                                        offset=m.offset + inner.offset))
+        return tuple(found)
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# meet
+# ---------------------------------------------------------------------------
+
+
+def _meet_distinct(a: Type, b: Type) -> Type:
+    """Meet of two structurally different, non-top types."""
+    if isinstance(a, BottomType) or isinstance(b, BottomType):
+        return BOTTOM_TYPE
+    # Ground subtyping: the meet of comparable ground types is the
+    # narrower one.
+    if is_ground_subtype(a, b):
+        return a
+    if is_ground_subtype(b, a):
+        return b
+    # t[n] ∧ t(n] = t(n]; mismatched sizes or elements give ⊥t.
+    pair = _as_array_pair(a, b)
+    if pair is not None:
+        base, mid = pair
+        if base.element == mid.element and base.size == mid.size:
+            return mid
+        return BOTTOM_TYPE
+    return BOTTOM_TYPE
+
+
+def _as_array_pair(a: Type, b: Type
+                   ) -> Optional[Tuple[ArrayBaseType, ArrayMidType]]:
+    if isinstance(a, ArrayBaseType) and isinstance(b, ArrayMidType):
+        return a, b
+    if isinstance(b, ArrayBaseType) and isinstance(a, ArrayMidType):
+        return b, a
+    return None
+
+
+def meet(a: Type, b: Type) -> Type:
+    """Module-level meet (paper Section 4.1)."""
+    return a.meet(b)

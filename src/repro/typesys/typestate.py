@@ -1,0 +1,86 @@
+"""Typestates: the ⟨type, state, access⟩ triples of the abstract storage
+model (paper Section 4.1).
+
+A typestate records properties of the *value* stored in an abstract
+location.  Typestates form a meet semi-lattice whose meet is the meet of
+the respective components; ⊤ (no information — the initial value at
+every program point except the entry) and ⊥ exist at the typestate level
+as well as per component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.typesys.access import Access, AccessSet, ALL_ACCESS, NO_ACCESS
+from repro.typesys.state import (
+    BOTTOM_STATE, State, TOP_STATE, PointsTo,
+)
+from repro.typesys.types import (
+    BOTTOM_TYPE, TOP_TYPE, Type,
+)
+
+
+@dataclass(frozen=True)
+class Typestate:
+    """⟨type, state, access⟩ describing the value in an abstract
+    location."""
+
+    type: Type
+    state: State
+    access: Access
+
+    def meet(self, other: "Typestate") -> "Typestate":
+        return Typestate(
+            type=self.type.meet(other.type),
+            state=self.state.meet(other.state),
+            access=self.access.meet(other.access),
+        )
+
+    @property
+    def is_top(self) -> bool:
+        return self.type == TOP_TYPE and self.state == TOP_STATE
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.type.is_pointer
+
+    @property
+    def may_be_null(self) -> bool:
+        return isinstance(self.state, PointsTo) and self.state.may_be_null
+
+    @property
+    def operable(self) -> bool:
+        """Paper Section 4.3: ``operable(l)`` iff o ∈ A(l) and the state
+        is neither uninitialized nor ⊥s."""
+        from repro.typesys.state import (
+            Uninitialized, UninitPointer, BottomState,
+        )
+        if not (isinstance(self.access, AccessSet)
+                and self.access.operable):
+            return False
+        return not isinstance(self.state, (Uninitialized, UninitPointer,
+                                           BottomState))
+
+    @property
+    def followable(self) -> bool:
+        """``followable(l)`` iff f ∈ A(l) and T(l) is a pointer type."""
+        return (isinstance(self.access, AccessSet)
+                and self.access.followable and self.type.is_pointer)
+
+    @property
+    def executable(self) -> bool:
+        return (isinstance(self.access, AccessSet)
+                and self.access.executable)
+
+    def __str__(self) -> str:
+        return "<%s, %s, %s>" % (self.type, self.state, self.access)
+
+
+#: ⊤: the starting value of typestate propagation at all points except
+#: the entry (paper Section 4.2.2).
+TOP_TYPESTATE = Typestate(TOP_TYPE, TOP_STATE, ALL_ACCESS)
+
+#: ⟨⊥t, ⊥s, ∅⟩: what abstract locations without initial annotations get
+#: at the entry node (paper Section 5.1).
+BOTTOM_TYPESTATE = Typestate(BOTTOM_TYPE, BOTTOM_STATE, NO_ACCESS)

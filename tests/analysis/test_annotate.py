@@ -1,0 +1,231 @@
+"""Unit tests for Phase 3 (annotation): predicate attachment per
+instruction class (paper Table 2 / Figure 3)."""
+
+import pytest
+
+from repro import parse_spec
+from repro.analysis.annotate import (
+    CAT_ALIGN, CAT_BOUNDS, CAT_CALL, CAT_NULL, CAT_PERM, CAT_STACK,
+    CAT_UNINIT, annotate,
+)
+from repro.analysis.prepare import prepare
+from repro.analysis.propagate import propagate
+from repro.analysis.semantics import Usage
+from repro.cfg import build_cfg
+from repro.sparc import assemble
+
+
+def annotations_for(source, spec_text):
+    program = assemble(source)
+    spec = parse_spec(spec_text)
+    preparation = prepare(spec)
+    cfg = build_cfg(program, trusted_labels=set(spec.functions))
+    propagation = propagate(cfg, preparation, spec)
+    return annotate(cfg, propagation.inputs, spec, preparation.locations)
+
+
+def at_index(annotations, index):
+    return next(a for a in annotations.values() if a.index == index)
+
+
+ARRAY_SPEC = """
+loc e   : int    = initialized  perms rwo region V summary
+loc arr : int[n] = {e}          perms rfo  region V
+rule [V : int : rwo]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+THREAD_SPEC = """
+type thread = struct { tid: int; lwpid: int; next: thread ptr }
+loc th   : thread            perms r   region H summary
+loc head : thread ptr = {th} perms rfo region H
+rule [H : thread.tid : ro]
+rule [H : thread.next : rfo]
+invoke %o0 = head
+"""
+
+
+class TestArrayAccess:
+    def test_bounds_null_align_attached(self):
+        anns = annotations_for(
+            "1: ld [%o0+%g2],%g1\n2: retl\n3: nop",
+            ARRAY_SPEC + "invoke %g2 = idx\n")
+        ann = at_index(anns, 1)
+        categories = [g.category for g in ann.global_]
+        assert categories.count(CAT_BOUNDS) == 2     # lower + upper
+        assert CAT_NULL in categories
+        assert CAT_ALIGN in categories
+
+    def test_byte_access_has_no_alignment_conditions(self):
+        spec = ARRAY_SPEC.replace("int[n]", "uint8[n]").replace(
+            ": int ", ": uint8 ")
+        anns = annotations_for(
+            "1: ldub [%o0+%g2],%g1\n2: retl\n3: nop",
+            spec + "invoke %g2 = idx\n")
+        ann = at_index(anns, 1)
+        assert all(g.category != CAT_ALIGN for g in ann.global_)
+
+    def test_constant_index_still_checked(self):
+        anns = annotations_for("1: ld [%o0+8],%g1\n2: retl\n3: nop",
+                               ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        assert any(g.category == CAT_BOUNDS for g in ann.global_)
+
+    def test_store_checks_writability(self):
+        anns = annotations_for("1: st %o1,[%o0]\n2: retl\n3: nop",
+                               ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        writable = [p for p in ann.local if "writable" in p.description]
+        assert writable and all(p.holds for p in writable)
+
+    def test_readonly_array_write_flagged(self):
+        readonly = ARRAY_SPEC.replace("perms rwo", "perms ro").replace(
+            ": rwo]", ": ro]")
+        anns = annotations_for("1: st %o1,[%o0]\n2: retl\n3: nop",
+                               readonly)
+        ann = at_index(anns, 1)
+        writable = [p for p in ann.local if "writable" in p.description]
+        assert writable and not any(p.holds for p in writable)
+
+
+class TestFieldAccess:
+    def test_resolved_field_read(self):
+        anns = annotations_for("1: ld [%o0],%g1\n2: retl\n3: nop",
+                               THREAD_SPEC)
+        ann = at_index(anns, 1)
+        assert ann.usage is Usage.FIELD_ACCESS
+        assert any("th.tid" in p.description and p.holds
+                   for p in ann.local)
+
+    def test_unpermitted_field_read_flagged(self):
+        # lwpid has no policy rule in THREAD_SPEC: unreadable.
+        anns = annotations_for("1: ld [%o0+4],%g1\n2: retl\n3: nop",
+                               THREAD_SPEC)
+        ann = at_index(anns, 1)
+        readable = [p for p in ann.local
+                    if "readable(th.lwpid)" in p.description]
+        assert readable and not readable[0].holds
+
+    def test_unfollowable_pointer_flagged(self):
+        spec = THREAD_SPEC.replace(
+            "loc head : thread ptr = {th} perms rfo region H",
+            "loc head : thread ptr = {th} perms ro region H")
+        anns = annotations_for("1: ld [%o0],%g1\n2: retl\n3: nop", spec)
+        ann = at_index(anns, 1)
+        follow = [p for p in ann.local
+                  if "followable" in p.description]
+        assert follow and not follow[0].holds
+
+    def test_bogus_offset_empty_f(self):
+        anns = annotations_for("1: ld [%o0+2],%g1\n2: retl\n3: nop",
+                               THREAD_SPEC)
+        ann = at_index(anns, 1)
+        f_check = [p for p in ann.local if "F != {}" in p.description]
+        assert f_check and not f_check[0].holds
+
+
+class TestScalarOperations:
+    def test_uninitialized_operand_flagged(self):
+        anns = annotations_for("1: add %g5,%o1,%g1\n2: retl\n3: nop",
+                               ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        operable = [p for p in ann.local
+                    if "operable(%g5)" in p.description]
+        assert operable and not operable[0].holds
+
+    def test_constant_operands_always_operable(self):
+        anns = annotations_for("1: mov 5,%g1\n2: retl\n3: nop",
+                               ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        assert all(p.holds for p in ann.local)
+
+
+class TestStackDiscipline:
+    def test_aligned_sp_adjustment_accepted(self):
+        anns = annotations_for("1: sub %sp,96,%sp\n2: retl\n3: nop",
+                               ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        stack = [p for p in ann.local if p.category == CAT_STACK]
+        assert stack and stack[0].holds
+
+    def test_misaligned_sp_adjustment_flagged(self):
+        anns = annotations_for("1: sub %sp,100,%sp\n2: retl\n3: nop",
+                               ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        stack = [p for p in ann.local if p.category == CAT_STACK]
+        assert stack and not stack[0].holds
+
+    def test_arbitrary_sp_overwrite_flagged(self):
+        anns = annotations_for("1: mov %o1,%sp\n2: retl\n3: nop",
+                               ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        stack = [p for p in ann.local if p.category == CAT_STACK]
+        assert stack and not stack[0].holds
+
+    def test_return_through_valid_address_ok(self):
+        anns = annotations_for("1: retl\n2: nop", ARRAY_SPEC)
+        ann = at_index(anns, 1)
+        ret = [p for p in ann.local if "return address" in p.description]
+        assert ret and ret[0].holds
+
+    def test_return_through_corrupted_address_flagged(self):
+        anns = annotations_for(
+            "1: mov %o1,%o7\n2: retl\n3: nop", ARRAY_SPEC)
+        ann = at_index(anns, 2)
+        ret = [p for p in ann.local if "return address" in p.description]
+        assert ret and not ret[0].holds
+
+
+class TestTrustedCalls:
+    SPEC = ARRAY_SPEC + """
+    function log {
+        param %o0 : int = initialized perms o
+        requires %o0 >= 0
+        clobbers %g1
+    }
+    """
+
+    def test_argument_check_uses_post_slot_state(self):
+        anns = annotations_for("""
+        1: mov %o7,%g4
+        2: call log
+        3: mov %o1,%o0
+        4: mov %g4,%o7
+        5: retl
+        6: nop
+        """, self.SPEC)
+        ann = at_index(anns, 2)
+        arg = [p for p in ann.local if p.category == CAT_CALL]
+        assert arg and all(p.holds for p in arg)
+
+    def test_precondition_pulled_across_slot(self):
+        anns = annotations_for("""
+        1: mov %o7,%g4
+        2: call log
+        3: mov %o1,%o0
+        4: mov %g4,%o7
+        5: retl
+        6: nop
+        """, self.SPEC)
+        ann = at_index(anns, 2)
+        pre = [g for g in ann.global_ if g.category == CAT_CALL]
+        assert pre
+        # The formula is over %o1 (the slot moves %o1 into %o0).
+        assert "%o1" in pre[0].formula.free_variables()
+
+    def test_unspecified_callee_flagged(self):
+        anns = annotations_for("""
+        1: mov %o7,%g4
+        2: call mystery
+        3: nop
+        4: mov %g4,%o7
+        5: retl
+        6: nop
+        """, ARRAY_SPEC)
+        ann = at_index(anns, 2)
+        spec_check = [p for p in ann.local
+                      if "host specification" in p.description]
+        assert spec_check and not spec_check[0].holds

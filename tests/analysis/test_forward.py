@@ -1,0 +1,200 @@
+"""Unit tests for the forward fact-propagation pass (the Section 6
+extension)."""
+
+import pytest
+
+from repro import parse_spec
+from repro.analysis.forward import FactSet, ForwardBounds
+from repro.analysis.prepare import prepare
+from repro.cfg import CFG, NodeRole, build_cfg, find_loops
+from repro.logic import Prover, congruent, conj, eq, ge, implies, le
+from repro.logic.formula import Cong, Geq
+from repro.logic.terms import Linear
+from repro.sparc import assemble
+
+
+def v(name, coeff=1):
+    return Linear.var(name, coeff)
+
+
+def facts_for(source, spec_text):
+    program = assemble(source)
+    spec = parse_spec(spec_text)
+    preparation = prepare(spec)
+    cfg = build_cfg(program, trusted_labels=set(spec.functions))
+    return cfg, ForwardBounds(cfg, preparation.initial_constraints)
+
+
+def facts_at_index(cfg, forward, index):
+    uid = next(n.uid for n in cfg.nodes.values()
+               if n.index == index and n.role is NodeRole.NORMAL)
+    return forward.facts_at(uid)
+
+
+SPEC = """
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+
+class TestFactSet:
+    def test_geq_keeps_strongest(self):
+        facts = FactSet()
+        facts.add_atom(Geq(v("x") - 2))      # x >= 2
+        facts.add_atom(Geq(v("x") - 5))      # x >= 5: stronger
+        assert Prover().implies(facts.to_formula(), ge(v("x"), 5))
+
+    def test_join_keeps_weaker(self):
+        a, b = FactSet(), FactSet()
+        a.add_atom(Geq(v("x") - 5))
+        b.add_atom(Geq(v("x") - 2))
+        joined = a.join(b)
+        prover = Prover()
+        assert prover.implies(joined.to_formula(), ge(v("x"), 2))
+        assert not prover.implies(joined.to_formula(), ge(v("x"), 5))
+
+    def test_join_drops_one_sided_facts(self):
+        a, b = FactSet(), FactSet()
+        a.add_atom(Geq(v("x")))
+        joined = a.join(b)
+        assert joined.to_formula() == conj()
+
+    def test_widening_drops_unstable_bounds(self):
+        a, b = FactSet(), FactSet()
+        a.add_atom(Geq(v("x")))              # x >= 0 on both
+        a.add_atom(Geq(-v("x") + 3))         # x <= 3 vs x <= 4: unstable
+        b.add_atom(Geq(v("x")))
+        b.add_atom(Geq(-v("x") + 4))
+        widened = a.join(b, widen=True)
+        prover = Prover()
+        assert prover.implies(widened.to_formula(), ge(v("x"), 0))
+        assert not prover.implies(widened.to_formula(), le(v("x"), 9))
+
+    def test_congruence_weakened_to_gcd(self):
+        a, b = FactSet(), FactSet()
+        a.add_atom(Cong(v("x"), 8))          # x ≡ 0 (mod 8)
+        b.add_atom(Cong(v("x") - 4, 8))      # x ≡ 4 (mod 8)
+        joined = a.join(b)
+        prover = Prover()
+        assert prover.implies(joined.to_formula(),
+                              congruent(v("x"), 4))
+
+    def test_assign_shift_is_exact(self):
+        facts = FactSet()
+        facts.add_atom(Geq(v("x")))          # x >= 0
+        shifted = facts.assign("x", v("x") + 1)
+        assert Prover().implies(shifted.to_formula(), ge(v("x"), 1))
+
+    def test_assign_unknown_kills(self):
+        facts = FactSet()
+        facts.add_atom(Geq(v("x")))
+        killed = facts.assign("x", None)
+        assert killed.to_formula() == conj()
+
+    def test_assign_copy_creates_equality(self):
+        facts = FactSet()
+        copied = facts.assign("y", v("x"))
+        assert Prover().implies(copied.to_formula(), eq(v("y"), v("x")))
+
+
+class TestForwardPass:
+    def test_initial_constraints_reach_straightline_code(self):
+        cfg, forward = facts_for("1: mov %o0,%o2\n2: retl\n3: nop", SPEC)
+        facts = facts_at_index(cfg, forward, 2)
+        prover = Prover()
+        assert prover.implies(facts, ge(v("%o0"), 1))
+        assert prover.implies(facts, congruent(v("%o0"), 4))
+        assert prover.implies(facts, eq(v("%o2"), v("%o0")))
+
+    def test_branch_condition_recorded(self):
+        cfg, forward = facts_for("""
+        1: cmp %o1,3
+        2: ble 5
+        3: nop
+        4: retl
+        5: nop
+        6: retl
+        7: nop
+        """, SPEC)
+        taken = facts_at_index(cfg, forward, 6)
+        assert Prover().implies(taken, le(v("%o1"), 3))
+        fall = facts_at_index(cfg, forward, 4)
+        assert Prover().implies(fall, ge(v("%o1"), 4))
+
+    def test_loop_header_keeps_stable_facts(self):
+        cfg, forward = facts_for("""
+        1: clr %g3
+        2: cmp %g3,%o1
+        3: bge 7
+        4: nop
+        5: ba 2
+        6: inc %g3
+        7: retl
+        8: nop
+        """, SPEC)
+        forest = find_loops(cfg, CFG.MAIN)
+        header = forest.loops[0].header
+        facts = forward.facts_at(header)
+        prover = Prover()
+        # The pointer facts survive the loop; they never change.
+        assert prover.implies(facts, ge(v("%o0"), 1))
+        assert prover.implies(facts, congruent(v("%o0"), 4))
+        # The counter's stable lower bound survives widening.
+        assert prover.implies(facts, ge(v("%g3"), 0))
+
+    def test_congruence_loop_invariant_found(self):
+        cfg, forward = facts_for("""
+        1: clr %g3
+        2: cmp %g3,64
+        3: bge 7
+        4: nop
+        5: ba 2
+        6: add %g3,4,%g3
+        7: retl
+        8: nop
+        """, SPEC)
+        forest = find_loops(cfg, CFG.MAIN)
+        facts = forward.facts_at(forest.loops[0].header)
+        assert Prover().implies(facts, congruent(v("%g3"), 4))
+
+    def test_call_kills_register_facts(self):
+        cfg, forward = facts_for("""
+        1: mov 5,%g1
+        2: mov %o7,%g4
+        3: call unknown
+        4: nop
+        5: retl
+        6: nop
+        """, SPEC)
+        after = facts_at_index(cfg, forward, 5)
+        assert not Prover().implies(after, eq(v("%g1"), 5))
+
+    def test_mask_bounds_recorded(self):
+        cfg, forward = facts_for("""
+        1: and %o1,63,%g1
+        2: retl
+        3: nop
+        """, SPEC)
+        facts = facts_at_index(cfg, forward, 2)
+        prover = Prover()
+        assert prover.implies(facts, ge(v("%g1"), 0))
+        assert prover.implies(facts, le(v("%g1"), 63))
+
+
+class TestEngineIntegration:
+    def test_forward_facts_discharge_without_induction(self):
+        # With the pass on, the loop-invariant pointer conditions are
+        # discharged without any induction-iteration run.
+        from repro.analysis.options import CheckerOptions
+        from repro.programs.bubble_sort import PROGRAM
+        on = PROGRAM.check()
+        options = CheckerOptions()
+        options.enable_forward_bounds = False
+        off = PROGRAM.check(options)
+        assert on.safe and off.safe
+        assert on.induction_runs < off.induction_runs

@@ -1,0 +1,156 @@
+"""Unit-level tests of the induction-iteration machinery: candidate
+generation, generalization, ranking, and the outcome bookkeeping."""
+
+import pytest
+
+from repro import parse_spec
+from repro.analysis.annotate import annotate
+from repro.analysis.induction import InductionIteration, _atom_count
+from repro.analysis.options import CheckerOptions
+from repro.analysis.prepare import prepare
+from repro.analysis.propagate import propagate
+from repro.analysis.verify import VerificationEngine
+from repro.cfg import CFG, build_cfg, find_loops
+from repro.logic import conj, disj, ge, implies, le, lt
+from repro.logic.terms import Linear
+from repro.sparc import assemble
+
+SUM_SOURCE = """
+1: mov %o0,%o2
+2: clr %o0
+3: cmp %o0,%o1
+4: bge 12
+5: clr %g3
+6: sll %g3, 2,%g2
+7: ld [%o2+%g2],%g2
+8: inc %g3
+9: cmp %g3,%o1
+10:bl 6
+11:add %o0,%g2,%o0
+12:retl
+13:nop
+"""
+
+SUM_SPEC = """
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+
+def v(name, coeff=1):
+    return Linear.var(name, coeff)
+
+
+@pytest.fixture()
+def sum_engine():
+    program = assemble(SUM_SOURCE)
+    spec = parse_spec(SUM_SPEC)
+    preparation = prepare(spec)
+    cfg = build_cfg(program)
+    propagation = propagate(cfg, preparation, spec)
+    options = CheckerOptions()
+    options.enable_forward_bounds = False  # exercise the full machinery
+    engine = VerificationEngine(cfg, propagation, preparation, spec,
+                                options)
+    loop = find_loops(cfg, CFG.MAIN).loops[0]
+    return engine, loop
+
+
+class TestGeneralization:
+    def test_paper_generalization_produced(self, sum_engine):
+        engine, loop = sum_engine
+        ii = InductionIteration(engine, loop, {}, 0)
+        # W(1) of the paper: %g3+1 < %o1  ->  %g3+1 < n.
+        w1 = implies(lt(v("%g3") + 1, v("%o1")),
+                     lt(v("%g3") + 1, v("n")))
+        candidates = ii.generalizations(w1)
+        target = le(v("%o1"), v("n"))
+        assert any(engine.prover.equivalent(c, target)
+                   for c in candidates), \
+            "expected %%o1<=n among %s" % [str(c) for c in candidates]
+
+    def test_generalization_eliminates_only_modified_vars(self,
+                                                          sum_engine):
+        engine, loop = sum_engine
+        modified = engine.modified_variables(loop)
+        assert "%g3" in modified          # loop counter
+        assert "%g2" in modified          # scaled index / loaded value
+        assert "%o0" in modified          # accumulator
+        assert "%o1" not in modified      # size register: invariant
+        assert "%o2" not in modified      # array base: invariant
+
+    def test_generalization_of_atom_free_formula_empty(self, sum_engine):
+        engine, loop = sum_engine
+        ii = InductionIteration(engine, loop, {}, 0)
+        from repro.logic import TRUE
+        assert ii.generalizations(TRUE) == []
+
+
+class TestCandidates:
+    def test_candidates_imply_the_wlp(self, sum_engine):
+        engine, loop = sum_engine
+        ii = InductionIteration(engine, loop, {}, 0)
+        body_wlp = implies(lt(v("%g3") + 1, v("%o1")),
+                           lt(v("%g3") + 1, v("n")))
+        for candidate in ii._candidates_for(body_wlp):
+            assert engine.prover.implies(candidate, body_wlp), \
+                "candidate %s does not imply the wlp" % candidate
+
+    def test_candidate_ordering_prefers_small(self, sum_engine):
+        engine, loop = sum_engine
+        ii = InductionIteration(engine, loop, {}, 0)
+        small = ge(v("%o1"), 0)
+        big = conj(ge(v("%o1"), 0), ge(v("n"), 0), ge(v("%o2"), 0))
+        assert ii._rank(small) < ii._rank(big)
+
+    def test_atom_count(self):
+        f = conj(ge(v("a"), 0), disj(ge(v("b"), 0), ge(v("c"), 0)))
+        assert _atom_count(f) == 3
+
+
+class TestRun:
+    def test_successful_run_reports_invariant(self, sum_engine):
+        engine, loop = sum_engine
+        ii = InductionIteration(engine, loop, {}, 0)
+        outcome = ii.run(lt(v("%g3"), v("n")))
+        assert outcome.success
+        assert outcome.invariant is not None
+        assert engine.prover.implies(outcome.invariant,
+                                     lt(v("%g3"), v("n")))
+
+    def test_unprovable_target_fails_within_budget(self, sum_engine):
+        engine, loop = sum_engine
+        ii = InductionIteration(engine, loop, {}, 0)
+        from repro.logic import eq
+        outcome = ii.run(eq(v("%g3"), v("n")))
+        assert not outcome.success
+        assert outcome.candidates_tried \
+            <= engine.options.max_invariant_candidates
+
+    def test_trivial_target_short_circuits(self, sum_engine):
+        engine, loop = sum_engine
+        ii = InductionIteration(engine, loop, {}, 0)
+        outcome = ii.run(ge(v("%g3"), v("%g3")))
+        assert outcome.success and outcome.candidates_tried == 0
+
+
+class TestOptionsRespected:
+    def test_max_iterations_bounds_chain_length(self, sum_engine):
+        engine, loop = sum_engine
+        engine.options.max_induction_iterations = 1
+        ii = InductionIteration(engine, loop, {}, 0)
+        outcome = ii.run(lt(v("%g3"), v("n")))
+        # With chains capped at W(0) the bound is unprovable.
+        assert not outcome.success
+
+    def test_disabling_generalization_breaks_sum(self, sum_engine):
+        engine, loop = sum_engine
+        engine.options.enable_generalization = False
+        ii = InductionIteration(engine, loop, {}, 0)
+        outcome = ii.run(lt(v("%g3"), v("n")))
+        assert not outcome.success

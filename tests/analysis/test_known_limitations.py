@@ -1,0 +1,193 @@
+"""The paper's documented limitations (Section 8), reproduced as
+executable facts.
+
+These tests assert that the checker *fails* in exactly the ways the
+paper says its prototype fails — reproducing the negative results is
+as much a part of fidelity as reproducing the positive ones.
+"""
+
+import pytest
+
+from repro import check_assembly
+from repro.errors import AnalysisError, CFGError, RecursionRejected
+from repro.analysis.checker import SafetyChecker
+from repro.policy.parser import parse_spec
+from repro.sparc import assemble
+
+ARRAY_SPEC = """
+loc e   : int    = initialized  perms rwo region V summary
+loc arr : int[n] = {e}          perms rfo  region V
+rule [V : int : rwo]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+
+class TestSentinelSearch:
+    """Paper Section 8: "The induction-iteration method cannot prove
+    the correctness of array accesses in a loop if correctness depends
+    on some data whose values are set before the execution of the loop.
+    One such example is the use of a sentinel at the end of the array
+    to speed up a sequential search."
+    """
+
+    SOURCE = """
+    ! Store a sentinel equal to the key at arr[n-1], then scan without a
+    ! bounds test: termination relies on the *contents* of the array.
+    ! %o0 = arr, %o1 = n, %o2 = key
+     1: sll %o1,2,%g1
+     2: sub %g1,4,%g1
+     3: st %o2,[%o0+%g1]   ! arr[n-1] = key (the sentinel)
+     4: clr %g3
+     5: sll %g3,2,%g2
+     6: ld [%o0+%g2],%g1   ! arr[i] -- actually in bounds, but only
+     7: cmp %g1,%o2        !            because of the sentinel value
+     8: bne 5
+     9: inc %g3
+    10: retl
+    11: mov %g3,%o0
+    """
+
+    def test_sentinel_bound_is_a_false_alarm(self):
+        result = check_assembly(self.SOURCE, ARRAY_SPEC,
+                                name="sentinel-search")
+        # The scan never leaves the array at run time (the sentinel
+        # guarantees a hit), but that argument needs value reasoning the
+        # typestate + linear-constraint framework cannot express.
+        assert not result.safe
+        assert any(v.category == "array-bounds" and v.index == 6
+                   for v in result.violations)
+
+    def test_sentinel_program_runs_fine_concretely(self):
+        from repro.sparc import Emulator
+        program = assemble(self.SOURCE)
+        emulator = Emulator(program)
+        base = 0xC0000
+        emulator.write_words(base, [5, 9, 2, 7, 0])
+        emulator.set_register("%o0", base)
+        emulator.set_register("%o1", 5)
+        emulator.set_register("%o2", 2)
+        emulator.run()
+        # Found at index 2; the delay-slot increment runs once more on
+        # the exiting iteration, so the returned counter is 3.
+        assert emulator.register_signed("%o0") == 3
+
+
+class TestRecursionRejected:
+    """Section 5.2.1: "our present system detects and rejects recursive
+    programs"."""
+
+    def test_direct_recursion(self):
+        source = """
+        1: mov %o7,%g4
+        2: call f
+        3: nop
+        4: mov %g4,%o7
+        5: retl
+        6: nop
+        f:
+        7: call f
+        8: nop
+        9: retl
+        10: nop
+        """
+        with pytest.raises(RecursionRejected):
+            SafetyChecker(assemble(source),
+                          parse_spec(ARRAY_SPEC)).check()
+
+
+class TestLocalArraysNeedAnnotation:
+    """Section 6: "if the untrusted code uses local arrays, we may not
+    be able to infer their bounds … we have to annotate the stackframes
+    for the functions that use local arrays"."""
+
+    UNANNOTATED = """
+    ! Writes through %sp without any frame annotation.
+    1: st %g0,[%sp+64]
+    2: retl
+    3: nop
+    """
+
+    def test_unannotated_frame_access_rejected(self):
+        result = check_assembly(self.UNANNOTATED, ARRAY_SPEC,
+                                name="frame-unannotated")
+        assert not result.safe
+
+    def test_annotated_frame_access_accepted(self):
+        spec = ARRAY_SPEC + """
+        loc fb    : int = initialized perms rwo region F summary
+        loc frame : int[32] = {fb} perms rfo region F
+        rule [F : int : rwo]
+        rule [F : int[32] : rfo]
+        invoke %o6 = frame
+        """
+        source = """
+        1: st %g0,[%sp+64]
+        2: retl
+        3: nop
+        """
+        result = check_assembly(source, spec, name="frame-annotated")
+        assert result.safe, result.summary()
+
+
+class TestSingleSummaryLocation:
+    """Section 8: "the analysis loses precision when handling array
+    references, because we use a single abstract location to summarize
+    all elements of the array" — a store to one element weakens what is
+    known about every element."""
+
+    SOURCE = """
+    1: ld [%o0],%g1       ! g1 = arr[0] (initialized)
+    2: st %g1,[%o0+4]     ! arr[1] = g1: weak update on the summary
+    3: retl
+    4: nop
+    """
+
+    def test_weak_update_keeps_summary_sound(self):
+        # With an *uninitialized* array, storing one element does not
+        # make loads of other elements acceptable.
+        spec = """
+        loc e   : int    = uninitialized perms rwo region V summary
+        loc arr : int[n] = {e}           perms rfo  region V
+        rule [V : int : rwo]
+        rule [V : int[n] : rfo]
+        invoke %o0 = arr
+        invoke %o1 = n
+        assume n >= 2
+        """
+        source = """
+        1: st %o1,[%o0]      ! arr[0] = n
+        2: ld [%o0+4],%g1    ! arr[1] is still possibly uninitialized
+        3: add %g1,1,%g1     ! ... so this use is flagged
+        4: retl
+        5: nop
+        """
+        result = check_assembly(source, spec, name="weak-update")
+        assert not result.safe
+        assert any(v.category == "uninitialized-value"
+                   for v in result.violations)
+
+
+class TestUnconventionalOperations:
+    """Section 8: "our analysis is not able to deal with certain
+    unconventional usages of operations, such as swapping two
+    non-integer values by means of exclusive or operations"."""
+
+    XOR_SWAP = """
+    ! xor-swap the array pointer with a scalar and back.
+    1: xor %o0,%o1,%o0
+    2: xor %o0,%o1,%o1
+    3: xor %o0,%o1,%o0    ! %o1 now holds the original pointer
+    4: ld [%o1],%g1       ! ... but the typestate cannot see that
+    5: retl
+    6: nop
+    """
+
+    def test_xor_swap_loses_pointer_typestate(self):
+        result = check_assembly(self.XOR_SWAP, ARRAY_SPEC,
+                                name="xor-swap")
+        assert not result.safe
+        assert any(v.category == "unresolved-access"
+                   for v in result.violations)

@@ -1,0 +1,86 @@
+"""Soundness across configurations: the enhancement flags may only
+change *what gets proven*, never flip an unsafe program to safe.
+
+Every enhancement is a proof-search aid: turning one off can only lose
+proofs (safe → reported-unsafe is acceptable conservatism; the reverse
+would be unsoundness).  Also checks determinism: the checker is a pure
+function of (program, spec, options).
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.options import CheckerOptions
+from repro.programs import (
+    BTREE2, BUBBLE_SORT, HASH, JPVM, PAGING_POLICY, START_TIMER, SUM,
+)
+
+_FLAGS = ["enable_disjunct_candidates", "enable_generalization",
+          "enable_formula_grouping", "enable_prover_cache",
+          "enable_junction_simplification", "enable_forward_bounds"]
+
+#: One configuration per single-flag-off, plus everything-off.
+_CONFIGS = [dict.fromkeys([flag], False) for flag in _FLAGS] \
+    + [dict.fromkeys(_FLAGS, False)]
+
+
+def _options(overrides):
+    options = CheckerOptions()
+    for key, value in overrides.items():
+        setattr(options, key, value)
+    return options
+
+
+class TestUnsafeStaysUnsafe:
+    @pytest.mark.parametrize("overrides", _CONFIGS,
+                             ids=lambda o: "+".join(sorted(o)) or "all")
+    def test_paging_policy_never_becomes_safe(self, overrides):
+        result = PAGING_POLICY.check(_options(overrides))
+        assert not result.safe
+        # The two real dereferences stay flagged in every configuration.
+        assert {7, 12} <= set(result.violated_instructions())
+
+    @pytest.mark.parametrize("overrides", _CONFIGS,
+                             ids=lambda o: "+".join(sorted(o)) or "all")
+    def test_jpvm_false_alarm_never_silently_vanishes(self, overrides):
+        result = JPVM.check(_options(overrides))
+        assert not result.safe
+
+
+class TestSafeProgramsUnderDegradedSearch:
+    """Turning aids off may lose proofs but must never crash, and the
+    violations that appear must be of the right categories."""
+
+    @pytest.mark.parametrize("program",
+                             [SUM, HASH, BUBBLE_SORT, BTREE2,
+                              START_TIMER],
+                             ids=lambda p: p.name)
+    def test_everything_off_degrades_gracefully(self, program):
+        overrides = dict.fromkeys(_FLAGS, False)
+        result = program.check(_options(overrides))
+        # Only global (prover-strength) conditions may be lost; local
+        # typestate checks are configuration-independent.
+        assert not result.local_violations
+
+    @pytest.mark.parametrize("program",
+                             [SUM, HASH, BUBBLE_SORT, BTREE2],
+                             ids=lambda p: p.name)
+    def test_full_configuration_proves(self, program):
+        assert program.check(CheckerOptions()).safe
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self):
+        first = SUM.check()
+        second = SUM.check()
+        assert first.safe == second.safe
+        assert [str(v) for v in first.violations] \
+            == [str(v) for v in second.violations]
+        assert first.characteristics.global_conditions \
+            == second.characteristics.global_conditions
+
+    def test_violations_stable_across_runs(self):
+        runs = [PAGING_POLICY.check().violated_instructions()
+                for __ in range(3)]
+        assert runs[0] == runs[1] == runs[2]

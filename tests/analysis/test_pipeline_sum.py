@@ -1,0 +1,183 @@
+"""End-to-end pipeline tests on the paper's running example (Figures
+1, 2, 3, 6 and the Section 5.2.2 derivation)."""
+
+import pytest
+
+from repro import SafetyChecker, check_assembly, parse_spec
+from repro.analysis.annotate import annotate
+from repro.analysis.prepare import prepare
+from repro.analysis.propagate import propagate
+from repro.analysis.semantics import Usage
+from repro.cfg import build_cfg
+from repro.programs.sum_array import PROGRAM, SOURCE, SPEC
+from repro.sparc import assemble, encode_program
+from repro.typesys.state import PointsTo
+from repro.typesys.types import ArrayBaseType
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    program = assemble(SOURCE, name="sum")
+    spec = parse_spec(SPEC)
+    preparation = prepare(spec)
+    cfg = build_cfg(program)
+    propagation = propagate(cfg, preparation, spec)
+    annotations = annotate(cfg, propagation.inputs, spec,
+                           preparation.locations)
+    return program, spec, preparation, cfg, propagation, annotations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return PROGRAM.check()
+
+
+class TestPhase1Figure2:
+    def test_initial_typestates(self, pipeline):
+        __, __, preparation, __, __, __ = pipeline
+        store = preparation.initial_store
+        o0 = store["%o0"]
+        assert isinstance(o0.type, ArrayBaseType)
+        assert o0.state == PointsTo(frozenset({"e"}))
+        assert str(store["%o1"].type) == "int32"
+        assert str(store["e"]) == "<int32, initialized, o>"
+
+    def test_unbound_registers_start_bottom(self, pipeline):
+        __, __, preparation, __, __, __ = pipeline
+        assert str(preparation.initial_store["%g3"]) == "<⊥t, ⊥s, ∅>"
+
+    def test_initial_constraints(self, pipeline):
+        __, __, preparation, __, __, __ = pipeline
+        text = str(preparation.initial_constraints)
+        assert "n-1 >= 0" in text          # n >= 1
+        assert "-%o1+n = 0" in text        # n = %o1
+        assert "%o0-1 >= 0" in text        # arr != null
+        assert "mod 4" in text             # arr alignment
+
+    def test_figure2_rendering(self, pipeline):
+        __, __, preparation, __, __, __ = pipeline
+        text = preparation.render_figure2()
+        assert "Initial Typestate" in text
+        assert "Initial Constraints" in text
+
+
+class TestPhase2Figure6:
+    def test_line7_resolves_as_array_access(self, pipeline):
+        __, __, __, cfg, propagation, annotations = pipeline
+        node7 = next(a for a in annotations.values() if a.index == 7)
+        assert node7.usage is Usage.ARRAY_ACCESS
+
+    def test_line7_store_matches_figure6(self, pipeline):
+        __, __, __, cfg, propagation, __ = pipeline
+        uid = next(n.uid for n in cfg.nodes.values() if n.index == 7)
+        store = propagation.inputs[uid]
+        assert isinstance(store["%o2"].type, ArrayBaseType)
+        assert str(store["%g3"].type) == "int32"
+        assert store["%g3"].operable
+
+    def test_line6_overload_resolution_scalar(self, pipeline):
+        __, __, __, __, __, annotations = pipeline
+        node6 = next(a for a in annotations.values() if a.index == 6)
+        assert node6.usage is Usage.SCALAR_OP
+
+    def test_line11_is_scalar_add_not_pointer(self, pipeline):
+        # add %o0,%g2,%o0 at 11: both operands integers by then.
+        __, __, __, __, __, annotations = pipeline
+        for ann in annotations.values():
+            if ann.index == 11:
+                assert ann.usage is Usage.SCALAR_OP
+
+    def test_figure6_rendering(self, pipeline):
+        __, __, __, cfg, propagation, __ = pipeline
+        text = propagation.render_figure6(cfg, ["%o2", "%g2", "%g3"])
+        assert "7: ld [%o2+%g2],%g2" in text
+
+
+class TestPhase3Figure3:
+    def test_line7_annotation_shape(self, pipeline):
+        __, __, __, __, __, annotations = pipeline
+        ann = next(a for a in annotations.values() if a.index == 7)
+        rendered = ann.render_figure3()
+        assert "Local Safety Preconditions" in rendered
+        assert "Global Safety Preconditions" in rendered
+        descriptions = [p.description for p in ann.local]
+        assert any("followable(%o2)" in d for d in descriptions)
+        assert any("readable(e)" in d for d in descriptions)
+        categories = {g.category for g in ann.global_}
+        assert categories == {"null-pointer", "array-bounds",
+                              "address-alignment"}
+
+    def test_sum_global_condition_count_matches_paper_scale(self, result):
+        # Paper Figure 9 reports 4 global conditions for Sum; ours
+        # separates the index-alignment congruence, giving 5.
+        assert result.characteristics.global_conditions in (4, 5)
+
+
+class TestPhase5:
+    def test_sum_is_certified_safe(self, result):
+        assert result.safe
+        assert result.violations == []
+        assert all(p.proved for p in result.proofs)
+
+    def test_upper_bound_needed_induction(self, result):
+        assert result.induction_runs >= 1
+
+    def test_characteristics_match_paper(self, result):
+        c = result.characteristics
+        assert c.instructions == 13
+        assert c.loops == 1 and c.inner_loops == 0
+        assert c.calls == 0
+
+    def test_checker_accepts_machine_code(self):
+        # The front door: raw machine words, not assembly.
+        program = assemble(SOURCE, name="sum")
+        blob = encode_program(program)
+        spec = parse_spec(SPEC)
+        result = SafetyChecker(blob, spec, name="sum-binary").check()
+        assert result.safe
+
+
+class TestVariantsAreRejected:
+    def test_off_by_one_loop_bound(self):
+        buggy = SOURCE.replace("bl 6", "ble 6")
+        result = check_assembly(buggy, SPEC, name="sum-oob")
+        assert not result.safe
+        assert any(v.category == "array-bounds" and v.index == 7
+                   for v in result.violations)
+
+    def test_missing_size_constraint(self):
+        # Without n >= 1 nothing guarantees the empty-array branch...
+        # the loop still guards n > 0, so this stays safe — but dropping
+        # the n = %o1 binding breaks the bound proof.
+        weakened = SPEC.replace("invoke %o1 = n", "invoke %o1 = m")
+        result = check_assembly(SOURCE, weakened, name="sum-unbound")
+        assert not result.safe
+
+    def test_unaligned_element_stride(self):
+        # sll by 1 instead of 2: indexes are only 2-aligned.
+        buggy = SOURCE.replace("sll %g3, 2,%g2", "sll %g3, 1,%g2")
+        result = check_assembly(buggy, SPEC, name="sum-align")
+        assert not result.safe
+        assert any(v.category == "address-alignment"
+                   for v in result.violations)
+
+    def test_write_to_readonly_array(self):
+        buggy = SOURCE.replace("ld [%o2+%g2],%g2", "st %g3,[%o2+%g2]")
+        result = check_assembly(buggy, SPEC, name="sum-write")
+        assert not result.safe
+        assert any(v.category == "access-permission"
+                   for v in result.violations)
+
+    def test_use_of_uninitialized_register(self):
+        buggy = SOURCE.replace("6: sll %g3, 2,%g2", "6: sll %g4, 2,%g2")
+        result = check_assembly(buggy, SPEC, name="sum-uninit")
+        assert not result.safe
+        assert any(v.category == "uninitialized-value"
+                   for v in result.violations)
+
+    def test_corrupted_return_address(self):
+        buggy = SOURCE.replace("12:retl", "12:mov %o0,%o7\nretl")
+        result = check_assembly(buggy, SPEC, name="sum-ret")
+        assert not result.safe
+        assert any(v.category == "stack-manipulation"
+                   for v in result.violations)

@@ -1,0 +1,89 @@
+"""Host safety postconditions (paper Section 2: "a safety policy can
+also include a safety postcondition … for ensuring that certain
+invariants defined on the host data are restored by the time control is
+returned to the host")."""
+
+import pytest
+
+from repro import check_assembly
+
+COUNTER_SPEC = """
+type gate = struct { lockcount: int; waiters: int }
+loc g  : gate            perms rw  region H
+loc gp : gate ptr = {g}  perms rfo region H
+rule [H : gate.lockcount, gate.waiters : rwo]
+invoke %o0 = gp
+assume g.lockcount = 0
+ensure g.lockcount = 0
+"""
+
+
+class TestRestoredInvariant:
+    def test_balanced_lock_unlock_verifies(self):
+        source = """
+        1: ld [%o0],%g1
+        2: inc %g1
+        3: st %g1,[%o0]      ! lockcount++
+        4: ld [%o0+4],%g2    ! inspect waiters
+        5: ld [%o0],%g1
+        6: dec %g1
+        7: st %g1,[%o0]      ! lockcount--
+        8: retl
+        9: nop
+        """
+        result = check_assembly(source, COUNTER_SPEC, name="balanced")
+        assert result.safe, result.summary()
+
+    def test_leaked_lock_flagged_at_return(self):
+        source = """
+        1: ld [%o0],%g1
+        2: inc %g1
+        3: st %g1,[%o0]      ! lockcount++ ... and never released
+        4: retl
+        5: nop
+        """
+        result = check_assembly(source, COUNTER_SPEC, name="leaked")
+        assert not result.safe
+        assert any(v.category == "host-postcondition" and v.index == 4
+                   for v in result.violations)
+
+    def test_constant_restore_verifies(self):
+        source = """
+        1: mov 7,%g1
+        2: st %g1,[%o0]      ! scribble
+        3: st %g0,[%o0]      ! restore the invariant value
+        4: retl
+        5: nop
+        """
+        result = check_assembly(source, COUNTER_SPEC, name="restore")
+        assert result.safe, result.summary()
+
+    def test_unconstrained_store_flagged(self):
+        source = """
+        1: st %o1,[%o0]      ! host field := arbitrary caller value
+        2: retl
+        3: nop
+        """
+        result = check_assembly(source, COUNTER_SPEC,
+                                name="arbitrary-store")
+        assert not result.safe
+        assert any(v.category == "host-postcondition"
+                   for v in result.violations)
+
+    def test_postcondition_checked_on_every_return(self):
+        source = """
+        1: cmp %o1,0
+        2: ble 6
+        3: nop
+        4: retl              ! early return: invariant untouched - fine
+        5: nop
+        6: mov 1,%g1
+        7: st %g1,[%o0]      ! late path breaks it
+        8: retl
+        9: nop
+        """
+        result = check_assembly(source, COUNTER_SPEC, name="two-returns")
+        assert not result.safe
+        flagged = {v.index for v in result.violations
+                   if v.category == "host-postcondition"}
+        assert flagged == {8}

@@ -1,0 +1,125 @@
+"""Unit tests for Phase 1 (preparation): policy application, struct
+field materialization, invocation binding, pointer facts."""
+
+import pytest
+
+from repro import parse_spec
+from repro.analysis.prepare import prepare
+from repro.typesys.state import INIT, PointsTo, UNINIT
+from repro.typesys.types import PointerType, StructType
+
+
+def prep(text):
+    return prepare(parse_spec(text))
+
+
+class TestPolicyApplication:
+    def test_rule_grants_permissions(self):
+        p = prep("""
+        loc e : int = initialized perms rwo region V summary
+        rule [V : int : rwo]
+        """)
+        location = p.locations["e"]
+        assert location.readable and location.writable
+        assert p.initial_store["e"].operable
+
+    def test_no_matching_rule_keeps_declaration(self):
+        p = prep("loc e : int = initialized perms ro region V")
+        assert p.locations["e"].readable
+        assert not p.locations["e"].writable
+
+    def test_declaration_intersects_with_rule(self):
+        # Declaration says read-only; the rule would grant write; the
+        # intersection withholds it.
+        p = prep("""
+        loc e : int = initialized perms ro region V
+        rule [V : int : rwo]
+        """)
+        assert not p.locations["e"].writable
+
+    def test_rule_in_other_region_does_not_apply(self):
+        p = prep("""
+        loc e : int = initialized perms ro region V
+        rule [H : int : rwo]
+        """)
+        assert not p.locations["e"].writable
+
+
+class TestStructMaterialization:
+    SPEC = """
+    type thread = struct { tid: int; lwpid: int; next: thread ptr }
+    loc th : thread perms r region H summary
+    rule [H : thread.tid, thread.lwpid : ro]
+    rule [H : thread.next : rfo]
+    """
+
+    def test_child_locations_created(self):
+        p = prep(self.SPEC)
+        for name in ("th.tid", "th.lwpid", "th.next"):
+            assert name in p.locations
+
+    def test_field_permissions_from_categories(self):
+        p = prep(self.SPEC)
+        assert p.locations["th.tid"].readable
+        assert not p.locations["th.tid"].writable
+        next_ts = p.initial_store["th.next"]
+        assert next_ts.followable
+
+    def test_recursive_pointer_points_to_summary_and_null(self):
+        p = prep(self.SPEC)
+        state = p.initial_store["th.next"].state
+        assert isinstance(state, PointsTo)
+        assert state.targets == frozenset({"th", "null"})
+        assert isinstance(p.initial_store["th.next"].type, PointerType)
+
+    def test_field_alignment_derived_from_offset(self):
+        p = prep(self.SPEC)
+        assert p.locations["th.tid"].align == 4
+        assert p.locations["th.lwpid"].align == 4
+
+    def test_summary_flag_inherited(self):
+        p = prep(self.SPEC)
+        assert p.locations["th.tid"].summary
+
+
+class TestInvocation:
+    def test_symbol_binding_constrains_register(self):
+        p = prep("invoke %o1 = n\nassume n >= 1")
+        assert str(p.initial_store["%o1"].type) == "int32"
+        assert "-%o1+n = 0" in str(p.initial_constraints)
+
+    def test_pointer_binding_adds_address_facts(self):
+        p = prep("""
+        loc e   : int    = initialized perms ro region V summary
+        loc arr : int[n] = {e} perms rfo region V
+        invoke %o0 = arr
+        """)
+        text = str(p.initial_constraints)
+        assert "%o0-1 >= 0" in text          # non-null
+        assert "%o0 ≡ 0 (mod 4)" in text     # aligned
+
+    def test_maybe_null_pointer_gets_no_nonnull_fact(self):
+        p = prep("""
+        type page = struct { refbit: int; next: page ptr }
+        loc pg : page perms r region H summary
+        loc head : page ptr = {pg, null} perms rfo region H
+        invoke %o0 = head
+        """)
+        assert "%o0-1 >= 0" not in str(p.initial_constraints)
+
+    def test_struct_binding_makes_pointer(self):
+        p = prep("""
+        type timer = struct { counter: int; start: int }
+        loc tm : timer perms rw region T
+        invoke %o0 = tm
+        """)
+        ts = p.initial_store["%o0"]
+        assert isinstance(ts.type, PointerType)
+        assert isinstance(ts.type.pointee, StructType)
+        assert ts.state == PointsTo(frozenset({"tm"}))
+
+    def test_unbound_registers_bottom_but_g0_o7_special(self):
+        p = prep("")
+        assert str(p.initial_store["%l3"]) == "<⊥t, ⊥s, ∅>"
+        assert p.initial_store["%g0"].operable
+        assert str(p.initial_store["%o7"].type) == "retaddr"

@@ -1,0 +1,199 @@
+"""Unit tests for Phase 2 (typestate propagation): fixpoint behavior,
+meets at joins, interprocedural flow, trusted-call summaries."""
+
+import pytest
+
+from repro import parse_spec
+from repro.analysis.prepare import prepare
+from repro.analysis.propagate import propagate
+from repro.cfg import CFG, NodeRole, build_cfg
+from repro.sparc import assemble
+from repro.typesys.state import INIT, PointsTo, UNINIT
+from repro.typesys.types import ArrayBaseType, BOTTOM_TYPE
+
+
+def run(source, spec_text):
+    program = assemble(source)
+    spec = parse_spec(spec_text)
+    preparation = prepare(spec)
+    cfg = build_cfg(program, trusted_labels=set(spec.functions))
+    result = propagate(cfg, preparation, spec)
+    return cfg, result
+
+
+def store_before(cfg, result, index, role=NodeRole.NORMAL):
+    uid = next(n.uid for n in cfg.nodes.values()
+               if n.index == index and n.role is role)
+    return result.inputs[uid]
+
+
+ARRAY_SPEC = """
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke %o0 = arr
+invoke %o1 = n
+assume n >= 1
+"""
+
+
+class TestJoins:
+    def test_meet_across_paths_degrades_state(self):
+        # %g1 initialized on one branch only: the join sees uninit.
+        cfg, result = run("""
+        1: cmp %o1,0
+        2: ble 5
+        3: nop
+        4: mov 7,%g1
+        5: retl
+        6: nop
+        """, ARRAY_SPEC)
+        at_exit = store_before(cfg, result, 5)
+        assert at_exit["%g1"].state != INIT
+
+    def test_meet_of_pointer_and_int_is_bottom_type(self):
+        cfg, result = run("""
+        1: cmp %o1,0
+        2: ble 5
+        3: mov %o0,%g1     ! slot: pointer on both arms... then:
+        4: mov 7,%g1       ! integer overwrites on the fall path
+        5: retl
+        6: nop
+        """, ARRAY_SPEC)
+        at_exit = store_before(cfg, result, 5)
+        assert at_exit["%g1"].type == BOTTOM_TYPE
+
+    def test_points_to_union_at_join(self):
+        spec = """
+        type node = struct { val: int; next: node ptr }
+        loc a : node perms r region H
+        loc b : node perms r region H
+        loc pa : node ptr = {a} perms rfo region H
+        loc pb : node ptr = {b} perms rfo region H
+        rule [H : node.val : ro]
+        rule [H : node.next : rfo]
+        invoke %o0 = pa
+        invoke %o1 = pb
+        invoke %o2 = sel
+        """
+        cfg, result = run("""
+        1: cmp %o2,0
+        2: be 5
+        3: nop
+        4: mov %o1,%o0
+        5: retl
+        6: nop
+        """, spec)
+        state = store_before(cfg, result, 5)["%o0"].state
+        assert isinstance(state, PointsTo)
+        assert state.targets == frozenset({"a", "b"})
+
+
+class TestLoopFixpoint:
+    def test_loop_carried_typestate_stabilizes(self):
+        cfg, result = run("""
+        1: clr %g3
+        2: cmp %g3,%o1
+        3: bge 7
+        4: nop
+        5: ba 2
+        6: inc %g3
+        7: retl
+        8: nop
+        """, ARRAY_SPEC)
+        header = store_before(cfg, result, 2)
+        assert str(header["%g3"].type) == "int32"
+        assert header["%g3"].operable
+
+    def test_propagation_terminates_with_statistics(self):
+        cfg, result = run("1: retl\n2: nop", ARRAY_SPEC)
+        assert result.steps >= 2
+        assert len(result.inputs) >= 2
+
+
+class TestInterprocedural:
+    SOURCE = """
+    1: mov %o7,%g4
+    2: call helper
+    3: nop
+    4: mov %g4,%o7
+    5: retl
+    6: nop
+    helper:
+    7: retl
+    8: mov %o0,%o5
+    """
+
+    def test_callee_sees_caller_store(self):
+        cfg, result = run(self.SOURCE, ARRAY_SPEC)
+        inside = store_before(cfg, result, 7)
+        assert isinstance(inside["%o0"].type, ArrayBaseType)
+
+    def test_callee_effects_flow_back(self):
+        cfg, result = run(self.SOURCE, ARRAY_SPEC)
+        after = store_before(cfg, result, 4)
+        assert isinstance(after["%o5"].type, ArrayBaseType)
+
+    def test_callee_entry_is_meet_over_call_sites(self):
+        cfg, result = run("""
+        1: mov %o7,%g4
+        2: call helper
+        3: nop
+        4: call helper
+        5: mov 3,%o0       ! second site passes an integer
+        6: mov %g4,%o7
+        7: retl
+        8: nop
+        helper:
+        9: retl
+        10: nop
+        """, ARRAY_SPEC)
+        inside = store_before(cfg, result, 9)
+        # Pointer from site 1 meets integer from site 2: bottom type.
+        assert inside["%o0"].type == BOTTOM_TYPE
+
+
+class TestTrustedCalls:
+    SPEC = ARRAY_SPEC + """
+    function getTime {
+        returns %o0 : int = initialized perms o
+        clobbers %g1 %g2
+    }
+    """
+
+    def test_summary_applies_returns_and_clobbers(self):
+        cfg, result = run("""
+        1: mov 5,%g1
+        2: mov %o7,%g4
+        3: call getTime
+        4: nop
+        5: mov %g4,%o7
+        6: retl
+        7: nop
+        """, self.SPEC)
+        after = store_before(cfg, result, 5)
+        assert after["%o0"].operable              # declared return
+        assert after["%g1"].state == UNINIT       # clobbered
+        assert isinstance(after["%g4"].type.__class__, type)  # survives
+
+    def test_unspecified_external_call_clobbers_conservatively(self):
+        cfg, result = run("""
+        1: mov 5,%g1
+        2: mov %o7,%g4
+        3: call unknownfn
+        4: nop
+        5: mov %g4,%o7
+        6: retl
+        7: nop
+        """, ARRAY_SPEC)
+        after = store_before(cfg, result, 5)
+        assert after["%g1"].state == UNINIT
+
+
+class TestFigure6Rendering:
+    def test_render_contains_stores(self):
+        cfg, result = run("1: clr %o2\n2: retl\n3: nop", ARRAY_SPEC)
+        text = result.render_figure6(cfg, ["%o0", "%o2"])
+        assert "1: clr %o2" in text
+        assert "%o0: <int32[n], {e}, fo>" in text

@@ -1,0 +1,116 @@
+"""Tests for result reporting: CheckResult accessors, Figure 9
+rendering, phase times."""
+
+from repro.analysis.annotate import GlobalPredicate
+from repro.analysis.report import (
+    CheckResult, FIGURE9_COLUMNS, PhaseTimes, ProgramCharacteristics,
+    figure9_row, render_figure9,
+)
+from repro.analysis.verify import ProofRecord, Violation
+from repro.logic import TRUE
+
+
+def make_result(name="demo", safe=True, violations=(), **chars):
+    characteristics = ProgramCharacteristics(**chars)
+    times = PhaseTimes(preparation=0.001, typestate_propagation=0.01,
+                       annotation_and_local=0.002,
+                       global_verification=0.1)
+    return CheckResult(name=name, safe=safe,
+                       characteristics=characteristics, times=times,
+                       violations=list(violations))
+
+
+class TestPhaseTimes:
+    def test_total_sums_phases(self):
+        times = PhaseTimes(preparation=1, typestate_propagation=2,
+                           annotation_and_local=3,
+                           global_verification=4)
+        assert times.total == 10
+
+
+class TestCharacteristicsCells:
+    def test_loops_cell_with_inner(self):
+        c = ProgramCharacteristics(loops=4, inner_loops=2)
+        assert c.loops_cell() == "4 (2)"
+        assert ProgramCharacteristics(loops=3).loops_cell() == "3"
+
+    def test_calls_cell_with_trusted(self):
+        c = ProgramCharacteristics(calls=21, trusted_calls=21)
+        assert c.calls_cell() == "21 (21)"
+        assert ProgramCharacteristics(calls=2).calls_cell() == "2"
+
+
+class TestCheckResult:
+    def test_violation_partition(self):
+        violations = [
+            Violation(index=7, category="null-pointer",
+                      description="x", phase="global"),
+            Violation(index=3, category="access-permission",
+                      description="y", phase="local"),
+        ]
+        result = make_result(safe=False, violations=violations)
+        assert len(result.local_violations) == 1
+        assert len(result.global_violations) == 1
+        assert result.violated_instructions() == [3, 7]
+
+    def test_proved_count(self):
+        predicate = GlobalPredicate(formula=TRUE, description="d",
+                                    category="c")
+        result = make_result()
+        result.proofs = [
+            ProofRecord(uid=1, index=1, predicate=predicate, proved=True),
+            ProofRecord(uid=2, index=2, predicate=predicate,
+                        proved=False),
+        ]
+        assert result.proved_count() == 1
+
+    def test_summary_mentions_violations(self):
+        result = make_result(safe=False, violations=[
+            Violation(index=9, category="array-bounds",
+                      description="oops", phase="global")])
+        text = result.summary()
+        assert "UNSAFE" in text and "instruction 9" in text
+
+
+class TestFigure9Rendering:
+    def test_row_shape(self):
+        row = figure9_row(make_result(instructions=13, branches=2,
+                                      loops=1, global_conditions=4))
+        assert len(row) == len(FIGURE9_COLUMNS)
+        assert row[0] == "demo" and row[-1] == "safe"
+
+    def test_unsafe_row_lists_instructions(self):
+        result = make_result(safe=False, violations=[
+            Violation(index=7, category="x", description="d",
+                      phase="global"),
+            Violation(index=12, category="x", description="d",
+                      phase="global")])
+        row = figure9_row(result)
+        assert row[-1] == "violations@7,12"
+
+    def test_table_renders_header_and_rows(self):
+        table = render_figure9([make_result(name="a"),
+                                make_result(name="b", safe=False)])
+        lines = table.splitlines()
+        assert lines[0].startswith("Example")
+        assert any(line.startswith("a") for line in lines)
+        assert any(line.startswith("b") for line in lines)
+
+
+class TestAnnotatedListing:
+    def test_flagged_instruction_marked(self):
+        from repro.programs.paging_policy import PROGRAM
+        result = PROGRAM.check()
+        listing = result.annotated_listing(PROGRAM.program())
+        lines = listing.splitlines()
+        flagged = [l for l in lines if l.startswith("!!")]
+        assert len(flagged) == 2
+        assert any("7: ld [%o3],%g1" in l for l in flagged)
+        assert any("null-pointer" in l for l in lines)
+
+    def test_proved_instruction_marked(self):
+        from repro.programs.sum_array import PROGRAM
+        result = PROGRAM.check()
+        listing = result.annotated_listing(PROGRAM.program())
+        assert any(l.startswith("ok") and "ld [%o2+%g2]" in l
+                   for l in listing.splitlines())

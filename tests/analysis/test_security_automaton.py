@@ -1,0 +1,227 @@
+"""Security automata over trusted-call events (paper Section 1's
+extension: "typestates can be related to security automata … this makes
+extending our technique to perform security checking natural")."""
+
+import pytest
+
+from repro import check_assembly
+from repro.errors import SpecError
+from repro.policy.parser import parse_spec
+
+BASE_SPEC = """
+abstract jnienv size 4
+loc env    : jnienv ptr = {envobj} perms rfo region J
+loc envobj : jnienv                perms r   region J
+rule [J : jnienv : ro]
+invoke %o0 = env
+invoke %o1 = k
+
+function MonitorEnter {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    clobbers %g1
+}
+function MonitorExit {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    clobbers %g1
+}
+function Access {
+    param %o0 : jnienv ptr = {envobj} perms fo
+    returns %o0 : int = initialized perms o
+    clobbers %g1
+}
+function Log {
+    clobbers %g1
+}
+
+automaton locking {
+    start unlocked
+    final unlocked
+    unlocked -> locked : MonitorEnter
+    locked -> unlocked : MonitorExit
+    locked -> locked : Access
+    any : Log
+}
+"""
+
+
+def check(source, name):
+    return check_assembly(source, BASE_SPEC, name=name)
+
+
+class TestLockDiscipline:
+    GOOD = """
+    1: mov %o7,%g4
+    2: mov %o0,%g5
+    3: call MonitorEnter
+    4: nop
+    5: mov %g5,%o0
+    6: call Access
+    7: nop
+    8: mov %g5,%o0
+    9: call MonitorExit
+    10: nop
+    11: mov %g4,%o7
+    12: retl
+    13: nop
+    """
+
+    def test_disciplined_sequence_passes(self):
+        result = check(self.GOOD, "locking-good")
+        assert result.safe, result.summary()
+
+    def test_access_without_lock_flagged(self):
+        source = self.GOOD.replace("3: call MonitorEnter",
+                                   "3: call Log")
+        result = check(source, "locking-unlocked-access")
+        assert not result.safe
+        assert any(v.category == "security-automaton" and v.index == 6
+                   for v in result.violations)
+
+    def test_missing_unlock_flagged_at_return(self):
+        source = self.GOOD.replace("9: call MonitorExit", "9: call Log")
+        result = check(source, "locking-leak")
+        assert not result.safe
+        assert any(v.category == "security-automaton"
+                   and "return to the host" in v.description
+                   for v in result.violations)
+
+    def test_double_lock_flagged(self):
+        source = self.GOOD.replace("6: call Access",
+                                   "6: call MonitorEnter")
+        result = check(source, "locking-double")
+        assert not result.safe
+        assert any(v.category == "security-automaton" and v.index == 6
+                   for v in result.violations)
+
+    def test_unrestricted_event_never_flags(self):
+        source = self.GOOD.replace("6: call Access", "6: call Log")
+        result = check(source, "locking-logged")
+        assert result.safe, result.summary()
+
+
+class TestBranchyFlows:
+    def test_lock_on_one_path_only_is_flagged(self):
+        # The access happens with the automaton possibly unlocked.
+        source = """
+        1: mov %o7,%g4
+        2: mov %o0,%g5
+        3: cmp %o1,0
+        4: ble 8
+        5: nop
+        6: call MonitorEnter
+        7: nop
+        8: mov %g5,%o0
+        9: call Access
+        10: nop
+        11: mov %g5,%o0
+        12: call MonitorExit
+        13: nop
+        14: mov %g4,%o7
+        15: retl
+        16: nop
+        """
+        result = check(source, "locking-one-path")
+        assert not result.safe
+        flagged = {v.index for v in result.violations
+                   if v.category == "security-automaton"}
+        assert 9 in flagged
+
+    def test_balanced_branches_pass(self):
+        source = """
+        1: mov %o7,%g4
+        2: mov %o0,%g5
+        3: call MonitorEnter
+        4: nop
+        5: cmp %o1,0
+        6: ble 11
+        7: nop
+        8: mov %g5,%o0
+        9: call Access
+        10: nop
+        11: mov %g5,%o0
+        12: call MonitorExit
+        13: nop
+        14: mov %g4,%o7
+        15: retl
+        16: nop
+        """
+        result = check(source, "locking-balanced")
+        assert result.safe, result.summary()
+
+    def test_loop_carried_state(self):
+        # Lock once, access in a loop, unlock once: fine.
+        source = """
+        1: mov %o7,%g4
+        2: mov %o0,%g5
+        3: call MonitorEnter
+        4: nop
+        5: clr %l0
+        6: cmp %l0,%o1
+        7: bge 14
+        8: nop
+        9: mov %g5,%o0
+        10: call Access
+        11: nop
+        12: ba 6
+        13: inc %l0
+        14: mov %g5,%o0
+        15: call MonitorExit
+        16: nop
+        17: mov %g4,%o7
+        18: retl
+        19: nop
+        """
+        result = check(source, "locking-loop")
+        assert result.safe, result.summary()
+
+    def test_lock_inside_loop_flagged_as_double_lock(self):
+        source = """
+        1: mov %o7,%g4
+        2: mov %o0,%g5
+        3: clr %l0
+        4: cmp %l0,%o1
+        5: bge 12
+        6: nop
+        7: mov %g5,%o0
+        8: call MonitorEnter
+        9: nop
+        10: ba 4
+        11: inc %l0
+        12: mov %g5,%o0
+        13: call MonitorExit
+        14: nop
+        15: mov %g4,%o7
+        16: retl
+        17: nop
+        """
+        result = check(source, "locking-reentry")
+        assert not result.safe
+        assert any(v.index == 8 for v in result.violations
+                   if v.category == "security-automaton")
+
+
+class TestSpecParsing:
+    def test_automaton_parsed(self):
+        spec = parse_spec(BASE_SPEC)
+        automaton = spec.automata["locking"]
+        assert automaton.start == "unlocked"
+        assert automaton.finals == {"unlocked"}
+        assert automaton.step("unlocked", "MonitorEnter") == "locked"
+        assert automaton.step("locked", "MonitorEnter") is None
+        assert automaton.step("locked", "Log") == "locked"
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec("""
+            automaton broken {
+                a -> b : f
+            }
+            """)
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec("automaton x {\nstart s")
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec("automaton x {\nstart s\nwibble\n}")

@@ -1,0 +1,196 @@
+"""Unit tests for the abstract operational semantics (paper Table 1)
+and overload resolution."""
+
+import pytest
+
+from repro.analysis.semantics import (
+    CONSTANT_TYPESTATE, MemoryResolution, RETADDR_TYPESTATE, Usage,
+    classify_alu, resolve_memory, transfer, trusted_call_transfer,
+)
+from repro.errors import AnalysisError
+from repro.sparc import assemble
+from repro.typesys.access import access
+from repro.typesys.locations import AbstractLocation, LocationTable
+from repro.typesys.state import INIT, PointsTo, UNINIT, points_to
+from repro.typesys.store import AbstractStore
+from repro.typesys.types import (
+    ArrayBaseType, ArrayMidType, INT32, Member, PointerType, StructType,
+)
+from repro.typesys.typestate import BOTTOM_TYPESTATE, Typestate
+
+
+def inst(text):
+    return assemble(text).instruction(1)
+
+
+@pytest.fixture()
+def table():
+    locations = LocationTable()
+    locations.add(AbstractLocation(name="e", size=4, align=4,
+                                   readable=True, writable=True,
+                                   summary=True))
+    locations.add(AbstractLocation(name="t", size=12, align=4))
+    locations.add(AbstractLocation(name="t.tid", size=4, align=4))
+    locations.add(AbstractLocation(name="t.next", size=4, align=4))
+    return locations
+
+
+THREAD = StructType(name="thread", members=(
+    Member("tid", INT32, 0),
+    Member("next", PointerType(pointee=INT32), 4),
+))
+
+INT_TS = Typestate(INT32, INIT, access("o"))
+ARRAY_TS = Typestate(ArrayBaseType(element=INT32, size="n"),
+                     points_to("e"), access("fo"))
+STRUCT_PTR_TS = Typestate(PointerType(pointee=THREAD), points_to("t"),
+                          access("fo"))
+
+
+class TestClassifyAlu:
+    def test_mov_is_move(self):
+        store = AbstractStore({"%o0": ARRAY_TS})
+        assert classify_alu(inst("mov %o0,%o2"), store) is Usage.MOVE
+
+    def test_scalar_add(self):
+        store = AbstractStore({"%o0": INT_TS, "%g2": INT_TS})
+        assert classify_alu(inst("add %o0,%g2,%o0"),
+                            store) is Usage.SCALAR_OP
+
+    def test_array_index_calculation(self):
+        store = AbstractStore({"%o0": ARRAY_TS, "%g2": INT_TS})
+        assert classify_alu(inst("add %o0,%g2,%o3"),
+                            store) is Usage.ARRAY_INDEX_CALC
+
+    def test_array_index_calculation_commuted(self):
+        store = AbstractStore({"%o0": ARRAY_TS, "%g2": INT_TS})
+        assert classify_alu(inst("add %g2,%o0,%o3"),
+                            store) is Usage.ARRAY_INDEX_CALC
+
+    def test_cmp_is_compare(self):
+        store = AbstractStore({"%o0": INT_TS, "%o1": INT_TS})
+        assert classify_alu(inst("cmp %o0,%o1"), store) is Usage.COMPARE
+
+    def test_single_usage_is_per_occurrence(self):
+        # The same textual instruction resolves differently under
+        # different stores — the flow-sensitivity the paper stresses.
+        scalar_store = AbstractStore({"%o0": INT_TS, "%g2": INT_TS})
+        array_store = AbstractStore({"%o0": ARRAY_TS, "%g2": INT_TS})
+        add = inst("add %o0,%g2,%o0")
+        assert classify_alu(add, scalar_store) is Usage.SCALAR_OP
+        assert classify_alu(add, array_store) is Usage.ARRAY_INDEX_CALC
+
+
+class TestTransferRules:
+    def test_move_copies_typestate(self, table):
+        store = AbstractStore({"%o0": ARRAY_TS})
+        out = transfer(inst("mov %o0,%o2"), store, table)
+        assert out["%o2"] == ARRAY_TS
+        assert out["%o0"] == ARRAY_TS  # source unchanged
+
+    def test_scalar_add_meets_operands(self, table):
+        uninit = Typestate(INT32, UNINIT, access("o"))
+        store = AbstractStore({"%o0": INT_TS, "%g2": uninit})
+        out = transfer(inst("add %o0,%g2,%o3"), store, table)
+        assert out["%o3"].state == UNINIT  # meet goes down
+
+    def test_index_calc_gives_mid_pointer(self, table):
+        store = AbstractStore({"%o0": ARRAY_TS, "%g2": INT_TS})
+        out = transfer(inst("add %o0,%g2,%o3"), store, table)
+        assert isinstance(out["%o3"].type, ArrayMidType)
+        assert out["%o3"].state == ARRAY_TS.state
+
+    def test_writes_to_g0_discarded(self, table):
+        store = AbstractStore({"%o0": INT_TS})
+        out = transfer(inst("add %o0,1,%g0"), store, table)
+        assert out == store
+
+    def test_load_from_array_summary(self, table):
+        element = Typestate(INT32, INIT, access("o"))
+        store = AbstractStore({"%o2": ARRAY_TS, "%g2": INT_TS,
+                               "e": element})
+        out = transfer(inst("ld [%o2+%g2],%g2"), store, table)
+        assert out["%g2"] == element
+
+    def test_load_field_through_struct_pointer(self, table):
+        field = Typestate(INT32, INIT, access("o"))
+        store = AbstractStore({"%o3": STRUCT_PTR_TS, "t.tid": field})
+        out = transfer(inst("ld [%o3],%g1"), store, table)
+        assert out["%g1"] == field
+
+    def test_store_strong_update_non_summary(self, table):
+        old = Typestate(INT32, UNINIT, access("o"))
+        store = AbstractStore({"%o3": STRUCT_PTR_TS, "%g1": INT_TS,
+                               "t.tid": old})
+        out = transfer(inst("st %g1,[%o3]"), store, table)
+        assert out["t.tid"] == INT_TS  # strong: replaced outright
+
+    def test_store_weak_update_summary(self, table):
+        writable_array = Typestate(
+            ArrayBaseType(element=INT32, size="n"), points_to("e"),
+            access("fo"))
+        old = Typestate(INT32, UNINIT, access("o"))
+        store = AbstractStore({"%o0": writable_array, "%g2": INT_TS,
+                               "%g1": INT_TS, "e": old})
+        out = transfer(inst("st %g1,[%o0+%g2]"), store, table)
+        # Summary location: meet of old and new -> still may-uninit.
+        assert out["e"].state == UNINIT
+
+    def test_call_writes_return_address(self, table):
+        store = AbstractStore({})
+        out = transfer(inst("call 1"), store, table)
+        assert out["%o7"] == RETADDR_TYPESTATE
+
+    def test_save_rejected(self, table):
+        with pytest.raises(AnalysisError):
+            transfer(inst("save %sp,-96,%sp"), AbstractStore({}), table)
+
+
+class TestResolveMemory:
+    def test_array_access(self, table):
+        store = AbstractStore({"%o2": ARRAY_TS})
+        res = resolve_memory(inst("ld [%o2+%g2],%g2"), store, table)
+        assert res.usage is Usage.ARRAY_ACCESS
+        assert res.targets == ["e"]
+        assert res.index == "%g2"
+
+    def test_field_access_by_offset(self, table):
+        store = AbstractStore({"%o3": STRUCT_PTR_TS})
+        res = resolve_memory(inst("ld [%o3+4],%g1"), store, table)
+        assert res.usage is Usage.FIELD_ACCESS
+        assert res.targets == ["t.next"]
+
+    def test_bad_offset_gives_empty_f(self, table):
+        store = AbstractStore({"%o3": STRUCT_PTR_TS})
+        res = resolve_memory(inst("ld [%o3+2],%g1"), store, table)
+        assert res.usage is Usage.FIELD_ACCESS
+        assert res.targets == []
+
+    def test_non_pointer_base_unresolved(self, table):
+        store = AbstractStore({"%o3": INT_TS})
+        res = resolve_memory(inst("ld [%o3],%g1"), store, table)
+        assert res.usage is Usage.UNKNOWN
+        assert res.problem
+
+    def test_register_indexed_struct_unresolved(self, table):
+        store = AbstractStore({"%o3": STRUCT_PTR_TS, "%g2": INT_TS})
+        res = resolve_memory(inst("ld [%o3+%g2],%g1"), store, table)
+        assert res.usage is Usage.UNKNOWN
+
+    def test_null_excluded_from_targets(self, table):
+        maybe_null = Typestate(PointerType(pointee=THREAD),
+                               points_to("t", "null"), access("fo"))
+        store = AbstractStore({"%o3": maybe_null})
+        res = resolve_memory(inst("ld [%o3],%g1"), store, table)
+        assert res.targets == ["t.tid"]
+
+
+class TestTrustedCallTransfer:
+    def test_returns_and_clobbers(self):
+        store = AbstractStore({"%o0": INT_TS, "%o5": ARRAY_TS})
+        out = trusted_call_transfer(
+            store, returns={"%o0": CONSTANT_TYPESTATE},
+            clobbers=("%g1",))
+        assert out["%o0"] == CONSTANT_TYPESTATE
+        assert out["%g1"].state == UNINIT
+        assert out["%o5"] == ARRAY_TS  # untouched survives

@@ -1,0 +1,232 @@
+"""Unit tests for the wlp transfer functions and edge conditions."""
+
+import pytest
+
+from repro.analysis.wlp import (
+    ICC, WlpTransfer, condition_formula, guarded_havoc, havoc,
+    operand_term,
+)
+from repro.cfg.graph import BranchCondition, Node, NodeRole
+from repro.logic import Prover, TRUE, conj, congruent, eq, ge, le, lt
+from repro.logic.terms import Linear
+from repro.sparc import assemble
+from repro.typesys.access import access
+from repro.typesys.locations import AbstractLocation, LocationTable
+from repro.typesys.state import INIT, points_to
+from repro.typesys.store import AbstractStore
+from repro.typesys.types import INT32, PointerType
+from repro.typesys.typestate import Typestate
+
+
+def v(name, coeff=1):
+    return Linear.var(name, coeff)
+
+
+def make_node(text, uid=0):
+    inst = assemble(text).instruction(1)
+    return Node(uid=uid, instruction=inst, role=NodeRole.NORMAL, index=1)
+
+
+@pytest.fixture()
+def plain_transfer():
+    return WlpTransfer({}, LocationTable())
+
+
+class TestRegisterAssignments:
+    def test_mov_substitutes(self, plain_transfer):
+        q = lt(v("%o2"), v("n"))
+        out = plain_transfer.node_transfer(make_node("mov %o0,%o2"), q)
+        assert out == lt(v("%o0"), v("n"))
+
+    def test_clr_substitutes_zero(self, plain_transfer):
+        q = ge(v("%g3"), 0)
+        out = plain_transfer.node_transfer(make_node("clr %g3"), q)
+        assert out == TRUE
+
+    def test_add_sub(self, plain_transfer):
+        q = lt(v("%g3"), v("n"))
+        out = plain_transfer.node_transfer(make_node("inc %g3"), q)
+        assert out == lt(v("%g3") + 1, v("n"))
+        out = plain_transfer.node_transfer(make_node("dec %g3"), q)
+        assert out == lt(v("%g3") - 1, v("n"))
+
+    def test_sll_constant_scales(self, plain_transfer):
+        q = lt(v("%g2"), v("n", 4))
+        out = plain_transfer.node_transfer(
+            make_node("sll %g3, 2,%g2"), q)
+        assert out == lt(v("%g3", 4), v("n", 4))
+
+    def test_self_referential_add(self, plain_transfer):
+        # add %o0,%o0,%o0: Q[o0 -> o0 + o0].
+        q = eq(v("%o0"), 8)
+        out = plain_transfer.node_transfer(
+            make_node("add %o0,%o0,%o0"), q)
+        assert out == eq(v("%o0").scale(2), 8)
+
+    def test_unknown_op_havocs(self, plain_transfer):
+        q = ge(v("%o0"), 0)
+        out = plain_transfer.node_transfer(
+            make_node("xor %o1,%o2,%o0"), q)
+        # Havoc: must not be provable anymore, and must not mention the
+        # overwritten register's new value unconditionally.
+        assert not Prover().is_valid(out)
+
+    def test_untouched_formula_passes_through(self, plain_transfer):
+        q = ge(v("%l0"), 0)
+        assert plain_transfer.node_transfer(
+            make_node("add %o1,%o2,%o3"), q) == q
+
+
+class TestGuardedEncodings:
+    def test_and_mask_exact(self, plain_transfer):
+        # After and %o1,63,%g1 the result is in [0, 63]: the bound
+        # g1 < 64 becomes valid.
+        q = lt(v("%g1"), 64)
+        out = plain_transfer.node_transfer(
+            make_node("and %o1,63,%g1"), q)
+        assert Prover().is_valid(out)
+
+    def test_and_mask_congruence(self, plain_transfer):
+        # The mask also fixes the residue: g1 ≡ o1 (mod 64).
+        q = congruent(v("%g1") - v("%o1"), 64)
+        out = plain_transfer.node_transfer(
+            make_node("and %o1,63,%g1"), q)
+        assert Prover().is_valid(out)
+
+    def test_srl_constant_division(self, plain_transfer):
+        # After srl %o1,1,%g1 (o1 >= 0): g1 <= o1.
+        q = le(v("%g1"), v("%o1"))
+        out = plain_transfer.node_transfer(
+            make_node("srl %o1,1,%g1"), q)
+        prover = Prover()
+        assert prover.implies(ge(v("%o1"), 0), out)
+
+    def test_register_shift_havocs(self, plain_transfer):
+        q = lt(v("%g1"), 64)
+        out = plain_transfer.node_transfer(
+            make_node("sll %o1,%o2,%g1"), q)
+        assert not Prover().is_valid(out)
+
+
+class TestConditionCodes:
+    def test_cmp_binds_icc(self, plain_transfer):
+        q = lt(v(ICC), 0)
+        out = plain_transfer.node_transfer(make_node("cmp %g3,%o1"), q)
+        assert out == lt(v("%g3") - v("%o1"), 0)
+
+    def test_tst_binds_icc_to_operand(self, plain_transfer):
+        q = eq(v(ICC), 0)
+        out = plain_transfer.node_transfer(make_node("tst %o3"), q)
+        assert out == eq(v("%o3"), 0)
+
+    def test_addcc_binds_sum(self, plain_transfer):
+        q = ge(v(ICC), 0)
+        out = plain_transfer.node_transfer(
+            make_node("addcc %o0,%o1,%g0"), q)
+        assert out == ge(v("%o0") + v("%o1"), 0)
+
+    def test_subcc_with_destination_orders_substitutions(
+            self, plain_transfer):
+        # subcc %o0,%o1,%o0 writes both rd and icc from OLD values.
+        q = conj(ge(v(ICC), 0), le(v("%o0"), 5))
+        out = plain_transfer.node_transfer(
+            make_node("subcc %o0,%o1,%o0"), q)
+        expected = conj(ge(v("%o0") - v("%o1"), 0),
+                        le(v("%o0") - v("%o1"), 5))
+        assert Prover().equivalent(out, expected)
+
+    def test_branch_condition_formulas(self):
+        lt0 = condition_formula(BranchCondition("bl", True))
+        assert lt0 == lt(v(ICC), 0)
+        ge0 = condition_formula(BranchCondition("bl", False))
+        assert Prover().equivalent(ge0, ge(v(ICC), 0))
+        assert condition_formula(BranchCondition("bvs", True)) is TRUE
+
+
+class TestMemoryModel:
+    def _table(self):
+        table = LocationTable()
+        table.add(AbstractLocation(name="t.tid", size=4, align=4))
+        table.add(AbstractLocation(name="e", size=4, align=4,
+                                   summary=True))
+        return table
+
+    def _stores(self, node_uid, pointer_target):
+        ts = Typestate(
+            PointerType(pointee=_TID_STRUCT), points_to(pointer_target),
+            access("fo"))
+        return {node_uid: AbstractStore({"%o3": ts})}
+
+    def test_load_single_location_substitutes(self):
+        table = self._table()
+        node = make_node("ld [%o3],%g1", uid=7)
+        transfer = WlpTransfer(self._stores(7, "t"), table)
+        q = ge(v("%g1"), 0)
+        out = transfer.node_transfer(node, q)
+        assert out == ge(v("t.tid"), 0)
+
+    def test_store_single_location_substitutes(self):
+        table = self._table()
+        node = make_node("st %g1,[%o3]", uid=7)
+        transfer = WlpTransfer(self._stores(7, "t"), table)
+        q = ge(v("t.tid"), 0)
+        out = transfer.node_transfer(node, q)
+        assert out == ge(v("%g1"), 0)
+
+    def test_load_summary_havocs(self):
+        table = self._table()
+        ts = Typestate(
+            __import__("repro.typesys.types",
+                       fromlist=["ArrayBaseType"]).ArrayBaseType(
+                element=INT32, size="n"),
+            points_to("e"), access("fo"))
+        node = make_node("ld [%o3+%g2],%g1", uid=7)
+        transfer = WlpTransfer(
+            {7: AbstractStore({"%o3": ts})}, table)
+        q = ge(v("%g1"), 0)
+        out = transfer.node_transfer(node, q)
+        assert not Prover().is_valid(out)  # value unknown
+
+    def test_store_summary_havocs_contents(self):
+        table = self._table()
+        ts = Typestate(
+            __import__("repro.typesys.types",
+                       fromlist=["ArrayBaseType"]).ArrayBaseType(
+                element=INT32, size="n"),
+            points_to("e"), access("fo"))
+        node = make_node("st %g1,[%o3+%g2]", uid=7)
+        transfer = WlpTransfer(
+            {7: AbstractStore({"%o3": ts})}, table)
+        q = ge(v("e"), 0)
+        out = transfer.node_transfer(node, q)
+        assert not Prover().is_valid(out)
+
+
+from repro.typesys.types import Member, StructType  # noqa: E402
+
+_TID_STRUCT = StructType(name="tid_only", members=(
+    Member("tid", INT32, 0),))
+
+
+class TestHavocHelpers:
+    def test_havoc_removes_provability(self):
+        q = ge(v("x"), 3)
+        out = havoc(q, "x")
+        assert not Prover().is_valid(out)
+
+    def test_havoc_noop_when_absent(self):
+        q = ge(v("y"), 3)
+        assert havoc(q, "x") is q
+
+    def test_guarded_havoc_keeps_guarded_fact(self):
+        q = ge(v("x"), 0)
+        out = guarded_havoc(q, "x",
+                            lambda value: conj(ge(value, 0),
+                                               le(value, 9)))
+        assert Prover().is_valid(out)
+
+    def test_operand_term_forms(self):
+        from repro.sparc.isa import Imm, Reg
+        assert operand_term(Reg(0)) == Linear.const(0)   # %g0
+        assert operand_term(Reg(8)) == v("%o0")
+        assert operand_term(Imm(-5)) == Linear.const(-5)

@@ -1,0 +1,240 @@
+"""CFG construction tests: delay-slot replication (paper Figure 8),
+loops, dominators, call graph."""
+
+import pytest
+
+from repro.errors import CFGError, RecursionRejected
+from repro.cfg import (
+    CFG, CallGraph, EdgeKind, NodeRole, build_cfg, compute_idoms,
+    dominates, find_loops,
+)
+from repro.sparc import assemble
+
+SUM_SOURCE = """
+1: mov %o0,%o2
+2: clr %o0
+3: cmp %o0,%o1
+4: bge 12
+5: clr %g3
+6: sll %g3, 2,%g2
+7: ld [%o2+%g2],%g2
+8: inc %g3
+9: cmp %g3,%o1
+10:bl 6
+11:add %o0,%g2,%o0
+12:retl
+13:nop
+"""
+
+
+def sum_cfg():
+    return build_cfg(assemble(SUM_SOURCE))
+
+
+class TestDelaySlotReplication:
+    def test_slot_instructions_replicated(self):
+        cfg = sum_cfg()
+        # Paper Figure 8: "The instructions at lines 5 and 11 are
+        # replicated to model the semantics of delayed branches."
+        assert len(cfg.nodes_for_index(5)) == 2
+        assert len(cfg.nodes_for_index(11)) == 2
+        roles = {n.role for n in cfg.nodes_for_index(5)}
+        assert roles == {NodeRole.SLOT_TAKEN, NodeRole.SLOT_FALL}
+
+    def test_node_count(self):
+        cfg = sum_cfg()
+        # 13 instructions + 2 replicas + 1 synthetic exit.
+        assert len(cfg) == 16
+
+    def test_branch_edges_carry_conditions(self):
+        cfg = sum_cfg()
+        branch = next(n for n in cfg.nodes.values() if n.index == 4
+                      and n.role is NodeRole.NORMAL)
+        conditions = {e.condition.taken for e in cfg.successors(branch.uid)}
+        assert conditions == {True, False}
+
+    def test_annulled_branch_skips_slot_on_fallthrough(self):
+        cfg = build_cfg(assemble("""
+        cmp %o0,%o1
+        bge,a 5
+        inc %g1
+        nop
+        retl
+        nop
+        """))
+        assert len(cfg.nodes_for_index(3)) == 1  # only the taken copy
+
+    def test_ba_annulled_skips_slot_entirely(self):
+        cfg = build_cfg(assemble("ba,a 3\nnop\nretl\nnop"))
+        assert cfg.nodes_for_index(2) == []
+
+    def test_unconditional_ba_executes_slot_once(self):
+        cfg = build_cfg(assemble("ba 3\ninc %g1\nretl\nnop"))
+        assert len(cfg.nodes_for_index(2)) == 1
+
+    def test_return_goes_to_synthetic_exit(self):
+        cfg = sum_cfg()
+        exit_uid = cfg.functions[CFG.MAIN].exit
+        assert cfg.nodes[exit_uid].instruction is None
+        assert cfg.pred_uids(exit_uid)  # the retl slot reaches it
+
+    def test_dcti_couple_rejected(self):
+        with pytest.raises(CFGError):
+            build_cfg(assemble("ba 3\nba 1\nretl\nnop"))
+
+    def test_fall_off_end_rejected(self):
+        with pytest.raises(CFGError):
+            build_cfg(assemble("add %o0,%o1,%o2\nnop"))
+
+    def test_indirect_jump_rejected(self):
+        with pytest.raises(CFGError):
+            build_cfg(assemble("jmp %o3+8\nnop"))
+
+
+class TestLoops:
+    def test_sum_has_one_loop(self):
+        cfg = sum_cfg()
+        forest = find_loops(cfg, CFG.MAIN)
+        assert forest.count == 1 and forest.inner_count == 0
+        loop = forest.loops[0]
+        assert cfg.node(loop.header).index == 6
+        body_indices = {cfg.node(u).index for u in loop.body}
+        assert body_indices == {6, 7, 8, 9, 10, 11}
+
+    def test_nested_loops(self):
+        cfg = build_cfg(assemble("""
+        1: clr %o2
+        2: cmp %o2,%o1
+        3: bge 13
+        4: nop
+        5: clr %o3
+        6: cmp %o3,%o1
+        7: bge 11
+        8: nop
+        9: ba 6
+        10: inc %o3
+        11: ba 2
+        12: inc %o2
+        13: retl
+        14: nop
+        """))
+        forest = find_loops(cfg, CFG.MAIN)
+        assert forest.count == 2 and forest.inner_count == 1
+        inner = next(l for l in forest.loops if l.is_inner())
+        assert cfg.node(inner.header).index == 6
+        assert inner.parent is not None
+        assert cfg.node(inner.parent.header).index == 2
+        assert inner.depth == 2
+
+    def test_innermost_lookup(self):
+        cfg = sum_cfg()
+        forest = find_loops(cfg, CFG.MAIN)
+        in_loop = next(n for n in cfg.nodes.values() if n.index == 7)
+        outside = next(n for n in cfg.nodes.values() if n.index == 2)
+        assert forest.containing(in_loop.uid) is forest.loops[0]
+        assert forest.containing(outside.uid) is None
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = sum_cfg()
+        idom = compute_idoms(cfg, CFG.MAIN)
+        entry = cfg.functions[CFG.MAIN].entry
+        for uid in cfg.functions[CFG.MAIN].node_uids:
+            if uid in idom:
+                assert dominates(idom, entry, uid)
+
+    def test_loop_header_dominates_body(self):
+        cfg = sum_cfg()
+        idom = compute_idoms(cfg, CFG.MAIN)
+        forest = find_loops(cfg, CFG.MAIN)
+        loop = forest.loops[0]
+        for uid in loop.body:
+            assert dominates(idom, loop.header, uid)
+
+    def test_branch_arms_not_dominated_by_each_other(self):
+        cfg = sum_cfg()
+        idom = compute_idoms(cfg, CFG.MAIN)
+        taken = next(n for n in cfg.nodes.values()
+                     if n.index == 5 and n.role is NodeRole.SLOT_TAKEN)
+        fall = next(n for n in cfg.nodes.values()
+                    if n.index == 5 and n.role is NodeRole.SLOT_FALL)
+        assert not dominates(idom, taken.uid, fall.uid)
+        assert not dominates(idom, fall.uid, taken.uid)
+
+
+CALL_SOURCE = """
+1: call helper
+2: nop
+3: retl
+4: nop
+helper:
+5: retl
+6: mov %o0,%o0
+"""
+
+
+class TestInterprocedural:
+    def test_functions_discovered(self):
+        cfg = build_cfg(assemble(CALL_SOURCE))
+        assert set(cfg.functions) == {CFG.MAIN, "helper"}
+
+    def test_call_return_summary_edges(self):
+        cfg = build_cfg(assemble(CALL_SOURCE))
+        kinds = {e.kind for n in cfg.nodes.values()
+                 for e in cfg.successors(n.uid)}
+        assert EdgeKind.CALL in kinds
+        assert EdgeKind.RETURN in kinds
+        assert EdgeKind.SUMMARY in kinds
+
+    def test_external_call_has_no_call_edge(self):
+        cfg = build_cfg(assemble("call hostfn\nnop\nretl\nnop"))
+        kinds = {e.kind for n in cfg.nodes.values()
+                 for e in cfg.successors(n.uid)}
+        assert EdgeKind.CALL not in kinds
+        assert EdgeKind.SUMMARY in kinds
+
+    def test_recursion_rejected(self):
+        cfg = build_cfg(assemble("""
+        1: call rec
+        2: nop
+        3: retl
+        4: nop
+        rec:
+        5: call rec
+        6: nop
+        7: retl
+        8: nop
+        """))
+        with pytest.raises(RecursionRejected):
+            CallGraph(cfg).check_no_recursion()
+
+    def test_mutual_recursion_rejected(self):
+        cfg = build_cfg(assemble("""
+        1: call f
+        2: nop
+        3: retl
+        4: nop
+        f:
+        5: call g
+        6: nop
+        7: retl
+        8: nop
+        g:
+        9: call f
+        10: nop
+        11: retl
+        12: nop
+        """))
+        with pytest.raises(RecursionRejected):
+            CallGraph(cfg).check_no_recursion()
+
+    def test_topological_order_callees_first(self):
+        cfg = build_cfg(assemble(CALL_SOURCE))
+        order = CallGraph(cfg).topological_order()
+        assert order.index("helper") < order.index(CFG.MAIN)
+
+    def test_dot_rendering(self):
+        dot = sum_cfg().to_dot()
+        assert dot.startswith("digraph")
+        assert "replica" in dot

@@ -1,0 +1,128 @@
+"""Linear-term arithmetic tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.terms import Linear, ZERO, linear
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        term = Linear({"x": 0, "y": 2})
+        assert term.coefficient("x") == 0
+        assert list(term.variables()) == ["y"]
+
+    def test_var_and_const_helpers(self):
+        assert Linear.var("x") == Linear({"x": 1})
+        assert Linear.const(7).constant == 7
+        assert linear("x") == Linear.var("x")
+        assert linear(3) == Linear.const(3)
+        assert linear(Linear.var("y")) == Linear.var("y")
+
+    def test_is_constant(self):
+        assert Linear.const(5).is_constant
+        assert not Linear.var("x").is_constant
+
+
+class TestArithmetic:
+    def test_addition_merges_coefficients(self):
+        a = Linear({"x": 2, "y": 1}, 3)
+        b = Linear({"x": -2, "z": 5}, -1)
+        total = a + b
+        assert total.coefficient("x") == 0
+        assert total.coefficient("y") == 1
+        assert total.coefficient("z") == 5
+        assert total.constant == 2
+
+    def test_int_addition_both_sides(self):
+        x = Linear.var("x")
+        assert (x + 3).constant == 3
+        assert (3 + x).constant == 3
+
+    def test_subtraction_and_negation(self):
+        x, y = Linear.var("x"), Linear.var("y")
+        assert (x - y).coefficient("y") == -1
+        assert (5 - x).coefficient("x") == -1
+        assert (-x).coefficient("x") == -1
+
+    def test_scale(self):
+        term = Linear({"x": 3}, 2).scale(4)
+        assert term.coefficient("x") == 12 and term.constant == 8
+        assert Linear({"x": 3}).scale(0) == ZERO
+
+    def test_divide_exact(self):
+        term = Linear({"x": 4}, 8).divide_exact(4)
+        assert term == Linear({"x": 1}, 2)
+        with pytest.raises(ValueError):
+            Linear({"x": 3}).divide_exact(2)
+
+    def test_content(self):
+        assert Linear({"x": 6, "y": 9}).content() == 3
+        assert Linear.const(4).content() == 0
+
+
+class TestSubstitution:
+    def test_substitute_simple(self):
+        term = Linear({"x": 2, "y": 1})
+        out = term.substitute("x", Linear({"z": 1}, 5))
+        assert out == Linear({"z": 2, "y": 1}, 10)
+
+    def test_substitute_absent_variable_is_noop(self):
+        term = Linear({"y": 1})
+        assert term.substitute("x", Linear.const(9)) is term
+
+    def test_substitute_all_is_simultaneous(self):
+        # x -> y, y -> x must swap, not cascade.
+        term = Linear({"x": 1, "y": 2})
+        out = term.substitute_all({"x": Linear.var("y"),
+                                   "y": Linear.var("x")})
+        assert out == Linear({"y": 1, "x": 2})
+
+    def test_rename_merges(self):
+        term = Linear({"x": 1, "y": 2})
+        assert term.rename({"y": "x"}) == Linear({"x": 3})
+
+    def test_evaluate(self):
+        term = Linear({"x": 2, "y": -1}, 7)
+        assert term.evaluate({"x": 3, "y": 4}) == 9
+
+
+_terms = st.builds(
+    Linear,
+    st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                    st.integers(-9, 9), max_size=3),
+    st.integers(-50, 50),
+)
+_vals = st.fixed_dictionaries({v: st.integers(-20, 20)
+                               for v in ["a", "b", "c"]})
+
+
+class TestAlgebraicProperties:
+    @given(_terms, _terms, _vals)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_agrees_with_evaluation(self, s, t, env):
+        assert (s + t).evaluate(env) == s.evaluate(env) + t.evaluate(env)
+
+    @given(_terms, st.integers(-6, 6), _vals)
+    @settings(max_examples=200, deadline=None)
+    def test_scale_agrees_with_evaluation(self, s, k, env):
+        assert s.scale(k).evaluate(env) == k * s.evaluate(env)
+
+    @given(_terms, _terms)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_commutes(self, s, t):
+        assert s + t == t + s
+
+    @given(_terms, _terms, _vals)
+    @settings(max_examples=200, deadline=None)
+    def test_substitution_agrees_with_evaluation(self, s, t, env):
+        substituted = s.substitute("a", t)
+        expected_env = dict(env)
+        expected_env["a"] = t.evaluate(env)
+        assert substituted.evaluate(env) == s.evaluate(expected_env)
+
+    @given(_terms)
+    @settings(max_examples=100, deadline=None)
+    def test_hash_consistent_with_equality(self, s):
+        clone = Linear(dict(s.coefficients), s.constant)
+        assert s == clone and hash(s) == hash(clone)

@@ -1,0 +1,101 @@
+"""Per-opcode ALU oracle: every arithmetic instruction agrees with the
+reference Python semantics on random operands (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sparc import Emulator, assemble
+
+_MASK = 0xFFFFFFFF
+
+
+def _signed(value):
+    value &= _MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _reference(op, a, b):
+    if op == "add":
+        return (a + b) & _MASK
+    if op == "sub":
+        return (a - b) & _MASK
+    if op == "and":
+        return a & b & _MASK
+    if op == "or":
+        return (a | b) & _MASK
+    if op == "xor":
+        return (a ^ b) & _MASK
+    if op == "andn":
+        return a & ~b & _MASK
+    if op == "orn":
+        return (a | (~b & _MASK)) & _MASK
+    if op == "xnor":
+        return (~(a ^ b)) & _MASK
+    if op == "umul":
+        return ((a & _MASK) * (b & _MASK)) & _MASK
+    if op == "smul":
+        return (_signed(a) * _signed(b)) & _MASK
+    if op == "sll":
+        return (a << (b & 31)) & _MASK
+    if op == "srl":
+        return (a & _MASK) >> (b & 31)
+    if op == "sra":
+        return (_signed(a) >> (b & 31)) & _MASK
+    raise AssertionError(op)
+
+
+_OPS = ["add", "sub", "and", "or", "xor", "andn", "orn", "xnor",
+        "umul", "smul", "sll", "srl", "sra"]
+
+
+class TestAluAgainstOracle:
+    @given(st.sampled_from(_OPS),
+           st.integers(min_value=0, max_value=_MASK),
+           st.integers(min_value=0, max_value=_MASK))
+    @settings(max_examples=400, deadline=None)
+    def test_register_form(self, op, a, b):
+        program = assemble("%s %%o0,%%o1,%%o2\nretl\nnop" % op)
+        emulator = Emulator(program)
+        emulator.set_register("%o0", a)
+        emulator.set_register("%o1", b)
+        emulator.run()
+        assert emulator.register("%o2") == _reference(op, a, b)
+
+    @given(st.sampled_from(_OPS),
+           st.integers(min_value=0, max_value=_MASK),
+           st.integers(min_value=0, max_value=31))
+    @settings(max_examples=200, deadline=None)
+    def test_immediate_form(self, op, a, imm):
+        program = assemble("%s %%o0,%d,%%o2\nretl\nnop" % (op, imm))
+        emulator = Emulator(program)
+        emulator.set_register("%o0", a)
+        emulator.run()
+        assert emulator.register("%o2") == _reference(op, a, imm)
+
+
+class TestConditionCodeOracle:
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+           st.integers(min_value=-4096, max_value=4095))
+    @settings(max_examples=300, deadline=None)
+    def test_every_branch_agrees_with_comparison(self, a, b):
+        outcomes = {}
+        for branch, predicate in [
+                ("be", a == b), ("bne", a != b),
+                ("bl", a < b), ("ble", a <= b),
+                ("bg", a > b), ("bge", a >= b),
+                ("bgu", (a & _MASK) > (b & _MASK)),
+                ("bleu", (a & _MASK) <= (b & _MASK)),
+                ("bcs", (a & _MASK) < (b & _MASK)),
+                ("bcc", (a & _MASK) >= (b & _MASK))]:
+            program = assemble("""
+            cmp %%o0,%d
+            %s taken
+            nop
+            mov 1,%%o2
+            taken: retl
+            nop
+            """ % (b, branch))
+            emulator = Emulator(program)
+            emulator.set_register("%o0", a)
+            emulator.run()
+            took_branch = emulator.register("%o2") == 0
+            assert took_branch == predicate, (branch, a, b)

@@ -1,0 +1,249 @@
+"""Assembler tests: syntax, synthetic expansion, labels, errors."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.sparc import assemble
+from repro.sparc.isa import Imm, Kind, Mem, Reg, Target
+
+
+def one(text):
+    program = assemble(text)
+    assert len(program) == 1
+    return program.instruction(1)
+
+
+class TestBasicParsing:
+    def test_add_registers(self):
+        inst = one("add %o0,%o1,%o2")
+        assert inst.op == "add" and inst.kind is Kind.ALU
+        assert inst.rs1.name == "%o0"
+        assert inst.op2 == Reg(9)
+        assert inst.rd.name == "%o2"
+
+    def test_add_immediate(self):
+        inst = one("add %o0, 42, %o2")
+        assert inst.op2 == Imm(42)
+
+    def test_negative_immediate(self):
+        inst = one("add %sp, -96, %sp")
+        assert inst.op2 == Imm(-96)
+        assert inst.rd.name == "%o6"  # %sp alias
+
+    def test_hex_immediate(self):
+        inst = one("or %g0, 0x1f, %o0")
+        assert inst.op2 == Imm(0x1F)
+
+    def test_comment_stripping(self):
+        inst = one("add %o0,%o1,%o2 ! trailing comment")
+        assert inst.op == "add"
+
+    def test_whitespace_tolerance(self):
+        inst = one("  add   %o0 , %o1 , %o2  ")
+        assert inst.op == "add"
+
+    def test_immediate_too_large_rejected(self):
+        with pytest.raises(AssemblyError):
+            one("add %o0, 5000, %o1")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            one("frobnicate %o0")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            one("add %q9,%o0,%o0")
+
+
+class TestMemoryOperands:
+    def test_load_base_index(self):
+        inst = one("ld [%o2+%g2],%g2")
+        assert inst.kind is Kind.LOAD
+        assert inst.mem == Mem(base=Reg(10), index=Reg(2))
+        assert inst.rd == Reg(2)
+
+    def test_load_base_offset(self):
+        inst = one("ld [%o5+8],%g1")
+        assert inst.mem.offset == 8 and inst.mem.index is None
+
+    def test_load_negative_offset(self):
+        inst = one("ld [%fp-12],%g1")
+        assert inst.mem.offset == -12
+
+    def test_load_bare_base(self):
+        inst = one("ld [%o3],%g1")
+        assert inst.mem.offset == 0 and inst.mem.index is None
+
+    def test_store(self):
+        inst = one("st %g1,[%o5+4]")
+        assert inst.kind is Kind.STORE
+        assert inst.rs1 == Reg(1)
+        assert inst.mem.offset == 4
+
+    def test_byte_and_half_ops(self):
+        assert one("ldub [%o0],%g1").op == "ldub"
+        assert one("ldsb [%o0],%g1").op == "ldsb"
+        assert one("lduh [%o0],%g1").op == "lduh"
+        assert one("stb %g1,[%o0]").op == "stb"
+        assert one("sth %g1,[%o0]").op == "sth"
+
+
+class TestSyntheticInstructions:
+    def test_mov_expands_to_or(self):
+        inst = one("mov %o0,%o2")
+        assert inst.op == "or" and inst.rs1.name == "%g0"
+        assert inst.source_mnemonic == "mov"
+
+    def test_mov_immediate(self):
+        inst = one("mov 5,%o2")
+        assert inst.op2 == Imm(5)
+
+    def test_clr_register(self):
+        inst = one("clr %g3")
+        assert inst.op == "or"
+        assert inst.rs1.name == "%g0" and inst.op2 == Reg(0)
+
+    def test_clr_memory(self):
+        inst = one("clr [%o0+4]")
+        assert inst.kind is Kind.STORE and inst.rs1.name == "%g0"
+
+    def test_cmp_expands_to_subcc(self):
+        inst = one("cmp %o0,%o1")
+        assert inst.op == "subcc" and inst.rd.name == "%g0"
+        assert inst.sets_cc
+
+    def test_tst(self):
+        inst = one("tst %o3")
+        assert inst.op == "orcc" and inst.sets_cc
+
+    def test_inc_dec(self):
+        assert one("inc %g3").op == "add"
+        assert one("inc %g3").op2 == Imm(1)
+        assert one("inc 4,%g3").op2 == Imm(4)
+        assert one("dec %o2").op == "sub"
+
+    def test_neg_and_not(self):
+        assert one("neg %o1").op == "sub"
+        assert one("not %o1").op == "xnor"
+
+    def test_set_small_fits_one_instruction(self):
+        inst = one("set 100,%l0")
+        assert inst.op == "or" and inst.op2 == Imm(100)
+
+    def test_set_large_expands_to_sethi_or(self):
+        program = assemble("set 0x12345678,%l0")
+        assert len(program) == 2
+        assert program.instruction(1).op == "sethi"
+        assert program.instruction(2).op == "or"
+
+    def test_set_page_aligned_needs_only_sethi(self):
+        program = assemble("set 0x10000,%l0")
+        assert len(program) == 1
+        assert program.instruction(1).op == "sethi"
+
+    def test_retl(self):
+        inst = one("retl")
+        assert inst.kind is Kind.JMPL and inst.is_return
+        assert inst.rs1.name == "%o7"
+
+    def test_ret_uses_i7(self):
+        inst = one("ret")
+        assert inst.rs1.name == "%i7" and inst.is_return
+
+    def test_nop_is_sethi_zero(self):
+        inst = one("nop")
+        assert inst.kind is Kind.SETHI and inst.rd.name == "%g0"
+
+    def test_bare_restore(self):
+        inst = one("restore")
+        assert inst.kind is Kind.RESTORE
+
+
+class TestControlFlow:
+    def test_numeric_branch_target(self):
+        program = assemble("cmp %o0,%o1\nbge 3\nnop\nretl\nnop")
+        branch = program.instruction(2)
+        assert branch.kind is Kind.BRANCH and branch.target.index == 3
+
+    def test_label_branch_target(self):
+        program = assemble("""
+        loop: inc %g1
+              cmp %g1,%o0
+              bl loop
+              nop
+              retl
+              nop
+        """)
+        assert program.instruction(3).target.index == 1
+
+    def test_paper_style_line_numbers(self):
+        program = assemble("1: clr %o0\n2: retl\n3: nop")
+        assert len(program) == 3
+        assert program.labels["1"] == 1
+
+    def test_annulled_branch(self):
+        program = assemble("ba,a 1")
+        assert program.instruction(1).annul
+
+    def test_branch_synonyms(self):
+        assert assemble("b 1").instruction(1).op == "ba"
+        assert assemble("bz 1").instruction(1).op == "be"
+        assert assemble("bgeu 1").instruction(1).op == "bcc"
+
+    def test_undefined_branch_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ba nowhere\nnop")
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ba 17\nnop")
+
+    def test_external_call_gets_index_zero(self):
+        program = assemble("call somehostfn\nnop\nretl\nnop")
+        call = program.instruction(1)
+        assert call.kind is Kind.CALL
+        assert call.target.index == 0
+        assert call.target.label == "somehostfn"
+
+    def test_internal_call_resolves(self):
+        program = assemble("""
+        call helper
+        nop
+        retl
+        nop
+        helper: retl
+        nop
+        """)
+        assert program.instruction(1).target.index == 5
+
+    def test_directives_ignored(self):
+        program = assemble(".text\n.align 4\nretl\nnop")
+        assert len(program) == 2
+
+
+class TestProgramContainer:
+    def test_listing_roundtrips_mnemonics(self):
+        program = assemble("1: mov %o0,%o2\n2: retl\n3: nop")
+        listing = program.listing()
+        assert "mov %o0,%o2" in listing
+
+    def test_counts(self):
+        program = assemble("""
+        cmp %o0,%o1
+        bge 6
+        nop
+        ba 1
+        nop
+        retl
+        nop
+        """)
+        counts = program.counts()
+        assert counts["instructions"] == 7
+        assert counts["branches"] == 1  # ba is unconditional
+
+    def test_instruction_index_bounds(self):
+        program = assemble("retl\nnop")
+        with pytest.raises(IndexError):
+            program.instruction(3)
+        with pytest.raises(IndexError):
+            program.instruction(0)

@@ -1,0 +1,268 @@
+"""Concrete-emulator tests: arithmetic, condition codes, delay slots,
+memory, register windows, host calls."""
+
+import pytest
+
+from repro.errors import EmulationError
+from repro.sparc import Emulator, assemble
+
+
+def run(source, setup=None, host=None, max_steps=100000):
+    program = assemble(source)
+    emulator = Emulator(program, host_functions=host,
+                        max_steps=max_steps)
+    if setup:
+        setup(emulator)
+    emulator.run()
+    return emulator
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        emu = run("mov 30,%o0\nadd %o0,12,%o0\nsub %o0,2,%o0\nretl\nnop")
+        assert emu.register_signed("%o0") == 40
+
+    def test_32bit_wraparound(self):
+        emu = run("""
+        set 0x7fffffff,%o0
+        add %o0,1,%o0
+        retl
+        nop
+        """)
+        assert emu.register("%o0") == 0x80000000
+        assert emu.register_signed("%o0") == -(1 << 31)
+
+    def test_logical_ops(self):
+        emu = run("""
+        mov 0xcc,%o0
+        mov 0xaa,%o1
+        and %o0,%o1,%o2
+        or  %o0,%o1,%o3
+        xor %o0,%o1,%o4
+        andn %o0,%o1,%o5
+        retl
+        nop
+        """)
+        assert emu.register("%o2") == 0xCC & 0xAA
+        assert emu.register("%o3") == 0xCC | 0xAA
+        assert emu.register("%o4") == 0xCC ^ 0xAA
+        assert emu.register("%o5") == 0xCC & ~0xAA & 0xFFFFFFFF
+
+    def test_shifts(self):
+        emu = run("""
+        mov -8,%o0
+        sll %o0,1,%o1
+        srl %o0,1,%o2
+        sra %o0,1,%o3
+        retl
+        nop
+        """)
+        assert emu.register_signed("%o1") == -16
+        assert emu.register("%o2") == ((-8) & 0xFFFFFFFF) >> 1
+        assert emu.register_signed("%o3") == -4
+
+    def test_multiply(self):
+        emu = run("mov 7,%o0\nsmul %o0,-6,%o1\nretl\nnop")
+        assert emu.register_signed("%o1") == -42
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(EmulationError):
+            run("mov 1,%o0\nclr %o1\nudiv %o0,%o1,%o2\nretl\nnop")
+
+    def test_g0_discards_writes(self):
+        emu = run("mov 99,%g0\nmov %g0,%o0\nretl\nnop")
+        assert emu.register("%o0") == 0
+
+
+class TestConditionCodes:
+    def test_signed_branches(self):
+        emu = run("""
+        mov -1,%o0
+        cmp %o0,1
+        bl skip
+        nop
+        mov 111,%o1     ! skipped when branch taken
+        skip: mov 42,%o2
+        retl
+        nop
+        """)
+        assert emu.register("%o2") == 42
+        assert emu.register("%o1") == 0
+
+    def test_unsigned_branch_sees_negative_as_large(self):
+        # -1 unsigned is 0xffffffff > 1, so bgu is taken.
+        emu = run("""
+        mov -1,%o0
+        cmp %o0,1
+        bgu out
+        nop
+        mov 1,%o3
+        out: retl
+        mov 7,%o4
+        """)
+        assert emu.register("%o3") == 0
+        assert emu.register("%o4") == 7
+
+    def test_overflow_flag(self):
+        emu = run("""
+        set 0x7fffffff,%o0
+        addcc %o0,1,%o1
+        bvs over
+        nop
+        mov 1,%o2       ! skipped: overflow set
+        over: mov 9,%o3
+        retl
+        nop
+        """)
+        assert emu.register("%o3") == 9 and emu.register("%o2") == 0
+
+
+class TestDelaySlots:
+    def test_taken_branch_executes_slot(self):
+        emu = run("""
+        cmp %g0,%g0
+        be 4
+        mov 5,%o0       ! delay slot: executes
+        retl
+        nop
+        """)
+        assert emu.register("%o0") == 5
+
+    def test_untaken_branch_executes_slot(self):
+        emu = run("""
+        cmp %g0,%g0
+        bne 5
+        mov 5,%o0       ! still executes
+        retl
+        nop
+        nop
+        """)
+        assert emu.register("%o0") == 5
+
+    def test_annulled_untaken_skips_slot(self):
+        emu = run("""
+        cmp %g0,%g0
+        bne,a 5
+        mov 5,%o0       ! annulled: skipped
+        retl
+        nop
+        nop
+        """)
+        assert emu.register("%o0") == 0
+
+    def test_ba_annulled_always_skips_slot(self):
+        emu = run("""
+        ba,a 3
+        mov 5,%o0
+        retl
+        nop
+        """)
+        assert emu.register("%o0") == 0
+
+    def test_retl_slot_executes(self):
+        emu = run("retl\nmov 3,%o0")
+        assert emu.register("%o0") == 3
+
+
+class TestMemory:
+    def test_word_roundtrip_and_endianness(self):
+        def setup(emu):
+            emu.set_register("%o0", 0x1000)
+        emu = run("""
+        set 0x12345678,%o1
+        st %o1,[%o0]
+        ldub [%o0],%o2
+        ld [%o0],%o3
+        retl
+        nop
+        """, setup=setup)
+        assert emu.register("%o2") == 0x12  # big-endian: MSB first
+        assert emu.register("%o3") == 0x12345678
+
+    def test_signed_byte_load(self):
+        def setup(emu):
+            emu.set_register("%o0", 0x1000)
+            emu.write_memory(0x1000, 0xFF, 1)
+        emu = run("ldsb [%o0],%o1\nldub [%o0],%o2\nretl\nnop",
+                  setup=setup)
+        assert emu.register_signed("%o1") == -1
+        assert emu.register("%o2") == 0xFF
+
+    def test_halfword(self):
+        def setup(emu):
+            emu.set_register("%o0", 0x1000)
+        emu = run("""
+        set 0x8001,%o1
+        sth %o1,[%o0]
+        lduh [%o0],%o2
+        ldsh [%o0],%o3
+        retl
+        nop
+        """, setup=setup)
+        assert emu.register("%o2") == 0x8001
+        assert emu.register_signed("%o3") == -32767
+
+    def test_misaligned_word_access_traps(self):
+        def setup(emu):
+            emu.set_register("%o0", 0x1001)
+        with pytest.raises(EmulationError):
+            run("ld [%o0],%o1\nretl\nnop", setup=setup)
+
+    def test_cstring_helper(self):
+        program = assemble("retl\nnop")
+        emu = Emulator(program)
+        emu.write_bytes(0x2000, b"hello\0")
+        assert emu.read_cstring(0x2000) == b"hello"
+
+
+class TestCallsAndWindows:
+    def test_internal_call_and_return(self):
+        emu = run("""
+        mov %o7,%g4        ! leaf-call idiom: preserve the return address
+        call double
+        mov 21,%o0
+        mov %g4,%o7
+        retl
+        nop
+        double:
+        retl
+        add %o0,%o0,%o0
+        """)
+        assert emu.register_signed("%o0") == 42
+
+    def test_save_restore_window_overlap(self):
+        emu = run("""
+        mov 7,%o0
+        save %sp,-96,%sp
+        add %i0,1,%i0      ! callee sees caller %o0 as %i0
+        restore %i0,0,%o0  ! result flows back through the restore
+        retl
+        nop
+        """)
+        assert emu.register_signed("%o0") == 8
+
+    def test_window_underflow_traps(self):
+        with pytest.raises(EmulationError):
+            run("restore\nretl\nnop")
+
+    def test_host_function_dispatch(self):
+        calls = []
+        emu = run("""
+        mov %o7,%g4
+        call hostfn
+        mov 5,%o0
+        mov %g4,%o7
+        retl
+        nop
+        """, host={"hostfn": lambda e: calls.append(
+            e.register_signed("%o0")) or e.set_register("%o0", 10)})
+        assert calls == [5]
+        assert emu.register_signed("%o0") == 10
+
+    def test_unregistered_external_call_traps(self):
+        with pytest.raises(EmulationError):
+            run("call nowhere\nnop\nretl\nnop")
+
+    def test_step_limit(self):
+        with pytest.raises(EmulationError):
+            run("ba 1\nnop\nretl\nnop", max_steps=50)

@@ -1,0 +1,184 @@
+"""Encoder/decoder tests: exact V8 bit patterns and round-trips,
+including a hypothesis property test over randomly generated
+instructions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncodingError
+from repro.sparc import (
+    assemble, decode_instruction, decode_program, encode_instruction,
+    encode_program, encode_words,
+)
+from repro.sparc.isa import Imm, Instruction, Kind, Mem, Reg, Target
+
+
+def enc(text):
+    program = assemble(text)
+    return encode_words(program)
+
+
+class TestKnownEncodings:
+    """Bit patterns checked against the SPARC V8 manual."""
+
+    def test_add_registers(self):
+        # add %o0, %o1, %o2: op=2 rd=10 op3=0 rs1=8 i=0 rs2=9
+        word = enc("add %o0,%o1,%o2")[0]
+        assert word == (2 << 30) | (10 << 25) | (0 << 19) | (8 << 14) | 9
+
+    def test_add_immediate(self):
+        word = enc("add %o0,42,%o2")[0]
+        assert word & (1 << 13)
+        assert word & 0x1FFF == 42
+
+    def test_negative_immediate_sign_bits(self):
+        word = enc("add %sp,-96,%sp")[0]
+        assert word & 0x1FFF == (-96) & 0x1FFF
+
+    def test_sethi(self):
+        word = enc("sethi %hi(0x12345400),%g1")[0]
+        assert word >> 30 == 0
+        assert (word >> 22) & 0b111 == 0b100
+        assert word & 0x3FFFFF == 0x12345400 >> 10
+
+    def test_nop_is_canonical(self):
+        # The architectural nop is sethi 0, %g0 = 0x01000000.
+        assert enc("nop")[0] == 0x01000000
+
+    def test_branch_displacement(self):
+        words = enc("cmp %o0,%o1\nbge 4\nnop\nretl\nnop")
+        bge = words[1]
+        assert bge >> 30 == 0
+        assert (bge >> 22) & 0b111 == 0b010
+        assert bge & 0x3FFFFF == 2  # forward two instructions
+
+    def test_backward_branch_negative_displacement(self):
+        words = enc("nop\nnop\nba 1\nnop")
+        disp = words[2] & 0x3FFFFF
+        assert disp == (-2) & 0x3FFFFF
+
+    def test_annul_bit(self):
+        plain = enc("ba 1")[0]
+        annulled = enc("ba,a 1")[0]
+        assert annulled == plain | (1 << 29)
+
+    def test_call_displacement(self):
+        words = enc("call 3\nnop\nretl\nnop")
+        assert words[0] >> 30 == 1
+        assert words[0] & 0x3FFFFFFF == 2
+
+    def test_load_store_op3(self):
+        ld = enc("ld [%o2+%g2],%g2")[0]
+        assert ld >> 30 == 3
+        assert (ld >> 19) & 0x3F == 0
+        st = enc("st %g1,[%o5+4]")[0]
+        assert (st >> 19) & 0x3F == 0b000100
+
+    def test_external_call_not_encodable(self):
+        program = assemble("call hostfn\nnop\nretl\nnop")
+        with pytest.raises(EncodingError):
+            encode_program(program)
+
+
+class TestRoundTrip:
+    def test_figure1_program_roundtrip(self):
+        source = """
+        1: mov %o0,%o2
+        2: clr %o0
+        3: cmp %o0,%o1
+        4: bge 12
+        5: clr %g3
+        6: sll %g3, 2,%g2
+        7: ld [%o2+%g2],%g2
+        8: inc %g3
+        9: cmp %g3,%o1
+        10:bl 6
+        11:add %o0,%g2,%o0
+        12:retl
+        13:nop
+        """
+        program = assemble(source)
+        blob = encode_program(program)
+        decoded = decode_program(blob)
+        assert len(decoded) == len(program)
+        for original, recovered in zip(program, decoded):
+            assert recovered.op == original.op
+            assert recovered.kind == original.kind
+            if original.target is not None:
+                assert recovered.target.index == original.target.index
+
+    def test_decoding_words_equals_decoding_bytes(self):
+        program = assemble("add %o0,%o1,%o2\nretl\nnop")
+        words = encode_words(program)
+        blob = encode_program(program)
+        a = decode_program(words)
+        b = decode_program(blob)
+        assert [i.op for i in a] == [i.op for i in b]
+
+    def test_misaligned_blob_rejected(self):
+        from repro.errors import DecodingError
+        with pytest.raises(DecodingError):
+            decode_program(b"\x01\x02\x03")
+
+
+_REG = st.integers(min_value=0, max_value=31).map(Reg)
+_SIMM = st.integers(min_value=-4096, max_value=4095).map(Imm)
+_ALU_OPS = st.sampled_from([
+    "add", "sub", "and", "or", "xor", "andn", "orn", "xnor",
+    "addcc", "subcc", "andcc", "orcc", "xorcc",
+    "sll", "srl", "sra", "umul", "smul",
+])
+_MEM_LOAD = st.sampled_from(["ld", "ldub", "ldsb", "lduh", "ldsh"])
+_MEM_STORE = st.sampled_from(["st", "stb", "sth"])
+
+
+@st.composite
+def _instructions(draw):
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if choice == 0:
+        return Instruction(op=draw(_ALU_OPS), kind=Kind.ALU,
+                           rs1=draw(_REG),
+                           op2=draw(st.one_of(_REG, _SIMM)),
+                           rd=draw(_REG), index=5)
+    if choice == 1:
+        base = draw(_REG)
+        if draw(st.booleans()):
+            mem = Mem(base=base,
+                      offset=draw(st.integers(-4096, 4095)))
+        else:
+            index = draw(_REG)
+            if index.number == 0:
+                mem = Mem(base=base, offset=0)
+            else:
+                mem = Mem(base=base, index=index)
+        return Instruction(op=draw(_MEM_LOAD), kind=Kind.LOAD, mem=mem,
+                           rd=draw(_REG), index=5)
+    if choice == 2:
+        return Instruction(
+            op=draw(st.sampled_from(["ba", "be", "bne", "bl", "ble",
+                                     "bg", "bge", "bgu", "bleu"])),
+            kind=Kind.BRANCH, annul=draw(st.booleans()),
+            target=Target(index=draw(st.integers(1, 9))), index=5)
+    return Instruction(op="sethi", kind=Kind.SETHI,
+                       op2=Imm(draw(st.integers(0, (1 << 22) - 1)) << 10),
+                       rd=draw(_REG), index=5)
+
+
+class TestEncodeDecodeProperty:
+    @given(_instructions())
+    @settings(max_examples=300, deadline=None)
+    def test_decode_inverts_encode(self, inst):
+        word = encode_instruction(inst)
+        recovered = decode_instruction(word, index=inst.index)
+        assert recovered.op == inst.op
+        assert recovered.kind == inst.kind
+        if inst.kind is Kind.BRANCH:
+            assert recovered.annul == inst.annul
+            assert recovered.target.index == inst.target.index
+        if inst.rd is not None:
+            assert recovered.rd == inst.rd
+        if inst.kind is Kind.ALU:
+            assert recovered.rs1 == inst.rs1
+            assert recovered.op2 == inst.op2
+        if inst.mem is not None:
+            assert recovered.mem == inst.mem

@@ -1,0 +1,90 @@
+"""Program-container behaviors: labels, listings, statistics."""
+
+import pytest
+
+from repro.sparc import assemble
+from repro.sparc.program import Program
+
+
+class TestLabels:
+    SOURCE = """
+    entry: clr %o0
+    loop:  inc %o0
+           cmp %o0,%o1
+           bl loop
+           nop
+           retl
+           nop
+    """
+
+    def test_label_index_lookup(self):
+        program = assemble(self.SOURCE)
+        assert program.label_index("entry") == 1
+        assert program.label_index("loop") == 2
+
+    def test_label_at_reverse_lookup(self):
+        program = assemble(self.SOURCE)
+        assert program.label_at(2) in ("loop",)
+        assert program.label_at(3) is None
+
+    def test_missing_label_raises(self):
+        program = assemble(self.SOURCE)
+        with pytest.raises(KeyError):
+            program.label_index("nowhere")
+
+
+class TestListing:
+    def test_listing_includes_labels(self):
+        program = assemble(TestLabels.SOURCE)
+        listing = program.listing()
+        assert "entry:" in listing and "loop:" in listing
+
+    def test_numeric_labels_not_rendered_as_headers(self):
+        program = assemble("1: clr %o0\n2: retl\n3: nop")
+        listing = program.listing()
+        assert "1:" in listing          # as the index column
+        assert not any(line.strip() == "1:"
+                       for line in listing.splitlines())
+
+    def test_canonical_vs_source_rendering(self):
+        program = assemble("mov %o0,%o2\nretl\nnop")
+        assert "mov %o0,%o2" in program.listing()
+        assert "or %g0, %o0, %o2" in program.listing(canonical=True)
+
+
+class TestStatistics:
+    def test_counts_exclude_unconditional_branches(self):
+        program = assemble("""
+        cmp %o0,%o1
+        bl 5
+        nop
+        ba 1
+        nop
+        retl
+        nop
+        """)
+        counts = program.counts()
+        assert counts["branches"] == 1
+        assert counts["calls"] == 0
+
+    def test_call_target_indices_deduplicated(self):
+        program = assemble("""
+        call f
+        nop
+        call f
+        nop
+        retl
+        nop
+        f: retl
+        nop
+        """)
+        assert program.call_target_indices() == [7]
+
+    def test_iteration_and_len(self):
+        program = assemble("retl\nnop")
+        assert len(program) == 2
+        assert [inst.index for inst in program] == [1, 2]
+
+    def test_repr(self):
+        program = assemble("retl\nnop", name="demo")
+        assert "demo" in repr(program)

@@ -1,0 +1,89 @@
+"""CLI tests (direct main() invocation; no subprocesses)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.programs.sum_array import SOURCE, SPEC
+
+
+@pytest.fixture()
+def files(tmp_path):
+    code = tmp_path / "sum.s"
+    code.write_text(SOURCE)
+    spec = tmp_path / "sum.policy"
+    spec.write_text(SPEC)
+    return code, spec, tmp_path
+
+
+class TestCheck:
+    def test_safe_program_exits_zero(self, files, capsys):
+        code, spec, __ = files
+        assert main(["check", str(code), str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out
+
+    def test_unsafe_program_exits_one(self, files, capsys):
+        code, spec, tmp = files
+        buggy = tmp / "buggy.s"
+        buggy.write_text(SOURCE.replace("bl 6", "ble 6"))
+        assert main(["check", str(buggy), str(spec)]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_json_output(self, files, capsys):
+        code, spec, __ = files
+        assert main(["check", str(code), str(spec), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["safe"] is True
+        assert payload["instructions"] == 13
+        assert payload["violations"] == []
+
+    def test_verbose_lists_proofs(self, files, capsys):
+        code, spec, __ = files
+        assert main(["check", str(code), str(spec), "--verbose"]) == 0
+        assert "PROVED" in capsys.readouterr().out
+
+    def test_bad_spec_exits_two(self, files, capsys):
+        code, __, tmp = files
+        bad = tmp / "bad.policy"
+        bad.write_text("frobnicate")
+        assert main(["check", str(code), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, files, capsys):
+        __, spec, __tmp = files
+        assert main(["check", "/nonexistent.s", str(spec)]) == 2
+
+
+class TestBinaryPipeline:
+    def test_asm_disasm_check_roundtrip(self, files, capsys):
+        code, spec, tmp = files
+        binary = tmp / "sum.bin"
+        assert main(["asm", str(code), "-o", str(binary)]) == 0
+        assert binary.stat().st_size == 13 * 4
+        capsys.readouterr()
+
+        assert main(["disasm", str(binary)]) == 0
+        listing = capsys.readouterr().out
+        assert "ld [%o2+%g2], %g2" in listing
+
+        # Checking the *binary* gives the same verdict.
+        assert main(["check", str(binary), str(spec), "--binary"]) == 0
+
+
+class TestCfgAndRun:
+    def test_cfg_dot(self, files, capsys):
+        code, __, __tmp = files
+        assert main(["cfg", str(code), "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_run_with_registers_and_memory(self, files, capsys):
+        code, __, __tmp = files
+        rc = main(["run", str(code),
+                   "--reg", "%o0=0x20000", "--reg", "%o1=3",
+                   "--mem", "0x20000=10", "--mem", "0x20004=20",
+                   "--mem", "0x20008=12"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "%o0=0x2a" in out  # 10+20+12 = 42

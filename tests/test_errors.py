@@ -1,0 +1,49 @@
+"""The exception hierarchy: everything derives from ReproError, and the
+subsystems raise the advertised types."""
+
+import pytest
+
+from repro import check_assembly
+from repro.errors import (
+    AnalysisError, AssemblyError, CFGError, DecodingError, EmulationError,
+    EncodingError, ProverError, RecursionRejected, ReproError, SpecError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (AssemblyError, EncodingError, DecodingError,
+                    EmulationError, CFGError, SpecError, AnalysisError,
+                    RecursionRejected, ProverError):
+            assert issubclass(exc, ReproError)
+
+    def test_recursion_is_analysis_error(self):
+        assert issubclass(RecursionRejected, AnalysisError)
+
+    def test_assembly_error_carries_line(self):
+        error = AssemblyError("bad", line=7)
+        assert error.line == 7
+        assert "line 7" in str(error)
+
+
+class TestOneCatchAtTheBoundary:
+    """A caller can guard the whole API with a single except clause."""
+
+    def test_bad_assembly(self):
+        with pytest.raises(ReproError):
+            check_assembly("frobnicate", "invoke %o0 = x")
+
+    def test_bad_spec(self):
+        with pytest.raises(ReproError):
+            check_assembly("retl\nnop", "nonsense line")
+
+    def test_bad_binary(self):
+        from repro.sparc import decode_program
+        with pytest.raises(ReproError):
+            decode_program(b"\x00\x00\x00")
+
+    def test_unsupported_construct(self):
+        # save/restore lie outside the analyzed subset.
+        with pytest.raises(ReproError):
+            check_assembly("save %sp,-96,%sp\nretl\nrestore",
+                           "invoke %o0 = x")

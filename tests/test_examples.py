@@ -1,0 +1,32 @@
+"""The examples are part of the public surface: run each one."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(path, capsys):
+    module = _load(path)
+    module.main()          # every example asserts its own claims
+    out = capsys.readouterr().out
+    assert out.strip(), "examples should narrate what they show"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "kernel_extension", "policy_exploration",
+            "loop_invariants", "binary_audit"} <= names

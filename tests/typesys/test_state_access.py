@@ -1,0 +1,149 @@
+"""State-lattice (Figure 5) and access-permission tests, with
+hypothesis checks of the meet-semilattice laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.typesys.access import (
+    ALL_ACCESS, AccessSet, AccessTuple, NO_ACCESS, access,
+)
+from repro.typesys.state import (
+    AggregateState, BOTTOM_STATE, INIT, NULL, PointsTo, TOP_STATE,
+    UNINIT, UNINIT_POINTER, points_to,
+)
+from repro.typesys.typestate import (
+    BOTTOM_TYPESTATE, TOP_TYPESTATE, Typestate,
+)
+from repro.typesys.types import INT32, TOP_TYPE
+
+
+class TestStateMeet:
+    def test_top_is_identity(self):
+        assert TOP_STATE.meet(INIT) == INIT
+        assert points_to("e").meet(TOP_STATE) == points_to("e")
+
+    def test_bottom_absorbs(self):
+        assert BOTTOM_STATE.meet(INIT) == BOTTOM_STATE
+
+    def test_initialized_meets_uninitialized_down(self):
+        # Initialized on one path only = may be uninitialized.
+        assert INIT.meet(UNINIT) == UNINIT
+        assert UNINIT.meet(INIT) == UNINIT
+
+    def test_points_to_meet_is_union(self):
+        # Paper Section 4.1: P1 ⊒ P2 iff P2 ⊇ P1, so meet = union.
+        a, b = points_to("e"), points_to("f", NULL)
+        met = a.meet(b)
+        assert isinstance(met, PointsTo)
+        assert met.targets == frozenset({"e", "f", NULL})
+
+    def test_uninit_pointer_below_points_to(self):
+        assert points_to("e").meet(UNINIT_POINTER) == UNINIT_POINTER
+
+    def test_scalar_vs_pointer_states_meet_to_bottom(self):
+        assert INIT.meet(points_to("e")) == BOTTOM_STATE
+
+    def test_null_queries(self):
+        maybe = points_to("e", NULL)
+        assert maybe.may_be_null
+        assert maybe.non_null_targets == frozenset({"e"})
+        assert maybe.without_null() == points_to("e")
+        assert points_to(NULL).without_null() == BOTTOM_STATE
+
+    def test_empty_points_to_rejected(self):
+        with pytest.raises(ValueError):
+            PointsTo(frozenset())
+
+    def test_aggregate_meet_componentwise(self):
+        a = AggregateState(fields=(INIT, UNINIT))
+        b = AggregateState(fields=(INIT, INIT))
+        assert a.meet(b) == AggregateState(fields=(INIT, UNINIT))
+
+    def test_aggregate_shape_mismatch_bottom(self):
+        a = AggregateState(fields=(INIT,))
+        b = AggregateState(fields=(INIT, INIT))
+        assert a.meet(b) == BOTTOM_STATE
+
+
+class TestAccess:
+    def test_letters(self):
+        fo = access("fo")
+        assert fo.followable and fo.operable and not fo.executable
+
+    def test_rw_letters_rejected_for_values(self):
+        with pytest.raises(ValueError):
+            access("rwo")
+
+    def test_meet_is_intersection(self):
+        assert access("fo").meet(access("xo")) == access("o")
+        assert access("fxo").meet(NO_ACCESS) == NO_ACCESS
+
+    def test_tuple_meet(self):
+        a = AccessTuple(members=(access("o"), access("fo")))
+        b = AccessTuple(members=(access("o"), access("o")))
+        met = a.meet(b)
+        assert isinstance(met, AccessTuple)
+        assert met.members[1] == access("o")
+
+    def test_set_distributes_over_tuple(self):
+        t = AccessTuple(members=(access("fo"), access("xo")))
+        met = access("o").meet(t)
+        assert isinstance(met, AccessTuple)
+        assert met.members == (access("o"), access("o"))
+
+
+class TestTypestate:
+    def test_meet_componentwise(self):
+        a = Typestate(INT32, INIT, access("o"))
+        b = Typestate(INT32, UNINIT, access("fo"))
+        met = a.meet(b)
+        assert met.state == UNINIT
+        assert met.access == access("o")
+
+    def test_top_and_bottom_flags(self):
+        assert TOP_TYPESTATE.is_top
+        assert not BOTTOM_TYPESTATE.is_top
+
+    def test_operable_requires_initialized(self):
+        assert Typestate(INT32, INIT, access("o")).operable
+        assert not Typestate(INT32, UNINIT, access("o")).operable
+        assert not Typestate(INT32, INIT, access("f")).operable
+
+    def test_followable_requires_pointer_type(self):
+        from repro.typesys.types import PointerType
+        ptr = Typestate(PointerType(pointee=INT32), points_to("e"),
+                        access("fo"))
+        scalar = Typestate(INT32, INIT, access("fo"))
+        assert ptr.followable
+        assert not scalar.followable
+
+
+_states = st.one_of(
+    st.just(TOP_STATE), st.just(BOTTOM_STATE), st.just(INIT),
+    st.just(UNINIT), st.just(UNINIT_POINTER),
+    st.sets(st.sampled_from(["e", "f", NULL]), min_size=1,
+            max_size=3).map(lambda s: PointsTo(frozenset(s))),
+)
+
+
+class TestMeetSemilatticeLaws:
+    @given(_states)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, s):
+        assert s.meet(s) == s
+
+    @given(_states, _states)
+    @settings(max_examples=120, deadline=None)
+    def test_commutative(self, a, b):
+        assert a.meet(b) == b.meet(a)
+
+    @given(_states, _states, _states)
+    @settings(max_examples=150, deadline=None)
+    def test_associative(self, a, b, c):
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(_states, _states)
+    @settings(max_examples=120, deadline=None)
+    def test_meet_is_lower_bound(self, a, b):
+        met = a.meet(b)
+        assert met.leq(a) and met.leq(b)

@@ -1,0 +1,107 @@
+"""Abstract stores and the location table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.typesys.access import access
+from repro.typesys.locations import AbstractLocation, LocationTable
+from repro.typesys.state import INIT, UNINIT
+from repro.typesys.store import AbstractStore, TOP_STORE
+from repro.typesys.types import INT32
+from repro.typesys.typestate import (
+    BOTTOM_TYPESTATE, TOP_TYPESTATE, Typestate,
+)
+
+INT_TS = Typestate(INT32, INIT, access("o"))
+UNINIT_TS = Typestate(INT32, UNINIT, access("o"))
+
+
+class TestStore:
+    def test_default_is_top(self):
+        assert TOP_STORE["anything"].is_top
+
+    def test_set_and_get(self):
+        store = AbstractStore().set("%o0", INT_TS)
+        assert store["%o0"] == INT_TS
+
+    def test_set_is_functional(self):
+        base = AbstractStore().set("%o0", INT_TS)
+        updated = base.set("%o0", UNINIT_TS)
+        assert base["%o0"] == INT_TS
+        assert updated["%o0"] == UNINIT_TS
+
+    def test_setting_top_erases_entry(self):
+        store = AbstractStore().set("%o0", INT_TS)
+        cleared = store.set("%o0", TOP_TYPESTATE)
+        assert cleared == AbstractStore()
+
+    def test_set_many(self):
+        store = AbstractStore().set_many({"%o0": INT_TS,
+                                          "%o1": UNINIT_TS})
+        assert store["%o0"] == INT_TS and store["%o1"] == UNINIT_TS
+
+    def test_meet_pointwise(self):
+        a = AbstractStore().set("%o0", INT_TS)
+        b = AbstractStore().set("%o0", UNINIT_TS).set("%o1", INT_TS)
+        met = a.meet(b)
+        assert met["%o0"].state == UNINIT
+        # %o1 is ⊤ in a: the meet keeps b's value.
+        assert met["%o1"] == INT_TS
+
+    def test_equality_ignores_top_entries(self):
+        a = AbstractStore({"%o0": INT_TS, "%o1": TOP_TYPESTATE})
+        b = AbstractStore({"%o0": INT_TS})
+        assert a == b
+
+    def test_render_selected_names(self):
+        store = AbstractStore().set("%o0", INT_TS)
+        text = store.render(["%o0"])
+        assert "%o0: <int32, initialized, o>" in text
+
+    @given(st.lists(st.sampled_from(["%o0", "%o1", "%g1"]), max_size=3),
+           st.lists(st.sampled_from(["%o0", "%o1", "%g1"]), max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_meet_commutative(self, left, right):
+        a = AbstractStore({name: INT_TS for name in left})
+        b = AbstractStore({name: UNINIT_TS for name in right})
+        assert a.meet(b) == b.meet(a)
+
+
+class TestLocationTable:
+    def test_registers_preloaded(self):
+        table = LocationTable()
+        assert "%o0" in table and "%i7" in table
+        location = table["%g3"]
+        assert location.readable and location.writable
+        assert location.align == 0 and location.is_register
+
+    def test_add_and_query(self):
+        table = LocationTable()
+        table.add(AbstractLocation(name="e", size=4, align=4,
+                                   summary=True, region="V"))
+        assert table.is_summary("e")
+        assert not table.is_summary("%o0")
+        assert table.get("absent") is None
+
+    def test_duplicate_rejected(self):
+        table = LocationTable()
+        table.add(AbstractLocation(name="e"))
+        with pytest.raises(ValueError):
+            table.add(AbstractLocation(name="e"))
+
+    def test_memory_locations_excludes_registers(self):
+        table = LocationTable()
+        table.add(AbstractLocation(name="e"))
+        names = [l.name for l in table.memory_locations()]
+        assert names == ["e"]
+
+    def test_field_location_name(self):
+        location = AbstractLocation(name="th",
+                                    field_labels=("tid", "next"))
+        assert location.field_location_name("tid") == "th.tid"
+
+    def test_str_flags(self):
+        location = AbstractLocation(name="e", size=4, readable=True,
+                                    writable=False, summary=True)
+        assert "r" in str(location) and "s" in str(location)
+        assert "w" not in str(location).split("[")[1]

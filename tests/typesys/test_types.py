@@ -1,0 +1,117 @@
+"""Type-lattice tests (paper Figure 4 and Section 4.1)."""
+
+import pytest
+
+from repro.typesys.types import (
+    AbstractType, ArrayBaseType, ArrayMidType, BOTTOM_TYPE, INT8, INT16,
+    INT32, Member, PointerType, StructType, TOP_TYPE, UINT8, UINT32,
+    UnionType, alignof, ground_type, is_ground_subtype, lookup_fields,
+    meet, sizeof,
+)
+
+
+class TestGroundTypes:
+    def test_lookup_by_name(self):
+        assert ground_type("int") is INT32
+        assert ground_type("int8") is INT8
+        assert ground_type("char") is INT8
+        assert ground_type("uchar") is UINT8
+        with pytest.raises(KeyError):
+            ground_type("float")
+
+    def test_sizes_and_alignment(self):
+        assert sizeof(INT8) == 1 and alignof(INT8) == 1
+        assert sizeof(INT16) == 2 and alignof(INT16) == 2
+        assert sizeof(INT32) == 4 and alignof(INT32) == 4
+
+    def test_subtyping_same_signedness_only(self):
+        assert is_ground_subtype(INT8, INT32)
+        assert is_ground_subtype(UINT8, UINT32)
+        assert not is_ground_subtype(INT8, UINT32)
+        assert not is_ground_subtype(INT32, INT8)
+        assert is_ground_subtype(INT32, INT32)
+
+
+class TestMeet:
+    def test_meet_with_top_is_identity(self):
+        t = ArrayBaseType(element=INT32, size="n")
+        assert meet(TOP_TYPE, t) == t
+        assert meet(t, TOP_TYPE) == t
+
+    def test_meet_equal_types(self):
+        t = PointerType(pointee=INT32)
+        assert meet(t, t) == t
+
+    def test_meet_of_distinct_non_pointers_is_bottom(self):
+        a = AbstractType(name="jnienv", size=4)
+        assert meet(a, AbstractType(name="other", size=4)) == BOTTOM_TYPE
+
+    def test_ground_subtype_meet_is_narrower(self):
+        assert meet(INT8, INT32) == INT8
+        assert meet(INT32, INT8) == INT8
+
+    def test_pointer_vs_non_pointer_is_bottom(self):
+        assert meet(PointerType(pointee=INT32), INT32) == BOTTOM_TYPE
+
+    def test_array_base_meets_mid_to_mid(self):
+        base = ArrayBaseType(element=INT32, size="n")
+        mid = ArrayMidType(element=INT32, size="n")
+        assert meet(base, mid) == mid
+        assert meet(mid, base) == mid
+
+    def test_array_size_mismatch_is_bottom(self):
+        a = ArrayBaseType(element=INT32, size="n")
+        b = ArrayBaseType(element=INT32, size="m")
+        assert meet(a, b) == BOTTOM_TYPE
+
+    def test_array_element_mismatch_is_bottom(self):
+        a = ArrayBaseType(element=INT32, size="n")
+        b = ArrayMidType(element=INT8, size="n")
+        assert meet(a, b) == BOTTOM_TYPE
+
+    def test_bottom_absorbs(self):
+        assert meet(BOTTOM_TYPE, INT32) == BOTTOM_TYPE
+
+
+class TestAggregates:
+    def _thread(self):
+        return StructType(name="thread", members=(
+            Member("tid", INT32, 0),
+            Member("lwpid", INT32, 4),
+            Member("next", PointerType(pointee=INT32), 8),
+        ))
+
+    def test_sizeof_struct(self):
+        assert sizeof(self._thread()) == 12
+
+    def test_member_lookup_by_name(self):
+        thread = self._thread()
+        assert thread.member("lwpid").offset == 4
+        with pytest.raises(KeyError):
+            thread.member("absent")
+
+    def test_lookup_fields_offset_and_size(self):
+        thread = self._thread()
+        found = lookup_fields(thread, 4, 4)
+        assert [m.label for m in found] == ["lwpid"]
+        assert lookup_fields(thread, 2, 4) == ()
+        assert lookup_fields(thread, 4, 2) == ()
+
+    def test_lookup_fields_recurses_into_nested_structs(self):
+        inner = StructType(name="pair", members=(
+            Member("a", INT32, 0), Member("b", INT32, 4)))
+        outer = StructType(name="outer", members=(
+            Member("head", INT32, 0), Member("body", inner, 4)))
+        found = lookup_fields(outer, 8, 4)
+        assert [m.label for m in found] == ["body.b"]
+
+    def test_union_members_share_offsets(self):
+        union = UnionType(name="u", members=(
+            Member("as_int", INT32, 0), Member("as_byte", UINT8, 0)))
+        assert sizeof(union) == 4
+        found = lookup_fields(union, 0, 4)
+        assert [m.label for m in found] == ["as_int"]
+
+    def test_pointer_size_is_word(self):
+        assert sizeof(PointerType(pointee=self._thread())) == 4
+        assert sizeof(ArrayMidType(element=INT32, size=10)) == 4
