@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Run the Figure-9 pipeline benchmark and write BENCH_pipeline.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--full]
+        [--repeat N] [--output PATH] [--quiet]
+
+Equivalent to ``repro bench``; see :mod:`repro.bench` for what is
+measured.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.bench import main  # noqa: E402
+
+
+def _parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="include the heavyweight programs "
+                             "(heap sorts, stack-smashing, MD5)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="best-of-N timing per program")
+    parser.add_argument("--output", default="BENCH_pipeline.json")
+    parser.add_argument("--quiet", action="store_true")
+    return parser.parse_args()
+
+
+if __name__ == "__main__":
+    args = _parse_args()
+    sys.exit(main(full=args.full, repeat=args.repeat,
+                  output=args.output, quiet=args.quiet))

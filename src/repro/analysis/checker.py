@@ -24,6 +24,7 @@ from repro.cfg.builder import build_cfg
 from repro.cfg.callgraph import CallGraph
 from repro.cfg.graph import CFG
 from repro.cfg.loops import find_loops
+from repro.logic.memo import set_memoization
 from repro.logic.prover import Prover
 from repro.policy.model import HostSpec
 from repro.sparc.assembler import assemble
@@ -57,7 +58,12 @@ class SafetyChecker:
             self.program.name = name
         self.spec = spec
         self.options = options or CheckerOptions()
-        self.prover = Prover(enable_cache=self.options.enable_prover_cache)
+        set_memoization(self.options.enable_formula_memoization)
+        self.prover = Prover(
+            enable_cache=self.options.enable_prover_cache,
+            enable_canonical_cache=(
+                self.options.enable_canonical_prover_cache),
+        )
 
     # -- pipeline -----------------------------------------------------------------
 
@@ -112,6 +118,7 @@ class SafetyChecker:
             annotations=annotations,
             induction_runs=engine.induction_runs,
             prover_queries=self.prover.stats.satisfiability_queries,
+            prover_stats=self.prover.stats.as_dict(),
         )
 
     # -- characteristics (Figure 9 columns) -----------------------------------------

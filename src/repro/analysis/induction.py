@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.cfg.loops import Loop
 from repro.logic.formula import (
     And, Cong, Eq, FalseFormula, Formula, Geq, TRUE, TrueFormula,
-    conj, disj, implies, neg,
+    conj, disj, formula_size, implies, neg,
 )
 from repro.logic.normalize import to_dnf, to_nnf
 from repro.logic.omega import Constraints, project_real
@@ -255,7 +255,7 @@ class InductionIteration:
     def _rank(f: Formula) -> Tuple[int, int]:
         """Simple ranking heuristic: fewer atoms and fewer variables
         first."""
-        return (_atom_count(f), len(f.free_variables()))
+        return (formula_size(f), len(f.free_variables()))
 
 
 def _collect_atoms(f: Formula) -> List[Formula]:
@@ -274,12 +274,3 @@ def _collect_atoms(f: Formula) -> List[Formula]:
     return []
 
 
-def _atom_count(f: Formula) -> int:
-    from repro.logic.formula import And, Exists, Forall, Not, Or
-    if isinstance(f, (And, Or)):
-        return sum(_atom_count(p) for p in f.parts)
-    if isinstance(f, Not):
-        return _atom_count(f.part)
-    if isinstance(f, (Exists, Forall)):
-        return _atom_count(f.body)
-    return 1

@@ -39,6 +39,21 @@ class CheckerOptions:
     #: caching inside the theorem prover.
     enable_prover_cache: bool = True
 
+    #: Second cache level: canonical-form (alpha-renamed, sorted,
+    #: gcd-normalized) whole-query and per-conjunct result caching
+    #: (paper Section 5.2.3's "represent formulas in a canonical form
+    #: and use previous results whenever possible").
+    enable_canonical_prover_cache: bool = True
+
+    #: Memoize the pure structural transformations (NNF, DNF,
+    #: simplify, canonicalize) on the hash-consed formula nodes.  This
+    #: is a process-global switch: constructing one checker with it
+    #: disabled turns the memo caches off for the whole process until
+    #: a checker re-enables them (the ablation benchmarks rely on
+    #: this; concurrent checkers with different settings are not
+    #: supported).
+    enable_formula_memoization: bool = True
+
     #: Section 6 extension: forward propagation of linear facts
     #: (Cousot–Halbwachs style); loop headers get ambient invariants
     #: that discharge conditions without induction iteration.

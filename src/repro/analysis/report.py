@@ -67,6 +67,10 @@ class CheckResult:
     annotations: Dict[int, NodeAnnotation] = field(default_factory=dict)
     induction_runs: int = 0
     prover_queries: int = 0
+    #: Snapshot of the prover's cache/fallback counters for this run
+    #: (see :class:`repro.logic.prover.ProverStats.as_dict`); empty
+    #: when the checker did not record them.
+    prover_stats: Dict[str, float] = field(default_factory=dict)
 
     # -- accessors ------------------------------------------------------------
 
@@ -125,6 +129,17 @@ class CheckResult:
             % (self.times.typestate_propagation,
                self.times.annotation_and_local,
                self.times.global_verification, self.times.total))
+        if self.prover_stats:
+            s = self.prover_stats
+            lines.append(
+                "  prover: queries=%d raw-hits=%d canonical-hits=%d "
+                "conjunct-hits=%d/%d fallbacks=%d"
+                % (s.get("satisfiability_queries", 0),
+                   s.get("cache_hits", 0),
+                   s.get("canonical_cache_hits", 0),
+                   s.get("conjunct_cache_hits", 0),
+                   s.get("conjunct_queries", 0),
+                   s.get("resource_fallbacks", 0)))
         for violation in self.violations:
             lines.append("  VIOLATION %s" % violation)
         return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""End-to-end pipeline benchmark over the Figure-9 program suite.
+
+Runs every benchmark program through the full five-phase checker under
+two configurations:
+
+* **seed** — the un-enhanced baseline: hash-consing, formula-layer
+  memoization, and canonical prover caching all disabled (only the
+  original raw result cache and the difference-solver fast path
+  remain, as in the seed revision of this repository);
+* **enhanced** — everything on (the defaults).
+
+and writes a JSON report (``BENCH_pipeline.json`` at the repository
+root by default) with per-program phase times, prover cache counters,
+and the overall speedup.  Invoked as ``repro bench`` or via
+``benchmarks/bench_pipeline.py``.
+
+The two configurations share a process, so the harness aggressively
+resets global state (intern tables, memo caches) between runs; the
+"seed" configuration is measured first so it cannot accidentally reuse
+interned nodes created by the enhanced run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.options import CheckerOptions
+from repro.logic.formula import (
+    formula_intern_table_size, set_formula_interning,
+)
+from repro.logic.memo import clear_all_caches, set_memoization
+from repro.logic.terms import set_term_interning, term_intern_table_size
+
+#: The two benchmark configurations: name -> (interning, memoization,
+#: canonical prover cache).  The raw prover cache and the difference
+#: fast path stay on in both — they predate this performance layer.
+CONFIGS = {
+    "seed": dict(interning=False, memoization=False, canonical=False),
+    "enhanced": dict(interning=True, memoization=True, canonical=True),
+}
+
+
+def _apply_config(config: Dict[str, bool]) -> CheckerOptions:
+    set_term_interning(config["interning"])
+    set_formula_interning(config["interning"])
+    set_memoization(config["memoization"])
+    clear_all_caches()
+    return CheckerOptions(
+        enable_canonical_prover_cache=config["canonical"],
+        enable_formula_memoization=config["memoization"],
+    )
+
+
+def _restore_defaults() -> None:
+    set_term_interning(True)
+    set_formula_interning(True)
+    set_memoization(True)
+    clear_all_caches()
+
+
+def run_suite(full: bool = False, repeat: int = 1,
+              configs: Optional[List[str]] = None,
+              progress=None) -> dict:
+    """Run the Figure-9 suite under each configuration.
+
+    Returns the report dict (also the JSON file's content).  *repeat*
+    takes the best of N wall-clock times per program to damp scheduler
+    noise; cache counters come from the first run (later repeats would
+    hit warm caches and distort the hit rates).
+    """
+    from repro.programs import all_programs, fast_programs
+
+    repeat = max(1, repeat)
+    programs = all_programs() if full else fast_programs()
+    names = configs or list(CONFIGS)
+    report: dict = {
+        "suite": "figure9-full" if full else "figure9-fast",
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "configs": {},
+    }
+    for config_name in names:
+        options = _apply_config(CONFIGS[config_name])
+        rows = []
+        suite_start = time.perf_counter()
+        for program in programs:
+            best: Optional[dict] = None
+            for attempt in range(repeat):
+                t0 = time.perf_counter()
+                result = program.check(options=options)
+                elapsed = time.perf_counter() - t0
+                if best is None:
+                    best = {
+                        "name": program.name,
+                        "safe": result.safe,
+                        "matches_expectation":
+                            result.safe == program.expect_safe,
+                        "prover_queries": result.prover_queries,
+                        "prover": result.prover_stats,
+                        "phases": {
+                            "preparation": result.times.preparation,
+                            "propagation":
+                                result.times.typestate_propagation,
+                            "annotation_local":
+                                result.times.annotation_and_local,
+                            "global": result.times.global_verification,
+                        },
+                        "seconds": elapsed,
+                    }
+                else:
+                    best["seconds"] = min(best["seconds"], elapsed)
+            rows.append(best)
+            if progress is not None:
+                progress("%-10s %-16s %7.2fs" % (
+                    config_name, program.name, best["seconds"]))
+        total = time.perf_counter() - suite_start
+        report["configs"][config_name] = {
+            "options": dict(CONFIGS[config_name]),
+            "programs": rows,
+            "total_seconds": sum(r["seconds"] for r in rows),
+            "wall_seconds": total,
+            "term_intern_table": term_intern_table_size(),
+            "formula_intern_table": formula_intern_table_size(),
+        }
+    _restore_defaults()
+    if "seed" in report["configs"] and "enhanced" in report["configs"]:
+        seed = report["configs"]["seed"]["total_seconds"]
+        enhanced = report["configs"]["enhanced"]["total_seconds"]
+        report["speedup"] = seed / enhanced if enhanced else None
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(full: bool = False, repeat: int = 1,
+         output: str = "BENCH_pipeline.json",
+         quiet: bool = False) -> int:
+    progress = None if quiet else \
+        (lambda line: print(line, file=sys.stderr))
+    report = run_suite(full=full, repeat=repeat, progress=progress)
+    write_report(report, output)
+    seed = report["configs"]["seed"]["total_seconds"]
+    enhanced = report["configs"]["enhanced"]["total_seconds"]
+    print("suite: %s" % report["suite"])
+    print("seed:     %7.2fs" % seed)
+    print("enhanced: %7.2fs" % enhanced)
+    if report.get("speedup"):
+        print("speedup:  %6.2fx" % report["speedup"])
+    print("wrote %s" % output)
+    return 0

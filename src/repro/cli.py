@@ -9,6 +9,8 @@
     repro cfg CODE.s --dot                # control-flow graph (Graphviz)
     repro run CODE.s --reg %o0=7 ...      # concrete emulation
     repro fig9 [--full]                   # regenerate the paper's table
+    repro bench [--full]                  # pipeline benchmark (seed vs
+                                          # enhanced), BENCH_pipeline.json
 
 Exit status of ``check``: 0 = certified safe, 1 = violations found,
 2 = error (bad input, unsupported construct).
@@ -99,6 +101,18 @@ def _build_parser() -> argparse.ArgumentParser:
                            "stack-smashing, MD5)")
     fig9.set_defaults(handler=_cmd_fig9)
 
+    bench = sub.add_parser("bench", help="benchmark the pipeline "
+                                         "(seed vs enhanced config)")
+    bench.add_argument("--full", action="store_true",
+                       help="include the heavyweight programs")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="best-of-N timing per program")
+    bench.add_argument("--output", default="BENCH_pipeline.json",
+                       help="report path (default: BENCH_pipeline.json)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress per-program progress lines")
+    bench.set_defaults(handler=_cmd_bench)
+
     return parser
 
 
@@ -138,6 +152,7 @@ def _cmd_check(args) -> int:
                 "global": result.times.global_verification,
                 "total": result.times.total,
             },
+            "prover": result.prover_stats,
             "violations": [{
                 "instruction": v.index,
                 "category": v.category,
@@ -218,6 +233,12 @@ def _cmd_run(args) -> int:
         if row:
             print("  " + "  ".join(row))
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import main as bench_main
+    return bench_main(full=args.full, repeat=args.repeat,
+                      output=args.output, quiet=args.quiet)
 
 
 def _cmd_fig9(args) -> int:

@@ -1,0 +1,117 @@
+"""Canonical forms for prover caching (paper Section 5.2.3).
+
+"The first [enhancement] is to implement caching in the theorem prover
+… represent formulas in a canonical form and use previous results
+whenever possible."  This module is that canonical form:
+
+* **atom normalization** — every atom is gcd-reduced and sign-fixed by
+  :func:`repro.logic.simplify.normalize_atom` (``2x + 5 ≥ 0`` and
+  ``4x + 10 ≥ 0`` become the same ``x + 2 ≥ 0``; equalities get a
+  positive leading coefficient; congruences fold modulo m);
+* **commutative sorting** — the children of ∧ / ∨ are sorted into a
+  deterministic order (the precomputed node hashes make the sort key
+  O(1) per child), so ``A ∧ B`` and ``B ∧ A`` coincide;
+* **De Bruijn-style alpha-renaming** — bound variables are renamed to
+  ``$canon_<depth>_<index>`` positional names, so quantified formulas
+  that differ only in the fresh variables the pipeline invented
+  (``$c17`` vs ``$c23``) coincide.
+
+:func:`canonicalize` is equivalence-preserving: the result is a real
+:class:`Formula` usable as a cache key whose ``__eq__``/``__hash__``
+are O(1)-ish thanks to interning.  :func:`canonical_conjunct` is the
+same idea specialized to the per-conjunct satisfiability cache of the
+prover's DNF loop, where most of the repeated work lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.logic.formula import (
+    And, Cong, Eq, Exists, FalseFormula, Forall, Formula, Geq, Not, Or,
+    TrueFormula, conj, disj, neg,
+)
+from repro.logic.memo import BoundedCache
+from repro.logic.simplify import normalize_atom
+
+#: Stem for canonical bound-variable names; nothing else in the
+#: pipeline generates names with this prefix (the fresh-variable stems
+#: in use are ``$v``, ``$r``, ``$c``, ``$h``, ``$q``, ``$k``).
+_BOUND_STEM = "$canon"
+
+_CANON_CACHE = BoundedCache()
+
+_RANK: Dict[type, int] = {
+    FalseFormula: 0, TrueFormula: 1, Geq: 2, Eq: 3, Cong: 4,
+    And: 5, Or: 6, Not: 7, Exists: 8, Forall: 9,
+}
+
+
+def _order_key(f: Formula) -> Tuple[int, int]:
+    # Hash is precomputed at construction, so this key is O(1).  Hash
+    # ties between distinct formulas merely make the child order
+    # input-dependent — a missed cache hit at worst, never a wrong one,
+    # because cache lookups compare canonical formulas structurally.
+    return (_RANK[f.__class__], hash(f))
+
+
+def canonicalize(f: Formula) -> Formula:
+    """An equivalence-preserving canonical form of *f*.
+
+    Alpha-variants, commutative reorderings, and gcd/sign variants of
+    the same formula map to the same (interned) result, which the
+    prover uses as its cache key."""
+    cached = _CANON_CACHE.get(f)
+    if cached is None:
+        cached = _canon(f, {}, 0)
+        _CANON_CACHE.put(f, cached)
+    return cached
+
+
+def _canon(f: Formula, env: Dict[str, str], depth: int) -> Formula:
+    if isinstance(f, (TrueFormula, FalseFormula)):
+        return f
+    if isinstance(f, (Geq, Eq)):
+        term = f.term.rename(env) if env else f.term
+        return normalize_atom(f.__class__(term))
+    if isinstance(f, Cong):
+        term = f.term.rename(env) if env else f.term
+        return normalize_atom(Cong(term, f.modulus))
+    if isinstance(f, And):
+        parts = sorted((_canon(p, env, depth) for p in f.parts),
+                       key=_order_key)
+        return conj(*parts)
+    if isinstance(f, Or):
+        parts = sorted((_canon(p, env, depth) for p in f.parts),
+                       key=_order_key)
+        return disj(*parts)
+    if isinstance(f, Not):
+        return neg(_canon(f.part, env, depth))
+    if isinstance(f, (Exists, Forall)):
+        inner = dict(env)
+        fresh = tuple("%s_%d_%d" % (_BOUND_STEM, depth, index)
+                      for index in range(len(f.variables)))
+        for old, new in zip(f.variables, fresh):
+            inner[old] = new
+        body = _canon(f.body, inner, depth + 1)
+        return f.__class__(fresh, body)
+    raise TypeError("unexpected formula %r" % (f,))
+
+
+def canonical_conjunct(atoms: Iterable[Formula]
+                       ) -> Optional[FrozenSet[Formula]]:
+    """Canonical key of one DNF conjunct (a bag of quantifier-free
+    atoms): gcd/sign-normalized, deduplicated, order-independent.
+
+    Returns ``None`` when an atom normalizes to *false* (the conjunct
+    is trivially unsatisfiable); an empty frozenset means trivially
+    satisfiable."""
+    out = set()
+    for atom in atoms:
+        normalized = normalize_atom(atom)
+        if isinstance(normalized, FalseFormula):
+            return None
+        if isinstance(normalized, TrueFormula):
+            continue
+        out.add(normalized)
+    return frozenset(out)

@@ -14,18 +14,73 @@ Atoms are normalized to three shapes over a :class:`Linear` term *e*:
 
 Smart constructors (:func:`conj`, :func:`disj`, :func:`neg` …) flatten
 and constant-fold so that formula trees stay small.
+
+Formula nodes are **hash-consed** (paper Section 5.2.3: "represent
+formulas in a canonical form and use previous results whenever
+possible"): construction consults an intern table keyed on the node
+shape, so structurally equal formulas are usually the *same object*.
+Every node stores a hash precomputed at construction (O(1) to combine
+because child hashes are already in hand), an eagerly computed atom
+count and quantifier flag (:func:`formula_size`,
+:func:`has_quantifier`), and a lazily memoized free-variable set.
+The intern table is size-bounded; eviction is safe because ``__eq__``
+falls back to a structural comparison (with a hash short-circuit), so
+pointer identity is only ever a fast path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Mapping, Sequence, Set, Tuple, Union
+from typing import (
+    Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple,
+    Union,
+)
 
 from repro.logic.terms import Linear, linear
 
+# ---------------------------------------------------------------------------
+# interning machinery
+# ---------------------------------------------------------------------------
+
+_INTERNING: List[bool] = [True]
+_INTERN_LIMIT = 1 << 17
+_INTERN_TABLE: Dict[tuple, "Formula"] = {}
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+def set_formula_interning(enabled: bool) -> None:
+    """Switch hash-consing of formula nodes on or off (benchmarks)."""
+    _INTERNING[0] = bool(enabled)
+    if not enabled:
+        _INTERN_TABLE.clear()
+
+
+def formula_interning_enabled() -> bool:
+    return _INTERNING[0]
+
+
+def formula_intern_table_size() -> int:
+    return len(_INTERN_TABLE)
+
+
+def _intern_store(key: tuple, node: "Formula") -> None:
+    table = _INTERN_TABLE
+    if len(table) >= _INTERN_LIMIT:
+        for stale in list(table.keys())[:_INTERN_LIMIT // 2]:
+            del table[stale]
+    table[key] = node
+
 
 class Formula:
-    """Base class; immutable, hashable."""
+    """Base class; immutable, hashable, interned."""
+
+    __slots__ = ()
+
+    #: Atom count (overridden per node by an instance slot or a class
+    #: attribute); see :func:`formula_size`.
+    _size = 1
+    #: Whether any quantifier occurs; see :func:`has_quantifier`.
+    _hasq = False
 
     def free_variables(self) -> FrozenSet[str]:
         raise NotImplementedError
@@ -47,25 +102,62 @@ class Formula:
         return neg(self)
 
 
-@dataclass(frozen=True)
+def formula_size(f: Formula) -> int:
+    """Number of atoms in a formula tree (O(1): precomputed)."""
+    return f._size
+
+
+def has_quantifier(f: Formula) -> bool:
+    """Whether ∃/∀ occurs anywhere in *f* (O(1): precomputed)."""
+    return f._hasq
+
+
 class TrueFormula(Formula):
+    __slots__ = ()
+    _instance: Optional["TrueFormula"] = None
+
+    def __new__(cls) -> "TrueFormula":
+        inst = cls._instance
+        if inst is None:
+            inst = object.__new__(cls)
+            cls._instance = inst
+        return inst
+
     def free_variables(self) -> FrozenSet[str]:
-        return frozenset()
+        return _EMPTY
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         return self
 
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return self
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or isinstance(other, TrueFormula)
+
+    def __hash__(self) -> int:
+        return hash((TrueFormula,))
 
     def __str__(self) -> str:
         return "true"
 
+    def __repr__(self) -> str:
+        return "TrueFormula()"
 
-@dataclass(frozen=True)
+
 class FalseFormula(Formula):
+    __slots__ = ()
+    _instance: Optional["FalseFormula"] = None
+
+    def __new__(cls) -> "FalseFormula":
+        inst = cls._instance
+        if inst is None:
+            inst = object.__new__(cls)
+            cls._instance = inst
+        return inst
+
     def free_variables(self) -> FrozenSet[str]:
-        return frozenset()
+        return _EMPTY
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         return self
@@ -73,22 +165,66 @@ class FalseFormula(Formula):
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return self
 
+    def __eq__(self, other: object) -> bool:
+        return self is other or isinstance(other, FalseFormula)
+
+    def __hash__(self) -> int:
+        return hash((FalseFormula,))
+
     def __str__(self) -> str:
         return "false"
+
+    def __repr__(self) -> str:
+        return "FalseFormula()"
 
 
 TRUE = TrueFormula()
 FALSE = FalseFormula()
 
 
-@dataclass(frozen=True)
-class Geq(Formula):
-    """``term ≥ 0``."""
+class _Atom(Formula):
+    """Shared machinery of the single-term atoms (Geq / Eq)."""
 
-    term: Linear
+    __slots__ = ("term", "_hash", "_free")
 
     def free_variables(self) -> FrozenSet[str]:
-        return frozenset(self.term.variables())
+        free = self._free
+        if free is None:
+            free = frozenset(self.term.variables())
+            self._free = free
+        return free
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return self.term == other.term
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Geq(_Atom):
+    """``term ≥ 0``."""
+
+    __slots__ = ()
+
+    def __new__(cls, term: Linear) -> "Geq":
+        key = (Geq, term)
+        if _INTERNING[0]:
+            cached = _INTERN_TABLE.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.term = term
+        self._hash = hash(key)
+        self._free = None
+        if _INTERNING[0]:
+            _intern_store(key, self)
+        return self
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         return _fold_geq(self.term.substitute(var, replacement))
@@ -99,15 +235,28 @@ class Geq(Formula):
     def __str__(self) -> str:
         return "%s >= 0" % (self.term,)
 
+    def __repr__(self) -> str:
+        return "Geq(term=%r)" % (self.term,)
 
-@dataclass(frozen=True)
-class Eq(Formula):
+
+class Eq(_Atom):
     """``term = 0``."""
 
-    term: Linear
+    __slots__ = ()
 
-    def free_variables(self) -> FrozenSet[str]:
-        return frozenset(self.term.variables())
+    def __new__(cls, term: Linear) -> "Eq":
+        key = (Eq, term)
+        if _INTERNING[0]:
+            cached = _INTERN_TABLE.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.term = term
+        self._hash = hash(key)
+        self._free = None
+        if _INTERNING[0]:
+            _intern_store(key, self)
+        return self
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         return _fold_eq(self.term.substitute(var, replacement))
@@ -118,20 +267,38 @@ class Eq(Formula):
     def __str__(self) -> str:
         return "%s = 0" % (self.term,)
 
+    def __repr__(self) -> str:
+        return "Eq(term=%r)" % (self.term,)
 
-@dataclass(frozen=True)
+
 class Cong(Formula):
     """``term ≡ 0 (mod modulus)``; used for alignment conditions."""
 
-    term: Linear
-    modulus: int
+    __slots__ = ("term", "modulus", "_hash", "_free")
 
-    def __post_init__(self) -> None:
-        if self.modulus < 2:
+    def __new__(cls, term: Linear, modulus: int) -> "Cong":
+        if modulus < 2:
             raise ValueError("congruence modulus must be >= 2")
+        key = (Cong, term, modulus)
+        if _INTERNING[0]:
+            cached = _INTERN_TABLE.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.term = term
+        self.modulus = modulus
+        self._hash = hash(key)
+        self._free = None
+        if _INTERNING[0]:
+            _intern_store(key, self)
+        return self
 
     def free_variables(self) -> FrozenSet[str]:
-        return frozenset(self.term.variables())
+        free = self._free
+        if free is None:
+            free = frozenset(self.term.variables())
+            self._free = free
+        return free
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         return _fold_cong(self.term.substitute(var, replacement),
@@ -140,19 +307,81 @@ class Cong(Formula):
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return _fold_cong(self.term.rename(mapping), self.modulus)
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Cong:
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return self.modulus == other.modulus and self.term == other.term
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return "%s ≡ 0 (mod %d)" % (self.term, self.modulus)
 
+    def __repr__(self) -> str:
+        return "Cong(term=%r, modulus=%d)" % (self.term, self.modulus)
 
-@dataclass(frozen=True)
-class And(Formula):
-    parts: Tuple[Formula, ...]
+
+class _Junction(Formula):
+    """Shared machinery of the n-ary connectives (And / Or)."""
+
+    __slots__ = ("parts", "_hash", "_free", "_size", "_hasq")
 
     def free_variables(self) -> FrozenSet[str]:
-        out: Set[str] = set()
-        for p in self.parts:
-            out |= p.free_variables()
-        return frozenset(out)
+        free = self._free
+        if free is None:
+            out = set()
+            for p in self.parts:
+                out |= p.free_variables()
+            free = frozenset(out)
+            self._free = free
+        return free
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def _new_junction(cls, parts: Iterable[Formula]) -> "_Junction":
+    parts = tuple(parts)
+    key = (cls, parts)
+    if _INTERNING[0]:
+        cached = _INTERN_TABLE.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+    self = object.__new__(cls)
+    self.parts = parts
+    self._hash = hash(key)
+    self._free = None
+    size = 0
+    hasq = False
+    for p in parts:
+        size += p._size
+        hasq = hasq or p._hasq
+    self._size = size
+    self._hasq = hasq
+    if _INTERNING[0]:
+        _intern_store(key, self)
+    return self
+
+
+class And(_Junction):
+    __slots__ = ()
+
+    def __new__(cls, parts: Tuple[Formula, ...]) -> "And":
+        return _new_junction(cls, parts)  # type: ignore[return-value]
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         return conj(*(p.substitute(var, replacement) for p in self.parts))
@@ -163,16 +392,15 @@ class And(Formula):
     def __str__(self) -> str:
         return "(%s)" % " ∧ ".join(str(p) for p in self.parts)
 
+    def __repr__(self) -> str:
+        return "And(parts=%r)" % (self.parts,)
 
-@dataclass(frozen=True)
-class Or(Formula):
-    parts: Tuple[Formula, ...]
 
-    def free_variables(self) -> FrozenSet[str]:
-        out: Set[str] = set()
-        for p in self.parts:
-            out |= p.free_variables()
-        return frozenset(out)
+class Or(_Junction):
+    __slots__ = ()
+
+    def __new__(cls, parts: Tuple[Formula, ...]) -> "Or":
+        return _new_junction(cls, parts)  # type: ignore[return-value]
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         return disj(*(p.substitute(var, replacement) for p in self.parts))
@@ -183,10 +411,27 @@ class Or(Formula):
     def __str__(self) -> str:
         return "(%s)" % " ∨ ".join(str(p) for p in self.parts)
 
+    def __repr__(self) -> str:
+        return "Or(parts=%r)" % (self.parts,)
 
-@dataclass(frozen=True)
+
 class Not(Formula):
-    part: Formula
+    __slots__ = ("part", "_hash", "_size", "_hasq")
+
+    def __new__(cls, part: Formula) -> "Not":
+        key = (Not, part)
+        if _INTERNING[0]:
+            cached = _INTERN_TABLE.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.part = part
+        self._hash = hash(key)
+        self._size = part._size
+        self._hasq = part._hasq
+        if _INTERNING[0]:
+            _intern_store(key, self)
+        return self
 
     def free_variables(self) -> FrozenSet[str]:
         return self.part.free_variables()
@@ -197,17 +442,78 @@ class Not(Formula):
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return neg(self.part.rename(mapping))
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Not:
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return self.part == other.part
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return "¬%s" % (self.part,)
 
+    def __repr__(self) -> str:
+        return "Not(part=%r)" % (self.part,)
 
-@dataclass(frozen=True)
-class Exists(Formula):
-    variables: Tuple[str, ...]
-    body: Formula
+
+class _Quantified(Formula):
+    """Shared machinery of Exists / Forall."""
+
+    __slots__ = ("variables", "body", "_hash", "_free", "_size")
+
+    _hasq = True
 
     def free_variables(self) -> FrozenSet[str]:
-        return self.body.free_variables() - frozenset(self.variables)
+        free = self._free
+        if free is None:
+            free = self.body.free_variables() - frozenset(self.variables)
+            self._free = free
+        return free
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return (self.variables == other.variables
+                and self.body == other.body)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def _new_quantified(cls, variables: Sequence[str],
+                    body: Formula) -> "_Quantified":
+    variables = tuple(variables)
+    key = (cls, variables, body)
+    if _INTERNING[0]:
+        cached = _INTERN_TABLE.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+    self = object.__new__(cls)
+    self.variables = variables
+    self.body = body
+    self._hash = hash(key)
+    self._free = None
+    self._size = body._size
+    if _INTERNING[0]:
+        _intern_store(key, self)
+    return self
+
+
+class Exists(_Quantified):
+    __slots__ = ()
+
+    def __new__(cls, variables: Tuple[str, ...],
+                body: Formula) -> "Exists":
+        return _new_quantified(cls, variables, body)  # type: ignore
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         if var in self.variables:
@@ -229,14 +535,17 @@ class Exists(Formula):
     def __str__(self) -> str:
         return "∃%s.%s" % (",".join(self.variables), self.body)
 
+    def __repr__(self) -> str:
+        return "Exists(variables=%r, body=%r)" % (self.variables,
+                                                  self.body)
 
-@dataclass(frozen=True)
-class Forall(Formula):
-    variables: Tuple[str, ...]
-    body: Formula
 
-    def free_variables(self) -> FrozenSet[str]:
-        return self.body.free_variables() - frozenset(self.variables)
+class Forall(_Quantified):
+    __slots__ = ()
+
+    def __new__(cls, variables: Tuple[str, ...],
+                body: Formula) -> "Forall":
+        return _new_quantified(cls, variables, body)  # type: ignore
 
     def substitute(self, var: str, replacement: Linear) -> Formula:
         if var in self.variables:
@@ -257,6 +566,10 @@ class Forall(Formula):
 
     def __str__(self) -> str:
         return "∀%s.%s" % (",".join(self.variables), self.body)
+
+    def __repr__(self) -> str:
+        return "Forall(variables=%r, body=%r)" % (self.variables,
+                                                  self.body)
 
 
 # ---------------------------------------------------------------------------

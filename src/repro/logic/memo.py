@@ -1,0 +1,110 @@
+"""Size-bounded memoization caches for the logic layer.
+
+The paper's Section 5.2.3 lists "caching in the theorem prover" as the
+key performance enhancement; the hash-consed formula representation
+(:mod:`repro.logic.terms`, :mod:`repro.logic.formula`) makes node
+hashing O(1), which in turn makes memoizing the pure structural
+transformations (``to_nnf``, ``to_dnf``, ``simplify``,
+``canonicalize``) nearly free.  Every cache in this module is
+
+* **explicitly size-bounded** — when a cache reaches its limit the
+  oldest half of its entries is evicted (dicts preserve insertion
+  order), so long-running multi-program services cannot grow without
+  bound; and
+* **centrally registered** — :func:`clear_all_caches` resets every
+  cache, which the benchmark harness uses to measure cold-start
+  behavior and tests use for isolation.
+
+Memoization is globally switchable (:func:`set_memoization`) so the
+benchmark harness can measure the un-enhanced "seed" configuration;
+``CheckerOptions.enable_formula_memoization`` drives the switch per
+checker run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List
+
+#: Default entry limit per cache.  Entries are small (a key node and a
+#: result node, both shared through interning), so this is a few MB at
+#: the worst.
+DEFAULT_LIMIT = 1 << 16
+
+_ENABLED: List[bool] = [True]
+_REGISTRY: List["BoundedCache"] = []
+
+
+def set_memoization(enabled: bool) -> None:
+    """Globally enable or disable the formula-layer memo caches.
+
+    Disabling also clears them, so a subsequent re-enable starts cold
+    (the benchmark harness relies on this for fair seed-vs-enhanced
+    comparisons).
+    """
+    _ENABLED[0] = bool(enabled)
+    if not enabled:
+        clear_all_caches()
+
+
+def memoization_enabled() -> bool:
+    return _ENABLED[0]
+
+
+def clear_all_caches() -> None:
+    """Empty every registered cache (interning tables are separate)."""
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+class BoundedCache:
+    """A dict-backed memo cache that evicts its oldest half when full.
+
+    ``get`` returns None both for "absent" and for a stored None, which
+    is fine for our value domains (formulas, tuples, bools are the only
+    stored values — never None).  Lookups honor the global memoization
+    switch so callers can stay branch-free.
+    """
+
+    __slots__ = ("_data", "_limit", "_gated", "hits", "misses")
+
+    def __init__(self, limit: int = DEFAULT_LIMIT, gated: bool = True,
+                 registered: bool = True):
+        self._data: Dict[Hashable, Any] = {}
+        self._limit = limit
+        #: Gated caches honor the global memoization switch; ungated
+        #: ones (the prover's result caches) are controlled by their
+        #: own Prover/CheckerOptions flags instead.
+        self._gated = gated
+        self.hits = 0
+        self.misses = 0
+        #: Per-instance caches (one per Prover) opt out of the global
+        #: registry so short-lived provers don't accumulate there.
+        if registered:
+            _REGISTRY.append(self)
+
+    def get(self, key: Hashable) -> Any:
+        if self._gated and not _ENABLED[0]:
+            return None
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self._gated and not _ENABLED[0]:
+            return
+        data = self._data
+        if len(data) >= self._limit:
+            # Evict the oldest half; insertion order is preserved by
+            # dict, so this keeps the warm tail.
+            for stale in list(data.keys())[:self._limit // 2]:
+                del data[stale]
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)

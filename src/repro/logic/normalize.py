@@ -23,9 +23,15 @@ from repro.logic.formula import (
     And, Cong, Eq, Exists, FALSE, FalseFormula, Forall, Formula, Geq, Not,
     Or, TRUE, TrueFormula, conj, disj,
 )
+from repro.logic.memo import BoundedCache
 
 #: Guard against exponential DNF blow-up.
 MAX_DNF_CONJUNCTS = 50_000
+
+#: Memo caches keyed on interned nodes (hashing is O(1)); bounded, and
+#: switchable through :func:`repro.logic.memo.set_memoization`.
+_NNF_CACHE = BoundedCache()
+_DNF_CACHE = BoundedCache(1 << 12)
 
 
 def to_nnf(f: Formula) -> Formula:
@@ -34,6 +40,17 @@ def to_nnf(f: Formula) -> Formula:
 
 
 def _nnf(f: Formula, negate: bool) -> Formula:
+    if isinstance(f, (And, Or, Not, Exists, Forall)):
+        key = (f, negate)
+        cached = _NNF_CACHE.get(key)
+        if cached is None:
+            cached = _nnf_uncached(f, negate)
+            _NNF_CACHE.put(key, cached)
+        return cached
+    return _nnf_uncached(f, negate)
+
+
+def _nnf_uncached(f: Formula, negate: bool) -> Formula:
     if isinstance(f, TrueFormula):
         return FALSE if negate else TRUE
     if isinstance(f, FalseFormula):
@@ -78,8 +95,20 @@ def to_dnf(f: Formula) -> List[Conjunct]:
     """Disjunctive normal form of a quantifier-free NNF formula.
 
     Returns a list of conjuncts; the empty list means *false*, and a
-    conjunct with no atoms means *true*.
+    conjunct with no atoms means *true*.  Results for composite nodes
+    are memoized and shared — callers must treat the returned list as
+    immutable (every caller in the tree only iterates it).
     """
+    if isinstance(f, (And, Or)):
+        cached = _DNF_CACHE.get(f)
+        if cached is None:
+            cached = _dnf_uncached(f)
+            _DNF_CACHE.put(f, cached)
+        return cached
+    return _dnf_uncached(f)
+
+
+def _dnf_uncached(f: Formula) -> List[Conjunct]:
     if isinstance(f, TrueFormula):
         return [()]
     if isinstance(f, FalseFormula):

@@ -7,22 +7,35 @@ is that prover: formulas go through NNF → quantifier elimination
 (exact integer projection, :mod:`repro.logic.omega`) → DNF → per-
 conjunction Omega-test satisfiability.
 
-A result cache keyed on the formula is built in — the paper lists
-"caching in the theorem prover … represent formulas in a canonical form
-and use previous results whenever possible" as a planned enhancement
-(Section 5.2.3); it is implemented here and can be disabled for the
-ablation benchmarks.
+Result caching follows the paper's Section 5.2.3 enhancement
+("caching in the theorem prover … represent formulas in a canonical
+form and use previous results whenever possible") at three levels:
+
+1. a **raw cache** keyed on the query formula itself (with hash-consed
+   nodes the lookup is a pointer-identity dict probe);
+2. a **canonical cache** keyed on :func:`repro.logic.canonical.
+   canonicalize` — alpha-variants, commutative reorderings, and
+   gcd/sign variants of a previously decided query hit here;
+3. a **conjunct cache** keyed on the canonicalized atom set of each
+   DNF conjunct — the same conjunctions reappear across hundreds of
+   queries during induction iteration, and each hit skips an entire
+   Omega-test (or difference-solver) run.
+
+Each level can be disabled independently for the ablation benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+import time
+from dataclasses import dataclass, fields
+from typing import List, Optional
 
 from repro.errors import ProverError
+from repro.logic.canonical import canonical_conjunct, canonicalize
 from repro.logic.formula import (
     And, Cong, Eq, Exists, FalseFormula, Forall, Formula, Geq, Not, Or,
     TrueFormula, conj, disj, neg, )
+from repro.logic.memo import BoundedCache
 from repro.logic.normalize import to_dnf, to_nnf
 from repro.logic.omega import (
     Constraints, constraints_to_formula, project, satisfiable,
@@ -35,25 +48,84 @@ class ProverStats:
 
     validity_queries: int = 0
     satisfiability_queries: int = 0
+    #: Raw-cache hits (exact formula already decided).
     cache_hits: int = 0
+    #: Canonical-cache hits (an alpha/reordering/gcd variant of the
+    #: query was already decided).
+    canonical_cache_hits: int = 0
+    #: DNF conjuncts examined, and how many were answered from the
+    #: per-conjunct satisfiability cache.
+    conjunct_queries: int = 0
+    conjunct_cache_hits: int = 0
     difference_fast_path_hits: int = 0
+    #: Queries answered conservatively ("may be satisfiable") because
+    #: the decision procedure hit a resource limit (DNF blow-up or
+    #: elimination step cap).
+    resource_fallbacks: int = 0
+    #: Wall-clock seconds spent computing canonical forms.
+    canonicalization_seconds: float = 0.0
 
     def reset(self) -> None:
-        self.validity_queries = 0
-        self.satisfiability_queries = 0
-        self.cache_hits = 0
-        self.difference_fast_path_hits = 0
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of satisfiability queries answered by the raw or
+        canonical cache (0.0 when no queries ran)."""
+        if not self.satisfiability_queries:
+            return 0.0
+        return ((self.cache_hits + self.canonical_cache_hits)
+                / self.satisfiability_queries)
+
+    @property
+    def conjunct_hit_rate(self) -> float:
+        if not self.conjunct_queries:
+            return 0.0
+        return self.conjunct_cache_hits / self.conjunct_queries
+
+    def as_dict(self) -> dict:
+        out = {spec.name: getattr(self, spec.name)
+               for spec in fields(self)}
+        out["cache_hit_rate"] = self.cache_hit_rate
+        out["conjunct_hit_rate"] = self.conjunct_hit_rate
+        return out
+
+
+#: Entry limits for the per-prover result caches.
+_RESULT_CACHE_LIMIT = 1 << 16
 
 
 class Prover:
     """Decision procedure for Presburger formulas with ∃/∀."""
 
     def __init__(self, enable_cache: bool = True,
-                 enable_difference_fast_path: bool = True):
+                 enable_difference_fast_path: bool = True,
+                 enable_canonical_cache: bool = True):
         self.enable_cache = enable_cache
         self.enable_difference_fast_path = enable_difference_fast_path
+        #: Canonical-form caching (whole-formula and per-conjunct);
+        #: independent of the raw cache so the ablation benchmarks can
+        #: measure each level.
+        self.enable_canonical_cache = enable_canonical_cache
         self.stats = ProverStats()
-        self._sat_cache: Dict[Formula, bool] = {}
+        self._sat_cache = BoundedCache(_RESULT_CACHE_LIMIT, gated=False,
+                                       registered=False)
+        self._canonical_cache = BoundedCache(_RESULT_CACHE_LIMIT,
+                                             gated=False,
+                                             registered=False)
+        self._conjunct_cache = BoundedCache(_RESULT_CACHE_LIMIT,
+                                            gated=False,
+                                            registered=False)
+
+    def reset(self) -> None:
+        """Clear all result caches and statistics — lets a shared
+        prover (e.g. the module-level :data:`DEFAULT_PROVER`) be reused
+        across checks without leaking state between them."""
+        self._sat_cache.clear()
+        self._canonical_cache.clear()
+        self._conjunct_cache.clear()
+        self.stats.reset()
 
     # -- public queries ------------------------------------------------------
 
@@ -66,15 +138,31 @@ class Prover:
             if cached is not None:
                 self.stats.cache_hits += 1
                 return cached
+        canonical: Optional[Formula] = None
+        if self.enable_canonical_cache:
+            t0 = time.perf_counter()
+            canonical = canonicalize(f)
+            self.stats.canonicalization_seconds += \
+                time.perf_counter() - t0
+            cached = self._canonical_cache.get(canonical)
+            if cached is not None:
+                self.stats.canonical_cache_hits += 1
+                if self.enable_cache:
+                    self._sat_cache.put(f, cached)
+                return cached
         try:
             result = self._decide_satisfiable(f)
         except ProverError:
             # Resource blow-up (DNF or elimination limits): answer
             # conservatively — "may be satisfiable" makes every
-            # validity query fail safe.
+            # validity query fail safe.  Recorded (not silent) and
+            # never cached: the fallback is not a semantic result.
+            self.stats.resource_fallbacks += 1
             return True
         if self.enable_cache:
-            self._sat_cache[f] = result
+            self._sat_cache.put(f, result)
+        if canonical is not None:
+            self._canonical_cache.put(canonical, result)
         return result
 
     def is_valid(self, f: Formula) -> bool:
@@ -99,20 +187,39 @@ class Prover:
         if isinstance(qf, FalseFormula):
             return False
         for atoms in to_dnf(qf):
-            if self.enable_difference_fast_path:
-                # Section 5.2.3 enhancement: difference systems are
-                # decided by negative-cycle detection without touching
-                # the Omega machinery.
-                from repro.logic.diffsolver import try_satisfiable
-                fast = try_satisfiable(atoms)
-                if fast is not None:
-                    self.stats.difference_fast_path_hits += 1
-                    if fast:
+            if self.enable_canonical_cache:
+                self.stats.conjunct_queries += 1
+                key = canonical_conjunct(atoms)
+                if key is None:
+                    continue  # an atom folded to false: unsat conjunct
+                if not key:
+                    return True  # every atom folded to true
+                cached = self._conjunct_cache.get(key)
+                if cached is not None:
+                    self.stats.conjunct_cache_hits += 1
+                    if cached:
                         return True
                     continue
-            if satisfiable(Constraints.from_atoms(atoms)):
+                result = self._conjunct_satisfiable(tuple(key))
+                self._conjunct_cache.put(key, result)
+                if result:
+                    return True
+            elif self._conjunct_satisfiable(atoms):
                 return True
         return False
+
+    def _conjunct_satisfiable(self, atoms) -> bool:
+        """Satisfiability of one conjunction of quantifier-free atoms."""
+        if self.enable_difference_fast_path:
+            # Section 5.2.3 enhancement: difference systems are
+            # decided by negative-cycle detection without touching
+            # the Omega machinery.
+            from repro.logic.diffsolver import try_satisfiable
+            fast = try_satisfiable(atoms)
+            if fast is not None:
+                self.stats.difference_fast_path_hits += 1
+                return fast
+        return satisfiable(Constraints.from_atoms(atoms))
 
     def eliminate_quantifiers(self, f: Formula) -> Formula:
         """Return an equivalent quantifier-free formula."""
@@ -143,7 +250,8 @@ class Prover:
 
 
 #: A module-level default prover for casual use; analyses construct
-#: their own to get isolated statistics.
+#: their own to get isolated statistics.  ``DEFAULT_PROVER.reset()``
+#: clears its caches and counters between unrelated uses.
 DEFAULT_PROVER = Prover()
 
 

@@ -21,13 +21,30 @@ from repro.logic.formula import (
     And, Cong, Eq, Exists, FALSE, FalseFormula, Forall, Formula, Geq, Not,
     Or, TRUE, TrueFormula, conj, disj,
 )
+from repro.logic.memo import BoundedCache
 from repro.logic.terms import Linear
+
+#: Memo cache keyed on interned nodes; bounded, switchable through
+#: :func:`repro.logic.memo.set_memoization`.
+_SIMPLIFY_CACHE = BoundedCache()
 
 
 def simplify(f: Formula) -> Formula:
-    """Bottom-up syntactic simplification; equivalence-preserving."""
+    """Bottom-up syntactic simplification; equivalence-preserving.
+
+    Results for composite nodes are memoized keyed on the interned node
+    — the verification engine re-simplifies the same junction formulas
+    constantly (every sweep, every induction run)."""
     if isinstance(f, (TrueFormula, FalseFormula, Geq, Eq, Cong)):
-        return _normalize_atom(f)
+        return normalize_atom(f)
+    cached = _SIMPLIFY_CACHE.get(f)
+    if cached is None:
+        cached = _simplify_uncached(f)
+        _SIMPLIFY_CACHE.put(f, cached)
+    return cached
+
+
+def _simplify_uncached(f: Formula) -> Formula:
     if isinstance(f, Not):
         return ~simplify(f.part)
     if isinstance(f, And):
@@ -45,7 +62,7 @@ def simplify(f: Formula) -> Formula:
     raise TypeError("unexpected formula %r" % (f,))
 
 
-def _normalize_atom(f: Formula) -> Formula:
+def normalize_atom(f: Formula) -> Formula:
     """gcd-normalize a single atom, folding to true/false when ground."""
     if isinstance(f, Geq):
         term = f.term
@@ -82,7 +99,7 @@ def _normalize_atom(f: Formula) -> Formula:
 
 
 def _linear_key(term: Linear) -> Tuple[Tuple[str, int], ...]:
-    return tuple(sorted(term.coefficients.items()))
+    return term.sorted_items()
 
 
 def _simplify_and(parts: List[Formula]) -> Formula:

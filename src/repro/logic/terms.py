@@ -9,29 +9,82 @@ Terms are immutable and hashable; arithmetic returns new terms.  This is
 the carrier for the Presburger formulas in :mod:`repro.logic.formula`,
 mirroring the affine constraints of the Omega library the paper builds
 its theorem prover on.
+
+Terms are **hash-consed**: construction goes through an intern table
+keyed on the canonical ``(sorted coefficient items, constant)`` tuple,
+so structurally equal terms are usually the *same object* — equality
+short-circuits on identity and hashing returns a value precomputed at
+construction.  This is the paper's "represent formulas in a canonical
+form" enhancement (Section 5.2.3) pushed down to the leaves.  The
+intern table is size-bounded; eviction is safe because ``__eq__`` falls
+back to a structural comparison, so identity is only ever a fast path.
 """
 
 from __future__ import annotations
 
 from math import gcd
-from typing import Dict, Iterable, Mapping, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+#: Canonical identity of a term: sorted coefficient items + constant.
+TermKey = Tuple[Tuple[Tuple[str, int], ...], int]
+
+_INTERNING: List[bool] = [True]
+_INTERN_LIMIT = 1 << 17
+_INTERN_TABLE: Dict[TermKey, "Linear"] = {}
+
+
+def set_term_interning(enabled: bool) -> None:
+    """Switch hash-consing of terms on or off (benchmark baselines)."""
+    _INTERNING[0] = bool(enabled)
+    if not enabled:
+        _INTERN_TABLE.clear()
+
+
+def term_interning_enabled() -> bool:
+    return _INTERNING[0]
+
+
+def term_intern_table_size() -> int:
+    return len(_INTERN_TABLE)
 
 
 class Linear:
     """An affine integer term: coefficients plus a constant."""
 
-    __slots__ = ("_coeffs", "_const", "_hash")
+    __slots__ = ("_coeffs", "_const", "_key", "_hash")
 
-    def __init__(self, coeffs: Union[Mapping[str, int], None] = None,
-                 const: int = 0):
-        items = {}
+    def __new__(cls, coeffs: Union[Mapping[str, int], None] = None,
+                const: int = 0) -> "Linear":
+        items: Dict[str, int] = {}
         if coeffs:
             for var, coeff in coeffs.items():
                 if coeff:
                     items[var] = int(coeff)
-        self._coeffs: Dict[str, int] = items
-        self._const = int(const)
-        self._hash: int = -1  # computed lazily; terms are immutable
+        const = int(const)
+        if _INTERNING[0]:
+            key: Optional[TermKey] = (tuple(sorted(items.items())), const)
+            table = _INTERN_TABLE
+            cached = table.get(key)
+            if cached is not None:
+                return cached
+        else:
+            key = None
+        self = object.__new__(cls)
+        self._coeffs = items
+        self._const = const
+        self._key = key
+        # Hash is precomputed when interned (the key tuple is already in
+        # hand); lazily derived otherwise.  -1 marks "not yet computed".
+        if key is not None:
+            value = hash(key)
+            self._hash = value if value != -1 else -2
+            if len(table) >= _INTERN_LIMIT:
+                for stale in list(table.keys())[:_INTERN_LIMIT // 2]:
+                    del table[stale]
+            table[key] = self
+        else:
+            self._hash = -1
+        return self
 
     # -- constructors ------------------------------------------------------
 
@@ -62,6 +115,18 @@ class Linear:
     @property
     def is_constant(self) -> bool:
         return not self._coeffs
+
+    def key(self) -> TermKey:
+        """The canonical ``(sorted items, constant)`` identity tuple."""
+        key = self._key
+        if key is None:
+            key = (tuple(sorted(self._coeffs.items())), self._const)
+            self._key = key
+        return key
+
+    def sorted_items(self) -> Tuple[Tuple[str, int], ...]:
+        """Coefficient items in canonical (sorted-variable) order."""
+        return self.key()[0]
 
     def content(self) -> int:
         """gcd of the variable coefficients (0 for constant terms)."""
@@ -97,6 +162,8 @@ class Linear:
     def scale(self, factor: int) -> "Linear":
         if factor == 0:
             return Linear({}, 0)
+        if factor == 1:
+            return self
         return Linear({v: c * factor for v, c in self._coeffs.items()},
                       self._const * factor)
 
@@ -151,10 +218,12 @@ class Linear:
     # -- equality / rendering ---------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Linear):
             return NotImplemented
-        return (self._coeffs == other._coeffs
-                and self._const == other._const)
+        return (self._const == other._const
+                and self._coeffs == other._coeffs)
 
     def __ne__(self, other: object) -> bool:
         eq = self.__eq__(other)
@@ -162,7 +231,7 @@ class Linear:
 
     def __hash__(self) -> int:
         if self._hash == -1:
-            value = hash((frozenset(self._coeffs.items()), self._const))
+            value = hash(self.key())
             self._hash = value if value != -1 else -2
         return self._hash
 

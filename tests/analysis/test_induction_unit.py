@@ -5,7 +5,8 @@ import pytest
 
 from repro import parse_spec
 from repro.analysis.annotate import annotate
-from repro.analysis.induction import InductionIteration, _atom_count
+from repro.analysis.induction import InductionIteration
+from repro.logic.formula import formula_size
 from repro.analysis.options import CheckerOptions
 from repro.analysis.prepare import prepare
 from repro.analysis.propagate import propagate
@@ -110,7 +111,7 @@ class TestCandidates:
 
     def test_atom_count(self):
         f = conj(ge(v("a"), 0), disj(ge(v("b"), 0), ge(v("c"), 0)))
-        assert _atom_count(f) == 3
+        assert formula_size(f) == 3
 
 
 class TestRun:
