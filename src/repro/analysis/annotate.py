@@ -17,6 +17,9 @@ The default safety conditions (paper Section 2) are always attached:
 array out-of-bounds, address alignment, uses of uninitialized values,
 null-pointer dereferences, and stack-manipulation violations; the
 host's access policy contributes the permission-based conditions.
+
+Dispatch is per IR op (:mod:`repro.ir.ops`); the stack-discipline check
+is parametrized by the CFG's :class:`~repro.ir.arch.ArchInfo`.
 """
 
 from __future__ import annotations
@@ -24,13 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Union
 
-from repro.cfg.graph import CFG, Node
+from repro.cfg.graph import CFG, Node, NodeRole
+from repro.ir.ops import (
+    Assign, BinOp, ConstOp, Load, MachineOp, OpVisitor, RegOp, Store,
+)
 from repro.logic.formula import (
     Formula, TRUE, congruent, ge, lt, ne,
 )
 from repro.logic.terms import Linear
 from repro.policy.model import HostSpec
-from repro.sparc.isa import Imm, Instruction, Kind, Reg
 from repro.typesys.access import AccessSet
 from repro.typesys.locations import LocationTable
 from repro.typesys.store import AbstractStore
@@ -108,7 +113,7 @@ def annotate(cfg: CFG, stores: Dict[int, AbstractStore], spec: HostSpec,
     return out
 
 
-class _Annotator:
+class _Annotator(OpVisitor):
     def __init__(self, cfg: CFG, stores: Dict[int, AbstractStore],
                  spec: HostSpec, locations: LocationTable):
         self.cfg = cfg
@@ -124,68 +129,77 @@ class _Annotator:
         assert inst is not None
         ann = NodeAnnotation(uid=node.uid, index=node.index,
                              usage=Usage.UNKNOWN)
-        if inst.kind is Kind.ALU:
-            self._annotate_alu(ann, inst, store)
-        elif inst.kind is Kind.SETHI:
-            ann.usage = Usage.SETHI
-        elif inst.kind in (Kind.LOAD, Kind.STORE):
-            self._annotate_memory(ann, inst, store)
-        elif inst.kind is Kind.BRANCH:
-            ann.usage = Usage.BRANCH
-        elif inst.kind is Kind.CALL:
-            self._annotate_call(ann, node, inst, store)
-        elif inst.kind is Kind.JMPL:
-            self._annotate_return(ann, node, inst, store)
+        self.visit(inst, ann, node, store)
         self._check_stack_discipline(ann, inst)
         return ann
 
     # -- ALU ------------------------------------------------------------------
 
-    def _annotate_alu(self, ann: NodeAnnotation, inst: Instruction,
-                      store: AbstractStore) -> None:
-        usage = classify_alu(inst, store)
+    def visit_assign(self, op: Assign, ann: NodeAnnotation, node: Node,
+                     store: AbstractStore) -> None:
+        usage = classify_alu(op, store)
         ann.usage = usage
-        rs1_ts = store[inst.rs1.name]
-        op2_ts = operand_typestate(inst.op2, store)
+        ts1 = operand_typestate(op.src1, store)
+        ts2 = operand_typestate(op.src2, store)
         if usage in (Usage.SCALAR_OP, Usage.COMPARE, Usage.MOVE,
                      Usage.ARRAY_INDEX_CALC):
-            self._require_operable(ann, inst.rs1.name, rs1_ts)
-            if isinstance(inst.op2, Reg):
-                self._require_operable(ann, inst.op2.name, op2_ts)
+            if isinstance(op.src1, RegOp):
+                self._require_operable(ann, op.src1.name, ts1)
+            if isinstance(op.src2, RegOp):
+                self._require_operable(ann, op.src2.name, ts2)
         if usage is Usage.ARRAY_INDEX_CALC:
-            pointer_ts, index = (rs1_ts, inst.op2) \
-                if isinstance(rs1_ts.type, (ArrayBaseType, ArrayMidType)) \
-                else (op2_ts, inst.rs1)
+            pointer_ts, index = (ts1, op.src2) \
+                if isinstance(ts1.type, (ArrayBaseType, ArrayMidType)) \
+                else (ts2, op.src1)
             atype = pointer_ts.type
             assert isinstance(atype, (ArrayBaseType, ArrayMidType))
             ann.assertions.append(
                 "%s holds a pointer to an array %s"
-                % (inst.rs1.name, atype))
-            base_name = inst.rs1.name \
-                if pointer_ts is rs1_ts else inst.op2.name
+                % (op.src1, atype))
+            base = op.src1 if pointer_ts is ts1 else op.src2
+            assert isinstance(base, RegOp)
             ann.global_.append(GlobalPredicate(
-                formula=ne(Linear.var(base_name), 0),
-                description="%s != NULL" % base_name,
+                formula=ne(Linear.var(base.name), 0),
+                description="%s != NULL" % base.name,
                 category=CAT_NULL))
             # Only base pointers support bounds reasoning on the offset;
             # mid-pointer displacement is checked at the access.
             if isinstance(atype, ArrayBaseType):
                 self._bounds_predicates(ann, atype, _operand_term(index))
 
+    # -- other register writers ------------------------------------------------
+
+    def visit_set_const(self, op, ann: NodeAnnotation, node: Node,
+                        store: AbstractStore) -> None:
+        ann.usage = Usage.SETHI
+
+    def visit_nop(self, op, ann: NodeAnnotation, node: Node,
+                  store: AbstractStore) -> None:
+        ann.usage = Usage.SETHI
+
     # -- memory ---------------------------------------------------------------
 
-    def _annotate_memory(self, ann: NodeAnnotation, inst: Instruction,
+    def visit_load(self, op: Load, ann: NodeAnnotation, node: Node,
+                   store: AbstractStore) -> None:
+        self._annotate_memory(ann, op, store)
+
+    def visit_store(self, op: Store, ann: NodeAnnotation, node: Node,
+                    store: AbstractStore) -> None:
+        self._annotate_memory(ann, op, store)
+
+    def _annotate_memory(self, ann: NodeAnnotation,
+                         op: Union[Load, Store],
                          store: AbstractStore) -> None:
-        resolution = resolve_memory(inst, store, self.locations)
+        resolution = resolve_memory(op, store, self.locations)
         ann.usage = resolution.usage
-        is_store = inst.kind is Kind.STORE
+        is_store = isinstance(op, Store)
         if resolution.usage is Usage.UNKNOWN:
             ann.local.append(LocalPredicate(
                 description="memory access resolves to known abstract "
                             "locations (%s)" % resolution.problem,
                 category=CAT_RESOLVE, holds=False))
             return
-        base = inst.mem.base.name
+        base = op.addr.base
         base_ts = resolution.base_typestate
         # Local: followable + operable pointer, F non-empty, r/w on the
         # target locations (paper Table 2).
@@ -196,7 +210,7 @@ class _Annotator:
             description="operable(%s)" % base,
             category=CAT_UNINIT, holds=base_ts.operable))
         ann.local.append(LocalPredicate(
-            description="F != {} for %s" % inst.mem,
+            description="F != {} for %s" % op.addr,
             category=CAT_RESOLVE, holds=bool(resolution.targets)))
         for target in resolution.targets:
             location = self.locations.get(target)
@@ -209,7 +223,7 @@ class _Annotator:
                 ann.local.append(LocalPredicate(
                     description="writable(%s)" % target,
                     category=CAT_PERM, holds=location.writable))
-                self._require_assignable(ann, inst, store, target)
+                self._require_assignable(ann, op, store, target)
             else:
                 ann.local.append(LocalPredicate(
                     description="readable(%s)" % target,
@@ -218,7 +232,7 @@ class _Annotator:
         ann.global_.append(GlobalPredicate(
             formula=ne(Linear.var(base), 0),
             description="%s != NULL" % base, category=CAT_NULL))
-        size = _size_of_access(inst)
+        size = op.width
         if resolution.usage is Usage.ARRAY_ACCESS:
             atype = base_ts.type
             assert isinstance(atype, (ArrayBaseType, ArrayMidType))
@@ -228,13 +242,13 @@ class _Annotator:
                    else "interior", atype))
             if isinstance(atype, ArrayBaseType):
                 self._bounds_predicates(ann, atype,
-                                        _operand_term(_index_operand(inst)),
+                                        _operand_term(_index_operand(op)),
                                         access_size=size)
             if size > 1:
                 ann.global_.append(GlobalPredicate(
                     formula=congruent(
                         Linear.var(base)
-                        + _operand_term(_index_operand(inst)), size),
+                        + _operand_term(_index_operand(op)), size),
                     description="(%s + index) aligned to %d"
                                 % (base, size),
                     category=CAT_ALIGN))
@@ -258,20 +272,20 @@ class _Annotator:
                     % (base, offset,
                        ", ".join(resolution.targets) or "nothing"))
 
-    def _require_assignable(self, ann: NodeAnnotation, inst: Instruction,
+    def _require_assignable(self, ann: NodeAnnotation, op: Store,
                             store: AbstractStore, target: str) -> None:
         """Paper Table 2: assignable(rs, l) — value type/size compatible
         with the destination location."""
-        value_ts = store[inst.rs1.name] if inst.rs1.name != "%g0" \
+        value_ts = store[op.src.name] if isinstance(op.src, RegOp) \
             else None
         location = self.locations.get(target)
-        size = _size_of_access(inst)
+        size = op.width
         holds = location is not None and location.size == size
         if holds and value_ts is not None \
                 and isinstance(value_ts.type, GroundType):
             holds = sizeof(value_ts.type) <= size or size >= 4
         ann.local.append(LocalPredicate(
-            description="assignable(%s, %s)" % (inst.rs1.name, target),
+            description="assignable(%s, %s)" % (op.src, target),
             category=CAT_PERM, holds=bool(holds)))
 
     def _bounds_predicates(self, ann: NodeAnnotation,
@@ -306,11 +320,11 @@ class _Annotator:
 
     # -- calls / returns ----------------------------------------------------------
 
-    def _annotate_call(self, ann: NodeAnnotation, node: Node,
-                       inst: Instruction, store: AbstractStore) -> None:
+    def visit_call(self, op, ann: NodeAnnotation, node: Node,
+                   store: AbstractStore) -> None:
         ann.usage = Usage.CALL
-        label = inst.target.label if inst.target else None
-        internal = inst.target is not None and inst.target.index > 0 \
+        label = op.target_label
+        internal = op.target > 0 \
             and not (label and label in self.spec.functions)
         if internal:
             return  # untrusted callee: analyzed directly
@@ -349,10 +363,13 @@ class _Annotator:
 
     def _post_slot_state(self, call_node: Node, store: AbstractStore):
         """The abstract store after the call's delay slot (= on entry to
-        the callee), plus the slot node itself."""
+        the callee), plus the slot node itself.  With no delay slot the
+        call-site store is already the entry state."""
         from repro.analysis.semantics import transfer as apply_transfer
         for edge in self.cfg.successors(call_node.uid):
             slot = self.cfg.node(edge.dst)
+            if slot.role not in (NodeRole.SLOT_TAKEN, NodeRole.SLOT_FALL):
+                continue
             if slot.instruction is None:
                 continue
             slot_in = self.stores.get(slot.uid)
@@ -365,22 +382,21 @@ class _Annotator:
                 return slot, slot_in
         return None, store
 
-    def _annotate_return(self, ann: NodeAnnotation, node: Node,
-                         inst: Instruction, store: AbstractStore) -> None:
+    def visit_indirect_jump(self, op, ann: NodeAnnotation, node: Node,
+                            store: AbstractStore) -> None:
         ann.usage = Usage.RETURN
-        if not inst.is_return:
+        if not op.is_return:
             ann.local.append(LocalPredicate(
                 description="indirect jump is a recognized return",
                 category=CAT_STACK, holds=False))
             return
         # Stack discipline: the return must go through a genuine return
-        # address (the host's continuation or a call-written %o7), not
-        # through arbitrary computed data.
+        # address (the host's continuation or a call-written link
+        # register), not through arbitrary computed data.
         from repro.analysis.semantics import RETADDR_TYPE
-        link = store[inst.rs1.name]
+        link = store[op.base]
         ann.local.append(LocalPredicate(
-            description="%s holds a valid return address"
-                        % inst.rs1.name,
+            description="%s holds a valid return address" % op.base,
             category=CAT_STACK, holds=link.type == RETADDR_TYPE))
         if node.function == CFG.MAIN \
                 and self.spec.postcondition is not TRUE:
@@ -389,30 +405,39 @@ class _Annotator:
                 description="host safety postcondition",
                 category=CAT_POST))
 
+    def visit_cond_branch(self, op, ann: NodeAnnotation, node: Node,
+                          store: AbstractStore) -> None:
+        ann.usage = Usage.BRANCH
+
+    def visit_default(self, op: MachineOp, ann: NodeAnnotation,
+                      node: Node, store: AbstractStore) -> None:
+        # Unsupported ops carry no annotations; propagation reports them.
+        return None
+
     # -- stack discipline ------------------------------------------------------------
 
-    _PROTECTED = ("%o6", "%i6")  # %sp, %fp
-
     def _check_stack_discipline(self, ann: NodeAnnotation,
-                                inst: Instruction) -> None:
+                                op: MachineOp) -> None:
         """Default condition: stack-manipulation violations.
 
-        The stack pointer may only move by a compile-time constant that
-        preserves 8-byte alignment; the return-address registers may
-        only be written by call/jmpl."""
-        target = inst.defined_register()
-        if target is None:
+        The stack/frame pointers may only move by a compile-time
+        constant that preserves the architecture's stack alignment; the
+        return-address registers may only be written by call/jmpl."""
+        arch = self.cfg.arch
+        protected = arch.protected_registers if arch else ("%o6", "%i6")
+        align = arch.stack_align if arch else 8
+        name = op.defined_register()
+        if name is None or name not in protected:
             return
-        name = target.name
-        if name in self._PROTECTED:
-            ok = (inst.kind is Kind.ALU and inst.op in ("add", "sub")
-                  and inst.rs1 is not None and inst.rs1.name == name
-                  and isinstance(inst.op2, Imm)
-                  and inst.op2.value % 8 == 0)
-            ann.local.append(LocalPredicate(
-                description="%s adjusted only by 8-byte-aligned "
-                            "constants" % name,
-                category=CAT_STACK, holds=ok))
+        ok = (isinstance(op, Assign)
+              and op.op in (BinOp.ADD, BinOp.SUB)
+              and op.src1 == RegOp(name)
+              and isinstance(op.src2, ConstOp)
+              and op.src2.value % align == 0)
+        ann.local.append(LocalPredicate(
+            description="%s adjusted only by %d-byte-aligned "
+                        "constants" % (name, align),
+            category=CAT_STACK, holds=ok))
 
     # -- helpers ----------------------------------------------------------------------
 
@@ -423,11 +448,11 @@ class _Annotator:
             category=CAT_UNINIT, holds=ts.operable))
 
 
-def _operand_term(operand: Union[Reg, Imm, str, int, None]) -> Linear:
-    if isinstance(operand, Reg):
-        return (Linear.const(0) if operand.name == "%g0"
-                else Linear.var(operand.name))
-    if isinstance(operand, Imm):
+def _operand_term(operand) -> Linear:
+    """Linear term of an IR operand, register name, or constant."""
+    if isinstance(operand, RegOp):
+        return Linear.var(operand.name)
+    if isinstance(operand, ConstOp):
         return Linear.const(operand.value)
     if isinstance(operand, str):
         return Linear.var(operand)
@@ -436,16 +461,11 @@ def _operand_term(operand: Union[Reg, Imm, str, int, None]) -> Linear:
     return Linear.const(0)
 
 
-def _index_operand(inst: Instruction):
-    assert inst.mem is not None
-    if inst.mem.index is not None:
-        return inst.mem.index
-    return Imm(inst.mem.offset)
-
-
-def _size_of_access(inst: Instruction) -> int:
-    from repro.sparc.isa import MEM_SIZE
-    return MEM_SIZE[inst.op]
+def _index_operand(op: Union[Load, Store]):
+    assert op.addr is not None
+    if op.addr.index is not None:
+        return op.addr.index
+    return op.addr.offset
 
 
 def _element_size(atype: ArrayBaseType) -> int:

@@ -31,8 +31,8 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cfg.graph import CFG, EdgeKind
 from repro.errors import SpecError
+from repro.ir.ops import Call
 from repro.policy.model import HostSpec
-from repro.sparc.isa import Kind
 from repro.analysis.verify import Violation
 
 CAT_AUTOMATON = "security-automaton"
@@ -136,7 +136,7 @@ def _check_one(cfg: CFG, spec: HostSpec,
         node = cfg.node(uid)
         after = states
         inst = node.instruction
-        if inst is not None and inst.kind is Kind.CALL:
+        if isinstance(inst, Call):
             event = _event_of(inst, spec)
             if event is not None and event in alphabet:
                 successors: Set[str] = set()
@@ -173,10 +173,8 @@ def _check_one(cfg: CFG, spec: HostSpec,
 def _event_of(inst, spec: HostSpec) -> Optional[str]:
     """The event name of a call instruction: the trusted function's
     name, or None for untrusted (analyzed) callees."""
-    if inst.target is None:
-        return None
-    label = inst.target.label
-    if inst.target.index == 0:
+    label = inst.target_label
+    if inst.target == 0:
         return label
     if label and label in spec.functions:
         return label

@@ -10,9 +10,11 @@
 
 and returns a :class:`~repro.analysis.report.CheckResult` that either
 certifies the program safe or pinpoints the instructions where safety
-conditions are violated.  Programs can be supplied as assembly text,
-an assembled :class:`~repro.sparc.program.Program`, or raw machine-code
-bytes/words (decoded first — the checker operates on binary code).
+conditions are violated.  Programs can be supplied as assembly text or
+raw machine-code bytes/words (routed through the *arch* frontend — the
+checker operates on binary code), as an already-lowered
+:class:`~repro.ir.program.MachineProgram`, or as any frontend program
+object with a ``lower()`` method.
 """
 
 from __future__ import annotations
@@ -24,12 +26,12 @@ from repro.cfg.builder import build_cfg
 from repro.cfg.callgraph import CallGraph
 from repro.cfg.graph import CFG
 from repro.cfg.loops import find_loops
-from repro.logic.memo import set_memoization
+from repro.ir.frontend import get_frontend
+from repro.ir.ops import Call
+from repro.ir.program import MachineProgram
+from repro.logic.memo import memoization_enabled, set_memoization
 from repro.logic.prover import Prover
 from repro.policy.model import HostSpec
-from repro.sparc.assembler import assemble
-from repro.sparc.decoder import decode_program
-from repro.sparc.program import Program
 from repro.analysis.annotate import annotate
 from repro.analysis.options import CheckerOptions
 from repro.analysis.prepare import prepare
@@ -45,20 +47,27 @@ from repro.analysis.verify import (
 class SafetyChecker:
     """Checks one untrusted program against one host specification."""
 
-    def __init__(self, program: Union[Program, str, bytes, list],
+    def __init__(self, program: Union[MachineProgram, str, bytes, list],
                  spec: HostSpec,
                  options: Optional[CheckerOptions] = None,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 arch: str = "sparc"):
         if isinstance(program, str):
-            program = assemble(program, name=name or "untrusted")
+            frontend = get_frontend(arch)
+            program = frontend.assemble(program, name=name or "untrusted")
         elif isinstance(program, (bytes, bytearray, list)):
-            program = decode_program(program, name=name or "decoded")
-        self.program: Program = program
+            frontend = get_frontend(arch)
+            if frontend.decode is None:
+                raise ValueError("the %s frontend has no decoder"
+                                 % frontend.name)
+            program = frontend.decode(program, name=name or "decoded")
+        if not isinstance(program, MachineProgram):
+            program = program.lower()
+        self.program: MachineProgram = program
         if name:
             self.program.name = name
         self.spec = spec
         self.options = options or CheckerOptions()
-        set_memoization(self.options.enable_formula_memoization)
         self.prover = Prover(
             enable_cache=self.options.enable_prover_cache,
             enable_canonical_cache=(
@@ -68,11 +77,22 @@ class SafetyChecker:
     # -- pipeline -----------------------------------------------------------------
 
     def check(self) -> CheckResult:
+        # The memoization switch is process-global; scope this run's
+        # setting so constructing a checker never perturbs other
+        # checkers, and concurrent-construction state cannot leak.
+        saved_memoization = memoization_enabled()
+        set_memoization(self.options.enable_formula_memoization)
+        try:
+            return self._check()
+        finally:
+            set_memoization(saved_memoization)
+
+    def _check(self) -> CheckResult:
         times = PhaseTimes()
 
         # Phase 1: preparation.
         t0 = time.perf_counter()
-        preparation = prepare(self.spec)
+        preparation = prepare(self.spec, arch=self.program.arch)
         entry = 1
         label = self.spec.invocation.entry_label
         if label:
@@ -132,11 +152,11 @@ class SafetyChecker:
             loops += forest.count
             inner += forest.inner_count
         trusted = 0
-        for inst in self.program:
-            if inst.kind.name == "CALL" and inst.target is not None:
-                label = inst.target.label
-                if inst.target.index == 0 or (
-                        label and label in self.spec.functions):
+        for op in self.program:
+            if isinstance(op, Call):
+                if op.target == 0 or (op.target_label
+                                      and op.target_label
+                                      in self.spec.functions):
                     trusted += 1
         global_conditions = sum(len(a.global_)
                                 for a in annotations.values())
@@ -151,9 +171,10 @@ class SafetyChecker:
 
 def check_assembly(source: str, spec_text: str,
                    name: str = "untrusted",
-                   options: Optional[CheckerOptions] = None) -> CheckResult:
-    """One-call convenience: assemble *source*, parse *spec_text*, run
-    the checker."""
+                   options: Optional[CheckerOptions] = None,
+                   arch: str = "sparc") -> CheckResult:
+    """One-call convenience: assemble *source* for *arch*, parse
+    *spec_text*, run the checker."""
     from repro.policy.parser import parse_spec
     return SafetyChecker(source, parse_spec(spec_text), options=options,
-                         name=name).check()
+                         name=name, arch=arch).check()

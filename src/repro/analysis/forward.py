@@ -30,10 +30,12 @@ from math import gcd
 from typing import Dict, List, Optional, Tuple
 
 from repro.cfg.graph import CFG, Edge, EdgeKind, Node
+from repro.ir.ops import (
+    Assign, BinOp, ConstOp, Load, MachineOp, OpVisitor,
+)
 from repro.logic.formula import Cong, Formula, Geq, conj
 from repro.logic.terms import Linear
 from repro.analysis.wlp import ICC, condition_formula, operand_term
-from repro.sparc.isa import Imm, Instruction, Kind
 
 #: Direction key: sorted (variable, coefficient) pairs.
 Direction = Tuple[Tuple[str, int], ...]
@@ -287,9 +289,92 @@ def _conjunctive_atoms(f: Formula) -> List[Formula]:
     return []  # disjunctions etc. contribute nothing (sound)
 
 
+def _is_zero(operand) -> bool:
+    return isinstance(operand, ConstOp) and operand.value == 0
+
+
 # ---------------------------------------------------------------------------
 # the forward pass
 # ---------------------------------------------------------------------------
+
+
+class _FactTransfer(OpVisitor):
+    """Per-op transfer on fact sets, one method per IR op."""
+
+    def visit_assign(self, op: Assign, facts: FactSet) -> FactSet:
+        rs1 = operand_term(op.src1)
+        op2 = operand_term(op.src2)
+        value: Optional[Linear] = None
+        extra: List[Formula] = []
+        target = op.dest
+
+        if op.op is BinOp.ADD:
+            value = rs1 + op2
+        elif op.op is BinOp.SUB:
+            value = rs1 - op2
+        elif op.op is BinOp.OR and _is_zero(op.src1):
+            value = op2
+        elif op.op is BinOp.SLL and isinstance(op.src2, ConstOp):
+            value = rs1.scale(1 << (op.src2.value & 31))
+        elif op.op in (BinOp.UMUL, BinOp.MUL) \
+                and isinstance(op.src2, ConstOp):
+            value = rs1.scale(op.src2.value)
+        elif op.op is BinOp.AND and isinstance(op.src2, ConstOp) \
+                and op.src2.value > 0 \
+                and (op.src2.value + 1) & op.src2.value == 0 \
+                and target is not None:
+            mask = op.src2.value
+            extra = [Geq(Linear.var(target)),
+                     Geq(Linear({target: -1}, mask))]
+        out = facts
+        if target is not None:
+            out = out.assign(target, value)
+            for atom in extra:
+                out.add_atom(atom)
+        if op.sets_cc:
+            icc_value = None
+            if op.op is BinOp.SUB:
+                icc_value = rs1 - op2
+            elif op.op is BinOp.ADD:
+                icc_value = rs1 + op2
+            elif op.op is BinOp.OR and _is_zero(op.src1):
+                icc_value = op2
+            out = out.assign(ICC, icc_value)
+        return out
+
+    def visit_set_const(self, op, facts: FactSet) -> FactSet:
+        if op.dest is not None:
+            return facts.assign(op.dest, Linear.const(op.value))
+        return facts
+
+    def visit_load(self, op: Load, facts: FactSet) -> FactSet:
+        if op.dest is None:
+            return facts
+        out = facts.assign(op.dest, None)
+        bound = op.unsigned_range
+        if bound is not None:
+            # Unsigned sub-word loads are range-bounded.
+            out._add_geq(Linear.var(op.dest))
+            out._add_geq(Linear({op.dest: -1}, bound - 1))
+        return out
+
+    def visit_call(self, op, facts: FactSet) -> FactSet:
+        return self._kill_link(op, facts)
+
+    def visit_indirect_jump(self, op, facts: FactSet) -> FactSet:
+        return self._kill_link(op, facts)
+
+    @staticmethod
+    def _kill_link(op, facts: FactSet) -> FactSet:
+        if op.link is None:
+            return facts
+        out = facts.copy()
+        out.kill(op.link)
+        return out
+
+    def visit_default(self, op: MachineOp, facts: FactSet) -> FactSet:
+        # Stores, branches, nops: no register facts change.
+        return facts
 
 
 class ForwardBounds:
@@ -303,6 +388,7 @@ class ForwardBounds:
     def __init__(self, cfg: CFG, initial: Formula):
         self.cfg = cfg
         self.before: Dict[int, FactSet] = {}
+        self._transfer_visitor = _FactTransfer()
         self._run(initial)
 
     def facts_at(self, uid: int) -> Formula:
@@ -380,9 +466,9 @@ class ForwardBounds:
             # Crossing a call: drop facts about everything a callee may
             # write (conservative; returns are not modeled here).
             out = out.copy()
-            for bank in ("%o", "%g", "%l", "%i"):
-                for i in range(8):
-                    out.kill("%s%d" % (bank, i))
+            registers = self.cfg.arch.registers if self.cfg.arch else ()
+            for name in registers:
+                out.kill(name)
             out.kill(ICC)
         if edge.kind is EdgeKind.CALL:
             out = out.copy()
@@ -393,71 +479,4 @@ class ForwardBounds:
         inst = node.instruction
         if inst is None:
             return facts
-        kind = inst.kind
-        if kind is Kind.ALU:
-            return self._transfer_alu(inst, facts)
-        if kind is Kind.SETHI:
-            if inst.rd is not None and inst.rd.name != "%g0":
-                return facts.assign(inst.rd.name,
-                                    Linear.const(inst.op2.value))
-            return facts
-        if kind is Kind.LOAD:
-            if inst.rd is not None and inst.rd.name != "%g0":
-                out = facts.assign(inst.rd.name, None)
-                size = {"ldub": 256, "lduh": 65536}.get(inst.op)
-                if size is not None:
-                    # Unsigned sub-word loads are range-bounded.
-                    out._add_geq(Linear.var(inst.rd.name))
-                    out._add_geq(Linear({inst.rd.name: -1}, size - 1))
-                return out
-            return facts
-        if kind in (Kind.STORE, Kind.BRANCH):
-            return facts
-        if kind in (Kind.CALL, Kind.JMPL):
-            out = facts.copy()
-            out.kill("%o7")
-            return out
-        return facts
-
-    def _transfer_alu(self, inst: Instruction,
-                      facts: FactSet) -> FactSet:
-        assert inst.rs1 is not None
-        rs1 = operand_term(inst.rs1)
-        op2 = operand_term(inst.op2)
-        op = inst.op
-        base = op[:-2] if op.endswith("cc") else op
-        value: Optional[Linear] = None
-        extra: List[Formula] = []
-        target = inst.rd.name if inst.rd is not None else "%g0"
-
-        if base == "add":
-            value = rs1 + op2
-        elif base == "sub":
-            value = rs1 - op2
-        elif base == "or" and inst.rs1.name == "%g0":
-            value = op2
-        elif base == "sll" and isinstance(inst.op2, Imm):
-            value = rs1.scale(1 << (inst.op2.value & 31))
-        elif base in ("umul", "smul") and isinstance(inst.op2, Imm):
-            value = rs1.scale(inst.op2.value)
-        elif base == "and" and isinstance(inst.op2, Imm) \
-                and inst.op2.value > 0 \
-                and (inst.op2.value + 1) & inst.op2.value == 0:
-            mask = inst.op2.value
-            extra = [Geq(Linear.var(target)),
-                     Geq(Linear({target: -1}, mask))]
-        out = facts
-        if target != "%g0":
-            out = out.assign(target, value)
-            for atom in extra:
-                out.add_atom(atom)
-        if inst.sets_cc:
-            icc_value = None
-            if base == "sub":
-                icc_value = rs1 - op2
-            elif base == "add":
-                icc_value = rs1 + op2
-            elif base == "or" and inst.rs1.name == "%g0":
-                icc_value = op2
-            out = out.assign(ICC, icc_value)
-        return out
+        return self._transfer_visitor.visit(inst, facts)

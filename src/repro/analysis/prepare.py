@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.ir.arch import ArchInfo
 from repro.logic.formula import Formula, congruent, conj, eq, ge
 from repro.logic.terms import Linear
 from repro.policy.model import HostSpec, LocationDecl, split_perms
@@ -70,15 +71,21 @@ class Preparation:
         return "\n".join(lines)
 
 
-def prepare(spec: HostSpec) -> Preparation:
-    """Run Phase 1 on a host specification."""
-    return _Preparer(spec).run()
+def prepare(spec: HostSpec,
+            arch: Optional[ArchInfo] = None) -> Preparation:
+    """Run Phase 1 on a host specification for a target architecture
+    (SPARC when *arch* is omitted)."""
+    return _Preparer(spec, arch).run()
 
 
 class _Preparer:
-    def __init__(self, spec: HostSpec):
+    def __init__(self, spec: HostSpec, arch: Optional[ArchInfo] = None):
+        if arch is None:
+            from repro.ir.frontend import get_frontend
+            arch = get_frontend("sparc").arch
         self.spec = spec
-        self.table = LocationTable()
+        self.arch = arch
+        self.table = LocationTable(arch.registers)
         self.store = AbstractStore()
         self.constraints: List[Formula] = list(spec.constraints)
         self.declared: Dict[str, Typestate] = {}
@@ -228,19 +235,19 @@ class _Preparer:
     def _default_registers(self) -> None:
         """Registers without initial annotations start at ⟨⊥t, ⊥s, ∅⟩
         (paper Section 5.1) — reading them is a use of an uninitialized
-        value.  ``%g0`` is the hardwired zero (a constant, hence
-        operable) and ``%o7`` holds the host's return address."""
-        from repro.sparc.registers import REGISTER_NAMES
+        value.  The hardwired-zero register (``%g0``/``zero``) is a
+        constant, hence operable; the link register (``%o7``/``ra``)
+        holds the host's return address."""
+        from repro.analysis.semantics import RETADDR_TYPESTATE
         from repro.typesys.typestate import BOTTOM_TYPESTATE
         updates: Dict[str, Typestate] = {}
-        for name in REGISTER_NAMES:
+        for name in self.arch.registers:
             if name in set(self.store.known_names()):
                 continue
-            if name == "%g0":
+            if name in self.arch.constant_registers:
                 updates[name] = Typestate(type=INT32, state=INIT,
                                           access=access("o"))
-            elif name == "%o7":
-                from repro.analysis.semantics import RETADDR_TYPESTATE
+            elif name == self.arch.link_register:
                 updates[name] = RETADDR_TYPESTATE
             else:
                 updates[name] = BOTTOM_TYPESTATE

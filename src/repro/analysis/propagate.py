@@ -150,23 +150,20 @@ def _propagates(cfg: CFG, spec: HostSpec, edge: Edge) -> bool:
 
 def _is_trusted_call_site(cfg: CFG, spec: HostSpec, edge: Edge) -> bool:
     call = cfg.node(edge.call_site) if edge.call_site is not None else None
-    if call is None or call.instruction is None \
-            or call.instruction.target is None:
+    if call is None or call.instruction is None:
         return True
-    target = call.instruction.target
-    if target.index == 0:
+    if call.instruction.target == 0:
         return True  # external symbol: necessarily a host function
-    label = target.label
+    label = call.instruction.target_label
     return bool(label and label in spec.functions)
 
 
 def _trusted_function(cfg: CFG, spec: HostSpec,
                       edge: Edge) -> Optional[TrustedFunction]:
     call = cfg.node(edge.call_site) if edge.call_site is not None else None
-    if call is None or call.instruction is None \
-            or call.instruction.target is None:
+    if call is None or call.instruction is None:
         return None
-    label = call.instruction.target.label
+    label = call.instruction.target_label
     if label is None:
         return None
     return spec.functions.get(label)

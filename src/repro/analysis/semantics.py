@@ -1,16 +1,20 @@
-"""Phase 2 support — abstract operational semantics of SPARC
-instructions over abstract stores (paper Section 4.2, Table 1).
+"""Phase 2 support — abstract operational semantics of machine
+operations over abstract stores (paper Section 4.2, Table 1).
 
-Each instruction denotes a transition function on abstract stores.
+Each IR op denotes a transition function on abstract stores.
 *Overload resolution* falls out of the types: an ``add`` whose first
 operand has type ``t[n]`` is an array-index calculation, one whose
-operands are scalars is a scalar add, and a ``ld``/``st`` resolves to an
+operands are scalars is a scalar add, and a load/store resolves to an
 array access, an aggregate-field access, or a plain pointer dereference
 according to the base register's typestate.  The semantics is strict in
 the type component: nodes whose inputs are still ⊤ are not interpreted,
 which delays propagation through loops until a non-⊤ value arrives at
 the loop entrance and yields the paper's single-usage restriction per
 instruction occurrence.
+
+The functions here dispatch on :mod:`repro.ir.ops` operations only;
+ISA details (condition codes, ``%g0``, delay slots) are resolved by
+the frontend's lowering pass.
 """
 
 from __future__ import annotations
@@ -20,7 +24,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.errors import AnalysisError
-from repro.sparc.isa import Imm, Instruction, Kind, Reg
+from repro.ir.ops import (
+    Assign, BinOp, ConstOp, Load, MachineOp, OpVisitor, RegOp, Store,
+)
 from repro.typesys.access import access
 from repro.typesys.locations import LocationTable
 from repro.typesys.state import (
@@ -39,8 +45,8 @@ from repro.typesys.typestate import (
 CONSTANT_TYPESTATE = Typestate(type=INT32, state=INIT, access=access("o"))
 
 #: The abstract type of a valid return address (the host's continuation
-#: at entry, or the address written into %o7 by ``call``).  Returning
-#: through a register whose typestate is anything else is a
+#: at entry, or the address written into the link register by a call).
+#: Returning through a register whose typestate is anything else is a
 #: stack-manipulation violation.
 RETADDR_TYPE = AbstractType("retaddr", 4)
 RETADDR_TYPESTATE = Typestate(type=RETADDR_TYPE, state=INIT,
@@ -83,26 +89,24 @@ class MemoryResolution:
     problem: Optional[str] = None
 
 
-def operand_typestate(op2: Union[Reg, Imm, None],
+def operand_typestate(operand: Union[RegOp, ConstOp, None],
                       store: AbstractStore) -> Typestate:
-    """Typestate of an ALU second operand."""
-    if op2 is None:
+    """Typestate of an IR operand."""
+    if operand is None:
         return TOP_TYPESTATE
-    if isinstance(op2, Imm):
+    if isinstance(operand, ConstOp):
         return CONSTANT_TYPESTATE
-    if op2.name == "%g0":
-        return CONSTANT_TYPESTATE
-    return store[op2.name]
+    return store[operand.name]
 
 
-def resolve_memory(inst: Instruction, store: AbstractStore,
+def resolve_memory(op: Union[Load, Store], store: AbstractStore,
                    locations: LocationTable) -> MemoryResolution:
     """Resolve the F-set of a load or store (paper Table 1/2, rows for
     ``st``)."""
-    assert inst.mem is not None
-    mem = inst.mem
-    base_ts = store[mem.base.name]
-    size = _access_size(inst)
+    assert op.addr is not None
+    addr = op.addr
+    base_ts = store[addr.base]
+    size = op.width
     if base_ts.type in (TOP_TYPE,):
         return MemoryResolution(usage=Usage.UNKNOWN,
                                 base_typestate=base_ts,
@@ -111,18 +115,18 @@ def resolve_memory(inst: Instruction, store: AbstractStore,
         return MemoryResolution(
             usage=Usage.UNKNOWN, base_typestate=base_ts,
             problem="base register %s is not a pointer (%s)"
-            % (mem.base.name, base_ts.type))
+            % (addr.base, base_ts.type))
     points = base_ts.state
     if not isinstance(points, PointsTo):
         return MemoryResolution(
             usage=Usage.UNKNOWN, base_typestate=base_ts,
             problem="pointer in %s has no points-to information (%s)"
-            % (mem.base.name, points))
+            % (addr.base, points))
     targets = sorted(points.non_null_targets)
     if isinstance(base_ts.type, (ArrayBaseType, ArrayMidType)):
         element = base_ts.type.element
-        index: Union[str, int] = (mem.index.name if mem.index is not None
-                                  else mem.offset)
+        index: Union[str, int] = (addr.index if addr.index is not None
+                                  else addr.offset)
         return MemoryResolution(
             usage=Usage.ARRAY_ACCESS, targets=targets,
             base_typestate=base_ts, element_type=element,
@@ -130,20 +134,20 @@ def resolve_memory(inst: Instruction, store: AbstractStore,
     assert isinstance(base_ts.type, PointerType)
     pointee = base_ts.type.pointee
     if isinstance(pointee, (StructType, UnionType)):
-        if mem.index is not None:
+        if addr.index is not None:
             return MemoryResolution(
                 usage=Usage.UNKNOWN, base_typestate=base_ts,
                 problem="register-indexed aggregate access is not "
                         "supported")
         fields = []
         for target in targets:
-            for member in lookup_fields(pointee, mem.offset, size):
+            for member in lookup_fields(pointee, addr.offset, size):
                 fields.append("%s.%s" % (target, member.label))
         return MemoryResolution(
             usage=Usage.FIELD_ACCESS, targets=sorted(set(fields)),
-            base_typestate=base_ts, index=mem.offset)
+            base_typestate=base_ts, index=addr.offset)
     # Plain pointer dereference: only offset 0 addresses the pointee.
-    if mem.index is not None or mem.offset != 0:
+    if addr.index is not None or addr.offset != 0:
         return MemoryResolution(
             usage=Usage.UNKNOWN, base_typestate=base_ts,
             problem="non-zero offset through scalar pointer")
@@ -151,34 +155,26 @@ def resolve_memory(inst: Instruction, store: AbstractStore,
                             base_typestate=base_ts, index=0)
 
 
-def _access_size(inst: Instruction) -> int:
-    from repro.sparc.isa import MEM_SIZE
-    return MEM_SIZE[inst.op]
-
-
 # ---------------------------------------------------------------------------
-# classification of ALU instructions
+# classification of ALU operations
 # ---------------------------------------------------------------------------
 
 
-def classify_alu(inst: Instruction, store: AbstractStore) -> Usage:
-    """Overload resolution for arithmetic instructions."""
-    assert inst.rs1 is not None
-    if inst.op == "or" and inst.rs1.name == "%g0":
+def classify_alu(op: Assign, store: AbstractStore) -> Usage:
+    """Overload resolution for arithmetic operations."""
+    if op.op is BinOp.OR and not op.sets_cc and op.src1 == ConstOp(0):
         return Usage.MOVE
-    rs1_ts = store[inst.rs1.name]
-    op2_ts = operand_typestate(inst.op2, store)
-    if inst.op in ("add", "sub"):
-        if isinstance(rs1_ts.type, (ArrayBaseType, ArrayMidType)) \
-                and not op2_ts.type.is_pointer:
+    ts1 = operand_typestate(op.src1, store)
+    ts2 = operand_typestate(op.src2, store)
+    if op.op in (BinOp.ADD, BinOp.SUB):
+        if isinstance(ts1.type, (ArrayBaseType, ArrayMidType)) \
+                and not ts2.type.is_pointer:
             return Usage.ARRAY_INDEX_CALC
-        if inst.op == "add" \
-                and isinstance(op2_ts.type, (ArrayBaseType, ArrayMidType)) \
-                and not rs1_ts.type.is_pointer:
+        if op.op is BinOp.ADD \
+                and isinstance(ts2.type, (ArrayBaseType, ArrayMidType)) \
+                and not ts1.type.is_pointer:
             return Usage.ARRAY_INDEX_CALC
-    if inst.source_mnemonic == "cmp" or (
-            inst.op.endswith("cc") and inst.rd is not None
-            and inst.rd.name == "%g0"):
+    if op.sets_cc and op.dest is None:
         return Usage.COMPARE
     return Usage.SCALAR_OP
 
@@ -188,95 +184,99 @@ def classify_alu(inst: Instruction, store: AbstractStore) -> Usage:
 # ---------------------------------------------------------------------------
 
 
-def transfer(inst: Instruction, store: AbstractStore,
+class _Transfer(OpVisitor):
+    """R: M → M, one method per IR op (paper Section 4.2)."""
+
+    def __init__(self, store: AbstractStore, locations: LocationTable):
+        self.store = store
+        self.locations = locations
+
+    def visit_assign(self, op: Assign) -> AbstractStore:
+        store = self.store
+        usage = classify_alu(op, store)
+        if op.dest is None:
+            return store
+        ts1 = operand_typestate(op.src1, store)
+        ts2 = operand_typestate(op.src2, store)
+        if usage is Usage.MOVE:
+            return store.set(op.dest, ts2)
+        if usage is Usage.ARRAY_INDEX_CALC:
+            pointer_ts = ts1 if isinstance(
+                ts1.type, (ArrayBaseType, ArrayMidType)) else ts2
+            assert isinstance(pointer_ts.type,
+                              (ArrayBaseType, ArrayMidType))
+            mid = ArrayMidType(element=pointer_ts.type.element,
+                               size=pointer_ts.type.size)
+            return store.set(op.dest, Typestate(type=mid,
+                                                state=pointer_ts.state,
+                                                access=pointer_ts.access))
+        # Scalar operation (paper Table 1 row 1): component-wise meet.
+        return store.set(op.dest, ts1.meet(ts2))
+
+    def visit_set_const(self, op) -> AbstractStore:
+        if op.dest is not None:
+            return self.store.set(op.dest, CONSTANT_TYPESTATE)
+        return self.store
+
+    def visit_load(self, op: Load) -> AbstractStore:
+        store = self.store
+        resolution = resolve_memory(op, store, self.locations)
+        if op.dest is None:
+            return store
+        if resolution.usage is Usage.UNKNOWN or not resolution.targets:
+            return store.set(op.dest, BOTTOM_TYPESTATE)
+        loaded = None
+        for target in resolution.targets:
+            ts = store[target]
+            loaded = ts if loaded is None else loaded.meet(ts)
+        assert loaded is not None
+        return store.set(op.dest, loaded)
+
+    def visit_store(self, op: Store) -> AbstractStore:
+        store = self.store
+        resolution = resolve_memory(op, store, self.locations)
+        if resolution.usage is Usage.UNKNOWN or not resolution.targets:
+            return store
+        value_ts = operand_typestate(op.src, store)
+        targets = resolution.targets
+        updates: Dict[str, Typestate] = {}
+        strong = len(targets) == 1 \
+            and not self.locations.is_summary(targets[0])
+        for target in targets:
+            if strong:
+                updates[target] = value_ts
+            else:
+                updates[target] = store[target].meet(value_ts)
+        return store.set_many(updates)
+
+    def visit_cond_branch(self, op) -> AbstractStore:
+        return self.store
+
+    def visit_call(self, op) -> AbstractStore:
+        # The hardware writes the return address into the link register.
+        if op.link is not None:
+            return self.store.set(op.link, RETADDR_TYPESTATE)
+        return self.store
+
+    def visit_indirect_jump(self, op) -> AbstractStore:
+        if op.link is not None:
+            return self.store.set(op.link, CONSTANT_TYPESTATE)
+        return self.store
+
+    def visit_nop(self, op) -> AbstractStore:
+        return self.store
+
+    def visit_unsupported(self, op) -> AbstractStore:
+        raise AnalysisError(op.reason)
+
+    def visit_default(self, op, *args, **kwargs) -> AbstractStore:
+        raise AnalysisError("no abstract semantics for %r" % (op,))
+
+
+def transfer(op: MachineOp, store: AbstractStore,
              locations: LocationTable) -> AbstractStore:
-    """R: M → M for one instruction (paper Section 4.2)."""
-    kind = inst.kind
-    if kind is Kind.ALU:
-        return _transfer_alu(inst, store, locations)
-    if kind is Kind.SETHI:
-        if inst.rd is not None and inst.rd.name != "%g0":
-            return store.set(inst.rd.name, CONSTANT_TYPESTATE)
-        return store
-    if kind is Kind.LOAD:
-        return _transfer_load(inst, store, locations)
-    if kind is Kind.STORE:
-        return _transfer_store(inst, store, locations)
-    if kind is Kind.BRANCH:
-        return store
-    if kind is Kind.CALL:
-        # The hardware writes the return address into %o7.
-        return store.set("%o7", RETADDR_TYPESTATE)
-    if kind is Kind.JMPL:
-        if inst.rd is not None and inst.rd.name != "%g0":
-            return store.set(inst.rd.name, CONSTANT_TYPESTATE)
-        return store
-    if kind in (Kind.SAVE, Kind.RESTORE):
-        raise AnalysisError(
-            "save/restore (register windows) are outside the analyzed "
-            "subset; the checked extensions are compiled as leaf "
-            "routines (instruction %d)" % inst.index)
-    raise AnalysisError("no abstract semantics for %r" % (inst,))
-
-
-def _transfer_alu(inst: Instruction, store: AbstractStore,
-                  locations: LocationTable) -> AbstractStore:
-    assert inst.rs1 is not None
-    rd = inst.rd
-    writes = rd is not None and rd.name != "%g0"
-    usage = classify_alu(inst, store)
-    if not writes:
-        return store
-    rs1_ts = store[inst.rs1.name]
-    op2_ts = operand_typestate(inst.op2, store)
-    if usage is Usage.MOVE:
-        return store.set(rd.name, op2_ts)
-    if usage is Usage.ARRAY_INDEX_CALC:
-        pointer_ts = rs1_ts if isinstance(
-            rs1_ts.type, (ArrayBaseType, ArrayMidType)) else op2_ts
-        assert isinstance(pointer_ts.type, (ArrayBaseType, ArrayMidType))
-        mid = ArrayMidType(element=pointer_ts.type.element,
-                           size=pointer_ts.type.size)
-        return store.set(rd.name, Typestate(type=mid,
-                                            state=pointer_ts.state,
-                                            access=pointer_ts.access))
-    # Scalar operation (paper Table 1 row 1): component-wise meet.
-    return store.set(rd.name, rs1_ts.meet(op2_ts))
-
-
-def _transfer_load(inst: Instruction, store: AbstractStore,
-                   locations: LocationTable) -> AbstractStore:
-    assert inst.rd is not None
-    resolution = resolve_memory(inst, store, locations)
-    if inst.rd.name == "%g0":
-        return store
-    if resolution.usage is Usage.UNKNOWN or not resolution.targets:
-        return store.set(inst.rd.name, BOTTOM_TYPESTATE)
-    loaded = None
-    for target in resolution.targets:
-        ts = store[target]
-        loaded = ts if loaded is None else loaded.meet(ts)
-    assert loaded is not None
-    return store.set(inst.rd.name, loaded)
-
-
-def _transfer_store(inst: Instruction, store: AbstractStore,
-                    locations: LocationTable) -> AbstractStore:
-    assert inst.rs1 is not None
-    resolution = resolve_memory(inst, store, locations)
-    if resolution.usage is Usage.UNKNOWN or not resolution.targets:
-        return store
-    value_ts = (CONSTANT_TYPESTATE if inst.rs1.name == "%g0"
-                else store[inst.rs1.name])
-    targets = resolution.targets
-    updates: Dict[str, Typestate] = {}
-    strong = len(targets) == 1 and not locations.is_summary(targets[0])
-    for target in targets:
-        if strong:
-            updates[target] = value_ts
-        else:
-            updates[target] = store[target].meet(value_ts)
-    return store.set_many(updates)
+    """R: M → M for one operation (paper Section 4.2)."""
+    return _Transfer(store, locations).visit(op)
 
 
 def trusted_call_transfer(store: AbstractStore, returns, clobbers

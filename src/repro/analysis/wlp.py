@@ -1,4 +1,4 @@
-"""Weakest liberal preconditions of SPARC instructions (paper Section
+"""Weakest liberal preconditions of machine operations (paper Section
 5.2).
 
 ``node_transfer(node, Q)`` returns the condition that must hold *before*
@@ -12,8 +12,11 @@ determinate universally quantifies a fresh value (sound havoc).
 The SPARC condition codes are modeled by the single variable ``$icc``
 (paper Section 5.2.2): ``subcc a, b`` binds ``$icc := a − b`` and each
 CFG edge out of a conditional branch carries a sign constraint on
-``$icc``.  ``andcc`` with a ``2^k − 1`` mask and constant right shifts
-get exact guarded-havoc encodings with congruences, which is what makes
+``$icc``.  ISAs that compare registers directly (RISC-V) put the
+register operands on the branch condition instead; both reach
+:func:`condition_formula` as a relation over two IR operands.
+``andcc`` with a ``2^k − 1`` mask and constant right shifts get exact
+guarded-havoc encodings with congruences, which is what makes
 hash-mask bounds and alignment conditions provable.
 
 Unsigned branch relations are mapped to their signed counterparts; this
@@ -24,52 +27,50 @@ DESIGN.md as a modeling assumption.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 from repro.cfg.graph import BranchCondition, Node
+from repro.ir.ops import (
+    CC_VAR, Assign, BinOp, ConstOp, Load, OpVisitor, Store,
+)
 from repro.logic.formula import (
     Cong, Formula, TRUE, conj, eq, forall, fresh_variable, ge,
     gt, implies, le, lt, ne, neg,
 )
 from repro.logic.terms import Linear
-from repro.sparc.isa import Imm, Instruction, Kind, Reg
 from repro.typesys.locations import LocationTable
 from repro.typesys.store import AbstractStore
 from repro.analysis.semantics import Usage, resolve_memory
 
 #: The condition-code pseudo-variable.
-ICC = "$icc"
+ICC = CC_VAR
 
 
-def operand_term(op2: Union[Reg, Imm, None]) -> Linear:
-    if isinstance(op2, Reg):
-        return Linear.const(0) if op2.name == "%g0" else Linear.var(op2.name)
-    if isinstance(op2, Imm):
-        return Linear.const(op2.value)
-    return Linear.const(0)
+def operand_term(operand) -> Linear:
+    """Linear term of an operand.  Accepts IR operands
+    (:class:`~repro.ir.ops.RegOp`/:class:`~repro.ir.ops.ConstOp`) and,
+    duck-typed on ``.name``/``.value``, raw frontend operands."""
+    if operand is None:
+        return Linear.const(0)
+    name = getattr(operand, "name", None)
+    if name is not None:
+        return Linear.const(0) if name == "%g0" else Linear.var(name)
+    return Linear.const(operand.value)
+
+
+_RELATION_FORMULA = {
+    "==": eq, "!=": ne, "<": lt, "<=": le, ">": gt, ">=": ge,
+}
 
 
 def condition_formula(condition: BranchCondition) -> Formula:
-    """The linear constraint a CFG edge imposes on ``$icc``."""
-    icc = Linear.var(ICC)
-    base: Formula
-    op = condition.op
-    if op in ("be",):
-        base = eq(icc, 0)
-    elif op in ("bne",):
-        base = ne(icc, 0)
-    elif op in ("bl", "bneg", "bcs"):
-        base = lt(icc, 0)
-    elif op in ("bge", "bpos", "bcc"):
-        base = ge(icc, 0)
-    elif op in ("ble", "bleu"):
-        base = le(icc, 0)
-    elif op in ("bg", "bgu"):
-        base = gt(icc, 0)
-    else:
-        # bvs/bvc (overflow tests) carry no linear information; both
+    """The linear constraint a CFG edge imposes."""
+    if condition.relation is None:
+        # Overflow tests (bvs/bvc) carry no linear information; both
         # edges get TRUE, which makes the wlp require both paths.
         return TRUE
+    diff = operand_term(condition.lhs) - operand_term(condition.rhs)
+    base = _RELATION_FORMULA[condition.relation](diff, 0)
     return base if condition.taken else neg(base)
 
 
@@ -128,7 +129,11 @@ def _power_of_two(value: int) -> Optional[int]:
     return None
 
 
-class WlpTransfer:
+def _is_zero(operand) -> bool:
+    return isinstance(operand, ConstOp) and operand.value == 0
+
+
+class WlpTransfer(OpVisitor):
     """Per-node wlp transfer, resolved against the typestate-propagation
     fixpoint (needed to know which abstract locations a memory access
     touches)."""
@@ -144,116 +149,91 @@ class WlpTransfer:
         inst = node.instruction
         if inst is None or q is TRUE:
             return q
-        kind = inst.kind
-        if kind is Kind.ALU:
-            return self._alu(node, inst, q)
-        if kind is Kind.SETHI:
-            return self._assign(q, inst.rd, Linear.const(inst.op2.value))
-        if kind is Kind.LOAD:
-            return self._load(node, inst, q)
-        if kind is Kind.STORE:
-            return self._store(node, inst, q)
-        if kind is Kind.BRANCH:
-            return q
-        if kind is Kind.CALL:
-            return havoc(q, "%o7")
-        if kind is Kind.JMPL:
-            if inst.rd is not None and inst.rd.name != "%g0":
-                return havoc(q, inst.rd.name)
-            return q
-        return q
+        return self.visit(inst, node, q)
 
     # -- register assignment -----------------------------------------------------
 
     @staticmethod
-    def _assign(q: Formula, rd: Optional[Reg],
+    def _assign(q: Formula, dest: Optional[str],
                 value: Optional[Linear]) -> Formula:
-        if rd is None or rd.name == "%g0":
+        if dest is None:
             return q
         if value is None:
-            return havoc(q, rd.name)
-        return q.substitute(rd.name, value)
+            return havoc(q, dest)
+        return q.substitute(dest, value)
 
-    def _alu(self, node: Node, inst: Instruction, q: Formula) -> Formula:
-        assert inst.rs1 is not None
-        rs1 = operand_term(inst.rs1)
-        op2 = operand_term(inst.op2)
-        op = inst.op
-        base = op[:-2] if op.endswith("cc") else op
+    def visit_assign(self, op: Assign, node: Node, q: Formula) -> Formula:
+        rs1 = operand_term(op.src1)
+        op2 = operand_term(op.src2)
 
-        # Value computed into rd (None = not linearly expressible).
+        # Value computed into dest (None = not linearly expressible).
         result: Optional[Linear] = None
         guard = None  # (guard_of) for guarded havoc
-        if base == "add":
+        if op.op is BinOp.ADD:
             result = rs1 + op2
-        elif base == "sub":
+        elif op.op is BinOp.SUB:
             result = rs1 - op2
-        elif base == "or":
-            if inst.rs1.name == "%g0":
+        elif op.op is BinOp.OR:
+            if _is_zero(op.src1):
                 result = op2
-            elif isinstance(inst.op2, Reg) and inst.op2.name == "%g0":
+            elif _is_zero(op.src2):
                 result = rs1
-            elif isinstance(inst.op2, Imm) and inst.op2.value == 0:
-                result = rs1
-        elif base == "and":
-            if isinstance(inst.op2, Imm):
-                k = _power_of_two(inst.op2.value + 1)
+        elif op.op is BinOp.AND:
+            if isinstance(op.src2, ConstOp):
+                k = _power_of_two(op.src2.value + 1)
                 if k is not None:
-                    # rd = rs1 mod 2^k (for non-negative rs1): exact
-                    # characterization v ≡ rs1 (mod 2^k), 0 ≤ v < 2^k.
+                    # dest = src1 mod 2^k (for non-negative src1): exact
+                    # characterization v ≡ src1 (mod 2^k), 0 ≤ v < 2^k.
                     modulus = 1 << k
                     guard = lambda v, rs1=rs1, modulus=modulus: conj(
                         Cong((v - rs1), modulus) if not (v - rs1).is_constant
                         else TRUE,
                         ge(v, 0), lt(v, modulus))
-        elif base in ("sll",):
-            if isinstance(inst.op2, Imm):
-                result = rs1.scale(1 << (inst.op2.value & 31))
-        elif base in ("srl", "sra"):
-            if isinstance(inst.op2, Imm):
-                factor = 1 << (inst.op2.value & 31)
+        elif op.op is BinOp.SLL:
+            if isinstance(op.src2, ConstOp):
+                result = rs1.scale(1 << (op.src2.value & 31))
+        elif op.op in (BinOp.SRL, BinOp.SRA):
+            if isinstance(op.src2, ConstOp):
+                factor = 1 << (op.src2.value & 31)
                 guard = lambda v, rs1=rs1, factor=factor: conj(
                     le(v.scale(factor), rs1),
                     le(rs1, v.scale(factor) + (factor - 1)))
-        elif base in ("umul", "smul"):
-            if isinstance(inst.op2, Imm):
-                result = rs1.scale(inst.op2.value)
-        # xor/andn/orn/xnor/udiv/sdiv and register-shift forms: havoc.
+        elif op.op in (BinOp.UMUL, BinOp.MUL):
+            if isinstance(op.src2, ConstOp):
+                result = rs1.scale(op.src2.value)
+        # xor/andn/orn/xnor/div and register-shift forms: havoc.
 
         out = q
-        # rd first (old-value semantics), then $icc; see module doc.
+        # dest first (old-value semantics), then $icc; see module doc.
         if result is not None:
-            out = self._assign(out, inst.rd, result)
-        elif guard is not None and inst.rd is not None \
-                and inst.rd.name != "%g0":
-            out = guarded_havoc(out, inst.rd.name, guard)
+            out = self._assign(out, op.dest, result)
+        elif guard is not None and op.dest is not None:
+            out = guarded_havoc(out, op.dest, guard)
         else:
-            out = self._assign(out, inst.rd, None)
+            out = self._assign(out, op.dest, None)
 
-        if inst.sets_cc:
-            out = self._set_icc(out, base, inst, rs1, op2, result)
+        if op.sets_cc:
+            out = self._set_icc(out, op, rs1, op2, result)
         return out
 
-    def _set_icc(self, q: Formula, base: str, inst: Instruction,
+    def _set_icc(self, q: Formula, op: Assign,
                  rs1: Linear, op2: Linear,
                  result: Optional[Linear]) -> Formula:
         if ICC not in q.free_variables():
             return q
-        if base == "sub":
+        if op.op is BinOp.SUB:
             return q.substitute(ICC, rs1 - op2)
-        if base == "add":
+        if op.op is BinOp.ADD:
             return q.substitute(ICC, rs1 + op2)
-        if base == "or":
-            # tst: or %g0, rs — icc reflects rs.  A true bitwise or of
+        if op.op is BinOp.OR:
+            # tst: or 0, rs — icc reflects rs.  A true bitwise or of
             # two unknown values is not linear.
-            if inst.rs1.name == "%g0":
+            if _is_zero(op.src1):
                 return q.substitute(ICC, op2)
-            if (isinstance(inst.op2, Reg) and inst.op2.name == "%g0") \
-                    or (isinstance(inst.op2, Imm)
-                        and inst.op2.value == 0):
+            if _is_zero(op.src2):
                 return q.substitute(ICC, rs1)
-        if base == "and" and isinstance(inst.op2, Imm):
-            k = _power_of_two(inst.op2.value + 1)
+        if op.op is BinOp.AND and isinstance(op.src2, ConstOp):
+            k = _power_of_two(op.src2.value + 1)
             if k is not None:
                 modulus = 1 << k
                 return guarded_havoc(
@@ -264,48 +244,65 @@ class WlpTransfer:
             return q.substitute(ICC, result)
         return havoc(q, ICC)
 
+    # -- other register writers ----------------------------------------------
+
+    def visit_set_const(self, op, node: Node, q: Formula) -> Formula:
+        return self._assign(q, op.dest, Linear.const(op.value))
+
+    def visit_call(self, op, node: Node, q: Formula) -> Formula:
+        if op.link is not None:
+            return havoc(q, op.link)
+        return q
+
+    def visit_indirect_jump(self, op, node: Node, q: Formula) -> Formula:
+        if op.link is not None:
+            return havoc(q, op.link)
+        return q
+
     # -- memory -----------------------------------------------------------------
 
-    def _load(self, node: Node, inst: Instruction, q: Formula) -> Formula:
-        assert inst.rd is not None
-        if inst.rd.name == "%g0":
+    def visit_load(self, op: Load, node: Node, q: Formula) -> Formula:
+        if op.dest is None:
             return q
-        if inst.rd.name not in q.free_variables():
+        if op.dest not in q.free_variables():
             return q
-        resolution = self._resolve(node, inst)
+        resolution = self._resolve(node, op)
         if resolution is not None \
                 and resolution.usage in (Usage.FIELD_ACCESS,
                                          Usage.POINTER_ACCESS) \
                 and len(resolution.targets) == 1 \
                 and not self._locations.is_summary(resolution.targets[0]):
-            return q.substitute(inst.rd.name,
+            return q.substitute(op.dest,
                                 Linear.var(resolution.targets[0]))
-        return havoc(q, inst.rd.name)
+        return havoc(q, op.dest)
 
-    def _store(self, node: Node, inst: Instruction, q: Formula) -> Formula:
-        resolution = self._resolve(node, inst)
+    def visit_store(self, op: Store, node: Node, q: Formula) -> Formula:
+        resolution = self._resolve(node, op)
         if resolution is None:
             return self._havoc_all_memory(q)
         targets = resolution.targets
         if (resolution.usage in (Usage.FIELD_ACCESS, Usage.POINTER_ACCESS)
                 and len(targets) == 1
                 and not self._locations.is_summary(targets[0])):
-            value = (Linear.const(0) if inst.rs1.name == "%g0"
-                     else Linear.var(inst.rs1.name))
-            return q.substitute(targets[0], value)
+            return q.substitute(targets[0], operand_term(op.src))
         out = q
         for target in targets:
             out = havoc(out, target)
         return out
 
-    def _resolve(self, node: Node, inst: Instruction):
+    def _resolve(self, node: Node, op):
         store = self._stores.get(node.uid)
         if store is None:
             return None
-        return resolve_memory(inst, store, self._locations)
+        return resolve_memory(op, store, self._locations)
 
     def _havoc_all_memory(self, q: Formula) -> Formula:
         out = q
         for location in self._locations.memory_locations():
             out = havoc(out, location.name)
         return out
+
+    # -- everything else is wlp-neutral ---------------------------------------
+
+    def visit_default(self, op, node: Node, q: Formula) -> Formula:
+        return q

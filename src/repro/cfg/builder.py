@@ -2,26 +2,30 @@
 
 The paper (Section 5.2.2, Figure 8) models SPARC's delayed branches by
 replicating the delay-slot instruction onto each outgoing path of the
-branch.  This builder does exactly that:
+branch.  This builder does exactly that, generalized over the IR's
+``delay_slots`` count (1 on SPARC, 0 on RISC-V):
 
-* conditional branch ``b<cc> T`` at *i* with slot *s* = *i*+1:
+* conditional branch to *T* at *i* with slot *s* = *i*+1:
 
   - taken:        ``i ──(cc)──▶ s′ ──▶ T``
   - fall-through: ``i ──(¬cc)─▶ s″ ──▶ i+2``
-  - with the annul bit, the fall-through edge skips the slot entirely;
+  - with the annul bit (or no delay slot), the fall-through edge skips
+    the slot entirely;
 
-* ``ba T`` executes the slot on its single path (``ba,a`` skips it);
+* an unconditional branch executes the slot on its single path
+  (annulled: skips it);
 
-* ``call F``: the slot executes, then control enters *F*.  The graph gets
-  a CALL edge (slot → entry of F), a RETURN edge (exit of F → return
-  point *i*+2), and a SUMMARY edge (slot → *i*+2) so intraprocedural
-  analyses (dominators, loops) see each function as a contiguous region.
-  Calls to *trusted* host functions get only the SUMMARY edge — their
-  bodies are not analyzed; pre/post-conditions from the host control
+* ``call F``: the slot (or, with no delay slot, the call node itself)
+  executes, then control enters *F*.  The graph gets a CALL edge
+  (slot → entry of F), a RETURN edge (exit of F → the return point),
+  and a SUMMARY edge (slot → return point) so intraprocedural analyses
+  (dominators, loops) see each function as a contiguous region.  Calls
+  to *trusted* host functions get only the SUMMARY edge — their bodies
+  are not analyzed; pre/post-conditions from the host control
   specification are applied at the call site instead;
 
-* ``jmpl %o7+8/%i7+8, %g0`` (``retl``/``ret``): the slot executes, then
-  control flows to the function's synthetic EXIT node.
+* the return idiom (``retl``/``ret``, ``jalr zero, 0(ra)``): the slot
+  executes, then control flows to the function's synthetic EXIT node.
 
 Each ``call`` target inside the untrusted code starts a new function;
 functions are discovered on demand and every node is tagged with its
@@ -33,31 +37,37 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import CFGError
-from repro.sparc.isa import Instruction, Kind
-from repro.sparc.program import Program
+from repro.ir.ops import Call, CondBranch, IndirectJump, MachineOp
+from repro.ir.program import MachineProgram
 from repro.cfg.graph import (
     CFG, BranchCondition, EdgeKind, FunctionInfo, NodeRole,
 )
 
 
-def build_cfg(program: Program,
+def build_cfg(program,
               trusted_labels: Iterable[str] = (),
               entry: int = 1) -> CFG:
     """Build the interprocedural CFG of *program*.
 
+    *program* is a lowered :class:`~repro.ir.program.MachineProgram`;
+    frontend containers that expose ``lower()`` (e.g. an assembled
+    SPARC :class:`~repro.sparc.program.Program`) are lowered first.
     *trusted_labels* are labels of host (trusted) functions: calls to
     them are summarized rather than analyzed.  *entry* is the one-based
     index of the instruction the host invokes (specifications may name
     an entry label other than the first instruction).
     """
+    if not isinstance(program, MachineProgram):
+        program = program.lower()
     return _Builder(program, set(trusted_labels)).build(entry)
 
 
 class _Builder:
-    def __init__(self, program: Program, trusted: Set[str]):
+    def __init__(self, program: MachineProgram, trusted: Set[str]):
         self.program = program
         self.trusted = trusted
         self.cfg = CFG()
+        self.cfg.arch = program.arch
         # (function label, index) -> uid of the NORMAL node.
         self._normal: Dict[Tuple[str, int], int] = {}
         # Call sites discovered while walking: (call uid, slot uid,
@@ -123,14 +133,14 @@ class _Builder:
             self._normal[key] = uid
         return uid
 
-    def _instruction(self, index: int) -> Instruction:
+    def _instruction(self, index: int) -> MachineOp:
         try:
             return self.program.instruction(index)
         except IndexError:
             raise CFGError("control flow reaches instruction %d, outside "
                            "the program" % index)
 
-    def _slot_instruction(self, index: int) -> Instruction:
+    def _slot_instruction(self, index: int) -> MachineOp:
         slot = self._instruction(index)
         if slot.is_control_transfer:
             raise CFGError(
@@ -151,25 +161,25 @@ class _Builder:
         indices of NORMAL nodes that must be expanded next."""
         uid = self._normal_uid(function, index)
         inst = self._instruction(index)
-        if inst.kind is Kind.BRANCH:
+        if isinstance(inst, CondBranch):
             return self._expand_branch(function, uid, inst)
-        if inst.kind is Kind.CALL:
+        if isinstance(inst, Call):
             return self._expand_call(function, uid, inst)
-        if inst.kind is Kind.JMPL:
-            return self._expand_jmpl(function, uid, inst, info)
+        if isinstance(inst, IndirectJump):
+            return self._expand_indirect(function, uid, inst, info)
         # Straight-line instruction.
         nxt = index + 1
         self.cfg.add_edge(uid, self._normal_uid(function, nxt))
         return [nxt]
 
     def _expand_branch(self, function: str, uid: int,
-                       inst: Instruction) -> List[int]:
-        assert inst.target is not None
-        index, target = inst.index, inst.target.index
+                       inst: CondBranch) -> List[int]:
+        index, target = inst.index, inst.target
+        slots = inst.delay_slots
         slot_index = index + 1
         out: List[int] = []
-        if inst.op == "ba":
-            if inst.annul:
+        if inst.unconditional:
+            if inst.annul or not slots:
                 self.cfg.add_edge(uid, self._normal_uid(function, target))
             else:
                 slot = self._replica(function, slot_index,
@@ -177,38 +187,50 @@ class _Builder:
                 self.cfg.add_edge(uid, slot)
                 self.cfg.add_edge(slot, self._normal_uid(function, target))
             return [target]
-        if inst.op == "bn":
+        if inst.never:
             raise CFGError("bn (branch never) at %d is not supported"
                            % index)
-        # Conditional: taken path through a slot replica.
-        taken_slot = self._replica(function, slot_index,
-                                   NodeRole.SLOT_TAKEN)
-        self.cfg.add_edge(uid, taken_slot,
-                          condition=BranchCondition(inst.op, True))
-        self.cfg.add_edge(taken_slot, self._normal_uid(function, target))
+        # Conditional: taken path (through a slot replica if delayed).
+        taken_cond = BranchCondition(inst.relation, inst.lhs, inst.rhs,
+                                     True)
+        if slots:
+            taken_slot = self._replica(function, slot_index,
+                                       NodeRole.SLOT_TAKEN)
+            self.cfg.add_edge(uid, taken_slot, condition=taken_cond)
+            self.cfg.add_edge(taken_slot,
+                              self._normal_uid(function, target))
+        else:
+            self.cfg.add_edge(uid, self._normal_uid(function, target),
+                              condition=taken_cond)
         out.append(target)
         # Fall-through path.
-        fall_index = index + 2
-        fall_cond = BranchCondition(inst.op, False)
-        if inst.annul:
-            self.cfg.add_edge(uid, self._normal_uid(function, fall_index),
-                              condition=fall_cond)
-        else:
+        fall_index = index + 1 + slots
+        fall_cond = BranchCondition(inst.relation, inst.lhs, inst.rhs,
+                                    False)
+        if slots and not inst.annul:
             fall_slot = self._replica(function, slot_index,
                                       NodeRole.SLOT_FALL)
             self.cfg.add_edge(uid, fall_slot, condition=fall_cond)
             self.cfg.add_edge(fall_slot,
                               self._normal_uid(function, fall_index))
+        else:
+            self.cfg.add_edge(uid, self._normal_uid(function, fall_index),
+                              condition=fall_cond)
         out.append(fall_index)
         return out
 
     def _expand_call(self, function: str, uid: int,
-                     inst: Instruction) -> List[int]:
-        assert inst.target is not None
-        index, target = inst.index, inst.target.index
-        slot = self._replica(function, index + 1, NodeRole.SLOT_TAKEN)
-        self.cfg.add_edge(uid, slot)
-        ret_index = index + 2
+                     inst: Call) -> List[int]:
+        index, target = inst.index, inst.target
+        slots = inst.delay_slots
+        if slots:
+            slot = self._replica(function, index + 1, NodeRole.SLOT_TAKEN)
+            self.cfg.add_edge(uid, slot)
+        else:
+            # No delay slot: the call node itself anchors the CALL and
+            # SUMMARY edges.
+            slot = uid
+        ret_index = index + 1 + slots
         ret_uid = self._normal_uid(function, ret_index)
         self.cfg.add_edge(slot, ret_uid, kind=EdgeKind.SUMMARY,
                           call_site=uid)
@@ -222,13 +244,18 @@ class _Builder:
                                         function))
         return [ret_index]
 
-    def _expand_jmpl(self, function: str, uid: int, inst: Instruction,
-                     info: FunctionInfo) -> List[int]:
+    def _expand_indirect(self, function: str, uid: int,
+                         inst: IndirectJump,
+                         info: FunctionInfo) -> List[int]:
         if not inst.is_return:
             raise CFGError(
                 "indirect jump at instruction %d is not supported by the "
                 "analysis (only retl/ret)" % inst.index)
-        slot = self._replica(function, inst.index + 1, NodeRole.SLOT_TAKEN)
-        self.cfg.add_edge(uid, slot)
-        self.cfg.add_edge(slot, info.exit)
+        if inst.delay_slots:
+            slot = self._replica(function, inst.index + 1,
+                                 NodeRole.SLOT_TAKEN)
+            self.cfg.add_edge(uid, slot)
+            self.cfg.add_edge(slot, info.exit)
+        else:
+            self.cfg.add_edge(uid, info.exit)
         return []

@@ -10,7 +10,8 @@ therefore appear as several nodes, distinguished by their
 Edges carry an optional branch condition — the paper labels each CFG edge
 out of a conditional branch with the condition under which the edge is
 taken, phrased over the ``icc`` condition-code variable (set by the most
-recent ``subcc``/``cmp``).
+recent ``subcc``/``cmp``).  The graph holds architecture-neutral IR ops
+(:class:`~repro.ir.ops.MachineOp`); nothing here depends on an ISA.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.sparc.isa import Instruction
+from repro.ir.ops import MachineOp, Operand
 
 
 class NodeRole(enum.Enum):
@@ -47,18 +48,23 @@ class EdgeKind(enum.Enum):
 class BranchCondition:
     """The condition labeling an edge out of a conditional branch.
 
-    *op* is the canonical branch mnemonic (``bl``, ``bge`` …); *taken*
-    says whether this edge is the taken or the fall-through edge.  The
-    verification phase turns this into a linear constraint on the
-    operands of the dominating ``cmp``.
+    *relation* is one of ``== != < <= > >=`` (or None for branches the
+    analysis treats as nondeterministic) comparing *lhs* with *rhs*;
+    *taken* says whether this edge is the taken or the fall-through
+    edge.  The verification phase turns this into a linear constraint
+    (on SPARC: over the ``$icc`` variable set by the dominating
+    ``cmp``; on RISC ISAs that compare registers directly, over the
+    register operands themselves).
     """
 
-    op: str
-    taken: bool
+    relation: Optional[str] = None
+    lhs: Optional[Operand] = None
+    rhs: Optional[Operand] = None
+    taken: bool = True
 
     def __str__(self) -> str:
-        return ("icc: %s" % self.op[1:]) if self.taken \
-            else ("icc: not-%s" % self.op[1:])
+        body = "%s %s %s" % (self.lhs, self.relation or "?", self.rhs)
+        return body if self.taken else "not(%s)" % body
 
 
 @dataclass
@@ -67,7 +73,7 @@ class Node:
     synthetic EXIT nodes."""
 
     uid: int
-    instruction: Optional[Instruction]
+    instruction: Optional[MachineOp]
     role: NodeRole = NodeRole.NORMAL
     #: One-based index of the underlying instruction (0 for EXIT nodes).
     index: int = 0
@@ -79,7 +85,7 @@ class Node:
             return "Node(%d, <exit %s>)" % (self.uid, self.function)
         tag = "" if self.role is NodeRole.NORMAL else " %s" % self.role.value
         return "Node(%d, %d:%s%s)" % (self.uid, self.index,
-                                      self.instruction.op, tag)
+                                      self.instruction.opname, tag)
 
 
 @dataclass(frozen=True)
@@ -118,11 +124,13 @@ class CFG:
         self._pred: Dict[int, List[Edge]] = {}
         self.functions: Dict[str, FunctionInfo] = {}
         self.entry_uid: int = -1
+        #: The ArchInfo of the lowered program, set by the builder.
+        self.arch = None
         self._next_uid = 0
 
     # -- construction ----------------------------------------------------------
 
-    def add_node(self, instruction: Optional[Instruction],
+    def add_node(self, instruction: Optional[MachineOp],
                  role: NodeRole = NodeRole.NORMAL,
                  function: str = "") -> Node:
         uid = self._next_uid

@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro.errors import ReproError
 from repro.analysis.checker import SafetyChecker
 from repro.analysis.report import render_figure9
+from repro.ir.frontend import frontend_names, get_frontend
 from repro.policy.parser import parse_spec
 from repro.sparc.assembler import assemble
 from repro.sparc.decoder import decode_program
@@ -49,8 +50,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Safety checker for SPARC machine code "
-                    "(PLDI 2000 reproduction)")
+        description="Safety checker for machine code — SPARC V8 and "
+                    "RV32I frontends (PLDI 2000 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="check untrusted code against "
@@ -59,7 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "--binary)")
     check.add_argument("spec", help="host specification file")
     check.add_argument("--binary", action="store_true",
-                       help="treat CODE as raw SPARC V8 machine code")
+                       help="treat CODE as raw machine code")
+    check.add_argument("--arch", choices=frontend_names(),
+                       default="sparc",
+                       help="instruction-set architecture of CODE "
+                            "(default: sparc)")
     check.add_argument("--json", action="store_true",
                        help="machine-readable output")
     check.add_argument("--verbose", action="store_true",
@@ -75,6 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     disasm = sub.add_parser("disasm", help="disassemble machine code")
     disasm.add_argument("binary")
+    disasm.add_argument("--arch", choices=frontend_names(),
+                        default="sparc",
+                        help="instruction-set architecture of BINARY "
+                             "(default: sparc)")
     disasm.set_defaults(handler=_cmd_disasm)
 
     cfg = sub.add_parser("cfg", help="print the control-flow graph")
@@ -122,16 +131,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_program(args):
+    arch = getattr(args, "arch", "sparc")
     if getattr(args, "binary", False) or args.code.endswith((".bin",
                                                             ".ro")):
         with open(args.code, "rb") as handle:
             blob = handle.read()
-        if blob[:4] == b"RPRO":
+        if arch == "sparc" and blob[:4] == b"RPRO":
             from repro.sparc.objfile import read_object
             return read_object(blob, name=args.code)
-        return decode_program(blob, name=args.code)
+        if arch == "sparc":
+            return decode_program(blob, name=args.code)
+        return get_frontend(arch).decode(blob, name=args.code)
     with open(args.code) as handle:
-        return assemble(handle.read(), name=args.code)
+        text = handle.read()
+    if arch == "sparc":
+        return assemble(text, name=args.code)
+    return get_frontend(arch).assemble(text, name=args.code)
 
 
 def _cmd_check(args) -> int:
@@ -190,11 +205,15 @@ def _cmd_asm(args) -> int:
 def _cmd_disasm(args) -> int:
     with open(args.binary, "rb") as handle:
         blob = handle.read()
-    if blob[:4] == b"RPRO":
-        from repro.sparc.objfile import read_object
-        program = read_object(blob, name=args.binary)
+    arch = getattr(args, "arch", "sparc")
+    if arch == "sparc":
+        if blob[:4] == b"RPRO":
+            from repro.sparc.objfile import read_object
+            program = read_object(blob, name=args.binary)
+        else:
+            program = decode_program(blob, name=args.binary)
     else:
-        program = decode_program(blob, name=args.binary)
+        program = get_frontend(arch).decode(blob, name=args.binary)
     print(program.listing(canonical=True))
     return 0
 

@@ -1,0 +1,23 @@
+"""Architecture-neutral IR consumed by the analysis core.
+
+Frontends (``repro.sparc``, ``repro.riscv``) lower decoded machine
+instructions to the op set defined here; the five analysis phases and
+the CFG builder dispatch on these ops only and never import an ISA
+module.
+"""
+
+from repro.ir.arch import ArchInfo
+from repro.ir.frontend import Frontend, frontend_names, get_frontend
+from repro.ir.ops import (
+    CC_VAR, AddrExpr, Assign, BinOp, Call, CondBranch, ConstOp,
+    IndirectJump, Load, MachineOp, Nop, OpVisitor, RegOp, SetConst,
+    Store, Unsupported,
+)
+from repro.ir.program import MachineProgram
+
+__all__ = [
+    "ArchInfo", "Frontend", "frontend_names", "get_frontend",
+    "CC_VAR", "AddrExpr", "Assign", "BinOp", "Call", "CondBranch",
+    "ConstOp", "IndirectJump", "Load", "MachineOp", "Nop", "OpVisitor",
+    "RegOp", "SetConst", "Store", "Unsupported", "MachineProgram",
+]

@@ -1,0 +1,33 @@
+"""Architecture descriptions consumed by the analysis core.
+
+An :class:`ArchInfo` is everything the ISA-independent phases need to
+know about a machine: its register file, which register links return
+addresses, which registers are hardwired constants, which are protected
+by the stack-discipline check, and the stack alignment that check
+enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ArchInfo:
+    """Static facts about one machine architecture."""
+
+    name: str = ""
+    #: Canonical names of all architecturally visible integer registers.
+    registers: Tuple[str, ...] = ()
+    #: Register that receives the return address on a call, if any.
+    link_register: Optional[str] = None
+    #: Registers hardwired to a constant (SPARC ``%g0``, RISC-V
+    #: ``zero``); initialized and readable but never tracked as state.
+    constant_registers: Tuple[str, ...] = ()
+    #: Registers the untrusted code may only adjust by aligned
+    #: constants (stack/frame pointers).
+    protected_registers: Tuple[str, ...] = field(default=())
+    #: Required alignment (bytes) for adjustments to protected
+    #: registers.
+    stack_align: int = 8

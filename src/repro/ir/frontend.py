@@ -1,0 +1,57 @@
+"""Frontend registry: named architectures the checker can consume.
+
+A frontend bundles the pieces the pipeline needs from an ISA:
+
+* ``arch`` — the :class:`~repro.ir.arch.ArchInfo` description,
+* ``assemble(text, name)`` — assembly text to a lowered
+  :class:`~repro.ir.program.MachineProgram`,
+* ``decode(blob, name)`` — raw machine code to a lowered program
+  (optional; ``None`` when the frontend has no binary decoder).
+
+Frontends are imported lazily so that, e.g., the RISC-V modules are
+only loaded when ``--arch riscv`` is requested.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+from repro.ir.arch import ArchInfo
+from repro.ir.program import MachineProgram
+
+
+@dataclass(frozen=True)
+class Frontend:
+    """One registered architecture frontend."""
+
+    name: str
+    arch: ArchInfo
+    assemble: Callable[..., MachineProgram]
+    decode: Optional[Callable[..., MachineProgram]] = None
+
+
+#: Lazily imported modules; each must expose a module-level FRONTEND.
+_FRONTEND_MODULES = {
+    "sparc": "repro.sparc.lower",
+    "riscv": "repro.riscv.lower",
+}
+
+
+def frontend_names():
+    """Names accepted by :func:`get_frontend` (CLI ``--arch`` choices)."""
+    return sorted(_FRONTEND_MODULES)
+
+
+def get_frontend(name: str) -> Frontend:
+    """Return the :class:`Frontend` registered under *name*."""
+    try:
+        module_name = _FRONTEND_MODULES[name]
+    except KeyError:
+        raise ReproError(
+            "unknown architecture %r (choose from %s)"
+            % (name, ", ".join(frontend_names())))
+    module = importlib.import_module(module_name)
+    return module.FRONTEND

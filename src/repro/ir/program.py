@@ -1,0 +1,87 @@
+"""Container for a lowered (architecture-neutral) program.
+
+A :class:`MachineProgram` is the unit the analysis core consumes: an
+ordered sequence of :class:`~repro.ir.ops.MachineOp` with one-based
+indices (matching the paper's figures), the label map from the
+frontend, and the :class:`~repro.ir.arch.ArchInfo` describing the
+machine the code was lowered from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.arch import ArchInfo
+from repro.ir.ops import Call, CondBranch, MachineOp
+
+
+class MachineProgram:
+    """A lowered program: IR ops plus label bindings and arch facts."""
+
+    def __init__(self, ops: List[MachineOp],
+                 labels: Optional[Dict[str, int]] = None,
+                 name: str = "untrusted",
+                 arch: Optional[ArchInfo] = None):
+        self.name = name
+        self.ops: List[MachineOp] = [
+            op.with_index(i + 1) for i, op in enumerate(ops)
+        ]
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.arch = arch
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[MachineOp]:
+        return iter(self.ops)
+
+    def instruction(self, index: int) -> MachineOp:
+        """Return the op at one-based *index*."""
+        if not 1 <= index <= len(self.ops):
+            raise IndexError("instruction index %d out of range 1..%d"
+                             % (index, len(self.ops)))
+        return self.ops[index - 1]
+
+    def label_index(self, label: str) -> int:
+        """Return the one-based index bound to *label*."""
+        return self.labels[label]
+
+    def label_at(self, index: int) -> Optional[str]:
+        """Return a label bound to *index*, if any."""
+        for name, bound in self.labels.items():
+            if bound == index:
+                return name
+        return None
+
+    # -- structure queries ---------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Instruction-mix statistics (used by the Figure 9 table)."""
+        branches = sum(1 for op in self.ops
+                       if isinstance(op, CondBranch)
+                       and not op.unconditional)
+        calls = sum(1 for op in self.ops if isinstance(op, Call))
+        return {
+            "instructions": len(self.ops),
+            "branches": branches,
+            "calls": calls,
+        }
+
+    # -- rendering -----------------------------------------------------------
+
+    def listing(self, canonical: bool = False) -> str:
+        """Render a numbered listing, paper-figure style."""
+        width = len(str(len(self.ops)))
+        lines = []
+        for op in self.ops:
+            label = self.label_at(op.index)
+            if label is not None and not label.isdigit():
+                lines.append("%s:" % label)
+            lines.append("%*d: %s" % (width, op.index,
+                                      op.render(canonical=canonical)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "MachineProgram(%r, %d ops)" % (self.name, len(self.ops))

@@ -228,7 +228,7 @@ _RULE_RE = re.compile(
     r"(?P<perms>[rwfxo]+)\s*\]\s*$")
 
 _PARAM_RE = re.compile(
-    r"^(param|returns)\s+(?P<reg>%\w+)\s*:\s*(?P<type>[^=]+?)"
+    r"^(param|returns)\s+(?P<reg>%?\w+)\s*:\s*(?P<type>[^=]+?)"
     r"(?:=\s*(?P<state>\{[^}]*\}|\w+))?"
     r"(?:\s+perms\s+(?P<perms>[rwfxo]+))?\s*$")
 
@@ -358,7 +358,7 @@ class _SpecParser:
                         match.group("perms"))
 
     def _parse_invoke(self, line: str) -> None:
-        match = re.match(r"^invoke\s+(%\w+)\s*(?:=|<-)\s*([\w.$]+)\s*$",
+        match = re.match(r"^invoke\s+(%?\w+)\s*(?:=|<-)\s*([\w.$]+)\s*$",
                          line)
         if not match:
             raise SpecError("cannot parse invocation binding %r" % line)

@@ -1,0 +1,13 @@
+"""The RV32I frontend: a second machine backend for the checker."""
+
+from repro.riscv.assembler import assemble, Assembler
+from repro.riscv.decoder import decode_instruction, decode_program
+from repro.riscv.isa import RvInstruction
+from repro.riscv.lower import RISCV_ARCH, lower_instruction, lower_program
+from repro.riscv.program import RvProgram
+
+__all__ = [
+    "Assembler", "RISCV_ARCH", "RvInstruction", "RvProgram", "assemble",
+    "decode_instruction", "decode_program", "lower_instruction",
+    "lower_program",
+]

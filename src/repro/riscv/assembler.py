@@ -1,0 +1,236 @@
+"""A two-pass assembler for the RV32I subset.
+
+Accepted syntax is the standard GNU dialect:
+
+* one instruction per line; ``#``, ``//``, and ``;`` start comments;
+* optional labels (``name:``, including numeric line labels);
+* branch/jump targets may be labels or absolute one-based instruction
+  numbers (the style of the paper's figures);
+* the usual pseudo-instructions are expanded: ``nop``, ``mv``, ``li``,
+  ``ret``, ``j``, ``call``, ``beqz``/``bnez``.
+
+Pass one collects labels and raw statements; pass two resolves targets
+and produces a :class:`~repro.riscv.program.RvProgram`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.riscv import registers
+from repro.riscv.isa import (
+    ALU_IMM_OPS, ALU_OPS, BRANCH_RELATION, LOAD_SIGNED, MEM_SIZE,
+    RvInstruction,
+)
+from repro.riscv.program import RvProgram
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*|\d+):")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+_SIMM12_MIN, _SIMM12_MAX = -2048, 2047
+
+
+def assemble(text: str, name: str = "untrusted") -> RvProgram:
+    """Assemble RV32I assembly *text* into an :class:`RvProgram`."""
+    return Assembler(text, name=name).assemble()
+
+
+class _Statement:
+    def __init__(self, mnemonic: str, operands: List[str], line: int,
+                 text: str):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line = line
+        self.text = text
+
+
+class Assembler:
+    """Two-pass assembler; see module docstring for the dialect."""
+
+    def __init__(self, text: str, name: str = "untrusted"):
+        self._text = text
+        self._name = name
+
+    def assemble(self) -> RvProgram:
+        statements, labels = self._parse_statements()
+        instructions: List[RvInstruction] = []
+        label_indices: Dict[str, int] = {}
+        pending = list(labels)
+        position = 0
+        for stmt in statements:
+            while pending and pending[0][1] == position:
+                label_indices[pending.pop(0)[0]] = len(instructions) + 1
+            for inst in self._expand(stmt):
+                instructions.append(inst)
+            position += 1
+        while pending:
+            label_indices[pending.pop(0)[0]] = len(instructions) + 1
+        resolved = [self._resolve_target(inst, label_indices,
+                                         len(instructions))
+                    for inst in instructions]
+        return RvProgram(resolved, labels=label_indices, name=self._name)
+
+    # -- pass one ------------------------------------------------------------
+
+    def _parse_statements(self) -> Tuple[List[_Statement],
+                                         List[Tuple[str, int]]]:
+        statements: List[_Statement] = []
+        labels: List[Tuple[str, int]] = []
+        for lineno, raw in enumerate(self._text.splitlines(), start=1):
+            line = re.split(r"#|//|;", raw, 1)[0].strip()
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                labels.append((match.group(1), len(statements)))
+                line = line[match.end():].strip()
+            if not line or line.startswith("."):
+                continue
+            mnemonic, __, rest = line.partition(" ")
+            operands = [o.strip() for o in rest.strip().split(",")
+                        if o.strip()]
+            statements.append(_Statement(mnemonic.strip().lower(),
+                                         operands, lineno, line))
+        return statements, labels
+
+    # -- pass two ------------------------------------------------------------
+
+    def _expand(self, stmt: _Statement) -> List[RvInstruction]:
+        op = stmt.mnemonic
+        try:
+            return self._expand_checked(stmt, op)
+        except AssemblyError:
+            raise
+        except (KeyError, ValueError, IndexError) as exc:
+            raise AssemblyError("cannot assemble %r (%s)"
+                                % (stmt.text, exc), line=stmt.line)
+
+    def _expand_checked(self, stmt: _Statement,
+                        op: str) -> List[RvInstruction]:
+        ops = stmt.operands
+        text = stmt.text
+        if op == "nop":
+            return [RvInstruction(op="addi", rd="zero", rs1="zero",
+                                  imm=0, source_text=text)]
+        if op == "mv":
+            return [RvInstruction(op="addi", rd=_reg(ops[0]),
+                                  rs1=_reg(ops[1]), imm=0,
+                                  source_text=text)]
+        if op == "li":
+            return self._expand_li(ops, stmt)
+        if op == "ret":
+            return [RvInstruction(op="jalr", rd="zero", rs1="ra", imm=0,
+                                  source_text=text)]
+        if op == "j":
+            return [RvInstruction(op="jal", rd="zero",
+                                  target_label=ops[0], source_text=text)]
+        if op == "call":
+            return [RvInstruction(op="jal", rd="ra",
+                                  target_label=ops[0], source_text=text)]
+        if op in ("beqz", "bnez"):
+            return [RvInstruction(op="beq" if op == "beqz" else "bne",
+                                  rs1=_reg(ops[0]), rs2="zero",
+                                  target_label=ops[1], source_text=text)]
+        if op in ALU_OPS:
+            return [RvInstruction(op=op, rd=_reg(ops[0]),
+                                  rs1=_reg(ops[1]), rs2=_reg(ops[2]),
+                                  source_text=text)]
+        if op in ALU_IMM_OPS:
+            return [RvInstruction(op=op, rd=_reg(ops[0]),
+                                  rs1=_reg(ops[1]),
+                                  imm=self._imm(ops[2], stmt),
+                                  source_text=text)]
+        if op in LOAD_SIGNED:
+            offset, base = _mem(ops[1])
+            return [RvInstruction(op=op, rd=_reg(ops[0]), rs1=base,
+                                  imm=offset, source_text=text)]
+        if op in MEM_SIZE:  # stores
+            offset, base = _mem(ops[1])
+            return [RvInstruction(op=op, rs2=_reg(ops[0]), rs1=base,
+                                  imm=offset, source_text=text)]
+        if op in BRANCH_RELATION:
+            return [RvInstruction(op=op, rs1=_reg(ops[0]),
+                                  rs2=_reg(ops[1]), target_label=ops[2],
+                                  source_text=text)]
+        if op == "lui":
+            return [RvInstruction(op="lui", rd=_reg(ops[0]),
+                                  imm=int(ops[1], 0), source_text=text)]
+        if op == "jal":
+            if len(ops) == 1:  # "jal target" links through ra
+                return [RvInstruction(op="jal", rd="ra",
+                                      target_label=ops[0],
+                                      source_text=text)]
+            return [RvInstruction(op="jal", rd=_reg(ops[0]),
+                                  target_label=ops[1], source_text=text)]
+        if op == "jalr":
+            if len(ops) == 1:  # "jalr rs" == jalr ra,0(rs)
+                return [RvInstruction(op="jalr", rd="ra",
+                                      rs1=_reg(ops[0]), imm=0,
+                                      source_text=text)]
+            offset, base = _mem(ops[1])
+            return [RvInstruction(op="jalr", rd=_reg(ops[0]), rs1=base,
+                                  imm=offset, source_text=text)]
+        raise AssemblyError("unknown mnemonic %r" % op, line=stmt.line)
+
+    def _expand_li(self, ops: List[str],
+                   stmt: _Statement) -> List[RvInstruction]:
+        rd = _reg(ops[0])
+        value = int(ops[1], 0)
+        if _SIMM12_MIN <= value <= _SIMM12_MAX:
+            return [RvInstruction(op="addi", rd=rd, rs1="zero",
+                                  imm=value, source_text=stmt.text)]
+        upper = (value + 0x800) >> 12
+        lower = value - (upper << 12)
+        out = [RvInstruction(op="lui", rd=rd, imm=upper & 0xFFFFF,
+                             source_text=stmt.text)]
+        if lower:
+            out.append(RvInstruction(op="addi", rd=rd, rs1=rd, imm=lower,
+                                     source_text=stmt.text))
+        return out
+
+    def _imm(self, text: str, stmt: _Statement) -> int:
+        value = int(text, 0)
+        if not _SIMM12_MIN <= value <= _SIMM12_MAX:
+            raise AssemblyError("immediate %d out of simm12 range"
+                                % value, line=stmt.line)
+        return value
+
+    def _resolve_target(self, inst: RvInstruction,
+                        labels: Dict[str, int],
+                        count: int) -> RvInstruction:
+        label = inst.target_label
+        if label is None:
+            return inst
+        if label in labels:
+            index = labels[label]
+        elif re.fullmatch(r"\d+", label):
+            index = int(label)
+        elif inst.op == "jal":
+            # A call to a label not defined in the untrusted code is an
+            # *external* call (to the trusted host).  Target index 0
+            # marks externals, as in the SPARC frontend.
+            from dataclasses import replace
+            return replace(inst, target=0)
+        else:
+            raise AssemblyError("undefined label %r in %r"
+                                % (label, inst.source_text))
+        if not 1 <= index <= count + 1:
+            raise AssemblyError("target %d outside the program in %r"
+                                % (index, inst.source_text))
+        from dataclasses import replace
+        return replace(inst, target=index)
+
+
+def _reg(text: str) -> str:
+    try:
+        return registers.canonical(text)
+    except KeyError:
+        raise AssemblyError("unknown register %r" % text)
+
+
+def _mem(text: str) -> Tuple[int, str]:
+    match = _MEM_RE.match(text.replace(" ", ""))
+    if not match:
+        raise AssemblyError("cannot parse memory operand %r" % text)
+    return int(match.group(1), 0), _reg(match.group(2))

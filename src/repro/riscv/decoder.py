@@ -1,0 +1,125 @@
+"""A decoder for the RV32I subset (little-endian 32-bit words).
+
+The safety checker operates on binary code; this decoder turns machine
+words back into :class:`~repro.riscv.isa.RvInstruction`, synthesizing
+``Ln`` labels for branch/jump targets like the SPARC decoder does.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Union
+
+from repro.errors import DecodingError
+from repro.riscv.isa import RvInstruction
+from repro.riscv.program import RvProgram
+from repro.riscv.registers import name_of
+
+_R_FUNCT = {
+    (0, 0x00): "add", (0, 0x20): "sub",
+    (1, 0x00): "sll", (2, 0x00): "slt", (3, 0x00): "sltu",
+    (4, 0x00): "xor", (5, 0x00): "srl", (5, 0x20): "sra",
+    (6, 0x00): "or", (7, 0x00): "and",
+}
+_I_FUNCT = {0: "addi", 1: "slli", 2: "slti", 3: "sltiu", 4: "xori",
+            6: "ori", 7: "andi"}
+_LOAD_FUNCT = {0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}
+_STORE_FUNCT = {0: "sb", 1: "sh", 2: "sw"}
+_BRANCH_FUNCT = {0: "beq", 1: "bne", 4: "blt", 5: "bge",
+                 6: "bltu", 7: "bgeu"}
+
+
+def _signed(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def decode_instruction(word: int, position: int = 0) -> RvInstruction:
+    """Decode one word; *position* is the zero-based instruction slot
+    (branch targets resolve to one-based indices relative to it)."""
+    opcode = word & 0x7F
+    rd = name_of((word >> 7) & 0x1F)
+    funct3 = (word >> 12) & 0x7
+    rs1 = name_of((word >> 15) & 0x1F)
+    rs2 = name_of((word >> 20) & 0x1F)
+    funct7 = (word >> 25) & 0x7F
+    imm_i = _signed(word >> 20, 12)
+
+    if opcode == 0x33:  # OP (R-type)
+        op = _R_FUNCT.get((funct3, funct7))
+        if op is None:
+            raise DecodingError("unsupported R-type funct %d/%#x at %d"
+                                % (funct3, funct7, position))
+        return RvInstruction(op=op, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == 0x13:  # OP-IMM
+        if funct3 == 5:
+            op = "srai" if funct7 == 0x20 else "srli"
+            return RvInstruction(op=op, rd=rd, rs1=rs1,
+                                 imm=(word >> 20) & 0x1F)
+        op = _I_FUNCT[funct3]
+        imm = ((word >> 20) & 0x1F) if op == "slli" else imm_i
+        return RvInstruction(op=op, rd=rd, rs1=rs1, imm=imm)
+    if opcode == 0x03:  # LOAD
+        op = _LOAD_FUNCT.get(funct3)
+        if op is None:
+            raise DecodingError("unsupported load funct3 %d at %d"
+                                % (funct3, position))
+        return RvInstruction(op=op, rd=rd, rs1=rs1, imm=imm_i)
+    if opcode == 0x23:  # STORE
+        op = _STORE_FUNCT.get(funct3)
+        if op is None:
+            raise DecodingError("unsupported store funct3 %d at %d"
+                                % (funct3, position))
+        imm = _signed((funct7 << 5) | ((word >> 7) & 0x1F), 12)
+        return RvInstruction(op=op, rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == 0x63:  # BRANCH
+        op = _BRANCH_FUNCT.get(funct3)
+        if op is None:
+            raise DecodingError("unsupported branch funct3 %d at %d"
+                                % (funct3, position))
+        imm = _signed(
+            ((word >> 31) << 12) | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1),
+            13)
+        return RvInstruction(op=op, rs1=rs1, rs2=rs2,
+                             target=position + imm // 4 + 1)
+    if opcode == 0x37:  # LUI
+        return RvInstruction(op="lui", rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if opcode == 0x6F:  # JAL
+        imm = _signed(
+            ((word >> 31) << 20) | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1),
+            21)
+        return RvInstruction(op="jal", rd=rd,
+                             target=position + imm // 4 + 1)
+    if opcode == 0x67 and funct3 == 0:  # JALR
+        return RvInstruction(op="jalr", rd=rd, rs1=rs1, imm=imm_i)
+    raise DecodingError("cannot decode word %#010x at instruction %d"
+                        % (word, position))
+
+
+def decode_program(code: Union[bytes, bytearray, List[int]],
+                   name: str = "decoded") -> RvProgram:
+    """Decode a code image (bytes or a list of words) into a program."""
+    if isinstance(code, (bytes, bytearray)):
+        if len(code) % 4:
+            raise DecodingError("code image length %d is not a multiple "
+                                "of 4" % len(code))
+        words = [struct.unpack("<I", bytes(code[i:i + 4]))[0]
+                 for i in range(0, len(code), 4)]
+    else:
+        words = [w & 0xFFFFFFFF for w in code]
+    instructions = [decode_instruction(word, i)
+                    for i, word in enumerate(words)]
+    labels: Dict[str, int] = {}
+    for inst in instructions:
+        if inst.target is not None and 1 <= inst.target:
+            labels.setdefault("L%d" % inst.target, inst.target)
+    from dataclasses import replace
+    resolved = [
+        replace(inst, target_label="L%d" % inst.target)
+        if inst.target is not None else inst
+        for inst in instructions
+    ]
+    return RvProgram(resolved, labels=labels, name=name)

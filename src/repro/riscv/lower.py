@@ -1,0 +1,162 @@
+"""Lowering: RV32I instructions to the architecture-neutral IR.
+
+Each :class:`~repro.riscv.isa.RvInstruction` maps to exactly one
+:class:`~repro.ir.ops.MachineOp`; the raw instruction is kept as a
+back-pointer for diagnostics and listings.  Lowering canonicalizes the
+hardwired zero register exactly like the SPARC frontend does for
+``%g0``: reads of ``zero`` become ``ConstOp(0)``, writes to it a
+discarded destination.  Register copies (``mv``, i.e. ``addi rd,rs,0``,
+and ``add rd,zero,rs``) are normalized to the IR's canonical move form
+``Assign(OR, ConstOp(0), RegOp(rs))`` so typestates flow through them.
+
+RISC-V has no condition codes and no delay slots: branches carry their
+two register operands directly on the :class:`CondBranch` and every
+control transfer has ``delay_slots=0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.arch import ArchInfo
+from repro.ir.frontend import Frontend
+from repro.ir.ops import (
+    AddrExpr, Assign, BinOp, Call, CondBranch, ConstOp, IndirectJump,
+    Load, MachineOp, Nop, Operand, RegOp, SetConst, Store, Unsupported,
+)
+from repro.ir.program import MachineProgram
+from repro.riscv.isa import (
+    BRANCH_RELATION, LOAD_SIGNED, MEM_SIZE, RvInstruction,
+)
+from repro.riscv.program import RvProgram
+from repro.riscv.registers import REGISTER_NAMES
+
+#: Architecture facts the analysis core needs about RV32I.
+RISCV_ARCH = ArchInfo(
+    name="riscv",
+    registers=tuple(REGISTER_NAMES),
+    link_register="ra",
+    constant_registers=("zero",),
+    protected_registers=("sp",),
+    stack_align=16,
+)
+
+#: R-type / I-type mnemonics to IR operators (``slt``/``sltu`` and
+#: their immediate forms have no linear semantics and stay unsupported).
+_BINOP = {
+    "add": BinOp.ADD, "addi": BinOp.ADD,
+    "sub": BinOp.SUB,
+    "and": BinOp.AND, "andi": BinOp.AND,
+    "or": BinOp.OR, "ori": BinOp.OR,
+    "xor": BinOp.XOR, "xori": BinOp.XOR,
+    "sll": BinOp.SLL, "slli": BinOp.SLL,
+    "srl": BinOp.SRL, "srli": BinOp.SRL,
+    "sra": BinOp.SRA, "srai": BinOp.SRA,
+}
+
+_IMM_OPS = ("addi", "andi", "ori", "xori", "slli", "srli", "srai")
+
+
+def _reg(name: Optional[str]) -> Operand:
+    if name is None or name == "zero":
+        return ConstOp(0)
+    return RegOp(name)
+
+
+def _dest(name: Optional[str]) -> Optional[str]:
+    if name is None or name == "zero":
+        return None
+    return name
+
+
+def _move(dest: Optional[str], src: str, common) -> MachineOp:
+    if dest is None:
+        return Nop(**common)
+    return Assign(dest=dest, op=BinOp.OR, src1=ConstOp(0),
+                  src2=RegOp(src), **common)
+
+
+def _lui_value(imm20: int) -> int:
+    value = (imm20 & 0xFFFFF) << 12
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def lower_instruction(inst: RvInstruction) -> MachineOp:
+    """Map one RV32I instruction to exactly one IR op."""
+    common = dict(index=inst.index, raw=inst, text=inst.render())
+    op = inst.op
+    if op == "addi":
+        dest = _dest(inst.rd)
+        if inst.rs1 == "zero":
+            if dest is None:
+                return Nop(**common)  # canonical nop
+            return SetConst(dest=dest, value=inst.imm, **common)
+        if inst.imm == 0:
+            return _move(dest, inst.rs1, common)  # mv rd,rs
+    if op == "add" and inst.rs1 == "zero" and inst.rs2 != "zero":
+        return _move(_dest(inst.rd), inst.rs2, common)
+    if op in _BINOP:
+        src2 = (ConstOp(inst.imm) if op in _IMM_OPS
+                else _reg(inst.rs2))
+        return Assign(dest=_dest(inst.rd), op=_BINOP[op],
+                      src1=_reg(inst.rs1), src2=src2, **common)
+    if op == "lui":
+        dest = _dest(inst.rd)
+        if dest is None:
+            return Nop(**common)
+        return SetConst(dest=dest, value=_lui_value(inst.imm), **common)
+    if op in LOAD_SIGNED:
+        return Load(dest=_dest(inst.rd),
+                    addr=AddrExpr(base=inst.rs1, offset=inst.imm),
+                    width=MEM_SIZE[op], signed=LOAD_SIGNED[op], **common)
+    if op in ("sb", "sh", "sw"):
+        return Store(src=_reg(inst.rs2),
+                     addr=AddrExpr(base=inst.rs1, offset=inst.imm),
+                     width=MEM_SIZE[op], **common)
+    if op in BRANCH_RELATION:
+        return CondBranch(relation=BRANCH_RELATION[op],
+                          lhs=_reg(inst.rs1), rhs=_reg(inst.rs2),
+                          target=inst.target,
+                          target_label=inst.target_label,
+                          delay_slots=0, **common)
+    if op == "jal":
+        if _dest(inst.rd) is None:
+            return CondBranch(relation=None, target=inst.target,
+                              target_label=inst.target_label,
+                              unconditional=True, delay_slots=0,
+                              **common)
+        return Call(target=inst.target if inst.target is not None else 0,
+                    target_label=inst.target_label,
+                    link=inst.rd, delay_slots=0, **common)
+    if op == "jalr":
+        is_return = (_dest(inst.rd) is None and inst.rs1 == "ra"
+                     and inst.imm == 0)
+        return IndirectJump(base=inst.rs1, offset=inst.imm,
+                            link=_dest(inst.rd), is_return=is_return,
+                            delay_slots=0, **common)
+    return Unsupported(reason="no abstract semantics for %r" % (inst,),
+                       **common)
+
+
+def lower_program(program: RvProgram) -> MachineProgram:
+    """Lower an assembled/decoded RV32I program to the IR."""
+    ops = [lower_instruction(inst) for inst in program]
+    return MachineProgram(ops, labels=program.labels,
+                          name=program.name, arch=RISCV_ARCH)
+
+
+# -- frontend registration ---------------------------------------------------
+
+
+def _assemble(text: str, name: str = "untrusted") -> MachineProgram:
+    from repro.riscv.assembler import assemble
+    return lower_program(assemble(text, name=name))
+
+
+def _decode(blob, name: str = "decoded") -> MachineProgram:
+    from repro.riscv.decoder import decode_program
+    return lower_program(decode_program(blob, name=name))
+
+
+FRONTEND = Frontend(name="riscv", arch=RISCV_ARCH,
+                    assemble=_assemble, decode=_decode)

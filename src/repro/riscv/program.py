@@ -1,30 +1,26 @@
-"""Container for an assembled SPARC program.
+"""Container for an assembled/decoded RV32I program.
 
-A :class:`Program` is an ordered sequence of instructions with one-based
-indices (matching the paper's figures, which number instructions from 1),
-plus the label map produced by the assembler.  It is the unit consumed by
-the CFG builder, the emulator, the encoder, and the safety checker.
+Mirrors :class:`repro.sparc.program.Program`: one-based instruction
+indices, a label map, and a ``lower()`` method producing the
+architecture-neutral :class:`~repro.ir.program.MachineProgram` the
+analysis consumes.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
-from repro.sparc.isa import Instruction, Kind
+from repro.riscv.isa import RvInstruction
 
 
-class Program:
-    """An assembled program: instructions plus label bindings.
+class RvProgram:
+    """An RV32I program: instructions plus label bindings."""
 
-    Instructions are addressed by one-based index.  If the program was
-    decoded from machine words, labels are synthesized for branch targets.
-    """
-
-    def __init__(self, instructions: List[Instruction],
+    def __init__(self, instructions: List[RvInstruction],
                  labels: Optional[Dict[str, int]] = None,
                  name: str = "untrusted"):
         self.name = name
-        self.instructions: List[Instruction] = [
+        self.instructions: List[RvInstruction] = [
             inst.with_index(i + 1) for i, inst in enumerate(instructions)
         ]
         self.labels: Dict[str, int] = dict(labels or {})
@@ -34,10 +30,10 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
-    def __iter__(self) -> Iterator[Instruction]:
+    def __iter__(self) -> Iterator[RvInstruction]:
         return iter(self.instructions)
 
-    def instruction(self, index: int) -> Instruction:
+    def instruction(self, index: int) -> RvInstruction:
         """Return the instruction at one-based *index*."""
         if not 1 <= index <= len(self.instructions):
             raise IndexError("instruction index %d out of range 1..%d"
@@ -58,31 +54,8 @@ class Program:
     def lower(self):
         """Lower to the architecture-neutral IR consumed by the
         analysis (a :class:`~repro.ir.program.MachineProgram`)."""
-        from repro.sparc.lower import lower_program
+        from repro.riscv.lower import lower_program
         return lower_program(self)
-
-    # -- structure queries ---------------------------------------------------
-
-    def call_target_indices(self) -> List[int]:
-        """Indices that are targets of ``call`` instructions (function
-        entries, in source order, deduplicated)."""
-        seen = []
-        for inst in self.instructions:
-            if inst.kind is Kind.CALL and inst.target is not None:
-                if inst.target.index not in seen:
-                    seen.append(inst.target.index)
-        return seen
-
-    def counts(self) -> Dict[str, int]:
-        """Instruction-mix statistics (used by the Figure 9 table)."""
-        branches = sum(1 for i in self.instructions
-                       if i.kind is Kind.BRANCH and i.op != "ba")
-        calls = sum(1 for i in self.instructions if i.kind is Kind.CALL)
-        return {
-            "instructions": len(self.instructions),
-            "branches": branches,
-            "calls": calls,
-        }
 
     # -- rendering -----------------------------------------------------------
 
@@ -99,5 +72,5 @@ class Program:
         return "\n".join(lines)
 
     def __repr__(self) -> str:
-        return "Program(%r, %d instructions)" % (self.name,
-                                                 len(self.instructions))
+        return "RvProgram(%r, %d instructions)" % (self.name,
+                                                   len(self.instructions))

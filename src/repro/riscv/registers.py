@@ -1,0 +1,43 @@
+"""RV32I register names.
+
+The analysis identifies registers by their ABI names (``zero``, ``ra``,
+``sp``, ``a0`` …), the form compilers and disassemblers emit.  Raw
+``x0``–``x31`` names and the ``fp`` alias are accepted on input and
+canonicalized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: ABI names in architectural order (x0 .. x31).
+REGISTER_NAMES: List[str] = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+_ALIASES: Dict[str, str] = {"fp": "s0"}
+_ALIASES.update({"x%d" % i: name for i, name in enumerate(REGISTER_NAMES)})
+
+NUMBERS: Dict[str, int] = {name: i for i, name in enumerate(REGISTER_NAMES)}
+
+
+def canonical(name: str) -> str:
+    """Canonical ABI name for *name* (raises KeyError when unknown)."""
+    name = name.strip().lower()
+    name = _ALIASES.get(name, name)
+    if name not in NUMBERS:
+        raise KeyError(name)
+    return name
+
+
+def name_of(number: int) -> str:
+    return REGISTER_NAMES[number]
+
+
+def number_of(name: str) -> int:
+    return NUMBERS[canonical(name)]

@@ -1,0 +1,153 @@
+"""Lowering: SPARC V8 instructions to the architecture-neutral IR.
+
+Each decoded :class:`~repro.sparc.isa.Instruction` maps to exactly one
+:class:`~repro.ir.ops.MachineOp`; the raw instruction is kept as a
+back-pointer for diagnostics and listings.  Lowering canonicalizes the
+hardwired zero register: reads of ``%g0`` become ``ConstOp(0)`` and
+writes to ``%g0`` become a discarded destination (``dest=None``), so
+the analysis core never needs to know about ``%g0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.arch import ArchInfo
+from repro.ir.frontend import Frontend
+from repro.ir.ops import (
+    CC_VAR, AddrExpr, Assign, BinOp, Call, CondBranch, ConstOp,
+    IndirectJump, Load, MachineOp, Nop, Operand, RegOp, SetConst, Store,
+    Unsupported,
+)
+from repro.ir.program import MachineProgram
+from repro.sparc import registers
+from repro.sparc.isa import (
+    Instruction, Kind, LOAD_SIGNED, MEM_SIZE, Mem, Reg, Imm,
+    SIGNED_RELATION, UNSIGNED_RELATION,
+)
+from repro.sparc.program import Program
+
+#: Architecture facts the analysis core needs about SPARC V8.
+SPARC_ARCH = ArchInfo(
+    name="sparc",
+    registers=tuple(registers.REGISTER_NAMES),
+    link_register="%o7",
+    constant_registers=("%g0",),
+    protected_registers=("%o6", "%i6"),
+    stack_align=8,
+)
+
+#: SPARC ALU mnemonics (cc-setting variants included) to IR operators.
+_BINOP = {
+    "add": BinOp.ADD, "sub": BinOp.SUB, "and": BinOp.AND, "or": BinOp.OR,
+    "xor": BinOp.XOR, "andn": BinOp.ANDN, "orn": BinOp.ORN,
+    "xnor": BinOp.XNOR, "sll": BinOp.SLL, "srl": BinOp.SRL,
+    "sra": BinOp.SRA, "smul": BinOp.MUL, "umul": BinOp.UMUL,
+    "sdiv": BinOp.DIV, "udiv": BinOp.UDIV,
+}
+
+#: Branch mnemonics to the relation tested on the condition codes
+#: (``lhs - rhs`` of the preceding compare, i.e. ``$icc``, against 0).
+_RELATION = dict(SIGNED_RELATION)
+_RELATION.update(UNSIGNED_RELATION)
+
+
+def _reg_operand(reg: Reg) -> Operand:
+    if reg.number == registers.G0:
+        return ConstOp(0)
+    return RegOp(reg.name)
+
+
+def _operand(op2) -> Operand:
+    if isinstance(op2, Imm):
+        return ConstOp(op2.value)
+    return _reg_operand(op2)
+
+
+def _dest(reg: Optional[Reg]) -> Optional[str]:
+    if reg is None or reg.number == registers.G0:
+        return None
+    return reg.name
+
+
+def _addr(mem: Mem) -> AddrExpr:
+    index = None
+    if mem.index is not None and mem.index.number != registers.G0:
+        index = mem.index.name
+    return AddrExpr(base=mem.base.name, index=index, offset=mem.offset)
+
+
+def lower_instruction(inst: Instruction) -> MachineOp:
+    """Map one SPARC instruction to exactly one IR op."""
+    common = dict(index=inst.index, raw=inst, text=inst.render())
+    kind = inst.kind
+    if kind is Kind.ALU:
+        base = inst.op[:-2] if inst.op.endswith("cc") else inst.op
+        return Assign(dest=_dest(inst.rd), op=_BINOP[base],
+                      src1=_reg_operand(inst.rs1),
+                      src2=_operand(inst.op2),
+                      sets_cc=inst.sets_cc, **common)
+    if kind is Kind.SETHI:
+        dest = _dest(inst.rd)
+        if dest is None:
+            # sethi to %g0 is the canonical nop; no operands to check.
+            return Nop(**common)
+        return SetConst(dest=dest, value=inst.op2.value, **common)
+    if kind is Kind.LOAD:
+        return Load(dest=_dest(inst.rd), addr=_addr(inst.mem),
+                    width=MEM_SIZE[inst.op],
+                    signed=LOAD_SIGNED[inst.op], **common)
+    if kind is Kind.STORE:
+        return Store(src=_reg_operand(inst.rs1), addr=_addr(inst.mem),
+                     width=MEM_SIZE[inst.op], **common)
+    if kind is Kind.BRANCH:
+        return CondBranch(relation=_RELATION.get(inst.op),
+                          lhs=RegOp(CC_VAR), rhs=ConstOp(0),
+                          target=inst.target.index,
+                          target_label=inst.target.label,
+                          unconditional=inst.op == "ba",
+                          never=inst.op == "bn",
+                          annul=inst.annul, delay_slots=1, **common)
+    if kind is Kind.CALL:
+        return Call(target=inst.target.index,
+                    target_label=inst.target.label,
+                    link="%o7", delay_slots=1, **common)
+    if kind is Kind.JMPL:
+        offset = inst.op2.value if isinstance(inst.op2, Imm) else 0
+        return IndirectJump(base=inst.rs1.name, offset=offset,
+                            link=_dest(inst.rd),
+                            is_return=inst.is_return,
+                            delay_slots=1, **common)
+    if kind in (Kind.SAVE, Kind.RESTORE):
+        return Unsupported(
+            reason="save/restore (register windows) are outside the "
+                   "analyzed subset; the checked extensions are "
+                   "compiled as leaf routines (instruction %d)"
+                   % inst.index,
+            **common)
+    return Unsupported(reason="no abstract semantics for %r" % (inst,),
+                       **common)
+
+
+def lower_program(program: Program) -> MachineProgram:
+    """Lower an assembled/decoded SPARC program to the IR."""
+    ops = [lower_instruction(inst) for inst in program]
+    return MachineProgram(ops, labels=program.labels,
+                          name=program.name, arch=SPARC_ARCH)
+
+
+# -- frontend registration ---------------------------------------------------
+
+
+def _assemble(text: str, name: str = "untrusted") -> MachineProgram:
+    from repro.sparc.assembler import assemble
+    return lower_program(assemble(text, name=name))
+
+
+def _decode(blob, name: str = "decoded") -> MachineProgram:
+    from repro.sparc.decoder import decode_program
+    return lower_program(decode_program(blob, name=name))
+
+
+FRONTEND = Frontend(name="sparc", arch=SPARC_ARCH,
+                    assemble=_assemble, decode=_decode)

@@ -15,9 +15,7 @@ an alignment of zero").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
-
-from repro.sparc.registers import REGISTER_NAMES
+from typing import Dict, Iterator, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -39,10 +37,13 @@ class AbstractLocation:
     #: For struct locations: the field suffixes (label order) that have
     #: their own child locations named ``<name>.<label>``.
     field_labels: tuple = ()
+    #: True for machine registers.  SPARC register names all start with
+    #: ``%``; other backends (RISC-V ABI names) set this explicitly.
+    register: bool = False
 
     @property
     def is_register(self) -> bool:
-        return self.name.startswith("%")
+        return self.register or self.name.startswith("%")
 
     def field_location_name(self, label: str) -> str:
         return "%s.%s" % (self.name, label)
@@ -60,14 +61,20 @@ class LocationTable:
     """The finite set ``absLoc`` the analysis works over.
 
     Built during preparation from the host typestate specification plus
-    the 32 registers; queried throughout propagation and verification.
+    the target architecture's registers; queried throughout propagation
+    and verification.
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 register_names: Optional[Sequence[str]] = None) -> None:
+        if register_names is None:
+            from repro.sparc.registers import REGISTER_NAMES
+            register_names = REGISTER_NAMES
         self._locations: Dict[str, AbstractLocation] = {}
-        for name in REGISTER_NAMES:
+        for name in register_names:
             self._locations[name] = AbstractLocation(
-                name=name, size=4, align=0, readable=True, writable=True)
+                name=name, size=4, align=0, readable=True, writable=True,
+                register=True)
 
     def add(self, location: AbstractLocation) -> AbstractLocation:
         if location.name in self._locations:

@@ -20,7 +20,8 @@ from repro.typesys.typestate import BOTTOM_TYPESTATE, Typestate
 
 
 def inst(text):
-    return assemble(text).instruction(1)
+    """Assemble one SPARC instruction and lower it to its IR op."""
+    return assemble(text).lower().instruction(1)
 
 
 @pytest.fixture()

@@ -23,7 +23,7 @@ def v(name, coeff=1):
 
 
 def make_node(text, uid=0):
-    inst = assemble(text).instruction(1)
+    inst = assemble(text).lower().instruction(1)
     return Node(uid=uid, instruction=inst, role=NodeRole.NORMAL, index=1)
 
 
@@ -136,11 +136,15 @@ class TestConditionCodes:
         assert Prover().equivalent(out, expected)
 
     def test_branch_condition_formulas(self):
-        lt0 = condition_formula(BranchCondition("bl", True))
-        assert lt0 == lt(v(ICC), 0)
-        ge0 = condition_formula(BranchCondition("bl", False))
-        assert Prover().equivalent(ge0, ge(v(ICC), 0))
-        assert condition_formula(BranchCondition("bvs", True)) is TRUE
+        from repro.ir.ops import ConstOp, RegOp
+        icc_lt = BranchCondition("<", RegOp(ICC), ConstOp(0), taken=True)
+        assert condition_formula(icc_lt) == lt(v(ICC), 0)
+        icc_ge = BranchCondition("<", RegOp(ICC), ConstOp(0), taken=False)
+        assert Prover().equivalent(condition_formula(icc_ge),
+                                   ge(v(ICC), 0))
+        # Overflow branches (bvs/bvc) carry no linear relation.
+        assert condition_formula(
+            BranchCondition(None, taken=True)) is TRUE
 
 
 class TestMemoryModel:

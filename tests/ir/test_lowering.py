@@ -1,0 +1,214 @@
+"""Unit tests for the SPARC → IR lowering: every instruction kind maps
+to exactly one IR op with the expected shape."""
+
+import pytest
+
+from repro.ir.ops import (
+    AddrExpr, Assign, BinOp, Call, CondBranch, ConstOp, IndirectJump,
+    Load, Nop, RegOp, SetConst, Store, Unsupported,
+)
+from repro.ir.program import MachineProgram
+from repro.sparc import assemble
+from repro.sparc.lower import SPARC_ARCH, lower_instruction
+
+
+def low(text):
+    """Assemble one instruction and lower it."""
+    return lower_instruction(assemble(text).instruction(1))
+
+
+class TestAluLowering:
+    @pytest.mark.parametrize("mnemonic,binop", [
+        ("add", BinOp.ADD), ("sub", BinOp.SUB), ("and", BinOp.AND),
+        ("or", BinOp.OR), ("xor", BinOp.XOR), ("andn", BinOp.ANDN),
+        ("orn", BinOp.ORN), ("xnor", BinOp.XNOR), ("sll", BinOp.SLL),
+        ("srl", BinOp.SRL), ("sra", BinOp.SRA), ("smul", BinOp.MUL),
+        ("umul", BinOp.UMUL), ("sdiv", BinOp.DIV), ("udiv", BinOp.UDIV),
+    ])
+    def test_binop_map(self, mnemonic, binop):
+        op = low("%s %%o1,%%o2,%%o3" % mnemonic)
+        assert isinstance(op, Assign)
+        assert op.op is binop
+        assert op.dest == "%o3"
+        assert op.src1 == RegOp("%o1")
+        assert op.src2 == RegOp("%o2")
+        assert not op.sets_cc
+
+    @pytest.mark.parametrize("mnemonic,binop", [
+        ("addcc", BinOp.ADD), ("subcc", BinOp.SUB), ("andcc", BinOp.AND),
+        ("orcc", BinOp.OR),
+    ])
+    def test_cc_variants_set_flag(self, mnemonic, binop):
+        op = low("%s %%o1,%%o2,%%o3" % mnemonic)
+        assert isinstance(op, Assign)
+        assert op.op is binop
+        assert op.sets_cc
+
+    def test_immediate_operand(self):
+        op = low("add %o1,5,%o3")
+        assert op.src2 == ConstOp(5)
+
+    def test_g0_source_becomes_constant_zero(self):
+        op = low("add %g0,%o2,%o3")
+        assert op.src1 == ConstOp(0)
+
+    def test_g0_destination_is_discarded(self):
+        op = low("add %o1,%o2,%g0")
+        assert isinstance(op, Assign)
+        assert op.dest is None
+
+    def test_mov_is_canonical_move_form(self):
+        # mov expands to `or %g0,rs,rd`: the IR move pattern.
+        op = low("mov %o0,%o2")
+        assert isinstance(op, Assign)
+        assert op.op is BinOp.OR
+        assert op.src1 == ConstOp(0)
+        assert op.src2 == RegOp("%o0")
+        assert op.dest == "%o2"
+
+    def test_cmp_is_discarded_subcc(self):
+        op = low("cmp %o0,%o1")
+        assert isinstance(op, Assign)
+        assert op.op is BinOp.SUB
+        assert op.dest is None and op.sets_cc
+
+    def test_raw_backpointer_and_text(self):
+        op = low("add %o1,%o2,%o3")
+        assert op.raw is not None and op.raw.op == "add"
+        assert op.text == "add %o1,%o2,%o3"
+
+
+class TestConstantAndNop:
+    def test_sethi(self):
+        # The ISA layer stores the already-shifted value in op2.
+        op = low("sethi %hi(0x1000),%o1")
+        assert isinstance(op, SetConst)
+        assert op.dest == "%o1"
+        assert op.value == 0x1000
+
+    def test_nop_is_nop(self):
+        # nop == sethi 0,%g0
+        assert isinstance(low("nop"), Nop)
+
+    def test_clr_is_move_of_zero(self):
+        op = low("clr %g3")
+        assert isinstance(op, Assign)
+        assert op.dest == "%g3"
+        assert op.src1 == ConstOp(0) and op.src2 == ConstOp(0)
+
+
+class TestMemoryLowering:
+    @pytest.mark.parametrize("mnemonic,width,signed", [
+        ("ld", 4, True), ("ldsb", 1, True), ("ldsh", 2, True),
+        ("ldub", 1, False), ("lduh", 2, False),
+    ])
+    def test_load_width_and_signedness(self, mnemonic, width, signed):
+        op = low("%s [%%o2+4],%%g1" % mnemonic)
+        assert isinstance(op, Load)
+        assert op.dest == "%g1"
+        assert op.width == width and op.signed is signed
+        assert op.addr == AddrExpr(base="%o2", offset=4)
+
+    def test_unsigned_range_metadata(self):
+        # The satellite: width/signedness metadata replaces the old
+        # inline {"ldub": 256, "lduh": 65536} table.
+        assert low("ldub [%o2],%g1").unsigned_range == 256
+        assert low("lduh [%o2],%g1").unsigned_range == 65536
+        assert low("ld [%o2],%g1").unsigned_range is None
+        assert low("ldsb [%o2],%g1").unsigned_range is None
+
+    def test_register_indexed_address(self):
+        op = low("ld [%o2+%g2],%g2")
+        assert op.addr == AddrExpr(base="%o2", index="%g2")
+
+    def test_g0_index_dropped(self):
+        op = low("ld [%o2+%g0],%g2")
+        assert op.addr == AddrExpr(base="%o2", index=None, offset=0)
+
+    @pytest.mark.parametrize("mnemonic,width", [
+        ("st", 4), ("stb", 1), ("sth", 2),
+    ])
+    def test_store_width(self, mnemonic, width):
+        op = low("%s %%g1,[%%o3]" % mnemonic)
+        assert isinstance(op, Store)
+        assert op.src == RegOp("%g1")
+        assert op.width == width
+
+    def test_store_of_g0_is_constant_zero(self):
+        assert low("st %g0,[%o3]").src == ConstOp(0)
+
+
+class TestControlLowering:
+    def test_conditional_branch(self):
+        op = low("bl 1")
+        assert isinstance(op, CondBranch)
+        assert op.relation == "<"
+        assert op.lhs == RegOp("$icc") and op.rhs == ConstOp(0)
+        assert op.target == 1
+        assert not op.unconditional and not op.annul
+        assert op.delay_slots == 1
+
+    def test_branch_always_and_never(self):
+        assert low("ba 1").unconditional
+        assert low("bn 1").never
+
+    def test_annul_bit(self):
+        assert low("bl,a 1").annul
+
+    def test_unsigned_relation_mapped(self):
+        assert low("blu 1").relation == "<"
+        assert low("bgeu 1").relation == ">="
+
+    def test_internal_call(self):
+        program = assemble("call f\nnop\nf: retl\nnop").lower()
+        op = program.instruction(1)
+        assert isinstance(op, Call)
+        assert op.target == 3 and op.target_label == "f"
+        assert op.link == "%o7" and op.delay_slots == 1
+
+    def test_external_call_has_target_zero(self):
+        op = low("call some_host_fn")
+        assert isinstance(op, Call)
+        assert op.target == 0 and op.target_label == "some_host_fn"
+
+    def test_retl_is_return(self):
+        op = low("retl")
+        assert isinstance(op, IndirectJump)
+        assert op.base == "%o7" and op.offset == 8
+        assert op.is_return and op.link is None
+
+    def test_jmp_register(self):
+        op = low("jmp %g1")
+        assert isinstance(op, IndirectJump)
+        assert op.base == "%g1" and not op.is_return
+
+
+class TestUnsupportedLowering:
+    def test_save_restore(self):
+        for text in ("save %sp,-96,%sp", "restore"):
+            op = low(text)
+            assert isinstance(op, Unsupported)
+            assert "register windows" in op.reason
+
+
+class TestLoweredProgram:
+    def test_one_op_per_instruction_with_backpointers(self):
+        source = "1: mov %o0,%o2\n2: ld [%o2],%g1\n3: retl\n4: nop"
+        raw = assemble(source)
+        program = raw.lower()
+        assert isinstance(program, MachineProgram)
+        assert len(program) == len(raw)
+        assert program.arch is SPARC_ARCH
+        for op, inst in zip(program, raw):
+            assert op.index == inst.index
+            assert op.raw is inst
+
+    def test_labels_preserved(self):
+        program = assemble("f: retl\nnop").lower()
+        assert program.label_index("f") == 1
+
+    def test_counts_match_raw_program(self):
+        source = ("cmp %o0,%o1\nbl 1\nnop\ncall f\nnop\n"
+                  "f: retl\nnop")
+        raw = assemble(source)
+        assert raw.lower().counts() == raw.counts()
