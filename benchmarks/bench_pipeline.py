@@ -4,10 +4,13 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--full]
-        [--repeat N] [--output PATH] [--quiet]
+        [--repeat N] [--jobs N] [--cache [PATH]] [--output PATH]
+        [--quiet]
 
 Equivalent to ``repro bench``; see :mod:`repro.bench` for what is
-measured.
+measured.  ``--jobs N`` (N > 1) adds a parallel configuration and
+prints a per-program serial-vs-parallel comparison table; ``--cache``
+adds cold/warm persistent-cache configurations.
 """
 
 import argparse
@@ -19,6 +22,7 @@ sys.path.insert(
         os.path.abspath(__file__))), "src"))
 
 from repro.bench import main  # noqa: E402
+from repro.logic.persist import DEFAULT_CACHE_PATH  # noqa: E402
 
 
 def _parse_args():
@@ -26,8 +30,18 @@ def _parse_args():
     parser.add_argument("--full", action="store_true",
                         help="include the heavyweight programs "
                              "(heap sorts, stack-smashing, MD5)")
-    parser.add_argument("--repeat", type=int, default=1,
-                        help="best-of-N timing per program")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timings per program; rows record the "
+                             "min and median (default: 3)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="also benchmark a parallel config with "
+                             "N prover workers (default: 1 = skip)")
+    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_PATH,
+                        default=None, metavar="PATH",
+                        help="also benchmark cold/warm persistent-"
+                             "cache configs at PATH (default path "
+                             "when PATH is omitted: %s)"
+                             % DEFAULT_CACHE_PATH)
     parser.add_argument("--output", default="BENCH_pipeline.json")
     parser.add_argument("--quiet", action="store_true")
     return parser.parse_args()
@@ -36,4 +50,5 @@ def _parse_args():
 if __name__ == "__main__":
     args = _parse_args()
     sys.exit(main(full=args.full, repeat=args.repeat,
-                  output=args.output, quiet=args.quiet))
+                  output=args.output, quiet=args.quiet,
+                  jobs=args.jobs, cache_path=args.cache))

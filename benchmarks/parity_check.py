@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Assert that parallel proof discharge changes nothing but time.
+
+Runs every program of the Figure-9 suite (SPARC) and the cross-backend
+parity programs (RISC-V) twice — ``--jobs 1`` and ``--jobs N`` — and
+fails loudly unless the safety verdict, every per-condition proof
+outcome, and every violation are identical.  CI runs this to enforce
+the determinism guarantee of the parallel engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parity_check.py [--jobs N]
+        [--arch sparc|riscv|both] [--full]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.analysis.checker import check_assembly  # noqa: E402
+from repro.analysis.options import CheckerOptions  # noqa: E402
+
+# RISC-V programs mirroring tests/ir/test_parity.py: a loop that needs
+# invariant synthesis (safe), its off-by-one variant (unsafe), and
+# in/out-of-bounds constant-offset stores.
+RISCV_SPEC_RW = """
+loc e   : int    = initialized  perms rwo  region V summary
+loc arr : int[n] = {e}          perms rwfo region V
+rule [V : int : rwo]
+rule [V : int[n] : rwfo]
+invoke a0 = arr
+assume n = 10
+"""
+
+RISCV_SPEC_SUM = """
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke a0 = arr
+invoke a1 = n
+assume n >= 1
+"""
+
+RISCV_SUM = """
+1: mv a2,a0
+2: li a0,0
+3: li t0,0
+4: bge t0,a1,11
+5: slli t1,t0,2
+6: add t2,a2,t1
+7: lw t1,0(t2)
+8: addi t0,t0,1
+9: add a0,a0,t1
+10: blt t0,a1,5
+11: ret
+"""
+
+RISCV_CASES = [
+    ("riscv-sum", RISCV_SUM, RISCV_SPEC_SUM),
+    ("riscv-sum-oob",
+     RISCV_SUM.replace("blt t0,a1,5", "bge a1,t0,5"), RISCV_SPEC_SUM),
+    ("riscv-write", "1: sw zero,0(a0)\n2: ret\n", RISCV_SPEC_RW),
+    ("riscv-write-oob", "1: sw zero,40(a0)\n2: ret\n", RISCV_SPEC_RW),
+]
+
+
+def fingerprint(result):
+    return (result.safe,
+            tuple((p.uid, p.index, p.proved) for p in result.proofs),
+            tuple((v.index, v.category, v.description, v.phase)
+                  for v in result.violations))
+
+
+def compare(name, serial, parallel, failures):
+    ok = fingerprint(serial) == fingerprint(parallel)
+    pool = parallel.prover_stats.get("pool_tasks_dispatched", 0)
+    print("%-18s %-6s %s (pool tasks: %s)"
+          % (name, "SAFE" if serial.safe else "UNSAFE",
+             "parity OK" if ok else "PARITY MISMATCH", pool))
+    if not ok:
+        failures.append(name)
+
+
+def run_sparc(jobs, full, failures):
+    from repro.programs import all_programs, fast_programs
+    for program in (all_programs() if full else fast_programs()):
+        serial = program.check(options=CheckerOptions(jobs=1))
+        parallel = program.check(options=CheckerOptions(jobs=jobs))
+        compare("sparc:" + program.name, serial, parallel, failures)
+
+
+def run_riscv(jobs, failures):
+    for name, source, spec in RISCV_CASES:
+        serial = check_assembly(source, spec, name=name, arch="riscv",
+                                options=CheckerOptions(jobs=1))
+        parallel = check_assembly(source, spec, name=name, arch="riscv",
+                                  options=CheckerOptions(jobs=jobs))
+        compare(name, serial, parallel, failures)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", "-j", type=int, default=2)
+    parser.add_argument("--arch", choices=["sparc", "riscv", "both"],
+                        default="both")
+    parser.add_argument("--full", action="store_true",
+                        help="include the heavyweight SPARC programs")
+    args = parser.parse_args()
+    failures = []
+    if args.arch in ("sparc", "both"):
+        run_sparc(args.jobs, args.full, failures)
+    if args.arch in ("riscv", "both"):
+        run_riscv(args.jobs, failures)
+    if failures:
+        print("parity FAILED for: %s" % ", ".join(failures))
+        return 1
+    print("all verdicts identical at --jobs 1 and --jobs %d"
+          % args.jobs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

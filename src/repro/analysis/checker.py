@@ -68,10 +68,16 @@ class SafetyChecker:
             self.program.name = name
         self.spec = spec
         self.options = options or CheckerOptions()
+        self.persistent = None
+        if self.options.cache_path:
+            from repro.logic.persist import PersistentProverCache
+            self.persistent = PersistentProverCache(
+                self.options.cache_path)
         self.prover = Prover(
             enable_cache=self.options.enable_prover_cache,
             enable_canonical_cache=(
                 self.options.enable_canonical_prover_cache),
+            persistent=self.persistent,
         )
 
     # -- pipeline -----------------------------------------------------------------
@@ -119,15 +125,22 @@ class SafetyChecker:
                 + check_automata(cfg, self.spec)
         times.annotation_and_local = time.perf_counter() - t0
 
-        # Phase 5: global verification.
+        # Phase 5: global verification — obligation generation, then
+        # serial or pooled discharge.
         t0 = time.perf_counter()
         engine = VerificationEngine(cfg, propagation, preparation,
                                     self.spec, self.options, self.prover)
-        proofs, global_violations = engine.verify(annotations)
+        proofs, global_violations, pool_info = \
+            self._discharge(engine, annotations)
         times.global_verification = time.perf_counter() - t0
 
         violations = local_violations + global_violations
         characteristics = self._characteristics(cfg, annotations)
+        prover_stats = self.prover.stats.as_dict()
+        prover_stats.update(pool_info)
+        if self.persistent is not None:
+            self.persistent.flush()
+            prover_stats["persistent_cache_size"] = len(self.persistent)
         return CheckResult(
             name=self.program.name,
             safe=not violations,
@@ -138,8 +151,30 @@ class SafetyChecker:
             annotations=annotations,
             induction_runs=engine.induction_runs,
             prover_queries=self.prover.stats.satisfiability_queries,
-            prover_stats=self.prover.stats.as_dict(),
+            prover_stats=prover_stats,
         )
+
+    def _discharge(self, engine: VerificationEngine, annotations):
+        """Run phase 5 through the obligation engine: serial for
+        ``jobs == 1``, the process pool otherwise — with an automatic,
+        recorded fallback to serial when no pool can be created (the
+        pool is an optimization, never a correctness dependency)."""
+        from repro.analysis.obligations import (
+            PoolUnavailable, discharge_parallel, discharge_serial,
+            generate_obligations, resolve_jobs,
+        )
+        obligations = generate_obligations(annotations)
+        jobs = resolve_jobs(self.options)
+        if jobs <= 1:
+            proofs, violations = discharge_serial(engine, obligations)
+            return proofs, violations, {}
+        try:
+            return discharge_parallel(engine, self.program, self.spec,
+                                      self.options, obligations)
+        except PoolUnavailable:
+            proofs, violations = discharge_serial(engine, obligations)
+            return proofs, violations, {"pool_jobs": jobs,
+                                        "pool_fallback": 1}
 
     # -- characteristics (Figure 9 columns) -----------------------------------------
 

@@ -1,0 +1,280 @@
+"""The obligation graph: explicit proof obligations, their scheduler,
+and the serial / parallel discharge engines.
+
+Phase 5 used to generate and prove verification conditions in one
+interleaved loop.  This module splits it:
+
+* **generation** (:func:`generate_obligations`) walks the annotations
+  and emits one picklable :class:`Obligation` record per global safety
+  precondition — canonical-form digest, formula, program point, kind —
+  in the same deterministic order the serial engine always used;
+* **scheduling** (:func:`obligation_groups`) partitions obligations
+  into independent groups keyed by ``(function, containing-loop
+  header)``.  Obligations in one group share invariant-reuse state
+  (the engine's per-header proven/failed caches), so a group is the
+  unit of dispatch: workers keep the serial engine's warm-cache
+  behavior inside a group, and groups are free to run concurrently;
+* **discharge** either serially (:func:`discharge_serial` — exactly
+  the historical loop) or on a process pool
+  (:func:`discharge_parallel`).  Workers rebuild the verification
+  engine from the pickled program/spec/options payload, rehydrate the
+  shipped formulas into their own intern tables, prove each obligation
+  with the ordinary engine, and return verdicts plus a
+  :class:`~repro.logic.prover.ProverStats` delta.  The parent merges
+  verdicts by obligation id — a deterministic, order-independent
+  merge — and **re-proves any obligation a worker could not prove**
+  through the serial path, so the reported verdicts, violations, and
+  proof records are identical to a serial run (workers can only ever
+  accelerate proofs, never flip them).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.annotate import GlobalPredicate, NodeAnnotation
+from repro.analysis.options import CheckerOptions
+from repro.analysis.verify import (
+    ProofRecord, VerificationEngine, Violation,
+)
+from repro.logic.formula import Formula
+from repro.logic.parallel import ParallelProver, PoolUnavailable
+from repro.logic.prover import Prover, ProverStats
+from repro.logic.serialize import formula_digest
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One global safety precondition, decoupled from its discharge.
+
+    Picklable end to end: the formula rehydrates into the receiving
+    process's intern tables, and the digest is the process-stable
+    canonical-form key (also used by the persistent prover cache)."""
+
+    oid: int        #: position in the deterministic generation order
+    uid: int        #: CFG node the condition must hold before
+    index: int      #: instruction index (for violation reports)
+    kind: str       #: obligation kind ("global" for phase-5 VCs)
+    predicate: GlobalPredicate
+    digest: str
+
+    @property
+    def formula(self) -> Formula:
+        return self.predicate.formula
+
+    @property
+    def category(self) -> str:
+        return self.predicate.category
+
+    @property
+    def description(self) -> str:
+        return self.predicate.description
+
+
+def generate_obligations(annotations: Dict[int, NodeAnnotation]
+                         ) -> List[Obligation]:
+    """Emit the global proof obligations in the engine's historical
+    order (sorted node uid, then annotation order)."""
+    out: List[Obligation] = []
+    for uid in sorted(annotations):
+        ann = annotations[uid]
+        for predicate in ann.global_:
+            out.append(Obligation(
+                oid=len(out), uid=uid, index=ann.index, kind="global",
+                predicate=predicate,
+                digest=formula_digest(predicate.formula)))
+    return out
+
+
+def obligation_groups(engine: VerificationEngine,
+                      obligations: List[Obligation]
+                      ) -> List[List[Obligation]]:
+    """Partition obligations into scheduler groups.
+
+    Two obligations belong to the same group when proving them shares
+    engine state: the per-loop-header proven-invariant / failed-target
+    caches and the per-function entry cache.  The key is therefore
+    ``(function, containing-loop header)`` (header ``-1`` for straight-
+    line code).  Groups come back ordered by first obligation id, each
+    group internally in generation order."""
+    buckets: Dict[Tuple[str, int], List[Obligation]] = {}
+    for ob in obligations:
+        node = engine.cfg.node(ob.uid)
+        loop = engine.loops[node.function].containing(ob.uid)
+        key = (node.function, loop.header if loop is not None else -1)
+        buckets.setdefault(key, []).append(ob)
+    return sorted(buckets.values(), key=lambda group: group[0].oid)
+
+
+# ---------------------------------------------------------------------------
+# serial discharge (the historical phase-5 loop)
+# ---------------------------------------------------------------------------
+
+
+def discharge_serial(engine: VerificationEngine,
+                     obligations: List[Obligation]
+                     ) -> Tuple[List[ProofRecord], List[Violation]]:
+    records: List[ProofRecord] = []
+    violations: List[Violation] = []
+    for ob in obligations:
+        proved = engine.prove_at(ob.uid, ob.formula, {}, 0)
+        _record(ob, proved, records, violations)
+    return records, violations
+
+
+def _record(ob: Obligation, proved: bool, records: List[ProofRecord],
+            violations: List[Violation]) -> None:
+    records.append(ProofRecord(uid=ob.uid, index=ob.index,
+                               predicate=ob.predicate, proved=proved))
+    if not proved:
+        violations.append(Violation(
+            index=ob.index, category=ob.category,
+            description="cannot establish: %s" % ob.description,
+            phase="global"))
+
+
+# ---------------------------------------------------------------------------
+# worker protocol
+# ---------------------------------------------------------------------------
+
+#: Per-process engine built by :func:`worker_initialize`.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def build_engine(program, spec, options: CheckerOptions
+                 ) -> VerificationEngine:
+    """Rebuild the phase-1/2 pipeline and a verification engine — used
+    by pool workers, mirroring ``SafetyChecker._check`` up to phase 5."""
+    from repro.cfg.builder import build_cfg
+    from repro.analysis.prepare import prepare
+    from repro.analysis.propagate import propagate
+
+    preparation = prepare(spec, arch=program.arch)
+    entry = 1
+    label = spec.invocation.entry_label
+    if label:
+        entry = program.label_index(label)
+    cfg = build_cfg(program, trusted_labels=set(spec.functions),
+                    entry=entry)
+    propagation = propagate(cfg, preparation, spec, options)
+    persistent = None
+    if options.cache_path:
+        from repro.logic.persist import PersistentProverCache
+        persistent = PersistentProverCache(options.cache_path)
+    prover = Prover(
+        enable_cache=options.enable_prover_cache,
+        enable_canonical_cache=options.enable_canonical_prover_cache,
+        persistent=persistent)
+    return VerificationEngine(cfg, propagation, preparation, spec,
+                              options, prover)
+
+
+def worker_initialize(payload: bytes) -> None:
+    """Pool-worker initializer: rebuild the engine from the pickled
+    (program, spec, options) payload."""
+    from repro.logic.memo import set_memoization
+
+    program, spec, options = pickle.loads(payload)
+    set_memoization(options.enable_formula_memoization)
+    _WORKER_STATE["engine"] = build_engine(program, spec, options)
+
+
+def worker_discharge(blob: bytes):
+    """Discharge one obligation group; returns ``(verdicts, stats
+    delta, induction-run delta)``.
+
+    ``verdicts`` is ``[(oid, True/False/None)]`` — ``None`` marks a
+    worker-side error; the parent re-proves those (and plain failures)
+    serially.  The stats delta uses :meth:`Prover.reset_stats`, which
+    zeroes counters *without* dropping the worker's warm caches."""
+    engine: VerificationEngine = _WORKER_STATE["engine"]  # type: ignore
+    tasks = pickle.loads(blob)
+    engine.prover.reset_stats()
+    induction_before = engine.induction_runs
+    verdicts: List[Tuple[int, Optional[bool]]] = []
+    for oid, uid, formula in tasks:
+        try:
+            verdicts.append((oid, engine.prove_at(uid, formula, {}, 0)))
+        except Exception:
+            verdicts.append((oid, None))
+    engine.prover.flush_persistent()
+    stats = {spec.name: getattr(engine.prover.stats, spec.name)
+             for spec in fields(ProverStats)}
+    return verdicts, stats, engine.induction_runs - induction_before
+
+
+# ---------------------------------------------------------------------------
+# parallel discharge
+# ---------------------------------------------------------------------------
+
+
+def resolve_jobs(options: CheckerOptions) -> int:
+    """``options.jobs``, with 0/negative meaning "all cores"."""
+    if options.jobs > 0:
+        return options.jobs
+    return os.cpu_count() or 1
+
+
+def discharge_parallel(engine: VerificationEngine, program, spec,
+                       options: CheckerOptions,
+                       obligations: List[Obligation]
+                       ) -> Tuple[List[ProofRecord], List[Violation],
+                                  dict]:
+    """Discharge on a process pool; falls back to the serial loop when
+    the obligation graph offers no parallelism.  Raises
+    :class:`PoolUnavailable` when the pool itself cannot run (caller
+    handles the serial fallback so it can account for it)."""
+    jobs = resolve_jobs(options)
+    groups = obligation_groups(engine, obligations)
+    if jobs <= 1 or len(groups) < 2 or len(obligations) < 2:
+        records, violations = discharge_serial(engine, obligations)
+        return records, violations, {"pool_jobs": jobs,
+                                     "pool_tasks_dispatched": 0}
+
+    # The pool workers share the persistent cache file; commit any
+    # pending parent writes before they open it.
+    engine.prover.flush_persistent()
+    worker_options = replace(options, jobs=1)
+    pool = ParallelProver(jobs=min(jobs, len(groups)),
+                          payload=(program, spec, worker_options),
+                          initializer=worker_initialize,
+                          worker=worker_discharge)
+    # Largest groups first: the long poles start immediately.
+    dispatch = sorted(groups, key=lambda g: (-len(g), g[0].oid))
+    tasks = [[(ob.oid, ob.uid, ob.formula) for ob in group]
+             for group in dispatch]
+    results = pool.discharge(tasks, items=len(obligations))
+
+    verdict: Dict[int, Optional[bool]] = {}
+    worker_cache_hits = 0
+    for verdicts, stats, induction_delta in results:
+        for oid, proved in verdicts:
+            verdict[oid] = proved
+        for name, value in stats.items():
+            setattr(engine.prover.stats, name,
+                    getattr(engine.prover.stats, name) + value)
+        worker_cache_hits += (stats.get("cache_hits", 0)
+                              + stats.get("canonical_cache_hits", 0)
+                              + stats.get("conjunct_cache_hits", 0))
+        engine._induction_runs += induction_delta
+
+    # Deterministic merge + serial re-proof of anything not proved in a
+    # worker: the final verdict stream is the serial engine's.
+    records: List[ProofRecord] = []
+    violations: List[Violation] = []
+    retries = 0
+    for ob in obligations:
+        proved = verdict.get(ob.oid)
+        if proved is not True:
+            retries += 1
+            proved = engine.prove_at(ob.uid, ob.formula, {}, 0)
+        _record(ob, proved, records, violations)
+    engine.prover.flush_persistent()
+
+    pool_info = pool.stats.as_dict()
+    pool_info["pool_worker_cache_hits"] = worker_cache_hits
+    pool_info["pool_serial_retries"] = retries
+    return records, violations, pool_info

@@ -7,7 +7,23 @@ and 6 discuss each).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def _default_jobs() -> int:
+    """Honor ``REPRO_JOBS`` (used by the CI matrix) when set."""
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    try:
+        return int(value) if value else 1
+    except ValueError:
+        return 1
+
+
+def _default_cache_path() -> Optional[str]:
+    """Honor ``REPRO_CACHE`` when set ("" / unset means no cache)."""
+    return os.environ.get("REPRO_CACHE") or None
 
 
 @dataclass
@@ -68,3 +84,13 @@ class CheckerOptions:
 
     #: Worklist iteration guard for typestate propagation.
     max_propagation_steps: int = 200_000
+
+    #: Worker processes for parallel proof discharge: 1 = serial
+    #: (always bitwise-identical results), N > 1 = a process pool of N
+    #: provers, 0/negative = one per CPU core.  Defaults to
+    #: ``$REPRO_JOBS`` when set.
+    jobs: int = field(default_factory=_default_jobs)
+
+    #: Path of the persistent cross-run prover cache (SQLite); None
+    #: disables it.  Defaults to ``$REPRO_CACHE`` when set.
+    cache_path: Optional[str] = field(default_factory=_default_cache_path)

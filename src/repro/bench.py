@@ -1,20 +1,28 @@
 """End-to-end pipeline benchmark over the Figure-9 program suite.
 
 Runs every benchmark program through the full five-phase checker under
-two configurations:
+up to five configurations:
 
 * **seed** — the un-enhanced baseline: hash-consing, formula-layer
   memoization, and canonical prover caching all disabled (only the
   original raw result cache and the difference-solver fast path
   remain, as in the seed revision of this repository);
-* **enhanced** — everything on (the defaults).
+* **enhanced** — everything on (the defaults);
+* **parallel** (``--jobs N``, N > 1) — the enhanced configuration with
+  proof obligations discharged on an N-worker process pool;
+* **cache-cold** / **cache-warm** (``--cache [PATH]``) — the enhanced
+  configuration with the persistent cross-run prover cache attached:
+  first against a freshly deleted cache file, then against the file
+  the cold pass populated.
 
 and writes a JSON report (``BENCH_pipeline.json`` at the repository
-root by default) with per-program phase times, prover cache counters,
-and the overall speedup.  Invoked as ``repro bench`` or via
-``benchmarks/bench_pipeline.py``.
+root by default) with per-program phase times (best-of-N and median-
+of-N), prover/pool/persistent-cache counters, per-program verdict
+fingerprints (so verdict parity across configurations is checkable
+from the report alone), and the overall speedups.  Invoked as
+``repro bench`` or via ``benchmarks/bench_pipeline.py``.
 
-The two configurations share a process, so the harness aggressively
+The configurations share a process, so the harness aggressively
 resets global state (intern tables, memo caches) between runs; the
 "seed" configuration is measured first so it cannot accidentally reuse
 interned nodes created by the enhanced run.
@@ -23,7 +31,9 @@ interned nodes created by the enhanced run.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import statistics
 import sys
 import time
 from typing import Dict, List, Optional
@@ -35,23 +45,44 @@ from repro.logic.formula import (
 from repro.logic.memo import clear_all_caches, set_memoization
 from repro.logic.terms import set_term_interning, term_intern_table_size
 
-#: The two benchmark configurations: name -> (interning, memoization,
-#: canonical prover cache).  The raw prover cache and the difference
-#: fast path stay on in both — they predate this performance layer.
+#: The two baseline configurations: name -> feature flags.  The raw
+#: prover cache and the difference fast path stay on in both — they
+#: predate this performance layer.  ``jobs``/``cache``/``cold`` are
+#: optional keys used by the dynamic configurations below.
 CONFIGS = {
     "seed": dict(interning=False, memoization=False, canonical=False),
     "enhanced": dict(interning=True, memoization=True, canonical=True),
 }
 
 
-def _apply_config(config: Dict[str, bool]) -> CheckerOptions:
-    set_term_interning(config["interning"])
-    set_formula_interning(config["interning"])
-    set_memoization(config["memoization"])
+def config_table(jobs: int = 1,
+                 cache_path: Optional[str] = None) -> Dict[str, dict]:
+    """The benchmark configurations for one invocation: the two
+    baselines, plus the parallel and persistent-cache configurations
+    when requested."""
+    configs = {name: dict(flags) for name, flags in CONFIGS.items()}
+    if jobs > 1:
+        configs["parallel"] = dict(interning=True, memoization=True,
+                                   canonical=True, jobs=jobs)
+    if cache_path:
+        configs["cache-cold"] = dict(interning=True, memoization=True,
+                                     canonical=True, cache=cache_path,
+                                     cold=True)
+        configs["cache-warm"] = dict(interning=True, memoization=True,
+                                     canonical=True, cache=cache_path)
+    return configs
+
+
+def _apply_config(config: Dict[str, object]) -> CheckerOptions:
+    set_term_interning(bool(config["interning"]))
+    set_formula_interning(bool(config["interning"]))
+    set_memoization(bool(config["memoization"]))
     clear_all_caches()
     return CheckerOptions(
-        enable_canonical_prover_cache=config["canonical"],
-        enable_formula_memoization=config["memoization"],
+        enable_canonical_prover_cache=bool(config["canonical"]),
+        enable_formula_memoization=bool(config["memoization"]),
+        jobs=int(config.get("jobs", 1)),
+        cache_path=config.get("cache"),
     )
 
 
@@ -62,43 +93,76 @@ def _restore_defaults() -> None:
     clear_all_caches()
 
 
-def run_suite(full: bool = False, repeat: int = 1,
+def _delete_cache(path: str) -> None:
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            os.remove(path + suffix)
+        except OSError:
+            pass
+
+
+def _fingerprint(result) -> dict:
+    """The verdict content of one check, order-preserved — identical
+    across configurations iff the runs agreed on every outcome."""
+    return {
+        "safe": result.safe,
+        "proof_verdicts": "".join("P" if p.proved else "F"
+                                  for p in result.proofs),
+        "violations": [[v.index, v.category, v.description, v.phase]
+                       for v in result.violations],
+    }
+
+
+def run_suite(full: bool = False, repeat: int = 3,
               configs: Optional[List[str]] = None,
+              jobs: int = 1, cache_path: Optional[str] = None,
               progress=None) -> dict:
     """Run the Figure-9 suite under each configuration.
 
     Returns the report dict (also the JSON file's content).  *repeat*
-    takes the best of N wall-clock times per program to damp scheduler
-    noise; cache counters come from the first run (later repeats would
-    hit warm caches and distort the hit rates).
+    times each program N times and records both the minimum (damps
+    scheduler noise; the headline ``seconds``) and the median (robust
+    central tendency) per row; cache counters come from the first run
+    (later repeats would hit warm in-process caches and distort the
+    hit rates).  The ``cache-cold`` configuration always runs against
+    a freshly deleted cache file and therefore times a single attempt.
     """
     from repro.programs import all_programs, fast_programs
 
     repeat = max(1, repeat)
     programs = all_programs() if full else fast_programs()
-    names = configs or list(CONFIGS)
+    table = config_table(jobs=jobs, cache_path=cache_path)
+    names = configs or list(table)
     report: dict = {
         "suite": "figure9-full" if full else "figure9-fast",
         "repeat": repeat,
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "configs": {},
     }
     for config_name in names:
-        options = _apply_config(CONFIGS[config_name])
+        config = table[config_name]
+        cold = bool(config.get("cold"))
+        if cold:
+            _delete_cache(str(config["cache"]))
+        options = _apply_config(config)
         rows = []
         suite_start = time.perf_counter()
         for program in programs:
+            timings: List[float] = []
             best: Optional[dict] = None
-            for attempt in range(repeat):
+            # A cold-cache run is only cold once: time one attempt.
+            for attempt in range(1 if cold else repeat):
                 t0 = time.perf_counter()
                 result = program.check(options=options)
-                elapsed = time.perf_counter() - t0
+                timings.append(time.perf_counter() - t0)
                 if best is None:
                     best = {
                         "name": program.name,
                         "safe": result.safe,
                         "matches_expectation":
                             result.safe == program.expect_safe,
+                        "verdicts": _fingerprint(result),
                         "prover_queries": result.prover_queries,
                         "prover": result.prover_stats,
                         "phases": {
@@ -109,17 +173,16 @@ def run_suite(full: bool = False, repeat: int = 1,
                                 result.times.annotation_and_local,
                             "global": result.times.global_verification,
                         },
-                        "seconds": elapsed,
                     }
-                else:
-                    best["seconds"] = min(best["seconds"], elapsed)
+            best["seconds"] = best["seconds_min"] = min(timings)
+            best["seconds_median"] = statistics.median(timings)
             rows.append(best)
             if progress is not None:
                 progress("%-10s %-16s %7.2fs" % (
                     config_name, program.name, best["seconds"]))
         total = time.perf_counter() - suite_start
         report["configs"][config_name] = {
-            "options": dict(CONFIGS[config_name]),
+            "options": dict(config),
             "programs": rows,
             "total_seconds": sum(r["seconds"] for r in rows),
             "wall_seconds": total,
@@ -127,11 +190,78 @@ def run_suite(full: bool = False, repeat: int = 1,
             "formula_intern_table": formula_intern_table_size(),
         }
     _restore_defaults()
-    if "seed" in report["configs"] and "enhanced" in report["configs"]:
-        seed = report["configs"]["seed"]["total_seconds"]
-        enhanced = report["configs"]["enhanced"]["total_seconds"]
-        report["speedup"] = seed / enhanced if enhanced else None
+    _add_parity(report)
+    _add_speedups(report)
     return report
+
+
+def _add_parity(report: dict) -> None:
+    """Record whether every configuration produced identical verdicts,
+    proof outcomes, and violations for every program."""
+    configs = report["configs"]
+    if len(configs) < 2:
+        return
+    reference_name = next(iter(configs))
+    reference = {row["name"]: row["verdicts"]
+                 for row in configs[reference_name]["programs"]}
+    mismatches = []
+    for name, config in configs.items():
+        for row in config["programs"]:
+            if row["verdicts"] != reference[row["name"]]:
+                mismatches.append([name, row["name"]])
+    report["verdict_parity"] = {
+        "reference": reference_name,
+        "identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def _add_speedups(report: dict) -> None:
+    configs = report["configs"]
+
+    def ratio(a: str, b: str) -> Optional[float]:
+        if a not in configs or b not in configs:
+            return None
+        denominator = configs[b]["total_seconds"]
+        return (configs[a]["total_seconds"] / denominator
+                if denominator else None)
+
+    speedup = ratio("seed", "enhanced")
+    if speedup is not None:
+        report["speedup"] = speedup
+    parallel = ratio("enhanced", "parallel")
+    if parallel is not None:
+        report["parallel_speedup"] = parallel
+    warm = ratio("cache-cold", "cache-warm")
+    if warm is not None:
+        report["warm_cache_speedup"] = warm
+
+
+def comparison_table(report: dict, serial: str = "enhanced",
+                     other: str = "parallel") -> Optional[str]:
+    """Per-program serial-vs-*other* table (None when either
+    configuration is missing from the report)."""
+    configs = report["configs"]
+    if serial not in configs or other not in configs:
+        return None
+    by_name = {row["name"]: row for row in configs[other]["programs"]}
+    lines = ["%-16s %10s %10s %8s" % ("program", serial, other,
+                                      "speedup")]
+    for row in configs[serial]["programs"]:
+        peer = by_name.get(row["name"])
+        if peer is None:
+            continue
+        ratio = (row["seconds"] / peer["seconds"]
+                 if peer["seconds"] else float("inf"))
+        lines.append("%-16s %9.2fs %9.2fs %7.2fx" % (
+            row["name"], row["seconds"], peer["seconds"], ratio))
+    lines.append("%-16s %9.2fs %9.2fs %7.2fx" % (
+        "total", configs[serial]["total_seconds"],
+        configs[other]["total_seconds"],
+        (configs[serial]["total_seconds"]
+         / configs[other]["total_seconds"])
+        if configs[other]["total_seconds"] else float("inf")))
+    return "\n".join(lines)
 
 
 def write_report(report: dict, path: str) -> None:
@@ -140,19 +270,40 @@ def write_report(report: dict, path: str) -> None:
         handle.write("\n")
 
 
-def main(full: bool = False, repeat: int = 1,
+def main(full: bool = False, repeat: int = 3,
          output: str = "BENCH_pipeline.json",
-         quiet: bool = False) -> int:
+         quiet: bool = False, jobs: int = 1,
+         cache_path: Optional[str] = None) -> int:
     progress = None if quiet else \
         (lambda line: print(line, file=sys.stderr))
-    report = run_suite(full=full, repeat=repeat, progress=progress)
+    report = run_suite(full=full, repeat=repeat, jobs=jobs,
+                       cache_path=cache_path, progress=progress)
     write_report(report, output)
-    seed = report["configs"]["seed"]["total_seconds"]
-    enhanced = report["configs"]["enhanced"]["total_seconds"]
-    print("suite: %s" % report["suite"])
-    print("seed:     %7.2fs" % seed)
-    print("enhanced: %7.2fs" % enhanced)
+    print("suite: %s (repeat %d, %s cores)"
+          % (report["suite"], report["repeat"],
+             report["cpu_count"] or "?"))
+    for name, config in report["configs"].items():
+        print("%-10s %7.2fs" % (name + ":", config["total_seconds"]))
     if report.get("speedup"):
-        print("speedup:  %6.2fx" % report["speedup"])
+        print("enhanced speedup over seed: %.2fx" % report["speedup"])
+    table = comparison_table(report)
+    if table is not None:
+        print("\nserial vs --jobs %d:" % jobs)
+        print(table)
+        if report.get("parallel_speedup"):
+            print("parallel speedup: %.2fx" % report["parallel_speedup"])
+    warm_table = comparison_table(report, serial="cache-cold",
+                                  other="cache-warm")
+    if warm_table is not None:
+        print("\ncold vs warm persistent cache:")
+        print(warm_table)
+        if report.get("warm_cache_speedup"):
+            print("warm-cache speedup: %.2fx"
+                  % report["warm_cache_speedup"])
+    parity = report.get("verdict_parity")
+    if parity is not None:
+        print("verdict parity across configs: %s"
+              % ("identical" if parity["identical"]
+                 else "MISMATCH %r" % (parity["mismatches"],)))
     print("wrote %s" % output)
     return 0

@@ -25,6 +25,8 @@ from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.analysis.checker import SafetyChecker
+from repro.analysis.options import CheckerOptions
+from repro.logic.persist import DEFAULT_CACHE_PATH as _DEFAULT_CACHE
 from repro.analysis.report import render_figure9
 from repro.ir.frontend import frontend_names, get_frontend
 from repro.policy.parser import parse_spec
@@ -71,6 +73,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print per-condition proof outcomes")
     check.add_argument("--annotate", action="store_true",
                        help="print the listing with inline verdicts")
+    check.add_argument("--jobs", "-j", type=int, default=None,
+                       metavar="N",
+                       help="prover worker processes (1 = serial, "
+                            "0 = one per core; default: $REPRO_JOBS "
+                            "or 1); verdicts are identical at any N")
+    check.add_argument("--cache", nargs="?", const=_DEFAULT_CACHE,
+                       default=None, metavar="PATH",
+                       help="persistent cross-run prover cache "
+                            "(default path when PATH is omitted: %s)"
+                            % _DEFAULT_CACHE)
     check.set_defaults(handler=_cmd_check)
 
     asm = sub.add_parser("asm", help="assemble to machine code")
@@ -114,12 +126,22 @@ def _build_parser() -> argparse.ArgumentParser:
                                          "(seed vs enhanced config)")
     bench.add_argument("--full", action="store_true",
                        help="include the heavyweight programs")
-    bench.add_argument("--repeat", type=int, default=1,
-                       help="best-of-N timing per program")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timings per program; rows record the "
+                            "min and median (default: 3)")
     bench.add_argument("--output", default="BENCH_pipeline.json",
                        help="report path (default: BENCH_pipeline.json)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress per-program progress lines")
+    bench.add_argument("--jobs", "-j", type=int, default=1,
+                       metavar="N",
+                       help="also benchmark a parallel config with N "
+                            "prover workers (default: 1 = skip)")
+    bench.add_argument("--cache", nargs="?", const=_DEFAULT_CACHE,
+                       default=None, metavar="PATH",
+                       help="also benchmark cold/warm persistent-cache "
+                            "configs at PATH (default path when PATH "
+                            "is omitted: %s)" % _DEFAULT_CACHE)
     bench.set_defaults(handler=_cmd_bench)
 
     return parser
@@ -153,7 +175,12 @@ def _cmd_check(args) -> int:
     program = _load_program(args)
     with open(args.spec) as handle:
         spec = parse_spec(handle.read())
-    result = SafetyChecker(program, spec).check()
+    options = CheckerOptions()
+    if args.jobs is not None:
+        options.jobs = args.jobs
+    if args.cache is not None:
+        options.cache_path = args.cache
+    result = SafetyChecker(program, spec, options=options).check()
     if args.json:
         print(json.dumps({
             "name": result.name,
@@ -257,7 +284,8 @@ def _cmd_run(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import main as bench_main
     return bench_main(full=args.full, repeat=args.repeat,
-                      output=args.output, quiet=args.quiet)
+                      output=args.output, quiet=args.quiet,
+                      jobs=args.jobs, cache_path=args.cache)
 
 
 def _cmd_fig9(args) -> int:

@@ -91,6 +91,11 @@ class Formula:
     def rename(self, mapping: Mapping[str, str]) -> "Formula":
         raise NotImplementedError
 
+    # Pickling rebuilds nodes through ``__new__`` (see the per-class
+    # ``__reduce__`` methods), so a formula shipped to a worker process
+    # is rehydrated into *that* process's intern tables with its
+    # precomputed hash/size/quantifier metadata recomputed on arrival.
+
     # Conveniences so formulas compose with operators.
     def __and__(self, other: "Formula") -> "Formula":
         return conj(self, other)
@@ -132,6 +137,9 @@ class TrueFormula(Formula):
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return self
 
+    def __reduce__(self):
+        return (TrueFormula, ())
+
     def __eq__(self, other: object) -> bool:
         return self is other or isinstance(other, TrueFormula)
 
@@ -165,6 +173,9 @@ class FalseFormula(Formula):
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return self
 
+    def __reduce__(self):
+        return (FalseFormula, ())
+
     def __eq__(self, other: object) -> bool:
         return self is other or isinstance(other, FalseFormula)
 
@@ -186,6 +197,9 @@ class _Atom(Formula):
     """Shared machinery of the single-term atoms (Geq / Eq)."""
 
     __slots__ = ("term", "_hash", "_free")
+
+    def __reduce__(self):
+        return (self.__class__, (self.term,))
 
     def free_variables(self) -> FrozenSet[str]:
         free = self._free
@@ -307,6 +321,9 @@ class Cong(Formula):
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return _fold_cong(self.term.rename(mapping), self.modulus)
 
+    def __reduce__(self):
+        return (Cong, (self.term, self.modulus))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
@@ -330,6 +347,9 @@ class _Junction(Formula):
     """Shared machinery of the n-ary connectives (And / Or)."""
 
     __slots__ = ("parts", "_hash", "_free", "_size", "_hasq")
+
+    def __reduce__(self):
+        return (self.__class__, (self.parts,))
 
     def free_variables(self) -> FrozenSet[str]:
         free = self._free
@@ -442,6 +462,9 @@ class Not(Formula):
     def rename(self, mapping: Mapping[str, str]) -> Formula:
         return neg(self.part.rename(mapping))
 
+    def __reduce__(self):
+        return (Not, (self.part,))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
@@ -467,6 +490,9 @@ class _Quantified(Formula):
     __slots__ = ("variables", "body", "_hash", "_free", "_size")
 
     _hasq = True
+
+    def __reduce__(self):
+        return (self.__class__, (self.variables, self.body))
 
     def free_variables(self) -> FrozenSet[str]:
         free = self._free

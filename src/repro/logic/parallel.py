@@ -1,0 +1,124 @@
+"""Process-pool scaffolding for parallel proof discharge.
+
+The global-verification phase dominates end-to-end checking time
+(paper Figure 9), and its proof obligations are largely independent.
+:class:`ParallelProver` fans obligation batches out across a
+``concurrent.futures.ProcessPoolExecutor``:
+
+* the **payload** (everything a worker needs to rebuild its own
+  verification engine — program, spec, options) is pickled once and
+  handed to each worker's initializer;
+* each **task** is pickled by the caller (so serialization time is
+  measured, and hash-consed formulas are explicitly rehydrated into
+  the worker's intern tables on arrival);
+* results are returned in task-submission order, so callers can merge
+  them deterministically regardless of completion order.
+
+The pool prefers the ``fork`` start method when the platform offers it
+(workers inherit warm intern tables; spawn works too — every formula
+that crosses the process boundary travels by pickle either way).  Any
+failure to create or sustain the pool raises :class:`PoolUnavailable`;
+callers must treat that as "run the serial path instead" — parallelism
+is an optimization, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence
+
+__all__ = ["ParallelProver", "PoolStats", "PoolUnavailable"]
+
+
+class PoolUnavailable(RuntimeError):
+    """The worker pool could not be created or died mid-run.
+
+    Callers fall back to serial discharge; verdicts never depend on
+    the pool."""
+
+
+@dataclass
+class PoolStats:
+    """Counters surfaced through ``prover_stats`` / ``check --json``."""
+
+    jobs: int = 0
+    tasks_dispatched: int = 0
+    items_dispatched: int = 0
+    #: Seconds spent pickling the payload and the task batches.
+    serialization_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "pool_jobs": self.jobs,
+            "pool_tasks_dispatched": self.tasks_dispatched,
+            "pool_obligations_dispatched": self.items_dispatched,
+            "pool_serialization_seconds": self.serialization_seconds,
+        }
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits interned nodes); fall back to the
+    platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class ParallelProver:
+    """Dispatches picklable task batches to initialized workers.
+
+    ``initializer(payload_bytes)`` runs once per worker process;
+    ``worker(task_bytes)`` runs per task and returns a picklable
+    result.  Both must be module-level callables."""
+
+    def __init__(self, jobs: int, payload: Any,
+                 initializer: Callable[[bytes], None],
+                 worker: Callable[[bytes], Any]):
+        self.jobs = max(1, int(jobs))
+        self.stats = PoolStats(jobs=self.jobs)
+        self._initializer = initializer
+        self._worker = worker
+        t0 = time.perf_counter()
+        try:
+            self._payload = pickle.dumps(payload)
+        except Exception as error:
+            raise PoolUnavailable("unpicklable payload: %s" % error)
+        self.stats.serialization_seconds += time.perf_counter() - t0
+
+    def discharge(self, tasks: Sequence[Any],
+                  items: int = 0) -> List[Any]:
+        """Run every task on the pool; results come back in *tasks*
+        order.  Raises :class:`PoolUnavailable` on any pool failure."""
+        t0 = time.perf_counter()
+        try:
+            blobs = [pickle.dumps(task) for task in tasks]
+        except Exception as error:
+            raise PoolUnavailable("unpicklable task: %s" % error)
+        self.stats.serialization_seconds += time.perf_counter() - t0
+        workers = min(self.jobs, len(blobs)) or 1
+        try:
+            executor = futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context(),
+                initializer=self._initializer,
+                initargs=(self._payload,))
+        except (OSError, ValueError, PermissionError) as error:
+            raise PoolUnavailable("cannot create pool: %s" % error)
+        try:
+            with executor:
+                pending = [executor.submit(self._worker, blob)
+                           for blob in blobs]
+                results = [future.result() for future in pending]
+        except PoolUnavailable:
+            raise
+        except Exception as error:
+            # BrokenProcessPool, pickling errors inside the queue,
+            # workers killed by the OS, …: all mean "no pool results".
+            raise PoolUnavailable("pool failed: %s" % error)
+        self.stats.tasks_dispatched += len(blobs)
+        self.stats.items_dispatched += items or len(blobs)
+        return results

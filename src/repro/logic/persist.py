@@ -1,0 +1,191 @@
+"""Persistent cross-run prover cache.
+
+Satisfiability of a Presburger formula depends only on the formula, so
+prover verdicts can be reused across programs, across runs, and across
+worker processes.  This module stores them in a small SQLite file
+(``.repro-cache/prover.sqlite`` by convention) keyed on the
+process-stable canonical digest (:func:`repro.logic.serialize.
+formula_digest`).
+
+Layout (schema version :data:`SCHEMA_VERSION`)::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)   -- {"schema_version": N}
+    results(digest TEXT PRIMARY KEY, satisfiable INTEGER)
+
+Robustness rules:
+
+* a file that is not a SQLite database, or whose recorded
+  ``schema_version`` differs from ours, is **discarded and rebuilt**
+  (counted in ``invalidations``) — a stale or corrupt cache must never
+  change verdicts, only cost a cold start;
+* concurrent readers/writers (pool workers sharing one file) are
+  handled with WAL journaling and a busy timeout; any SQLite error on
+  an individual get/put degrades to a miss/no-op instead of failing
+  the check;
+* writes are batched (:data:`_COMMIT_EVERY`) and flushed explicitly by
+  the owner at the end of a run or worker task.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import Optional
+
+#: Bump when the digest definition or the table layout changes; an
+#: existing file with a different version is discarded on open.
+SCHEMA_VERSION = 1
+
+#: Default location, relative to the working directory.
+DEFAULT_CACHE_PATH = os.path.join(".repro-cache", "prover.sqlite")
+
+_COMMIT_EVERY = 64
+
+
+class PersistentProverCache:
+    """Append-mostly digest → satisfiability store shared across runs.
+
+    All methods are total: a broken underlying file or a locked
+    database never raises out of ``get``/``put`` — the cache silently
+    behaves as empty/read-only instead (``io_errors`` counts how
+    often)."""
+
+    def __init__(self, path: str,
+                 schema_version: Optional[int] = None):
+        self.path = path
+        # Resolved at call time so a digest-definition change (a bump
+        # of the module-level SCHEMA_VERSION) reaches every opener.
+        self.schema_version = (SCHEMA_VERSION if schema_version is None
+                               else schema_version)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Times a corrupt or version-mismatched file was discarded.
+        self.invalidations = 0
+        self.io_errors = 0
+        self._pending = 0
+        self._conn: Optional[sqlite3.Connection] = None
+        self._open()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _open(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except OSError:
+                # Unwritable/occupied location: run without a cache.
+                self._conn = None
+                self.io_errors += 1
+                return
+        try:
+            self._conn = self._connect()
+        except sqlite3.Error:
+            # Not a database (corrupt/garbage file): discard and retry
+            # once with a fresh file.
+            self._discard_file()
+            try:
+                self._conn = self._connect()
+            except sqlite3.Error:
+                self._conn = None
+                self.io_errors += 1
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=5.0)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("CREATE TABLE IF NOT EXISTS meta ("
+                         "key TEXT PRIMARY KEY, value TEXT)")
+            conn.execute("CREATE TABLE IF NOT EXISTS results ("
+                         "digest TEXT PRIMARY KEY, "
+                         "satisfiable INTEGER NOT NULL)")
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta VALUES "
+                    "('schema_version', ?)", (str(self.schema_version),))
+                conn.commit()
+            elif row[0] != str(self.schema_version):
+                # Version bump: drop the stale results, keep the file.
+                self.invalidations += 1
+                conn.execute("DELETE FROM results")
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta VALUES "
+                    "('schema_version', ?)", (str(self.schema_version),))
+                conn.commit()
+        except sqlite3.Error:
+            conn.close()
+            raise
+        return conn
+
+    def _discard_file(self) -> None:
+        self.invalidations += 1
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.remove(self.path + suffix)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self.flush()
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[bool]:
+        if self._conn is None:
+            return None
+        try:
+            row = self._conn.execute(
+                "SELECT satisfiable FROM results WHERE digest=?",
+                (digest,)).fetchone()
+        except sqlite3.Error:
+            self.io_errors += 1
+            return None
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return bool(row[0])
+
+    def put(self, digest: str, satisfiable: bool) -> None:
+        if self._conn is None:
+            return
+        try:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO results VALUES (?, ?)",
+                (digest, 1 if satisfiable else 0))
+        except sqlite3.Error:
+            self.io_errors += 1
+            return
+        self.stores += 1
+        self._pending += 1
+        if self._pending >= _COMMIT_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._conn is None or not self._pending:
+            return
+        try:
+            self._conn.commit()
+        except sqlite3.Error:
+            self.io_errors += 1
+        self._pending = 0
+
+    def __len__(self) -> int:
+        if self._conn is None:
+            return 0
+        try:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
+        except sqlite3.Error:
+            return 0

@@ -62,6 +62,10 @@ class ProverStats:
     #: the decision procedure hit a resource limit (DNF blow-up or
     #: elimination step cap).
     resource_fallbacks: int = 0
+    #: Queries answered from / stored into the persistent cross-run
+    #: cache (:mod:`repro.logic.persist`), when one is attached.
+    persistent_cache_hits: int = 0
+    persistent_cache_stores: int = 0
     #: Wall-clock seconds spent computing canonical forms.
     canonicalization_seconds: float = 0.0
 
@@ -101,13 +105,18 @@ class Prover:
 
     def __init__(self, enable_cache: bool = True,
                  enable_difference_fast_path: bool = True,
-                 enable_canonical_cache: bool = True):
+                 enable_canonical_cache: bool = True,
+                 persistent=None):
         self.enable_cache = enable_cache
         self.enable_difference_fast_path = enable_difference_fast_path
         #: Canonical-form caching (whole-formula and per-conjunct);
         #: independent of the raw cache so the ablation benchmarks can
         #: measure each level.
         self.enable_canonical_cache = enable_canonical_cache
+        #: Optional :class:`repro.logic.persist.PersistentProverCache`,
+        #: consulted after the in-memory levels and shared across runs
+        #: and worker processes.
+        self.persistent = persistent
         self.stats = ProverStats()
         self._sat_cache = BoundedCache(_RESULT_CACHE_LIMIT, gated=False,
                                        registered=False)
@@ -118,14 +127,30 @@ class Prover:
                                             gated=False,
                                             registered=False)
 
+    def reset_stats(self) -> None:
+        """Zero the statistics counters *without* dropping any cache —
+        long-lived pool workers report per-task stats deltas while
+        keeping their warm caches."""
+        self.stats.reset()
+
+    def clear_caches(self) -> None:
+        """Empty the in-memory result caches (the persistent store, if
+        any, is untouched — it is cross-run by design)."""
+        self._sat_cache.clear()
+        self._canonical_cache.clear()
+        self._conjunct_cache.clear()
+
     def reset(self) -> None:
         """Clear all result caches and statistics — lets a shared
         prover (e.g. the module-level :data:`DEFAULT_PROVER`) be reused
         across checks without leaking state between them."""
-        self._sat_cache.clear()
-        self._canonical_cache.clear()
-        self._conjunct_cache.clear()
-        self.stats.reset()
+        self.clear_caches()
+        self.reset_stats()
+
+    def flush_persistent(self) -> None:
+        """Commit any batched writes to the persistent cache."""
+        if self.persistent is not None:
+            self.persistent.flush()
 
     # -- public queries ------------------------------------------------------
 
@@ -139,16 +164,29 @@ class Prover:
                 self.stats.cache_hits += 1
                 return cached
         canonical: Optional[Formula] = None
-        if self.enable_canonical_cache:
+        if self.enable_canonical_cache or self.persistent is not None:
             t0 = time.perf_counter()
             canonical = canonicalize(f)
             self.stats.canonicalization_seconds += \
                 time.perf_counter() - t0
+        if self.enable_canonical_cache:
             cached = self._canonical_cache.get(canonical)
             if cached is not None:
                 self.stats.canonical_cache_hits += 1
                 if self.enable_cache:
                     self._sat_cache.put(f, cached)
+                return cached
+        digest: Optional[str] = None
+        if self.persistent is not None:
+            from repro.logic.serialize import canonical_digest
+            digest = canonical_digest(canonical)
+            cached = self.persistent.get(digest)
+            if cached is not None:
+                self.stats.persistent_cache_hits += 1
+                if self.enable_cache:
+                    self._sat_cache.put(f, cached)
+                if self.enable_canonical_cache:
+                    self._canonical_cache.put(canonical, cached)
                 return cached
         try:
             result = self._decide_satisfiable(f)
@@ -161,8 +199,11 @@ class Prover:
             return True
         if self.enable_cache:
             self._sat_cache.put(f, result)
-        if canonical is not None:
+        if canonical is not None and self.enable_canonical_cache:
             self._canonical_cache.put(canonical, result)
+        if digest is not None:
+            self.persistent.put(digest, result)
+            self.stats.persistent_cache_stores += 1
         return result
 
     def is_valid(self, f: Formula) -> bool:

@@ -215,6 +215,13 @@ class Linear:
             total += coeff * valuation[var]
         return total
 
+    # -- pickling ---------------------------------------------------------------------
+
+    def __reduce__(self):
+        # Reconstruct through __new__ so unpickling re-interns the term
+        # in the receiving process's table (worker rehydration).
+        return (Linear, (self._coeffs, self._const))
+
     # -- equality / rendering ---------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,158 @@
+"""The persistent cross-run prover cache: storage, sharing, and —
+critically — invalidation.  A stale or corrupt cache file must never
+change verdicts; it may only cost a cold start.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.analysis.options import CheckerOptions
+from repro.logic.formula import conj, ge
+from repro.logic.persist import PersistentProverCache, SCHEMA_VERSION
+from repro.logic.prover import Prover
+from repro.logic.terms import Linear
+
+
+def v(name):
+    return Linear.var(name)
+
+
+class TestRoundtrip:
+    def test_get_put(self, tmp_path):
+        cache = PersistentProverCache(str(tmp_path / "c.sqlite"))
+        assert cache.get("d1") is None
+        cache.put("d1", True)
+        cache.put("d2", False)
+        assert cache.get("d1") is True
+        assert cache.get("d2") is False
+        assert len(cache) == 2
+        cache.close()
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        first = PersistentProverCache(path)
+        first.put("digest", True)
+        first.close()
+        second = PersistentProverCache(path)
+        assert second.get("digest") is True
+        assert second.hits == 1
+        second.close()
+
+    def test_two_handles_share_one_file(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        writer = PersistentProverCache(path)
+        reader = PersistentProverCache(path)
+        writer.put("shared", False)
+        writer.flush()
+        assert reader.get("shared") is False
+        writer.close()
+        reader.close()
+
+
+class TestInvalidation:
+    def test_corrupt_file_is_discarded(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        with open(path, "w") as handle:
+            handle.write("this is not a sqlite database at all\n")
+        cache = PersistentProverCache(path)
+        assert cache.invalidations == 1
+        assert cache.get("anything") is None
+        cache.put("fresh", True)
+        assert cache.get("fresh") is True
+        cache.close()
+
+    def test_version_bump_discards_results(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        old = PersistentProverCache(path, schema_version=SCHEMA_VERSION)
+        old.put("stale", True)
+        old.close()
+        new = PersistentProverCache(path,
+                                    schema_version=SCHEMA_VERSION + 1)
+        assert new.invalidations == 1
+        assert new.get("stale") is None  # result discarded
+        new.close()
+        # The file now carries the new version.
+        conn = sqlite3.connect(path)
+        row = conn.execute("SELECT value FROM meta WHERE "
+                           "key='schema_version'").fetchone()
+        conn.close()
+        assert row[0] == str(SCHEMA_VERSION + 1)
+
+    def test_unwritable_path_degrades_to_no_cache(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the directory should be")
+        cache = PersistentProverCache(str(target / "c.sqlite"))
+        # Every operation is a total no-op, never an exception.
+        assert cache.get("d") is None
+        cache.put("d", True)
+        cache.flush()
+        assert len(cache) == 0
+        cache.close()
+
+
+class TestProverIntegration:
+    def query(self):
+        return conj(ge(v("x"), 0), ge(Linear({"x": -1}, 10), 0))
+
+    def test_second_prover_hits_persistent_cache(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        first = Prover(persistent=PersistentProverCache(path))
+        verdict = first.is_satisfiable(self.query())
+        assert first.stats.persistent_cache_stores == 1
+        first.persistent.close()
+        second = Prover(persistent=PersistentProverCache(path))
+        assert second.is_satisfiable(self.query()) == verdict
+        assert second.stats.persistent_cache_hits == 1
+        second.persistent.close()
+
+    def test_verdicts_identical_with_corrupted_cache(self, tmp_path):
+        """Corruption mid-lifecycle: verdicts match a cold run."""
+        path = str(tmp_path / "c.sqlite")
+        plain = Prover().is_satisfiable(self.query())
+        with open(path, "w") as handle:
+            handle.write("garbage")
+        prover = Prover(persistent=PersistentProverCache(path))
+        assert prover.is_satisfiable(self.query()) == plain
+        prover.persistent.close()
+
+
+class TestCheckerIntegration:
+    def checked(self, tmp_path, name="sum"):
+        from repro.programs import all_programs
+        program = next(p for p in all_programs() if p.name == name)
+        path = str(tmp_path / "prover.sqlite")
+        options = CheckerOptions(cache_path=path)
+        return program, options
+
+    @staticmethod
+    def verdicts(result):
+        return (result.safe,
+                [(p.uid, p.index, p.proved) for p in result.proofs],
+                [(w.index, w.category, w.description, w.phase)
+                 for w in result.violations])
+
+    def test_warm_run_identical_to_cold(self, tmp_path):
+        program, options = self.checked(tmp_path)
+        baseline = program.check()  # no persistent cache at all
+        cold = program.check(options=options)
+        warm = program.check(options=options)
+        assert self.verdicts(cold) == self.verdicts(baseline)
+        assert self.verdicts(warm) == self.verdicts(baseline)
+        assert cold.prover_stats["persistent_cache_stores"] > 0
+        assert warm.prover_stats["persistent_cache_hits"] > 0
+        assert warm.prover_stats["persistent_cache_stores"] == 0
+
+    def test_version_bumped_cache_matches_cold_verdicts(self, tmp_path,
+                                                        monkeypatch):
+        program, options = self.checked(tmp_path)
+        cold = program.check(options=options)
+        # Simulate a digest-definition change: bump the schema.
+        import repro.logic.persist as persist
+        monkeypatch.setattr(persist, "SCHEMA_VERSION",
+                            persist.SCHEMA_VERSION + 1)
+        bumped = program.check(options=options)
+        assert self.verdicts(bumped) == self.verdicts(cold)
+        # The stale results were dropped: everything re-proved.
+        assert bumped.prover_stats["persistent_cache_hits"] == 0
+        assert bumped.prover_stats["persistent_cache_stores"] > 0
