@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Service smoke test: the check server as a real OS process.
+
+Boots ``repro serve`` in a subprocess on an ephemeral port, submits the
+paper's Figure-9 ``sum_array`` program through ``repro submit`` on both
+architectures (separate client processes), and asserts:
+
+* both verdicts come back ``certified`` with exit status 0;
+* resubmitting the same request is answered from the dedup layer — the
+  ``/metrics`` ``dedup_hits`` counter moves and no new pipeline run is
+  accepted;
+* SIGTERM drains the server: the process exits 0 on its own and the
+  listener goes away.
+
+CI runs this as the ``service-smoke`` job.  The in-process equivalents
+live in ``tests/service/``; this script is the cross-process story.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--timeout 120]
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.programs.sum_array import SOURCE, SPEC  # noqa: E402
+
+# RISC-V rendering of the same summation loop (see parity_check.py and
+# tests/ir/test_parity.py — inlined so this script is self-contained).
+RISCV_SUM = """
+1: mv a2,a0
+2: li a0,0
+3: li t0,0
+4: bge t0,a1,11
+5: slli t1,t0,2
+6: add t2,a2,t1
+7: lw t1,0(t2)
+8: addi t0,t0,1
+9: add a0,a0,t1
+10: blt t0,a1,5
+11: ret
+"""
+
+RISCV_SUM_SPEC = """
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke a0 = arr
+invoke a1 = n
+assume n >= 1
+"""
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def fetch(url, timeout=2.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def wait_for_health(url, deadline):
+    while time.time() < deadline:
+        try:
+            if fetch(url + "/healthz")["status"] == "ok":
+                return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.1)
+    raise SystemExit("server never became healthy at %s" % url)
+
+
+def run_submit(url, code_path, spec_path, arch):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "submit", code_path, spec_path,
+         "--arch", arch, "--server", url, "--json"],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise SystemExit("submit (%s) exited %d:\n%s" % (
+            arch, proc.returncode, proc.stderr))
+    return json.loads(proc.stdout)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall wall-clock budget (seconds)")
+    args = parser.parse_args(argv)
+    deadline = time.time() + args.timeout
+
+    port = free_port()
+    url = "http://127.0.0.1:%d" % port
+    env = dict(os.environ, PYTHONPATH=SRC)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    try:
+        wait_for_health(url, deadline)
+        print("server healthy at %s (pid %d)" % (url, server.pid))
+
+        with tempfile.TemporaryDirectory() as tmp:
+            cases = [
+                ("sparc", os.path.join(tmp, "sum.s"), SOURCE,
+                 os.path.join(tmp, "sum.policy"), SPEC),
+                ("riscv", os.path.join(tmp, "sum-rv.s"), RISCV_SUM,
+                 os.path.join(tmp, "sum-rv.policy"), RISCV_SUM_SPEC),
+            ]
+            for arch, code_path, code, spec_path, spec in cases:
+                with open(code_path, "w") as handle:
+                    handle.write(code)
+                with open(spec_path, "w") as handle:
+                    handle.write(spec)
+                result = run_submit(url, code_path, spec_path, arch)
+                if result["verdict"] != "certified":
+                    raise SystemExit("%s verdict was %r, not certified"
+                                     % (arch, result["verdict"]))
+                print("certified: sum_array on %s" % arch)
+
+            before = fetch(url + "/metrics")["dedup_hits"]
+            run_submit(url, cases[0][1], cases[0][3], "sparc")
+            after = fetch(url + "/metrics")["dedup_hits"]
+            if after != before + 1:
+                raise SystemExit(
+                    "resubmission was not deduped: dedup_hits %d -> %d"
+                    % (before, after))
+            print("dedup: resubmission answered from the verdict cache")
+
+        server.send_signal(signal.SIGTERM)
+        rc = server.wait(timeout=max(1.0, deadline - time.time()))
+        if rc != 0:
+            raise SystemExit("server exited %d after SIGTERM" % rc)
+        try:
+            fetch(url + "/healthz", timeout=1.0)
+            raise SystemExit("listener still up after SIGTERM drain")
+        except (urllib.error.URLError, OSError):
+            pass
+        print("drain: SIGTERM -> clean exit 0, listener down")
+        print("service smoke: OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+        output = server.stdout.read()
+        if output:
+            sys.stderr.write("--- server log ---\n%s" % output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Union
 
+from repro.errors import ProverTimeout
 from repro.cfg.builder import build_cfg
 from repro.cfg.callgraph import CallGraph
 from repro.cfg.graph import CFG
@@ -47,11 +48,16 @@ from repro.analysis.verify import (
 class SafetyChecker:
     """Checks one untrusted program against one host specification."""
 
+    #: Wall-clock deadline of the running check (epoch seconds), set
+    #: for the duration of :meth:`check` when ``options.timeout_s``.
+    _deadline = None
+
     def __init__(self, program: Union[MachineProgram, str, bytes, list],
                  spec: HostSpec,
                  options: Optional[CheckerOptions] = None,
                  name: Optional[str] = None,
-                 arch: str = "sparc"):
+                 arch: str = "sparc",
+                 prover: Optional[Prover] = None):
         if isinstance(program, str):
             frontend = get_frontend(arch)
             program = frontend.assemble(program, name=name or "untrusted")
@@ -68,6 +74,15 @@ class SafetyChecker:
             self.program.name = name
         self.spec = spec
         self.options = options or CheckerOptions()
+        # An injected prover (the service keeps one warm prover per
+        # worker) is borrowed, caches and persistent store included:
+        # satisfiability depends only on the formula, so cross-request
+        # reuse is sound.  close() then leaves it untouched.
+        self._owns_prover = prover is None
+        if prover is not None:
+            self.persistent = prover.persistent
+            self.prover = prover
+            return
         self.persistent = None
         if self.options.cache_path:
             from repro.logic.persist import PersistentProverCache
@@ -80,6 +95,25 @@ class SafetyChecker:
             persistent=self.persistent,
         )
 
+    # -- teardown -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release checker-owned resources deterministically: flush and
+        close the persistent prover cache (when this checker created
+        it) so long-lived hosts — the check service's workers — never
+        leak SQLite handles across reconfigurations.  Borrowed provers
+        are only flushed; their owner closes them."""
+        if self.prover is not None:
+            self.prover.flush_persistent()
+        if self._owns_prover and self.persistent is not None:
+            self.persistent.close()
+
+    def __enter__(self) -> "SafetyChecker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- pipeline -----------------------------------------------------------------
 
     def check(self) -> CheckResult:
@@ -88,10 +122,42 @@ class SafetyChecker:
         # checkers, and concurrent-construction state cannot leak.
         saved_memoization = memoization_enabled()
         set_memoization(self.options.enable_formula_memoization)
+        self._deadline = None
+        if self.options.timeout_s is not None:
+            # deadline_epoch is pre-set when a pool parent re-enters
+            # (workers must share the parent's absolute budget).
+            self._deadline = (self.options.deadline_epoch
+                              or time.time() + self.options.timeout_s)
+        self.prover.deadline = self._deadline
         try:
             return self._check()
+        except ProverTimeout:
+            return self._timeout_result()
         finally:
+            # A warm prover reused across requests must not inherit a
+            # finished check's budget.
+            self.prover.deadline = None
             set_memoization(saved_memoization)
+
+    def _timeout_result(self) -> CheckResult:
+        """The distinct "undecided: timeout" verdict: the check was
+        aborted, so the program is neither certified nor rejected."""
+        prover_stats = self.prover.stats.as_dict()
+        if self.persistent is not None:
+            self.persistent.flush()
+        return CheckResult(
+            name=self.program.name,
+            safe=False,
+            timed_out=True,
+            arch=self._arch_name(),
+            characteristics=ProgramCharacteristics(),
+            times=PhaseTimes(),
+            prover_stats=prover_stats,
+        )
+
+    def _arch_name(self) -> str:
+        info = self.program.arch
+        return getattr(info, "name", "") or ""
 
     def _check(self) -> CheckResult:
         times = PhaseTimes()
@@ -113,6 +179,7 @@ class SafetyChecker:
         t0 = time.perf_counter()
         propagation = propagate(cfg, preparation, self.spec, self.options)
         times.typestate_propagation = time.perf_counter() - t0
+        self.prover.check_deadline()
 
         # Phase 3 + 4: annotation and local verification.
         t0 = time.perf_counter()
@@ -124,6 +191,7 @@ class SafetyChecker:
             local_violations = local_violations \
                 + check_automata(cfg, self.spec)
         times.annotation_and_local = time.perf_counter() - t0
+        self.prover.check_deadline()
 
         # Phase 5: global verification — obligation generation, then
         # serial or pooled discharge.
@@ -144,6 +212,7 @@ class SafetyChecker:
         return CheckResult(
             name=self.program.name,
             safe=not violations,
+            arch=self._arch_name(),
             characteristics=characteristics,
             times=times,
             violations=violations,
@@ -168,9 +237,14 @@ class SafetyChecker:
         if jobs <= 1:
             proofs, violations = discharge_serial(engine, obligations)
             return proofs, violations, {}
+        options = self.options
+        if self._deadline is not None:
+            # Workers must observe the same absolute wall-clock budget.
+            from dataclasses import replace
+            options = replace(options, deadline_epoch=self._deadline)
         try:
             return discharge_parallel(engine, self.program, self.spec,
-                                      self.options, obligations)
+                                      options, obligations)
         except PoolUnavailable:
             proofs, violations = discharge_serial(engine, obligations)
             return proofs, violations, {"pool_jobs": jobs,

@@ -168,6 +168,10 @@ def build_engine(program, spec, options: CheckerOptions
         enable_cache=options.enable_prover_cache,
         enable_canonical_cache=options.enable_canonical_prover_cache,
         persistent=persistent)
+    # Pool workers inherit the parent's absolute wall-clock budget; an
+    # expired budget makes every query raise, so the worker fails fast
+    # and the parent converts the unproved verdicts into a timeout.
+    prover.deadline = options.deadline_epoch
     return VerificationEngine(cfg, propagation, preparation, spec,
                               options, prover)
 

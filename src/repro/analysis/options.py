@@ -94,3 +94,15 @@ class CheckerOptions:
     #: Path of the persistent cross-run prover cache (SQLite); None
     #: disables it.  Defaults to ``$REPRO_CACHE`` when set.
     cache_path: Optional[str] = field(default_factory=_default_cache_path)
+
+    #: Wall-clock budget for one check, in seconds; None means no
+    #: limit.  A check that exceeds it aborts discharge cleanly and
+    #: reports the distinct "undecided: timeout" verdict
+    #: (``CheckResult.timed_out``) instead of certifying or rejecting.
+    timeout_s: Optional[float] = None
+
+    #: Internal: the absolute ``time.time()`` deadline derived from
+    #: ``timeout_s`` when a check starts.  Threaded through the pickled
+    #: options payload so pool workers observe the same wall-clock
+    #: budget as the parent; callers never set it directly.
+    deadline_epoch: Optional[float] = None

@@ -71,8 +71,23 @@ class CheckResult:
     #: (see :class:`repro.logic.prover.ProverStats.as_dict`); empty
     #: when the checker did not record them.
     prover_stats: Dict[str, float] = field(default_factory=dict)
+    #: The instruction-set architecture the program was lowered from
+    #: ("sparc", "riscv", ...); "" for results built before PR 4.
+    arch: str = ""
+    #: True when the check exceeded its wall-clock budget
+    #: (``CheckerOptions.timeout_s``) and was aborted: the program is
+    #: neither certified nor rejected.
+    timed_out: bool = False
 
     # -- accessors ------------------------------------------------------------
+
+    @property
+    def verdict(self) -> str:
+        """The three-valued outcome: ``certified`` (proved safe),
+        ``rejected`` (violations found), or ``undecided:timeout``."""
+        if self.timed_out:
+            return "undecided:timeout"
+        return "certified" if self.safe else "rejected"
 
     @property
     def local_violations(self) -> List[Violation]:
@@ -115,8 +130,10 @@ class CheckResult:
         return "\n".join(lines)
 
     def summary(self) -> str:
-        lines = ["%s: %s" % (self.name,
-                             "SAFE" if self.safe else "UNSAFE")]
+        outcome = "SAFE" if self.safe else "UNSAFE"
+        if self.timed_out:
+            outcome = "UNDECIDED (timeout)"
+        lines = ["%s: %s" % (self.name, outcome)]
         c = self.characteristics
         lines.append(
             "  instructions=%d branches=%d loops=%s calls=%s "
@@ -161,6 +178,58 @@ class CheckResult:
         for violation in self.violations:
             lines.append("  VIOLATION %s" % violation)
         return "\n".join(lines)
+
+
+def result_to_json(result: CheckResult) -> Dict:
+    """The machine-readable form of a check result.
+
+    The single source of truth for ``repro check --json`` *and* the
+    check service's job results: building both from one function is
+    what makes service verdicts byte-identical to local ones.  The
+    payload is self-describing (``arch`` + package ``version``), so a
+    stored verdict can be interpreted without its producing process.
+
+    Key order is fixed; ``times`` and ``prover`` are the only
+    wall-clock-dependent entries (see :func:`verdict_projection`).
+    """
+    from repro import __version__
+    return {
+        "name": result.name,
+        "arch": result.arch,
+        "version": __version__,
+        "verdict": result.verdict,
+        "safe": result.safe,
+        "timed_out": result.timed_out,
+        "instructions": result.characteristics.instructions,
+        "global_conditions":
+            result.characteristics.global_conditions,
+        "times": {
+            "propagation": result.times.typestate_propagation,
+            "annotation_local": result.times.annotation_and_local,
+            "global": result.times.global_verification,
+            "total": result.times.total,
+        },
+        "prover": result.prover_stats,
+        "violations": [{
+            "instruction": v.index,
+            "category": v.category,
+            "description": v.description,
+            "phase": v.phase,
+        } for v in result.violations],
+    }
+
+
+#: The keys of :func:`result_to_json` that vary run to run even for
+#: identical inputs (timings, cache-dependent counters).
+VOLATILE_JSON_KEYS = ("times", "prover")
+
+
+def verdict_projection(payload: Dict) -> Dict:
+    """The deterministic slice of a :func:`result_to_json` payload:
+    identical inputs produce byte-identical serializations of this
+    projection, whether checked locally or through the service."""
+    return {key: value for key, value in payload.items()
+            if key not in VOLATILE_JSON_KEYS}
 
 
 #: Column layout of the Figure 9 table.

@@ -11,9 +11,12 @@
     repro fig9 [--full]                   # regenerate the paper's table
     repro bench [--full]                  # pipeline benchmark (seed vs
                                           # enhanced), BENCH_pipeline.json
+    repro serve [--port N]                # run the check service
+    repro submit CODE.s SPEC.policy       # check via a running service
 
-Exit status of ``check``: 0 = certified safe, 1 = violations found,
-2 = error (bad input, unsupported construct).
+Exit status of ``check`` and ``submit``: 0 = certified safe,
+1 = violations found, 2 = error (bad input, unsupported construct,
+service unreachable), 3 = undecided (wall-clock timeout).
 """
 
 from __future__ import annotations
@@ -83,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="persistent cross-run prover cache "
                             "(default path when PATH is omitted: %s)"
                             % _DEFAULT_CACHE)
+    check.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget; past it the check "
+                            "aborts with the undecided-timeout "
+                            "verdict (exit status 3)")
     check.set_defaults(handler=_cmd_check)
 
     asm = sub.add_parser("asm", help="assemble to machine code")
@@ -144,6 +152,58 @@ def _build_parser() -> argparse.ArgumentParser:
                             "is omitted: %s)" % _DEFAULT_CACHE)
     bench.set_defaults(handler=_cmd_bench)
 
+    serve = sub.add_parser("serve", help="run the resident check "
+                                         "service (HTTP/JSON)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = ephemeral; default 8642)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent checker workers (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="bounded job queue size; beyond it "
+                            "submissions get HTTP 429 (default: 64)")
+    serve.add_argument("--lru-size", type=int, default=256,
+                       help="LRU verdict-cache entries (default: 256)")
+    serve.add_argument("--jobs", "-j", type=int, default=1,
+                       metavar="N",
+                       help="default prover worker processes per "
+                            "request (default: 1)")
+    serve.add_argument("--cache", nargs="?", const=_DEFAULT_CACHE,
+                       default=None, metavar="PATH",
+                       help="persistent prover cache shared by all "
+                            "workers (default path when PATH is "
+                            "omitted: %s)" % _DEFAULT_CACHE)
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job wall-clock budget")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="check code through a "
+                                           "running `repro serve`")
+    submit.add_argument("code", help="assembly file (or binary with "
+                                     "--binary)")
+    submit.add_argument("spec", help="host specification file")
+    submit.add_argument("--binary", action="store_true",
+                        help="treat CODE as raw machine code")
+    submit.add_argument("--arch", choices=frontend_names(),
+                        default="sparc",
+                        help="instruction-set architecture of CODE "
+                             "(default: sparc)")
+    submit.add_argument("--server", default=None, metavar="URL",
+                        help="service base URL (default: "
+                             "$REPRO_SERVER or http://127.0.0.1:8642)")
+    submit.add_argument("--json", action="store_true",
+                        help="print the verdict payload (byte-"
+                             "identical to `repro check --json`)")
+    submit.add_argument("--jobs", "-j", type=int, default=None,
+                        metavar="N",
+                        help="prover worker processes for this "
+                             "request (server default otherwise)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-request wall-clock budget")
+    submit.set_defaults(handler=_cmd_submit)
+
     return parser
 
 
@@ -172,6 +232,7 @@ def _load_program(args):
 
 
 def _cmd_check(args) -> int:
+    from repro.analysis.report import result_to_json
     program = _load_program(args)
     with open(args.spec) as handle:
         spec = parse_spec(handle.read())
@@ -180,28 +241,12 @@ def _cmd_check(args) -> int:
         options.jobs = args.jobs
     if args.cache is not None:
         options.cache_path = args.cache
-    result = SafetyChecker(program, spec, options=options).check()
+    if args.timeout is not None:
+        options.timeout_s = args.timeout
+    with SafetyChecker(program, spec, options=options) as checker:
+        result = checker.check()
     if args.json:
-        print(json.dumps({
-            "name": result.name,
-            "safe": result.safe,
-            "instructions": result.characteristics.instructions,
-            "global_conditions":
-                result.characteristics.global_conditions,
-            "times": {
-                "propagation": result.times.typestate_propagation,
-                "annotation_local": result.times.annotation_and_local,
-                "global": result.times.global_verification,
-                "total": result.times.total,
-            },
-            "prover": result.prover_stats,
-            "violations": [{
-                "instruction": v.index,
-                "category": v.category,
-                "description": v.description,
-                "phase": v.phase,
-            } for v in result.violations],
-        }, indent=2))
+        print(json.dumps(result_to_json(result), indent=2))
     else:
         print(result.summary())
         if args.annotate:
@@ -212,6 +257,8 @@ def _cmd_check(args) -> int:
                 print("  line %-4d %-50s %s" % (
                     proof.index, proof.predicate.description,
                     "PROVED" if proof.proved else "FAILED"))
+    if result.timed_out:
+        return 3
     return 0 if result.safe else 1
 
 
@@ -286,6 +333,83 @@ def _cmd_bench(args) -> int:
     return bench_main(full=args.full, repeat=args.repeat,
                       output=args.output, quiet=args.quiet,
                       jobs=args.jobs, cache_path=args.cache)
+
+
+def _cmd_serve(args) -> int:
+    import logging
+    import signal
+
+    from repro.service.server import CheckServer, ServeConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    server = CheckServer(ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit,
+        verdict_cache_size=args.lru_size,
+        cache_path=args.cache, default_jobs=args.jobs,
+        default_timeout_s=args.timeout))
+
+    def _drain(signum, frame):
+        server.begin_drain()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print("repro service listening on %s" % server.url,
+          file=sys.stderr)
+    server.serve_forever()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import os
+
+    from repro.service.client import (
+        DEFAULT_SERVER, build_payload, submit,
+    )
+
+    server = args.server or os.environ.get("REPRO_SERVER") \
+        or DEFAULT_SERVER
+    if args.binary or args.code.endswith((".bin", ".ro")):
+        with open(args.code, "rb") as handle:
+            code = handle.read()
+        binary = True
+    else:
+        with open(args.code) as handle:
+            code = handle.read()
+        binary = False
+    with open(args.spec) as handle:
+        spec = handle.read()
+    payload = build_payload(
+        code, spec, arch=args.arch, binary=binary,
+        name=os.path.basename(args.code), jobs=args.jobs,
+        timeout_s=args.timeout)
+    job = submit(server, payload)
+    if job["state"] == "failed":
+        print("error: %s" % job.get("error", "job failed"),
+              file=sys.stderr)
+        return 2
+    result = job["result"]
+    if args.json:
+        # Byte-identical to `repro check --json` for the same inputs
+        # (the server builds the payload with the same function).
+        print(json.dumps(result, indent=2))
+    else:
+        outcome = {"certified": "SAFE", "rejected": "UNSAFE",
+                   "undecided:timeout": "UNDECIDED (timeout)"}.get(
+                       result["verdict"], result["verdict"])
+        dedup = " [%s]" % job["dedup"] if job.get("dedup") else ""
+        print("%s: %s  (job %s via %s%s)"
+              % (result["name"], outcome, job["id"], server, dedup))
+        for violation in result["violations"]:
+            print("  VIOLATION instruction %d: %s (%s, %s "
+                  "verification)"
+                  % (violation["instruction"], violation["description"],
+                     violation["category"], violation["phase"]))
+    if result["verdict"] == "undecided:timeout":
+        return 3
+    return 0 if result["safe"] else 1
 
 
 def _cmd_fig9(args) -> int:

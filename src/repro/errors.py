@@ -67,3 +67,13 @@ class RecursionRejected(AnalysisError):
 class ProverError(ReproError):
     """Raised on internal prover failures (not on 'formula is invalid',
     which is an ordinary result)."""
+
+
+class ProverTimeout(ReproError):
+    """Raised when a check exceeds its wall-clock budget
+    (``CheckerOptions.timeout_s``).
+
+    Deliberately *not* a :class:`ProverError`: resource fallbacks catch
+    ``ProverError`` and answer conservatively, whereas a timeout must
+    abort the whole check and surface as an "undecided" verdict.
+    """

@@ -30,6 +30,7 @@ pointer identity is only ever a fast path.
 
 from __future__ import annotations
 
+import itertools
 from typing import (
     Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple,
     Union,
@@ -66,8 +67,11 @@ def formula_intern_table_size() -> int:
 def _intern_store(key: tuple, node: "Formula") -> None:
     table = _INTERN_TABLE
     if len(table) >= _INTERN_LIMIT:
+        # pop() tolerates a concurrent eviction by another checker
+        # thread; a lost interning race only duplicates a node, and
+        # structural __eq__ keeps duplicates semantically identical.
         for stale in list(table.keys())[:_INTERN_LIMIT // 2]:
-            del table[stale]
+            table.pop(stale, None)
     table[key] = node
 
 
@@ -747,13 +751,15 @@ def forall(variables: Sequence[str], body: Formula) -> Formula:
 # bound-variable refresh (capture avoidance)
 # ---------------------------------------------------------------------------
 
-_fresh_counter = [0]
+# itertools.count increments atomically under the GIL, so concurrent
+# checker threads (the service worker pool) can never mint the same
+# name twice — a read-modify-write int here could.
+_fresh_counter = itertools.count(1)
 
 
 def fresh_variable(stem: str = "$v") -> str:
-    """A globally fresh variable name."""
-    _fresh_counter[0] += 1
-    return "%s%d" % (stem, _fresh_counter[0])
+    """A globally fresh variable name (thread-safe)."""
+    return "%s%d" % (stem, next(_fresh_counter))
 
 
 def _refresh_bound(quantified: Union[Exists, Forall],

@@ -98,9 +98,10 @@ class BoundedCache:
         data = self._data
         if len(data) >= self._limit:
             # Evict the oldest half; insertion order is preserved by
-            # dict, so this keeps the warm tail.
+            # dict, so this keeps the warm tail.  pop() tolerates a
+            # concurrent eviction by another checker thread.
             for stale in list(data.keys())[:self._limit // 2]:
-                del data[stale]
+                data.pop(stale, None)
         data[key] = value
 
     def clear(self) -> None:

@@ -139,6 +139,15 @@ class PersistentProverCache:
                 pass
             self._conn = None
 
+    # Context-manager support so owners (SafetyChecker, the service's
+    # worker pool) release the SQLite handle deterministically instead
+    # of leaking it until garbage collection.
+    def __enter__(self) -> "PersistentProverCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- queries -------------------------------------------------------------
 
     def get(self, digest: str) -> Optional[bool]:

@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass, fields
 from typing import List, Optional
 
-from repro.errors import ProverError
+from repro.errors import ProverError, ProverTimeout
 from repro.logic.canonical import canonical_conjunct, canonicalize
 from repro.logic.formula import (
     And, Cong, Eq, Exists, FalseFormula, Forall, Formula, Geq, Not, Or,
@@ -117,6 +117,12 @@ class Prover:
         #: consulted after the in-memory levels and shared across runs
         #: and worker processes.
         self.persistent = persistent
+        #: Wall-clock deadline (``time.time()`` epoch seconds) past
+        #: which every query raises :class:`ProverTimeout`; None means
+        #: no limit.  Set per check by the checker, cleared afterwards
+        #: so a warm prover reused across requests carries no stale
+        #: budget.
+        self.deadline: Optional[float] = None
         self.stats = ProverStats()
         self._sat_cache = BoundedCache(_RESULT_CACHE_LIMIT, gated=False,
                                        registered=False)
@@ -154,9 +160,18 @@ class Prover:
 
     # -- public queries ------------------------------------------------------
 
+    def check_deadline(self) -> None:
+        """Raise :class:`ProverTimeout` once the wall-clock budget is
+        exhausted.  Checked on every satisfiability query — the hot
+        path every proof obligation funnels through — so a timed-out
+        check aborts within one atomic prover step."""
+        if self.deadline is not None and time.time() > self.deadline:
+            raise ProverTimeout("prover wall-clock budget exhausted")
+
     def is_satisfiable(self, f: Formula) -> bool:
         """Is there an integer assignment of the free variables making
         *f* true?"""
+        self.check_deadline()
         self.stats.satisfiability_queries += 1
         if self.enable_cache:
             cached = self._sat_cache.get(f)

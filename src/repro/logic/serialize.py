@@ -78,3 +78,20 @@ def formula_digest(f: Formula) -> str:
     """Process-stable content digest of *f*'s canonical form — the key
     of the persistent prover cache and of obligation records."""
     return canonical_digest(canonicalize(f))
+
+
+def text_digest(*parts) -> str:
+    """Process-stable SHA-256 digest of a sequence of str/bytes parts.
+
+    Parts are length-prefixed before hashing so the digest is
+    unambiguous under concatenation (``("ab", "c")`` ≠ ``("a", "bc")``).
+    Used by the check service to key request deduplication on
+    (program, spec, options) with the same process-stability guarantees
+    as :func:`formula_digest`."""
+    h = hashlib.sha256()
+    for part in parts:
+        blob = part if isinstance(part, bytes) else \
+            str(part).encode("utf-8")
+        h.update(("%d:" % len(blob)).encode("ascii"))
+        h.update(blob)
+    return h.hexdigest()

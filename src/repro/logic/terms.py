@@ -79,8 +79,11 @@ class Linear:
             value = hash(key)
             self._hash = value if value != -1 else -2
             if len(table) >= _INTERN_LIMIT:
+                # pop(): tolerate concurrent eviction by another
+                # checker thread (structural __eq__ keeps any
+                # duplicated node semantically identical).
                 for stale in list(table.keys())[:_INTERN_LIMIT // 2]:
-                    del table[stale]
+                    table.pop(stale, None)
             table[key] = self
         else:
             self._hash = -1

@@ -1,0 +1,122 @@
+"""Client for the check service (``repro submit``), stdlib-only.
+
+Wraps the HTTP/JSON API in three calls: :func:`submit` posts one check
+request (waiting server-side for the verdict when asked),
+:func:`job_status` polls a job, and :func:`fetch_json` reads any GET
+endpoint (``/healthz``, ``/metrics``).  HTTP-level backpressure (429 +
+``Retry-After``) and server errors surface as :class:`ServiceError`
+with the status attached, so the CLI can map them onto its documented
+exit codes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+#: Where ``repro serve`` listens by default.
+DEFAULT_SERVER = "http://127.0.0.1:8642"
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure talking to the check service."""
+
+    def __init__(self, message: str, status: int = 0,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+def _request(url: str, payload: Optional[Dict] = None,
+             timeout_s: float = 330.0) -> Dict:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        try:
+            body = json.loads(error.read().decode("utf-8"))
+        except Exception:
+            body = {}
+        retry_after = None
+        if error.headers.get("Retry-After"):
+            try:
+                retry_after = float(error.headers["Retry-After"])
+            except ValueError:
+                pass
+        raise ServiceError(
+            body.get("error", "HTTP %d from %s" % (error.code, url)),
+            status=error.code, retry_after_s=retry_after)
+    except urllib.error.URLError as error:
+        raise ServiceError("cannot reach %s: %s" % (url, error.reason))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ServiceError("malformed response from %s: %s"
+                           % (url, error))
+
+
+def fetch_json(server: str, path: str, timeout_s: float = 10.0) -> Dict:
+    """GET a JSON endpoint (``/healthz``, ``/metrics``, job URLs)."""
+    return _request(server.rstrip("/") + path, timeout_s=timeout_s)
+
+
+def job_status(server: str, job_id: str,
+               timeout_s: float = 10.0) -> Dict:
+    return fetch_json(server, "/v1/jobs/" + job_id,
+                      timeout_s=timeout_s)
+
+
+def build_payload(code, spec: str, arch: str = "sparc",
+                  binary: bool = False, name: str = "request",
+                  jobs: Optional[int] = None,
+                  timeout_s: Optional[float] = None,
+                  wait: bool = True) -> Dict:
+    """The ``POST /v1/check`` body for one program."""
+    payload: Dict = {"spec": spec, "arch": arch, "name": name,
+                     "wait": wait}
+    if binary:
+        blob = code if isinstance(code, bytes) else code.encode("utf-8")
+        payload["binary"] = True
+        payload["code_b64"] = base64.b64encode(blob).decode("ascii")
+    else:
+        payload["code"] = code if isinstance(code, str) \
+            else code.decode("utf-8")
+    options: Dict = {}
+    if jobs is not None:
+        options["jobs"] = jobs
+    if timeout_s is not None:
+        options["timeout_s"] = timeout_s
+    if options:
+        payload["options"] = options
+    return payload
+
+
+def submit(server: str, payload: Dict, poll_interval_s: float = 0.25,
+           total_timeout_s: float = 600.0) -> Dict:
+    """Submit one request and return the *terminal* job envelope.
+
+    Uses server-side wait when the payload asks for it, then falls back
+    to polling ``GET /v1/jobs/<id>`` until the job is terminal or
+    *total_timeout_s* passes."""
+    deadline = time.monotonic() + total_timeout_s
+    job = _request(server.rstrip("/") + "/v1/check", payload,
+                   timeout_s=total_timeout_s)
+    while job.get("state") not in ("completed", "failed"):
+        if time.monotonic() > deadline:
+            raise ServiceError("job %s still %s after %.0fs"
+                               % (job.get("id"), job.get("state"),
+                                  total_timeout_s))
+        time.sleep(poll_interval_s)
+        job = job_status(server, job["id"])
+    return job

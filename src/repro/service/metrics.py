@@ -1,0 +1,106 @@
+"""Live service metrics: thread-safe counters plus cross-request
+aggregation of the checker's per-run statistics.
+
+One :class:`ServiceMetrics` instance is shared by the scheduler, the
+worker pool, and the HTTP surface; ``GET /metrics`` renders
+:meth:`ServiceMetrics.snapshot` as JSON.  Aggregates sum the
+``prover_stats`` counters and per-phase seconds of every completed
+check, so a long-running server reports fleet-level cache hit rates —
+the cross-request payoff the resident service exists for.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+#: Counter names, in reporting order.  Zero-initialized so a fresh
+#: snapshot always carries the full schema.
+COUNTERS = (
+    # request admission
+    "requests_received",      # POST /v1/check bodies parsed
+    "jobs_accepted",          # enqueued for a worker
+    "jobs_deduped_cache",     # answered from the LRU verdict cache
+    "jobs_deduped_inflight",  # coalesced onto a queued/running job
+    "rejected_queue_full",    # HTTP 429 responses
+    "rejected_bad_request",   # HTTP 400 responses
+    "rejected_draining",      # HTTP 503 responses during drain
+    # job outcomes
+    "jobs_completed",         # terminal: verdict produced
+    "jobs_certified",
+    "jobs_rejected",
+    "jobs_timed_out",         # the undecided:timeout verdict
+    "jobs_failed",            # worker exception (crash-isolated)
+)
+
+
+class ServiceMetrics:
+    """Monotonic counters + summed per-check statistics, all guarded by
+    one lock (every operation is a handful of dict updates)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._prover: Dict[str, float] = {}
+        self._phase_seconds: Dict[str, float] = {
+            "propagation": 0.0, "annotation_local": 0.0,
+            "global": 0.0, "total": 0.0,
+        }
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_result(self, payload: Dict) -> None:
+        """Fold one completed job's ``result_to_json`` payload into the
+        cross-request aggregates."""
+        with self._lock:
+            self._counters["jobs_completed"] += 1
+            verdict = payload.get("verdict")
+            if verdict == "certified":
+                self._counters["jobs_certified"] += 1
+            elif verdict == "rejected":
+                self._counters["jobs_rejected"] += 1
+            elif verdict == "undecided:timeout":
+                self._counters["jobs_timed_out"] += 1
+            for phase, seconds in (payload.get("times") or {}).items():
+                if isinstance(seconds, (int, float)):
+                    self._phase_seconds[phase] = \
+                        self._phase_seconds.get(phase, 0.0) + seconds
+            for name, value in (payload.get("prover") or {}).items():
+                if name.endswith("_rate"):
+                    continue  # rates do not sum; recomputed below
+                if isinstance(value, (int, float)):
+                    self._prover[name] = \
+                        self._prover.get(name, 0) + value
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self, queue_depth: int = 0,
+                 extra: Optional[Dict] = None) -> Dict:
+        """One coherent metrics document for ``GET /metrics``."""
+        with self._lock:
+            counters = dict(self._counters)
+            prover = dict(self._prover)
+            phases = dict(self._phase_seconds)
+        queries = prover.get("satisfiability_queries", 0)
+        if queries:
+            prover["cache_hit_rate"] = (
+                prover.get("cache_hits", 0)
+                + prover.get("canonical_cache_hits", 0)) / queries
+        doc = {
+            "uptime_seconds": time.time() - self._started,
+            "queue_depth": queue_depth,
+            "counters": counters,
+            "dedup_hits": (counters["jobs_deduped_cache"]
+                           + counters["jobs_deduped_inflight"]),
+            "phase_seconds": phases,
+            "prover": prover,
+        }
+        if extra:
+            doc.update(extra)
+        return doc

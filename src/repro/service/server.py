@@ -1,0 +1,326 @@
+"""The HTTP/JSON surface of the check service (stdlib only).
+
+API (all bodies JSON):
+
+* ``POST /v1/check`` — submit a program.  Fields: ``code`` (assembly
+  text) or ``code_b64`` (base64 machine code with ``"binary": true``),
+  ``spec``, optional ``arch`` ("sparc"/"riscv"), ``name``, ``options``
+  (client-settable: ``jobs``, ``timeout_s``), and ``wait`` (block
+  until the verdict, bounded by the server's ``max_wait_s``).  Answers
+  200 with the finished job envelope, 202 with the queued job, 400 on
+  malformed input, 429 + ``Retry-After`` when the queue is full, 503
+  while draining.
+* ``GET /v1/jobs/<id>`` — the job envelope (404 when unknown).
+* ``GET /healthz`` — liveness + queue depth.
+* ``GET /metrics`` — the live :class:`ServiceMetrics` snapshot.
+
+The ``result`` object inside a completed envelope is produced by
+:func:`repro.analysis.report.result_to_json` — the same function behind
+``repro check --json`` — so service verdicts are byte-identical to
+local ones.
+
+Shutdown: :meth:`CheckServer.begin_drain` (wired to SIGTERM/SIGINT by
+``repro serve``) stops admission, lets the workers finish every
+accepted job, then stops the listener.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import logging
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.analysis.options import CheckerOptions
+from repro.ir.frontend import frontend_names
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import (
+    CheckRequest, QueueFull, Scheduler, ServiceUnavailable,
+)
+from repro.service.worker import WorkerPool
+
+log = logging.getLogger("repro.service")
+
+#: Upper bound on request bodies (code + spec are small; anything
+#: larger is abuse, not a program).
+MAX_BODY_BYTES = 8 << 20
+
+
+class BadRequest(Exception):
+    """Client error → HTTP 400."""
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one ``repro serve`` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 2
+    queue_limit: int = 64
+    verdict_cache_size: int = 256
+    #: Shared persistent prover cache path (None = in-memory only).
+    cache_path: Optional[str] = None
+    #: Default prover worker processes per request.
+    default_jobs: int = 1
+    #: Default per-job wall-clock budget (None = unlimited).
+    default_timeout_s: Optional[float] = None
+    #: Cap on how long one ``wait=true`` submission may block.
+    max_wait_s: float = 300.0
+    #: How long a drain waits for in-flight jobs before giving up.
+    drain_timeout_s: float = 60.0
+
+
+class CheckServer:
+    """The scheduler + worker pool + HTTP listener, wired together."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.metrics = ServiceMetrics()
+        self.scheduler = Scheduler(
+            queue_limit=self.config.queue_limit,
+            verdict_cache_size=self.config.verdict_cache_size,
+            metrics=self.metrics)
+        self.pool = WorkerPool(self.scheduler,
+                               workers=self.config.workers,
+                               cache_path=self.config.cache_path)
+        self.httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.check_server = self  # handler back-pointer
+        self._drain_thread: Optional[threading.Thread] = None
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Actual bound (host, port) — port 0 resolves here."""
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return "http://%s:%d" % (host, port)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run in the calling thread until drained (CLI entry)."""
+        self.pool.start()
+        log.info("serving on %s (workers=%d queue_limit=%d cache=%s)",
+                 self.url, self.config.workers, self.config.queue_limit,
+                 self.config.cache_path or "-")
+        try:
+            self.httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self.httpd.server_close()
+
+    def start_background(self) -> None:
+        """Run the listener in a daemon thread (tests, embedding)."""
+        self.pool.start()
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-serve", daemon=True)
+        self._serve_thread.start()
+
+    def begin_drain(self) -> None:
+        """Graceful shutdown: stop admission, finish accepted jobs,
+        then stop the listener.  Idempotent; returns immediately (the
+        drain runs on its own thread so signal handlers stay quick)."""
+        if self._drain_thread is not None:
+            return
+        log.info("drain requested: refusing new jobs, finishing %d "
+                 "queued", self.scheduler.queue_depth)
+        self.scheduler.drain()
+        self._drain_thread = threading.Thread(
+            target=self._drain, name="repro-drain", daemon=True)
+        self._drain_thread.start()
+
+    def _drain(self) -> None:
+        clean = self.pool.join(self.config.drain_timeout_s)
+        log.info("drain %s; stopping listener",
+                 "complete" if clean else "timed out")
+        self.httpd.shutdown()
+
+    def wait_closed(self, timeout_s: Optional[float] = None) -> None:
+        """Block until a background listener has stopped."""
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout_s)
+            self.httpd.server_close()
+
+    def close(self) -> None:
+        """Hard teardown for tests: drain and stop everything."""
+        self.begin_drain()
+        if self._drain_thread is not None:
+            self._drain_thread.join(self.config.drain_timeout_s)
+        self.wait_closed(5.0)
+
+    # -- request assembly ----------------------------------------------------
+
+    def build_request(self, payload: dict) -> CheckRequest:
+        """Validate one ``POST /v1/check`` body into a
+        :class:`CheckRequest` (raises :class:`BadRequest`)."""
+        if not isinstance(payload, dict):
+            raise BadRequest("body must be a JSON object")
+        spec = payload.get("spec")
+        if not isinstance(spec, str) or not spec.strip():
+            raise BadRequest("'spec' (string) is required")
+        arch = payload.get("arch", "sparc")
+        if arch not in frontend_names():
+            raise BadRequest("unknown arch %r (expected one of %s)"
+                             % (arch, ", ".join(frontend_names())))
+        binary = bool(payload.get("binary", False))
+        if binary:
+            blob = payload.get("code_b64")
+            if not isinstance(blob, str):
+                raise BadRequest("'code_b64' (base64 string) is "
+                                 "required when binary=true")
+            try:
+                code = base64.b64decode(blob, validate=True)
+            except (binascii.Error, ValueError):
+                raise BadRequest("'code_b64' is not valid base64")
+        else:
+            code = payload.get("code")
+            if not isinstance(code, str) or not code.strip():
+                raise BadRequest("'code' (assembly text) is required")
+        name = payload.get("name", "request")
+        if not isinstance(name, str) or len(name) > 200:
+            raise BadRequest("'name' must be a short string")
+        return CheckRequest.build(
+            code=code, spec=spec, arch=arch, binary=binary, name=name,
+            options=self._checker_options(payload.get("options")))
+
+    def _checker_options(self, raw) -> CheckerOptions:
+        """Server defaults + the client-settable option subset.  The
+        persistent cache path is always the server's — clients must not
+        choose server file paths."""
+        options = CheckerOptions(
+            jobs=self.config.default_jobs,
+            cache_path=self.config.cache_path,
+            timeout_s=self.config.default_timeout_s)
+        if raw is None:
+            return options
+        if not isinstance(raw, dict):
+            raise BadRequest("'options' must be a JSON object")
+        unknown = set(raw) - {"jobs", "timeout_s"}
+        if unknown:
+            raise BadRequest("unsupported options: %s"
+                             % ", ".join(sorted(unknown)))
+        if "jobs" in raw:
+            if not isinstance(raw["jobs"], int) \
+                    or isinstance(raw["jobs"], bool):
+                raise BadRequest("'options.jobs' must be an integer")
+            options.jobs = raw["jobs"]
+        if "timeout_s" in raw:
+            value = raw["timeout_s"]
+            if value is not None and (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool) or value <= 0):
+                raise BadRequest("'options.timeout_s' must be a "
+                                 "positive number or null")
+            options.timeout_s = float(value) if value is not None \
+                else None
+        return options
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CheckServer:
+        return self.server.check_server  # type: ignore[attr-defined]
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._respond(200, self._health())
+        elif self.path == "/metrics":
+            scheduler = self.service.scheduler
+            self._respond(200, self.service.metrics.snapshot(
+                queue_depth=scheduler.queue_depth,
+                extra={"draining": scheduler.draining}))
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/"):]
+            job = self.service.scheduler.get(job_id)
+            if job is None:
+                self._respond(404, {"error": "unknown job %r" % job_id})
+            else:
+                self._respond(200, job.as_dict())
+        else:
+            self._respond(404, {"error": "no such endpoint"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/v1/check":
+            self._respond(404, {"error": "no such endpoint"})
+            return
+        try:
+            payload = self._read_json()
+            request = self.service.build_request(payload)
+        except BadRequest as error:
+            self.service.metrics.inc("rejected_bad_request")
+            self._respond(400, {"error": str(error)})
+            return
+        try:
+            job = self.service.scheduler.submit(request)
+        except QueueFull as error:
+            self._respond(429, {"error": "job queue is full",
+                                "retry_after_s": error.retry_after_s},
+                          headers={"Retry-After":
+                                   "%d" % max(1, round(
+                                       error.retry_after_s))})
+            return
+        except ServiceUnavailable:
+            self._respond(503, {"error": "server is draining"})
+            return
+        if payload.get("wait"):
+            wait_s = min(self.service.config.max_wait_s,
+                         float(payload.get("wait_s")
+                               or self.service.config.max_wait_s))
+            job.done.wait(wait_s)
+        self._respond(200 if job.terminal else 202, job.as_dict())
+
+    # -- helpers -------------------------------------------------------------
+
+    def _health(self) -> dict:
+        scheduler = self.service.scheduler
+        return {
+            "status": "draining" if scheduler.draining else "ok",
+            "queue_depth": scheduler.queue_depth,
+            "workers": sum(w.is_alive()
+                           for w in self.service.pool.workers),
+        }
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("a JSON body is required")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("body too large")
+        blob = self.rfile.read(length)
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest("malformed JSON body: %s" % error)
+
+    def _respond(self, status: int, payload: dict,
+                 headers: Optional[dict] = None) -> None:
+        blob = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(blob)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to salvage
+
+    def log_message(self, fmt: str, *args) -> None:
+        log.debug("http %s " + fmt, self.address_string(), *args)

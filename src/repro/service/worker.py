@@ -1,0 +1,153 @@
+"""The check-service worker pool.
+
+Each worker thread owns a **warm prover** — raw/canonical/conjunct
+result caches that survive across jobs — plus its own handle on the
+shared persistent SQLite cache (SQLite connections are per-thread; WAL
+journaling makes the file safely shared).  Satisfiability depends only
+on the formula, never on the submitting program, so reusing prover
+caches across requests is sound and is precisely the cross-request
+payoff of a resident service.
+
+Isolation rules:
+
+* a worker exception **fails the job, not the server** — the error is
+  recorded on the job and the worker moves on;
+* per-job wall-clock budgets ride on ``CheckerOptions.timeout_s`` (the
+  checker aborts discharge and reports ``undecided:timeout``);
+* a request whose options disable the prover caches gets a throwaway
+  prover so it cannot poison or bypass the warm one.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import List, Optional
+
+from repro.analysis.checker import SafetyChecker
+from repro.analysis.report import result_to_json
+from repro.errors import ReproError
+from repro.ir.frontend import get_frontend
+from repro.logic.prover import Prover
+from repro.policy.parser import parse_spec
+from repro.service.scheduler import Job, Scheduler
+
+log = logging.getLogger("repro.service")
+
+
+class Worker(threading.Thread):
+    """One worker: warm prover + persistent-cache handle + job loop."""
+
+    def __init__(self, index: int, scheduler: Scheduler,
+                 cache_path: Optional[str] = None):
+        super().__init__(name="repro-worker-%d" % index, daemon=True)
+        self.index = index
+        self.scheduler = scheduler
+        self.cache_path = cache_path
+        self._persistent = None
+        self._warm: Optional[Prover] = None
+
+    # -- warm state ----------------------------------------------------------
+
+    def _warm_prover(self) -> Prover:
+        if self._warm is None:
+            if self.cache_path:
+                from repro.logic.persist import PersistentProverCache
+                self._persistent = PersistentProverCache(self.cache_path)
+            self._warm = Prover(persistent=self._persistent)
+        return self._warm
+
+    def _prover_for(self, options) -> Prover:
+        """The warm prover when the request runs with the default cache
+        configuration; a throwaway prover otherwise."""
+        if options.enable_prover_cache \
+                and options.enable_canonical_prover_cache:
+            prover = self._warm_prover()
+            prover.reset_stats()  # per-job stats on a warm cache
+            return prover
+        return Prover(
+            enable_cache=options.enable_prover_cache,
+            enable_canonical_cache=options.enable_canonical_prover_cache)
+
+    # -- job loop ------------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            job = self.scheduler.next_job()
+            if job is None:
+                break  # draining and the queue is empty
+            self._run_job(job)
+        if self._persistent is not None:
+            self._persistent.close()
+
+    def _run_job(self, job: Job) -> None:
+        t0 = time.perf_counter()
+        request = job.request
+        log.info("job=%s worker=%d start program=%.12s spec=%.12s "
+                 "arch=%s", job.id, self.index,
+                 request.program_digest, request.spec_digest,
+                 request.arch)
+        try:
+            program = self._build_program(request)
+            spec = parse_spec(request.spec)
+            with SafetyChecker(program, spec, options=request.options,
+                               name=request.name,
+                               prover=self._prover_for(request.options)
+                               ) as checker:
+                result = checker.check()
+            payload = result_to_json(result)
+        except ReproError as error:
+            self.scheduler.finish(job, error=str(error))
+            log.warning("job=%s worker=%d failed after %.3fs: %s",
+                        job.id, self.index, time.perf_counter() - t0,
+                        error)
+            return
+        except Exception as error:  # crash isolation: job, not server
+            self.scheduler.finish(
+                job, error="internal error: %r" % (error,))
+            log.exception("job=%s worker=%d crashed after %.3fs",
+                          job.id, self.index, time.perf_counter() - t0)
+            return
+        self.scheduler.finish(job, result=payload)
+        log.info("job=%s worker=%d done verdict=%s in %.3fs",
+                 job.id, self.index, payload["verdict"],
+                 time.perf_counter() - t0)
+
+    @staticmethod
+    def _build_program(request):
+        frontend = get_frontend(request.arch)
+        if request.binary:
+            if frontend.decode is None:
+                raise ReproError("the %s frontend has no decoder"
+                                 % frontend.name)
+            return frontend.decode(request.code, name=request.name)
+        return frontend.assemble(request.code.decode("utf-8"),
+                                 name=request.name)
+
+
+class WorkerPool:
+    """N workers sharing one scheduler and one persistent-cache file."""
+
+    def __init__(self, scheduler: Scheduler, workers: int = 2,
+                 cache_path: Optional[str] = None):
+        self.scheduler = scheduler
+        self.workers: List[Worker] = [
+            Worker(index, scheduler, cache_path=cache_path)
+            for index in range(max(1, workers))
+        ]
+
+    def start(self) -> None:
+        for worker in self.workers:
+            worker.start()
+
+    def join(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait for every worker to exit (they do once the scheduler is
+        draining and the queue is empty).  True when all joined."""
+        deadline = None if timeout_s is None else \
+            time.monotonic() + timeout_s
+        for worker in self.workers:
+            remaining = None if deadline is None else \
+                max(0.0, deadline - time.monotonic())
+            worker.join(remaining)
+        return not any(worker.is_alive() for worker in self.workers)

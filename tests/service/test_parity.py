@@ -1,0 +1,84 @@
+"""Service verdict parity: a verdict obtained through `repro serve` /
+`repro submit` must be byte-identical to `repro check --json` for the
+same inputs, on both architectures.
+
+"Byte-identical" is asserted on the deterministic projection of the
+payload (:func:`repro.analysis.report.verdict_projection`): the
+``times`` and ``prover`` entries are wall-clock- and cache-state-
+dependent by nature, everything else must match byte for byte.
+
+The tier-1 tests cover the paper's Sum example on both frontends; the
+bench-marked test sweeps the full Figure-9 suite.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.checker import SafetyChecker, check_assembly
+from repro.analysis.report import result_to_json, verdict_projection
+from repro.service.client import build_payload, submit
+from repro.service.server import CheckServer, ServeConfig
+from tests.ir.test_parity import TestLoopParity as _RV
+
+RISCV_SUM = _RV.RISCV_SUM
+RISCV_SUM_SPEC = _RV.RISCV_SUM_SPEC
+
+
+@pytest.fixture(scope="module")
+def url():
+    server = CheckServer(ServeConfig(port=0, workers=2))
+    server.start_background()
+    yield server.url
+    server.close()
+
+
+def projected(payload):
+    return json.dumps(verdict_projection(payload), indent=2)
+
+
+def assert_parity(url, source, spec, arch, name):
+    local = result_to_json(
+        check_assembly(source, spec, name=name, arch=arch))
+    job = submit(url, build_payload(source, spec, arch=arch, name=name))
+    assert job["state"] == "completed"
+    assert projected(job["result"]) == projected(local)
+    return job["result"]
+
+
+class TestSumParity:
+    def test_sparc(self, url):
+        from repro.programs.sum_array import SOURCE, SPEC
+        result = assert_parity(url, SOURCE, SPEC, "sparc", "sum.s")
+        assert result["verdict"] == "certified"
+
+    def test_riscv(self, url):
+        result = assert_parity(url, RISCV_SUM, RISCV_SUM_SPEC,
+                               "riscv", "sum-riscv.s")
+        assert result["verdict"] == "certified"
+        assert result["arch"] == "riscv"
+
+    def test_sparc_unsafe(self, url):
+        from repro.programs.sum_array import SOURCE, SPEC
+        result = assert_parity(url, SOURCE.replace("bl 6", "ble 6"),
+                               SPEC, "sparc", "buggy.s")
+        assert result["verdict"] == "rejected"
+
+
+@pytest.mark.bench
+class TestFigure9Parity:
+    """The acceptance sweep: every Figure-9 program through the
+    service matches the local checker byte for byte."""
+
+    def test_full_suite(self, url):
+        from repro.programs import all_programs
+        for program in all_programs():
+            local = result_to_json(SafetyChecker(
+                program.program(), program.spec(),
+                name=program.name).check())
+            job = submit(url, build_payload(
+                program.source, program.spec_text, arch="sparc",
+                name=program.name), total_timeout_s=1800)
+            assert job["state"] == "completed", program.name
+            assert projected(job["result"]) == projected(local), \
+                program.name

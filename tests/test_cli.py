@@ -36,8 +36,12 @@ class TestCheck:
         assert main(["check", str(code), str(spec), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["safe"] is True
+        assert payload["verdict"] == "certified"
+        assert payload["arch"] == "sparc"
         assert payload["instructions"] == 13
         assert payload["violations"] == []
+        from repro import __version__
+        assert payload["version"] == __version__
 
     def test_verbose_lists_proofs(self, files, capsys):
         code, spec, __ = files
@@ -54,6 +58,33 @@ class TestCheck:
     def test_missing_file_exits_two(self, files, capsys):
         __, spec, __tmp = files
         assert main(["check", "/nonexistent.s", str(spec)]) == 2
+
+    def test_malformed_assembly_exits_two(self, files, capsys):
+        __, spec, tmp = files
+        garbage = tmp / "garbage.s"
+        garbage.write_text("1: this is not sparc\n")
+        assert main(["check", str(garbage), str(spec)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_arch_exits_two(self, files, capsys):
+        code, spec, __ = files
+        with pytest.raises(SystemExit) as exc:
+            main(["check", str(code), str(spec), "--arch", "m68k"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unreadable_binary_exits_two(self, files, capsys):
+        __, spec, tmp = files
+        # Word count not a multiple of 4: undecodable as machine code.
+        bad = tmp / "bad.bin"
+        bad.write_bytes(b"\xff\xff\xff")
+        assert main(["check", str(bad), str(spec), "--binary"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_directory_as_code_exits_two(self, files, capsys):
+        __, spec, tmp = files
+        assert main(["check", str(tmp), str(spec)]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestBinaryPipeline:
