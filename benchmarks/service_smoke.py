@@ -9,6 +9,10 @@ architectures (separate client processes), and asserts:
 * resubmitting the same request is answered from the dedup layer — the
   ``/metrics`` ``dedup_hits`` counter moves and no new pipeline run is
   accepted;
+* the server runs with ``--trace-dir``: each checked job echoes a
+  ``trace_id`` and leaves a schema-valid JSONL trace behind;
+* ``GET /metrics?format=prometheus`` answers valid text exposition
+  with the job counters in it;
 * SIGTERM drains the server: the process exits 0 on its own and the
   listener goes away.
 
@@ -23,6 +27,7 @@ Usage::
 import argparse
 import json
 import os
+import shutil
 import signal
 import socket
 import subprocess
@@ -76,6 +81,12 @@ def fetch(url, timeout=2.0):
         return json.loads(response.read().decode("utf-8"))
 
 
+def fetch_text(url, timeout=2.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return (response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
+
+
 def wait_for_health(url, deadline):
     while time.time() < deadline:
         try:
@@ -108,9 +119,10 @@ def main(argv=None):
     port = free_port()
     url = "http://127.0.0.1:%d" % port
     env = dict(os.environ, PYTHONPATH=SRC)
+    trace_dir = tempfile.mkdtemp(prefix="repro-traces-")
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", str(port),
-         "--workers", "2"],
+         "--workers", "2", "--trace-dir", trace_dir],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env)
     try:
@@ -144,6 +156,34 @@ def main(argv=None):
                     % (before, after))
             print("dedup: resubmission answered from the verdict cache")
 
+        traces = sorted(name for name in os.listdir(trace_dir)
+                        if name.endswith(".jsonl"))
+        if len(traces) < 2:  # one per checked job (dedup leaves none)
+            raise SystemExit("expected >=2 job traces in %s, found %r"
+                             % (trace_dir, traces))
+        for name in traces:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "trace", "validate",
+                 os.path.join(trace_dir, name)],
+                capture_output=True, text=True, env=env)
+            if proc.returncode != 0:
+                raise SystemExit("trace %s failed validation:\n%s"
+                                 % (name, proc.stderr))
+        print("traces: %d per-job traces captured, schema valid"
+              % len(traces))
+
+        content_type, body = fetch_text(url + "/metrics?format=prometheus")
+        if not content_type.startswith("text/plain"):
+            raise SystemExit("prometheus content-type was %r"
+                             % content_type)
+        for needle in ("# TYPE repro_jobs_completed_total counter",
+                       "repro_jobs_certified_total",
+                       "repro_uptime_seconds"):
+            if needle not in body:
+                raise SystemExit("prometheus exposition missing %r"
+                                 % needle)
+        print("prometheus: /metrics?format=prometheus exposition OK")
+
         server.send_signal(signal.SIGTERM)
         rc = server.wait(timeout=max(1.0, deadline - time.time()))
         if rc != 0:
@@ -163,6 +203,7 @@ def main(argv=None):
         output = server.stdout.read()
         if output:
             sys.stderr.write("--- server log ---\n%s" % output)
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Trace smoke test: the observability layer end-to-end as processes.
+
+Runs ``repro check --trace`` on the Figure-9 ``sum_array`` program on
+both architectures (sparc assembly and the RV32I rendering of the same
+loop), then validates and summarizes each trace through the CLI:
+
+* the check still certifies (tracing is verdict-neutral);
+* ``repro trace validate`` accepts every emitted record (schema v1);
+* the trace covers all five checker phases, at least one obligation
+  with address provenance, and at least one prover query;
+* ``repro trace summarize`` renders without error and reports the
+  verdict.
+
+CI runs this as the ``trace-smoke`` job.  The in-process equivalents
+live in ``tests/trace/``; this script is the cross-process story.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.programs.sum_array import SOURCE, SPEC  # noqa: E402
+
+# RISC-V rendering of the same summation loop (see service_smoke.py).
+RISCV_SUM = """
+1: mv a2,a0
+2: li a0,0
+3: li t0,0
+4: bge t0,a1,11
+5: slli t1,t0,2
+6: add t2,a2,t1
+7: lw t1,0(t2)
+8: addi t0,t0,1
+9: add a0,a0,t1
+10: blt t0,a1,5
+11: ret
+"""
+
+RISCV_SUM_SPEC = """
+loc e   : int    = initialized  perms ro  region V summary
+loc arr : int[n] = {e}          perms rfo region V
+rule [V : int : ro]
+rule [V : int[n] : rfo]
+invoke a0 = arr
+invoke a1 = n
+assume n >= 1
+"""
+
+PHASES = ("phase:preparation", "phase:typestate_propagation",
+          "phase:annotation", "phase:local_verification",
+          "phase:global_verification")
+
+
+def run_cli(args, env):
+    proc = subprocess.run([sys.executable, "-m", "repro"] + args,
+                          capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise SystemExit("`repro %s` exited %d:\n%s%s" % (
+            " ".join(args), proc.returncode, proc.stdout, proc.stderr))
+    return proc.stdout
+
+
+def check_one(tmp, env, arch, code, spec):
+    code_path = os.path.join(tmp, "sum-%s.s" % arch)
+    spec_path = os.path.join(tmp, "sum-%s.policy" % arch)
+    trace_path = os.path.join(tmp, "sum-%s.jsonl" % arch)
+    with open(code_path, "w") as handle:
+        handle.write(code)
+    with open(spec_path, "w") as handle:
+        handle.write(spec)
+
+    out = run_cli(["check", code_path, spec_path, "--arch", arch,
+                   "--json", "--trace", trace_path], env)
+    verdict = json.loads(out)["verdict"]
+    if verdict != "certified":
+        raise SystemExit("%s verdict was %r, not certified"
+                         % (arch, verdict))
+
+    out = run_cli(["trace", "validate", trace_path], env)
+    print("  %s" % out.strip())
+
+    with open(trace_path) as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    names = {r["name"] for r in records}
+    for phase in PHASES:
+        if phase not in names:
+            raise SystemExit("%s trace is missing span %r"
+                             % (arch, phase))
+    obligations = [r for r in records if r["name"] == "obligation"]
+    if not obligations or any("address" not in r["attrs"]
+                              for r in obligations):
+        raise SystemExit("%s trace lacks obligation provenance" % arch)
+    if not any(r["name"] == "prover:query" for r in records):
+        raise SystemExit("%s trace has no prover queries" % arch)
+
+    summary = json.loads(run_cli(["trace", "summarize", trace_path,
+                                  "--json"], env))
+    if summary["check"]["verdict"] != "certified":
+        raise SystemExit("summarize verdict mismatch on %s" % arch)
+    run_cli(["trace", "summarize", trace_path], env)  # text renders
+    print("certified + traced: sum_array on %s (%d records, "
+          "%d obligations, %d queries)"
+          % (arch, len(records), summary["obligations"]["total"],
+             summary["queries"]["total"]))
+
+
+def main():
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_TRACE", None)  # the flags under test, not the env
+    with tempfile.TemporaryDirectory() as tmp:
+        check_one(tmp, env, "sparc", SOURCE, SPEC)
+        check_one(tmp, env, "riscv", RISCV_SUM, RISCV_SUM_SPEC)
+    print("trace smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.ir.program import MachineProgram
 from repro.logic.memo import memoization_enabled, set_memoization
 from repro.logic.prover import Prover
 from repro.policy.model import HostSpec
+from repro.trace import NULL_TRACER, Tracer
 from repro.analysis.annotate import annotate
 from repro.analysis.options import CheckerOptions
 from repro.analysis.prepare import prepare
@@ -48,8 +49,9 @@ from repro.analysis.verify import (
 class SafetyChecker:
     """Checks one untrusted program against one host specification."""
 
-    #: Wall-clock deadline of the running check (epoch seconds), set
-    #: for the duration of :meth:`check` when ``options.timeout_s``.
+    #: Deadline of the running check in ``time.monotonic()`` seconds,
+    #: set for the duration of :meth:`check` when ``options.timeout_s``.
+    #: Translated to/from epoch time only at the pool-worker boundary.
     _deadline = None
 
     def __init__(self, program: Union[MachineProgram, str, bytes, list],
@@ -57,7 +59,8 @@ class SafetyChecker:
                  options: Optional[CheckerOptions] = None,
                  name: Optional[str] = None,
                  arch: str = "sparc",
-                 prover: Optional[Prover] = None):
+                 prover: Optional[Prover] = None,
+                 tracer: Optional[Tracer] = None):
         if isinstance(program, str):
             frontend = get_frontend(arch)
             program = frontend.assemble(program, name=name or "untrusted")
@@ -74,6 +77,17 @@ class SafetyChecker:
             self.program.name = name
         self.spec = spec
         self.options = options or CheckerOptions()
+        # An injected tracer (the service traces each job into its own
+        # file) is borrowed; otherwise the checker opens — and owns —
+        # the sink named by ``options.trace_path``, if any.
+        self._owns_tracer = tracer is None and \
+            bool(self.options.trace_path)
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.options.trace_path:
+            self.tracer = Tracer.to_path(self.options.trace_path)
+        else:
+            self.tracer = NULL_TRACER
         # An injected prover (the service keeps one warm prover per
         # worker) is borrowed, caches and persistent store included:
         # satisfiability depends only on the formula, so cross-request
@@ -107,6 +121,8 @@ class SafetyChecker:
             self.prover.flush_persistent()
         if self._owns_prover and self.persistent is not None:
             self.persistent.close()
+        if self._owns_tracer:
+            self.tracer.close()
 
     def __enter__(self) -> "SafetyChecker":
         return self
@@ -124,19 +140,32 @@ class SafetyChecker:
         set_memoization(self.options.enable_formula_memoization)
         self._deadline = None
         if self.options.timeout_s is not None:
-            # deadline_epoch is pre-set when a pool parent re-enters
-            # (workers must share the parent's absolute budget).
-            self._deadline = (self.options.deadline_epoch
-                              or time.time() + self.options.timeout_s)
+            if self.options.deadline_epoch is not None:
+                # A pool parent's absolute budget arrives as epoch
+                # seconds (the only clock shared across processes);
+                # translate it into this process's monotonic clock
+                # once, here, and never consult the wall clock again.
+                self._deadline = time.monotonic() + \
+                    (self.options.deadline_epoch - time.time())
+            else:
+                self._deadline = time.monotonic() \
+                    + self.options.timeout_s
         self.prover.deadline = self._deadline
+        self.prover.tracer = self.tracer
         try:
-            return self._check()
-        except ProverTimeout:
-            return self._timeout_result()
+            with self.tracer.span("check", program=self.program.name,
+                                  arch=self._arch_name()) as root:
+                try:
+                    result = self._check()
+                except ProverTimeout:
+                    result = self._timeout_result()
+                root.set(verdict=result.verdict)
+            return result
         finally:
             # A warm prover reused across requests must not inherit a
-            # finished check's budget.
+            # finished check's budget or trace sink.
             self.prover.deadline = None
+            self.prover.tracer = NULL_TRACER
             set_memoization(saved_memoization)
 
     def _timeout_result(self) -> CheckResult:
@@ -164,42 +193,50 @@ class SafetyChecker:
 
         # Phase 1: preparation.
         t0 = time.perf_counter()
-        preparation = prepare(self.spec, arch=self.program.arch)
-        entry = 1
-        label = self.spec.invocation.entry_label
-        if label:
-            entry = self.program.label_index(label)
-        cfg = build_cfg(self.program,
-                        trusted_labels=set(self.spec.functions),
-                        entry=entry)
-        CallGraph(cfg).check_no_recursion()
+        with self.tracer.span("phase:preparation"):
+            preparation = prepare(self.spec, arch=self.program.arch)
+            entry = 1
+            label = self.spec.invocation.entry_label
+            if label:
+                entry = self.program.label_index(label)
+            cfg = build_cfg(self.program,
+                            trusted_labels=set(self.spec.functions),
+                            entry=entry)
+            CallGraph(cfg).check_no_recursion()
         times.preparation = time.perf_counter() - t0
 
         # Phase 2: typestate propagation.
         t0 = time.perf_counter()
-        propagation = propagate(cfg, preparation, self.spec, self.options)
+        with self.tracer.span("phase:typestate_propagation"):
+            propagation = propagate(cfg, preparation, self.spec,
+                                    self.options)
         times.typestate_propagation = time.perf_counter() - t0
         self.prover.check_deadline()
 
         # Phase 3 + 4: annotation and local verification.
         t0 = time.perf_counter()
-        annotations = annotate(cfg, propagation.inputs, self.spec,
-                               preparation.locations)
-        local_violations = verify_local(annotations)
-        if self.spec.automata:
-            from repro.analysis.automaton import check_automata
-            local_violations = local_violations \
-                + check_automata(cfg, self.spec)
+        with self.tracer.span("phase:annotation"):
+            annotations = annotate(cfg, propagation.inputs, self.spec,
+                                   preparation.locations)
+        with self.tracer.span("phase:local_verification"):
+            local_violations = verify_local(annotations)
+            if self.spec.automata:
+                from repro.analysis.automaton import check_automata
+                local_violations = local_violations \
+                    + check_automata(cfg, self.spec)
         times.annotation_and_local = time.perf_counter() - t0
         self.prover.check_deadline()
 
         # Phase 5: global verification — obligation generation, then
         # serial or pooled discharge.
         t0 = time.perf_counter()
-        engine = VerificationEngine(cfg, propagation, preparation,
-                                    self.spec, self.options, self.prover)
-        proofs, global_violations, pool_info = \
-            self._discharge(engine, annotations)
+        with self.tracer.span("phase:global_verification"):
+            engine = VerificationEngine(cfg, propagation, preparation,
+                                        self.spec, self.options,
+                                        self.prover)
+            engine.tracer = self.tracer
+            proofs, global_violations, pool_info = \
+                self._discharge(engine, annotations)
         times.global_verification = time.perf_counter() - t0
 
         violations = local_violations + global_violations
@@ -239,9 +276,15 @@ class SafetyChecker:
             return proofs, violations, {}
         options = self.options
         if self._deadline is not None:
-            # Workers must observe the same absolute wall-clock budget.
+            # Workers must observe the same absolute budget, but the
+            # monotonic deadline is meaningless in another process:
+            # translate it to epoch seconds for the ride across the
+            # pickle boundary (build_engine translates it back).
             from dataclasses import replace
-            options = replace(options, deadline_epoch=self._deadline)
+            options = replace(
+                options,
+                deadline_epoch=(time.time() + (self._deadline
+                                               - time.monotonic())))
         try:
             return discharge_parallel(engine, self.program, self.spec,
                                       options, obligations)

@@ -40,7 +40,10 @@ from repro.logic.formula import (
 )
 from repro.logic.normalize import to_dnf, to_nnf
 from repro.logic.omega import Constraints, project_real
+from repro.logic.serialize import formula_text
 from repro.logic.simplify import simplify
+from repro.trace import NULL_TRACER
+from repro.trace.tracer import clip
 
 
 @dataclass
@@ -79,6 +82,7 @@ class InductionIteration:
         self.depth = depth
         self.prover = engine.prover
         self.options = engine.options
+        self.tracer = getattr(engine, "tracer", NULL_TRACER)
         #: Forward-propagated ambient facts at the header (Section 6
         #: extension); sound to assume in every header-state check.
         self.facts = engine.header_facts(loop)
@@ -89,6 +93,17 @@ class InductionIteration:
     # -- main algorithm ----------------------------------------------------------
 
     def run(self, target: Formula) -> InductionOutcome:
+        with self.tracer.span("induction:run",
+                              loop_header=self.loop.header,
+                              depth=self.depth,
+                              target_size=formula_size(target)) as span:
+            outcome = self._run(target)
+            span.set(success=outcome.success,
+                     iterations=outcome.iterations,
+                     candidates_tried=outcome.candidates_tried)
+        return outcome
+
+    def _run(self, target: Formula) -> InductionOutcome:
         target = simplify(target)
         if isinstance(target, TrueFormula) \
                 or self.prover.is_valid(implies(self.facts, target)):
@@ -97,12 +112,22 @@ class InductionIteration:
         queue: List[_Candidate] = [_Candidate(chain=[target])]
         seen: Set[Formula] = {target}
         while queue:
+            # The BFS can spend long stretches in candidate generation
+            # and Fourier–Motzkin elimination between prover queries;
+            # without this check a tiny budget would overrun unbounded.
+            self.prover.check_deadline()
             if outcome.candidates_tried \
                     >= self.options.max_invariant_candidates:
                 break
             candidate = queue.pop(0)
             outcome.candidates_tried += 1
             outcome.iterations = max(outcome.iterations, candidate.level)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "induction:candidate",
+                    level=candidate.level,
+                    formula_size=formula_size(candidate.chain[-1]),
+                    formula=clip(formula_text(candidate.chain[-1])))
             result = self._step(candidate, queue, seen)
             if result is not None:
                 outcome.success = True
@@ -166,6 +191,7 @@ class InductionIteration:
         the wlp first (they carry the facts the plain chain can never
         learn), then the wlp itself, then its DNF disjuncts.  Every
         candidate implies the wlp, keeping the chain argument sound."""
+        self.prover.check_deadline()
         if isinstance(body_wlp, (TrueFormula, FalseFormula)):
             return [body_wlp]
         # Invariant-atom candidates: an atom of the wlp whose variables
@@ -231,12 +257,18 @@ class InductionIteration:
             return []
         pieces: List[Formula] = []
         for atoms in disjuncts:
+            # Elimination over many disjuncts runs long with no prover
+            # query in sight; keep the budget enforced here too.
+            self.prover.check_deadline()
             constraints = Constraints.from_atoms(atoms)
             eliminate = sorted(set(constraints.variables()) & modified)
             if not eliminate:
                 continue
             eliminated = project_real(constraints, eliminate)
             pieces.append(eliminated.to_formula())
+        if pieces:
+            self.tracer.event("induction:generalize",
+                              pieces=len(pieces))
         results: List[Formula] = []
         if len(pieces) > 1:
             # The literal ¬(elimination(¬f)) over the whole DNF — the

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -44,6 +45,7 @@ from repro.logic.formula import Formula
 from repro.logic.parallel import ParallelProver, PoolUnavailable
 from repro.logic.prover import Prover, ProverStats
 from repro.logic.serialize import formula_digest
+from repro.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -114,13 +116,54 @@ def obligation_groups(engine: VerificationEngine,
 # ---------------------------------------------------------------------------
 
 
+def obligation_provenance(engine: VerificationEngine,
+                          ob: Obligation) -> Dict[str, object]:
+    """Attribution of one obligation back to the machine program: the
+    1-based instruction index, its byte address (both frontends lower
+    one fixed-width 4-byte instruction per IR op), the containing
+    function, and the containing-loop header (None for straight-line
+    code) — what a trace consumer needs to pinpoint the instruction a
+    slow or failed proof protects."""
+    node = engine.cfg.node(ob.uid)
+    loop = engine.loops[node.function].containing(ob.uid)
+    return {
+        "oid": ob.oid,
+        "digest": ob.digest,
+        "kind": ob.kind,
+        "category": ob.category,
+        "description": ob.description,
+        "instruction": ob.index,
+        "address": (ob.index - 1) * 4,
+        "function": node.function,
+        "loop_header": loop.header if loop is not None else None,
+    }
+
+
+def _prove_obligation(engine: VerificationEngine, ob: Obligation,
+                      retry: bool = False) -> bool:
+    """Prove one obligation, wrapped in an "obligation" trace span
+    carrying its provenance.  With tracing disabled this is exactly the
+    historical ``engine.prove_at`` call — no extra work at all."""
+    tracer = engine.tracer
+    if not tracer.enabled:
+        return engine.prove_at(ob.uid, ob.formula, {}, 0)
+    attrs = obligation_provenance(engine, ob)
+    attrs["proved"] = None
+    if retry:
+        attrs["retry"] = True
+    with tracer.span("obligation", **attrs) as span:
+        proved = engine.prove_at(ob.uid, ob.formula, {}, 0)
+        span.set(proved=proved)
+    return proved
+
+
 def discharge_serial(engine: VerificationEngine,
                      obligations: List[Obligation]
                      ) -> Tuple[List[ProofRecord], List[Violation]]:
     records: List[ProofRecord] = []
     violations: List[Violation] = []
     for ob in obligations:
-        proved = engine.prove_at(ob.uid, ob.formula, {}, 0)
+        proved = _prove_obligation(engine, ob)
         _record(ob, proved, records, violations)
     return records, violations
 
@@ -168,12 +211,24 @@ def build_engine(program, spec, options: CheckerOptions
         enable_cache=options.enable_prover_cache,
         enable_canonical_cache=options.enable_canonical_prover_cache,
         persistent=persistent)
-    # Pool workers inherit the parent's absolute wall-clock budget; an
-    # expired budget makes every query raise, so the worker fails fast
-    # and the parent converts the unproved verdicts into a timeout.
-    prover.deadline = options.deadline_epoch
-    return VerificationEngine(cfg, propagation, preparation, spec,
-                              options, prover)
+    # Pool workers inherit the parent's absolute budget; it crosses
+    # the process boundary as epoch seconds (monotonic clocks are
+    # per-process) and is translated back to this process's monotonic
+    # clock exactly once, here.  An expired budget makes every query
+    # raise, so the worker fails fast and the parent converts the
+    # unproved verdicts into a timeout.
+    if options.deadline_epoch is not None:
+        prover.deadline = time.monotonic() \
+            + (options.deadline_epoch - time.time())
+    engine = VerificationEngine(cfg, propagation, preparation, spec,
+                                options, prover)
+    if options.trace_spans:
+        # The parent is tracing but its file handle does not cross the
+        # process boundary: buffer records in memory; worker_discharge
+        # ships them back inside the ordinary result pickle.
+        engine.tracer = Tracer.buffered()
+        prover.tracer = engine.tracer
+    return engine
 
 
 def worker_initialize(payload: bytes) -> None:
@@ -188,26 +243,30 @@ def worker_initialize(payload: bytes) -> None:
 
 def worker_discharge(blob: bytes):
     """Discharge one obligation group; returns ``(verdicts, stats
-    delta, induction-run delta)``.
+    delta, induction-run delta, trace records)``.
 
     ``verdicts`` is ``[(oid, True/False/None)]`` — ``None`` marks a
     worker-side error; the parent re-proves those (and plain failures)
     serially.  The stats delta uses :meth:`Prover.reset_stats`, which
-    zeroes counters *without* dropping the worker's warm caches."""
+    zeroes counters *without* dropping the worker's warm caches.
+    ``trace records`` is the drained span buffer when the parent is
+    tracing (empty otherwise); the parent re-roots the records into
+    its own trace via :meth:`repro.trace.Tracer.forward`."""
     engine: VerificationEngine = _WORKER_STATE["engine"]  # type: ignore
-    tasks = pickle.loads(blob)
+    obligations: List[Obligation] = pickle.loads(blob)
     engine.prover.reset_stats()
     induction_before = engine.induction_runs
     verdicts: List[Tuple[int, Optional[bool]]] = []
-    for oid, uid, formula in tasks:
+    for ob in obligations:
         try:
-            verdicts.append((oid, engine.prove_at(uid, formula, {}, 0)))
+            verdicts.append((ob.oid, _prove_obligation(engine, ob)))
         except Exception:
-            verdicts.append((oid, None))
+            verdicts.append((ob.oid, None))
     engine.prover.flush_persistent()
     stats = {spec.name: getattr(engine.prover.stats, spec.name)
              for spec in fields(ProverStats)}
-    return verdicts, stats, engine.induction_runs - induction_before
+    return (verdicts, stats, engine.induction_runs - induction_before,
+            engine.tracer.drain())
 
 
 # ---------------------------------------------------------------------------
@@ -241,20 +300,21 @@ def discharge_parallel(engine: VerificationEngine, program, spec,
     # The pool workers share the persistent cache file; commit any
     # pending parent writes before they open it.
     engine.prover.flush_persistent()
-    worker_options = replace(options, jobs=1)
+    worker_options = replace(options, jobs=1, trace_path=None,
+                             trace_spans=engine.tracer.enabled)
     pool = ParallelProver(jobs=min(jobs, len(groups)),
                           payload=(program, spec, worker_options),
                           initializer=worker_initialize,
                           worker=worker_discharge)
     # Largest groups first: the long poles start immediately.
     dispatch = sorted(groups, key=lambda g: (-len(g), g[0].oid))
-    tasks = [[(ob.oid, ob.uid, ob.formula) for ob in group]
-             for group in dispatch]
+    tasks = [list(group) for group in dispatch]
     results = pool.discharge(tasks, items=len(obligations))
 
     verdict: Dict[int, Optional[bool]] = {}
     worker_cache_hits = 0
-    for verdicts, stats, induction_delta in results:
+    for task_index, (verdicts, stats, induction_delta, spans) \
+            in enumerate(results):
         for oid, proved in verdicts:
             verdict[oid] = proved
         for name, value in stats.items():
@@ -264,6 +324,7 @@ def discharge_parallel(engine: VerificationEngine, program, spec,
                               + stats.get("canonical_cache_hits", 0)
                               + stats.get("conjunct_cache_hits", 0))
         engine._induction_runs += induction_delta
+        engine.tracer.forward(spans, prefix="w%d:" % task_index)
 
     # Deterministic merge + serial re-proof of anything not proved in a
     # worker: the final verdict stream is the serial engine's.
@@ -274,7 +335,7 @@ def discharge_parallel(engine: VerificationEngine, program, spec,
         proved = verdict.get(ob.oid)
         if proved is not True:
             retries += 1
-            proved = engine.prove_at(ob.uid, ob.formula, {}, 0)
+            proved = _prove_obligation(engine, ob, retry=True)
         _record(ob, proved, records, violations)
     engine.prover.flush_persistent()
 

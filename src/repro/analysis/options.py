@@ -26,6 +26,11 @@ def _default_cache_path() -> Optional[str]:
     return os.environ.get("REPRO_CACHE") or None
 
 
+def _default_trace_path() -> Optional[str]:
+    """Honor ``REPRO_TRACE`` when set ("" / unset means no trace)."""
+    return os.environ.get("REPRO_TRACE") or None
+
+
 @dataclass
 class CheckerOptions:
     """Configuration for :class:`repro.analysis.checker.SafetyChecker`."""
@@ -104,5 +109,21 @@ class CheckerOptions:
     #: Internal: the absolute ``time.time()`` deadline derived from
     #: ``timeout_s`` when a check starts.  Threaded through the pickled
     #: options payload so pool workers observe the same wall-clock
-    #: budget as the parent; callers never set it directly.
+    #: budget as the parent; callers never set it directly.  This is
+    #: the *only* epoch-seconds deadline in the pipeline: monotonic
+    #: clocks are per-process, so the budget crosses the pool boundary
+    #: as epoch time and each worker translates it back to its own
+    #: ``time.monotonic()`` on arrival (see ``build_engine``).
     deadline_epoch: Optional[float] = None
+
+    #: JSONL trace output path (``repro check --trace``); None disables
+    #: tracing.  Defaults to ``$REPRO_TRACE`` when set.  Tracing is
+    #: verdict-neutral: it never changes results or prover counters.
+    trace_path: Optional[str] = field(default_factory=_default_trace_path)
+
+    #: Internal: pool workers cannot share the parent's trace file, so
+    #: when the parent is tracing it sets this flag in the pickled
+    #: worker options; workers then trace into an in-memory buffer and
+    #: ship the records back inside their result pickles.  Callers
+    #: never set it directly.
+    trace_spans: bool = False

@@ -13,6 +13,8 @@
                                           # enhanced), BENCH_pipeline.json
     repro serve [--port N]                # run the check service
     repro submit CODE.s SPEC.policy       # check via a running service
+    repro trace summarize T.jsonl         # profile a recorded check
+    repro trace validate T.jsonl          # schema-check a trace file
 
 Exit status of ``check`` and ``submit``: 0 = certified safe,
 1 = violations found, 2 = error (bad input, unsupported construct,
@@ -91,6 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="wall-clock budget; past it the check "
                             "aborts with the undecided-timeout "
                             "verdict (exit status 3)")
+    check.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a JSONL trace of the run (spans "
+                            "per phase, obligation, prover query; "
+                            "default: $REPRO_TRACE); verdicts are "
+                            "unaffected")
     check.set_defaults(handler=_cmd_check)
 
     asm = sub.add_parser("asm", help="assemble to machine code")
@@ -176,7 +183,27 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="default per-job wall-clock budget")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="capture a JSONL trace per job in DIR "
+                            "(job envelopes echo the trace_id)")
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = sub.add_parser("trace", help="inspect JSONL traces from "
+                                         "`repro check --trace`")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_sum = trace_sub.add_parser(
+        "summarize", help="per-phase breakdown, slowest obligations "
+                          "and prover queries")
+    trace_sum.add_argument("file", help="JSONL trace file")
+    trace_sum.add_argument("--top", type=int, default=10, metavar="N",
+                           help="slowest entries to show (default: 10)")
+    trace_sum.add_argument("--json", action="store_true",
+                           help="machine-readable summary")
+    trace_sum.set_defaults(handler=_cmd_trace_summarize)
+    trace_val = trace_sub.add_parser(
+        "validate", help="check every record against the trace schema")
+    trace_val.add_argument("file", help="JSONL trace file")
+    trace_val.set_defaults(handler=_cmd_trace_validate)
 
     submit = sub.add_parser("submit", help="check code through a "
                                            "running `repro serve`")
@@ -243,6 +270,8 @@ def _cmd_check(args) -> int:
         options.cache_path = args.cache
     if args.timeout is not None:
         options.timeout_s = args.timeout
+    if args.trace is not None:
+        options.trace_path = args.trace
     with SafetyChecker(program, spec, options=options) as checker:
         result = checker.check()
     if args.json:
@@ -337,6 +366,7 @@ def _cmd_bench(args) -> int:
 
 def _cmd_serve(args) -> int:
     import logging
+    import os
     import signal
 
     from repro.service.server import CheckServer, ServeConfig
@@ -344,12 +374,15 @@ def _cmd_serve(args) -> int:
     logging.basicConfig(
         level=logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
     server = CheckServer(ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue_limit,
         verdict_cache_size=args.lru_size,
         cache_path=args.cache, default_jobs=args.jobs,
-        default_timeout_s=args.timeout))
+        default_timeout_s=args.timeout,
+        trace_dir=args.trace_dir))
 
     def _drain(signum, frame):
         server.begin_drain()
@@ -410,6 +443,24 @@ def _cmd_submit(args) -> int:
     if result["verdict"] == "undecided:timeout":
         return 3
     return 0 if result["safe"] else 1
+
+
+def _cmd_trace_summarize(args) -> int:
+    from repro.trace import load_trace, render_summary, summarize
+    records = load_trace(args.file)
+    summary = summarize(records, top=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _cmd_trace_validate(args) -> int:
+    from repro.trace import load_trace
+    records = load_trace(args.file)  # raises TraceError → exit 2
+    print("%s: %d records, schema valid" % (args.file, len(records)))
+    return 0
 
 
 def _cmd_fig9(args) -> int:

@@ -12,7 +12,10 @@ The global-verification phase dominates end-to-end checking time
   measured, and hash-consed formulas are explicitly rehydrated into
   the worker's intern tables on arrival);
 * results are returned in task-submission order, so callers can merge
-  them deterministically regardless of completion order.
+  them deterministically regardless of completion order.  Results are
+  opaque to the pool; the obligation layer uses this to ship buffered
+  trace records (:mod:`repro.trace`) back to the parent inside the
+  ordinary result pickles — no side channel, no extra IPC.
 
 The pool prefers the ``fork`` start method when the platform offers it
 (workers inherit warm intern tables; spawn works too — every formula

@@ -34,12 +34,14 @@ from repro.errors import ProverError, ProverTimeout
 from repro.logic.canonical import canonical_conjunct, canonicalize
 from repro.logic.formula import (
     And, Cong, Eq, Exists, FalseFormula, Forall, Formula, Geq, Not, Or,
-    TrueFormula, conj, disj, neg, )
+    TrueFormula, conj, disj, formula_size, neg, )
 from repro.logic.memo import BoundedCache
 from repro.logic.normalize import to_dnf, to_nnf
 from repro.logic.omega import (
     Constraints, constraints_to_formula, project, satisfiable,
 )
+from repro.logic.serialize import canonical_digest
+from repro.trace import NULL_TRACER
 
 
 @dataclass
@@ -117,12 +119,21 @@ class Prover:
         #: consulted after the in-memory levels and shared across runs
         #: and worker processes.
         self.persistent = persistent
-        #: Wall-clock deadline (``time.time()`` epoch seconds) past
-        #: which every query raises :class:`ProverTimeout`; None means
-        #: no limit.  Set per check by the checker, cleared afterwards
+        #: Deadline in ``time.monotonic()`` seconds past which every
+        #: query raises :class:`ProverTimeout`; None means no limit.
+        #: Monotonic, not epoch: an NTP step while a check runs must
+        #: neither fire a spurious timeout nor extend the budget.
+        #: Epoch↔monotonic translation happens only at the process
+        #: boundary (``CheckerOptions.deadline_epoch`` for pool
+        #: workers).  Set per check by the checker, cleared afterwards
         #: so a warm prover reused across requests carries no stale
         #: budget.
         self.deadline: Optional[float] = None
+        #: Tracing sink (:mod:`repro.trace`); the shared no-op tracer
+        #: by default.  Set (and reset) by the checker per run; every
+        #: trace-only computation is gated on ``tracer.enabled`` so an
+        #: untraced run does zero extra work.
+        self.tracer = NULL_TRACER
         self.stats = ProverStats()
         self._sat_cache = BoundedCache(_RESULT_CACHE_LIMIT, gated=False,
                                        registered=False)
@@ -161,23 +172,53 @@ class Prover:
     # -- public queries ------------------------------------------------------
 
     def check_deadline(self) -> None:
-        """Raise :class:`ProverTimeout` once the wall-clock budget is
-        exhausted.  Checked on every satisfiability query — the hot
-        path every proof obligation funnels through — so a timed-out
-        check aborts within one atomic prover step."""
-        if self.deadline is not None and time.time() > self.deadline:
-            raise ProverTimeout("prover wall-clock budget exhausted")
+        """Raise :class:`ProverTimeout` once the monotonic-clock budget
+        is exhausted.  Checked on every satisfiability query — the hot
+        path every proof obligation funnels through — and inside the
+        induction-iteration search loops, so a timed-out check aborts
+        within one atomic prover step."""
+        if self.deadline is not None \
+                and time.monotonic() > self.deadline:
+            raise ProverTimeout("prover monotonic-clock budget "
+                                "exhausted")
 
     def is_satisfiable(self, f: Formula) -> bool:
         """Is there an integer assignment of the free variables making
         *f* true?"""
         self.check_deadline()
         self.stats.satisfiability_queries += 1
+        if not self.tracer.enabled:
+            return self._query(f)[0]
+        t0 = time.perf_counter()
+        result, source, canonical = self._query(f)
+        seconds = time.perf_counter() - t0
+        if canonical is None:
+            # Trace-only canonicalization for the digest when no cache
+            # level needed it; deliberately not added to
+            # ``canonicalization_seconds`` so traced and untraced runs
+            # report identical stats (the parity tests rely on it).
+            canonical = canonicalize(f)
+        self.tracer.event("prover:query",
+                          digest=canonical_digest(canonical),
+                          cache=source,
+                          formula_size=formula_size(f),
+                          seconds=seconds,
+                          result=result)
+        return result
+
+    def _query(self, f: Formula):
+        """The cache-ladder body of :meth:`is_satisfiable`.
+
+        Returns ``(result, source, canonical)`` where *source* names
+        the cache level that answered ("raw", "canonical",
+        "persistent", "decided", or "fallback") and *canonical* is the
+        canonical form when one was computed along the way (None
+        otherwise)."""
         if self.enable_cache:
             cached = self._sat_cache.get(f)
             if cached is not None:
                 self.stats.cache_hits += 1
-                return cached
+                return cached, "raw", None
         canonical: Optional[Formula] = None
         if self.enable_canonical_cache or self.persistent is not None:
             t0 = time.perf_counter()
@@ -190,10 +231,9 @@ class Prover:
                 self.stats.canonical_cache_hits += 1
                 if self.enable_cache:
                     self._sat_cache.put(f, cached)
-                return cached
+                return cached, "canonical", canonical
         digest: Optional[str] = None
         if self.persistent is not None:
-            from repro.logic.serialize import canonical_digest
             digest = canonical_digest(canonical)
             cached = self.persistent.get(digest)
             if cached is not None:
@@ -202,7 +242,7 @@ class Prover:
                     self._sat_cache.put(f, cached)
                 if self.enable_canonical_cache:
                     self._canonical_cache.put(canonical, cached)
-                return cached
+                return cached, "persistent", canonical
         try:
             result = self._decide_satisfiable(f)
         except ProverError:
@@ -211,7 +251,7 @@ class Prover:
             # validity query fail safe.  Recorded (not silent) and
             # never cached: the fallback is not a semantic result.
             self.stats.resource_fallbacks += 1
-            return True
+            return True, "fallback", canonical
         if self.enable_cache:
             self._sat_cache.put(f, result)
         if canonical is not None and self.enable_canonical_cache:
@@ -219,7 +259,7 @@ class Prover:
         if digest is not None:
             self.persistent.put(digest, result)
             self.stats.persistent_cache_stores += 1
-        return result
+        return result, "decided", canonical
 
     def is_valid(self, f: Formula) -> bool:
         """Is *f* true for every integer assignment of its free

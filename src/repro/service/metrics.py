@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 #: Counter names, in reporting order.  Zero-initialized so a fresh
 #: snapshot always carries the full schema.
@@ -41,7 +41,9 @@ class ServiceMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._started = time.time()
+        # Monotonic, not epoch: uptime is an elapsed duration and must
+        # not jump with NTP steps (same rule as the prover deadline).
+        self._started = time.monotonic()
         self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
         self._prover: Dict[str, float] = {}
         self._phase_seconds: Dict[str, float] = {
@@ -87,13 +89,18 @@ class ServiceMetrics:
             counters = dict(self._counters)
             prover = dict(self._prover)
             phases = dict(self._phase_seconds)
+            # Under the same lock as the counters it is reported with:
+            # a snapshot is one coherent point in time.
+            uptime = time.monotonic() - self._started
         queries = prover.get("satisfiability_queries", 0)
-        if queries:
-            prover["cache_hit_rate"] = (
-                prover.get("cache_hits", 0)
-                + prover.get("canonical_cache_hits", 0)) / queries
+        # Always present, 0.0 when idle — consumers must never see the
+        # key disappear after a reset-or-idle window.
+        prover["cache_hit_rate"] = (
+            (prover.get("cache_hits", 0)
+             + prover.get("canonical_cache_hits", 0)) / queries
+            if queries else 0.0)
         doc = {
-            "uptime_seconds": time.time() - self._started,
+            "uptime_seconds": uptime,
             "queue_depth": queue_depth,
             "counters": counters,
             "dedup_hits": (counters["jobs_deduped_cache"]
@@ -104,3 +111,73 @@ class ServiceMetrics:
         if extra:
             doc.update(extra)
         return doc
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+#: HELP strings for the top-level gauges.
+_GAUGE_HELP = {
+    "repro_uptime_seconds": "Seconds since the service started "
+                            "(monotonic clock).",
+    "repro_queue_depth": "Jobs currently queued for a worker.",
+    "repro_draining": "1 while the server refuses new jobs during "
+                      "graceful shutdown.",
+}
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _sample(lines, name: str, kind: str, value,
+            help_text: str = "", labels: str = "") -> None:
+    if help_text:
+        lines.append("# HELP %s %s" % (name, help_text))
+    lines.append("# TYPE %s %s" % (name, kind))
+    lines.append("%s%s %s" % (name, labels, _format_value(value)))
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render a :meth:`ServiceMetrics.snapshot` document in the
+    Prometheus text exposition format (version 0.0.4) for
+    ``GET /metrics?format=prometheus``.
+
+    Counters get the conventional ``_total`` suffix; rates and the
+    point-in-time values (uptime, queue depth, drain flag) are gauges;
+    per-phase seconds become one ``repro_phase_seconds_total`` family
+    with a ``phase`` label."""
+    lines: List[str] = []
+    _sample(lines, "repro_uptime_seconds", "gauge",
+            snapshot.get("uptime_seconds", 0.0),
+            _GAUGE_HELP["repro_uptime_seconds"])
+    _sample(lines, "repro_queue_depth", "gauge",
+            snapshot.get("queue_depth", 0),
+            _GAUGE_HELP["repro_queue_depth"])
+    if "draining" in snapshot:
+        _sample(lines, "repro_draining", "gauge",
+                snapshot["draining"], _GAUGE_HELP["repro_draining"])
+    for name, value in (snapshot.get("counters") or {}).items():
+        _sample(lines, "repro_%s_total" % name, "counter", value)
+    _sample(lines, "repro_dedup_hits_total", "counter",
+            snapshot.get("dedup_hits", 0),
+            "Requests answered from the verdict cache or coalesced "
+            "onto in-flight jobs.")
+    phases = snapshot.get("phase_seconds") or {}
+    if phases:
+        lines.append("# HELP repro_phase_seconds_total Summed checker "
+                     "phase seconds across completed jobs.")
+        lines.append("# TYPE repro_phase_seconds_total counter")
+        for phase, seconds in phases.items():
+            lines.append('repro_phase_seconds_total{phase="%s"} %s'
+                         % (phase, _format_value(seconds)))
+    for name, value in (snapshot.get("prover") or {}).items():
+        if name.endswith("_rate"):
+            _sample(lines, "repro_prover_%s" % name, "gauge", value)
+        else:
+            _sample(lines, "repro_prover_%s_total" % name, "counter",
+                    value)
+    return "\n".join(lines) + "\n"

@@ -132,6 +132,10 @@ class Job:
         #: How this job was answered: None (checked by a worker),
         #: "verdict-cache" (LRU hit), or "in-flight" (coalesced).
         self.dedup: Optional[str] = None
+        #: Id of the per-job trace captured by the worker, when the
+        #: server runs with a trace directory (echoed in the envelope
+        #: so a client can correlate job → trace file).
+        self.trace_id: Optional[str] = None
         self.done = threading.Event()
 
     @property
@@ -152,6 +156,8 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         if self.result is not None:
             doc["result"] = self.result
         if self.error is not None:

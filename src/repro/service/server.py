@@ -12,7 +12,9 @@ API (all bodies JSON):
   while draining.
 * ``GET /v1/jobs/<id>`` — the job envelope (404 when unknown).
 * ``GET /healthz`` — liveness + queue depth.
-* ``GET /metrics`` — the live :class:`ServiceMetrics` snapshot.
+* ``GET /metrics`` — the live :class:`ServiceMetrics` snapshot as
+  JSON; ``GET /metrics?format=prometheus`` renders the same snapshot
+  in the Prometheus text exposition format.
 
 The ``result`` object inside a completed envelope is produced by
 :func:`repro.analysis.report.result_to_json` — the same function behind
@@ -34,10 +36,11 @@ import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.options import CheckerOptions
 from repro.ir.frontend import frontend_names
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, render_prometheus
 from repro.service.scheduler import (
     CheckRequest, QueueFull, Scheduler, ServiceUnavailable,
 )
@@ -73,6 +76,10 @@ class ServeConfig:
     max_wait_s: float = 300.0
     #: How long a drain waits for in-flight jobs before giving up.
     drain_timeout_s: float = 60.0
+    #: Directory for per-job JSONL traces (None = tracing off).  Each
+    #: job traces into ``<trace_dir>/<job id>.jsonl`` and its envelope
+    #: echoes the ``trace_id``.
+    trace_dir: Optional[str] = None
 
 
 class CheckServer:
@@ -87,7 +94,8 @@ class CheckServer:
             metrics=self.metrics)
         self.pool = WorkerPool(self.scheduler,
                                workers=self.config.workers,
-                               cache_path=self.config.cache_path)
+                               cache_path=self.config.cache_path,
+                               trace_dir=self.config.trace_dir)
         self.httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), _Handler)
         self.httpd.daemon_threads = True
@@ -238,15 +246,28 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        path, query = parts.path, parse_qs(parts.query)
+        if path == "/healthz":
             self._respond(200, self._health())
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             scheduler = self.service.scheduler
-            self._respond(200, self.service.metrics.snapshot(
+            snapshot = self.service.metrics.snapshot(
                 queue_depth=scheduler.queue_depth,
-                extra={"draining": scheduler.draining}))
-        elif self.path.startswith("/v1/jobs/"):
-            job_id = self.path[len("/v1/jobs/"):]
+                extra={"draining": scheduler.draining})
+            fmt = (query.get("format") or ["json"])[-1]
+            if fmt == "prometheus":
+                self._respond_text(
+                    200, render_prometheus(snapshot),
+                    content_type="text/plain; version=0.0.4; "
+                                 "charset=utf-8")
+            elif fmt == "json":
+                self._respond(200, snapshot)
+            else:
+                self._respond(400, {"error": "unknown metrics format "
+                                             "%r" % fmt})
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
             job = self.service.scheduler.get(job_id)
             if job is None:
                 self._respond(404, {"error": "unknown job %r" % job_id})
@@ -310,9 +331,21 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload: dict,
                  headers: Optional[dict] = None) -> None:
-        blob = json.dumps(payload, indent=2).encode("utf-8")
+        self._respond_bytes(
+            status, json.dumps(payload, indent=2).encode("utf-8"),
+            "application/json", headers)
+
+    def _respond_text(self, status: int, text: str,
+                      content_type: str = "text/plain; charset=utf-8",
+                      headers: Optional[dict] = None) -> None:
+        self._respond_bytes(status, text.encode("utf-8"), content_type,
+                            headers)
+
+    def _respond_bytes(self, status: int, blob: bytes,
+                       content_type: str,
+                       headers: Optional[dict] = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)

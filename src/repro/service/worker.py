@@ -21,8 +21,10 @@ Isolation rules:
 from __future__ import annotations
 
 import logging
+import os
 import threading
 import time
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis.checker import SafetyChecker
@@ -32,6 +34,7 @@ from repro.ir.frontend import get_frontend
 from repro.logic.prover import Prover
 from repro.policy.parser import parse_spec
 from repro.service.scheduler import Job, Scheduler
+from repro.trace import Tracer
 
 log = logging.getLogger("repro.service")
 
@@ -40,11 +43,13 @@ class Worker(threading.Thread):
     """One worker: warm prover + persistent-cache handle + job loop."""
 
     def __init__(self, index: int, scheduler: Scheduler,
-                 cache_path: Optional[str] = None):
+                 cache_path: Optional[str] = None,
+                 trace_dir: Optional[str] = None):
         super().__init__(name="repro-worker-%d" % index, daemon=True)
         self.index = index
         self.scheduler = scheduler
         self.cache_path = cache_path
+        self.trace_dir = trace_dir
         self._persistent = None
         self._warm: Optional[Prover] = None
 
@@ -88,13 +93,26 @@ class Worker(threading.Thread):
                  "arch=%s", job.id, self.index,
                  request.program_digest, request.spec_digest,
                  request.arch)
+        tracer = None
         try:
             program = self._build_program(request)
             spec = parse_spec(request.spec)
-            with SafetyChecker(program, spec, options=request.options,
+            # Per-job tracing: one file per job keyed by the job id,
+            # which doubles as the trace id echoed in the envelope.
+            # options.trace_path is force-cleared so an inherited
+            # REPRO_TRACE on the server process can never make every
+            # worker thread write into one shared file.
+            options = replace(request.options, trace_path=None)
+            if self.trace_dir:
+                tracer = Tracer.to_path(
+                    os.path.join(self.trace_dir,
+                                 "%s.jsonl" % job.id),
+                    trace_id=job.id)
+                job.trace_id = tracer.trace_id
+            with SafetyChecker(program, spec, options=options,
                                name=request.name,
-                               prover=self._prover_for(request.options)
-                               ) as checker:
+                               prover=self._prover_for(request.options),
+                               tracer=tracer) as checker:
                 result = checker.check()
             payload = result_to_json(result)
         except ReproError as error:
@@ -109,10 +127,16 @@ class Worker(threading.Thread):
             log.exception("job=%s worker=%d crashed after %.3fs",
                           job.id, self.index, time.perf_counter() - t0)
             return
+        finally:
+            # The checker only closes tracers it opened; this one is
+            # the worker's (an aborted job still leaves a valid,
+            # truncated trace file).
+            if tracer is not None:
+                tracer.close()
         self.scheduler.finish(job, result=payload)
-        log.info("job=%s worker=%d done verdict=%s in %.3fs",
+        log.info("job=%s worker=%d done verdict=%s trace=%s in %.3fs",
                  job.id, self.index, payload["verdict"],
-                 time.perf_counter() - t0)
+                 job.trace_id or "-", time.perf_counter() - t0)
 
     @staticmethod
     def _build_program(request):
@@ -130,10 +154,12 @@ class WorkerPool:
     """N workers sharing one scheduler and one persistent-cache file."""
 
     def __init__(self, scheduler: Scheduler, workers: int = 2,
-                 cache_path: Optional[str] = None):
+                 cache_path: Optional[str] = None,
+                 trace_dir: Optional[str] = None):
         self.scheduler = scheduler
         self.workers: List[Worker] = [
-            Worker(index, scheduler, cache_path=cache_path)
+            Worker(index, scheduler, cache_path=cache_path,
+                   trace_dir=trace_dir)
             for index in range(max(1, workers))
         ]
 

@@ -1,0 +1,35 @@
+"""Structured tracing and profiling for the checking pipeline.
+
+The paper's five-phase design (propagation → annotation → local →
+global verification) makes per-instruction attribution natural: every
+proof obligation originates at one machine instruction, inside one
+function and (possibly) one loop.  This package records that
+attribution as JSONL span/event streams so a slow or rejected check can
+be traced back to the instruction, obligation, prover query, or
+induction-iteration round that burned the budget.
+
+Layering: this package is a leaf — stdlib only, plus the
+:mod:`repro.errors` hierarchy.  It must never import from
+:mod:`repro.service` (CI enforces this); the service imports *it*.
+
+Entry points:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — emit spans and events
+  (``tracer.py``);
+* :func:`validate_record` / :func:`load_trace` — the record schema
+  (``schema.py``);
+* :func:`summarize` / :func:`render_summary` — offline analysis of a
+  trace file (``summarize.py``), surfaced as ``repro trace summarize``.
+"""
+
+from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.trace.schema import (
+    SCHEMA_VERSION, TraceError, load_trace, validate_record,
+)
+from repro.trace.summarize import render_summary, summarize
+
+__all__ = [
+    "NULL_TRACER", "NullTracer", "Tracer",
+    "SCHEMA_VERSION", "TraceError", "load_trace", "validate_record",
+    "render_summary", "summarize",
+]

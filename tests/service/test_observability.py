@@ -1,0 +1,141 @@
+"""Service-level observability: per-job traces behind ``--trace-dir``
+(trace_id echoed in the job envelope) and the Prometheus text
+exposition of ``/metrics``."""
+
+import os
+import urllib.request
+
+import pytest
+
+from repro.programs.sum_array import SOURCE, SPEC
+from repro.service.client import build_payload, fetch_json, submit
+from repro.service.metrics import ServiceMetrics, render_prometheus
+from repro.service.server import CheckServer, ServeConfig
+from repro.trace import load_trace
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("traces"))
+
+
+@pytest.fixture(scope="module")
+def server(trace_dir):
+    server = CheckServer(ServeConfig(port=0, workers=2,
+                                     trace_dir=trace_dir))
+    server.start_background()
+    yield server
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def url(server):
+    return server.url
+
+
+def fetch_text(url, path):
+    with urllib.request.urlopen(url + path, timeout=10.0) as response:
+        return (response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
+
+
+class TestJobTraces:
+    def test_trace_id_round_trip_and_file(self, url, trace_dir):
+        job = submit(url, build_payload(SOURCE, SPEC, name="sum.s"))
+        assert job["state"] == "completed"
+        assert job["trace_id"] == job["id"]
+        # The same id comes back on a later status poll.
+        polled = fetch_json(url, "/v1/jobs/%s" % job["id"])
+        assert polled["trace_id"] == job["trace_id"]
+        # ... and names a schema-valid trace of the whole check.
+        path = os.path.join(trace_dir, "%s.jsonl" % job["trace_id"])
+        records = load_trace(path)
+        assert all(r["trace_id"] == job["trace_id"] for r in records)
+        roots = [r for r in records if r.get("parent_id") is None
+                 and r["type"] == "span"]
+        assert [r["name"] for r in roots] == ["check"]
+        assert roots[0]["attrs"]["verdict"] \
+            == job["result"]["verdict"] == "certified"
+
+    def test_dedup_hits_carry_no_trace(self, url):
+        # Unique options so the first submission cannot dedup onto
+        # jobs from other tests; the second one then hits the cache.
+        payload = build_payload(SOURCE, SPEC, name="dup.s")
+        payload["options"] = {"timeout_s": 321.0}
+        first = submit(url, payload)
+        again = submit(url, payload)
+        assert first["trace_id"]
+        assert again["dedup"] == "verdict-cache"
+        # No checker ran, so no trace was captured for this job.
+        assert "trace_id" not in again
+
+    def test_verdict_identical_with_tracing(self, url):
+        """The traced service verdict matches a local untraced check."""
+        from repro.analysis.checker import check_assembly
+        from repro.analysis.report import result_to_json, \
+            verdict_projection
+        job = submit(url, build_payload(SOURCE, SPEC, name="sum.s"))
+        local = result_to_json(check_assembly(SOURCE, SPEC,
+                                              name="sum.s"))
+        assert verdict_projection(job["result"]) \
+            == verdict_projection(local)
+
+
+class TestPrometheusEndpoint:
+    def test_text_exposition(self, url):
+        # Prime the counters with one completed job.
+        submit(url, build_payload(SOURCE, SPEC, name="sum.s"))
+        status, content_type, body = fetch_text(
+            url, "/metrics?format=prometheus")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert body.endswith("\n")
+        for needle in ("# HELP repro_uptime_seconds",
+                       "# TYPE repro_uptime_seconds gauge",
+                       "repro_jobs_completed_total",
+                       "repro_queue_depth",
+                       "repro_prover_cache_hit_rate"):
+            assert needle in body
+        # Every sample line is NAME VALUE (optionally with labels).
+        for line in body.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)  # parses
+
+    def test_json_default_unchanged(self, url):
+        metrics = fetch_json(url, "/metrics")
+        assert "counters" in metrics
+        assert metrics["prover"]["cache_hit_rate"] >= 0.0
+        explicit = fetch_json(url, "/metrics?format=json")
+        assert set(explicit) == set(metrics)
+
+    def test_unknown_format_400(self, url):
+        with pytest.raises(Exception) as exc:
+            fetch_text(url, "/metrics?format=xml")
+        assert "400" in str(exc.value)
+
+
+class TestRendererUnit:
+    def test_idle_snapshot_renders(self):
+        snapshot = ServiceMetrics().snapshot(
+            queue_depth=3, extra={"draining": True})
+        body = render_prometheus(snapshot)
+        assert "repro_queue_depth 3" in body
+        assert "repro_draining 1" in body
+        assert "repro_prover_cache_hit_rate 0.0" in body
+
+    def test_phase_seconds_labelled(self):
+        metrics = ServiceMetrics()
+        metrics.observe_result({
+            "verdict": "certified", "timed_out": False,
+            "times": {"propagation": 0.5},
+            "prover": {"satisfiability_queries": 4},
+        })
+        body = render_prometheus(metrics.snapshot())
+        assert 'repro_phase_seconds_total{phase="propagation"} 0.5' \
+            in body
+        assert "repro_prover_satisfiability_queries_total 4" in body
