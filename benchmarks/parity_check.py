@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Assert that parallel proof discharge changes nothing but time.
+"""Assert that performance features change nothing but time.
 
 Runs every program of the Figure-9 suite (SPARC) and the cross-backend
 parity programs (RISC-V) twice — ``--jobs 1`` and ``--jobs N`` — and
@@ -7,10 +7,16 @@ fails loudly unless the safety verdict, every per-condition proof
 outcome, and every violation are identical.  CI runs this to enforce
 the determinism guarantee of the parallel engine.
 
+With ``--ablations`` each program additionally runs under the prover
+ablations (``--no-matrix``, ``--no-slicing``, ``--no-incremental``,
+and all three off at once) and every verdict fingerprint must match
+the default configuration — the parity gate of the Omega-overhaul
+performance work.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/parity_check.py [--jobs N]
-        [--arch sparc|riscv|both] [--full]
+        [--arch sparc|riscv|both] [--full] [--ablations]
 """
 
 import argparse
@@ -86,21 +92,56 @@ def compare(name, serial, parallel, failures):
         failures.append(name)
 
 
-def run_sparc(jobs, full, failures):
+#: The Omega-overhaul ablations: default minus one feature each, then
+#: everything off (the pre-overhaul pipeline).
+ABLATIONS = [
+    ("no-matrix", dict(enable_matrix_kernel=False)),
+    ("no-slicing", dict(enable_slicing=False)),
+    ("no-incremental", dict(enable_incremental=False)),
+    ("all-off", dict(enable_matrix_kernel=False, enable_slicing=False,
+                     enable_incremental=False)),
+]
+
+
+def compare_ablations(name, reference, check, failures):
+    for ablation, overrides in ABLATIONS:
+        result = check(CheckerOptions(jobs=1, **overrides))
+        ok = fingerprint(reference) == fingerprint(result)
+        print("%-18s %-14s %s"
+              % (name, ablation,
+                 "parity OK" if ok else "PARITY MISMATCH"))
+        if not ok:
+            failures.append("%s[%s]" % (name, ablation))
+
+
+def run_sparc(jobs, full, failures, ablations=False):
     from repro.programs import all_programs, fast_programs
     for program in (all_programs() if full else fast_programs()):
         serial = program.check(options=CheckerOptions(jobs=1))
         parallel = program.check(options=CheckerOptions(jobs=jobs))
         compare("sparc:" + program.name, serial, parallel, failures)
+        if ablations:
+            compare_ablations(
+                "sparc:" + program.name, serial,
+                lambda options, program=program:
+                    program.check(options=options),
+                failures)
 
 
-def run_riscv(jobs, failures):
+def run_riscv(jobs, failures, ablations=False):
     for name, source, spec in RISCV_CASES:
         serial = check_assembly(source, spec, name=name, arch="riscv",
                                 options=CheckerOptions(jobs=1))
         parallel = check_assembly(source, spec, name=name, arch="riscv",
                                   options=CheckerOptions(jobs=jobs))
         compare(name, serial, parallel, failures)
+        if ablations:
+            compare_ablations(
+                name, serial,
+                lambda options, source=source, spec=spec, name=name:
+                    check_assembly(source, spec, name=name,
+                                   arch="riscv", options=options),
+                failures)
 
 
 def main():
@@ -110,17 +151,25 @@ def main():
                         default="both")
     parser.add_argument("--full", action="store_true",
                         help="include the heavyweight SPARC programs")
+    parser.add_argument("--ablations", action="store_true",
+                        help="also check the prover ablations "
+                             "(no-matrix / no-slicing / "
+                             "no-incremental / all-off) against the "
+                             "default configuration")
     args = parser.parse_args()
     failures = []
     if args.arch in ("sparc", "both"):
-        run_sparc(args.jobs, args.full, failures)
+        run_sparc(args.jobs, args.full, failures,
+                  ablations=args.ablations)
     if args.arch in ("riscv", "both"):
-        run_riscv(args.jobs, failures)
+        run_riscv(args.jobs, failures, ablations=args.ablations)
     if failures:
         print("parity FAILED for: %s" % ", ".join(failures))
         return 1
-    print("all verdicts identical at --jobs 1 and --jobs %d"
-          % args.jobs)
+    print("all verdicts identical at --jobs 1 and --jobs %d%s"
+          % (args.jobs,
+             " and under every prover ablation" if args.ablations
+             else ""))
     return 0
 
 

@@ -88,6 +88,8 @@ class SafetyChecker:
             self.tracer = Tracer.to_path(self.options.trace_path)
         else:
             self.tracer = NULL_TRACER
+        if self.options.trace_formulas and self.tracer.enabled:
+            self.tracer.capture_formulas = True
         # An injected prover (the service keeps one warm prover per
         # worker) is borrowed, caches and persistent store included:
         # satisfiability depends only on the formula, so cross-request
@@ -106,6 +108,9 @@ class SafetyChecker:
             enable_cache=self.options.enable_prover_cache,
             enable_canonical_cache=(
                 self.options.enable_canonical_prover_cache),
+            enable_matrix=self.options.enable_matrix_kernel,
+            enable_slicing=self.options.enable_slicing,
+            enable_incremental=self.options.enable_incremental,
             persistent=self.persistent,
         )
 

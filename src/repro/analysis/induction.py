@@ -36,10 +36,10 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.cfg.loops import Loop
 from repro.logic.formula import (
     And, Cong, Eq, FalseFormula, Formula, Geq, TRUE, TrueFormula,
-    conj, disj, formula_size, implies, neg,
+    conj, disj, formula_size, neg,
 )
 from repro.logic.normalize import to_dnf, to_nnf
-from repro.logic.omega import Constraints, project_real
+from repro.logic.omega import Constraints
 from repro.logic.serialize import formula_text
 from repro.logic.simplify import simplify
 from repro.trace import NULL_TRACER
@@ -86,6 +86,11 @@ class InductionIteration:
         #: Forward-propagated ambient facts at the header (Section 6
         #: extension); sound to assume in every header-state check.
         self.facts = engine.header_facts(loop)
+        #: Incremental prover session with the header facts as its
+        #: persistent prefix — every Inv.0/Inv.1/lookahead query
+        #: conjoins the same facts, so only the chain delta is
+        #: eliminated and expanded per query.
+        self._facts_session = engine.facts_session(loop)
         #: Deferred Inv.0 results, keyed by formula (trials are fixed
         #: for the lifetime of one run).
         self._entry_cache: Dict[Formula, bool] = {}
@@ -106,7 +111,7 @@ class InductionIteration:
     def _run(self, target: Formula) -> InductionOutcome:
         target = simplify(target)
         if isinstance(target, TrueFormula) \
-                or self.prover.is_valid(implies(self.facts, target)):
+                or self._facts_session.implies(target):
             return InductionOutcome(success=True, invariant=TRUE)
         outcome = InductionOutcome(success=False)
         queue: List[_Candidate] = [_Candidate(chain=[target])]
@@ -150,8 +155,8 @@ class InductionIteration:
         w_i = chain[-1]
         # Inv.1(i-1): L(i-1) ⊨ W(i) — the chain closed; L(i-1) is the
         # invariant (it contains W(0) = target).
-        if i > 0 and self.prover.is_valid(
-                implies(conj(self.facts, *chain[:-1]), w_i)):
+        if i > 0 and self._facts_session.implies(
+                w_i, extra=conj(*chain[:-1])):
             if all(self._true_on_entry_cached(w) for w in chain[:-1]):
                 return conj(*chain[:-1])
             return None  # inductive but not establishable on entry
@@ -168,8 +173,7 @@ class InductionIteration:
             # One-step lookahead: if the extension already closes the
             # chain (L(i) ⊨ W(i+1)), settle it now instead of letting
             # breadth-first siblings exhaust the budget first.
-            if self.prover.is_valid(
-                    implies(conj(self.facts, *chain), next_w)):
+            if self._facts_session.implies(next_w, extra=conj(*chain)):
                 if all(self._true_on_entry_cached(w) for w in chain):
                     return conj(*chain)
                 continue
@@ -194,6 +198,11 @@ class InductionIteration:
         self.prover.check_deadline()
         if isinstance(body_wlp, (TrueFormula, FalseFormula)):
             return [body_wlp]
+        # Every admission check below has the shape "candidate →
+        # body_wlp", i.e. "¬body_wlp ∧ candidate is unsatisfiable":
+        # one session keyed on ¬body_wlp pre-eliminates and pre-expands
+        # the fixed side once for all candidates.
+        admission = self.prover.prefix_session(neg(body_wlp))
         # Invariant-atom candidates: an atom of the wlp whose variables
         # the loop never modifies is the sharpest possible W(i+1) when
         # it implies the whole wlp (e.g. the alignment congruence
@@ -203,8 +212,7 @@ class InductionIteration:
         for atom in _collect_atoms(body_wlp):
             if atom.free_variables() & modified:
                 continue
-            if atom not in atoms \
-                    and self.prover.is_valid(implies(atom, body_wlp)):
+            if atom not in atoms and admission.refutes(atom):
                 atoms.append(atom)
         generalized: List[Formula] = []
         if self.options.enable_generalization:
@@ -212,7 +220,7 @@ class InductionIteration:
                 # Admit a bare generalization only when it is a
                 # strengthening of the true wlp; the conjunction with
                 # the wlp is a strengthening by construction.
-                if self.prover.is_valid(implies(gen, body_wlp)):
+                if admission.refutes(gen):
                     generalized.append(gen)
                 else:
                     generalized.append(conj(gen, body_wlp))
@@ -264,7 +272,7 @@ class InductionIteration:
             eliminate = sorted(set(constraints.variables()) & modified)
             if not eliminate:
                 continue
-            eliminated = project_real(constraints, eliminate)
+            eliminated = self.prover.project_real(constraints, eliminate)
             pieces.append(eliminated.to_formula())
         if pieces:
             self.tracer.event("induction:generalize",

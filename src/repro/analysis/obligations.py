@@ -210,6 +210,9 @@ def build_engine(program, spec, options: CheckerOptions
     prover = Prover(
         enable_cache=options.enable_prover_cache,
         enable_canonical_cache=options.enable_canonical_prover_cache,
+        enable_matrix=options.enable_matrix_kernel,
+        enable_slicing=options.enable_slicing,
+        enable_incremental=options.enable_incremental,
         persistent=persistent)
     # Pool workers inherit the parent's absolute budget; it crosses
     # the process boundary as epoch seconds (monotonic clocks are
@@ -227,6 +230,7 @@ def build_engine(program, spec, options: CheckerOptions
         # process boundary: buffer records in memory; worker_discharge
         # ships them back inside the ordinary result pickle.
         engine.tracer = Tracer.buffered()
+        engine.tracer.capture_formulas = options.trace_formulas
         prover.tracer = engine.tracer
     return engine
 

@@ -66,6 +66,22 @@ class CheckerOptions:
     #: and use previous results whenever possible").
     enable_canonical_prover_cache: bool = True
 
+    #: Run the Omega kernel over the flat integer-row matrix backend
+    #: (:mod:`repro.logic.matrix`); off (``--no-matrix``) uses the
+    #: dict-based reference implementation.
+    enable_matrix_kernel: bool = True
+
+    #: Obligation slicing: decompose prover conjuncts into independent
+    #: variable components and keep quantifier-free residue out of
+    #: projections; off (``--no-slicing``) decides whole systems.
+    enable_slicing: bool = True
+
+    #: Incremental constraint addition: the induction BFS and the
+    #: function-entry discharge path reuse a pre-eliminated prefix and
+    #: decide only their query deltas; off (``--no-incremental``) every
+    #: query re-processes the full conjunction.
+    enable_incremental: bool = True
+
     #: Memoize the pure structural transformations (NNF, DNF,
     #: simplify, canonicalize) on the hash-consed formula nodes.  This
     #: is a process-global switch: constructing one checker with it
@@ -120,6 +136,13 @@ class CheckerOptions:
     #: tracing.  Defaults to ``$REPRO_TRACE`` when set.  Tracing is
     #: verdict-neutral: it never changes results or prover counters.
     trace_path: Optional[str] = field(default_factory=_default_trace_path)
+
+    #: Record the exact query formula on every ``prover:query`` trace
+    #: event (``repro check --trace-formulas``) in the portable form of
+    #: :func:`repro.logic.serialize.formula_to_obj`, enabling
+    #: ``repro bench --prover-replay`` on the resulting trace.  Off by
+    #: default: formulas dominate trace size.
+    trace_formulas: bool = False
 
     #: Internal: pool workers cannot share the parent's trace file, so
     #: when the parent is tracing it sets this flag in the pickled

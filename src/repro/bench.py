@@ -13,7 +13,18 @@ up to five configurations:
 * **cache-cold** / **cache-warm** (``--cache [PATH]``) — the enhanced
   configuration with the persistent cross-run prover cache attached:
   first against a freshly deleted cache file, then against the file
-  the cold pass populated.
+  the cold pass populated;
+* **no-matrix** / **no-slicing** / **no-incremental**
+  (``--ablations``) — the enhanced configuration minus one
+  Omega-overhaul feature each.
+
+Two further modes replace the program suite entirely:
+``--prover-replay TRACE`` re-discharges the exact prover-query stream
+of a ``--trace --trace-formulas`` recording under every prover
+configuration (:func:`replay_suite`, written to ``BENCH_prover.json``)
+and ``--compare OLD.json NEW.json`` prints per-program speedups
+between two reports with a verdict-fingerprint cross-check
+(:func:`compare_reports`).
 
 and writes a JSON report (``BENCH_pipeline.json`` at the repository
 root by default) with per-program phase times (best-of-N and median-
@@ -50,16 +61,29 @@ from repro.logic.terms import set_term_interning, term_intern_table_size
 #: predate this performance layer.  ``jobs``/``cache``/``cold`` are
 #: optional keys used by the dynamic configurations below.
 CONFIGS = {
-    "seed": dict(interning=False, memoization=False, canonical=False),
+    "seed": dict(interning=False, memoization=False, canonical=False,
+                 matrix=False, slicing=False, incremental=False),
     "enhanced": dict(interning=True, memoization=True, canonical=True),
+}
+
+#: Prover-layer ablations (``--ablations``): the enhanced
+#: configuration minus exactly one Omega-overhaul feature each, so the
+#: report isolates what the matrix kernel, obligation slicing, and
+#: incremental sessions individually buy — with verdict parity
+#: checked against the other configurations as always.
+ABLATIONS = {
+    "no-matrix": dict(matrix=False),
+    "no-slicing": dict(slicing=False),
+    "no-incremental": dict(incremental=False),
 }
 
 
 def config_table(jobs: int = 1,
-                 cache_path: Optional[str] = None) -> Dict[str, dict]:
+                 cache_path: Optional[str] = None,
+                 ablations: bool = False) -> Dict[str, dict]:
     """The benchmark configurations for one invocation: the two
-    baselines, plus the parallel and persistent-cache configurations
-    when requested."""
+    baselines, plus the parallel, persistent-cache, and prover-ablation
+    configurations when requested."""
     configs = {name: dict(flags) for name, flags in CONFIGS.items()}
     if jobs > 1:
         configs["parallel"] = dict(interning=True, memoization=True,
@@ -70,6 +94,12 @@ def config_table(jobs: int = 1,
                                      cold=True)
         configs["cache-warm"] = dict(interning=True, memoization=True,
                                      canonical=True, cache=cache_path)
+    if ablations:
+        for name, removed in ABLATIONS.items():
+            config = dict(interning=True, memoization=True,
+                          canonical=True)
+            config.update(removed)
+            configs[name] = config
     return configs
 
 
@@ -81,6 +111,9 @@ def _apply_config(config: Dict[str, object]) -> CheckerOptions:
     return CheckerOptions(
         enable_canonical_prover_cache=bool(config["canonical"]),
         enable_formula_memoization=bool(config["memoization"]),
+        enable_matrix_kernel=bool(config.get("matrix", True)),
+        enable_slicing=bool(config.get("slicing", True)),
+        enable_incremental=bool(config.get("incremental", True)),
         jobs=int(config.get("jobs", 1)),
         cache_path=config.get("cache"),
     )
@@ -116,6 +149,7 @@ def _fingerprint(result) -> dict:
 def run_suite(full: bool = False, repeat: int = 3,
               configs: Optional[List[str]] = None,
               jobs: int = 1, cache_path: Optional[str] = None,
+              ablations: bool = False,
               progress=None) -> dict:
     """Run the Figure-9 suite under each configuration.
 
@@ -131,7 +165,8 @@ def run_suite(full: bool = False, repeat: int = 3,
 
     repeat = max(1, repeat)
     programs = all_programs() if full else fast_programs()
-    table = config_table(jobs=jobs, cache_path=cache_path)
+    table = config_table(jobs=jobs, cache_path=cache_path,
+                         ablations=ablations)
     names = configs or list(table)
     report: dict = {
         "suite": "figure9-full" if full else "figure9-fast",
@@ -232,6 +267,11 @@ def _add_speedups(report: dict) -> None:
     parallel = ratio("enhanced", "parallel")
     if parallel is not None:
         report["parallel_speedup"] = parallel
+        # On a single-core host the pool only adds fork/pickle
+        # overhead; flag the number so downstream comparisons do not
+        # read a 1-core "slowdown" as a parallelism regression.
+        report["parallel_speedup_valid"] = \
+            (report.get("cpu_count") or 1) > 1
     warm = ratio("cache-cold", "cache-warm")
     if warm is not None:
         report["warm_cache_speedup"] = warm
@@ -264,6 +304,156 @@ def comparison_table(report: dict, serial: str = "enhanced",
     return "\n".join(lines)
 
 
+#: ``--prover-replay`` configurations: the default prover, the three
+#: Omega-overhaul ablations, and a no-result-cache run (every query
+#: decided from scratch).  Incremental sessions live in the analysis
+#: layer, so "no-incremental" is expected to match "full" exactly here;
+#: it stays in the table so the flag plumbing is exercised end to end.
+REPLAY_CONFIGS = {
+    "full": {},
+    "no-matrix": dict(enable_matrix=False),
+    "no-slicing": dict(enable_slicing=False),
+    "no-incremental": dict(enable_incremental=False),
+    "no-cache": dict(enable_cache=False, enable_canonical_cache=False),
+}
+
+
+def load_replay_queries(trace_path: str) -> List[dict]:
+    """The formula-bearing ``prover:query`` attr dicts of a trace, in
+    recorded order (the exact query stream the checker discharged)."""
+    from repro.trace.schema import load_trace
+    return [record["attrs"] for record in load_trace(trace_path)
+            if record.get("type") == "event"
+            and record.get("name") == "prover:query"
+            and "formula" in record.get("attrs", {})]
+
+
+def replay_suite(trace_path: str,
+                 configs: Optional[List[str]] = None) -> dict:
+    """Re-discharge a recorded query stream against each prover
+    configuration (``repro bench --prover-replay``).
+
+    The trace must have been recorded with ``repro check --trace
+    --trace-formulas``; each replayed query's verdict is compared with
+    the recorded one, so the report doubles as a parity check of every
+    prover configuration against the original run."""
+    from repro.logic.prover import Prover
+    from repro.logic.serialize import formula_from_obj
+
+    queries = load_replay_queries(trace_path)
+    if not queries:
+        raise ValueError(
+            "%s has no formula-bearing prover:query events — record "
+            "the trace with `repro check --trace FILE "
+            "--trace-formulas`" % trace_path)
+    report: dict = {
+        "trace": trace_path,
+        "queries": len(queries),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "configs": {},
+    }
+    names = configs or list(REPLAY_CONFIGS)
+    for name in names:
+        clear_all_caches()
+        prover = Prover(**REPLAY_CONFIGS[name])
+        # Rebuilt after the cache reset so every structural memo
+        # (NNF/DNF/simplify/canonicalize) starts cold for this config.
+        formulas = [formula_from_obj(attrs["formula"])
+                    for attrs in queries]
+        mismatches = []
+        t0 = time.perf_counter()
+        for attrs, formula in zip(queries, formulas):
+            if prover.is_satisfiable(formula) != attrs["result"]:
+                mismatches.append(attrs["digest"])
+        seconds = time.perf_counter() - t0
+        report["configs"][name] = {
+            "seconds": seconds,
+            "queries_per_second": (len(queries) / seconds
+                                   if seconds else None),
+            "mismatches": mismatches,
+            "stats": prover.stats.as_dict(),
+        }
+    clear_all_caches()
+    report["verdict_parity"] = {
+        "reference": "recorded trace",
+        "identical": not any(c["mismatches"]
+                             for c in report["configs"].values()),
+    }
+    return report
+
+
+def replay_table(report: dict) -> str:
+    lines = ["%-16s %10s %12s %10s" % ("config", "seconds",
+                                       "queries/s", "mismatch")]
+    for name, config in report["configs"].items():
+        lines.append("%-16s %9.3fs %12.0f %10d" % (
+            name, config["seconds"],
+            config.get("queries_per_second") or 0.0,
+            len(config["mismatches"])))
+    return "\n".join(lines)
+
+
+def compare_reports(old: dict, new: dict) -> dict:
+    """Compare two ``repro bench`` reports (``--compare OLD NEW``).
+
+    Returns per-config/per-program speedups of *new* over *old* plus a
+    verdict-fingerprint cross-check: a program whose fingerprint
+    changed between the reports makes the comparison invalid (the runs
+    decided different things), and the CLI exits non-zero."""
+    comparison: dict = {"configs": {}, "verdict_mismatches": []}
+    shared = [name for name in old.get("configs", {})
+              if name in new.get("configs", {})]
+    for name in shared:
+        old_rows = {row["name"]: row
+                    for row in old["configs"][name]["programs"]}
+        new_rows = {row["name"]: row
+                    for row in new["configs"][name]["programs"]}
+        programs = []
+        for program, old_row in old_rows.items():
+            new_row = new_rows.get(program)
+            if new_row is None:
+                continue
+            if old_row.get("verdicts") != new_row.get("verdicts"):
+                comparison["verdict_mismatches"].append(
+                    [name, program])
+            programs.append({
+                "name": program,
+                "old_seconds": old_row["seconds"],
+                "new_seconds": new_row["seconds"],
+                "speedup": (old_row["seconds"] / new_row["seconds"]
+                            if new_row["seconds"] else None),
+            })
+        old_total = old["configs"][name]["total_seconds"]
+        new_total = new["configs"][name]["total_seconds"]
+        comparison["configs"][name] = {
+            "programs": programs,
+            "old_total_seconds": old_total,
+            "new_total_seconds": new_total,
+            "speedup": (old_total / new_total if new_total else None),
+        }
+    comparison["identical_verdicts"] = \
+        not comparison["verdict_mismatches"]
+    return comparison
+
+
+def comparison_report_table(comparison: dict) -> str:
+    lines: List[str] = []
+    for name, config in comparison["configs"].items():
+        lines.append("%s:" % name)
+        lines.append("  %-16s %10s %10s %8s" % ("program", "old",
+                                                "new", "speedup"))
+        for row in config["programs"]:
+            lines.append("  %-16s %9.2fs %9.2fs %7.2fx" % (
+                row["name"], row["old_seconds"], row["new_seconds"],
+                row["speedup"] or float("inf")))
+        lines.append("  %-16s %9.2fs %9.2fs %7.2fx" % (
+            "total", config["old_total_seconds"],
+            config["new_total_seconds"],
+            config["speedup"] or float("inf")))
+    return "\n".join(lines)
+
+
 def write_report(report: dict, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -273,11 +463,45 @@ def write_report(report: dict, path: str) -> None:
 def main(full: bool = False, repeat: int = 3,
          output: str = "BENCH_pipeline.json",
          quiet: bool = False, jobs: int = 1,
-         cache_path: Optional[str] = None) -> int:
+         cache_path: Optional[str] = None,
+         ablations: bool = False,
+         prover_replay: Optional[str] = None,
+         compare: Optional[List[str]] = None) -> int:
+    if compare:
+        with open(compare[0]) as handle:
+            old = json.load(handle)
+        with open(compare[1]) as handle:
+            new = json.load(handle)
+        comparison = compare_reports(old, new)
+        print(comparison_report_table(comparison))
+        if not comparison["identical_verdicts"]:
+            print("VERDICT MISMATCH between reports: %r"
+                  % (comparison["verdict_mismatches"],),
+                  file=sys.stderr)
+            return 1
+        print("verdicts identical across both reports")
+        return 0
+    if prover_replay:
+        try:
+            report = replay_suite(prover_replay)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        write_report(report, output)
+        print("replayed %d queries from %s"
+              % (report["queries"], report["trace"]))
+        print(replay_table(report))
+        print("wrote %s" % output)
+        if not report["verdict_parity"]["identical"]:
+            print("REPLAY MISMATCH against recorded verdicts",
+                  file=sys.stderr)
+            return 1
+        return 0
     progress = None if quiet else \
         (lambda line: print(line, file=sys.stderr))
     report = run_suite(full=full, repeat=repeat, jobs=jobs,
-                       cache_path=cache_path, progress=progress)
+                       cache_path=cache_path, ablations=ablations,
+                       progress=progress)
     write_report(report, output)
     print("suite: %s (repeat %d, %s cores)"
           % (report["suite"], report["repeat"],

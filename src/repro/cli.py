@@ -98,6 +98,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "per phase, obligation, prover query; "
                             "default: $REPRO_TRACE); verdicts are "
                             "unaffected")
+    check.add_argument("--trace-formulas", action="store_true",
+                       help="with --trace: record the exact formula "
+                            "of every prover query, enabling `repro "
+                            "bench --prover-replay` on the trace "
+                            "(larger trace files)")
+    check.add_argument("--no-matrix", action="store_true",
+                       help="decide Omega queries on the dict-based "
+                            "reference kernel instead of the integer-"
+                            "matrix backend (verdicts are identical)")
+    check.add_argument("--no-slicing", action="store_true",
+                       help="disable obligation slicing (independent-"
+                            "component decomposition of prover "
+                            "conjuncts; verdicts are identical)")
+    check.add_argument("--no-incremental", action="store_true",
+                       help="disable incremental prover sessions "
+                            "(every query re-processes its full "
+                            "conjunction; verdicts are identical)")
     check.set_defaults(handler=_cmd_check)
 
     asm = sub.add_parser("asm", help="assemble to machine code")
@@ -157,6 +174,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also benchmark cold/warm persistent-cache "
                             "configs at PATH (default path when PATH "
                             "is omitted: %s)" % _DEFAULT_CACHE)
+    bench.add_argument("--ablations", action="store_true",
+                       help="also benchmark the prover ablations "
+                            "(no-matrix, no-slicing, no-incremental)")
+    bench.add_argument("--prover-replay", default=None,
+                       metavar="TRACE",
+                       help="instead of the program suite, re-"
+                            "discharge the exact prover-query stream "
+                            "of a JSONL trace recorded with `repro "
+                            "check --trace --trace-formulas` under "
+                            "every prover config; writes "
+                            "BENCH_prover.json and exits non-zero on "
+                            "any verdict mismatch")
+    bench.add_argument("--compare", nargs=2, default=None,
+                       metavar=("OLD.json", "NEW.json"),
+                       help="instead of running anything, print the "
+                            "per-program speedup table between two "
+                            "bench reports; exits non-zero when their "
+                            "verdict fingerprints differ")
     bench.set_defaults(handler=_cmd_bench)
 
     serve = sub.add_parser("serve", help="run the resident check "
@@ -197,6 +232,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_sum.add_argument("file", help="JSONL trace file")
     trace_sum.add_argument("--top", type=int, default=10, metavar="N",
                            help="slowest entries to show (default: 10)")
+    trace_sum.add_argument("--hotspots", action="store_true",
+                           help="also rank prover queries by total "
+                                "seconds per canonical digest and "
+                                "obligations by total seconds per "
+                                "(function, category)")
     trace_sum.add_argument("--json", action="store_true",
                            help="machine-readable summary")
     trace_sum.set_defaults(handler=_cmd_trace_summarize)
@@ -272,6 +312,14 @@ def _cmd_check(args) -> int:
         options.timeout_s = args.timeout
     if args.trace is not None:
         options.trace_path = args.trace
+    if args.trace_formulas:
+        options.trace_formulas = True
+    if args.no_matrix:
+        options.enable_matrix_kernel = False
+    if args.no_slicing:
+        options.enable_slicing = False
+    if args.no_incremental:
+        options.enable_incremental = False
     with SafetyChecker(program, spec, options=options) as checker:
         result = checker.check()
     if args.json:
@@ -359,9 +407,15 @@ def _cmd_run(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.bench import main as bench_main
+    output = args.output
+    if args.prover_replay and output == "BENCH_pipeline.json":
+        output = "BENCH_prover.json"
     return bench_main(full=args.full, repeat=args.repeat,
-                      output=args.output, quiet=args.quiet,
-                      jobs=args.jobs, cache_path=args.cache)
+                      output=output, quiet=args.quiet,
+                      jobs=args.jobs, cache_path=args.cache,
+                      ablations=args.ablations,
+                      prover_replay=args.prover_replay,
+                      compare=args.compare)
 
 
 def _cmd_serve(args) -> int:
@@ -448,7 +502,8 @@ def _cmd_submit(args) -> int:
 def _cmd_trace_summarize(args) -> int:
     from repro.trace import load_trace, render_summary, summarize
     records = load_trace(args.file)
-    summary = summarize(records, top=args.top)
+    summary = summarize(records, top=args.top,
+                        hotspots=args.hotspots)
     if args.json:
         print(json.dumps(summary, indent=2))
     else:

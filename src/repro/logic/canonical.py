@@ -41,6 +41,15 @@ _BOUND_STEM = "$canon"
 
 _CANON_CACHE = BoundedCache()
 
+#: Conjunct-key memo: DNF conjunct tuples repeat across queries (the
+#: memoized :func:`repro.logic.normalize.to_dnf` returns shared lists),
+#: so the frozenset key of a conjunct is itself worth caching.
+_CONJUNCT_CACHE = BoundedCache()
+
+#: Sentinel distinguishing a cached None (= trivially-unsat conjunct)
+#: from a cache miss inside :data:`_CONJUNCT_CACHE`.
+_FALSE_KEY = ("conjunct-false",)
+
 _RANK: Dict[type, int] = {
     FalseFormula: 0, TrueFormula: 1, Geq: 2, Eq: 3, Cong: 4,
     And: 5, Or: 6, Not: 7, Exists: 8, Forall: 9,
@@ -106,12 +115,19 @@ def canonical_conjunct(atoms: Iterable[Formula]
     Returns ``None`` when an atom normalizes to *false* (the conjunct
     is trivially unsatisfiable); an empty frozenset means trivially
     satisfiable."""
+    key = atoms if isinstance(atoms, tuple) else tuple(atoms)
+    cached = _CONJUNCT_CACHE.get(key)
+    if cached is not None:
+        return None if cached is _FALSE_KEY else cached
     out = set()
-    for atom in atoms:
+    for atom in key:
         normalized = normalize_atom(atom)
         if isinstance(normalized, FalseFormula):
+            _CONJUNCT_CACHE.put(key, _FALSE_KEY)
             return None
         if isinstance(normalized, TrueFormula):
             continue
         out.add(normalized)
-    return frozenset(out)
+    result = frozenset(out)
+    _CONJUNCT_CACHE.put(key, result)
+    return result

@@ -1,0 +1,190 @@
+"""Incremental constraint addition: the persistent-prefix prover API.
+
+The induction-iteration BFS and the WLP discharge path share one
+query shape: a **fixed context** conjoined with a **small changing
+delta** — ``facts ∧ chain ∧ ¬candidate`` with the same loop-header
+facts on every query, or ``initial_constraints ∧ ¬q`` with the same
+function-entry constraints for every obligation ``q``.  The from-
+scratch pipeline re-eliminates and re-expands the whole conjunction
+each time, then re-canonicalizes every atom of every prefix conjunct.
+
+A :class:`PrefixSession` does that work once.  At construction it
+runs quantifier elimination and DNF expansion on the prefix and keeps
+each prefix conjunct as its canonical frozenset key (the per-conjunct
+cache key of :class:`~repro.logic.prover.Prover`).  A query then only
+eliminates/expands its delta and decides the pairwise unions
+
+    key(p ∪ d) = key(p) | key(d)
+
+— the same keys the from-scratch path would compute for the conjuncts
+of ``to_dnf(prefix ∧ delta)`` (concatenation of DNF conjuncts is the
+DNF of the conjunction, and canonical conjunct keys are unions over
+atoms), so both paths share the prover's conjunct cache and agree on
+every verdict by construction.  Resource limits mirror the plain path:
+the pairwise product is bounded by the same ``MAX_DNF_CONJUNCTS``, and
+any :class:`~repro.errors.ProverError` degrades to the conservative
+"may be satisfiable" fallback, never cached.
+
+With ``Prover.enable_incremental`` off (the ``--no-incremental``
+ablation) every query routes through ``Prover.is_satisfiable`` on the
+full conjunction — the pre-session behavior, bit-for-bit through the
+ordinary cache ladder.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ProverError
+from repro.logic.canonical import canonical_conjunct, canonicalize
+from repro.logic.formula import (
+    FalseFormula, Formula, TrueFormula, conj, formula_size, neg,
+)
+from repro.logic.normalize import MAX_DNF_CONJUNCTS, to_dnf
+from repro.logic.serialize import canonical_digest
+
+__all__ = ["PrefixSession"]
+
+
+class PrefixSession:
+    """A prover session with a persistent, pre-processed prefix.
+
+    ``satisfiable_with(extra)`` decides ``prefix ∧ extra``;
+    ``implies(goal, extra=None)`` decides ``prefix ∧ extra → goal``;
+    ``refutes(extra)`` decides whether ``prefix ∧ extra`` is
+    unsatisfiable (the candidate-filter shape ``atom → body`` with
+    ``prefix = ¬body``).  Results are memoized per session keyed on the
+    interned delta formula."""
+
+    def __init__(self, prover, prefix: Formula):
+        self.prover = prover
+        self.prefix = prefix
+        self._memo: Dict[Formula, bool] = {}
+        #: Canonical frozenset keys of the prefix DNF conjuncts
+        #: (trivially-false conjuncts dropped); None until ready.
+        self._prefix_keys: Optional[List[FrozenSet[Formula]]] = None
+        #: Raw prefix conjuncts for the ``enable_canonical_cache=False``
+        #: configuration, where no canonical keys exist.
+        self._prefix_atoms: Optional[List[Tuple[Formula, ...]]] = None
+        self._ready = False
+        if not (prover.enable_incremental
+                and prover.enable_canonical_cache):
+            # Without the per-conjunct canonical machinery the delta
+            # path has no shared keys to combine; run every query
+            # through the ordinary full pipeline instead.
+            return
+        try:
+            qf = prover.eliminate_quantifiers(prefix)
+            if isinstance(qf, FalseFormula):
+                dnf: List[Tuple[Formula, ...]] = []
+            elif isinstance(qf, TrueFormula):
+                dnf = [()]
+            else:
+                dnf = to_dnf(qf)
+            keys = []
+            for atoms in dnf:
+                key = canonical_conjunct(atoms)
+                if key is not None:
+                    keys.append(key)
+        except ProverError:
+            # Prefix too big to pre-process: stay in fallback mode (the
+            # plain path may still decide individual queries, or hit
+            # its own resource fallback — same as before sessions).
+            return
+        self._prefix_keys = keys
+        self._ready = True
+
+    # -- public queries ------------------------------------------------------
+
+    def implies(self, goal: Formula, extra: Optional[Formula] = None
+                ) -> bool:
+        """Validity of ``prefix ∧ extra → goal``."""
+        self.prover.stats.validity_queries += 1
+        if extra is None or isinstance(extra, TrueFormula):
+            delta = neg(goal)
+        else:
+            delta = conj(extra, neg(goal))
+        return not self.satisfiable_with(delta)
+
+    def refutes(self, extra: Formula) -> bool:
+        """Is ``prefix ∧ extra`` unsatisfiable?  (``extra → body`` is
+        valid iff ``¬body ∧ extra`` is unsatisfiable.)"""
+        self.prover.stats.validity_queries += 1
+        return not self.satisfiable_with(extra)
+
+    def satisfiable_with(self, extra: Formula) -> bool:
+        """Satisfiability of ``prefix ∧ extra``."""
+        prover = self.prover
+        if not self._ready:
+            return prover.is_satisfiable(conj(self.prefix, extra))
+        prover.check_deadline()
+        prover.stats.satisfiability_queries += 1
+        prover.stats.incremental_queries += 1
+        t0 = time.perf_counter() if prover.tracer.enabled else 0.0
+        cached = self._memo.get(extra)
+        if cached is not None:
+            prover.stats.cache_hits += 1
+            result, source = cached, "raw"
+        else:
+            result, source = self._decide_delta(extra)
+            if source != "fallback":
+                self._memo[extra] = result
+        if prover.tracer.enabled:
+            self._trace_query(extra, result, source,
+                              time.perf_counter() - t0)
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _decide_delta(self, extra: Formula) -> Tuple[bool, str]:
+        prover = self.prover
+        if not self._prefix_keys:
+            return False, "decided"  # unsatisfiable prefix
+        try:
+            qf = prover.eliminate_quantifiers(extra)
+            if isinstance(qf, FalseFormula):
+                return False, "decided"
+            if isinstance(qf, TrueFormula):
+                delta_dnf: List[Tuple[Formula, ...]] = [()]
+            else:
+                delta_dnf = to_dnf(qf)
+            if len(self._prefix_keys) * len(delta_dnf) \
+                    > MAX_DNF_CONJUNCTS:
+                raise ProverError("DNF blow-up: more than %d conjuncts"
+                                  % MAX_DNF_CONJUNCTS)
+            delta_keys = []
+            for atoms in delta_dnf:
+                key = canonical_conjunct(atoms)
+                if key is not None:
+                    delta_keys.append(key)
+            if not delta_keys:
+                return False, "decided"
+            for prefix_key in self._prefix_keys:
+                for delta_key in delta_keys:
+                    prover.stats.conjunct_queries += 1
+                    if prover._conjunct_decide_key(
+                            prefix_key | delta_key):
+                        return True, "decided"
+            return False, "decided"
+        except ProverError:
+            # Same conservative degradation as Prover._query: "may be
+            # satisfiable" fails safe for validity, and is not cached.
+            prover.stats.resource_fallbacks += 1
+            return True, "fallback"
+
+    def _trace_query(self, extra: Formula, result: bool, source: str,
+                     seconds: float) -> None:
+        """Emit the same ``prover:query`` event the plain path would,
+        for the full conjunction the session decided."""
+        prover = self.prover
+        full = conj(self.prefix, extra)
+        attrs = dict(digest=canonical_digest(canonicalize(full)),
+                     cache=source,
+                     formula_size=formula_size(full),
+                     seconds=seconds,
+                     result=result)
+        if prover.tracer.capture_formulas:
+            from repro.logic.serialize import formula_to_obj
+            attrs["formula"] = formula_to_obj(full)
+        prover.tracer.event("prover:query", **attrs)

@@ -1,0 +1,604 @@
+"""Matrix-backed Omega kernel: the hot loops of :mod:`repro.logic.omega`
+as flat integer-row operations.
+
+Profiling the PR-5 traces showed the prover spending most of its time
+building per-:class:`~repro.logic.terms.Linear` dicts (and interning
+them) inside ``normalize``/``_shadow``/``substitute`` — md5 alone
+constructs ~950k Linear nodes during projection.  This module runs the
+same algorithms over a :class:`System`: one shared, sorted column index
+per constraint set, every constraint a plain ``list`` of ints
+(coefficients in column order, constant last).  Row combination is then
+a zip of integer multiplies with no hashing, no dict churn, and no
+intern-table traffic.
+
+**Exact mirroring is the contract.**  Every function here follows its
+``omega.py`` counterpart step for step: the same pivot choices
+(``_pick_equality`` preference order, ``_pick_variable`` cost key, the
+min-|coefficient| tie-break by variable name — column order *is* name
+order because columns stay sorted), the same constraint-list orders,
+the same fresh-variable consumption, the same resource limits and
+:class:`~repro.errors.ProverError` messages.  Converted back through
+:func:`to_constraints`, results are structurally identical to the
+dict backend's — the randomized equivalence suite asserts equality, not
+mere logical equivalence.  ``Linear`` stays the interface everywhere
+else (formula construction, caches, pickling, digests); the matrix form
+lives only inside one ``project``/``satisfiable``/``project_real``
+call.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import gcd
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProverError
+from repro.logic.formula import fresh_variable
+from repro.logic.omega import (
+    MAX_CONSTRAINTS, MAX_ELIMINATION_STEPS, Constraints,
+)
+from repro.logic.terms import Linear
+
+#: One constraint: ``row[j]`` is the coefficient of ``cols[j]`` and
+#: ``row[-1]`` is the constant.  Rows are treated as immutable once
+#: attached to a :class:`System` — every rewrite builds new lists — so
+#: sharing a row between systems (as ``Constraints.copy`` shares
+#: ``Linear`` nodes) is safe.
+Row = List[int]
+
+
+class System:
+    """A conjunction over a shared sorted column index: ``geqs``
+    (row ≥ 0), ``eqs`` (row = 0), ``congs`` ((row, m): row ≡ 0 mod m)."""
+
+    __slots__ = ("cols", "geqs", "eqs", "congs")
+
+    def __init__(self, cols: List[str], geqs: List[Row],
+                 eqs: List[Row], congs: List[Tuple[Row, int]]):
+        self.cols = cols
+        self.geqs = geqs
+        self.eqs = eqs
+        self.congs = congs
+
+    def copy(self) -> "System":
+        return System(self.cols, list(self.geqs), list(self.eqs),
+                      list(self.congs))
+
+    def size(self) -> int:
+        return len(self.geqs) + len(self.eqs) + len(self.congs)
+
+
+# ---------------------------------------------------------------------------
+# lossless converters
+# ---------------------------------------------------------------------------
+
+
+def from_constraints(c: Constraints) -> System:
+    """Build a :class:`System` over the sorted variables of *c*,
+    preserving constraint-list order."""
+    cols = sorted(c.variables())
+    index = {v: j for j, v in enumerate(cols)}
+    width = len(cols) + 1
+
+    def row_of(term: Linear) -> Row:
+        row = [0] * width
+        for v, k in term.coefficients.items():
+            row[index[v]] = k
+        row[-1] = term.constant
+        return row
+
+    return System(cols,
+                  [row_of(t) for t in c.geqs],
+                  [row_of(t) for t in c.eqs],
+                  [(row_of(t), m) for t, m in c.congs])
+
+
+def to_constraints(s: System) -> Constraints:
+    """Rebuild hash-consed ``Linear`` constraints, preserving order."""
+    cols = s.cols
+    n = len(cols)
+
+    def linear_of(row: Row) -> Linear:
+        return Linear({cols[j]: row[j] for j in range(n) if row[j]},
+                      row[n])
+
+    return Constraints([linear_of(r) for r in s.geqs],
+                       [linear_of(r) for r in s.eqs],
+                       [(linear_of(r), m) for r, m in s.congs])
+
+
+# ---------------------------------------------------------------------------
+# row helpers
+# ---------------------------------------------------------------------------
+
+
+def _content(row: Row, n: int) -> int:
+    """gcd of the coefficients (not the constant); 0 for ground rows."""
+    g = 0
+    for j in range(n):
+        k = row[j]
+        if k:
+            g = gcd(g, k)
+            if g == 1:
+                return 1
+    return g
+
+
+def _occurs(s: System, j: int) -> bool:
+    for row in s.geqs:
+        if row[j]:
+            return True
+    for row in s.eqs:
+        if row[j]:
+            return True
+    for row, __ in s.congs:
+        if row[j]:
+            return True
+    return False
+
+
+def normalize_system(s: System) -> Optional[System]:
+    """Mirror of :func:`repro.logic.omega.normalize`; ``None`` = unsat."""
+    n = len(s.cols)
+    geqs: List[Row] = []
+    seen_geq: Set[tuple] = set()
+    for row in s.geqs:
+        g = _content(row, n)
+        if g == 0:
+            if row[n] < 0:
+                return None
+            continue
+        if g > 1:
+            # Coefficients divide exactly; // floors the constant,
+            # tightening the inequality — same as the dict backend.
+            row = [k // g for k in row]
+        key = tuple(row)
+        if key not in seen_geq:
+            seen_geq.add(key)
+            geqs.append(row)
+    eqs: List[Row] = []
+    seen_eq: Set[tuple] = set()
+    for row in s.eqs:
+        g = _content(row, n)
+        if g == 0:
+            if row[n] != 0:
+                return None
+            continue
+        if row[n] % g:
+            return None
+        if g > 1:
+            row = [k // g for k in row]
+        # Canonical sign: first nonzero column positive.  Columns are
+        # sorted, so the first nonzero column is the minimum variable —
+        # exactly the dict backend's ``min(term.variables())`` lead.
+        for j in range(n):
+            if row[j]:
+                if row[j] < 0:
+                    row = [-k for k in row]
+                break
+        key = tuple(row)
+        if key not in seen_eq:
+            seen_eq.add(key)
+            eqs.append(row)
+    congs: List[Tuple[Row, int]] = []
+    seen_cong: Set[tuple] = set()
+    for row, m in s.congs:
+        row = [k % m for k in row]
+        ground = True
+        for j in range(n):
+            if row[j]:
+                ground = False
+                break
+        if ground:
+            if row[n] % m:
+                return None
+            continue
+        key = (tuple(row), m)
+        if key not in seen_cong:
+            seen_cong.add(key)
+            congs.append((row, m))
+    out = System(s.cols, geqs, eqs, congs)
+    if out.size() > MAX_CONSTRAINTS:
+        raise ProverError("constraint explosion (%d atoms)" % out.size())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# equality elimination
+# ---------------------------------------------------------------------------
+
+
+def _pick_equality_system(s: System, mask: List[bool], n: int
+                          ) -> Optional[Tuple[int, Row, List[int]]]:
+    """Mirror of ``_pick_equality``: the eliminable columns of a row in
+    ascending column order are its eliminable variables in sorted-name
+    order."""
+    fallback: Optional[Tuple[int, Row, List[int]]] = None
+    for i, row in enumerate(s.eqs):
+        evs = [j for j in range(n) if row[j] and mask[j]]
+        if not evs:
+            continue
+        if any(row[j] == 1 or row[j] == -1 for j in evs):
+            return i, row, evs
+        if fallback is None:
+            fallback = (i, row, evs)
+    return fallback
+
+
+def _occurrences_system(s: System, j: int) -> int:
+    count = 0
+    for row in s.geqs:
+        if row[j]:
+            count += 1
+    for row in s.eqs:
+        if row[j]:
+            count += 1
+    for row, __ in s.congs:
+        if row[j]:
+            count += 1
+    return count
+
+
+def _substitute_system(s: System, j: int, repl: Row) -> System:
+    """Replace column *j* by the replacement row (``repl[j]`` is 0):
+    each row r becomes ``r - r[j]·e_j + r[j]·repl``."""
+
+    def sub(row: Row) -> Row:
+        b = row[j]
+        if not b:
+            return row
+        new = [rk + b * pk for rk, pk in zip(row, repl)]
+        new[j] = 0
+        return new
+
+    return System(s.cols,
+                  [sub(r) for r in s.geqs],
+                  [sub(r) for r in s.eqs],
+                  [(sub(r), m) for r, m in s.congs])
+
+
+def _scale_out_system(s: System, j: int, a: int, rest: Row) -> System:
+    """Mirror of ``_scale_out``: eliminate column *j* using
+    ``a·x = −rest`` by scaling each mentioning row by |a|."""
+    mag = abs(a)
+    sign = 1 if a > 0 else -1
+
+    def rewrite(row: Row) -> Row:
+        b = row[j]
+        if not b:
+            return row
+        f = -b * sign
+        new = [rk * mag + tk * f for rk, tk in zip(row, rest)]
+        new[j] = 0
+        return new
+
+    return System(
+        s.cols,
+        [rewrite(r) for r in s.geqs],
+        [rewrite(r) for r in s.eqs],
+        [(rewrite(r), m * (mag if r[j] else 1)) for r, m in s.congs],
+    )
+
+
+def eliminate_equalities_system(s: System, eliminable: Set[str]
+                                ) -> Optional[System]:
+    """Mirror of :func:`repro.logic.omega.eliminate_equalities`."""
+    for __ in range(MAX_ELIMINATION_STEPS):
+        normalized = normalize_system(s)
+        if normalized is None:
+            return None
+        s = normalized
+        n = len(s.cols)
+        mask = [v in eliminable for v in s.cols]
+        target = _pick_equality_system(s, mask, n)
+        if target is None:
+            return s
+        index, row, evs = target
+        if all(_occurrences_system(s, j) == 1 for j in evs):
+            # gcd rule.
+            s.eqs.pop(index)
+            g = 0
+            rest = list(row)
+            for j in evs:
+                g = gcd(g, row[j])
+                rest[j] = 0
+            if g > 1:
+                s.congs.append((rest, g))
+            continue
+        unit = next((j for j in evs
+                     if row[j] == 1 or row[j] == -1), None)
+        if unit is not None:
+            s.eqs.pop(index)
+            # coeff·x + rest = 0  =>  x = −rest / coeff.
+            if row[unit] == 1:
+                repl = [-k for k in row]
+            else:
+                repl = list(row)
+            repl[unit] = 0
+            s = _substitute_system(s, unit, repl)
+            continue
+        # Scale elimination on the column with the smallest |coeff|;
+        # ties break to the lower column = smaller variable name.
+        var_j = evs[0]
+        best = abs(row[var_j])
+        for j in evs[1:]:
+            mag = abs(row[j])
+            if mag < best:
+                best, var_j = mag, j
+        s.eqs.pop(index)
+        a = row[var_j]
+        rest = list(row)
+        rest[var_j] = 0
+        s = _scale_out_system(s, var_j, a, rest)
+        s.congs.append((rest, abs(a)))
+    raise ProverError("equality elimination did not terminate")
+
+
+# ---------------------------------------------------------------------------
+# congruence lowering / resolution
+# ---------------------------------------------------------------------------
+
+
+def _add_column(s: System, name: str) -> Tuple[System, int]:
+    """Insert a fresh column keeping ``cols`` sorted (sortedness is
+    what makes column order equal name order everywhere else)."""
+    pos = bisect_left(s.cols, name)
+    cols = list(s.cols)
+    cols.insert(pos, name)
+
+    def widen(row: Row) -> Row:
+        new = list(row)
+        new.insert(pos, 0)
+        return new
+
+    return System(cols,
+                  [widen(r) for r in s.geqs],
+                  [widen(r) for r in s.eqs],
+                  [(widen(r), m) for r, m in s.congs]), pos
+
+
+def _lower_congruences_system(s: System, remove: Set[str]
+                              ) -> Tuple[System, Set[str]]:
+    """Mirror of ``lower_congruences_for`` (same reverse pop order and
+    fresh-variable consumption)."""
+    rcols = [j for j, v in enumerate(s.cols) if v in remove]
+    touched = [i for i, (row, __) in enumerate(s.congs)
+               if any(row[j] for j in rcols)]
+    if not touched:
+        return s, set()
+    s = s.copy()
+    fresh: Set[str] = set()
+    for i in sorted(touched, reverse=True):
+        row, m = s.congs.pop(i)
+        q = fresh_variable("$q")
+        fresh.add(q)
+        s, pos = _add_column(s, q)
+        new = list(row)
+        new.insert(pos, -m)  # term − m·q = 0
+        s.eqs.append(new)
+    return s, fresh
+
+
+def resolve_system(s: System, eliminable: Set[str]
+                   ) -> Optional[Tuple[System, Set[str]]]:
+    """Mirror of ``resolve_equalities_and_congruences``."""
+    eliminable = set(eliminable)
+    for __ in range(MAX_ELIMINATION_STEPS):
+        s, fresh = _lower_congruences_system(s, eliminable)
+        eliminable |= fresh
+        solved = eliminate_equalities_system(s, eliminable)
+        if solved is None:
+            return None
+        s = solved
+        emask = [j for j, v in enumerate(s.cols) if v in eliminable]
+        if not any(any(row[j] for j in emask) for row, __ in s.congs):
+            return s, eliminable
+    raise ProverError("equality/congruence resolution did not terminate")
+
+
+# ---------------------------------------------------------------------------
+# inequality elimination
+# ---------------------------------------------------------------------------
+
+
+def _split_bounds_system(s: System, j: int
+                         ) -> Tuple[List[Row], List[Row], List[Row]]:
+    lowers, uppers, rest = [], [], []
+    for row in s.geqs:
+        k = row[j]
+        if k > 0:
+            lowers.append(row)
+        elif k < 0:
+            uppers.append(row)
+        else:
+            rest.append(row)
+    return lowers, uppers, rest
+
+
+def _shadow_system(lowers: Sequence[Row], uppers: Sequence[Row],
+                   j: int, dark: bool) -> List[Row]:
+    out = []
+    for low in lowers:
+        a = low[j]
+        for up in uppers:
+            b = -up[j]
+            combined = [lk * b + uk * a for lk, uk in zip(low, up)]
+            if dark:
+                combined[-1] -= (a - 1) * (b - 1)
+            out.append(combined)
+    return out
+
+
+def _exact_single_step_system(s: System, j: int) -> Optional[System]:
+    lowers, uppers, rest = _split_bounds_system(s, j)
+    if not lowers or not uppers:
+        return System(s.cols, rest, list(s.eqs), list(s.congs))
+    if all(r[j] == 1 for r in lowers) \
+            or all(r[j] == -1 for r in uppers):
+        return System(s.cols,
+                      rest + _shadow_system(lowers, uppers, j, False),
+                      list(s.eqs), list(s.congs))
+    return None
+
+
+def _pick_variable_system(s: System, live: List[int]) -> int:
+    """Mirror of ``_pick_variable``; *live* is in ascending column
+    order, i.e. sorted-name order."""
+    best_j, best_key = None, None
+    for j in live:
+        lowers, uppers, __ = _split_bounds_system(s, j)
+        unit = all(r[j] == 1 for r in lowers) \
+            or all(r[j] == -1 for r in uppers)
+        key = (0 if unit else 1, len(lowers) * len(uppers))
+        if best_key is None or key < best_key:
+            best_j, best_key = j, key
+    assert best_j is not None
+    return best_j
+
+
+def _hard_split_system(s: System, j: int) -> List[System]:
+    lowers, uppers, rest = _split_bounds_system(s, j)
+    dark = System(s.cols,
+                  rest + _shadow_system(lowers, uppers, j, True),
+                  list(s.eqs), list(s.congs))
+    out = [dark]
+    b_max = max(-r[j] for r in uppers)
+    for low in lowers:
+        a = low[j]
+        limit = (a * b_max - a - b_max) // b_max
+        for i in range(limit + 1):
+            eq = list(low)
+            eq[-1] -= i
+            out.append(System(s.cols, list(s.geqs),
+                              s.eqs + [eq], list(s.congs)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# public entry points (Constraints in, Constraints out)
+# ---------------------------------------------------------------------------
+
+
+def project_system(c: Constraints, variables: Iterable[str]
+                   ) -> List[Constraints]:
+    """Matrix-backed :func:`repro.logic.omega.project`."""
+    pending: List[Tuple[System, Set[str]]] = \
+        [(from_constraints(c), set(variables))]
+    result: List[Constraints] = []
+    steps = 0
+    while pending:
+        steps += 1
+        if steps > MAX_ELIMINATION_STEPS:
+            raise ProverError("projection did not terminate")
+        s, remove = pending.pop()
+        resolved = resolve_system(s, remove)
+        if resolved is None:
+            continue
+        s, remove = resolved
+        normalized = normalize_system(s)
+        if normalized is None:
+            continue
+        s = normalized
+        n = len(s.cols)
+        live = [j for j in range(n)
+                if s.cols[j] in remove and _occurs(s, j)]
+        if not live:
+            result.append(to_constraints(s))
+            continue
+        j = _pick_variable_system(s, live)
+        easy = _exact_single_step_system(s, j)
+        if easy is not None:
+            pending.append((easy, remove))
+            continue
+        pending.extend((piece, set(remove))
+                       for piece in _hard_split_system(s, j))
+    return result
+
+
+def satisfiable_system(c: Constraints) -> bool:
+    """Matrix-backed :func:`repro.logic.omega.satisfiable`."""
+    return _sat_system(from_constraints(c))
+
+
+def _sat_system(s: System) -> bool:
+    # All columns are existential; columns with no remaining occurrence
+    # are harmless in the eliminable set (they match nothing).
+    resolved = resolve_system(s, set(s.cols))
+    if resolved is None:
+        return False
+    s, __ = resolved
+    normalized = normalize_system(s)
+    if normalized is None:
+        return False
+    s = normalized
+    assert not s.eqs and not s.congs
+    return _sat_geqs_system(s, 0)
+
+
+def _sat_geqs_system(s: System, depth: int) -> bool:
+    if depth > 60:
+        raise ProverError("satisfiability recursion too deep")
+    normalized = normalize_system(s)
+    if normalized is None:
+        return False
+    s = normalized
+    n = len(s.cols)
+    live = [j for j in range(n) if _occurs(s, j)]
+    if not live:
+        return True  # normalization removed all satisfied ground rows
+    j = _pick_variable_system(s, live)
+    lowers, uppers, rest = _split_bounds_system(s, j)
+    if not lowers or not uppers:
+        return _sat_geqs_system(
+            System(s.cols, rest, list(s.eqs), list(s.congs)), depth + 1)
+    exact = _exact_single_step_system(s, j)
+    if exact is not None:
+        return _sat_geqs_system(exact, depth + 1)
+    dark = System(s.cols,
+                  rest + _shadow_system(lowers, uppers, j, True),
+                  list(s.eqs), list(s.congs))
+    if _sat_geqs_system(dark, depth + 1):
+        return True
+    real = System(s.cols,
+                  rest + _shadow_system(lowers, uppers, j, False),
+                  list(s.eqs), list(s.congs))
+    if not _sat_geqs_system(real, depth + 1):
+        return False
+    # Disagreement: decide by splinters.
+    b_max = max(-r[j] for r in uppers)
+    for low in lowers:
+        a = low[j]
+        limit = (a * b_max - a - b_max) // b_max
+        for i in range(limit + 1):
+            eq = list(low)
+            eq[-1] -= i
+            splinter = System(s.cols, list(s.geqs), [eq],
+                              list(s.congs))
+            if _sat_system(splinter):
+                return True
+    return False
+
+
+def project_real_system(c: Constraints,
+                        variables: Iterable[str]) -> Constraints:
+    """Matrix-backed :func:`repro.logic.omega.project_real`."""
+    s = from_constraints(c)
+    for var in variables:
+        solved = eliminate_equalities_system(s, {var})
+        if solved is None:
+            return Constraints(geqs=[Linear.const(-1)])  # unsat marker
+        s = solved
+        pos = bisect_left(s.cols, var)
+        if pos == len(s.cols) or s.cols[pos] != var \
+                or not _occurs(s, pos):
+            continue
+        lowers, uppers, rest = _split_bounds_system(s, pos)
+        combined = _shadow_system(lowers, uppers, pos, False) \
+            if lowers and uppers else []
+        s = System(s.cols, rest + combined,
+                   [r for r in s.eqs if not r[pos]],
+                   [(r, m) for r, m in s.congs if not r[pos]])
+    normalized = normalize_system(s)
+    if normalized is None:
+        return Constraints(geqs=[Linear.const(-1)])
+    return to_constraints(normalized)

@@ -47,6 +47,23 @@ from repro.logic.terms import Linear
 MAX_ELIMINATION_STEPS = 4_000
 MAX_CONSTRAINTS = 4_000
 
+#: Default backend for :func:`project` / :func:`satisfiable` /
+#: :func:`project_real` when the caller does not pass ``use_matrix``.
+#: The matrix kernel (:mod:`repro.logic.matrix`) runs the identical
+#: algorithms over flat integer rows; the dict kernel in this module
+#: stays as the executable specification and the ``--no-matrix``
+#: ablation path.
+_MATRIX_BACKEND = [True]
+
+
+def set_matrix_backend(enabled: bool) -> None:
+    """Flip the module-wide default backend (tests and ablations)."""
+    _MATRIX_BACKEND[0] = bool(enabled)
+
+
+def matrix_backend_enabled() -> bool:
+    return _MATRIX_BACKEND[0]
+
 
 @dataclass
 class Constraints:
@@ -372,14 +389,18 @@ def resolve_equalities_and_congruences(
     raise ProverError("equality/congruence resolution did not terminate")
 
 
-def project(c: Constraints, variables: Iterable[str]
-            ) -> List[Constraints]:
+def project(c: Constraints, variables: Iterable[str],
+            use_matrix: Optional[bool] = None) -> List[Constraints]:
     """Exact integer projection: eliminate *variables*, returning a
     disjunction (list) of constraint sets over the remaining variables.
 
     An empty list means unsat; a constraint set with no atoms means
     true.
     """
+    if use_matrix is None:
+        use_matrix = _MATRIX_BACKEND[0]
+    if use_matrix:
+        return _matrix.project_system(c, variables)
     pending: List[Tuple[Constraints, Set[str]]] = [(c, set(variables))]
     result: List[Constraints] = []
     steps = 0
@@ -466,8 +487,17 @@ def _hard_split(c: Constraints, var: str) -> List[Constraints]:
 # ---------------------------------------------------------------------------
 
 
-def satisfiable(c: Constraints) -> bool:
+def satisfiable(c: Constraints,
+                use_matrix: Optional[bool] = None) -> bool:
     """Exact satisfiability over ℤ with all variables existential."""
+    if use_matrix is None:
+        use_matrix = _MATRIX_BACKEND[0]
+    if use_matrix:
+        return _matrix.satisfiable_system(c)
+    return _satisfiable_dict(c)
+
+
+def _satisfiable_dict(c: Constraints) -> bool:
     resolved = resolve_equalities_and_congruences(
         c, c.variables() | {v for t, __ in c.congs
                             for v in t.variables()})
@@ -517,7 +547,7 @@ def _sat_geqs(c: Constraints, depth: int) -> bool:
         for i in range(limit + 1):
             splinter = c.copy()
             splinter.eqs = [low - i]
-            if satisfiable(splinter):
+            if _satisfiable_dict(splinter):
                 return True
     return False
 
@@ -527,7 +557,8 @@ def _sat_geqs(c: Constraints, depth: int) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def project_real(c: Constraints, variables: Iterable[str]) -> Constraints:
+def project_real(c: Constraints, variables: Iterable[str],
+                 use_matrix: Optional[bool] = None) -> Constraints:
     """Rational Fourier–Motzkin projection (real shadow only).
 
     This is what the induction-iteration *generalization* step uses:
@@ -536,6 +567,10 @@ def project_real(c: Constraints, variables: Iterable[str]) -> Constraints:
     eliminated variable are dropped after being used for substitution
     where possible (a sound over-approximation of ∃).
     """
+    if use_matrix is None:
+        use_matrix = _MATRIX_BACKEND[0]
+    if use_matrix:
+        return _matrix.project_real_system(c, variables)
     work = c.copy()
     for var in variables:
         solved = eliminate_equalities(work, {var})
@@ -559,3 +594,8 @@ def project_real(c: Constraints, variables: Iterable[str]) -> Constraints:
 
 def constraints_to_formula(sets: List[Constraints]) -> Formula:
     return disj(*(c.to_formula() for c in sets))
+
+
+# Imported last: repro.logic.matrix needs Constraints and the limits
+# above, so the cycle resolves cleanly with this module fully defined.
+from repro.logic import matrix as _matrix  # noqa: E402

@@ -38,7 +38,8 @@ from repro.logic.formula import (
 from repro.logic.memo import BoundedCache
 from repro.logic.normalize import to_dnf, to_nnf
 from repro.logic.omega import (
-    Constraints, constraints_to_formula, project, satisfiable,
+    Constraints, constraints_to_formula, project, project_real,
+    satisfiable,
 )
 from repro.logic.serialize import canonical_digest
 from repro.trace import NULL_TRACER
@@ -60,6 +61,14 @@ class ProverStats:
     conjunct_queries: int = 0
     conjunct_cache_hits: int = 0
     difference_fast_path_hits: int = 0
+    #: Conjuncts decided as several independent variable-components
+    #: (obligation slicing), and how many components that produced.
+    sliced_conjuncts: int = 0
+    slice_components: int = 0
+    #: Satisfiability queries answered through a
+    #: :class:`repro.logic.incremental.PrefixSession` delta path
+    #: instead of a full from-scratch decision.
+    incremental_queries: int = 0
     #: Queries answered conservatively ("may be satisfiable") because
     #: the decision procedure hit a resource limit (DNF blow-up or
     #: elimination step cap).
@@ -108,13 +117,28 @@ class Prover:
     def __init__(self, enable_cache: bool = True,
                  enable_difference_fast_path: bool = True,
                  enable_canonical_cache: bool = True,
-                 persistent=None):
+                 persistent=None,
+                 enable_matrix: bool = True,
+                 enable_slicing: bool = True,
+                 enable_incremental: bool = True):
         self.enable_cache = enable_cache
         self.enable_difference_fast_path = enable_difference_fast_path
         #: Canonical-form caching (whole-formula and per-conjunct);
         #: independent of the raw cache so the ablation benchmarks can
         #: measure each level.
         self.enable_canonical_cache = enable_canonical_cache
+        #: Run the Omega kernel over the flat-row matrix backend
+        #: (:mod:`repro.logic.matrix`); off = dict-based reference
+        #: implementation (the ``--no-matrix`` ablation).
+        self.enable_matrix = enable_matrix
+        #: Obligation slicing: decompose DNF conjuncts into independent
+        #: variable components and drop quantifier-free residue out of
+        #: projections (the ``--no-slicing`` ablation).
+        self.enable_slicing = enable_slicing
+        #: Honor :class:`~repro.logic.incremental.PrefixSession` delta
+        #: queries; off makes every session query fall back to a full
+        #: from-scratch decision (the ``--no-incremental`` ablation).
+        self.enable_incremental = enable_incremental
         #: Optional :class:`repro.logic.persist.PersistentProverCache`,
         #: consulted after the in-memory levels and shared across runs
         #: and worker processes.
@@ -198,12 +222,15 @@ class Prover:
             # ``canonicalization_seconds`` so traced and untraced runs
             # report identical stats (the parity tests rely on it).
             canonical = canonicalize(f)
-        self.tracer.event("prover:query",
-                          digest=canonical_digest(canonical),
-                          cache=source,
-                          formula_size=formula_size(f),
-                          seconds=seconds,
-                          result=result)
+        attrs = dict(digest=canonical_digest(canonical),
+                     cache=source,
+                     formula_size=formula_size(f),
+                     seconds=seconds,
+                     result=result)
+        if self.tracer.capture_formulas:
+            from repro.logic.serialize import formula_to_obj
+            attrs["formula"] = formula_to_obj(f)
+        self.tracer.event("prover:query", **attrs)
         return result
 
     def _query(self, f: Formula):
@@ -283,29 +310,55 @@ class Prover:
         if isinstance(qf, FalseFormula):
             return False
         for atoms in to_dnf(qf):
-            if self.enable_canonical_cache:
-                self.stats.conjunct_queries += 1
-                key = canonical_conjunct(atoms)
-                if key is None:
-                    continue  # an atom folded to false: unsat conjunct
-                if not key:
-                    return True  # every atom folded to true
-                cached = self._conjunct_cache.get(key)
-                if cached is not None:
-                    self.stats.conjunct_cache_hits += 1
-                    if cached:
-                        return True
-                    continue
-                result = self._conjunct_satisfiable(tuple(key))
-                self._conjunct_cache.put(key, result)
-                if result:
-                    return True
-            elif self._conjunct_satisfiable(atoms):
+            if self._conjunct_decide(atoms):
                 return True
         return False
 
+    def _conjunct_decide(self, atoms) -> bool:
+        """One DNF conjunct through the canonical-key cache (when
+        enabled) down to the decision procedure.  Shared by the
+        from-scratch path above and the incremental delta path of
+        :class:`~repro.logic.incremental.PrefixSession`, so both hit
+        the same cache with the same keys."""
+        if not self.enable_canonical_cache:
+            return self._conjunct_satisfiable(atoms)
+        self.stats.conjunct_queries += 1
+        key = canonical_conjunct(atoms)
+        if key is None:
+            return False  # an atom folded to false: unsat conjunct
+        return self._conjunct_decide_key(key)
+
+    def _conjunct_decide_key(self, key) -> bool:
+        """Decide a conjunct given its canonical frozenset key."""
+        if not key:
+            return True  # every atom folded to true
+        cached = self._conjunct_cache.get(key)
+        if cached is not None:
+            self.stats.conjunct_cache_hits += 1
+            return cached
+        result = self._conjunct_satisfiable(tuple(key))
+        self._conjunct_cache.put(key, result)
+        return result
+
     def _conjunct_satisfiable(self, atoms) -> bool:
-        """Satisfiability of one conjunction of quantifier-free atoms."""
+        """Satisfiability of one conjunction of quantifier-free atoms.
+
+        With slicing enabled the conjunct is first decomposed into
+        independent variable components (no variable chain connects
+        them), each decided on its own — the conjunction is satisfiable
+        iff every component is.  The difference-solver fast path then
+        runs as a portfolio stage on each (smaller) component before
+        the general Omega machinery."""
+        if self.enable_slicing:
+            components = _split_components(atoms)
+            if len(components) > 1:
+                self.stats.sliced_conjuncts += 1
+                self.stats.slice_components += len(components)
+                return all(self._component_satisfiable(component)
+                           for component in components)
+        return self._component_satisfiable(atoms)
+
+    def _component_satisfiable(self, atoms) -> bool:
         if self.enable_difference_fast_path:
             # Section 5.2.3 enhancement: difference systems are
             # decided by negative-cycle detection without touching
@@ -315,7 +368,23 @@ class Prover:
             if fast is not None:
                 self.stats.difference_fast_path_hits += 1
                 return fast
-        return satisfiable(Constraints.from_atoms(atoms))
+        return satisfiable(Constraints.from_atoms(atoms),
+                           use_matrix=self.enable_matrix)
+
+    def project_real(self, c: Constraints, variables) -> Constraints:
+        """Rational FM projection through this prover's backend flag —
+        the entry point the generalization heuristics use, so the
+        ``--no-matrix`` ablation covers them too."""
+        return project_real(c, variables, use_matrix=self.enable_matrix)
+
+    def prefix_session(self, prefix: Formula):
+        """A :class:`~repro.logic.incremental.PrefixSession` that keeps
+        *prefix* in eliminated-and-expanded form and decides each query
+        by conjoining only the delta (the induction BFS and the
+        function-entry discharge path conjoin a fixed context with a
+        small changing part on every query)."""
+        from repro.logic.incremental import PrefixSession
+        return PrefixSession(self, prefix)
 
     def eliminate_quantifiers(self, f: Formula) -> Formula:
         """Return an equivalent quantifier-free formula."""
@@ -330,11 +399,33 @@ class Prover:
             return disj(*(self._eliminate(p) for p in f.parts))
         if isinstance(f, Exists):
             body = self._eliminate(f.body)
+            bound = frozenset(f.variables)
             pieces: List[Formula] = []
             for atoms in to_dnf(body):
-                projected = project(Constraints.from_atoms(atoms),
-                                    f.variables)
-                pieces.append(constraints_to_formula(projected))
+                if self.enable_slicing:
+                    # ∃x.(A ∧ B) = (∃x.A) ∧ B when B is x-free: keep
+                    # the x-free residue out of the projection, which
+                    # shrinks the Omega system and preserves exactness.
+                    inner = []
+                    outer = []
+                    for atom in atoms:
+                        if bound.intersection(atom.free_variables()):
+                            inner.append(atom)
+                        else:
+                            outer.append(atom)
+                    if not inner:
+                        pieces.append(conj(*outer))
+                        continue
+                    projected = project(Constraints.from_atoms(inner),
+                                        f.variables,
+                                        use_matrix=self.enable_matrix)
+                    pieces.append(
+                        conj(constraints_to_formula(projected), *outer))
+                else:
+                    projected = project(Constraints.from_atoms(atoms),
+                                        f.variables,
+                                        use_matrix=self.enable_matrix)
+                    pieces.append(constraints_to_formula(projected))
             return disj(*pieces)
         if isinstance(f, Forall):
             inner = to_nnf(neg(f.body))
@@ -343,6 +434,59 @@ class Prover:
         if isinstance(f, Not):  # NNF leaves no Not nodes
             raise AssertionError("negation survived NNF: %r" % (f,))
         raise TypeError("unexpected formula %r" % (f,))
+
+
+def _split_components(atoms) -> List[tuple]:
+    """Partition a conjunct into variable-connected components.
+
+    Two atoms land in the same component iff a chain of shared
+    variables connects them; ground atoms (no variables) are collected
+    into one component of their own.  A conjunction of independent
+    components is satisfiable iff each component is, so deciding them
+    separately is exact — and much cheaper, because Omega cost is
+    super-linear in system size.  Component order follows first atom
+    appearance, keeping the decomposition deterministic."""
+    roots: dict = {}
+
+    def find(v):
+        root = v
+        while roots[root] is not root:
+            root = roots[root]
+        while roots[v] is not root:
+            roots[v], v = root, roots[v]
+        return root
+
+    atom_vars = []
+    for atom in atoms:
+        vs = atom.free_variables()
+        atom_vars.append(vs)
+        anchor = None
+        for v in vs:
+            if v not in roots:
+                roots[v] = v
+            if anchor is None:
+                anchor = find(v)
+            else:
+                root = find(v)
+                if root is not anchor:
+                    roots[root] = anchor
+    groups: dict = {}
+    order = []
+    ground = []
+    for atom, vs in zip(atoms, atom_vars):
+        if not vs:
+            ground.append(atom)
+            continue
+        root = find(next(iter(vs)))
+        bucket = groups.get(root)
+        if bucket is None:
+            bucket = groups[root] = []
+            order.append(root)
+        bucket.append(atom)
+    components = [tuple(groups[root]) for root in order]
+    if ground:
+        components.append(tuple(ground))
+    return components
 
 
 #: A module-level default prover for casual use; analyses construct

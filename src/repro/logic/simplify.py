@@ -28,6 +28,12 @@ from repro.logic.terms import Linear
 #: :func:`repro.logic.memo.set_memoization`.
 _SIMPLIFY_CACHE = BoundedCache()
 
+#: Atom-normalization memo.  The per-conjunct prover cache calls
+#: :func:`normalize_atom` on every atom of every DNF conjunct of every
+#: query, but the distinct-atom population is tiny — with hash-consed
+#: atoms the lookup is a pointer-identity dict probe.
+_ATOM_CACHE = BoundedCache()
+
 
 def simplify(f: Formula) -> Formula:
     """Bottom-up syntactic simplification; equivalence-preserving.
@@ -64,6 +70,16 @@ def _simplify_uncached(f: Formula) -> Formula:
 
 def normalize_atom(f: Formula) -> Formula:
     """gcd-normalize a single atom, folding to true/false when ground."""
+    if isinstance(f, (Geq, Eq, Cong)):
+        cached = _ATOM_CACHE.get(f)
+        if cached is None:
+            cached = _normalize_atom_uncached(f)
+            _ATOM_CACHE.put(f, cached)
+        return cached
+    return f
+
+
+def _normalize_atom_uncached(f: Formula) -> Formula:
     if isinstance(f, Geq):
         term = f.term
         if term.is_constant:

@@ -67,13 +67,19 @@ class Worker(threading.Thread):
         """The warm prover when the request runs with the default cache
         configuration; a throwaway prover otherwise."""
         if options.enable_prover_cache \
-                and options.enable_canonical_prover_cache:
+                and options.enable_canonical_prover_cache \
+                and options.enable_matrix_kernel \
+                and options.enable_slicing \
+                and options.enable_incremental:
             prover = self._warm_prover()
             prover.reset_stats()  # per-job stats on a warm cache
             return prover
         return Prover(
             enable_cache=options.enable_prover_cache,
-            enable_canonical_cache=options.enable_canonical_prover_cache)
+            enable_canonical_cache=options.enable_canonical_prover_cache,
+            enable_matrix=options.enable_matrix_kernel,
+            enable_slicing=options.enable_slicing,
+            enable_incremental=options.enable_incremental)
 
     # -- job loop ------------------------------------------------------------
 

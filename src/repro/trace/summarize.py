@@ -31,8 +31,15 @@ def _events(records: Iterable[Dict], name: str) -> List[Dict]:
             if r["type"] == "event" and r["name"] == name]
 
 
-def summarize(records: List[Dict], top: int = 10) -> Dict:
-    """Reduce a validated record list to a summary dictionary."""
+def summarize(records: List[Dict], top: int = 10,
+              hotspots: bool = False) -> Dict:
+    """Reduce a validated record list to a summary dictionary.
+
+    With *hotspots* the summary additionally ranks prover queries by
+    **total** seconds grouped by canonical digest, and obligations by
+    total seconds grouped by (function, category) — the aggregate view
+    that finds "death by a thousand identical queries" profiles the
+    per-record slowest-N lists cannot show."""
     summary: Dict = {"records": len(records)}
 
     checks = _spans(records, "check")
@@ -100,6 +107,9 @@ def summarize(records: List[Dict], top: int = 10) -> Dict:
         "digest": e["attrs"].get("digest"),
     } for e in slow_q]
 
+    if hotspots:
+        summary["hotspots"] = _hotspots(queries, obligations, top)
+
     runs = _spans(records, "induction:run")
     summary["induction"] = {
         "runs": len(runs),
@@ -110,6 +120,43 @@ def summarize(records: List[Dict], top: int = 10) -> Dict:
         "generalizations": len(_events(records, "induction:generalize")),
     }
     return summary
+
+
+def _hotspots(queries: List[Dict], obligations: List[Dict],
+              top: int) -> Dict:
+    """Aggregate hot spots: total prover seconds per canonical query
+    digest, and total obligation seconds per (function, category)."""
+    by_digest: Dict[str, Dict] = {}
+    for event in queries:
+        digest = event["attrs"].get("digest") or "?"
+        entry = by_digest.setdefault(
+            digest, {"digest": digest, "count": 0, "seconds": 0.0,
+                     "cache_hits": 0,
+                     "formula_size": event["attrs"].get("formula_size")})
+        entry["count"] += 1
+        entry["seconds"] += event["attrs"].get("seconds", 0.0)
+        if event["attrs"].get("cache") not in (None, "fallback",
+                                               "decided"):
+            entry["cache_hits"] += 1
+    by_site: Dict[tuple, Dict] = {}
+    for span in obligations:
+        site = (span["attrs"].get("function"),
+                span["attrs"].get("category"))
+        entry = by_site.setdefault(
+            site, {"function": site[0], "category": site[1],
+                   "count": 0, "seconds": 0.0, "unproved": 0})
+        entry["count"] += 1
+        entry["seconds"] += span["dur_s"]
+        if span["attrs"].get("proved") is False:
+            entry["unproved"] += 1
+    def rank(rows):
+        return sorted(rows, key=lambda r: r["seconds"],
+                      reverse=True)[:top]
+
+    return {
+        "queries_by_digest": rank(by_digest.values()),
+        "obligations_by_site": rank(by_site.values()),
+    }
 
 
 def _row(label: str, *cells: str) -> str:
@@ -173,6 +220,27 @@ def render_summary(summary: Dict) -> str:
                               "%8.3fs" % (entry.get("seconds") or 0.0),
                               "size=%s" % entry.get("formula_size"),
                               str(entry.get("cache"))))
+
+    hotspots = summary.get("hotspots") or {}
+    if hotspots:
+        lines.append("")
+        lines.append("hot queries (total seconds by canonical digest):")
+        for entry in hotspots.get("queries_by_digest") or []:
+            lines.append(_row(
+                (entry.get("digest") or "?")[:16],
+                "%8.3fs" % entry["seconds"],
+                "%5dx" % entry["count"],
+                "size=%s" % entry.get("formula_size"),
+                "%d cached" % entry.get("cache_hits", 0)))
+        lines.append("hot obligation sites (function, category):")
+        for entry in hotspots.get("obligations_by_site") or []:
+            label = "%s/%s" % (entry.get("function"),
+                               entry.get("category"))
+            cells = ["%8.3fs" % entry["seconds"],
+                     "%5dx" % entry["count"]]
+            if entry.get("unproved"):
+                cells.append("%d UNPROVED" % entry["unproved"])
+            lines.append(_row(label, *cells))
 
     induction = summary.get("induction") or {}
     if induction.get("runs"):

@@ -110,6 +110,13 @@ class Tracer:
     #: (digests, formula rendering); on :class:`NullTracer` it is False.
     enabled = True
 
+    #: When set (``repro check --trace-formulas``), every
+    #: ``prover:query`` event additionally records the query formula in
+    #: the portable form of :func:`repro.logic.serialize.formula_to_obj`
+    #: so ``repro bench --prover-replay`` can re-discharge the exact
+    #: query stream.  Off by default: formulas dominate trace size.
+    capture_formulas = False
+
     def __init__(self, sink=None, trace_id: Optional[str] = None,
                  _owns_sink: bool = False):
         self.trace_id = trace_id or new_trace_id()
@@ -234,6 +241,7 @@ class NullTracer:
     pipeline can call tracing hooks unconditionally."""
 
     enabled = False
+    capture_formulas = False
     trace_id = None
 
     def span(self, name: str, **attrs) -> _NullSpan:

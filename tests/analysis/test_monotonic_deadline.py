@@ -96,7 +96,10 @@ class _StallingProver(Prover):
     can interrupt a run."""
 
     def __init__(self):
-        super().__init__()
+        # Incremental sessions off: fallback-mode sessions route every
+        # query through the overridden is_satisfiable below, keeping
+        # the "query that never consults the deadline" simulation.
+        super().__init__(enable_incremental=False)
         self.queries = 0
 
     def is_valid(self, f):
@@ -117,6 +120,9 @@ class _StubEngine:
 
     def header_facts(self, loop):
         return TRUE
+
+    def facts_session(self, loop):
+        return self.prover.prefix_session(TRUE)
 
     def quantifier_free(self, f):
         return f

@@ -1,0 +1,67 @@
+"""Round-trips of the portable formula encoding behind
+``--trace-formulas`` / ``--prover-replay``: ``formula_to_obj`` →
+(JSON) → ``formula_from_obj`` must reproduce the exact hash-consed
+node."""
+
+import json
+import random
+
+import pytest
+
+from repro.logic.formula import (
+    FALSE, TRUE, conj, congruent, disj, eq, exists, forall, ge, neg,
+)
+from repro.logic.serialize import formula_from_obj, formula_to_obj
+from repro.logic.terms import Linear
+
+
+def _random_formula(rng, depth=3):
+    variables = ["x", "y", "z", "w"]
+    if depth == 0 or rng.random() < 0.35:
+        term = Linear({v: rng.randint(-5, 5)
+                       for v in rng.sample(variables, 2)},
+                      rng.randint(-9, 9))
+        return rng.choice([ge(term, 0), eq(term, 0),
+                           congruent(term, rng.choice([2, 4, 8]))])
+    kind = rng.random()
+    if kind < 0.35:
+        return conj(*[_random_formula(rng, depth - 1)
+                      for _ in range(2)])
+    if kind < 0.7:
+        return disj(*[_random_formula(rng, depth - 1)
+                      for _ in range(2)])
+    if kind < 0.8:
+        return neg(_random_formula(rng, depth - 1))
+    if kind < 0.9:
+        return exists([rng.choice(variables)],
+                      _random_formula(rng, depth - 1))
+    return forall([rng.choice(variables)],
+                  _random_formula(rng, depth - 1))
+
+
+@pytest.mark.parametrize("seed", range(200))
+def test_roundtrip_is_identity(seed):
+    f = _random_formula(random.Random(12_000 + seed))
+    assert formula_from_obj(formula_to_obj(f)) is f
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 10))
+def test_roundtrip_survives_json(seed):
+    f = _random_formula(random.Random(12_000 + seed))
+    encoded = json.dumps(formula_to_obj(f))
+    assert formula_from_obj(json.loads(encoded)) is f
+
+
+def test_constants():
+    for f in (TRUE, FALSE):
+        assert formula_from_obj(
+            json.loads(json.dumps(formula_to_obj(f)))) is f
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ValueError):
+        formula_from_obj(["xor", ["true"], ["false"]])
+    with pytest.raises(ValueError):
+        formula_from_obj([])
+    with pytest.raises(ValueError):
+        formula_from_obj("true")

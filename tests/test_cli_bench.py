@@ -1,0 +1,121 @@
+"""CLI surface of the benchmark layer: ``bench --prover-replay``,
+``bench --compare``, and ``trace summarize --hotspots``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.programs.sum_array import SOURCE, SPEC
+
+
+@pytest.fixture()
+def files(tmp_path):
+    code = tmp_path / "sum.s"
+    code.write_text(SOURCE)
+    spec = tmp_path / "sum.policy"
+    spec.write_text(SPEC)
+    return code, spec, tmp_path
+
+
+@pytest.fixture()
+def formula_trace(files):
+    code, spec, tmp = files
+    trace = tmp / "trace.jsonl"
+    assert main(["check", str(code), str(spec),
+                 "--trace", str(trace), "--trace-formulas"]) == 0
+    return trace, tmp
+
+
+class TestProverReplay:
+    def test_replay_reproduces_recorded_verdicts(self, formula_trace,
+                                                 capsys):
+        trace, tmp = formula_trace
+        output = tmp / "BENCH_prover.json"
+        assert main(["bench", "--prover-replay", str(trace),
+                     "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        report = json.loads(output.read_text())
+        assert report["queries"] > 0
+        assert report["verdict_parity"]["identical"]
+        for name in ("full", "no-matrix", "no-slicing",
+                     "no-incremental", "no-cache"):
+            config = report["configs"][name]
+            assert config["mismatches"] == []
+            assert config["seconds"] >= 0.0
+
+    def test_replay_without_formulas_fails_cleanly(self, files,
+                                                   capsys):
+        code, spec, tmp = files
+        trace = tmp / "plain.jsonl"
+        assert main(["check", str(code), str(spec),
+                     "--trace", str(trace)]) == 0
+        assert main(["bench", "--prover-replay", str(trace),
+                     "--output", str(tmp / "out.json")]) == 2
+        assert "--trace-formulas" in capsys.readouterr().err
+
+
+def _report(seconds, proofs="PP"):
+    return {
+        "configs": {
+            "enhanced": {
+                "programs": [{
+                    "name": "sum_array",
+                    "seconds": seconds,
+                    "verdicts": {"safe": True,
+                                 "proof_verdicts": proofs,
+                                 "violations": []},
+                }],
+                "total_seconds": seconds,
+            },
+        },
+    }
+
+
+class TestCompare:
+    def test_speedup_table(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_report(2.0)))
+        new.write_text(json.dumps(_report(1.0)))
+        assert main(["bench", "--compare", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "2.00x" in out
+        assert "verdicts identical" in out
+
+    def test_verdict_mismatch_fails(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_report(2.0, proofs="PP")))
+        new.write_text(json.dumps(_report(1.0, proofs="PF")))
+        assert main(["bench", "--compare", str(old), str(new)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+
+class TestHotspots:
+    def test_summarize_hotspots(self, formula_trace, capsys):
+        trace, _ = formula_trace
+        assert main(["trace", "summarize", str(trace),
+                     "--hotspots"]) == 0
+        out = capsys.readouterr().out
+        assert "hot queries" in out
+        assert "hot obligation sites" in out
+
+    def test_summarize_hotspots_json(self, formula_trace, capsys):
+        trace, _ = formula_trace
+        assert main(["trace", "summarize", str(trace), "--hotspots",
+                     "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        hotspots = summary["hotspots"]
+        assert hotspots["queries_by_digest"]
+        assert hotspots["obligations_by_site"]
+        total = sum(entry["count"]
+                    for entry in hotspots["queries_by_digest"])
+        assert total <= summary["queries"]["total"]
+
+    def test_summarize_without_flag_omits_hotspots(self, formula_trace,
+                                                   capsys):
+        trace, _ = formula_trace
+        assert main(["trace", "summarize", str(trace), "--json"]) == 0
+        assert "hotspots" not in json.loads(capsys.readouterr().out)
