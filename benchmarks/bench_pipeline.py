@@ -4,13 +4,15 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--full]
-        [--repeat N] [--jobs N] [--cache [PATH]] [--output PATH]
-        [--quiet]
+        [--repeat N] [--jobs N] [--cache [PATH]] [--ablations]
+        [--incremental] [--output PATH] [--quiet]
 
 Equivalent to ``repro bench``; see :mod:`repro.bench` for what is
 measured.  ``--jobs N`` (N > 1) adds a parallel configuration and
 prints a per-program serial-vs-parallel comparison table; ``--cache``
-adds cold/warm persistent-cache configurations.
+adds cold/warm persistent-cache configurations; ``--ablations`` adds
+the prover ablations; ``--incremental`` adds the edit-one-function
+scenario against the function-unit cache.
 """
 
 import argparse
@@ -42,6 +44,14 @@ def _parse_args():
                              "cache configs at PATH (default path "
                              "when PATH is omitted: %s)"
                              % DEFAULT_CACHE_PATH)
+    parser.add_argument("--ablations", action="store_true",
+                        help="also benchmark the prover ablations "
+                             "(no-matrix / no-slicing / "
+                             "no-incremental)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="also benchmark the edit-one-function "
+                             "scenario against the function-unit "
+                             "cache (ref / cold / warm)")
     parser.add_argument("--output", default="BENCH_pipeline.json")
     parser.add_argument("--quiet", action="store_true")
     return parser.parse_args()
@@ -51,4 +61,6 @@ if __name__ == "__main__":
     args = _parse_args()
     sys.exit(main(full=args.full, repeat=args.repeat,
                   output=args.output, quiet=args.quiet,
-                  jobs=args.jobs, cache_path=args.cache))
+                  jobs=args.jobs, cache_path=args.cache,
+                  ablations=args.ablations,
+                  incremental=args.incremental))

@@ -13,15 +13,27 @@ and all three off at once) and every verdict fingerprint must match
 the default configuration — the parity gate of the Omega-overhaul
 performance work.
 
+With ``--incremental`` each program additionally runs under the
+function-granular verdict cache — no cache, cold cache, warm cache
+(every eligible unit replayed), and cache-with-replay-disabled — and
+every verdict fingerprint must match; a dedicated multi-function
+program then checks the edit-one-function path: priming the cache with
+the base program and re-checking an edited variant must replay the
+untouched functions (``unit_hits > 0``) and still match a cache-free
+check of the edited program exactly.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/parity_check.py [--jobs N]
         [--arch sparc|riscv|both] [--full] [--ablations]
+        [--incremental]
 """
 
 import argparse
 import os
+import shutil
 import sys
+import tempfile
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(
@@ -114,7 +126,67 @@ def compare_ablations(name, reference, check, failures):
             failures.append("%s[%s]" % (name, ablation))
 
 
-def run_sparc(jobs, full, failures, ablations=False):
+def compare_incremental(name, reference, check, failures):
+    """Verdict parity of one program across the unit-cache states."""
+    scratch = tempfile.mkdtemp(prefix="repro-parity-")
+    cache = os.path.join(scratch, "cache.sqlite")
+    try:
+        cold = check(CheckerOptions(jobs=1, cache_path=cache))
+        warm = check(CheckerOptions(jobs=1, cache_path=cache))
+        plain = check(CheckerOptions(jobs=1, cache_path=cache,
+                                     enable_unit_cache=False))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    want = fingerprint(reference)
+    ok = want == fingerprint(cold) == fingerprint(warm) \
+        == fingerprint(plain)
+    stats = warm.prover_stats
+    print("%-18s %-14s %s (units: %d/%d hit, %d replayed)"
+          % (name, "incremental",
+             "parity OK" if ok else "PARITY MISMATCH",
+             stats.get("unit_hits", 0), stats.get("unit_lookups", 0),
+             stats.get("unit_replayed_obligations", 0)))
+    if not ok:
+        failures.append("%s[incremental]" % name)
+
+
+def run_incremental_edit(failures):
+    """The edit-one-function path: prime with the base program, check
+    the edited variant warm — untouched functions must replay and the
+    verdicts must match a cache-free check of the edited program."""
+    from repro.bench import (
+        INCREMENTAL_EDITED_SOURCE, INCREMENTAL_SOURCE, INCREMENTAL_SPEC,
+    )
+    scratch = tempfile.mkdtemp(prefix="repro-parity-")
+    cache = os.path.join(scratch, "cache.sqlite")
+    try:
+        reference = check_assembly(
+            INCREMENTAL_EDITED_SOURCE, INCREMENTAL_SPEC,
+            name="incremental", options=CheckerOptions(jobs=1))
+        check_assembly(
+            INCREMENTAL_SOURCE, INCREMENTAL_SPEC, name="incremental",
+            options=CheckerOptions(jobs=1, cache_path=cache))
+        warm = check_assembly(
+            INCREMENTAL_EDITED_SOURCE, INCREMENTAL_SPEC,
+            name="incremental",
+            options=CheckerOptions(jobs=1, cache_path=cache))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    ok = fingerprint(reference) == fingerprint(warm)
+    hits = warm.prover_stats.get("unit_hits", 0)
+    print("%-18s %-14s %s (units: %d hit after edit)"
+          % ("incremental-edit", "incremental",
+             "parity OK" if ok and hits else
+             "PARITY MISMATCH" if not ok else "NO UNIT HITS",
+             hits))
+    if not ok:
+        failures.append("incremental-edit[verdicts]")
+    elif not hits:
+        failures.append("incremental-edit[no unit hits]")
+
+
+def run_sparc(jobs, full, failures, ablations=False,
+              incremental=False):
     from repro.programs import all_programs, fast_programs
     for program in (all_programs() if full else fast_programs()):
         serial = program.check(options=CheckerOptions(jobs=1))
@@ -126,9 +198,17 @@ def run_sparc(jobs, full, failures, ablations=False):
                 lambda options, program=program:
                     program.check(options=options),
                 failures)
+        if incremental:
+            compare_incremental(
+                "sparc:" + program.name, serial,
+                lambda options, program=program:
+                    program.check(options=options),
+                failures)
+    if incremental:
+        run_incremental_edit(failures)
 
 
-def run_riscv(jobs, failures, ablations=False):
+def run_riscv(jobs, failures, ablations=False, incremental=False):
     for name, source, spec in RISCV_CASES:
         serial = check_assembly(source, spec, name=name, arch="riscv",
                                 options=CheckerOptions(jobs=1))
@@ -137,6 +217,13 @@ def run_riscv(jobs, failures, ablations=False):
         compare(name, serial, parallel, failures)
         if ablations:
             compare_ablations(
+                name, serial,
+                lambda options, source=source, spec=spec, name=name:
+                    check_assembly(source, spec, name=name,
+                                   arch="riscv", options=options),
+                failures)
+        if incremental:
+            compare_incremental(
                 name, serial,
                 lambda options, source=source, spec=spec, name=name:
                     check_assembly(source, spec, name=name,
@@ -156,20 +243,30 @@ def main():
                              "(no-matrix / no-slicing / "
                              "no-incremental / all-off) against the "
                              "default configuration")
+    parser.add_argument("--incremental", action="store_true",
+                        help="also check the function-granular "
+                             "verdict cache (no cache / cold / warm / "
+                             "replay disabled, plus the edit-one-"
+                             "function path) against the default "
+                             "configuration")
     args = parser.parse_args()
     failures = []
     if args.arch in ("sparc", "both"):
         run_sparc(args.jobs, args.full, failures,
-                  ablations=args.ablations)
+                  ablations=args.ablations,
+                  incremental=args.incremental)
     if args.arch in ("riscv", "both"):
-        run_riscv(args.jobs, failures, ablations=args.ablations)
+        run_riscv(args.jobs, failures, ablations=args.ablations,
+                  incremental=args.incremental)
     if failures:
         print("parity FAILED for: %s" % ", ".join(failures))
         return 1
-    print("all verdicts identical at --jobs 1 and --jobs %d%s"
+    print("all verdicts identical at --jobs 1 and --jobs %d%s%s"
           % (args.jobs,
              " and under every prover ablation" if args.ablations
-             else ""))
+             else "",
+             " and across every unit-cache state"
+             if args.incremental else ""))
     return 0
 
 

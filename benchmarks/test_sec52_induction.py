@@ -54,7 +54,8 @@ def test_sec52_loop_invariant_synthesis(benchmark, engine):
     # "%g3 < n ∧ %o1 ≤ n" (Section 5.2.2) up to logical equivalence.
     forest = find_loops(cfg, CFG.MAIN)
     header = forest.loops[0].header
-    invariants = eng._proven_invariants.get(header, [])
+    invariants = [inv for inv, _deps in
+                  eng._proven_invariants.get(header, [])]
     assert invariants, "no invariant recorded for the loop"
     g3, o1, n = (Linear.var("%g3"), Linear.var("%o1"), Linear.var("n"))
     paper_invariant = conj(lt(g3, n), le(o1, n))

@@ -266,37 +266,117 @@ class SafetyChecker:
         )
 
     def _discharge(self, engine: VerificationEngine, annotations):
-        """Run phase 5 through the obligation engine: serial for
-        ``jobs == 1``, the process pool otherwise — with an automatic,
-        recorded fallback to serial when no pool can be created (the
-        pool is an optimization, never a correctness dependency)."""
-        from repro.analysis.obligations import (
-            PoolUnavailable, discharge_parallel, discharge_serial,
-            generate_obligations, resolve_jobs,
-        )
+        """Run phase 5 through the obligation engine, function unit by
+        function unit: units whose content digest and dependency
+        context match a stored verdict replay it (``unit_hits``), the
+        rest are proved fresh — serially for ``jobs == 1``, on the
+        process pool otherwise.  Without a persistent cache this is
+        exactly the historical discharge."""
+        from repro.analysis.obligations import generate_obligations
         obligations = generate_obligations(annotations)
+        if self.persistent is None:
+            proofs, violations, pool_info, _ = self._prove(engine,
+                                                           obligations)
+            return proofs, violations, pool_info
+
+        from repro.analysis.units import UnitManager, partition_units
+        manager = UnitManager(engine, self.persistent, self.options,
+                              self._arch_name(),
+                              enabled=self.options.enable_unit_cache)
+        units = partition_units(engine, obligations) \
+            if manager.enabled else []
+        replayed = []
+        payloads = {}
+        fresh = list(obligations)
+        if units:
+            fresh = []
+            for unit in units:
+                payload = manager.lookup(unit)
+                if payload is not None:
+                    replayed.append(unit)
+                    payloads[unit.label] = payload
+                else:
+                    fresh.extend(unit.obligations)
+            fresh.sort(key=lambda ob: ob.oid)
+        _, _, pool_info, touched = self._prove(engine, fresh)
+        proved_by_oid = {}
+        if replayed and manager.replay_conflicts(touched, replayed,
+                                                 payloads):
+            # A fresh proof walked into a replayed unit's dependency
+            # set: the uncached counterpart run could have interleaved
+            # memo state between them, so only a full fresh run
+            # reproduces it bit for bit.  The prover keeps its caches —
+            # they are truth-deterministic — so the redo is cheap.
+            manager.abort_replay()
+            replayed, payloads = [], {}
+            redo = VerificationEngine(engine.cfg, engine.propagation,
+                                      engine.preparation, self.spec,
+                                      self.options, self.prover)
+            redo.tracer = self.tracer
+            fresh = list(obligations)
+            _, _, pool_info, touched = self._prove(redo, fresh)
+            engine._induction_runs += redo.induction_runs
+        for unit in replayed:
+            for oid, ok in manager.replay(unit, payloads[unit.label]):
+                proved_by_oid[oid] = ok
+        records = []
+        violations = []
+        from repro.analysis.obligations import _record
+        for ob in obligations:
+            proved = proved_by_oid.get(ob.oid)
+            if proved is None:
+                proved = self._fresh_verdicts[ob.oid]
+            _record(ob, proved, records, violations)
+        if manager.enabled:
+            fresh_units = [unit for unit in units
+                           if unit.label not in payloads]
+            for unit in fresh_units:
+                manager.prepare(unit)
+            manager.store(fresh_units, touched, self._fresh_verdicts)
+        pool_info = dict(pool_info)
+        pool_info.update(manager.stats)
+        return records, violations, pool_info
+
+    def _prove(self, engine: VerificationEngine, obligations):
+        """Prove a list of obligations: serial for ``jobs == 1``, the
+        process pool otherwise — with an automatic, recorded fallback
+        to serial when no pool can be created (the pool is an
+        optimization, never a correctness dependency).  Returns
+        (records, violations, pool_info, touched-by-oid); it also
+        leaves the per-oid verdicts in ``self._fresh_verdicts``."""
+        from repro.analysis.obligations import (
+            PoolUnavailable, prove_parallel, prove_serial, resolve_jobs,
+        )
         jobs = resolve_jobs(self.options)
         if jobs <= 1:
-            proofs, violations = discharge_serial(engine, obligations)
-            return proofs, violations, {}
-        options = self.options
-        if self._deadline is not None:
-            # Workers must observe the same absolute budget, but the
-            # monotonic deadline is meaningless in another process:
-            # translate it to epoch seconds for the ride across the
-            # pickle boundary (build_engine translates it back).
-            from dataclasses import replace
-            options = replace(
-                options,
-                deadline_epoch=(time.time() + (self._deadline
-                                               - time.monotonic())))
-        try:
-            return discharge_parallel(engine, self.program, self.spec,
-                                      options, obligations)
-        except PoolUnavailable:
-            proofs, violations = discharge_serial(engine, obligations)
-            return proofs, violations, {"pool_jobs": jobs,
-                                        "pool_fallback": 1}
+            records, violations, touched = prove_serial(engine,
+                                                        obligations)
+            pool_info = {}
+        else:
+            options = self.options
+            if self._deadline is not None:
+                # Workers must observe the same absolute budget, but
+                # the monotonic deadline is meaningless in another
+                # process: translate it to epoch seconds for the ride
+                # across the pickle boundary (build_engine translates
+                # it back).
+                from dataclasses import replace
+                options = replace(
+                    options,
+                    deadline_epoch=(time.time() + (self._deadline
+                                                   - time.monotonic())))
+            try:
+                records, violations, pool_info, touched = \
+                    prove_parallel(engine, self.program, self.spec,
+                                   options, obligations)
+            except PoolUnavailable:
+                records, violations, touched = prove_serial(engine,
+                                                            obligations)
+                pool_info = {"pool_jobs": jobs, "pool_fallback": 1}
+        self._fresh_verdicts = {ob.oid: record.proved
+                                for ob, record in zip(obligations,
+                                                      records)}
+        return records, violations, pool_info, touched
 
     # -- characteristics (Figure 9 columns) -----------------------------------------
 

@@ -34,7 +34,7 @@ import os
 import pickle
 import time
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.annotate import GlobalPredicate, NodeAnnotation
 from repro.analysis.options import CheckerOptions
@@ -143,7 +143,9 @@ def _prove_obligation(engine: VerificationEngine, ob: Obligation,
                       retry: bool = False) -> bool:
     """Prove one obligation, wrapped in an "obligation" trace span
     carrying its provenance.  With tracing disabled this is exactly the
-    historical ``engine.prove_at`` call — no extra work at all."""
+    historical ``engine.prove_at`` call plus the per-obligation
+    touched-function reset (a set assignment)."""
+    engine.reset_touched()
     tracer = engine.tracer
     if not tracer.enabled:
         return engine.prove_at(ob.uid, ob.formula, {}, 0)
@@ -157,14 +159,26 @@ def _prove_obligation(engine: VerificationEngine, ob: Obligation,
     return proved
 
 
+def prove_serial(engine: VerificationEngine,
+                 obligations: List[Obligation]
+                 ) -> Tuple[List[ProofRecord], List[Violation],
+                            Dict[int, FrozenSet[str]]]:
+    """The historical serial loop, also reporting per-obligation
+    touched-function snapshots (consumed by the function-unit cache)."""
+    records: List[ProofRecord] = []
+    violations: List[Violation] = []
+    touched: Dict[int, FrozenSet[str]] = {}
+    for ob in obligations:
+        proved = _prove_obligation(engine, ob)
+        touched[ob.oid] = engine.touched_snapshot()
+        _record(ob, proved, records, violations)
+    return records, violations, touched
+
+
 def discharge_serial(engine: VerificationEngine,
                      obligations: List[Obligation]
                      ) -> Tuple[List[ProofRecord], List[Violation]]:
-    records: List[ProofRecord] = []
-    violations: List[Violation] = []
-    for ob in obligations:
-        proved = _prove_obligation(engine, ob)
-        _record(ob, proved, records, violations)
+    records, violations, _ = prove_serial(engine, obligations)
     return records, violations
 
 
@@ -247,7 +261,7 @@ def worker_initialize(payload: bytes) -> None:
 
 def worker_discharge(blob: bytes):
     """Discharge one obligation group; returns ``(verdicts, stats
-    delta, induction-run delta, trace records)``.
+    delta, induction-run delta, trace records, touched)``.
 
     ``verdicts`` is ``[(oid, True/False/None)]`` — ``None`` marks a
     worker-side error; the parent re-proves those (and plain failures)
@@ -255,22 +269,26 @@ def worker_discharge(blob: bytes):
     zeroes counters *without* dropping the worker's warm caches.
     ``trace records`` is the drained span buffer when the parent is
     tracing (empty otherwise); the parent re-roots the records into
-    its own trace via :meth:`repro.trace.Tracer.forward`."""
+    its own trace via :meth:`repro.trace.Tracer.forward`.
+    ``touched`` maps each oid to the sorted touched-function list of
+    its proof (see :meth:`VerificationEngine.touched_snapshot`)."""
     engine: VerificationEngine = _WORKER_STATE["engine"]  # type: ignore
     obligations: List[Obligation] = pickle.loads(blob)
     engine.prover.reset_stats()
     induction_before = engine.induction_runs
     verdicts: List[Tuple[int, Optional[bool]]] = []
+    touched: Dict[int, List[str]] = {}
     for ob in obligations:
         try:
             verdicts.append((ob.oid, _prove_obligation(engine, ob)))
         except Exception:
             verdicts.append((ob.oid, None))
+        touched[ob.oid] = sorted(engine.touched_snapshot())
     engine.prover.flush_persistent()
     stats = {spec.name: getattr(engine.prover.stats, spec.name)
              for spec in fields(ProverStats)}
     return (verdicts, stats, engine.induction_runs - induction_before,
-            engine.tracer.drain())
+            engine.tracer.drain(), touched)
 
 
 # ---------------------------------------------------------------------------
@@ -285,21 +303,23 @@ def resolve_jobs(options: CheckerOptions) -> int:
     return os.cpu_count() or 1
 
 
-def discharge_parallel(engine: VerificationEngine, program, spec,
-                       options: CheckerOptions,
-                       obligations: List[Obligation]
-                       ) -> Tuple[List[ProofRecord], List[Violation],
-                                  dict]:
+def prove_parallel(engine: VerificationEngine, program, spec,
+                   options: CheckerOptions,
+                   obligations: List[Obligation]
+                   ) -> Tuple[List[ProofRecord], List[Violation], dict,
+                              Dict[int, FrozenSet[str]]]:
     """Discharge on a process pool; falls back to the serial loop when
     the obligation graph offers no parallelism.  Raises
     :class:`PoolUnavailable` when the pool itself cannot run (caller
-    handles the serial fallback so it can account for it)."""
+    handles the serial fallback so it can account for it).  Also
+    returns the per-obligation touched-function map (worker snapshots,
+    overridden by the parent's own snapshot for serial retries)."""
     jobs = resolve_jobs(options)
     groups = obligation_groups(engine, obligations)
     if jobs <= 1 or len(groups) < 2 or len(obligations) < 2:
-        records, violations = discharge_serial(engine, obligations)
+        records, violations, touched = prove_serial(engine, obligations)
         return records, violations, {"pool_jobs": jobs,
-                                     "pool_tasks_dispatched": 0}
+                                     "pool_tasks_dispatched": 0}, touched
 
     # The pool workers share the persistent cache file; commit any
     # pending parent writes before they open it.
@@ -316,11 +336,14 @@ def discharge_parallel(engine: VerificationEngine, program, spec,
     results = pool.discharge(tasks, items=len(obligations))
 
     verdict: Dict[int, Optional[bool]] = {}
+    touched_map: Dict[int, FrozenSet[str]] = {}
     worker_cache_hits = 0
-    for task_index, (verdicts, stats, induction_delta, spans) \
+    for task_index, (verdicts, stats, induction_delta, spans, touched) \
             in enumerate(results):
         for oid, proved in verdicts:
             verdict[oid] = proved
+        for oid, labels in touched.items():
+            touched_map[oid] = frozenset(labels)
         for name, value in stats.items():
             setattr(engine.prover.stats, name,
                     getattr(engine.prover.stats, name) + value)
@@ -340,10 +363,21 @@ def discharge_parallel(engine: VerificationEngine, program, spec,
         if proved is not True:
             retries += 1
             proved = _prove_obligation(engine, ob, retry=True)
+            touched_map[ob.oid] = engine.touched_snapshot()
         _record(ob, proved, records, violations)
     engine.prover.flush_persistent()
 
     pool_info = pool.stats.as_dict()
     pool_info["pool_worker_cache_hits"] = worker_cache_hits
     pool_info["pool_serial_retries"] = retries
+    return records, violations, pool_info, touched_map
+
+
+def discharge_parallel(engine: VerificationEngine, program, spec,
+                       options: CheckerOptions,
+                       obligations: List[Obligation]
+                       ) -> Tuple[List[ProofRecord], List[Violation],
+                                  dict]:
+    records, violations, pool_info, _ = prove_parallel(
+        engine, program, spec, options, obligations)
     return records, violations, pool_info

@@ -116,6 +116,16 @@ class CheckerOptions:
     #: disables it.  Defaults to ``$REPRO_CACHE`` when set.
     cache_path: Optional[str] = field(default_factory=_default_cache_path)
 
+    #: Function-granular verdict reuse: when a persistent cache is
+    #: configured, store per-function proved-obligation summaries keyed
+    #: on (function-body digest, reaching typestate/spec context,
+    #: verdict-affecting options) and replay them on re-checks whose
+    #: digests match (``--no-unit-cache`` disables just this layer
+    #: while keeping the formula-level cache).  Verdict-neutral by
+    #: construction: replay is parity-gated and aborts back to a full
+    #: fresh run whenever independence cannot be established.
+    enable_unit_cache: bool = True
+
     #: Wall-clock budget for one check, in seconds; None means no
     #: limit.  A check that exceeds it aborts discharge cleanly and
     #: reports the distinct "undecided: timeout" verdict

@@ -175,6 +175,15 @@ class CheckResult:
                     % (s.get("persistent_cache_hits", 0),
                        s.get("persistent_cache_stores", 0),
                        s.get("persistent_cache_size", "?")))
+            if s.get("unit_lookups"):
+                lines.append(
+                    "  units: lookups=%d hits=%d misses=%d replayed=%d "
+                    "stores=%d aborts=%d"
+                    % (s.get("unit_lookups", 0), s.get("unit_hits", 0),
+                       s.get("unit_misses", 0),
+                       s.get("unit_replayed_obligations", 0),
+                       s.get("unit_stores", 0),
+                       s.get("unit_aborts", 0)))
         for violation in self.violations:
             lines.append("  VIOLATION %s" % violation)
         return "\n".join(lines)

@@ -1,0 +1,413 @@
+"""Function-granular verification units and their verdict cache.
+
+Phase 5 discharges one proof obligation at a time, and obligations are
+naturally owned by the function containing their program point.  This
+module groups them into :class:`FunctionUnit` records and keys each
+unit with a process-stable content digest of everything that can affect
+its verdicts:
+
+* the **function input digest** — the function's IR ops (rendered
+  position-independently: function-local node ordinals and
+  function-relative instruction indices, so editing one function never
+  perturbs another's digest), its CFG edges, the reaching typestate
+  context (the propagated abstract store before every node), and the
+  forward-propagated facts at each loop header;
+* the **spec digest** — the host specification (types, locations,
+  trusted functions, policy rules, invocation, constraints);
+* the **options digest** — the verdict-affecting checker options
+  (:data:`VERDICT_AFFECTING_OPTIONS`; performance-only knobs such as
+  ``jobs`` or the prover cache levels are deliberately excluded, and so
+  is ``timeout_s`` — a sound verdict replayed under a timeout is a
+  feature, and timed-out runs never store units).
+
+The :class:`UnitManager` consults the persistent SQLite store
+(:meth:`repro.logic.persist.PersistentProverCache.get_unit`) before
+proving and replays cached verdicts; warm-path cost for an unchanged
+function is hashing plus one indexed lookup.
+
+**Soundness of replay.**  Induction iteration is incomplete, so the
+engine's cross-obligation memo state (proven invariants, failed
+targets, entry caches) can *flip* verdicts depending on which proofs
+ran before.  All of that state is function-scoped, and the engine
+records which functions each obligation's proof walked
+(:meth:`~repro.analysis.verify.VerificationEngine.touched_snapshot`).
+Replay therefore follows two rules:
+
+* **store rule** — a unit is stored only when it was *self-contained*
+  in its run: no other unit's proof touched any function the unit
+  touched, so its verdicts equal those of a virgin engine proving the
+  unit alone;
+* **abort rule** — after replaying cached units and proving the rest,
+  if any freshly proved obligation touched a function inside a
+  replayed unit's dependency set, the run discards the replay and
+  re-proves everything on a virgin engine (``unit_aborts``): the fresh
+  proofs might otherwise observe different memo state than a full
+  uncached run would have produced, and parity is the contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.options import CheckerOptions
+from repro.analysis.verify import VerificationEngine
+from repro.ir.ops import Call, CondBranch
+from repro.logic.serialize import formula_digest, text_digest
+from repro.policy.model import HostSpec
+
+#: Bump when the unit payload layout or digest recipe changes.
+UNIT_SCHEMA = 1
+
+#: Checker options whose value can change phase-5 verdicts.  Everything
+#: else (cache levels, kernels, jobs, tracing) is parity-gated to be
+#: verdict-neutral and must *not* invalidate stored units.
+VERDICT_AFFECTING_OPTIONS = (
+    "max_induction_iterations",
+    "enable_disjunct_candidates",
+    "enable_generalization",
+    "enable_junction_simplification",
+    "enable_formula_grouping",
+    "enable_forward_bounds",
+    "max_invariant_candidates",
+    "max_call_depth",
+    "max_propagation_steps",
+)
+
+
+def options_digest(options: CheckerOptions) -> str:
+    """Digest of the verdict-affecting option values."""
+    return text_digest("options", *(
+        "%s=%r" % (name, getattr(options, name))
+        for name in VERDICT_AFFECTING_OPTIONS))
+
+
+def spec_digest(spec: HostSpec) -> str:
+    """Process-stable digest of the host specification.
+
+    States render via ``str()`` (every :class:`~repro.typesys.state.
+    State` renders deterministically — ``PointsTo`` sorts its targets),
+    types via ``repr()`` (frozen dataclasses with ordered members),
+    formulas via :func:`formula_digest`."""
+    parts: List[str] = ["types"]
+    for name, type_ in sorted(spec.types._named.items()):
+        parts.append("%s=%r" % (name, type_))
+    parts.append("locations")
+    for decl in spec.locations:
+        parts.append("%s|%r|%s|%s|%s|%s|%d|%s" % (
+            decl.name, decl.type, decl.state, decl.perms, decl.region,
+            decl.summary, decl.align, decl.size))
+    parts.append("functions")
+    for name in sorted(spec.functions):
+        fn = spec.functions[name]
+        parts.append(name)
+        for reg in sorted(fn.params):
+            parts.append("p %s %s" % (reg, fn.params[reg]))
+        parts.append("pre " + formula_digest(fn.precondition))
+        for reg in sorted(fn.returns):
+            parts.append("r %s %s" % (reg, fn.returns[reg]))
+        parts.append("post " + formula_digest(fn.postcondition))
+        parts.append("clobbers " + " ".join(fn.clobbers))
+    parts.append("rules")
+    parts.extend(str(rule) for rule in spec.rules)
+    parts.append("invoke")
+    for reg in sorted(spec.invocation.bindings):
+        parts.append("%s=%s" % (reg, spec.invocation.bindings[reg]))
+    parts.append(spec.invocation.entry_label)
+    parts.append("constraints")
+    parts.extend(formula_digest(f) for f in spec.constraints)
+    parts.append("automata " + " ".join(sorted(spec.automata)))
+    parts.append("postcondition " + formula_digest(spec.postcondition))
+    return text_digest("spec", *parts)
+
+
+def _render_op(op, base_index: int) -> str:
+    """Position-independent rendering of one IR op: dataclass fields
+    except the bookkeeping ones (``index``/``raw``/``text``), with
+    intra-function branch targets made relative to the function's first
+    instruction and call targets identified by label when known."""
+    if op is None:
+        return "<exit>"
+    parts = [op.opname]
+    for f in dataclasses.fields(op):
+        if f.name in ("index", "raw", "text"):
+            continue
+        value = getattr(op, f.name)
+        if f.name == "target":
+            if isinstance(op, CondBranch):
+                value = "rel%+d" % (value - base_index)
+            elif isinstance(op, Call) and op.target_label:
+                # The label names the callee; the absolute index would
+                # change whenever an unrelated earlier function grows.
+                continue
+        parts.append("%s=%r" % (f.name, value))
+    return " ".join(parts)
+
+
+def function_input_digest(engine: VerificationEngine,
+                          label: str) -> str:
+    """Content digest of one function *as the phase-5 engine sees it*:
+    body, control flow, reaching typestate context, and the forward
+    facts at its loop headers (the forward-bounds pass is whole-program,
+    so a caller edit can change a callee's header facts without any
+    typestate change — the digest must notice)."""
+    cfg = engine.cfg
+    uids = sorted(cfg.functions[label].node_uids)
+    ordinal = {uid: position for position, uid in enumerate(uids)}
+    indices = [cfg.node(uid).index for uid in uids if cfg.node(uid).index]
+    base_index = min(indices) if indices else 0
+    parts: List[str] = []
+    for uid in uids:
+        node = cfg.node(uid)
+        relative = node.index - base_index if node.index else -1
+        parts.append("n%d i%d %s %s" % (
+            ordinal[uid], relative, node.role.value,
+            _render_op(node.instruction, base_index)))
+        store = engine.propagation.inputs.get(uid)
+        parts.append(store.render() if store is not None else "-")
+    edges: List[str] = []
+    for uid in uids:
+        for edge in cfg.successors(uid):
+            if edge.dst in ordinal:
+                dst = str(ordinal[edge.dst])
+            else:
+                # Cross-function edge: name the peer function, never its
+                # node ordinals — an edit inside the callee must not
+                # invalidate the caller through edge numbering.
+                dst = "x:" + cfg.node(edge.dst).function
+            edges.append("e %d %s %s %s" % (
+                ordinal[uid], dst, edge.kind.value,
+                edge.condition if edge.condition is not None else "-"))
+    parts.extend(sorted(edges))
+    for loop in sorted(engine.loops[label].loops,
+                       key=lambda l: l.header):
+        parts.append("h%d %s" % (
+            ordinal.get(loop.header, -1),
+            formula_digest(engine.header_facts(loop))))
+    return text_digest("fn", label, *parts)
+
+
+@dataclass
+class FunctionUnit:
+    """One function's slice of the obligation stream."""
+
+    label: str
+    obligations: List = field(default_factory=list)
+    #: Persistent-store key (filled in by the manager).
+    key: str = ""
+    input_digest: str = ""
+
+    @property
+    def oids(self) -> List[int]:
+        return [ob.oid for ob in self.obligations]
+
+
+def partition_units(engine: VerificationEngine,
+                    obligations: List) -> List[FunctionUnit]:
+    """Group obligations by containing function, ordered by first oid
+    (obligation generation is uid-sorted, so each unit's obligations
+    are already in oid order)."""
+    buckets: Dict[str, FunctionUnit] = {}
+    ordered: List[FunctionUnit] = []
+    for ob in obligations:
+        label = engine.cfg.node(ob.uid).function
+        unit = buckets.get(label)
+        if unit is None:
+            unit = FunctionUnit(label=label)
+            buckets[label] = unit
+            ordered.append(unit)
+        unit.obligations.append(ob)
+    return ordered
+
+
+class UnitManager:
+    """Content-addressed lookup, replay, and storage of function units.
+
+    One instance per check; all digests are memoized for the run."""
+
+    def __init__(self, engine: VerificationEngine, persistent,
+                 options: CheckerOptions, arch: str,
+                 enabled: bool = True):
+        self.engine = engine
+        self.persistent = persistent
+        self.options = options
+        self.arch = arch
+        self.enabled = bool(enabled and persistent is not None)
+        self.stats: Dict[str, int] = {
+            "unit_lookups": 0,
+            "unit_hits": 0,
+            "unit_misses": 0,
+            "unit_replayed_obligations": 0,
+            "unit_stores": 0,
+            "unit_aborts": 0,
+        }
+        self._spec_digest: Optional[str] = None
+        self._options_digest: Optional[str] = None
+        self._input_digests: Dict[str, str] = {}
+        #: Functions claimed by accepted replay payloads; candidate
+        #: payloads whose dependency sets overlap are rejected (two
+        #: replayed units sharing a dependency could have influenced
+        #: each other in the uncached counterpart run).
+        self._claimed: Set[str] = set()
+
+    # -- digests -------------------------------------------------------------
+
+    def input_digest(self, label: str) -> str:
+        digest = self._input_digests.get(label)
+        if digest is None:
+            digest = function_input_digest(self.engine, label)
+            self._input_digests[label] = digest
+        return digest
+
+    def unit_key(self, label: str) -> str:
+        if self._spec_digest is None:
+            self._spec_digest = spec_digest(self.engine.spec)
+            self._options_digest = options_digest(self.options)
+        from repro import __version__
+        return text_digest(
+            "unit", UNIT_SCHEMA, __version__, self.arch,
+            self._spec_digest, self._options_digest, label,
+            self.input_digest(label))
+
+    # -- lookup / replay -----------------------------------------------------
+
+    def prepare(self, unit: FunctionUnit) -> None:
+        unit.input_digest = self.input_digest(unit.label)
+        unit.key = self.unit_key(unit.label)
+
+    def lookup(self, unit: FunctionUnit) -> Optional[Dict[str, Any]]:
+        """A stored payload whose recorded dependencies all match the
+        current program, or None."""
+        if not self.enabled:
+            return None
+        self.prepare(unit)
+        self.stats["unit_lookups"] += 1
+        for payload in self.persistent.get_unit(unit.key):
+            if self._payload_valid(unit, payload):
+                self.stats["unit_hits"] += 1
+                self._claimed.update(payload["deps"])
+                return payload
+        self.stats["unit_misses"] += 1
+        return None
+
+    def _payload_valid(self, unit: FunctionUnit,
+                       payload: Dict[str, Any]) -> bool:
+        if payload.get("schema") != UNIT_SCHEMA:
+            return False
+        entries = payload.get("obligations")
+        deps = payload.get("deps")
+        if not isinstance(entries, list) or not isinstance(deps, dict):
+            return False
+        try:
+            digests = [entry[0] for entry in entries]
+        except (TypeError, IndexError):
+            return False
+        if digests != [ob.digest for ob in unit.obligations]:
+            return False
+        if unit.label not in deps:
+            return False
+        for label, digest in deps.items():
+            if label in self._claimed:
+                return False
+            if label not in self.engine.cfg.functions:
+                return False
+            if self.input_digest(label) != digest:
+                return False
+        return True
+
+    def replay(self, unit: FunctionUnit,
+               payload: Dict[str, Any]) -> List[Tuple[int, bool]]:
+        """Per-obligation ``(oid, proved)`` verdicts from a payload,
+        traced as a ``function:replayed`` span wrapping one provenanced
+        obligation span per verdict (``replayed: True``)."""
+        from repro.analysis.obligations import obligation_provenance
+        proved = [bool(entry[1]) for entry in payload["obligations"]]
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            with tracer.span("function:replayed",
+                             function=unit.label,
+                             input_digest=unit.input_digest,
+                             obligations=len(unit.obligations),
+                             proved=sum(1 for p in proved if p)):
+                for ob, ok in zip(unit.obligations, proved):
+                    attrs = obligation_provenance(self.engine, ob)
+                    attrs["proved"] = ok
+                    attrs["replayed"] = True
+                    with tracer.span("obligation", **attrs):
+                        pass
+        self.stats["unit_replayed_obligations"] += len(unit.obligations)
+        return [(ob.oid, ok)
+                for ob, ok in zip(unit.obligations, proved)]
+
+    # -- abort check ---------------------------------------------------------
+
+    def replay_conflicts(
+            self, touched_map: Dict[int, FrozenSet[str]],
+            replayed: List[FunctionUnit],
+            payloads: Dict[str, Dict[str, Any]]) -> bool:
+        """True when a fresh proof touched a function inside a replayed
+        unit's dependency set — the signal that the uncached
+        counterpart run could have interleaved memo state between them,
+        so the replay must be abandoned."""
+        if not replayed:
+            return False
+        replay_deps: Set[str] = set()
+        for unit in replayed:
+            replay_deps.update(payloads[unit.label]["deps"])
+        for touched in touched_map.values():
+            if touched & replay_deps:
+                return True
+        return False
+
+    def abort_replay(self) -> None:
+        """Drop every accepted payload (the caller re-proves all
+        obligations on a virgin engine) and count the abort."""
+        self.stats["unit_aborts"] += 1
+        self._claimed = set()
+
+    # -- storage -------------------------------------------------------------
+
+    def store(self, units: List[FunctionUnit],
+              touched_map: Dict[int, FrozenSet[str]],
+              proved_by_oid: Dict[int, bool]) -> None:
+        """Persist every *self-contained* freshly proved unit."""
+        if not self.enabled:
+            return
+        touchers: Dict[str, Set[str]] = {}
+        for unit in units:
+            for oid in unit.oids:
+                for fn in touched_map.get(oid, ()):
+                    touchers.setdefault(fn, set()).add(unit.label)
+        for unit in units:
+            deps: Set[str] = {unit.label}
+            complete = True
+            for ob in unit.obligations:
+                touched = touched_map.get(ob.oid)
+                if touched is None or ob.oid not in proved_by_oid:
+                    complete = False
+                    break
+                deps.update(touched)
+            if not complete:
+                continue
+            if any(touchers.get(fn, set()) - {unit.label}
+                   for fn in deps):
+                continue  # another unit shares this state: not isolable
+            if any(fn in self._claimed for fn in deps):
+                continue  # overlaps a replayed unit's dependency set
+            dep_digests = {fn: self.input_digest(fn)
+                           for fn in sorted(deps)}
+            payload = {
+                "schema": UNIT_SCHEMA,
+                "function": unit.label,
+                "obligations": [[ob.digest,
+                                 bool(proved_by_oid[ob.oid])]
+                                for ob in unit.obligations],
+                "deps": dep_digests,
+            }
+            deps_digest = text_digest(
+                "deps", *("%s=%s" % item
+                          for item in sorted(dep_digests.items())))
+            self.persistent.put_unit(unit.key, deps_digest, unit.label,
+                                     payload)
+            self.stats["unit_stores"] += 1

@@ -146,10 +146,192 @@ def _fingerprint(result) -> dict:
     }
 
 
+#: Dedicated program for the incremental (function-granular verdict
+#: cache) benchmark: a chain ``main → fone → ftwo → fthree`` of
+#: constant-bound loops over the shared array.  The shape matters
+#: twice over: forward-propagated facts about the array pointer
+#: survive a ``call`` edge into the callee (only the caller's
+#: *post-call* state is clobbered), and the masked index bounds every
+#: array access by construction, so no loop needs induction — each
+#: routine proves its obligations from forward facts alone.  Its
+#: verdict unit is therefore self-contained and replayable
+#: independently of the others, exactly the shape function-granular
+#: caching targets.
+INCREMENTAL_SOURCE = """
+! Incremental benchmark: %o0 = arr (64 words); main has no memory ops.
+    mov %o7,%g4          ! save the host return address
+    call fone
+    nop
+    mov %g4,%o7          ! restore the return address
+    retl
+    nop
+
+fone:
+! Increment the first 64 elements, then hand off to ftwo.
+    mov %o7,%g5          ! save the return address
+    clr %g1              ! i = 0
+oneloop:
+    and %g1,63,%g7     ! masked index: 0 <= %g7 <= 63 by construction
+    sll %g7,2,%g2
+    ld [%o0+%g2],%g3
+    add %g3,1,%g3
+    st %g3,[%o0+%g2]
+    inc %g1
+    cmp %g1,64
+    bl oneloop
+    nop
+    call ftwo
+    nop
+    mov %g5,%o7
+    retl
+    nop
+
+ftwo:
+! Double the first 64 elements, then hand off to fthree.
+    mov %o7,%g6          ! save the return address
+    clr %g1
+twoloop:
+    and %g1,63,%g7     ! masked index: 0 <= %g7 <= 63 by construction
+    sll %g7,2,%g2
+    ld [%o0+%g2],%g3
+    add %g3,%g3,%g3
+    st %g3,[%o0+%g2]
+    inc %g1
+    cmp %g1,64
+    bl twoloop
+    nop
+    call fthree
+    nop
+    mov %g6,%o7
+    retl
+    nop
+
+fthree:
+! Accumulate the first 64 elements into %o5 (leaf).
+    clr %g1
+    clr %o5
+threeloop:
+    and %g1,63,%g7     ! masked index: 0 <= %g7 <= 63 by construction
+    sll %g7,2,%g2
+    ld [%o0+%g2],%g3
+    add %o5,%g3,%o5
+    inc %g1
+    cmp %g1,64
+    bl threeloop
+    nop
+    retl
+    nop
+"""
+
+#: The "one function edited" variant: ``fone`` adds 2 instead of 1, so
+#: only its body digest changes; ``ftwo``/``fthree`` verdict units
+#: from a run of the base program replay as-is.
+INCREMENTAL_EDITED_SOURCE = INCREMENTAL_SOURCE.replace(
+    "add %g3,1,%g3", "add %g3,2,%g3")
+
+INCREMENTAL_SPEC = """
+loc e   : int     = initialized  perms rwo region V summary
+loc arr : int[64] = {e}          perms rfo  region V
+rule [V : int : rwo]
+rule [V : int[64] : rfo]
+invoke %o0 = arr
+"""
+
+
+def _check_incremental(source: str, options: CheckerOptions):
+    from repro.analysis.checker import SafetyChecker
+    from repro.policy.parser import parse_spec
+    from repro.sparc.assembler import assemble
+    program = assemble(source, name="incremental")
+    spec = parse_spec(INCREMENTAL_SPEC)
+    return SafetyChecker(program, spec, options=options,
+                         name="incremental").check()
+
+
+def _incremental_row(result, timings: List[float]) -> dict:
+    return {
+        "name": "incremental",
+        "safe": result.safe,
+        "matches_expectation": result.safe,
+        "verdicts": _fingerprint(result),
+        "prover_queries": result.prover_queries,
+        "prover": result.prover_stats,
+        "phases": {
+            "preparation": result.times.preparation,
+            "propagation": result.times.typestate_propagation,
+            "annotation_local": result.times.annotation_and_local,
+            "global": result.times.global_verification,
+        },
+        "seconds": min(timings),
+        "seconds_min": min(timings),
+        "seconds_median": statistics.median(timings),
+    }
+
+
+def run_incremental(cache_path: str, repeat: int = 3,
+                    progress=None) -> Dict[str, dict]:
+    """The function-granular-cache benchmark (``--incremental``).
+
+    Three configurations over :data:`INCREMENTAL_EDITED_SOURCE`:
+    ``incremental-ref`` (no cache — the parity reference),
+    ``incremental-cold`` (fresh cache file per attempt), and
+    ``incremental-warm`` (per attempt: prime a fresh cache with the
+    *base* program, then time a check of the edited one — the
+    "edit one function, re-check" path, where the two untouched
+    routines replay from the cache)."""
+    repeat = max(1, repeat)
+    configs: Dict[str, dict] = {}
+    plans = [
+        ("incremental-ref", dict(cache=None)),
+        ("incremental-cold", dict(cache=cache_path, cold=True)),
+        ("incremental-warm", dict(cache=cache_path, prime=True)),
+    ]
+    for config_name, plan in plans:
+        timings: List[float] = []
+        result = None
+        suite_start = time.perf_counter()
+        for attempt in range(repeat):
+            base = dict(interning=True, memoization=True,
+                        canonical=True)
+            if plan["cache"]:
+                _delete_cache(str(plan["cache"]))
+                base["cache"] = plan["cache"]
+            options = _apply_config(base)
+            if plan.get("prime"):
+                # Populate the cache from the base program, then reset
+                # the in-process caches so only the persistent verdict
+                # units carry over — as in a fresh process.
+                _check_incremental(INCREMENTAL_SOURCE, options)
+                options = _apply_config(base)
+            t0 = time.perf_counter()
+            attempt_result = _check_incremental(
+                INCREMENTAL_EDITED_SOURCE, options)
+            timings.append(time.perf_counter() - t0)
+            if result is None:
+                result = attempt_result
+        total = time.perf_counter() - suite_start
+        row = _incremental_row(result, timings)
+        configs[config_name] = {
+            "options": {"cache": plan["cache"],
+                        "primed": bool(plan.get("prime"))},
+            "programs": [row],
+            "total_seconds": row["seconds"],
+            "wall_seconds": total,
+            "term_intern_table": term_intern_table_size(),
+            "formula_intern_table": formula_intern_table_size(),
+        }
+        if progress is not None:
+            progress("%-16s %-16s %7.2fs" % (
+                config_name, "incremental", row["seconds"]))
+    _restore_defaults()
+    return configs
+
+
 def run_suite(full: bool = False, repeat: int = 3,
               configs: Optional[List[str]] = None,
               jobs: int = 1, cache_path: Optional[str] = None,
               ablations: bool = False,
+              incremental: bool = False,
               progress=None) -> dict:
     """Run the Figure-9 suite under each configuration.
 
@@ -225,6 +407,22 @@ def run_suite(full: bool = False, repeat: int = 3,
             "formula_intern_table": formula_intern_table_size(),
         }
     _restore_defaults()
+    if incremental:
+        if cache_path:
+            unit_cache = cache_path + ".units"
+            report["configs"].update(run_incremental(
+                unit_cache, repeat=repeat, progress=progress))
+            _delete_cache(unit_cache)
+        else:
+            import shutil
+            import tempfile
+            scratch = tempfile.mkdtemp(prefix="repro-bench-")
+            try:
+                report["configs"].update(run_incremental(
+                    os.path.join(scratch, "units.sqlite"),
+                    repeat=repeat, progress=progress))
+            finally:
+                shutil.rmtree(scratch, ignore_errors=True)
     _add_parity(report)
     _add_speedups(report)
     return report
@@ -232,13 +430,18 @@ def run_suite(full: bool = False, repeat: int = 3,
 
 def _add_parity(report: dict) -> None:
     """Record whether every configuration produced identical verdicts,
-    proof outcomes, and violations for every program."""
+    proof outcomes, and violations for every program.  The reference
+    fingerprint of each program comes from the first configuration that
+    ran it (the incremental configurations run a dedicated program the
+    main suite does not)."""
     configs = report["configs"]
     if len(configs) < 2:
         return
     reference_name = next(iter(configs))
-    reference = {row["name"]: row["verdicts"]
-                 for row in configs[reference_name]["programs"]}
+    reference: Dict[str, dict] = {}
+    for config in configs.values():
+        for row in config["programs"]:
+            reference.setdefault(row["name"], row["verdicts"])
     mismatches = []
     for name, config in configs.items():
         for row in config["programs"]:
@@ -275,6 +478,9 @@ def _add_speedups(report: dict) -> None:
     warm = ratio("cache-cold", "cache-warm")
     if warm is not None:
         report["warm_cache_speedup"] = warm
+    incremental = ratio("incremental-cold", "incremental-warm")
+    if incremental is not None:
+        report["incremental_warm_speedup"] = incremental
 
 
 def comparison_table(report: dict, serial: str = "enhanced",
@@ -465,6 +671,7 @@ def main(full: bool = False, repeat: int = 3,
          quiet: bool = False, jobs: int = 1,
          cache_path: Optional[str] = None,
          ablations: bool = False,
+         incremental: bool = False,
          prover_replay: Optional[str] = None,
          compare: Optional[List[str]] = None) -> int:
     if compare:
@@ -501,7 +708,7 @@ def main(full: bool = False, repeat: int = 3,
         (lambda line: print(line, file=sys.stderr))
     report = run_suite(full=full, repeat=repeat, jobs=jobs,
                        cache_path=cache_path, ablations=ablations,
-                       progress=progress)
+                       incremental=incremental, progress=progress)
     write_report(report, output)
     print("suite: %s (repeat %d, %s cores)"
           % (report["suite"], report["repeat"],
@@ -524,6 +731,20 @@ def main(full: bool = False, repeat: int = 3,
         if report.get("warm_cache_speedup"):
             print("warm-cache speedup: %.2fx"
                   % report["warm_cache_speedup"])
+    incr_table = comparison_table(report, serial="incremental-cold",
+                                  other="incremental-warm")
+    if incr_table is not None:
+        row = report["configs"]["incremental-warm"]["programs"][0]
+        print("\ncold vs warm function-granular cache "
+              "(one function edited):")
+        print(incr_table)
+        print("warm run replayed %d obligations from %d cached "
+              "function units"
+              % (row["prover"].get("unit_replayed_obligations", 0),
+                 row["prover"].get("unit_hits", 0)))
+        if report.get("incremental_warm_speedup"):
+            print("incremental warm speedup: %.2fx"
+                  % report["incremental_warm_speedup"])
     parity = report.get("verdict_parity")
     if parity is not None:
         print("verdict parity across configs: %s"

@@ -15,6 +15,8 @@
     repro submit CODE.s SPEC.policy       # check via a running service
     repro trace summarize T.jsonl         # profile a recorded check
     repro trace validate T.jsonl          # schema-check a trace file
+    repro cache stats                     # persistent-cache contents
+    repro cache gc --max-mb 64            # shrink it to a size budget
 
 Exit status of ``check`` and ``submit``: 0 = certified safe,
 1 = violations found, 2 = error (bad input, unsupported construct,
@@ -115,6 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable incremental prover sessions "
                             "(every query re-processes its full "
                             "conjunction; verdicts are identical)")
+    check.add_argument("--no-unit-cache", action="store_true",
+                       help="with --cache: disable function-granular "
+                            "verdict replay, keeping only the formula-"
+                            "level cache (verdicts are identical)")
     check.set_defaults(handler=_cmd_check)
 
     asm = sub.add_parser("asm", help="assemble to machine code")
@@ -177,6 +183,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--ablations", action="store_true",
                        help="also benchmark the prover ablations "
                             "(no-matrix, no-slicing, no-incremental)")
+    bench.add_argument("--incremental", action="store_true",
+                       help="also benchmark the function-granular "
+                            "verdict cache: cold check of an edited "
+                            "multi-function program vs a warm re-check "
+                            "after editing one function (verdict "
+                            "parity is cross-checked)")
     bench.add_argument("--prover-replay", default=None,
                        metavar="TRACE",
                        help="instead of the program suite, re-"
@@ -244,6 +256,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="check every record against the trace schema")
     trace_val.add_argument("file", help="JSONL trace file")
     trace_val.set_defaults(handler=_cmd_trace_validate)
+
+    cache = sub.add_parser("cache", help="inspect or maintain the "
+                                         "persistent prover cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="size, schema version, row counts")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
+    cache_clear = cache_sub.add_parser(
+        "clear", help="drop every cached result and function verdict")
+    cache_clear.set_defaults(handler=_cmd_cache_clear)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="shrink the cache below a size budget, oldest "
+                   "function verdicts first")
+    cache_gc.add_argument("--max-mb", type=float, default=64.0,
+                          metavar="MB",
+                          help="target size in megabytes (default: 64)")
+    cache_gc.set_defaults(handler=_cmd_cache_gc)
+    for cache_cmd in (cache_stats, cache_clear, cache_gc):
+        cache_cmd.add_argument("--cache", default=_DEFAULT_CACHE,
+                               metavar="PATH",
+                               help="cache database path (default: %s)"
+                                    % _DEFAULT_CACHE)
 
     submit = sub.add_parser("submit", help="check code through a "
                                            "running `repro serve`")
@@ -320,6 +356,8 @@ def _cmd_check(args) -> int:
         options.enable_slicing = False
     if args.no_incremental:
         options.enable_incremental = False
+    if args.no_unit_cache:
+        options.enable_unit_cache = False
     with SafetyChecker(program, spec, options=options) as checker:
         result = checker.check()
     if args.json:
@@ -414,8 +452,57 @@ def _cmd_bench(args) -> int:
                       output=output, quiet=args.quiet,
                       jobs=args.jobs, cache_path=args.cache,
                       ablations=args.ablations,
+                      incremental=args.incremental,
                       prover_replay=args.prover_replay,
                       compare=args.compare)
+
+
+def _cmd_cache_stats(args) -> int:
+    import os
+
+    from repro.logic.persist import PersistentProverCache
+    if os.path.exists(args.cache):
+        with PersistentProverCache(args.cache) as cache:
+            stats = cache.stats()
+    else:
+        # Inspecting a cache must not create one.
+        stats = {"path": args.cache, "exists": False,
+                 "schema_version": None, "size_bytes": 0,
+                 "results": 0, "units": 0}
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print("cache:          %s" % stats["path"])
+    if not stats["exists"]:
+        print("  (no database file)")
+        return 0
+    print("schema version: %d" % stats["schema_version"])
+    print("size:           %.1f KiB" % (stats["size_bytes"] / 1024.0))
+    print("prover results: %d" % stats["results"])
+    print("function units: %d" % stats["units"])
+    return 0
+
+
+def _cmd_cache_clear(args) -> int:
+    from repro.logic.persist import PersistentProverCache
+    with PersistentProverCache(args.cache) as cache:
+        cache.clear()
+        stats = cache.stats()
+    print("cleared %s (now %.1f KiB)"
+          % (stats["path"], stats["size_bytes"] / 1024.0))
+    return 0
+
+
+def _cmd_cache_gc(args) -> int:
+    from repro.logic.persist import PersistentProverCache
+    with PersistentProverCache(args.cache) as cache:
+        report = cache.gc(max_mb=args.max_mb)
+    print("gc %s: dropped %d function units, %d prover results; "
+          "now %.1f KiB"
+          % (args.cache, report["deleted_units"],
+             report["deleted_results"],
+             report["size_bytes"] / 1024.0))
+    return 0
 
 
 def _cmd_serve(args) -> int:

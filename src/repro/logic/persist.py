@@ -7,17 +7,30 @@ worker processes.  This module stores them in a small SQLite file
 process-stable canonical digest (:func:`repro.logic.serialize.
 formula_digest`).
 
+The same file also stores *function units*: per-function verdict
+summaries keyed on a content digest of (function body, reaching
+typestate/spec context, verdict-affecting options), produced by
+:mod:`repro.analysis.units` and replayed on warm incremental runs.
+
 Layout (schema version :data:`SCHEMA_VERSION`)::
 
     meta(key TEXT PRIMARY KEY, value TEXT)   -- {"schema_version": N}
     results(digest TEXT PRIMARY KEY, satisfiable INTEGER)
+    units(unit_key TEXT, deps_digest TEXT, function TEXT,
+          payload TEXT, created REAL,
+          PRIMARY KEY (unit_key, deps_digest))
 
 Robustness rules:
 
-* a file that is not a SQLite database, or whose recorded
-  ``schema_version`` differs from ours, is **discarded and rebuilt**
-  (counted in ``invalidations``) — a stale or corrupt cache must never
-  change verdicts, only cost a cold start;
+* a file that is not a SQLite database is **discarded and rebuilt**
+  (counted in ``invalidations``) — a corrupt cache must never change
+  verdicts, only cost a cold start;
+* a file with a *different recorded schema version* keeps the file but
+  drops all rows (migrate-in-place): older processes wrote valid
+  SQLite, only the row contents are stale;
+* a table with the wrong column layout (e.g. a v1 file that predates
+  the ``units`` table, or a half-written upgrade) is dropped and
+  recreated individually without touching the other tables;
 * concurrent readers/writers (pool workers sharing one file) are
   handled with WAL journaling and a busy timeout; any SQLite error on
   an individual get/put degrades to a miss/no-op instead of failing
@@ -28,18 +41,44 @@ Robustness rules:
 
 from __future__ import annotations
 
+import json
 import os
 import sqlite3
-from typing import Optional
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when the digest definition or the table layout changes; an
-#: existing file with a different version is discarded on open.
-SCHEMA_VERSION = 1
+#: existing file with a different version keeps the file but drops the
+#: stale rows on open.  v2 added the ``units`` function-verdict table.
+SCHEMA_VERSION = 2
 
 #: Default location, relative to the working directory.
 DEFAULT_CACHE_PATH = os.path.join(".repro-cache", "prover.sqlite")
 
 _COMMIT_EVERY = 64
+
+#: Expected column names per table, in order; used to detect files
+#: whose tables exist but carry an incompatible layout.
+_TABLE_COLUMNS = {
+    "meta": ("key", "value"),
+    "results": ("digest", "satisfiable"),
+    "units": ("unit_key", "deps_digest", "function", "payload", "created"),
+}
+
+_TABLE_DDL = {
+    "meta": ("CREATE TABLE IF NOT EXISTS meta ("
+             "key TEXT PRIMARY KEY, value TEXT)"),
+    "results": ("CREATE TABLE IF NOT EXISTS results ("
+                "digest TEXT PRIMARY KEY, "
+                "satisfiable INTEGER NOT NULL)"),
+    "units": ("CREATE TABLE IF NOT EXISTS units ("
+              "unit_key TEXT NOT NULL, "
+              "deps_digest TEXT NOT NULL, "
+              "function TEXT NOT NULL, "
+              "payload TEXT NOT NULL, "
+              "created REAL NOT NULL, "
+              "PRIMARY KEY (unit_key, deps_digest))"),
+}
 
 
 class PersistentProverCache:
@@ -60,7 +99,8 @@ class PersistentProverCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        #: Times a corrupt or version-mismatched file was discarded.
+        #: Times a corrupt file was discarded or a stale version's rows
+        #: were dropped.
         self.invalidations = 0
         self.io_errors = 0
         self._pending = 0
@@ -96,11 +136,7 @@ class PersistentProverCache:
         try:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute("CREATE TABLE IF NOT EXISTS meta ("
-                         "key TEXT PRIMARY KEY, value TEXT)")
-            conn.execute("CREATE TABLE IF NOT EXISTS results ("
-                         "digest TEXT PRIMARY KEY, "
-                         "satisfiable INTEGER NOT NULL)")
+            self._ensure_layout(conn)
             row = conn.execute(
                 "SELECT value FROM meta WHERE key='schema_version'"
             ).fetchone()
@@ -110,9 +146,10 @@ class PersistentProverCache:
                     "('schema_version', ?)", (str(self.schema_version),))
                 conn.commit()
             elif row[0] != str(self.schema_version):
-                # Version bump: drop the stale results, keep the file.
+                # Version bump: drop the stale rows, keep the file.
                 self.invalidations += 1
                 conn.execute("DELETE FROM results")
+                conn.execute("DELETE FROM units")
                 conn.execute(
                     "INSERT OR REPLACE INTO meta VALUES "
                     "('schema_version', ?)", (str(self.schema_version),))
@@ -121,6 +158,22 @@ class PersistentProverCache:
             conn.close()
             raise
         return conn
+
+    def _ensure_layout(self, conn: sqlite3.Connection) -> None:
+        """Create missing tables; drop and recreate incompatible ones.
+
+        A v1 file simply lacks the ``units`` table — its ``results``
+        rows survive the layout pass untouched (the version check above
+        then decides whether they are still trustworthy)."""
+        for table, columns in _TABLE_COLUMNS.items():
+            info = conn.execute(
+                "PRAGMA table_info(%s)" % table).fetchall()
+            if info and tuple(row[1] for row in info) != columns:
+                conn.execute("DROP TABLE %s" % table)
+                info = []
+            if not info:
+                conn.execute(_TABLE_DDL[table])
+        conn.commit()
 
     def _discard_file(self) -> None:
         self.invalidations += 1
@@ -148,7 +201,7 @@ class PersistentProverCache:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- queries -------------------------------------------------------------
+    # -- formula queries -----------------------------------------------------
 
     def get(self, digest: str) -> Optional[bool]:
         if self._conn is None:
@@ -181,6 +234,54 @@ class PersistentProverCache:
         if self._pending >= _COMMIT_EVERY:
             self.flush()
 
+    # -- function-unit queries -----------------------------------------------
+
+    def get_unit(self, unit_key: str) -> List[Dict[str, Any]]:
+        """All stored payloads for ``unit_key`` (any deps context).
+
+        A key can legitimately carry several rows — the same function
+        body proved under different dependency contexts — so callers
+        receive every candidate and validate its recorded dependencies
+        against the current program.  Undecodable rows are skipped."""
+        if self._conn is None:
+            return []
+        try:
+            rows = self._conn.execute(
+                "SELECT payload FROM units WHERE unit_key=? "
+                "ORDER BY created DESC", (unit_key,)).fetchall()
+        except sqlite3.Error:
+            self.io_errors += 1
+            return []
+        payloads = []
+        for (text,) in rows:
+            try:
+                payload = json.loads(text)
+            except (ValueError, TypeError):
+                continue
+            if isinstance(payload, dict):
+                payloads.append(payload)
+        return payloads
+
+    def put_unit(self, unit_key: str, deps_digest: str,
+                 function: str, payload: Dict[str, Any]) -> None:
+        if self._conn is None:
+            return
+        try:
+            text = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":"))
+        except (ValueError, TypeError):
+            return
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO units VALUES (?, ?, ?, ?, ?)",
+                (unit_key, deps_digest, function, text, time.time()))
+        except sqlite3.Error:
+            self.io_errors += 1
+            return
+        self._pending += 1
+        if self._pending >= _COMMIT_EVERY:
+            self.flush()
+
     def flush(self) -> None:
         if self._conn is None or not self._pending:
             return
@@ -197,4 +298,89 @@ class PersistentProverCache:
             return self._conn.execute(
                 "SELECT COUNT(*) FROM results").fetchone()[0]
         except sqlite3.Error:
+            return 0
+
+    # -- maintenance (``repro cache``) ---------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Inspection snapshot for ``repro cache stats``."""
+        info: Dict[str, Any] = {
+            "path": self.path,
+            "exists": os.path.exists(self.path),
+            "schema_version": self.schema_version,
+            "size_bytes": 0,
+            "results": 0,
+            "units": 0,
+        }
+        if self._conn is None:
+            return info
+        try:
+            self.flush()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            info["results"] = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
+            info["units"] = self._conn.execute(
+                "SELECT COUNT(*) FROM units").fetchone()[0]
+        except sqlite3.Error:
+            self.io_errors += 1
+        try:
+            info["size_bytes"] = os.path.getsize(self.path)
+        except OSError:
+            pass
+        return info
+
+    def clear(self) -> None:
+        """Drop every stored row, keeping the file and layout."""
+        if self._conn is None:
+            return
+        try:
+            self._conn.execute("DELETE FROM results")
+            self._conn.execute("DELETE FROM units")
+            self._conn.commit()
+            self._conn.execute("VACUUM")
+        except sqlite3.Error:
+            self.io_errors += 1
+        self._pending = 0
+
+    def gc(self, max_mb: float) -> Dict[str, Any]:
+        """Shrink the file to at most ``max_mb`` megabytes.
+
+        Evicts the oldest function units first (they are the bulky
+        rows), then the formula results wholesale if still over budget,
+        and vacuums.  Returns a summary of what was dropped."""
+        summary = {"deleted_units": 0, "deleted_results": 0,
+                   "size_bytes": 0}
+        if self._conn is None:
+            return summary
+        budget = int(max_mb * 1024 * 1024)
+        try:
+            self.flush()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            while self._size() > budget:
+                rows = self._conn.execute(
+                    "SELECT unit_key, deps_digest FROM units "
+                    "ORDER BY created ASC LIMIT 256").fetchall()
+                if not rows:
+                    break
+                self._conn.executemany(
+                    "DELETE FROM units WHERE unit_key=? AND "
+                    "deps_digest=?", rows)
+                summary["deleted_units"] += len(rows)
+                self._conn.commit()
+                self._conn.execute("VACUUM")
+            if self._size() > budget:
+                summary["deleted_results"] = self._conn.execute(
+                    "SELECT COUNT(*) FROM results").fetchone()[0]
+                self._conn.execute("DELETE FROM results")
+                self._conn.commit()
+                self._conn.execute("VACUUM")
+        except sqlite3.Error:
+            self.io_errors += 1
+        summary["size_bytes"] = self._size()
+        return summary
+
+    def _size(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
             return 0

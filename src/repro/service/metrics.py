@@ -99,6 +99,10 @@ class ServiceMetrics:
             (prover.get("cache_hits", 0)
              + prover.get("canonical_cache_hits", 0)) / queries
             if queries else 0.0)
+        lookups = prover.get("unit_lookups", 0)
+        # Function-unit replay effectiveness across all checked jobs.
+        prover["unit_hit_rate"] = (
+            prover.get("unit_hits", 0) / lookups if lookups else 0.0)
         doc = {
             "uptime_seconds": uptime,
             "queue_depth": queue_depth,

@@ -71,6 +71,15 @@ REQUIRED_ATTRS: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "seconds": (int, float),
         "result": (bool,),
     },
+    # One function unit replayed from the persistent verdict cache
+    # (span); its child obligation spans carry ``replayed: True`` plus
+    # the ordinary provenance, so incremental traces stay auditable.
+    "function:replayed": {
+        "function": (str,),
+        "input_digest": (str,),
+        "obligations": (int,),
+        "proved": (int,),
+    },
     # One proof obligation discharge (span), with provenance back to
     # the machine instruction it protects.
     "obligation": {

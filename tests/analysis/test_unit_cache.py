@@ -1,0 +1,247 @@
+"""The function-granular verdict cache is pure optimization: replayed
+runs must be byte-identical to cache-free ones, edits must invalidate
+exactly the functions they touch, and the unit digests must be stable
+across processes (hash randomization included).
+
+The multi-function program under test is the incremental benchmark
+chain (``main -> fone -> ftwo -> fthree``) whose obligations all stay
+local to their function, so every unit is self-contained and eligible
+for storage.
+"""
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.checker import check_assembly
+from repro.analysis.options import CheckerOptions
+from repro.analysis.report import result_to_json, verdict_projection
+from repro.bench import (
+    INCREMENTAL_EDITED_SOURCE, INCREMENTAL_SOURCE, INCREMENTAL_SPEC,
+)
+
+#: ``fthree`` indexes with a stride of 8 over the 64-word array: reads
+#: up to offset 504 while the spec grants 252 — unsafe, in phase 5.
+UNSAFE_SOURCE = "%s%s%s" % (
+    *INCREMENTAL_SOURCE.rpartition("sll %g7,2,%g2")[0:1],
+    "sll %g7,3,%g2",
+    INCREMENTAL_SOURCE.rpartition("sll %g7,2,%g2")[2])
+
+
+def _check(source, options):
+    return check_assembly(source, INCREMENTAL_SPEC,
+                          name="incremental", options=options)
+
+
+def _fingerprint(result):
+    return (result.safe,
+            tuple((p.uid, p.index, p.proved) for p in result.proofs),
+            tuple((v.index, v.category, v.description, v.phase)
+                  for v in result.violations))
+
+
+def _json_bytes(result):
+    return json.dumps(verdict_projection(result_to_json(result)),
+                      sort_keys=True)
+
+
+def cache_at(tmp_path):
+    return os.path.join(str(tmp_path), "units.sqlite")
+
+
+class TestByteIdentity:
+    def test_json_identical_across_cache_states(self, tmp_path):
+        cache = cache_at(tmp_path)
+        reference = _check(INCREMENTAL_SOURCE, CheckerOptions(jobs=1))
+        cold = _check(INCREMENTAL_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache))
+        warm = _check(INCREMENTAL_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache))
+        disabled = _check(
+            INCREMENTAL_SOURCE,
+            CheckerOptions(jobs=1, cache_path=cache,
+                           enable_unit_cache=False))
+        assert warm.prover_stats["unit_hits"] > 0
+        assert disabled.prover_stats.get("unit_hits", 0) == 0
+        want = _json_bytes(reference)
+        assert want == _json_bytes(cold) == _json_bytes(warm) \
+            == _json_bytes(disabled)
+        want = _fingerprint(reference)
+        assert want == _fingerprint(cold) == _fingerprint(warm) \
+            == _fingerprint(disabled)
+
+    def test_unsafe_program_replays_identically(self, tmp_path):
+        cache = cache_at(tmp_path)
+        reference = _check(UNSAFE_SOURCE, CheckerOptions(jobs=1))
+        assert not reference.safe
+        cold = _check(UNSAFE_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache))
+        warm = _check(UNSAFE_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache))
+        assert warm.prover_stats["unit_hits"] > 0
+        assert _fingerprint(reference) == _fingerprint(cold) \
+            == _fingerprint(warm)
+        assert _json_bytes(reference) == _json_bytes(warm)
+
+    def test_warm_replay_at_jobs_2_matches(self, tmp_path):
+        cache = cache_at(tmp_path)
+        reference = _check(INCREMENTAL_SOURCE, CheckerOptions(jobs=1))
+        _check(INCREMENTAL_SOURCE,
+               CheckerOptions(jobs=1, cache_path=cache))
+        warm = _check(INCREMENTAL_SOURCE,
+                      CheckerOptions(jobs=2, cache_path=cache))
+        assert warm.prover_stats["unit_hits"] > 0
+        assert _fingerprint(reference) == _fingerprint(warm)
+
+
+class TestInvalidation:
+    def test_edit_one_function_reproves_only_it(self, tmp_path):
+        cache = cache_at(tmp_path)
+        base = _check(INCREMENTAL_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache))
+        assert base.prover_stats["unit_stores"] >= 3
+        reference = _check(INCREMENTAL_EDITED_SOURCE,
+                           CheckerOptions(jobs=1))
+        warm = _check(INCREMENTAL_EDITED_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache))
+        stats = warm.prover_stats
+        # The edit is inside fone; ftwo and fthree replay, fone (the
+        # only miss) is re-proved and stored under its new digest.
+        assert stats["unit_hits"] == 2
+        assert stats["unit_misses"] >= 1
+        assert stats["unit_replayed_obligations"] > 0
+        assert stats["unit_stores"] >= 1
+        assert _fingerprint(reference) == _fingerprint(warm)
+        rewarm = _check(INCREMENTAL_EDITED_SOURCE,
+                        CheckerOptions(jobs=1, cache_path=cache))
+        assert rewarm.prover_stats["unit_hits"] \
+            == rewarm.prover_stats["unit_lookups"]
+        assert _fingerprint(reference) == _fingerprint(rewarm)
+
+    def test_spec_change_invalidates_every_unit(self, tmp_path):
+        cache = cache_at(tmp_path)
+        primed = _check(INCREMENTAL_SOURCE,
+                        CheckerOptions(jobs=1, cache_path=cache))
+        assert primed.prover_stats["unit_stores"] >= 3
+        changed_spec = INCREMENTAL_SPEC + \
+            "loc pad : int = initialized perms ro region V summary\n"
+        result = check_assembly(
+            INCREMENTAL_SOURCE, changed_spec, name="incremental",
+            options=CheckerOptions(jobs=1, cache_path=cache))
+        stats = result.prover_stats
+        assert stats["unit_lookups"] > 0
+        assert stats["unit_hits"] == 0
+
+    def test_verdict_affecting_option_invalidates_every_unit(
+            self, tmp_path):
+        cache = cache_at(tmp_path)
+        _check(INCREMENTAL_SOURCE,
+               CheckerOptions(jobs=1, cache_path=cache))
+        result = _check(
+            INCREMENTAL_SOURCE,
+            CheckerOptions(jobs=1, cache_path=cache,
+                           max_induction_iterations=4))
+        stats = result.prover_stats
+        assert stats["unit_lookups"] > 0
+        assert stats["unit_hits"] == 0
+
+    def test_performance_option_does_not_invalidate(self, tmp_path):
+        cache = cache_at(tmp_path)
+        _check(INCREMENTAL_SOURCE,
+               CheckerOptions(jobs=1, cache_path=cache))
+        result = _check(
+            INCREMENTAL_SOURCE,
+            CheckerOptions(jobs=1, cache_path=cache,
+                           enable_matrix_kernel=False,
+                           enable_slicing=False))
+        stats = result.prover_stats
+        assert stats["unit_hits"] == stats["unit_lookups"] > 0
+
+
+_KEYS_SNIPPET = """
+import sqlite3, sys
+sys.path.insert(0, %r)
+from repro.analysis.checker import check_assembly
+from repro.analysis.options import CheckerOptions
+from repro.bench import INCREMENTAL_SOURCE, INCREMENTAL_SPEC
+check_assembly(INCREMENTAL_SOURCE, INCREMENTAL_SPEC,
+               name="incremental",
+               options=CheckerOptions(jobs=1, cache_path=%r))
+conn = sqlite3.connect(%r)
+for (key,) in conn.execute(
+        "SELECT unit_key FROM units ORDER BY unit_key"):
+    print(key)
+"""
+
+
+class TestDigestStability:
+    def test_unit_keys_identical_across_hash_seeds(self, tmp_path):
+        """The stored unit keys — spec digest, options digest, and
+        function input digest combined — must not depend on Python's
+        per-process hash randomization."""
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        keys = []
+        for seed in ("1", "7"):
+            cache = os.path.join(str(tmp_path),
+                                 "seed%s.sqlite" % seed)
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c",
+                 _KEYS_SNIPPET % (src, cache, cache)],
+                capture_output=True, text=True, env=env, check=True)
+            keys.append(out.stdout.strip().splitlines())
+        assert keys[0] == keys[1]
+        assert len(keys[0]) >= 3
+        assert all(len(key) == 64 for key in keys[0])
+
+    def test_warm_hit_from_a_fresh_cache_handle(self, tmp_path):
+        """A second checker process (simulated: fresh persistent
+        handle, cleared in-process caches) replays what the first one
+        stored — the cross-run contract of the cache."""
+        cache = cache_at(tmp_path)
+        _check(INCREMENTAL_SOURCE,
+               CheckerOptions(jobs=1, cache_path=cache))
+        conn = sqlite3.connect(cache)
+        stored = conn.execute("SELECT COUNT(*) FROM units") \
+            .fetchone()[0]
+        conn.close()
+        assert stored >= 3
+        warm = _check(INCREMENTAL_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache))
+        assert warm.prover_stats["unit_hits"] >= 3
+
+
+class TestReplayTracing:
+    def test_replay_emits_schema_valid_spans(self, tmp_path):
+        from repro.trace.schema import load_trace, validate_records
+        cache = cache_at(tmp_path)
+        _check(INCREMENTAL_SOURCE,
+               CheckerOptions(jobs=1, cache_path=cache))
+        trace = os.path.join(str(tmp_path), "warm.jsonl")
+        warm = _check(INCREMENTAL_SOURCE,
+                      CheckerOptions(jobs=1, cache_path=cache,
+                                     trace_path=trace))
+        assert warm.prover_stats["unit_hits"] > 0
+        records = load_trace(trace)
+        validate_records(records)
+        replayed = [r for r in records
+                    if r.get("name") == "function:replayed"
+                    and r.get("type") == "span"]
+        assert replayed, "warm run recorded no function:replayed span"
+        functions = {r["attrs"]["function"] for r in replayed}
+        assert functions <= {"main", "fone", "ftwo", "fthree"}
+        for record in replayed:
+            attrs = record["attrs"]
+            assert len(attrs["input_digest"]) == 64
+            assert attrs["obligations"] >= 1
+            assert attrs["proved"] <= attrs["obligations"]
+        obligations = [r for r in records
+                       if r.get("name") == "obligation"
+                       and r.get("type") == "span"
+                       and r["attrs"].get("replayed")]
+        assert obligations, "replayed obligations carry no spans"

@@ -91,6 +91,169 @@ class TestInvalidation:
         cache.close()
 
 
+class TestUnitTable:
+    def payload(self, function="f", verdicts=((
+            "ob1", True), ("ob2", False))):
+        return {"schema": 1, "function": function,
+                "obligations": [[d, ok] for d, ok in verdicts],
+                "deps": {function: "digest"}}
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = PersistentProverCache(str(tmp_path / "c.sqlite"))
+        assert cache.get_unit("k1") == []
+        cache.put_unit("k1", "deps-a", "f", self.payload())
+        cache.flush()
+        assert cache.get_unit("k1") == [self.payload()]
+        assert cache.get_unit("other") == []
+        cache.close()
+
+    def test_one_key_many_dependency_contexts(self, tmp_path):
+        """The same function body proved under different dependency
+        contexts stores one row per context, and lookup returns every
+        candidate."""
+        cache = PersistentProverCache(str(tmp_path / "c.sqlite"))
+        cache.put_unit("k", "deps-a", "f", self.payload("f"))
+        cache.put_unit("k", "deps-b", "f",
+                       {"schema": 1, "function": "f",
+                        "obligations": [["ob1", True]],
+                        "deps": {"f": "digest", "g": "other"}})
+        cache.flush()
+        assert len(cache.get_unit("k")) == 2
+        # Same context again replaces, never duplicates.
+        cache.put_unit("k", "deps-a", "f", self.payload("f"))
+        cache.flush()
+        assert len(cache.get_unit("k")) == 2
+        cache.close()
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        first = PersistentProverCache(path)
+        first.put_unit("k", "deps", "f", self.payload())
+        first.close()
+        second = PersistentProverCache(path)
+        assert second.get_unit("k") == [self.payload()]
+        second.close()
+
+    def test_version_bump_migrates_in_place(self, tmp_path):
+        """A schema bump keeps the file but drops the rows of *both*
+        tables — stale unit verdicts are as dangerous as stale formula
+        results."""
+        path = str(tmp_path / "c.sqlite")
+        old = PersistentProverCache(path, schema_version=SCHEMA_VERSION)
+        old.put("stale-result", True)
+        old.put_unit("stale-unit", "deps", "f", self.payload())
+        old.close()
+        new = PersistentProverCache(path,
+                                    schema_version=SCHEMA_VERSION + 1)
+        assert new.invalidations == 1
+        assert new.get("stale-result") is None
+        assert new.get_unit("stale-unit") == []
+        new.put_unit("fresh", "deps", "f", self.payload())
+        new.flush()
+        assert new.get_unit("fresh") == [self.payload()]
+        new.close()
+        conn = sqlite3.connect(path)
+        row = conn.execute("SELECT value FROM meta WHERE "
+                           "key='schema_version'").fetchone()
+        conn.close()
+        assert row[0] == str(SCHEMA_VERSION + 1)
+
+    def test_wrong_column_layout_is_rebuilt(self, tmp_path):
+        """A ``units`` table with an incompatible layout (e.g. written
+        by a future version whose meta row was lost) is recreated, not
+        queried."""
+        path = str(tmp_path / "c.sqlite")
+        seeded = PersistentProverCache(path)
+        seeded.close()
+        conn = sqlite3.connect(path)
+        conn.execute("DROP TABLE units")
+        conn.execute("CREATE TABLE units (unit_key TEXT, blob TEXT)")
+        conn.execute("INSERT INTO units VALUES ('k', 'junk')")
+        conn.commit()
+        conn.close()
+        cache = PersistentProverCache(path)
+        assert cache.get_unit("k") == []
+        cache.put_unit("k", "deps", "f", self.payload())
+        cache.flush()
+        assert cache.get_unit("k") == [self.payload()]
+        cache.close()
+
+    def test_corrupt_file_regression(self, tmp_path):
+        """Corruption never raises out of the unit API — the file is
+        discarded and the store behaves as empty (the formula-result
+        regression, extended to the units table)."""
+        path = str(tmp_path / "c.sqlite")
+        with open(path, "w") as handle:
+            handle.write("not a sqlite database\n")
+        cache = PersistentProverCache(path)
+        assert cache.invalidations == 1
+        assert cache.get_unit("k") == []
+        cache.put_unit("k", "deps", "f", self.payload())
+        cache.flush()
+        assert cache.get_unit("k") == [self.payload()]
+        cache.close()
+
+    def test_undecodable_payload_rows_are_skipped(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        cache = PersistentProverCache(path)
+        cache.put_unit("k", "deps-a", "f", self.payload())
+        cache.flush()
+        cache._conn.execute(
+            "INSERT INTO units VALUES ('k', 'deps-b', 'f', "
+            "'{not json', 0)")
+        cache._conn.commit()
+        assert cache.get_unit("k") == [self.payload()]
+        cache.close()
+
+
+class TestMaintenance:
+    def seeded(self, tmp_path):
+        cache = PersistentProverCache(str(tmp_path / "c.sqlite"))
+        for index in range(8):
+            cache.put("digest-%d" % index, True)
+            cache.put_unit("key-%d" % index, "deps", "f",
+                           {"schema": 1, "function": "f",
+                            "obligations": [["ob", True]],
+                            "deps": {"f": "x" * 256}})
+        cache.flush()
+        return cache
+
+    def test_stats_counts_both_tables(self, tmp_path):
+        cache = self.seeded(tmp_path)
+        stats = cache.stats()
+        assert stats["exists"] is True
+        assert stats["results"] == 8
+        assert stats["units"] == 8
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert stats["size_bytes"] > 0
+        cache.close()
+
+    def test_clear_drops_rows_keeps_file(self, tmp_path):
+        cache = self.seeded(tmp_path)
+        cache.clear()
+        stats = cache.stats()
+        assert stats["exists"] is True
+        assert stats["results"] == 0
+        assert stats["units"] == 0
+        cache.close()
+
+    def test_gc_evicts_units_first(self, tmp_path):
+        cache = self.seeded(tmp_path)
+        report = cache.gc(max_mb=0.0)
+        assert report["deleted_units"] == 8
+        assert report["deleted_results"] == 8
+        assert cache.stats()["units"] == 0
+        cache.close()
+
+    def test_gc_within_budget_deletes_nothing(self, tmp_path):
+        cache = self.seeded(tmp_path)
+        report = cache.gc(max_mb=64.0)
+        assert report["deleted_units"] == 0
+        assert report["deleted_results"] == 0
+        assert cache.stats()["units"] == 8
+        cache.close()
+
+
 class TestProverIntegration:
     def query(self):
         return conj(ge(v("x"), 0), ge(Linear({"x": -1}, 10), 0))
@@ -135,6 +298,22 @@ class TestCheckerIntegration:
     def test_warm_run_identical_to_cold(self, tmp_path):
         program, options = self.checked(tmp_path)
         baseline = program.check()  # no persistent cache at all
+        cold = program.check(options=options)
+        warm = program.check(options=options)
+        assert self.verdicts(cold) == self.verdicts(baseline)
+        assert self.verdicts(warm) == self.verdicts(baseline)
+        assert cold.prover_stats["persistent_cache_stores"] > 0
+        # Warm, the function-unit layer replays the verdicts before
+        # the formula-level cache is ever consulted.
+        assert warm.prover_stats["unit_hits"] > 0
+
+    def test_formula_level_cache_still_warms(self, tmp_path):
+        """With unit replay disabled the formula-level persistent
+        cache carries the warm run, exactly as before the unit layer
+        existed."""
+        program, options = self.checked(tmp_path)
+        options.enable_unit_cache = False
+        baseline = program.check()
         cold = program.check(options=options)
         warm = program.check(options=options)
         assert self.verdicts(cold) == self.verdicts(baseline)

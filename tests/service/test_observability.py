@@ -139,3 +139,38 @@ class TestRendererUnit:
         assert 'repro_phase_seconds_total{phase="propagation"} 0.5' \
             in body
         assert "repro_prover_satisfiability_queries_total 4" in body
+
+    def test_idle_unit_hit_rate_zero(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["prover"]["unit_hit_rate"] == 0.0
+        assert "repro_prover_unit_hit_rate 0.0" \
+            in render_prometheus(snapshot)
+
+    def test_unit_counters_aggregate_across_jobs(self):
+        """Function-unit replay counters from each job's prover stats
+        sum into the service totals and surface both as JSON and as
+        Prometheus counters."""
+        metrics = ServiceMetrics()
+        for hits, misses, replayed in ((2, 1, 15), (3, 0, 25)):
+            metrics.observe_result({
+                "verdict": "certified", "timed_out": False,
+                "times": {},
+                "prover": {"unit_lookups": hits + misses,
+                           "unit_hits": hits,
+                           "unit_misses": misses,
+                           "unit_replayed_obligations": replayed,
+                           "unit_stores": misses,
+                           "unit_aborts": 0},
+            })
+        snapshot = metrics.snapshot()
+        prover = snapshot["prover"]
+        assert prover["unit_lookups"] == 6
+        assert prover["unit_hits"] == 5
+        assert prover["unit_replayed_obligations"] == 40
+        assert prover["unit_hit_rate"] == pytest.approx(5 / 6)
+        body = render_prometheus(snapshot)
+        assert "repro_prover_unit_hits_total 5" in body
+        assert "repro_prover_unit_lookups_total 6" in body
+        assert "repro_prover_unit_replayed_obligations_total 40" \
+            in body
+        assert "repro_prover_unit_hit_rate" in body

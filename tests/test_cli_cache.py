@@ -1,0 +1,105 @@
+"""The ``repro cache`` maintenance subcommand (direct main()
+invocation; no subprocesses)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.programs.sum_array import SOURCE, SPEC
+
+
+@pytest.fixture()
+def files(tmp_path):
+    code = tmp_path / "sum.s"
+    code.write_text(SOURCE)
+    spec = tmp_path / "sum.policy"
+    spec.write_text(SPEC)
+    cache = tmp_path / "prover.sqlite"
+    return code, spec, cache
+
+
+def warm(code, spec, cache):
+    assert main(["check", str(code), str(spec),
+                 "--cache", str(cache)]) == 0
+
+
+class TestStats:
+    def test_missing_file_reports_and_creates_nothing(self, files,
+                                                      capsys):
+        __, __spec, cache = files
+        assert main(["cache", "stats", "--cache", str(cache)]) == 0
+        assert "(no database file)" in capsys.readouterr().out
+        assert not os.path.exists(str(cache))
+
+    def test_populated_cache(self, files, capsys):
+        code, spec, cache = files
+        warm(code, spec, cache)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "schema version: 2" in out
+        assert "prover results:" in out
+        assert "function units:" in out
+
+    def test_json_stats(self, files, capsys):
+        code, spec, cache = files
+        warm(code, spec, cache)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", str(cache),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exists"] is True
+        assert payload["schema_version"] == 2
+        assert payload["results"] > 0
+        assert payload["units"] > 0
+        assert payload["size_bytes"] > 0
+
+    def test_json_stats_missing_file(self, files, capsys):
+        __, __spec, cache = files
+        assert main(["cache", "stats", "--cache", str(cache),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exists"] is False
+        assert payload["results"] == 0
+
+
+class TestClear:
+    def test_clear_drops_rows_keeps_file(self, files, capsys):
+        code, spec, cache = files
+        warm(code, spec, cache)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache", str(cache)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert os.path.exists(str(cache))
+        assert main(["cache", "stats", "--cache", str(cache),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"] == 0
+        assert payload["units"] == 0
+
+
+class TestGc:
+    def test_gc_within_budget_is_a_no_op(self, files, capsys):
+        code, spec, cache = files
+        warm(code, spec, cache)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache", str(cache),
+                     "--max-mb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 0 function units, 0 prover results" in out
+
+    def test_gc_zero_budget_empties_the_store(self, files, capsys):
+        code, spec, cache = files
+        warm(code, spec, cache)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache", str(cache),
+                     "--max-mb", "0"]) == 0
+        assert main(["cache", "stats", "--cache", str(cache),
+                     "--json"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        payload = json.loads("\n".join(
+            lines[lines.index("{"):]))
+        assert payload["results"] == 0
+        assert payload["units"] == 0
