@@ -1,27 +1,31 @@
 #!/usr/bin/env python
-"""Service smoke test: the check server as a real OS process.
+"""Service smoke test: the check server as a real OS process fleet.
 
-Boots ``repro serve`` in a subprocess on an ephemeral port, submits the
-paper's Figure-9 ``sum_array`` program through ``repro submit`` on both
-architectures (separate client processes), and asserts:
+Boots ``repro serve --shards 2`` in a subprocess on an ephemeral port
+(two pre-forked shard processes sharing the listen socket), submits
+the paper's Figure-9 ``sum_array`` program through ``repro submit`` on
+both architectures (separate client processes), and asserts:
 
+* ``/healthz`` aggregates both shards (``shard_count`` = 2, per-shard
+  control URLs published);
 * both verdicts come back ``certified`` with exit status 0;
-* resubmitting the same request is answered from the dedup layer — the
-  ``/metrics`` ``dedup_hits`` counter moves and no new pipeline run is
-  accepted;
-* the server runs with ``--trace-dir``: each checked job echoes a
+* resubmitting the same request *to the same shard* is answered from
+  the dedup layer (the job envelope says ``verdict-cache``);
+* ``POST /v1/batch`` verifies duplicate items once and answers
+  per-item results in order;
+* the fleet runs with ``--trace-dir``: each checked job echoes a
   ``trace_id`` and leaves a schema-valid JSONL trace behind;
 * ``GET /metrics?format=prometheus`` answers valid text exposition
-  with the job counters in it;
-* SIGTERM drains the server: the process exits 0 on its own and the
-  listener goes away.
+  with ``shard``-labeled counters for both shards;
+* SIGTERM drains the fleet: the parent forwards it to every shard,
+  the process exits 0 on its own and the listener goes away.
 
 CI runs this as the ``service-smoke`` job.  The in-process equivalents
 live in ``tests/service/``; this script is the cross-process story.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/service_smoke.py [--timeout 120]
+    PYTHONPATH=src python benchmarks/service_smoke.py [--timeout 180]
 """
 
 import argparse
@@ -87,14 +91,24 @@ def fetch_text(url, timeout=2.0):
                 response.read().decode("utf-8"))
 
 
-def wait_for_health(url, deadline):
+def wait_for_health(url, deadline, shards=1):
     while time.time() < deadline:
         try:
-            if fetch(url + "/healthz")["status"] == "ok":
-                return
+            health = fetch(url + "/healthz")
+            if health["status"] == "ok" \
+                    and health.get("shard_count", 1) >= shards:
+                return health
         except (urllib.error.URLError, OSError):
             time.sleep(0.1)
     raise SystemExit("server never became healthy at %s" % url)
+
+
+def post_json(url, payload, timeout=120.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
 
 
 def run_submit(url, code_path, spec_path, arch):
@@ -111,8 +125,10 @@ def run_submit(url, code_path, spec_path, arch):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--timeout", type=float, default=120.0,
+    parser.add_argument("--timeout", type=float, default=180.0,
                         help="overall wall-clock budget (seconds)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard processes to boot (default: 2)")
     args = parser.parse_args(argv)
     deadline = time.time() + args.timeout
 
@@ -122,12 +138,19 @@ def main(argv=None):
     trace_dir = tempfile.mkdtemp(prefix="repro-traces-")
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--shards", str(args.shards),
          "--workers", "2", "--trace-dir", trace_dir],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env)
     try:
-        wait_for_health(url, deadline)
-        print("server healthy at %s (pid %d)" % (url, server.pid))
+        health = wait_for_health(url, deadline, shards=args.shards)
+        print("fleet healthy at %s (pid %d, %d shards)"
+              % (url, server.pid, health.get("shard_count", 1)))
+        controls = {label: doc["control_url"]
+                    for label, doc in health.get("shards", {}).items()}
+        if sorted(controls) != [str(i) for i in range(args.shards)]:
+            raise SystemExit("healthz did not publish every shard's "
+                             "control URL: %r" % controls)
 
         with tempfile.TemporaryDirectory() as tmp:
             cases = [
@@ -147,14 +170,38 @@ def main(argv=None):
                                      % (arch, result["verdict"]))
                 print("certified: sum_array on %s" % arch)
 
-            before = fetch(url + "/metrics")["dedup_hits"]
-            run_submit(url, cases[0][1], cases[0][3], "sparc")
-            after = fetch(url + "/metrics")["dedup_hits"]
-            if after != before + 1:
+            # Dedup is per shard, so pin both submissions to shard 0's
+            # control listener (public-port connections land on
+            # whichever shard accepts first).
+            shard0 = controls["0"]
+            payload = {"code": SOURCE, "spec": SPEC, "arch": "sparc",
+                       "name": "dedup-probe", "wait": True,
+                       "options": {"timeout_s": 54321.0}}
+            first = post_json(shard0 + "/v1/check", payload)
+            second = post_json(shard0 + "/v1/check", payload)
+            if first.get("state") != "completed" \
+                    or second.get("dedup") != "verdict-cache":
                 raise SystemExit(
-                    "resubmission was not deduped: dedup_hits %d -> %d"
-                    % (before, after))
-            print("dedup: resubmission answered from the verdict cache")
+                    "resubmission was not deduped: first=%r second=%r"
+                    % (first.get("state"), second.get("dedup")))
+            print("dedup: shard-pinned resubmission answered from "
+                  "the verdict cache")
+
+            item = {"code": SOURCE, "spec": SPEC, "arch": "sparc",
+                    "name": "batch-sum"}
+            batch = post_json(url + "/v1/batch",
+                              {"items": [item, item, item],
+                               "wait": True})
+            if batch["deduped"] < 2 or batch["rejected"] != 0:
+                raise SystemExit("batch dedup off: %r" % {
+                    key: batch[key] for key in
+                    ("accepted", "deduped", "rejected")})
+            verdicts = [entry["job"]["result"]["verdict"]
+                        for entry in batch["items"]]
+            if verdicts != ["certified"] * 3:
+                raise SystemExit("batch verdicts %r" % verdicts)
+            print("batch: 3 duplicate items -> %d verification(s), "
+                  "%d deduped" % (batch["accepted"], batch["deduped"]))
 
         traces = sorted(name for name in os.listdir(trace_dir)
                         if name.endswith(".jsonl"))
@@ -176,13 +223,18 @@ def main(argv=None):
         if not content_type.startswith("text/plain"):
             raise SystemExit("prometheus content-type was %r"
                              % content_type)
-        for needle in ("# TYPE repro_jobs_completed_total counter",
-                       "repro_jobs_certified_total",
-                       "repro_uptime_seconds"):
+        needles = ["# TYPE repro_jobs_completed_total counter",
+                   "repro_uptime_seconds"]
+        for index in range(args.shards):
+            needles.append(
+                'repro_jobs_certified_total{shard="%d"}' % index)
+            needles.append('repro_queue_depth{shard="%d"}' % index)
+        for needle in needles:
             if needle not in body:
                 raise SystemExit("prometheus exposition missing %r"
                                  % needle)
-        print("prometheus: /metrics?format=prometheus exposition OK")
+        print("prometheus: shard-labeled exposition OK "
+              "(%d shards)" % args.shards)
 
         server.send_signal(signal.SIGTERM)
         rc = server.wait(timeout=max(1.0, deadline - time.time()))

@@ -11,7 +11,9 @@
     repro fig9 [--full]                   # regenerate the paper's table
     repro bench [--full]                  # pipeline benchmark (seed vs
                                           # enhanced), BENCH_pipeline.json
-    repro serve [--port N]                # run the check service
+    repro bench --service                 # sharded-service load test,
+                                          # BENCH_service.json
+    repro serve [--port N] [--shards N]   # run the check service
     repro submit CODE.s SPEC.policy       # check via a running service
     repro trace summarize T.jsonl         # profile a recorded check
     repro trace validate T.jsonl          # schema-check a trace file
@@ -204,6 +206,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "per-program speedup table between two "
                             "bench reports; exits non-zero when their "
                             "verdict fingerprints differ")
+    bench.add_argument("--service", action="store_true",
+                       help="instead of the pipeline suite, load-test "
+                            "the sharded check service (1-shard "
+                            "baseline, N-shard fresh, N-shard mixed-"
+                            "duplicate) and write the scaling "
+                            "scoreboard to BENCH_service.json; exits "
+                            "non-zero on any verdict-fingerprint "
+                            "mismatch")
+    bench.add_argument("--requests", type=int, default=240,
+                       metavar="N",
+                       help="with --service: submissions per "
+                            "configuration (default: 240)")
+    bench.add_argument("--clients", type=int, default=8, metavar="N",
+                       help="with --service: concurrent client "
+                            "threads (default: 8)")
+    bench.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="with --service: fleet size for the "
+                            "N-shard configs (0 = max(2, cpu_count))")
     bench.set_defaults(handler=_cmd_bench)
 
     serve = sub.add_parser("serve", help="run the resident check "
@@ -212,7 +232,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8642,
                        help="listen port (0 = ephemeral; default 8642)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent checker workers (default: 2)")
+                       help="concurrent checker workers per shard "
+                            "(default: 2)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="pre-forked shard processes sharing the "
+                            "listen socket (0 = one per CPU core; "
+                            "default: 1 = single process; >1 "
+                            "requires os.fork)")
     serve.add_argument("--queue-limit", type=int, default=64,
                        help="bounded job queue size; beyond it "
                             "submissions get HTTP 429 (default: 64)")
@@ -269,8 +295,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "clear", help="drop every cached result and function verdict")
     cache_clear.set_defaults(handler=_cmd_cache_clear)
     cache_gc = cache_sub.add_parser(
-        "gc", help="shrink the cache below a size budget, oldest "
-                   "function verdicts first")
+        "gc", help="shrink the cache below a size budget, least-"
+                   "recently-used function verdicts first")
     cache_gc.add_argument("--max-mb", type=float, default=64.0,
                           metavar="MB",
                           help="target size in megabytes (default: 64)")
@@ -305,6 +331,12 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-request wall-clock budget")
+    submit.add_argument("--retries", type=int, default=4,
+                        metavar="N",
+                        help="retry a 429 (queue full) up to N times "
+                             "with exponential backoff + jitter, "
+                             "honoring the server's Retry-After hint "
+                             "(default: 4; 0 = fail immediately)")
     submit.set_defaults(handler=_cmd_submit)
 
     return parser
@@ -446,6 +478,18 @@ def _cmd_run(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import main as bench_main
     output = args.output
+    if args.service:
+        import tempfile
+
+        from repro.service.loadtest import default_configs, run_suite
+        if output == "BENCH_pipeline.json":
+            output = "BENCH_service.json"
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-service-") as cache_dir:
+            configs = default_configs(
+                requests=args.requests, clients=args.clients,
+                shards=args.shards or None, cache_dir=cache_dir)
+            return run_suite(configs, output, quiet=args.quiet)
     if args.prover_replay and output == "BENCH_pipeline.json":
         output = "BENCH_prover.json"
     return bench_main(full=args.full, repeat=args.repeat,
@@ -517,13 +561,31 @@ def _cmd_serve(args) -> int:
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
-    server = CheckServer(ServeConfig(
+    config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue_limit,
         verdict_cache_size=args.lru_size,
         cache_path=args.cache, default_jobs=args.jobs,
         default_timeout_s=args.timeout,
-        trace_dir=args.trace_dir))
+        trace_dir=args.trace_dir, shards=args.shards)
+
+    from repro.service import shards as shards_mod
+    shard_count = shards_mod.resolve_shards(args.shards) \
+        if args.shards != 1 else 1
+    if shard_count > 1 and not shards_mod.fork_supported():
+        print("warning: --shards needs os.fork; falling back to a "
+              "single process", file=sys.stderr)
+        shard_count = 1
+    if shard_count > 1:
+        def _announce(url):
+            print("repro service listening on %s (%d shards)"
+                  % (url, shard_count), file=sys.stderr)
+            sys.stderr.flush()
+
+        config.shards = shard_count
+        return shards_mod.serve_sharded(config, announce=_announce)
+
+    server = CheckServer(config)
 
     def _drain(signum, frame):
         server.begin_drain()
@@ -559,7 +621,7 @@ def _cmd_submit(args) -> int:
         code, spec, arch=args.arch, binary=binary,
         name=os.path.basename(args.code), jobs=args.jobs,
         timeout_s=args.timeout)
-    job = submit(server, payload)
+    job = submit(server, payload, retries=max(0, args.retries))
     if job["state"] == "failed":
         print("error: %s" % job.get("error", "job failed"),
               file=sys.stderr)

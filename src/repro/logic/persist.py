@@ -17,8 +17,12 @@ Layout (schema version :data:`SCHEMA_VERSION`)::
     meta(key TEXT PRIMARY KEY, value TEXT)   -- {"schema_version": N}
     results(digest TEXT PRIMARY KEY, satisfiable INTEGER)
     units(unit_key TEXT, deps_digest TEXT, function TEXT,
-          payload TEXT, created REAL,
+          payload TEXT, created REAL, last_used REAL,
           PRIMARY KEY (unit_key, deps_digest))
+
+``last_used`` is bumped whenever a unit is looked up for replay, and
+``gc`` evicts least-recently-used units first — a unit that keeps
+pricing warm re-checks survives however old its proof is.
 
 Robustness rules:
 
@@ -28,9 +32,12 @@ Robustness rules:
 * a file with a *different recorded schema version* keeps the file but
   drops all rows (migrate-in-place): older processes wrote valid
   SQLite, only the row contents are stale;
-* a table with the wrong column layout (e.g. a v1 file that predates
-  the ``units`` table, or a half-written upgrade) is dropped and
-  recreated individually without touching the other tables;
+* a ``units`` table from before the ``last_used`` column is migrated
+  in place — ``ALTER TABLE ADD COLUMN`` seeded from ``created`` — so
+  stored proofs survive the upgrade (counted in ``migrations``);
+* any *other* wrong column layout (e.g. a half-written upgrade) is
+  dropped and recreated individually without touching the other
+  tables;
 * concurrent readers/writers (pool workers sharing one file) are
   handled with WAL journaling and a busy timeout; any SQLite error on
   an individual get/put degrades to a miss/no-op instead of failing
@@ -62,8 +69,15 @@ _COMMIT_EVERY = 64
 _TABLE_COLUMNS = {
     "meta": ("key", "value"),
     "results": ("digest", "satisfiable"),
-    "units": ("unit_key", "deps_digest", "function", "payload", "created"),
+    "units": ("unit_key", "deps_digest", "function", "payload",
+              "created", "last_used"),
 }
+
+#: The pre-``last_used`` layout of ``units``; recognized by
+#: :meth:`PersistentProverCache._ensure_layout` and upgraded in place
+#: instead of dropped.
+_UNITS_LEGACY_COLUMNS = ("unit_key", "deps_digest", "function",
+                         "payload", "created")
 
 _TABLE_DDL = {
     "meta": ("CREATE TABLE IF NOT EXISTS meta ("
@@ -77,8 +91,13 @@ _TABLE_DDL = {
               "function TEXT NOT NULL, "
               "payload TEXT NOT NULL, "
               "created REAL NOT NULL, "
+              "last_used REAL NOT NULL, "
               "PRIMARY KEY (unit_key, deps_digest))"),
 }
+
+#: Units evicted per gc round; small enough that a gc over a slightly-
+#: over-budget cache does not wipe it wholesale.
+_GC_BATCH = 64
 
 
 class PersistentProverCache:
@@ -102,6 +121,8 @@ class PersistentProverCache:
         #: Times a corrupt file was discarded or a stale version's rows
         #: were dropped.
         self.invalidations = 0
+        #: Times a pre-``last_used`` units table was upgraded in place.
+        self.migrations = 0
         self.io_errors = 0
         self._pending = 0
         self._conn: Optional[sqlite3.Connection] = None
@@ -164,11 +185,24 @@ class PersistentProverCache:
 
         A v1 file simply lacks the ``units`` table — its ``results``
         rows survive the layout pass untouched (the version check above
-        then decides whether they are still trustworthy)."""
+        then decides whether they are still trustworthy).  A ``units``
+        table from before the ``last_used`` column is migrated in place
+        rather than dropped: stored proofs are expensive, the new
+        column is not."""
         for table, columns in _TABLE_COLUMNS.items():
             info = conn.execute(
                 "PRAGMA table_info(%s)" % table).fetchall()
-            if info and tuple(row[1] for row in info) != columns:
+            present = tuple(row[1] for row in info)
+            if table == "units" and present == _UNITS_LEGACY_COLUMNS:
+                # Seed recency from creation time: gc ordering is then
+                # identical to the old oldest-created-first until real
+                # usage data accumulates.
+                conn.execute("ALTER TABLE units ADD COLUMN "
+                             "last_used REAL NOT NULL DEFAULT 0")
+                conn.execute("UPDATE units SET last_used = created")
+                self.migrations += 1
+                continue
+            if info and present != columns:
                 conn.execute("DROP TABLE %s" % table)
                 info = []
             if not info:
@@ -249,6 +283,15 @@ class PersistentProverCache:
             rows = self._conn.execute(
                 "SELECT payload FROM units WHERE unit_key=? "
                 "ORDER BY created DESC", (unit_key,)).fetchall()
+            if rows:
+                # Replay lookups are what make a unit *hot*; gc evicts
+                # in last_used order so bumped units survive.
+                self._conn.execute(
+                    "UPDATE units SET last_used=? WHERE unit_key=?",
+                    (time.time(), unit_key))
+                self._pending += 1
+                if self._pending >= _COMMIT_EVERY:
+                    self.flush()
         except sqlite3.Error:
             self.io_errors += 1
             return []
@@ -271,10 +314,12 @@ class PersistentProverCache:
                               separators=(",", ":"))
         except (ValueError, TypeError):
             return
+        now = time.time()
         try:
             self._conn.execute(
-                "INSERT OR REPLACE INTO units VALUES (?, ?, ?, ?, ?)",
-                (unit_key, deps_digest, function, text, time.time()))
+                "INSERT OR REPLACE INTO units VALUES "
+                "(?, ?, ?, ?, ?, ?)",
+                (unit_key, deps_digest, function, text, now, now))
         except sqlite3.Error:
             self.io_errors += 1
             return
@@ -345,9 +390,11 @@ class PersistentProverCache:
     def gc(self, max_mb: float) -> Dict[str, Any]:
         """Shrink the file to at most ``max_mb`` megabytes.
 
-        Evicts the oldest function units first (they are the bulky
-        rows), then the formula results wholesale if still over budget,
-        and vacuums.  Returns a summary of what was dropped."""
+        Evicts the least-recently-*used* function units first (they are
+        the bulky rows; ``last_used`` is bumped on every replay lookup,
+        so units that keep pricing warm re-checks survive), then the
+        formula results wholesale if still over budget, and vacuums.
+        Returns a summary of what was dropped."""
         summary = {"deleted_units": 0, "deleted_results": 0,
                    "size_bytes": 0}
         if self._conn is None:
@@ -359,7 +406,8 @@ class PersistentProverCache:
             while self._size() > budget:
                 rows = self._conn.execute(
                     "SELECT unit_key, deps_digest FROM units "
-                    "ORDER BY created ASC LIMIT 256").fetchall()
+                    "ORDER BY last_used ASC, created ASC LIMIT ?",
+                    (_GC_BATCH,)).fetchall()
                 if not rows:
                     break
                 self._conn.executemany(
@@ -368,6 +416,10 @@ class PersistentProverCache:
                 summary["deleted_units"] += len(rows)
                 self._conn.commit()
                 self._conn.execute("VACUUM")
+                # Under WAL the vacuumed image lives in the -wal file
+                # until a checkpoint; without one the main file never
+                # shrinks and the loop overshoots to empty.
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
             if self._size() > budget:
                 summary["deleted_results"] = self._conn.execute(
                     "SELECT COUNT(*) FROM results").fetchone()[0]

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional
 COUNTERS = (
     # request admission
     "requests_received",      # POST /v1/check bodies parsed
+    "batch_requests",         # POST /v1/batch bodies parsed
+    "batch_items",            # individual items inside those batches
     "jobs_accepted",          # enqueued for a worker
     "jobs_deduped_cache",     # answered from the LRU verdict cache
     "jobs_deduped_inflight",  # coalesced onto a queued/running job
@@ -92,17 +94,9 @@ class ServiceMetrics:
             # Under the same lock as the counters it is reported with:
             # a snapshot is one coherent point in time.
             uptime = time.monotonic() - self._started
-        queries = prover.get("satisfiability_queries", 0)
-        # Always present, 0.0 when idle — consumers must never see the
-        # key disappear after a reset-or-idle window.
-        prover["cache_hit_rate"] = (
-            (prover.get("cache_hits", 0)
-             + prover.get("canonical_cache_hits", 0)) / queries
-            if queries else 0.0)
-        lookups = prover.get("unit_lookups", 0)
-        # Function-unit replay effectiveness across all checked jobs.
-        prover["unit_hit_rate"] = (
-            prover.get("unit_hits", 0) / lookups if lookups else 0.0)
+        # Rates are always present, 0.0 when idle — consumers must
+        # never see the key disappear after a reset-or-idle window.
+        _recompute_rates(prover)
         doc = {
             "uptime_seconds": uptime,
             "queue_depth": queue_depth,
@@ -115,6 +109,68 @@ class ServiceMetrics:
         if extra:
             doc.update(extra)
         return doc
+
+
+# -- cross-shard aggregation -------------------------------------------------
+
+
+def _recompute_rates(prover: Dict[str, float]) -> None:
+    """Hit rates never sum across shards; rebuild them from the summed
+    component counters (always present, 0.0 while idle)."""
+    queries = prover.get("satisfiability_queries", 0)
+    prover["cache_hit_rate"] = (
+        (prover.get("cache_hits", 0)
+         + prover.get("canonical_cache_hits", 0)) / queries
+        if queries else 0.0)
+    lookups = prover.get("unit_lookups", 0)
+    prover["unit_hit_rate"] = (
+        prover.get("unit_hits", 0) / lookups if lookups else 0.0)
+
+
+def aggregate_snapshots(per_shard: Dict[str, Dict]) -> Dict:
+    """Merge per-shard :meth:`ServiceMetrics.snapshot` documents into
+    one fleet view (the sharded server's ``GET /metrics``).
+
+    The result keeps the single-server schema — counters, phase
+    seconds, and prover counters summed, hit rates recomputed, queue
+    depth summed, uptime the fleet maximum — and adds ``shard_count``
+    plus a ``shards`` map carrying every local snapshot verbatim.  A
+    shard that failed to answer contributes an ``{"error": ...}``
+    entry and is skipped in the sums."""
+    counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+    phases: Dict[str, float] = {}
+    prover: Dict[str, float] = {}
+    doc: Dict = {
+        "uptime_seconds": 0.0,
+        "queue_depth": 0,
+        "dedup_hits": 0,
+        "draining": False,
+        "shard_count": len(per_shard),
+        "shards": per_shard,
+    }
+    for snapshot in per_shard.values():
+        if "counters" not in snapshot:
+            continue  # unreachable shard: {"error": ...}
+        doc["uptime_seconds"] = max(doc["uptime_seconds"],
+                                    snapshot.get("uptime_seconds", 0.0))
+        doc["queue_depth"] += snapshot.get("queue_depth", 0)
+        doc["dedup_hits"] += snapshot.get("dedup_hits", 0)
+        doc["draining"] = doc["draining"] \
+            or bool(snapshot.get("draining"))
+        for name, value in snapshot["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        for phase, seconds in (snapshot.get("phase_seconds")
+                               or {}).items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        for name, value in (snapshot.get("prover") or {}).items():
+            if name.endswith("_rate"):
+                continue
+            prover[name] = prover.get(name, 0) + value
+    _recompute_rates(prover)
+    doc["counters"] = counters
+    doc["phase_seconds"] = phases
+    doc["prover"] = prover
+    return doc
 
 
 # -- Prometheus text exposition ----------------------------------------------
@@ -153,19 +209,46 @@ def render_prometheus(snapshot: Dict) -> str:
     Counters get the conventional ``_total`` suffix; rates and the
     point-in-time values (uptime, queue depth, drain flag) are gauges;
     per-phase seconds become one ``repro_phase_seconds_total`` family
-    with a ``phase`` label."""
+    with a ``phase`` label.
+
+    An aggregated fleet snapshot (one carrying a ``shards`` map, see
+    :func:`aggregate_snapshots`) renders the lifecycle counters and
+    queue depth as one sample per shard with a ``shard`` label —
+    fleet totals are a ``sum()`` away at query time — while the
+    cross-shard aggregates (uptime, phase seconds, prover counters)
+    stay unlabeled."""
     lines: List[str] = []
+    shards = {
+        label: snap for label, snap in
+        (snapshot.get("shards") or {}).items() if "counters" in snap
+    }
     _sample(lines, "repro_uptime_seconds", "gauge",
             snapshot.get("uptime_seconds", 0.0),
             _GAUGE_HELP["repro_uptime_seconds"])
-    _sample(lines, "repro_queue_depth", "gauge",
-            snapshot.get("queue_depth", 0),
-            _GAUGE_HELP["repro_queue_depth"])
+    if shards:
+        lines.append("# HELP repro_queue_depth %s"
+                     % _GAUGE_HELP["repro_queue_depth"])
+        lines.append("# TYPE repro_queue_depth gauge")
+        for label in sorted(shards):
+            lines.append('repro_queue_depth{shard="%s"} %s' % (
+                label, _format_value(shards[label].get("queue_depth",
+                                                       0))))
+    else:
+        _sample(lines, "repro_queue_depth", "gauge",
+                snapshot.get("queue_depth", 0),
+                _GAUGE_HELP["repro_queue_depth"])
     if "draining" in snapshot:
         _sample(lines, "repro_draining", "gauge",
                 snapshot["draining"], _GAUGE_HELP["repro_draining"])
     for name, value in (snapshot.get("counters") or {}).items():
-        _sample(lines, "repro_%s_total" % name, "counter", value)
+        if shards:
+            lines.append("# TYPE repro_%s_total counter" % name)
+            for label in sorted(shards):
+                lines.append('repro_%s_total{shard="%s"} %s' % (
+                    name, label, _format_value(
+                        shards[label]["counters"].get(name, 0))))
+        else:
+            _sample(lines, "repro_%s_total" % name, "counter", value)
     _sample(lines, "repro_dedup_hits_total", "counter",
             snapshot.get("dedup_hits", 0),
             "Requests answered from the verdict cache or coalesced "

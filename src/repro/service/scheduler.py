@@ -171,11 +171,16 @@ class Scheduler:
     def __init__(self, queue_limit: int = 64,
                  verdict_cache_size: int = 256,
                  job_history: int = 1024,
-                 metrics=None):
+                 metrics=None,
+                 id_prefix: str = ""):
         self.queue_limit = queue_limit
         self.verdict_cache_size = verdict_cache_size
         self.job_history = job_history
         self.metrics = metrics
+        #: Prepended to every job id.  The sharded server passes
+        #: ``"s<shard>-"`` so a job id names its owning shard and any
+        #: shard can route a ``GET /v1/jobs/<id>`` to the right peer.
+        self.id_prefix = id_prefix
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._queue: Deque[Job] = collections.deque()
@@ -293,7 +298,8 @@ class Scheduler:
     # -- internals -----------------------------------------------------------
 
     def _new_id(self) -> str:
-        return "j%06d-%s" % (next(self._ids), os.urandom(3).hex())
+        return "%sj%06d-%s" % (self.id_prefix, next(self._ids),
+                               os.urandom(3).hex())
 
     def _remember(self, job: Job) -> None:
         self._jobs[job.id] = job

@@ -10,11 +10,25 @@ API (all bodies JSON):
   200 with the finished job envelope, 202 with the queued job, 400 on
   malformed input, 429 + ``Retry-After`` when the queue is full, 503
   while draining.
-* ``GET /v1/jobs/<id>`` — the job envelope (404 when unknown).
+* ``POST /v1/batch`` — submit a list of check requests in one round
+  trip: ``{"items": [<check bodies>], "wait": true}``.  Items sharing
+  a dedup key are verified once (verdict cache or in-flight
+  coalescing); each item answers with its own status (200/202/400/
+  429/503) and job envelope, results byte-identical to single
+  submissions.
+* ``GET /v1/jobs/<id>`` — the job envelope (404 when unknown).  In a
+  shard fleet the id's ``s<shard>-`` prefix routes the lookup to the
+  owning shard.
 * ``GET /healthz`` — liveness + queue depth.
 * ``GET /metrics`` — the live :class:`ServiceMetrics` snapshot as
   JSON; ``GET /metrics?format=prometheus`` renders the same snapshot
   in the Prometheus text exposition format.
+
+When the process is one shard of a pre-forked fleet (see
+:mod:`repro.service.shards`), ``/metrics`` and ``/healthz`` aggregate
+across every shard by fanning out to the per-shard control listeners;
+``?scope=local`` restricts any endpoint to the answering shard.
+
 
 The ``result`` object inside a completed envelope is produced by
 :func:`repro.analysis.report.result_to_json` — the same function behind
@@ -32,17 +46,24 @@ import base64
 import binascii
 import json
 import logging
+import re
+import socket
 import threading
+import time
+import urllib.error
+import urllib.request
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.options import CheckerOptions
 from repro.ir.frontend import frontend_names
-from repro.service.metrics import ServiceMetrics, render_prometheus
+from repro.service.metrics import (
+    ServiceMetrics, aggregate_snapshots, render_prometheus,
+)
 from repro.service.scheduler import (
-    CheckRequest, QueueFull, Scheduler, ServiceUnavailable,
+    CheckRequest, Job, QueueFull, Scheduler, ServiceUnavailable,
 )
 from repro.service.worker import WorkerPool
 
@@ -51,6 +72,10 @@ log = logging.getLogger("repro.service")
 #: Upper bound on request bodies (code + spec are small; anything
 #: larger is abuse, not a program).
 MAX_BODY_BYTES = 8 << 20
+
+#: Job ids minted by a shard carry this prefix (``s3-j000042-...``) so
+#: any shard can route a lookup to the owner.
+_SHARD_ID = re.compile(r"^s(\d+)-")
 
 
 class BadRequest(Exception):
@@ -66,6 +91,12 @@ class ServeConfig:
     workers: int = 2
     queue_limit: int = 64
     verdict_cache_size: int = 256
+    #: Pre-forked shard processes sharing the listening socket
+    #: (0 = one per CPU core, 1 = classic single-process server).
+    #: Consumed by :mod:`repro.service.shards` / ``repro serve``.
+    shards: int = 1
+    #: Upper bound on ``POST /v1/batch`` items per request.
+    batch_limit: int = 256
     #: Shared persistent prover cache path (None = in-memory only).
     cache_path: Optional[str] = None
     #: Default prover worker processes per request.
@@ -82,24 +113,60 @@ class ServeConfig:
     trace_dir: Optional[str] = None
 
 
-class CheckServer:
-    """The scheduler + worker pool + HTTP listener, wired together."""
+class _AdoptedHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer running on an already-listening socket.
 
-    def __init__(self, config: Optional[ServeConfig] = None):
+    The sharded server binds one socket in the parent process and every
+    forked shard adopts its inherited copy — the kernel then load-
+    balances ``accept()`` across the shard processes (one shared accept
+    queue, no SO_REUSEPORT races, ephemeral ports resolve once)."""
+
+    def __init__(self, sock: socket.socket, handler) -> None:
+        address = sock.getsockname()[:2]
+        super().__init__(address, handler, bind_and_activate=False)
+        self.socket.close()  # replace the unbound default socket
+        self.socket = sock
+        self.server_address = address
+        self.server_name, self.server_port = address
+
+
+class CheckServer:
+    """The scheduler + worker pool + HTTP listener, wired together.
+
+    A plain instance is the whole service.  Inside a pre-forked fleet
+    (:mod:`repro.service.shards`) each shard process owns one instance
+    adopting the shared listening socket, plus a private *control*
+    listener on ``127.0.0.1`` used for shard-to-shard metrics fan-out,
+    cross-shard job lookups, and shard-pinned test traffic."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 listen_socket: Optional[socket.socket] = None,
+                 shard_index: Optional[int] = None):
         self.config = config or ServeConfig()
+        self.shard_index = shard_index
+        #: shard index -> control base URL; set on every fleet member
+        #: once the parent has collected the control ports.
+        self.shard_map: Optional[Dict[int, str]] = None
         self.metrics = ServiceMetrics()
         self.scheduler = Scheduler(
             queue_limit=self.config.queue_limit,
             verdict_cache_size=self.config.verdict_cache_size,
-            metrics=self.metrics)
+            metrics=self.metrics,
+            id_prefix="" if shard_index is None else
+            "s%d-" % shard_index)
         self.pool = WorkerPool(self.scheduler,
                                workers=self.config.workers,
                                cache_path=self.config.cache_path,
                                trace_dir=self.config.trace_dir)
-        self.httpd = ThreadingHTTPServer(
-            (self.config.host, self.config.port), _Handler)
+        if listen_socket is None:
+            self.httpd = ThreadingHTTPServer(
+                (self.config.host, self.config.port), _Handler)
+        else:
+            self.httpd = _AdoptedHTTPServer(listen_socket, _Handler)
         self.httpd.daemon_threads = True
         self.httpd.check_server = self  # handler back-pointer
+        self.control_httpd: Optional[ThreadingHTTPServer] = None
+        self._control_thread: Optional[threading.Thread] = None
         self._drain_thread: Optional[threading.Thread] = None
         self._serve_thread: Optional[threading.Thread] = None
 
@@ -114,6 +181,73 @@ class CheckServer:
     def url(self) -> str:
         host, port = self.address
         return "http://%s:%d" % (host, port)
+
+    @property
+    def control_url(self) -> Optional[str]:
+        if self.control_httpd is None:
+            return None
+        host, port = self.control_httpd.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    # -- shard fleet ---------------------------------------------------------
+
+    def start_control(self) -> None:
+        """Open the shard's private control listener (full API surface,
+        ephemeral port on the loopback) in a daemon thread."""
+        self.control_httpd = ThreadingHTTPServer(("127.0.0.1", 0),
+                                                 _Handler)
+        self.control_httpd.daemon_threads = True
+        self.control_httpd.check_server = self
+        self._control_thread = threading.Thread(
+            target=self.control_httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="repro-control", daemon=True)
+        self._control_thread.start()
+
+    def set_shard_map(self, shard_map: Dict[int, str]) -> None:
+        self.shard_map = dict(shard_map)
+
+    @property
+    def in_fleet(self) -> bool:
+        return bool(self.shard_map) and self.shard_index is not None
+
+    def peer_fetch(self, index: int, path: str,
+                   timeout_s: float = 5.0) -> Dict:
+        """GET *path* from shard *index*'s control listener."""
+        url = self.shard_map[index] + path
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def fleet_snapshots(self, path: str) -> Dict[str, Dict]:
+        """One JSON document per shard for *path* (``?scope=local``
+        appended), the local shard answered in-process.  Unreachable
+        peers degrade to ``{"error": ...}`` entries instead of failing
+        the aggregate."""
+        joiner = "&" if "?" in path else "?"
+        per_shard: Dict[str, Dict] = {}
+        for index in sorted(self.shard_map or {}):
+            if index == self.shard_index:
+                continue  # filled in by the caller, no self-HTTP
+            try:
+                per_shard[str(index)] = self.peer_fetch(
+                    index, path + joiner + "scope=local")
+            except (urllib.error.URLError, OSError,
+                    ValueError) as error:
+                per_shard[str(index)] = {"error": str(error)}
+        return per_shard
+
+    def local_metrics_snapshot(self) -> Dict:
+        snapshot = self.metrics.snapshot(
+            queue_depth=self.scheduler.queue_depth,
+            extra={"draining": self.scheduler.draining})
+        if self.shard_index is not None:
+            snapshot["shard"] = self.shard_index
+        return snapshot
+
+    def fleet_metrics_snapshot(self) -> Dict:
+        per_shard = self.fleet_snapshots("/metrics")
+        per_shard[str(self.shard_index)] = self.local_metrics_snapshot()
+        return aggregate_snapshots(per_shard)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -154,6 +288,9 @@ class CheckServer:
         log.info("drain %s; stopping listener",
                  "complete" if clean else "timed out")
         self.httpd.shutdown()
+        if self.control_httpd is not None:
+            self.control_httpd.shutdown()
+            self.control_httpd.server_close()
 
     def wait_closed(self, timeout_s: Optional[float] = None) -> None:
         """Block until a background listener has stopped."""
@@ -248,13 +385,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         parts = urlsplit(self.path)
         path, query = parts.path, parse_qs(parts.query)
+        local = (query.get("scope") or ["fleet"])[-1] == "local"
+        fleet = self.service.in_fleet and not local
         if path == "/healthz":
-            self._respond(200, self._health())
+            self._respond(200, self._health(fleet))
         elif path == "/metrics":
-            scheduler = self.service.scheduler
-            snapshot = self.service.metrics.snapshot(
-                queue_depth=scheduler.queue_depth,
-                extra={"draining": scheduler.draining})
+            if fleet:
+                snapshot = self.service.fleet_metrics_snapshot()
+            else:
+                snapshot = self.service.local_metrics_snapshot()
             fmt = (query.get("format") or ["json"])[-1]
             if fmt == "prometheus":
                 self._respond_text(
@@ -269,14 +408,42 @@ class _Handler(BaseHTTPRequestHandler):
         elif path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
             job = self.service.scheduler.get(job_id)
-            if job is None:
-                self._respond(404, {"error": "unknown job %r" % job_id})
-            else:
+            if job is not None:
                 self._respond(200, job.as_dict())
+            elif fleet and self._proxy_job(job_id):
+                pass  # answered from the owning shard
+            else:
+                self._respond(404, {"error": "unknown job %r" % job_id})
         else:
             self._respond(404, {"error": "no such endpoint"})
 
+    def _proxy_job(self, job_id: str) -> bool:
+        """Route a job lookup to the shard named by the id prefix.
+        True when a response (of any status) was sent."""
+        match = _SHARD_ID.match(job_id)
+        if match is None:
+            return False
+        owner = int(match.group(1))
+        shard_map = self.service.shard_map or {}
+        if owner == self.service.shard_index or owner not in shard_map:
+            return False
+        url = "%s/v1/jobs/%s?scope=local" % (shard_map[owner], job_id)
+        try:
+            with urllib.request.urlopen(url, timeout=5.0) as response:
+                self._respond_bytes(response.status, response.read(),
+                                    "application/json")
+        except urllib.error.HTTPError as error:
+            self._respond_bytes(error.code, error.read(),
+                                "application/json")
+        except (urllib.error.URLError, OSError) as error:
+            self._respond(502, {"error": "shard %d unreachable: %s"
+                                         % (owner, error)})
+        return True
+
     def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/v1/batch":
+            self._post_batch()
+            return
         if self.path != "/v1/check":
             self._respond(404, {"error": "no such endpoint"})
             return
@@ -300,22 +467,116 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(503, {"error": "server is draining"})
             return
         if payload.get("wait"):
-            wait_s = min(self.service.config.max_wait_s,
-                         float(payload.get("wait_s")
-                               or self.service.config.max_wait_s))
-            job.done.wait(wait_s)
+            job.done.wait(self._wait_budget(payload))
         self._respond(200 if job.terminal else 202, job.as_dict())
+
+    def _post_batch(self) -> None:
+        """``POST /v1/batch``: submit every item through the ordinary
+        scheduler admission path — duplicate digests inside the batch
+        (or against earlier traffic) coalesce onto one verification —
+        and answer a per-item status list in submission order."""
+        service = self.service
+        try:
+            payload = self._read_json()
+            items = payload.get("items")
+            if not isinstance(items, list) or not items:
+                raise BadRequest("'items' (non-empty list) is required")
+            if len(items) > service.config.batch_limit:
+                raise BadRequest(
+                    "too many batch items (%d > %d)"
+                    % (len(items), service.config.batch_limit))
+        except BadRequest as error:
+            service.metrics.inc("rejected_bad_request")
+            self._respond(400, {"error": str(error)})
+            return
+        service.metrics.inc("batch_requests")
+        service.metrics.inc("batch_items", len(items))
+        entries: List[dict] = []
+        jobs: List[Optional[Job]] = []
+        seen_ids = set()
+        accepted = deduped = rejected = 0
+        for item in items:
+            try:
+                request = service.build_request(item)
+            except BadRequest as error:
+                service.metrics.inc("rejected_bad_request")
+                entries.append({"status": 400, "error": str(error)})
+                jobs.append(None)
+                rejected += 1
+                continue
+            try:
+                job = service.scheduler.submit(request)
+            except QueueFull as error:
+                entries.append({"status": 429,
+                                "error": "job queue is full",
+                                "retry_after_s": error.retry_after_s})
+                jobs.append(None)
+                rejected += 1
+                continue
+            except ServiceUnavailable:
+                entries.append({"status": 503,
+                                "error": "server is draining"})
+                jobs.append(None)
+                rejected += 1
+                continue
+            if job.id in seen_ids or job.dedup is not None:
+                deduped += 1
+            else:
+                accepted += 1
+            seen_ids.add(job.id)
+            entries.append({"status": 0})  # patched below
+            jobs.append(job)
+        if payload.get("wait"):
+            deadline = time.monotonic() + self._wait_budget(payload)
+            for job in {job.id: job for job in jobs
+                        if job is not None}.values():
+                job.done.wait(max(0.0, deadline - time.monotonic()))
+        for entry, job in zip(entries, jobs):
+            if job is not None:
+                entry["status"] = 200 if job.terminal else 202
+                entry["job"] = job.as_dict()
+        self._respond(200, {
+            "items": entries,
+            "accepted": accepted,
+            "deduped": deduped,
+            "rejected": rejected,
+        })
 
     # -- helpers -------------------------------------------------------------
 
-    def _health(self) -> dict:
+    def _wait_budget(self, payload: dict) -> float:
+        return min(self.service.config.max_wait_s,
+                   float(payload.get("wait_s")
+                         or self.service.config.max_wait_s))
+
+    def _health(self, fleet: bool = False) -> dict:
         scheduler = self.service.scheduler
-        return {
+        doc = {
             "status": "draining" if scheduler.draining else "ok",
             "queue_depth": scheduler.queue_depth,
             "workers": sum(w.is_alive()
                            for w in self.service.pool.workers),
         }
+        if self.service.shard_index is not None:
+            doc["shard"] = self.service.shard_index
+        if not fleet:
+            return doc
+        shards = self.service.fleet_snapshots("/healthz")
+        shards[str(self.service.shard_index)] = dict(doc)
+        shard_map = self.service.shard_map or {}
+        aggregate = {"status": "ok", "queue_depth": 0, "workers": 0,
+                     "shard_count": len(shards), "shards": shards}
+        for label, health in shards.items():
+            health["control_url"] = shard_map.get(int(label))
+            if "status" not in health:  # unreachable: {"error": ...}
+                aggregate["status"] = "degraded"
+                continue
+            if health["status"] == "draining" \
+                    and aggregate["status"] == "ok":
+                aggregate["status"] = "draining"
+            aggregate["queue_depth"] += health["queue_depth"]
+            aggregate["workers"] += health["workers"]
+        return aggregate
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)

@@ -193,6 +193,60 @@ class TestUnitTable:
         assert cache.get_unit("k") == [self.payload()]
         cache.close()
 
+    def test_legacy_layout_is_migrated_in_place(self, tmp_path):
+        """A ``units`` table from before the ``last_used`` column keeps
+        its rows: the column is added in place, seeded from
+        ``created``."""
+        path = str(tmp_path / "c.sqlite")
+        seeded = PersistentProverCache(path)
+        seeded.put("result", True)
+        seeded.close()
+        conn = sqlite3.connect(path)
+        conn.execute("DROP TABLE units")
+        conn.execute("CREATE TABLE units ("
+                     "unit_key TEXT NOT NULL, "
+                     "deps_digest TEXT NOT NULL, "
+                     "function TEXT NOT NULL, "
+                     "payload TEXT NOT NULL, "
+                     "created REAL NOT NULL, "
+                     "PRIMARY KEY (unit_key, deps_digest))")
+        import json as json_mod
+        conn.execute("INSERT INTO units VALUES (?, ?, ?, ?, ?)",
+                     ("k", "deps", "f",
+                      json_mod.dumps(self.payload()), 123.0))
+        conn.commit()
+        conn.close()
+        cache = PersistentProverCache(path)
+        assert cache.migrations == 1
+        assert cache.invalidations == 0
+        assert cache.get_unit("k") == [self.payload()]  # row survived
+        assert cache.get("result") is True
+        cache.flush()
+        conn = sqlite3.connect(path)
+        columns = [row[1] for row in
+                   conn.execute("PRAGMA table_info(units)")]
+        conn.close()
+        assert columns[-1] == "last_used"
+        cache.close()
+
+    def test_lookup_bumps_last_used(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        cache = PersistentProverCache(path)
+        cache.put_unit("k", "deps", "f", self.payload())
+        cache.flush()
+        before = cache._conn.execute(
+            "SELECT last_used FROM units WHERE unit_key='k'"
+        ).fetchone()[0]
+        import time as time_mod
+        time_mod.sleep(0.01)
+        cache.get_unit("k")
+        cache.flush()
+        after = cache._conn.execute(
+            "SELECT last_used FROM units WHERE unit_key='k'"
+        ).fetchone()[0]
+        assert after > before
+        cache.close()
+
     def test_undecodable_payload_rows_are_skipped(self, tmp_path):
         path = str(tmp_path / "c.sqlite")
         cache = PersistentProverCache(path)
@@ -200,7 +254,7 @@ class TestUnitTable:
         cache.flush()
         cache._conn.execute(
             "INSERT INTO units VALUES ('k', 'deps-b', 'f', "
-            "'{not json', 0)")
+            "'{not json', 0, 0)")
         cache._conn.commit()
         assert cache.get_unit("k") == [self.payload()]
         cache.close()
@@ -251,6 +305,34 @@ class TestMaintenance:
         assert report["deleted_units"] == 0
         assert report["deleted_results"] == 0
         assert cache.stats()["units"] == 8
+        cache.close()
+
+    def test_gc_evicts_lru_and_hot_units_survive(self, tmp_path):
+        """gc evicts in ``last_used`` order: units kept hot by replay
+        lookups outlive colder units that were *created* later."""
+        cache = PersistentProverCache(str(tmp_path / "c.sqlite"))
+        bulky = {"schema": 1, "function": "f",
+                 "obligations": [["ob", True]],
+                 "deps": {"f": "x" * 2048}}
+        for index in range(256):
+            cache.put_unit("key-%d" % index, "deps", "f", bulky)
+        cache.flush()
+        # Replay-touch the eight *oldest-created* units, making them
+        # the hottest; with created-order eviction they would die
+        # first, with LRU they must all survive.
+        import time as time_mod
+        time_mod.sleep(0.01)
+        for index in range(8):
+            assert cache.get_unit("key-%d" % index)
+        cache.flush()
+        page = cache.stats()["size_bytes"]
+        report = cache.gc(max_mb=page / 2.0 / (1024 * 1024))
+        assert report["deleted_units"] > 0
+        survivors = {
+            row[0] for row in cache._conn.execute(
+                "SELECT unit_key FROM units").fetchall()}
+        for index in range(8):
+            assert "key-%d" % index in survivors
         cache.close()
 
 

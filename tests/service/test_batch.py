@@ -1,0 +1,118 @@
+"""``POST /v1/batch``: many check requests in one round trip, with
+cross-batch dedup — duplicate digests consume one verification — and
+per-item results byte-identical to single submissions."""
+
+import json
+
+import pytest
+
+from repro.analysis.checker import check_assembly
+from repro.analysis.report import result_to_json, verdict_projection
+from repro.programs.sum_array import SOURCE, SPEC
+from repro.service.client import (
+    build_payload, fetch_json, submit, submit_batch,
+)
+from repro.service.server import CheckServer, ServeConfig
+
+BUGGY = SOURCE.replace("bl 6", "ble 6")
+
+
+@pytest.fixture()
+def server():
+    server = CheckServer(ServeConfig(port=0, workers=2,
+                                     batch_limit=8))
+    server.start_background()
+    yield server
+    server.close()
+
+
+@pytest.fixture()
+def url(server):
+    return server.url
+
+
+def item(code=SOURCE, spec=SPEC, **kwargs):
+    payload = build_payload(code, spec, **kwargs)
+    payload.pop("wait", None)  # wait is batch-level, not per item
+    return payload
+
+
+def projected(payload):
+    return json.dumps(verdict_projection(payload), indent=2)
+
+
+class TestDedup:
+    def test_all_duplicates_consume_one_verification(self, url):
+        doc = submit_batch(url, [item(), item(), item(), item()])
+        assert doc["accepted"] == 1
+        assert doc["deduped"] == 3
+        assert doc["rejected"] == 0
+        jobs = [entry["job"] for entry in doc["items"]]
+        assert len({job["id"] for job in jobs}) == 1
+        assert all(job["state"] == "completed" for job in jobs)
+        metrics = fetch_json(url, "/metrics")
+        assert metrics["counters"]["jobs_accepted"] == 1
+        assert metrics["counters"]["batch_requests"] == 1
+        assert metrics["counters"]["batch_items"] == 4
+
+    def test_dedup_against_earlier_traffic(self, url):
+        submit(url, build_payload(SOURCE, SPEC))
+        doc = submit_batch(url, [item()])
+        assert doc["accepted"] == 0
+        assert doc["deduped"] == 1
+        assert doc["items"][0]["job"]["dedup"] == "verdict-cache"
+
+    def test_mixed_fresh_and_duplicate(self, url):
+        doc = submit_batch(url, [item(), item(BUGGY), item()])
+        assert doc["accepted"] == 2
+        assert doc["deduped"] == 1
+        verdicts = [entry["job"]["result"]["verdict"]
+                    for entry in doc["items"]]
+        assert verdicts == ["certified", "rejected", "certified"]
+
+
+class TestPerItemStatus:
+    def test_bad_item_rejected_inline_order_preserved(self, url):
+        doc = submit_batch(url, [item(), {"code": SOURCE},
+                                 item(BUGGY)])
+        statuses = [entry["status"] for entry in doc["items"]]
+        assert statuses == [200, 400, 200]
+        assert doc["rejected"] == 1
+        assert "spec" in doc["items"][1]["error"]
+        assert doc["items"][2]["job"]["result"]["verdict"] == "rejected"
+
+    def test_empty_batch_is_400(self, url):
+        import urllib.error
+        import urllib.request
+        body = json.dumps({"items": []}).encode()
+        request = urllib.request.Request(
+            url + "/v1/batch", data=body,
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 400
+
+    def test_oversized_batch_is_400(self, url):
+        import urllib.error
+        import urllib.request
+        body = json.dumps({"items": [item()] * 9}).encode()
+        request = urllib.request.Request(
+            url + "/v1/batch", data=body,
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 400
+        assert b"too many" in exc.value.read()
+
+
+class TestParity:
+    def test_batch_results_byte_identical_to_local_check(self, url):
+        local_safe = projected(result_to_json(
+            check_assembly(SOURCE, SPEC, name="sum.s")))
+        local_buggy = projected(result_to_json(
+            check_assembly(BUGGY, SPEC, name="buggy.s")))
+        doc = submit_batch(url, [item(name="sum.s"),
+                                 item(BUGGY, name="buggy.s")])
+        results = [entry["job"]["result"] for entry in doc["items"]]
+        assert projected(results[0]) == local_safe
+        assert projected(results[1]) == local_buggy

@@ -1,0 +1,162 @@
+"""Client-side handling of scheduler backpressure: 429 responses are
+retried with bounded exponential backoff + jitter, honoring the
+server's ``Retry-After`` hint (``repro submit --retries``)."""
+
+import json
+import random
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.programs.sum_array import SOURCE, SPEC
+from repro.service.client import (
+    RETRY_CAP_S, ServiceError, backoff_delay, build_payload, submit,
+    submit_batch,
+)
+from repro.service.server import CheckServer, ServeConfig
+
+
+class TestBackoffDelay:
+    def test_exponential_envelope_with_jitter(self):
+        rng = random.Random(7)
+        for attempt in range(6):
+            delay = backoff_delay(attempt, rng=rng)
+            ceiling = 0.25 * (2.0 ** attempt)
+            assert 0.5 * ceiling <= delay <= ceiling
+
+    def test_server_hint_is_a_floor(self):
+        rng = random.Random(7)
+        delay = backoff_delay(0, retry_after_s=5.0, rng=rng)
+        # Jitter applies to the hinted value, never dips below half.
+        assert 2.5 <= delay <= 5.0
+
+    def test_cap(self):
+        rng = random.Random(7)
+        assert backoff_delay(50, rng=rng) <= RETRY_CAP_S
+        assert backoff_delay(0, retry_after_s=10 * RETRY_CAP_S,
+                             rng=rng) <= RETRY_CAP_S
+
+
+class _FlakyQueue(BaseHTTPRequestHandler):
+    """Answers 429 + Retry-After for the first N POSTs, then a
+    completed job envelope — deterministic backpressure."""
+
+    rejections = 2
+    seen = 0
+
+    def do_POST(self):
+        cls = type(self)
+        self.rfile.read(int(self.headers.get("Content-Length") or 0))
+        cls.seen += 1
+        if cls.seen <= cls.rejections:
+            body = json.dumps({"error": "job queue is full",
+                               "retry_after_s": 2.0}).encode()
+            self.send_response(429)
+            self.send_header("Retry-After", "2")
+        else:
+            body = json.dumps({
+                "id": "j000001-abc", "state": "completed",
+                "dedup": None,
+                "result": {"verdict": "certified", "safe": True},
+            }).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture
+def flaky_url():
+    _FlakyQueue.seen = 0
+    _FlakyQueue.rejections = 2
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyQueue)
+    httpd.daemon_threads = True
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.1},
+                              daemon=True)
+    thread.start()
+    yield "http://127.0.0.1:%d" % httpd.server_address[1]
+    httpd.shutdown()
+    httpd.server_close()
+
+
+class TestSubmitRetries:
+    def test_retries_until_accepted(self, flaky_url):
+        sleeps = []
+        job = submit(flaky_url, build_payload(SOURCE, SPEC),
+                     retries=4, sleep=sleeps.append)
+        assert job["state"] == "completed"
+        assert len(sleeps) == 2
+        # Both delays honored the server's 2s Retry-After floor
+        # (jittered down to at most half).
+        assert all(1.0 <= delay <= RETRY_CAP_S for delay in sleeps)
+
+    def test_no_retries_fails_immediately(self, flaky_url):
+        with pytest.raises(ServiceError) as exc:
+            submit(flaky_url, build_payload(SOURCE, SPEC),
+                   retries=0, sleep=lambda s: None)
+        assert exc.value.status == 429
+        assert _FlakyQueue.seen == 1
+
+    def test_retry_budget_exhausted_raises_429(self, flaky_url):
+        _FlakyQueue.rejections = 100
+        with pytest.raises(ServiceError) as exc:
+            submit(flaky_url, build_payload(SOURCE, SPEC),
+                   retries=3, sleep=lambda s: None)
+        assert exc.value.status == 429
+        assert _FlakyQueue.seen == 4  # initial try + 3 retries
+
+    def test_deadline_caps_the_backoff(self, flaky_url):
+        _FlakyQueue.rejections = 100
+        with pytest.raises(ServiceError) as exc:
+            submit(flaky_url, build_payload(SOURCE, SPEC),
+                   retries=100, total_timeout_s=0.5,
+                   sleep=lambda s: None)
+        assert exc.value.status == 429
+        assert "gave up" in str(exc.value)
+
+    def test_batch_retries_whole_request(self, flaky_url):
+        sleeps = []
+        doc = submit_batch(flaky_url,
+                           [build_payload(SOURCE, SPEC)],
+                           retries=4, sleep=sleeps.append)
+        assert doc["state"] == "completed"  # fake envelope passthrough
+        assert len(sleeps) == 2
+
+
+class TestSchedulerBackpressure:
+    """Against a real server whose queue can only reject: the
+    scheduler's 429 + Retry-After round-trips through the client
+    retry loop."""
+
+    def test_429_retry_after_reaches_backoff(self):
+        server = CheckServer(ServeConfig(port=0, workers=1,
+                                         queue_limit=0))
+        # Workers never started: every fresh submission is rejected.
+        thread = threading.Thread(target=server.httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.1},
+                                  daemon=True)
+        server.httpd.daemon_threads = True
+        thread.start()
+        try:
+            sleeps = []
+            with pytest.raises(ServiceError) as exc:
+                submit(server.url,
+                       build_payload(SOURCE, SPEC, wait=False),
+                       retries=2, sleep=sleeps.append)
+            assert exc.value.status == 429
+            assert len(sleeps) == 2
+            # The scheduler's Retry-After hint (>= 1s) floors both
+            # delays; jitter may halve it.
+            assert all(delay >= 0.5 for delay in sleeps)
+            from repro.service.client import fetch_json
+            metrics = fetch_json(server.url, "/metrics")
+            assert metrics["counters"]["rejected_queue_full"] == 3
+        finally:
+            server.httpd.shutdown()
+            server.httpd.server_close()

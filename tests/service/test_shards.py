@@ -1,0 +1,188 @@
+"""Multi-shard correctness, against a real pre-forked fleet.
+
+The fleet is started through the CLI in a subprocess (forking from
+inside pytest would drag the test runner's state into every shard);
+shard-pinned traffic goes through the per-shard control listeners the
+fleet publishes in ``/healthz``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.analysis.checker import check_assembly
+from repro.analysis.report import result_to_json, verdict_projection
+from repro.programs.sum_array import SOURCE, SPEC
+from repro.service.client import build_payload, fetch_json, submit
+from repro.service.shards import fork_supported
+
+pytestmark = pytest.mark.skipif(not fork_supported(),
+                                reason="sharding requires os.fork")
+
+_REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _start_fleet(tmp_dir, shards=2, extra=()):
+    """Launch ``repro serve --shards N`` and wait for the listen URL."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO, "src")
+    stderr_path = os.path.join(tmp_dir, "serve.log")
+    stderr = open(stderr_path, "w")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--shards", str(shards), "--workers", "1"] + list(extra),
+        stderr=stderr, env=env, cwd=tmp_dir)
+    url = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        with open(stderr_path) as handle:
+            for line in handle:
+                if line.startswith("repro service listening on "):
+                    url = line.split()[4]
+                    break
+        if url or process.poll() is not None:
+            break
+        time.sleep(0.1)
+    if url is None:
+        process.kill()
+        raise RuntimeError("fleet did not come up:\n"
+                           + open(stderr_path).read())
+    # The URL is printed at bind time; wait until /healthz answers
+    # with the full shard map before handing the fleet to a test.
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            health = fetch_json(url, "/healthz", timeout_s=5)
+            if health.get("shard_count") == shards:
+                return process, url, stderr
+        except Exception:
+            pass
+        time.sleep(0.1)
+    process.kill()
+    raise RuntimeError("fleet never became healthy")
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    tmp_dir = str(tmp_path_factory.mktemp("fleet"))
+    process, url, stderr = _start_fleet(tmp_dir)
+    yield url
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+        stderr.close()
+
+
+def shard_controls(url):
+    """shard label -> control URL, from the aggregated health doc."""
+    health = fetch_json(url, "/healthz")
+    return {label: doc["control_url"]
+            for label, doc in health["shards"].items()}
+
+
+def projected(payload):
+    return json.dumps(verdict_projection(payload), indent=2)
+
+
+class TestShardParity:
+    def test_same_program_identical_json_on_every_shard(self, fleet):
+        """The same request pinned to each shard in turn produces a
+        verdict payload byte-identical across shards and to the local
+        ``repro check --json``."""
+        local = projected(result_to_json(
+            check_assembly(SOURCE, SPEC, name="sum.s")))
+        controls = shard_controls(fleet)
+        assert len(controls) == 2
+        for label, control in sorted(controls.items()):
+            job = submit(control, build_payload(SOURCE, SPEC,
+                                                name="sum.s"))
+            assert job["state"] == "completed", label
+            assert job["id"].startswith("s%s-" % label)
+            assert projected(job["result"]) == local, label
+
+    def test_cross_shard_job_lookup(self, fleet):
+        """A job id minted by one shard resolves on the public port
+        no matter which shard accepts the connection."""
+        controls = shard_controls(fleet)
+        job = submit(controls["1"], build_payload(
+            SOURCE, SPEC, name="sum.s",
+            timeout_s=77.0))  # unique options: a fresh job on shard 1
+        assert job["id"].startswith("s1-")
+        for _ in range(8):  # both shards will take some of these
+            envelope = fetch_json(fleet, "/v1/jobs/%s" % job["id"])
+            assert envelope["id"] == job["id"]
+            assert envelope["state"] == "completed"
+
+
+class TestFleetObservability:
+    def test_metrics_aggregate_and_per_shard(self, fleet):
+        metrics = fetch_json(fleet, "/metrics")
+        assert metrics["shard_count"] == 2
+        assert set(metrics["shards"]) == {"0", "1"}
+        summed = sum(doc["counters"]["jobs_accepted"]
+                     for doc in metrics["shards"].values())
+        assert metrics["counters"]["jobs_accepted"] == summed
+        local = fetch_json(fleet, "/metrics?scope=local")
+        assert "shards" not in local
+        assert local["shard"] in (0, 1)
+
+    def test_prometheus_shard_labels(self, fleet):
+        with urllib.request.urlopen(
+                fleet + "/metrics?format=prometheus",
+                timeout=20) as response:
+            text = response.read().decode()
+        for label in ("0", "1"):
+            assert 'repro_jobs_accepted_total{shard="%s"}' % label \
+                in text
+            assert 'repro_queue_depth{shard="%s"}' % label in text
+        assert 'repro_phase_seconds_total{phase="total"}' in text
+
+
+class TestDrainUnderLoad:
+    def test_no_accepted_job_is_lost(self, tmp_path):
+        """Every job accepted before SIGTERM still runs to completion
+        during the drain: its per-job trace file exists after the
+        fleet has exited cleanly."""
+        trace_dir = str(tmp_path / "traces")
+        os.makedirs(trace_dir)
+        process, url, stderr = _start_fleet(
+            str(tmp_path), extra=["--trace-dir", trace_dir])
+        accepted = []
+        try:
+            controls = shard_controls(url)
+            for index in range(12):
+                control = controls[str(index % 2)]
+                # Unique timeout => unique dedup key => a real
+                # verification per submission, pinned round-robin.
+                payload = build_payload(SOURCE, SPEC, name="sum.s",
+                                        timeout_s=1000.0 + index,
+                                        wait=False)
+                body = json.dumps(payload).encode()
+                request = urllib.request.Request(
+                    control + "/v1/check", data=body,
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=30) \
+                        as response:
+                    envelope = json.loads(response.read())
+                assert envelope["state"] in ("queued", "running",
+                                             "completed")
+                accepted.append(envelope["id"])
+        finally:
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(120)
+            stderr.close()
+        assert code == 0  # clean fleet drain
+        traced = set(os.listdir(trace_dir))
+        missing = [job_id for job_id in accepted
+                   if "%s.jsonl" % job_id not in traced]
+        assert not missing, "jobs lost in drain: %s" % missing
