@@ -146,6 +146,10 @@ def _prove_obligation(engine: VerificationEngine, ob: Obligation,
     historical ``engine.prove_at`` call plus the per-obligation
     touched-function reset (a set assignment)."""
     engine.reset_touched()
+    if ob.category in engine.options.unsound_assume_categories:
+        # Test-only fault injection (see CheckerOptions): assume the
+        # obligation instead of proving it.  Deliberately unsound.
+        return True
     tracer = engine.tracer
     if not tracer.enabled:
         return engine.prove_at(ob.uid, ob.formula, {}, 0)

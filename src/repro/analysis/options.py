@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 
 def _default_jobs() -> int:
@@ -125,6 +125,16 @@ class CheckerOptions:
     #: construction: replay is parity-gated and aborts back to a full
     #: fresh run whenever independence cannot be established.
     enable_unit_cache: bool = True
+
+    #: Test-only fault injection for the differential fuzzer's
+    #: self-test: obligation categories (e.g. ``"array-bounds"``) that
+    #: the prover *assumes* instead of proving.  This deliberately
+    #: makes the checker unsound so the fuzzing harness can demonstrate
+    #: that it detects and reduces the resulting soundness violations.
+    #: Never set outside tests; listed in
+    #: ``repro.analysis.units.VERDICT_AFFECTING_OPTIONS`` so weakened
+    #: runs can never pollute or replay against honest unit caches.
+    unsound_assume_categories: Tuple[str, ...] = ()
 
     #: Wall-clock budget for one check, in seconds; None means no
     #: limit.  A check that exceeds it aborts discharge cleanly and

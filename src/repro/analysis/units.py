@@ -73,6 +73,7 @@ VERDICT_AFFECTING_OPTIONS = (
     "max_invariant_candidates",
     "max_call_depth",
     "max_propagation_steps",
+    "unsound_assume_categories",
 )
 
 

@@ -15,6 +15,10 @@
                                           # BENCH_service.json
     repro serve [--port N] [--shards N]   # run the check service
     repro submit CODE.s SPEC.policy       # check via a running service
+    repro fuzz run --jobs 4 --count 200   # differential fuzzing campaign
+    repro fuzz reduce FINDINGS.jsonl      # minimize a finding (delta
+                                          # debugging) to a reproducer
+    repro fuzz replay tests/fuzz/corpus   # re-check committed corpus
     repro trace summarize T.jsonl         # profile a recorded check
     repro trace validate T.jsonl          # schema-check a trace file
     repro cache stats                     # persistent-cache contents
@@ -260,6 +264,96 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="capture a JSONL trace per job in DIR "
                             "(job envelopes echo the trace_id)")
     serve.set_defaults(handler=_cmd_serve)
+
+    fuzz = sub.add_parser("fuzz", help="differential fuzzing: random "
+                                       "programs vs a concrete-"
+                                       "execution oracle")
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a seeded campaign; exit non-zero on any "
+                    "soundness, divergence, or error finding")
+    fuzz_run.add_argument("--arch", action="append",
+                          choices=("sparc", "riscv"), default=None,
+                          help="architecture to fuzz (repeatable; "
+                               "default: both, which also enables the "
+                               "cross-architecture differential)")
+    fuzz_run.add_argument("--seed-start", type=int, default=0,
+                          metavar="N",
+                          help="first generator seed (default: 0)")
+    fuzz_run.add_argument("--count", type=int, default=None,
+                          metavar="N",
+                          help="seed-count budget (default: 50 when "
+                               "no --budget-seconds either); the "
+                               "examined seed set — and hence the "
+                               "findings file — is deterministic at "
+                               "any --jobs")
+    fuzz_run.add_argument("--budget-seconds", type=float, default=None,
+                          metavar="S",
+                          help="wall-clock budget: stop issuing new "
+                               "seeds after S seconds")
+    fuzz_run.add_argument("--jobs", "-j", type=int, default=1,
+                          metavar="N",
+                          help="worker processes (default: 1)")
+    fuzz_run.add_argument("--vectors", type=int, default=3,
+                          metavar="N",
+                          help="random input vectors per seed "
+                               "(default: 3)")
+    fuzz_run.add_argument("--check-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="static-check budget per seed "
+                               "(default: 30); past it the seed "
+                               "records an undecided finding")
+    fuzz_run.add_argument("--out", default="FUZZ_findings.jsonl",
+                          metavar="FILE",
+                          help="findings JSONL (default: "
+                               "FUZZ_findings.jsonl)")
+    fuzz_run.add_argument("--trace", default=None, metavar="FILE",
+                          help="write a JSONL trace of the campaign")
+    fuzz_run.add_argument("--chunk", type=int, default=4, metavar="N",
+                          help="seeds per pool task (default: 4)")
+    fuzz_run.add_argument("--quiet", action="store_true",
+                          help="suppress progress lines")
+    # Test-only: deliberately weaken the checker (skip proving the
+    # given obligation category) so the soundness direction of the
+    # differential can be exercised; see docs/fuzzing.md.
+    fuzz_run.add_argument("--unsound-assume", action="append",
+                          default=[], help=argparse.SUPPRESS)
+    fuzz_run.set_defaults(handler=_cmd_fuzz_run)
+    fuzz_reduce = fuzz_sub.add_parser(
+        "reduce", help="delta-debug a campaign finding to a minimal "
+                       "reproducer")
+    fuzz_reduce.add_argument("findings",
+                             help="campaign findings JSONL file")
+    fuzz_reduce.add_argument("--seed", type=int, default=None,
+                             metavar="N",
+                             help="finding to reduce (default: the "
+                                  "first failing finding, else the "
+                                  "first finding)")
+    fuzz_reduce.add_argument("--arch", default=None,
+                             choices=("sparc", "riscv"),
+                             help="disambiguate when one seed has "
+                                  "findings on both architectures")
+    fuzz_reduce.add_argument("--out", default=None, metavar="FILE",
+                             help="also write the minimized program "
+                                  "as a corpus-style JSON entry "
+                                  "(expected classes re-recorded "
+                                  "under the honest checker)")
+    fuzz_reduce.add_argument("--name", default=None,
+                             help="corpus entry name (default: "
+                                  "seed<N>-<class>)")
+    fuzz_reduce.add_argument("--check-timeout", type=float,
+                             default=None, metavar="SECONDS")
+    fuzz_reduce.add_argument("--unsound-assume", action="append",
+                             default=[], help=argparse.SUPPRESS)
+    fuzz_reduce.set_defaults(handler=_cmd_fuzz_reduce)
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-check committed corpus entries against "
+                       "their recorded expectations")
+    fuzz_replay.add_argument("paths", nargs="+",
+                             help="corpus JSON files or directories")
+    fuzz_replay.add_argument("--check-timeout", type=float,
+                             default=None, metavar="SECONDS")
+    fuzz_replay.set_defaults(handler=_cmd_fuzz_replay)
 
     trace = sub.add_parser("trace", help="inspect JSONL traces from "
                                          "`repro check --trace`")
@@ -646,6 +740,121 @@ def _cmd_submit(args) -> int:
     if result["verdict"] == "undecided:timeout":
         return 3
     return 0 if result["safe"] else 1
+
+
+def _fuzz_overrides(args) -> dict:
+    if not args.unsound_assume:
+        return {}
+    return {"unsound_assume_categories": tuple(args.unsound_assume)}
+
+
+def _cmd_fuzz_run(args) -> int:
+    from repro.fuzz.generator import ARCHS
+    from repro.fuzz.harness import (
+        CampaignConfig, render_summary, run_campaign,
+    )
+    from repro.fuzz.oracle import DEFAULT_CHECK_TIMEOUT_S
+    archs = tuple(dict.fromkeys(args.arch)) if args.arch else ARCHS
+    config = CampaignConfig(
+        archs=archs, seed_start=args.seed_start,
+        budget_count=args.count, budget_seconds=args.budget_seconds,
+        jobs=args.jobs, vectors=args.vectors,
+        check_timeout_s=args.check_timeout
+        if args.check_timeout is not None else DEFAULT_CHECK_TIMEOUT_S,
+        checker_overrides=_fuzz_overrides(args),
+        chunk_size=args.chunk, findings_path=args.out,
+        trace_path=args.trace)
+    log = None if args.quiet else \
+        (lambda line: print(line, file=sys.stderr))
+    result = run_campaign(config, log=log)
+    print(render_summary(result.summary))
+    for finding in result.findings:
+        if finding["class"] in ("soundness", "divergence", "error"):
+            print("  %s seed %d%s" % (
+                finding["class"].upper(), finding["seed"],
+                " (%s)" % finding["arch"] if finding.get("arch")
+                else ""))
+    return 0 if result.ok else 1
+
+
+def _cmd_fuzz_reduce(args) -> int:
+    from repro.errors import FuzzError
+    from repro.fuzz.generator import (
+        instruction_count, lower, make_vectors,
+    )
+    from repro.fuzz.harness import (
+        FAILING_CLASSES, CampaignConfig, corpus_entry, load_findings,
+        reduce_finding,
+    )
+    from repro.fuzz.oracle import (
+        DEFAULT_CHECK_TIMEOUT_S, check_options, classify,
+    )
+    findings = load_findings(args.findings)
+    if args.seed is not None:
+        findings = [f for f in findings if f["seed"] == args.seed]
+    if args.arch is not None:
+        findings = [f for f in findings if f.get("arch") == args.arch]
+    reducible = [f for f in findings if "sketch" in f]
+    if not reducible:
+        raise FuzzError("no reducible finding matches (of %d records "
+                        "in %s)" % (len(findings), args.findings))
+    failing = [f for f in reducible
+               if f["class"] in FAILING_CLASSES and f["class"] != "error"]
+    finding = failing[0] if failing else reducible[0]
+    timeout = args.check_timeout if args.check_timeout is not None \
+        else DEFAULT_CHECK_TIMEOUT_S
+    config = CampaignConfig(check_timeout_s=timeout,
+                            checker_overrides=_fuzz_overrides(args))
+    reduced = reduce_finding(finding, config)
+    arch = finding.get("arch") or "sparc"
+    print("reduced seed %d (%s, %s): %d -> %d %s instructions"
+          % (finding["seed"], finding["class"], arch,
+             finding.get("instructions", 0),
+             instruction_count(reduced, arch), arch))
+    print(lower(reduced, arch))
+    if args.out:
+        vectors = make_vectors(finding["seed"], reduced.array_size,
+                               finding.get("vector_count", 3))
+        expected = {
+            a: classify(reduced, a, vectors,
+                        options=check_options(timeout)).kind
+            for a in ("sparc", "riscv")}
+        entry = corpus_entry(
+            name=args.name or "seed%d-%s" % (finding["seed"],
+                                             finding["class"]),
+            description="minimized from campaign finding (seed %d, "
+                        "class %s on %s)" % (finding["seed"],
+                                             finding["class"], arch),
+            sketch=reduced, vector_seed=finding["seed"],
+            vector_count=finding.get("vector_count", 3),
+            expected=expected)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote corpus entry %s (expected: %s)"
+              % (args.out, expected))
+    return 0
+
+
+def _cmd_fuzz_replay(args) -> int:
+    from repro.fuzz.harness import corpus_paths, replay_corpus
+    from repro.fuzz.oracle import DEFAULT_CHECK_TIMEOUT_S
+    timeout = args.check_timeout if args.check_timeout is not None \
+        else DEFAULT_CHECK_TIMEOUT_S
+    paths = corpus_paths(args.paths)
+    failures = replay_corpus(paths, check_timeout_s=timeout)
+    failed = dict(failures)
+    for path in paths:
+        if path in failed:
+            print("FAIL %s" % path)
+            for problem in failed[path]:
+                print("  %s" % problem)
+        else:
+            print("ok   %s" % path)
+    print("%d corpus entr%s, %d failure%s"
+          % (len(paths), "y" if len(paths) == 1 else "ies",
+             len(failures), "" if len(failures) == 1 else "s"))
+    return 1 if failures else 0
 
 
 def _cmd_trace_summarize(args) -> int:

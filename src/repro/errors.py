@@ -38,6 +38,30 @@ class EmulationError(ReproError):
     """Raised by the concrete emulator on an illegal run-time action."""
 
 
+class RegionViolation(EmulationError):
+    """A load/store escaped the registered memory regions (or wrote to
+    a read-only region) during strict emulation.
+
+    Carries the faulting address, access size in bytes, access kind
+    (``"load"``/``"store"``), and one-based instruction index, so a
+    runtime safety monitor can report violations with the same
+    precision the static checker does."""
+
+    def __init__(self, address: int, size: int, kind: str, index: int):
+        self.address = address
+        self.size = size
+        self.kind = kind
+        self.index = index
+        super().__init__(
+            "out-of-region %s of %d byte%s at 0x%x (instruction %d)"
+            % (kind, size, "" if size == 1 else "s", address, index))
+
+
+class FuzzError(ReproError):
+    """Raised by the differential fuzzing subsystem on malformed
+    sketches, corpus entries, or harness misconfiguration."""
+
+
 class CFGError(ReproError):
     """Raised when a control-flow graph cannot be constructed.
 

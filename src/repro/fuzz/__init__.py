@@ -1,0 +1,27 @@
+"""Differential fuzzing: random programs, a concrete-execution
+oracle, and automatic reduction.
+
+The paper's soundness claim — certified programs cannot violate the
+safety policy — is cross-checked dynamically here.  A seeded generator
+(:mod:`repro.fuzz.generator`) emits architecture-neutral program
+sketches and lowers each one through *both* frontends (SPARC with
+delay slots, RV32I), so one seed yields a matched cross-architecture
+pair.  The oracle (:mod:`repro.fuzz.oracle`) runs the static checker
+and a runtime safety monitor over the concrete emulators enforcing the
+same region/bounds policy, and classifies every disagreement.  The
+reducer (:mod:`repro.fuzz.reducer`) delta-debugs interesting programs
+down to minimal reproducers, and the harness
+(:mod:`repro.fuzz.harness`) fans campaigns out over a process pool —
+``repro fuzz run | reduce | replay``.
+"""
+
+from repro.fuzz.generator import (  # noqa: F401
+    Sketch, example_sketches, generate_sketch, lower, make_vectors,
+    sketch_from_obj, sketch_to_obj,
+)
+from repro.fuzz.oracle import (  # noqa: F401
+    AGREE, DIVERGENCE, INCOMPLETENESS, SOUNDNESS, UNDECIDED,
+    Classification, classify, run_concrete,
+)
+from repro.fuzz.reducer import reduce_sketch  # noqa: F401
+from repro.fuzz.harness import CampaignConfig, run_campaign  # noqa: F401

@@ -1,0 +1,615 @@
+"""Seeded, deterministic generation of structured program sketches and
+their lowering through both frontends.
+
+A *sketch* is an architecture-neutral program over a tiny structured
+language: four pre-initialized temporaries (``t0``–``t3``), up to two
+loop counters (``c0``, ``c1``), straight-line arithmetic, bounded
+counting loops, conditionals, and element reads/writes against one
+policy-controlled integer array bound to the first argument register.
+Every sketch lowers to SPARC V8 (delay slots, condition codes) *and*
+RV32I (no delay slots, compare-and-branch) assembly accepted by the
+existing assemblers, plus the matching host specification for each
+architecture — so one seed yields a matched cross-architecture pair
+that the differential oracle can check end to end.
+
+Determinism is load-bearing: generation draws only from an explicit
+``random.Random(seed)`` and never iterates a set or dict, so the same
+seed produces byte-identical assembly on any ``PYTHONHASHSEED``, in
+any process, on any platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FuzzError
+
+#: Where the oracle places the array (same on both architectures).
+ARRAY_BASE = 0x20000
+
+#: Temporary and counter names of the sketch language.
+TEMPS = ("t0", "t1", "t2", "t3")
+COUNTERS = ("c0", "c1")
+
+#: Binary operators available to sketches (all exist on both ISAs).
+REG_OPS = ("add", "sub", "and", "or", "xor")
+CONST_OPS = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra")
+RELATIONS = ("==", "!=", "<", "<=", ">", ">=")
+
+#: Sketch register → machine register, per architecture.  The array
+#: base and its declared size arrive in the first two argument
+#: registers, exactly like the paper's Sum example.
+SKETCH_REGS: Dict[str, Dict[str, str]] = {
+    "sparc": {"t0": "%o2", "t1": "%o3", "t2": "%o4", "t3": "%o5",
+              "c0": "%g2", "c1": "%g3"},
+    "riscv": {"t0": "t0", "t1": "t1", "t2": "t2", "t3": "t3",
+              "c0": "a4", "c1": "a5"},
+}
+BASE_REG = {"sparc": "%o0", "riscv": "a0"}
+SIZE_REG = {"sparc": "%o1", "riscv": "a1"}
+
+ARCHS = ("sparc", "riscv")
+
+Src = str                    # "t0".."t3" or "c0"/"c1"
+Index = Union[str, int]      # a Src, or a constant element index
+
+
+# ---------------------------------------------------------------------------
+# the sketch language
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetConst:
+    """``dst = value``."""
+    dst: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Op:
+    """``dst = a <op> b`` over machine integers."""
+    op: str
+    dst: str
+    a: Src
+    b: Src
+
+
+@dataclass(frozen=True)
+class ConstOp:
+    """``dst = a <op> value`` (shifts take ``value`` as the amount)."""
+    op: str
+    dst: str
+    a: Src
+    value: int
+
+
+@dataclass(frozen=True)
+class LoadElem:
+    """``dst = arr[index]`` (index in elements, not bytes)."""
+    dst: str
+    index: Index
+
+
+@dataclass(frozen=True)
+class StoreElem:
+    """``arr[index] = src``."""
+    src: Src
+    index: Index
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for counter = 0; counter < bound; counter += 1: body``."""
+    counter: str
+    bound: int
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class If:
+    """``if a <relation> b: then_body else: else_body`` (signed)."""
+    relation: str
+    a: Src
+    b: Src
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...]
+
+
+Stmt = Union[SetConst, Op, ConstOp, LoadElem, StoreElem, Loop, If]
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """One generated program: statements plus its access policy.
+
+    ``array_size`` is the number of 32-bit elements the host declares
+    (and the runtime monitor enforces); ``array_writable`` selects the
+    read-only or read-write policy variant."""
+
+    seed: int
+    array_size: int
+    array_writable: bool
+    statements: Tuple[Stmt, ...]
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+
+def generate_sketch(seed: int) -> Sketch:
+    """Generate the sketch for *seed* — fully deterministic."""
+    rng = random.Random(seed)
+    array_size = rng.choice((4, 8, 8, 8, 16))
+    array_writable = rng.random() < 0.6
+    gen = _Generator(rng, array_size, array_writable)
+    # Pre-initialize every temporary so the typestate analysis never
+    # sees an uninitialized read on any path (conditionals included).
+    statements: List[Stmt] = [
+        SetConst(temp, rng.randint(-4, max(8, array_size)))
+        for temp in TEMPS
+    ]
+    statements.extend(gen.block(depth=0, counters=()))
+    return Sketch(seed=seed, array_size=array_size,
+                  array_writable=array_writable,
+                  statements=tuple(statements))
+
+
+class _Generator:
+    """Recursive statement generation with scoped loop counters."""
+
+    def __init__(self, rng: random.Random, size: int, writable: bool):
+        self.rng = rng
+        self.size = size
+        self.writable = writable
+
+    def block(self, depth: int, counters: Tuple[str, ...]) -> List[Stmt]:
+        count = self.rng.randint(2, 4 if depth else 5)
+        return [self.statement(depth, counters) for _ in range(count)]
+
+    def statement(self, depth: int, counters: Tuple[str, ...]) -> Stmt:
+        choices = ["op", "op", "constop", "load", "load"]
+        if self.writable:
+            choices += ["store", "store"]
+        if depth < 2 and len(counters) < len(COUNTERS):
+            choices += ["loop", "loop"]
+        if depth < 2:
+            choices += ["if"]
+        kind = self.rng.choice(choices)
+        if kind == "op":
+            return Op(self.rng.choice(REG_OPS), self.rng.choice(TEMPS),
+                      self.src(counters), self.src(counters))
+        if kind == "constop":
+            op = self.rng.choice(CONST_OPS)
+            value = self.rng.randint(0, 4) if op in ("sll", "srl", "sra") \
+                else self.rng.randint(0, max(15, self.size))
+            return ConstOp(op, self.rng.choice(TEMPS),
+                           self.src(counters), value)
+        if kind == "load":
+            return LoadElem(self.rng.choice(TEMPS), self.index(counters))
+        if kind == "store":
+            return StoreElem(self.src(counters), self.index(counters))
+        if kind == "loop":
+            counter = COUNTERS[len(counters)]
+            bound = self.rng.randint(1, self.size + 2)
+            body = self.block(depth + 1, counters + (counter,))
+            return Loop(counter, bound, tuple(body))
+        counters_then = counters
+        return If(self.rng.choice(RELATIONS), self.src(counters),
+                  self.src(counters),
+                  tuple(self.block(depth + 1, counters_then)),
+                  tuple(self.block(depth + 1, counters_then))
+                  if self.rng.random() < 0.5 else ())
+
+    def src(self, counters: Tuple[str, ...]) -> Src:
+        pool = list(TEMPS) + list(counters)
+        return self.rng.choice(pool)
+
+    def index(self, counters: Tuple[str, ...]) -> Index:
+        roll = self.rng.random()
+        if counters and roll < 0.45:
+            return self.rng.choice(list(counters))
+        if roll < 0.85:
+            # Constant element index, occasionally out of bounds.
+            if self.rng.random() < 0.85:
+                return self.rng.randrange(self.size)
+            return self.size + self.rng.randint(0, 2)
+        return self.rng.choice(TEMPS)
+
+
+def make_vectors(seed: int, size: int, count: int) -> List[List[int]]:
+    """Deterministic random input arrays for a sketch of *size*."""
+    rng = random.Random(0xF0F0 ^ seed)
+    out: List[List[int]] = []
+    for _ in range(count):
+        out.append([rng.randint(-(1 << 31), (1 << 31) - 1)
+                    for _ in range(size)])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# lowering
+# ---------------------------------------------------------------------------
+
+
+def spec_text(sketch: Sketch, arch: str) -> str:
+    """The host specification matching *sketch* for *arch*: one
+    integer array of the declared size, read-only or read-write."""
+    value_perms = "rwo" if sketch.array_writable else "ro"
+    array_perms = "rwfo" if sketch.array_writable else "rfo"
+    return """\
+loc e   : int    = initialized  perms %s region V summary
+loc arr : int[n] = {e}          perms %s region V
+rule [V : int : %s]
+rule [V : int[n] : %s]
+invoke %s = arr
+invoke %s = n
+assume n = %d
+""" % (value_perms, array_perms, value_perms, array_perms,
+       BASE_REG[arch], SIZE_REG[arch], sketch.array_size)
+
+
+def lower(sketch: Sketch, arch: str) -> str:
+    """Lower *sketch* to assembly text for *arch*."""
+    if arch == "sparc":
+        return _SparcLowering(sketch).lower()
+    if arch == "riscv":
+        return _RiscvLowering(sketch).lower()
+    raise FuzzError("unknown architecture %r" % arch)
+
+
+def assemble(sketch: Sketch, arch: str, name: str = "fuzz"):
+    """Lower and assemble *sketch* into *arch*'s program container."""
+    text = lower(sketch, arch)
+    if arch == "sparc":
+        from repro.sparc.assembler import assemble as asm
+        return asm(text, name=name)
+    from repro.riscv.assembler import assemble as asm
+    return asm(text, name=name)
+
+
+def instruction_count(sketch: Sketch, arch: str) -> int:
+    """Number of machine instructions *sketch* lowers to on *arch*."""
+    return len(assemble(sketch, arch))
+
+
+class _Lowering:
+    """Shared recursive walk; subclasses emit per-ISA instructions."""
+
+    arch = ""
+
+    def __init__(self, sketch: Sketch):
+        self.sketch = sketch
+        self.lines: List[str] = []
+        self.labels = 0
+        self.regs = SKETCH_REGS[self.arch]
+        self.base = BASE_REG[self.arch]
+
+    def lower(self) -> str:
+        for stmt in self.sketch.statements:
+            self.stmt(stmt)
+        self.epilogue()
+        return "\n".join(self.lines) + "\n"
+
+    def fresh_label(self, role: str) -> str:
+        self.labels += 1
+        return "L%d_%s" % (self.labels, role)
+
+    def stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SetConst):
+            self.set_const(self.regs[stmt.dst], stmt.value)
+        elif isinstance(stmt, Op):
+            self.reg_op(stmt.op, self.regs[stmt.dst],
+                        self.regs[stmt.a], self.regs[stmt.b])
+        elif isinstance(stmt, ConstOp):
+            self.const_op(stmt.op, self.regs[stmt.dst],
+                          self.regs[stmt.a], stmt.value)
+        elif isinstance(stmt, LoadElem):
+            self.load(self.regs[stmt.dst], stmt.index)
+        elif isinstance(stmt, StoreElem):
+            self.store(self.regs[stmt.src], stmt.index)
+        elif isinstance(stmt, Loop):
+            self.loop(stmt)
+        elif isinstance(stmt, If):
+            self.if_(stmt)
+        else:
+            raise FuzzError("cannot lower %r" % (stmt,))
+
+    def body(self, statements: Sequence[Stmt]) -> None:
+        for stmt in statements:
+            self.stmt(stmt)
+
+
+class _SparcLowering(_Lowering):
+    arch = "sparc"
+    #: Branch to take when the relation is FALSE (signed).
+    NEGATED = {"==": "bne", "!=": "be", "<": "bge", "<=": "bg",
+               ">": "ble", ">=": "bl"}
+    SCRATCH = "%g1"
+
+    def emit(self, line: str) -> None:
+        self.lines.append("  " + line)
+
+    def set_const(self, reg: str, value: int) -> None:
+        self.emit("mov %d,%s" % (value, reg))
+
+    def reg_op(self, op: str, dst: str, a: str, b: str) -> None:
+        self.emit("%s %s,%s,%s" % (op, a, b, dst))
+
+    def const_op(self, op: str, dst: str, a: str, value: int) -> None:
+        self.emit("%s %s,%d,%s" % (op, a, value, dst))
+
+    def load(self, dst: str, index: Index) -> None:
+        if isinstance(index, int):
+            self.emit("ld [%s+%d],%s" % (self.base, 4 * index, dst))
+        else:
+            self.emit("sll %s,2,%s" % (self.regs[index], self.SCRATCH))
+            self.emit("ld [%s+%s],%s" % (self.base, self.SCRATCH, dst))
+
+    def store(self, src: str, index: Index) -> None:
+        if isinstance(index, int):
+            self.emit("st %s,[%s+%d]" % (src, self.base, 4 * index))
+        else:
+            self.emit("sll %s,2,%s" % (self.regs[index], self.SCRATCH))
+            self.emit("st %s,[%s+%s]" % (src, self.base, self.SCRATCH))
+
+    def loop(self, stmt: Loop) -> None:
+        counter = self.regs[stmt.counter]
+        top = self.fresh_label("top")
+        end = self.fresh_label("end")
+        self.emit("clr %s" % counter)
+        self.lines.append("%s:" % top)
+        self.emit("cmp %s,%d" % (counter, stmt.bound))
+        self.emit("bge %s" % end)
+        self.emit("nop")
+        self.body(stmt.body)
+        self.emit("inc %s" % counter)
+        self.emit("ba %s" % top)
+        self.emit("nop")
+        self.lines.append("%s:" % end)
+
+    def if_(self, stmt: If) -> None:
+        skip = self.fresh_label("else" if stmt.else_body else "end")
+        self.emit("cmp %s,%s" % (self.regs[stmt.a], self.regs[stmt.b]))
+        self.emit("%s %s" % (self.NEGATED[stmt.relation], skip))
+        self.emit("nop")
+        self.body(stmt.then_body)
+        if stmt.else_body:
+            end = self.fresh_label("end")
+            self.emit("ba %s" % end)
+            self.emit("nop")
+            self.lines.append("%s:" % skip)
+            self.body(stmt.else_body)
+            self.lines.append("%s:" % end)
+        else:
+            self.lines.append("%s:" % skip)
+
+    def epilogue(self) -> None:
+        self.emit("retl")
+        self.emit("nop")
+
+
+class _RiscvLowering(_Lowering):
+    arch = "riscv"
+    SCRATCH = "t5"   # address computation
+    BOUND = "t6"     # loop-bound / comparison materialization
+
+    IMM_OPS = {"add": "addi", "and": "andi", "or": "ori",
+               "xor": "xori", "sll": "slli", "srl": "srli",
+               "sra": "srai"}
+
+    def emit(self, line: str) -> None:
+        self.lines.append("  " + line)
+
+    def set_const(self, reg: str, value: int) -> None:
+        self.emit("li %s,%d" % (reg, value))
+
+    def reg_op(self, op: str, dst: str, a: str, b: str) -> None:
+        self.emit("%s %s,%s,%s" % (op, dst, a, b))
+
+    def const_op(self, op: str, dst: str, a: str, value: int) -> None:
+        if op == "sub":
+            self.emit("addi %s,%s,%d" % (dst, a, -value))
+        else:
+            self.emit("%s %s,%s,%d" % (self.IMM_OPS[op], dst, a, value))
+
+    def load(self, dst: str, index: Index) -> None:
+        if isinstance(index, int):
+            self.emit("lw %s,%d(%s)" % (dst, 4 * index, self.base))
+        else:
+            self.emit("slli %s,%s,2" % (self.SCRATCH, self.regs[index]))
+            self.emit("add %s,%s,%s" % (self.SCRATCH, self.base,
+                                        self.SCRATCH))
+            self.emit("lw %s,0(%s)" % (dst, self.SCRATCH))
+
+    def store(self, src: str, index: Index) -> None:
+        if isinstance(index, int):
+            self.emit("sw %s,%d(%s)" % (src, 4 * index, self.base))
+        else:
+            self.emit("slli %s,%s,2" % (self.SCRATCH, self.regs[index]))
+            self.emit("add %s,%s,%s" % (self.SCRATCH, self.base,
+                                        self.SCRATCH))
+            self.emit("sw %s,0(%s)" % (src, self.SCRATCH))
+
+    def loop(self, stmt: Loop) -> None:
+        counter = self.regs[stmt.counter]
+        top = self.fresh_label("top")
+        end = self.fresh_label("end")
+        self.emit("li %s,0" % counter)
+        self.lines.append("%s:" % top)
+        self.emit("li %s,%d" % (self.BOUND, stmt.bound))
+        self.emit("bge %s,%s,%s" % (counter, self.BOUND, end))
+        self.body(stmt.body)
+        self.emit("addi %s,%s,1" % (counter, counter))
+        self.emit("j %s" % top)
+        self.lines.append("%s:" % end)
+
+    def if_(self, stmt: If) -> None:
+        a, b = self.regs[stmt.a], self.regs[stmt.b]
+        skip = self.fresh_label("else" if stmt.else_body else "end")
+        # Branch taken when the relation is FALSE; <= and > swap the
+        # operands because RV32I only has blt/bge.
+        negated = {"==": ("bne", a, b), "!=": ("beq", a, b),
+                   "<": ("bge", a, b), ">=": ("blt", a, b),
+                   "<=": ("blt", b, a), ">": ("bge", b, a)}
+        op, x, y = negated[stmt.relation]
+        self.emit("%s %s,%s,%s" % (op, x, y, skip))
+        self.body(stmt.then_body)
+        if stmt.else_body:
+            end = self.fresh_label("end")
+            self.emit("j %s" % end)
+            self.lines.append("%s:" % skip)
+            self.body(stmt.else_body)
+            self.lines.append("%s:" % end)
+        else:
+            self.lines.append("%s:" % skip)
+
+    def epilogue(self) -> None:
+        self.emit("ret")
+
+
+# ---------------------------------------------------------------------------
+# serialization (corpus files, findings JSONL)
+# ---------------------------------------------------------------------------
+
+
+def _stmt_to_obj(stmt: Stmt) -> list:
+    if isinstance(stmt, SetConst):
+        return ["set", stmt.dst, stmt.value]
+    if isinstance(stmt, Op):
+        return ["op", stmt.op, stmt.dst, stmt.a, stmt.b]
+    if isinstance(stmt, ConstOp):
+        return ["constop", stmt.op, stmt.dst, stmt.a, stmt.value]
+    if isinstance(stmt, LoadElem):
+        return ["load", stmt.dst, stmt.index]
+    if isinstance(stmt, StoreElem):
+        return ["store", stmt.src, stmt.index]
+    if isinstance(stmt, Loop):
+        return ["loop", stmt.counter, stmt.bound,
+                [_stmt_to_obj(s) for s in stmt.body]]
+    if isinstance(stmt, If):
+        return ["if", stmt.relation, stmt.a, stmt.b,
+                [_stmt_to_obj(s) for s in stmt.then_body],
+                [_stmt_to_obj(s) for s in stmt.else_body]]
+    raise FuzzError("cannot serialize %r" % (stmt,))
+
+
+def _stmt_from_obj(obj) -> Stmt:
+    try:
+        kind = obj[0]
+        if kind == "set":
+            return SetConst(obj[1], int(obj[2]))
+        if kind == "op":
+            return Op(obj[1], obj[2], obj[3], obj[4])
+        if kind == "constop":
+            return ConstOp(obj[1], obj[2], obj[3], int(obj[4]))
+        if kind == "load":
+            return LoadElem(obj[1], _index_from_obj(obj[2]))
+        if kind == "store":
+            return StoreElem(obj[1], _index_from_obj(obj[2]))
+        if kind == "loop":
+            return Loop(obj[1], int(obj[2]),
+                        tuple(_stmt_from_obj(s) for s in obj[3]))
+        if kind == "if":
+            return If(obj[1], obj[2], obj[3],
+                      tuple(_stmt_from_obj(s) for s in obj[4]),
+                      tuple(_stmt_from_obj(s) for s in obj[5]))
+    except (IndexError, TypeError, ValueError) as exc:
+        raise FuzzError("malformed sketch statement %r (%s)"
+                        % (obj, exc))
+    raise FuzzError("unknown sketch statement kind %r" % (obj,))
+
+
+def _index_from_obj(obj) -> Index:
+    return obj if isinstance(obj, str) else int(obj)
+
+
+def sketch_to_obj(sketch: Sketch) -> dict:
+    """JSON-serializable form of *sketch* (corpus / findings)."""
+    return {
+        "seed": sketch.seed,
+        "array_size": sketch.array_size,
+        "array_writable": sketch.array_writable,
+        "statements": [_stmt_to_obj(s) for s in sketch.statements],
+    }
+
+
+def sketch_from_obj(obj: dict) -> Sketch:
+    """Rebuild a :class:`Sketch` from :func:`sketch_to_obj` output."""
+    try:
+        return Sketch(
+            seed=int(obj["seed"]),
+            array_size=int(obj["array_size"]),
+            array_writable=bool(obj["array_writable"]),
+            statements=tuple(_stmt_from_obj(s)
+                             for s in obj["statements"]))
+    except (KeyError, TypeError) as exc:
+        raise FuzzError("malformed sketch object (%s)" % exc)
+
+
+# ---------------------------------------------------------------------------
+# hand-written exemplar sketches (emulator parity suite)
+# ---------------------------------------------------------------------------
+
+
+def _prologue() -> List[Stmt]:
+    return [SetConst(temp, 0) for temp in TEMPS]
+
+
+def sum_sketch(size: int = 8) -> Sketch:
+    """The paper's Sum (Figure 1) as a sketch: t0 = Σ arr[i]."""
+    return Sketch(seed=-1, array_size=size, array_writable=False,
+                  statements=tuple(_prologue() + [
+                      Loop("c0", size, (
+                          LoadElem("t1", "c0"),
+                          Op("add", "t0", "t0", "t1"),
+                      )),
+                  ]))
+
+
+def bubble_sort_sketch(size: int = 8) -> Sketch:
+    """Bubble sort: adjacent compare-and-swap under two loops."""
+    return Sketch(seed=-2, array_size=size, array_writable=True,
+                  statements=tuple(_prologue() + [
+                      Loop("c0", size, (
+                          Loop("c1", size - 1, (
+                              LoadElem("t0", "c1"),
+                              ConstOp("add", "t1", "c1", 1),
+                              LoadElem("t2", "t1"),
+                              If(">", "t0", "t2", (
+                                  StoreElem("t2", "c1"),
+                                  StoreElem("t0", "t1"),
+                              ), ()),
+                          )),
+                      )),
+                  ]))
+
+
+def hash_lookup_sketch(size: int = 8) -> Sketch:
+    """Hash-and-probe: key from arr[0], shift/xor hash masked into
+    range, one probe load (size must be a power of two)."""
+    if size & (size - 1):
+        raise FuzzError("hash sketch needs a power-of-two size")
+    return Sketch(seed=-3, array_size=size, array_writable=False,
+                  statements=tuple(_prologue() + [
+                      LoadElem("t0", 0),
+                      ConstOp("sll", "t1", "t0", 2),
+                      Op("xor", "t1", "t1", "t0"),
+                      ConstOp("srl", "t2", "t1", 1),
+                      Op("xor", "t1", "t1", "t2"),
+                      ConstOp("and", "t1", "t1", size - 1),
+                      LoadElem("t2", "t1"),
+                      Op("add", "t3", "t2", "t0"),
+                  ]))
+
+
+def example_sketches() -> List[Tuple[str, Sketch]]:
+    """The named exemplar sketches (emulator parity suite)."""
+    return [
+        ("sum_array", sum_sketch()),
+        ("bubble_sort", bubble_sort_sketch()),
+        ("hash_lookup", hash_lookup_sketch()),
+    ]

@@ -1,0 +1,327 @@
+"""A concrete RV32I emulator for the supported instruction subset.
+
+The mirror image of :mod:`repro.sparc.emulator` for the second
+frontend: benchmark programs and fuzzer-generated programs execute
+concretely here, and their observable results are compared against the
+SPARC run of the same program sketch — end-to-end evidence that both
+assemblers, both sets of abstract semantics, and the differential
+fuzzing oracle agree on what the instructions mean.
+
+Faithfully modeled: 32-bit two's-complement arithmetic, x0 hard-wired
+to zero, little-endian byte-addressable memory, and ``jal``/``jalr``
+linkage.  There are no delay slots and no condition codes — branches
+compare two registers directly.  Host functions can be registered so
+programs that call into the trusted host run concretely, exactly as on
+the SPARC side.
+
+Both emulators share the strict-region protocol: once
+:meth:`Emulator.add_region` has been called, every program-level
+load/store outside a registered region (or store to a read-only one)
+raises a precise :class:`~repro.errors.RegionViolation` instead of
+silently reading zeros or growing memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import EmulationError, RegionViolation
+from repro.riscv import registers
+from repro.riscv.isa import (
+    ALU_IMM_OPS, ALU_OPS, BRANCH_RELATION, LOAD_SIGNED, MEM_SIZE,
+    RvInstruction,
+)
+from repro.riscv.program import RvProgram
+
+#: Address at which instruction 1 lives (matches the SPARC emulator).
+CODE_BASE = 0x10000
+#: Jumping here terminates execution (the host's return continuation).
+EXIT_ADDRESS = 0xDEAD0000
+#: Calls to external (host) symbols dispatch through addresses here.
+EXTERNAL_BASE = 0xE0000000
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _to_unsigned(value: int) -> int:
+    return value & _MASK32
+
+
+class Emulator:
+    """Concrete interpreter for an assembled :class:`RvProgram`.
+
+    Typical use::
+
+        emu = Emulator(program)
+        emu.set_register("a0", array_address)
+        emu.set_register("a1", length)
+        emu.write_words(array_address, values)
+        emu.run()
+        result = emu.register("a0")
+    """
+
+    def __init__(self, program: RvProgram,
+                 host_functions: Optional[Dict[str, Callable]] = None,
+                 max_steps: int = 1_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.memory: Dict[int, int] = {}
+        self.x: List[int] = [0] * 32
+        self.steps = 0
+        #: Registered data regions ``(base, size, writable)``; same
+        #: strict-mode protocol as the SPARC emulator (see its
+        #: ``regions`` attribute).
+        self.regions: List[Tuple[int, int, bool]] = []
+        #: Optional observation hook ``hook(address, size, kind,
+        #: index)`` called before every program-level memory access.
+        self.memory_check: Optional[Callable[[int, int, str, int],
+                                             None]] = None
+        self.host_functions: Dict[int, Callable[["Emulator"], None]] = {}
+        self._external_handlers: Dict[int, Callable[["Emulator"], None]] = {}
+        self._external_addresses: Dict[str, int] = {}
+        for label, fn in (host_functions or {}).items():
+            if label in program.labels:
+                self.host_functions[program.label_index(label)] = fn
+            else:
+                address = EXTERNAL_BASE + 4 * len(self._external_addresses)
+                self._external_addresses[label] = address
+                self._external_handlers[address] = fn
+        # Arrange for the top-level `ret` to exit cleanly.
+        self.set_register("ra", EXIT_ADDRESS)
+        self.set_register("sp", 0x7F0000)
+
+    # -- register access ------------------------------------------------------
+
+    def read_reg(self, number: int) -> int:
+        return 0 if number == 0 else self.x[number]
+
+    def write_reg(self, number: int, value: int) -> None:
+        if number:
+            self.x[number] = _to_unsigned(value)
+
+    def register(self, name: str) -> int:
+        """Read a register by ABI name (unsigned 32-bit value)."""
+        return self.read_reg(registers.number_of(name))
+
+    def register_signed(self, name: str) -> int:
+        """Read a register by ABI name as a signed 32-bit value."""
+        return _to_signed(self.register(name))
+
+    def set_register(self, name: str, value: int) -> None:
+        """Write a register by ABI name."""
+        self.write_reg(registers.number_of(name), value)
+
+    # -- memory access ---------------------------------------------------------
+
+    def read_memory(self, address: int, size: int, signed: bool) -> int:
+        value = 0
+        for i in reversed(range(size)):  # little-endian
+            value = (value << 8) | self.memory.get(address + i, 0)
+        if signed:
+            sign = 1 << (size * 8 - 1)
+            if value & sign:
+                value -= 1 << (size * 8)
+        return value
+
+    def write_memory(self, address: int, value: int, size: int) -> None:
+        value &= (1 << (size * 8)) - 1
+        for i in range(size):
+            self.memory[address + i] = (value >> (i * 8)) & 0xFF
+
+    def write_words(self, address: int, values) -> None:
+        """Write a sequence of 32-bit words starting at *address*."""
+        for i, value in enumerate(values):
+            self.write_memory(address + 4 * i, value, 4)
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        """Read *count* signed 32-bit words starting at *address*."""
+        return [self.read_memory(address + 4 * i, 4, signed=True)
+                for i in range(count)]
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        return bytes(self.memory.get(address + i, 0)
+                     for i in range(count))
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.memory[address + i] = byte
+
+    # -- data regions (strict mode) ---------------------------------------------
+
+    def add_region(self, base: int, size: int,
+                   writable: bool = True) -> None:
+        """Register a data region; see :attr:`regions`."""
+        self.regions.append((base, size, writable))
+
+    def _check_access(self, address: int, size: int, kind: str,
+                      index: int) -> None:
+        if self.memory_check is not None:
+            self.memory_check(address, size, kind, index)
+        if not self.regions:
+            return
+        for base, length, writable in self.regions:
+            if base <= address and address + size <= base + length:
+                if kind == "store" and not writable:
+                    break
+                return
+        raise RegionViolation(address, size, kind, index)
+
+    # -- address/index conversion ----------------------------------------------
+
+    @staticmethod
+    def address_of(index: int) -> int:
+        return CODE_BASE + (index - 1) * 4
+
+    @staticmethod
+    def index_of(address: int) -> int:
+        return (address - CODE_BASE) // 4 + 1
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, entry: int = 1) -> int:
+        """Run from instruction index *entry* until the top-level
+        return.  Returns the number of instructions executed."""
+        pc = self.address_of(entry)
+        start = self.steps
+        while pc != EXIT_ADDRESS:
+            if self.steps - start >= self.max_steps:
+                raise EmulationError("exceeded %d steps" % self.max_steps)
+            external = self._external_handlers.get(pc)
+            if external is not None:
+                external(self)
+                pc = _to_unsigned(self.register("ra"))
+                continue
+            index = self.index_of(pc)
+            host = self.host_functions.get(index)
+            if host is not None:
+                host(self)
+                # Simulate the callee's "ret".
+                pc = _to_unsigned(self.register("ra"))
+                continue
+            if not 1 <= index <= len(self.program):
+                raise EmulationError("execution left the program at "
+                                     "0x%x" % pc)
+            inst = self.program.instruction(index)
+            pc = self._execute(inst, pc)
+            self.steps += 1
+        return self.steps - start
+
+    def _execute(self, inst: RvInstruction, pc: int) -> int:
+        """Execute one instruction; return the next pc."""
+        op = inst.op
+        if op in ALU_OPS:
+            a = self.read_reg(registers.number_of(inst.rs1))
+            b = self.read_reg(registers.number_of(inst.rs2))
+            self.write_reg(registers.number_of(inst.rd),
+                           self._alu(op, a, b, inst))
+            return pc + 4
+        if op in ALU_IMM_OPS:
+            a = self.read_reg(registers.number_of(inst.rs1))
+            base = {"addi": "add", "andi": "and", "ori": "or",
+                    "xori": "xor", "slli": "sll", "srli": "srl",
+                    "srai": "sra", "slti": "slt", "sltiu": "sltu"}[op]
+            self.write_reg(registers.number_of(inst.rd),
+                           self._alu(base, a, inst.imm, inst))
+            return pc + 4
+        if op == "lui":
+            self.write_reg(registers.number_of(inst.rd),
+                           (inst.imm << 12) & _MASK32)
+            return pc + 4
+        if op in LOAD_SIGNED:
+            address = _to_unsigned(
+                self.read_reg(registers.number_of(inst.rs1)) + inst.imm)
+            size = MEM_SIZE[op]
+            self._check_alignment(address, size, inst)
+            self._check_access(address, size, "load", inst.index)
+            value = self.read_memory(address, size, LOAD_SIGNED[op])
+            self.write_reg(registers.number_of(inst.rd), value)
+            return pc + 4
+        if op in ("sb", "sh", "sw"):
+            address = _to_unsigned(
+                self.read_reg(registers.number_of(inst.rs1)) + inst.imm)
+            size = MEM_SIZE[op]
+            self._check_alignment(address, size, inst)
+            self._check_access(address, size, "store", inst.index)
+            self.write_memory(address,
+                              self.read_reg(registers.number_of(
+                                  inst.rs2)), size)
+            return pc + 4
+        if op in BRANCH_RELATION:
+            if self._branch_taken(inst):
+                return self.address_of(inst.target)
+            return pc + 4
+        if op == "jal":
+            self.write_reg(registers.number_of(inst.rd), pc + 4)
+            if inst.target == 0:  # external (host) symbol
+                label = inst.target_label or ""
+                address = self._external_addresses.get(label)
+                if address is None:
+                    raise EmulationError(
+                        "call to external %r without a registered host "
+                        "function at instruction %d"
+                        % (label, inst.index))
+                return address
+            return self.address_of(inst.target)
+        if op == "jalr":
+            target = _to_unsigned(
+                self.read_reg(registers.number_of(inst.rs1))
+                + inst.imm) & ~1
+            self.write_reg(registers.number_of(inst.rd), pc + 4)
+            return target
+        raise EmulationError("cannot execute %r" % (inst,))
+
+    # -- instruction helpers -------------------------------------------------------
+
+    def _alu(self, op: str, a: int, b: int, inst: RvInstruction) -> int:
+        if op == "add":
+            return _to_unsigned(a + b)
+        if op == "sub":
+            return _to_unsigned(a - b)
+        if op == "and":
+            return _to_unsigned(a & b)
+        if op == "or":
+            return _to_unsigned(a | b)
+        if op == "xor":
+            return _to_unsigned(a ^ b)
+        if op == "sll":
+            return (_to_unsigned(a) << (b & 31)) & _MASK32
+        if op == "srl":
+            return _to_unsigned(a) >> (b & 31)
+        if op == "sra":
+            return _to_unsigned(_to_signed(a) >> (b & 31))
+        if op == "slt":
+            return 1 if _to_signed(a) < _to_signed(b) else 0
+        if op == "sltu":
+            return 1 if _to_unsigned(a) < _to_unsigned(b) else 0
+        raise EmulationError("cannot execute ALU op %r at instruction "
+                             "%d" % (op, inst.index))
+
+    def _check_alignment(self, address: int, size: int,
+                         inst: RvInstruction) -> None:
+        if size > 1 and address % size:
+            raise EmulationError(
+                "alignment trap: %s accesses 0x%x (size %d) at "
+                "instruction %d" % (inst.op, address, size, inst.index))
+
+    def _branch_taken(self, inst: RvInstruction) -> bool:
+        a = self.read_reg(registers.number_of(inst.rs1))
+        b = self.read_reg(registers.number_of(inst.rs2))
+        op = inst.op
+        if op == "beq":
+            return a == b
+        if op == "bne":
+            return a != b
+        if op == "blt":
+            return _to_signed(a) < _to_signed(b)
+        if op == "bge":
+            return _to_signed(a) >= _to_signed(b)
+        if op == "bltu":
+            return _to_unsigned(a) < _to_unsigned(b)
+        if op == "bgeu":
+            return _to_unsigned(a) >= _to_unsigned(b)
+        raise EmulationError("cannot execute branch %r" % (inst,))

@@ -15,9 +15,9 @@ that call into the trusted host (e.g. the jPVM example) run concretely.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import EmulationError
+from repro.errors import EmulationError, RegionViolation
 from repro.sparc import registers
 from repro.sparc.isa import (
     Imm, Instruction, Kind, Mem, Reg, LOAD_SIGNED, MEM_SIZE,
@@ -77,6 +77,20 @@ class Emulator:
         self.windows: List[_Window] = [_Window()]
         self.n = self.z = self.v = self.c = False
         self.steps = 0
+        #: Registered data regions ``(base, size, writable)``.  While
+        #: empty the emulator is permissive (historical behavior: reads
+        #: of unwritten memory return 0, stores may touch any address).
+        #: Once any region is registered, every load/store the *program*
+        #: performs must land inside one — and stores additionally in a
+        #: writable one — or a precise :class:`RegionViolation` is
+        #: raised.  Host-side setup (``write_words`` &c.) is exempt.
+        self.regions: List[Tuple[int, int, bool]] = []
+        #: Optional observation hook called as ``hook(address, size,
+        #: kind, index)`` before every program-level memory access;
+        #: ``kind`` is ``"load"`` or ``"store"``.  Runtime safety
+        #: monitors use it to record access traces.
+        self.memory_check: Optional[Callable[[int, int, str, int],
+                                             None]] = None
         self.host_functions: Dict[int, Callable[["Emulator"], None]] = {}
         #: Handlers for calls to *external* labels (not defined in the
         #: untrusted code): address -> handler.
@@ -185,6 +199,28 @@ class Emulator:
             if len(out) > 1 << 20:
                 raise EmulationError("unterminated string at 0x%x" % address)
 
+    # -- data regions (strict mode) ---------------------------------------------
+
+    def add_region(self, base: int, size: int,
+                   writable: bool = True) -> None:
+        """Register a data region; see :attr:`regions`."""
+        self.regions.append((base, size, writable))
+
+    def _check_access(self, address: int, size: int, kind: str,
+                      index: int) -> None:
+        """Enforce region containment for one program-level access and
+        feed the :attr:`memory_check` observation hook."""
+        if self.memory_check is not None:
+            self.memory_check(address, size, kind, index)
+        if not self.regions:
+            return
+        for base, length, writable in self.regions:
+            if base <= address and address + size <= base + length:
+                if kind == "store" and not writable:
+                    break
+                return
+        raise RegionViolation(address, size, kind, index)
+
     # -- address/index conversion ----------------------------------------------
 
     @staticmethod
@@ -246,6 +282,7 @@ class Emulator:
             address = self._effective_address(inst.mem)
             size = MEM_SIZE[inst.op]
             self._check_alignment(address, size, inst)
+            self._check_access(address, size, "load", inst.index)
             value = self.read_memory(address, min(size, 4),
                                      LOAD_SIGNED[inst.op])
             self.write_reg(inst.rd.number, value)
@@ -258,6 +295,7 @@ class Emulator:
             address = self._effective_address(inst.mem)
             size = MEM_SIZE[inst.op]
             self._check_alignment(address, size, inst)
+            self._check_access(address, size, "store", inst.index)
             self.write_memory(address, self.read_reg(inst.rs1.number),
                               min(size, 4))
             if inst.op == "std":

@@ -1,0 +1,51 @@
+"""Tier-1 replay of the committed corpus: every minimized reproducer
+in ``tests/fuzz/corpus/`` must still classify exactly as recorded, and
+(unless marked otherwise) hold cross-architecture parity."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import FuzzError
+from repro.fuzz.harness import corpus_paths, replay_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "corpus")
+ENTRIES = corpus_paths([CORPUS_DIR])
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestCorpus:
+    def test_corpus_is_seeded(self):
+        assert len(ENTRIES) >= 5
+
+    @pytest.mark.parametrize(
+        "path", ENTRIES,
+        ids=[os.path.splitext(os.path.basename(p))[0]
+             for p in ENTRIES])
+    def test_entry_replays(self, path):
+        problems = replay_entry(load(path), check_timeout_s=120.0)
+        assert problems == []
+
+    @pytest.mark.parametrize(
+        "path", ENTRIES,
+        ids=[os.path.splitext(os.path.basename(p))[0]
+             for p in ENTRIES])
+    def test_entry_well_formed(self, path):
+        entry = load(path)
+        assert entry["name"]
+        assert entry["description"]
+        assert set(entry["expected"]) <= {"sparc", "riscv"}
+        assert entry["vector_count"] >= 1
+        # Committed reproducers stay small — that is the point.
+        for arch, count in entry.get("instructions", {}).items():
+            assert count <= 40
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(FuzzError):
+            replay_entry({"name": "bad"})

@@ -1,0 +1,159 @@
+"""The concrete-execution oracle: the runtime safety monitor, the
+static side, and the differential verdict classes."""
+
+import pytest
+
+from repro.fuzz.generator import (
+    ARRAY_BASE, LoadElem, Sketch, StoreElem, generate_sketch,
+    make_vectors, sum_sketch,
+)
+from repro.fuzz.oracle import (
+    AGREE, INCOMPLETENESS, SOUNDNESS, UNDECIDED, check_options,
+    classify, run_concrete, static_verdict,
+)
+
+
+def oob_load_sketch(index=4, size=4):
+    return Sketch(seed=-60, array_size=size, array_writable=False,
+                  statements=(LoadElem("t0", index),))
+
+
+def ro_store_sketch():
+    return Sketch(seed=-61, array_size=4, array_writable=False,
+                  statements=(StoreElem("t0", 0),))
+
+
+class TestMonitor:
+    @pytest.mark.parametrize("arch", ("sparc", "riscv"))
+    def test_oob_load_caught_with_precise_event(self, arch):
+        run = run_concrete(oob_load_sketch(), arch, [1, 2, 3, 4])
+        assert run.violation is not None
+        assert run.violation.address == ARRAY_BASE + 16
+        assert run.violation.size == 4
+        assert run.violation.kind == "load"
+        assert run.violation.index >= 1
+        assert not run.clean
+
+    @pytest.mark.parametrize("arch", ("sparc", "riscv"))
+    def test_store_to_read_only_array_caught(self, arch):
+        run = run_concrete(ro_store_sketch(), arch, [1, 2, 3, 4])
+        assert run.violation is not None
+        assert run.violation.address == ARRAY_BASE
+        assert run.violation.kind == "store"
+
+    @pytest.mark.parametrize("arch", ("sparc", "riscv"))
+    def test_in_bounds_run_clean_with_observables(self, arch):
+        sketch = Sketch(seed=-62, array_size=4, array_writable=True,
+                        statements=(LoadElem("t0", 2),
+                                    StoreElem("t0", 3)))
+        run = run_concrete(sketch, arch, [10, 20, 30, 40])
+        assert run.clean
+        assert run.accesses == 2
+        assert run.observables.temps[0] == 30
+        assert list(run.observables.memory) == [10, 20, 30, 30]
+
+    def test_violation_event_serializes(self):
+        run = run_concrete(oob_load_sketch(), "sparc", [0, 0, 0, 0])
+        event = run.violation.as_dict()
+        assert event == {"address": ARRAY_BASE + 16, "size": 4,
+                         "kind": "load",
+                         "instruction": run.violation.index}
+
+
+class TestStaticSide:
+    def test_safe_program_certified(self):
+        result = static_verdict(sum_sketch(8), "sparc",
+                                check_options(60.0))
+        assert result.safe
+
+    def test_oob_program_rejected(self):
+        result = static_verdict(oob_load_sketch(), "sparc",
+                                check_options(60.0))
+        assert not result.safe
+        assert any(v.category == "array-bounds"
+                   for v in result.violations)
+
+    def test_overrides_validated(self):
+        with pytest.raises(AttributeError):
+            check_options(30.0, {"no_such_option": True})
+
+    def test_overrides_applied(self):
+        options = check_options(
+            30.0, {"unsound_assume_categories": ("array-bounds",)})
+        assert options.unsound_assume_categories == ("array-bounds",)
+        assert options.jobs == 1 and options.cache_path is None
+
+
+class TestClassification:
+    def test_agree_safe(self):
+        sketch = sum_sketch(8)
+        verdict = classify(sketch, "sparc",
+                           make_vectors(1, 8, 2),
+                           options=check_options(60.0))
+        assert verdict.kind == AGREE
+        assert verdict.static_safe and not verdict.timed_out
+        assert verdict.first_violation is None
+
+    def test_agree_unsafe(self):
+        """Rejected statically AND caught dynamically — agreement."""
+        verdict = classify(oob_load_sketch(), "sparc",
+                           make_vectors(1, 4, 2),
+                           options=check_options(60.0))
+        assert verdict.kind == AGREE
+        assert not verdict.static_safe
+        assert verdict.first_violation is not None
+
+    def test_soundness_under_injected_weakening(self):
+        """The deliberate checker weakening turns the OOB program into
+        a certified-but-violating pair — the soundness direction."""
+        options = check_options(
+            60.0, {"unsound_assume_categories": ("array-bounds",)})
+        verdict = classify(oob_load_sketch(), "sparc",
+                           make_vectors(1, 4, 2), options=options)
+        assert verdict.kind == SOUNDNESS
+        assert verdict.static_safe
+        assert verdict.first_violation.address == ARRAY_BASE + 16
+
+    def test_undecided_on_timeout(self):
+        verdict = classify(generate_sketch(0), "sparc",
+                           make_vectors(0, generate_sketch(0).array_size, 1),
+                           options=check_options(1e-6))
+        assert verdict.kind == UNDECIDED
+        assert verdict.timed_out
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+        verdict = classify(oob_load_sketch(), "riscv",
+                           make_vectors(1, 4, 2),
+                           options=check_options(60.0))
+        payload = json.loads(json.dumps(verdict.as_dict()))
+        assert payload["class"] == AGREE
+        assert payload["arch"] == "riscv"
+        assert payload["runtime_violations"]
+        assert payload["static_violations"]
+
+    def test_incompleteness_classification_shape(self):
+        """Synthesize the incompleteness cell directly: a rejecting
+        static verdict with concretely clean runs must classify as
+        incompleteness.  (The honest checker is precise on this sketch
+        family, so the cell is reached by weakening the *monitor* side:
+        in-bounds accesses with a rejected larger declared size.)"""
+        from repro.fuzz import oracle
+
+        sketch = oob_load_sketch(index=1, size=2)
+        # Statically pretend the array has one element (reject), while
+        # the monitor sees the true two-element policy (clean).
+        real = oracle.spec_text
+
+        def shrunk(sk, arch):
+            return real(sk, arch).replace("assume n = 2",
+                                          "assume n = 1")
+        oracle.spec_text = shrunk
+        try:
+            verdict = classify(sketch, "sparc", make_vectors(1, 2, 2),
+                               options=check_options(60.0))
+        finally:
+            oracle.spec_text = real
+        assert verdict.kind == INCOMPLETENESS
+        assert not verdict.static_safe
+        assert all(run.clean for run in verdict.runs)

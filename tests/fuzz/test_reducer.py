@@ -1,0 +1,115 @@
+"""Delta-debugging reduction of interesting sketches."""
+
+import pytest
+
+from repro.fuzz.generator import (
+    ConstOp, If, LoadElem, Loop, Op, SetConst, Sketch, StoreElem,
+    generate_sketch, instruction_count,
+)
+from repro.fuzz.oracle import run_concrete
+from repro.fuzz.reducer import reduce_sketch
+
+
+def violates(sketch, arch="sparc"):
+    """Runtime-only interestingness: some access escapes the policy."""
+    run = run_concrete(sketch, arch, [0] * sketch.array_size)
+    return run.violation is not None
+
+
+class TestReduction:
+    def test_reduces_to_single_oob_access(self):
+        """A large random sketch with an OOB access shrinks to (nearly)
+        the single faulting instruction."""
+        base = generate_sketch(0)   # known to violate at runtime
+        assert violates(base)
+        reduced = reduce_sketch(base, violates)
+        assert violates(reduced)
+        assert len(reduced.statements) == 1
+        assert instruction_count(reduced, "sparc") <= 4
+
+    def test_result_is_local_minimum(self):
+        base = generate_sketch(2)
+        assert violates(base)
+        reduced = reduce_sketch(base, violates)
+        from repro.fuzz.reducer import _sketch_variants
+        for variant in _sketch_variants(reduced):
+            assert not violates(variant)
+
+    def test_predicate_never_broken(self):
+        base = generate_sketch(5)
+        assert violates(base)
+        seen = []
+
+        def watched(candidate):
+            ok = violates(candidate)
+            seen.append(ok)
+            return ok
+        reduced = reduce_sketch(base, watched)
+        assert violates(reduced)
+        assert any(seen)      # some variants were accepted
+        assert not all(seen)  # and some were refuted
+
+    def test_loop_unwrapped_when_counter_unused(self):
+        sketch = Sketch(seed=-70, array_size=4, array_writable=False,
+                        statements=(
+                            SetConst("t0", 1),
+                            Loop("c0", 3, (LoadElem("t1", 5),)),
+                        ))
+        assert violates(sketch)
+        reduced = reduce_sketch(sketch, violates)
+        assert len(reduced.statements) == 1
+        assert isinstance(reduced.statements[0], LoadElem)
+        assert not any(isinstance(s, Loop) for s in reduced.statements)
+
+    def test_counter_index_frozen_to_constant(self):
+        """An OOB reached through a loop counter reduces below the
+        loop: the register index is frozen to a constant, the loop
+        unwraps, and the array shrinks."""
+        sketch = Sketch(seed=-71, array_size=4, array_writable=False,
+                        statements=(
+                            Loop("c0", 6, (LoadElem("t0", "c0"),)),
+                        ))
+        assert violates(sketch)
+        reduced = reduce_sketch(sketch, violates)
+        assert instruction_count(reduced, "sparc") <= 4
+        assert not any(isinstance(s, Loop) for s in reduced.statements)
+
+    def test_constants_shrink(self):
+        def big_const(candidate):
+            return any(isinstance(s, SetConst) and s.value >= 10
+                       for s in candidate.statements)
+        sketch = Sketch(seed=-72, array_size=4, array_writable=False,
+                        statements=(SetConst("t0", 1000),
+                                    SetConst("t1", 3)))
+        reduced = reduce_sketch(sketch, big_const)
+        assert reduced.statements == (SetConst("t0", 10),)
+
+    def test_crashing_variant_rejected(self):
+        sketch = Sketch(seed=-73, array_size=4, array_writable=False,
+                        statements=(SetConst("t0", 4),
+                                    SetConst("t1", 2)))
+
+        def brittle(candidate):
+            if len(candidate.statements) < 2:
+                raise RuntimeError("boom")
+            return True
+        reduced = reduce_sketch(sketch, brittle)
+        # Deletions crash the predicate, so only in-place shrinks land.
+        assert len(reduced.statements) == 2
+
+    def test_if_branches_simplify(self):
+        sketch = Sketch(seed=-74, array_size=4, array_writable=True,
+                        statements=(
+                            If("==", "t0", "t1",
+                               (StoreElem("t0", 9),),
+                               (Op("add", "t2", "t0", "t1"),)),
+                        ))
+        assert violates(sketch)
+        reduced = reduce_sketch(sketch, violates)
+        assert not any(isinstance(s, If) for s in reduced.statements)
+
+    def test_max_rounds_respected(self):
+        base = generate_sketch(0)
+        reduced = reduce_sketch(base, violates, max_rounds=1)
+        # Exactly one accepted step: strictly smaller, not minimal.
+        assert reduced != base

@@ -1,0 +1,249 @@
+"""Concrete RV32I emulator tests: ALU semantics, branches, memory
+(little-endian), x0 hard-wiring, linkage, and the strict-region
+protocol's precise out-of-bounds errors."""
+
+import pytest
+
+from repro.errors import EmulationError, RegionViolation
+from repro.riscv.assembler import assemble
+from repro.riscv.emulator import CODE_BASE, EXIT_ADDRESS, Emulator
+
+
+def run(source, setup=None, host=None, max_steps=100000):
+    program = assemble(source)
+    emulator = Emulator(program, host_functions=host,
+                        max_steps=max_steps)
+    if setup:
+        setup(emulator)
+    emulator.run()
+    return emulator
+
+
+class TestArithmetic:
+    def test_add_sub_imm(self):
+        emu = run("li a0,30\naddi a0,a0,12\naddi a0,a0,-2\nret")
+        assert emu.register_signed("a0") == 40
+
+    def test_reg_reg_ops(self):
+        emu = run("li a0,12\nli a1,10\n"
+                  "add t0,a0,a1\nsub t1,a0,a1\nand t2,a0,a1\n"
+                  "or t3,a0,a1\nxor t4,a0,a1\nret")
+        assert emu.register("t0") == 22
+        assert emu.register("t1") == 2
+        assert emu.register("t2") == 8
+        assert emu.register("t3") == 14
+        assert emu.register("t4") == 6
+
+    def test_32bit_wraparound(self):
+        emu = run("li a0,0x7fffffff\naddi a0,a0,1\nret")
+        assert emu.register("a0") == 0x80000000
+        assert emu.register_signed("a0") == -(1 << 31)
+
+    def test_shifts(self):
+        emu = run("li a0,-8\nsrai a1,a0,1\nsrli a2,a0,1\n"
+                  "slli a3,a0,1\nret")
+        assert emu.register_signed("a1") == -4
+        assert emu.register("a2") == 0x7FFFFFFC
+        assert emu.register_signed("a3") == -16
+
+    def test_set_less_than(self):
+        emu = run("li a0,-1\nli a1,1\nslt t0,a0,a1\nsltu t1,a0,a1\n"
+                  "slti t2,a0,0\nsltiu t3,a0,0\nret")
+        assert emu.register("t0") == 1   # signed: -1 < 1
+        assert emu.register("t1") == 0   # unsigned: 0xffffffff > 1
+        assert emu.register("t2") == 1
+        assert emu.register("t3") == 0
+
+    def test_lui(self):
+        emu = run("lui a0,0x12345\naddi a0,a0,0x678\nret")
+        assert emu.register("a0") == 0x12345678
+
+    def test_x0_hardwired(self):
+        emu = run("li t0,7\nadd zero,t0,t0\nadd a0,zero,t0\nret")
+        assert emu.register("zero") == 0
+        assert emu.register("a0") == 7
+
+
+class TestBranches:
+    def test_signed_vs_unsigned(self):
+        emu = run("""
+        li a0,-1
+        li a1,1
+        li a2,0
+        blt a0,a1,L1
+        li a2,99
+L1:
+        bltu a0,a1,L2
+        addi a2,a2,5
+L2:
+        ret
+        """)
+        # blt taken (signed), bltu not taken (0xffffffff > 1).
+        assert emu.register("a2") == 5
+
+    def test_loop(self):
+        emu = run("""
+        li a0,0
+        li a1,0
+L1:
+        li t0,5
+        bge a1,t0,L2
+        add a0,a0,a1
+        addi a1,a1,1
+        j L1
+L2:
+        ret
+        """)
+        assert emu.register("a0") == 10
+
+    def test_beq_bne(self):
+        emu = run("li a0,3\nli a1,3\nli a2,0\n"
+                  "bne a0,a1,L1\nli a2,1\nL1:\n"
+                  "beq a0,a1,L2\nli a2,2\nL2:\nret")
+        assert emu.register("a2") == 1
+
+
+class TestMemory:
+    def test_little_endian_bytes(self):
+        def setup(emu):
+            emu.set_register("a0", 0x1000)
+        emu = run("li t0,0x11223344\nsw t0,0(a0)\nlbu t1,0(a0)\n"
+                  "lbu t2,3(a0)\nret", setup=setup)
+        assert emu.register("t1") == 0x44   # low byte first
+        assert emu.register("t2") == 0x11
+        assert emu.read_bytes(0x1000, 4) == b"\x44\x33\x22\x11"
+
+    def test_signed_and_unsigned_loads(self):
+        def setup(emu):
+            emu.set_register("a0", 0x1000)
+            emu.write_memory(0x1000, 0xFF, 1)
+            emu.write_memory(0x1002, 0x8001, 2)
+        emu = run("lb t0,0(a0)\nlbu t1,0(a0)\nlh t2,2(a0)\n"
+                  "lhu t3,2(a0)\nret", setup=setup)
+        assert emu.register_signed("t0") == -1
+        assert emu.register("t1") == 0xFF
+        assert emu.register_signed("t2") == -32767
+        assert emu.register("t3") == 0x8001
+
+    def test_store_sizes(self):
+        def setup(emu):
+            emu.set_register("a0", 0x1000)
+        emu = run("li t0,0xAABBCCDD\nsw t0,0(a0)\nsh t0,4(a0)\n"
+                  "sb t0,6(a0)\nret", setup=setup)
+        assert emu.read_memory(0x1000, 4, signed=False) == 0xAABBCCDD
+        assert emu.read_memory(0x1004, 2, signed=False) == 0xCCDD
+        assert emu.read_memory(0x1006, 1, signed=False) == 0xDD
+
+    def test_alignment_trap(self):
+        def setup(emu):
+            emu.set_register("a0", 0x1001)
+        with pytest.raises(EmulationError, match="alignment"):
+            run("lw t0,0(a0)\nret", setup=setup)
+
+
+class TestLinkage:
+    def test_call_and_return(self):
+        emu = run("""
+        li a0,5
+        mv t0,ra
+        jal ra,double
+        addi a0,a0,1
+        mv ra,t0
+        ret
+double:
+        add a0,a0,a0
+        jalr zero,0(ra)
+        """)
+        assert emu.register("a0") == 11
+
+    def test_top_level_ret_exits(self):
+        emu = run("li a0,1\nret")
+        assert emu.steps == 2
+
+    def test_max_steps_guard(self):
+        with pytest.raises(EmulationError, match="steps"):
+            run("j L1\nL1: j L1\nret", max_steps=50)
+
+    def test_host_function_by_label(self):
+        calls = []
+
+        def host(emu):
+            calls.append(emu.register("a0"))
+            emu.set_register("a0", 42)
+        emu = run("li a0,7\nmv t1,ra\njal ra,helper\nmv ra,t1\nret\n"
+                  "helper:\nret", host={"helper": host})
+        assert calls == [7]
+        assert emu.register("a0") == 42
+
+    def test_address_index_round_trip(self):
+        assert Emulator.index_of(Emulator.address_of(5)) == 5
+        assert Emulator.address_of(1) == CODE_BASE
+
+
+class TestRegions:
+    """The strict-region protocol: once a region is registered, every
+    program-level access outside it raises a precise violation."""
+
+    def test_permissive_without_regions(self):
+        def setup(emu):
+            emu.set_register("a0", 0x9999000)
+        emu = run("lw t0,0(a0)\nsw t0,4(a0)\nret", setup=setup)
+        assert emu.register("t0") == 0
+
+    def test_in_region_access_allowed(self):
+        def setup(emu):
+            emu.add_region(0x2000, 16, writable=True)
+            emu.set_register("a0", 0x2000)
+            emu.write_words(0x2000, [11, 22, 33, 44])
+        emu = run("lw t0,12(a0)\nsw t0,0(a0)\nret", setup=setup)
+        assert emu.register("t0") == 44
+        assert emu.read_words(0x2000, 1) == [44]
+
+    @pytest.mark.parametrize("op,offset,size,kind", [
+        ("lw t0,16(a0)", 16, 4, "load"),
+        ("lh t0,16(a0)", 16, 2, "load"),
+        ("lbu t0,16(a0)", 16, 1, "load"),
+        ("sw t0,16(a0)", 16, 4, "store"),
+        ("sh t0,16(a0)", 16, 2, "store"),
+        ("sb t0,16(a0)", 16, 1, "store"),
+    ])
+    def test_oob_access_raises_precisely(self, op, offset, size, kind):
+        def setup(emu):
+            emu.add_region(0x2000, 16)
+            emu.set_register("a0", 0x2000)
+        with pytest.raises(RegionViolation) as info:
+            run(op + "\nret", setup=setup)
+        violation = info.value
+        assert violation.address == 0x2000 + offset
+        assert violation.size == size
+        assert violation.kind == kind
+        assert violation.index == 1
+        assert "0x2010" in str(violation)
+
+    def test_straddling_access_rejected(self):
+        def setup(emu):
+            emu.add_region(0x2000, 6)   # 6 bytes: word at +4 straddles
+            emu.set_register("a0", 0x2000)
+        with pytest.raises(RegionViolation):
+            run("lw t0,4(a0)\nret", setup=setup)
+
+    def test_read_only_region_blocks_stores(self):
+        def setup(emu):
+            emu.add_region(0x2000, 16, writable=False)
+            emu.set_register("a0", 0x2000)
+        emu = run("lw t0,0(a0)\nret", setup=setup)   # loads fine
+        with pytest.raises(RegionViolation) as info:
+            run("sw t0,0(a0)\nret", setup=setup)
+        assert info.value.kind == "store"
+        assert info.value.address == 0x2000
+
+    def test_memory_check_hook_observes(self):
+        seen = []
+
+        def setup(emu):
+            emu.add_region(0x2000, 16)
+            emu.set_register("a0", 0x2000)
+            emu.memory_check = lambda *args: seen.append(args)
+        run("lw t0,0(a0)\nsw t0,8(a0)\nret", setup=setup)
+        assert seen == [(0x2000, 4, "load", 1),
+                        (0x2008, 4, "store", 2)]

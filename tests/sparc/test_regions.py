@@ -1,0 +1,121 @@
+"""Strict-region protocol on the SPARC emulator: without registered
+regions behavior is the historical permissive one; with regions, every
+program-level load/store outside them (or store into a read-only one)
+raises a precise :class:`~repro.errors.RegionViolation`."""
+
+import pytest
+
+from repro.errors import RegionViolation
+from repro.sparc import Emulator, assemble
+
+
+def run(source, setup=None, max_steps=100000):
+    emulator = Emulator(assemble(source), max_steps=max_steps)
+    if setup:
+        setup(emulator)
+    emulator.run()
+    return emulator
+
+
+class TestPermissiveDefault:
+    def test_no_regions_no_enforcement(self):
+        def setup(emu):
+            emu.set_register("%o0", 0x9999000)
+        emu = run("ld [%o0],%o1\nst %o1,[%o0+4]\nretl\nnop",
+                  setup=setup)
+        assert emu.register("%o1") == 0
+
+
+class TestStrictRegions:
+    def test_in_region_access_allowed(self):
+        def setup(emu):
+            emu.add_region(0x2000, 16, writable=True)
+            emu.set_register("%o0", 0x2000)
+            emu.write_words(0x2000, [11, 22, 33, 44])
+        emu = run("ld [%o0+12],%o1\nst %o1,[%o0]\nretl\nnop",
+                  setup=setup)
+        assert emu.register("%o1") == 44
+        assert emu.read_words(0x2000, 1) == [44]
+
+    @pytest.mark.parametrize("op,offset,size,kind", [
+        ("ld [%o0+16],%o1", 16, 4, "load"),
+        ("ldsh [%o0+16],%o1", 16, 2, "load"),
+        ("ldub [%o0+16],%o1", 16, 1, "load"),
+        ("st %o1,[%o0+16]", 16, 4, "store"),
+        ("sth %o1,[%o0+16]", 16, 2, "store"),
+        ("stb %o1,[%o0+16]", 16, 1, "store"),
+    ])
+    def test_oob_access_raises_precisely(self, op, offset, size, kind):
+        def setup(emu):
+            emu.add_region(0x2000, 16)
+            emu.set_register("%o0", 0x2000)
+        with pytest.raises(RegionViolation) as info:
+            run(op + "\nretl\nnop", setup=setup)
+        violation = info.value
+        assert violation.address == 0x2000 + offset
+        assert violation.size == size
+        assert violation.kind == kind
+        assert violation.index == 1
+        assert "0x2010" in str(violation)
+        assert "instruction 1" in str(violation)
+
+    def test_register_indexed_oob(self):
+        def setup(emu):
+            emu.add_region(0x2000, 16)
+            emu.set_register("%o0", 0x2000)
+            emu.set_register("%o1", 5)      # element 5 of 4
+        with pytest.raises(RegionViolation) as info:
+            run("sll %o1,2,%g1\nld [%o0+%g1],%o2\nretl\nnop",
+                setup=setup)
+        assert info.value.address == 0x2000 + 20
+        assert info.value.index == 2
+
+    def test_straddling_access_rejected(self):
+        def setup(emu):
+            emu.add_region(0x2000, 6)
+            emu.set_register("%o0", 0x2000)
+        with pytest.raises(RegionViolation):
+            run("ld [%o0+4],%o1\nretl\nnop", setup=setup)
+
+    def test_read_only_region_blocks_stores(self):
+        def setup(emu):
+            emu.add_region(0x2000, 16, writable=False)
+            emu.set_register("%o0", 0x2000)
+        run("ld [%o0],%o1\nretl\nnop", setup=setup)   # loads fine
+        with pytest.raises(RegionViolation) as info:
+            run("st %o1,[%o0+4]\nretl\nnop", setup=setup)
+        assert info.value.kind == "store"
+        assert info.value.address == 0x2004
+
+    def test_multiple_regions(self):
+        def setup(emu):
+            emu.add_region(0x2000, 8)
+            emu.add_region(0x3000, 8)
+            emu.set_register("%o0", 0x2000)
+            emu.set_register("%o1", 0x3000)
+        emu = run("ld [%o0],%o2\nst %o2,[%o1+4]\nretl\nnop",
+                  setup=setup)
+        assert emu is not None
+        with pytest.raises(RegionViolation):
+            run("ld [%o0+8],%o2\nretl\nnop", setup=setup)
+
+    def test_memory_check_hook_observes(self):
+        seen = []
+
+        def setup(emu):
+            emu.add_region(0x2000, 16)
+            emu.set_register("%o0", 0x2000)
+            emu.memory_check = lambda *args: seen.append(args)
+        run("ld [%o0],%o1\nst %o1,[%o0+8]\nretl\nnop", setup=setup)
+        assert seen == [(0x2000, 4, "load", 1),
+                        (0x2008, 4, "store", 2)]
+
+    def test_delay_slot_access_still_checked(self):
+        """An access sitting in a branch delay slot is checked like
+        any other."""
+        def setup(emu):
+            emu.add_region(0x2000, 16)
+            emu.set_register("%o0", 0x2000)
+        with pytest.raises(RegionViolation) as info:
+            run("ba L1\nld [%o0+16],%o1\nL1:\nretl\nnop", setup=setup)
+        assert info.value.index == 2

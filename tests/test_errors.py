@@ -6,7 +6,8 @@ import pytest
 from repro import check_assembly
 from repro.errors import (
     AnalysisError, AssemblyError, CFGError, DecodingError, EmulationError,
-    EncodingError, ProverError, RecursionRejected, ReproError, SpecError,
+    EncodingError, FuzzError, ProverError, RecursionRejected,
+    RegionViolation, ReproError, SpecError,
 )
 
 
@@ -14,8 +15,20 @@ class TestHierarchy:
     def test_all_derive_from_repro_error(self):
         for exc in (AssemblyError, EncodingError, DecodingError,
                     EmulationError, CFGError, SpecError, AnalysisError,
-                    RecursionRejected, ProverError):
+                    RecursionRejected, ProverError, FuzzError):
             assert issubclass(exc, ReproError)
+
+    def test_region_violation_is_emulation_error(self):
+        assert issubclass(RegionViolation, EmulationError)
+
+    def test_region_violation_carries_the_access(self):
+        error = RegionViolation(0x2010, 4, "store", 7)
+        assert (error.address, error.size, error.kind, error.index) \
+            == (0x2010, 4, "store", 7)
+        assert "store" in str(error)
+        assert "0x2010" in str(error)
+        assert "instruction 7" in str(error)
+        assert "4 bytes" in str(error)
 
     def test_recursion_is_analysis_error(self):
         assert issubclass(RecursionRejected, AnalysisError)
