@@ -141,13 +141,21 @@ def compare_incremental(name, reference, check, failures):
     ok = want == fingerprint(cold) == fingerprint(warm) \
         == fingerprint(plain)
     stats = warm.prover_stats
-    print("%-18s %-14s %s (units: %d/%d hit, %d replayed)"
+    pipeline_hits = stats.get("unit_pipeline_hits", 0)
+    print("%-18s %-14s %s (units: %d/%d hit, %d replayed; "
+          "phases 2-4: %d functions replayed)"
           % (name, "incremental",
-             "parity OK" if ok else "PARITY MISMATCH",
+             "parity OK" if ok and pipeline_hits
+             else "PARITY MISMATCH" if not ok else "NO PHASE REPLAY",
              stats.get("unit_hits", 0), stats.get("unit_lookups", 0),
-             stats.get("unit_replayed_obligations", 0)))
+             stats.get("unit_replayed_obligations", 0),
+             stats.get("unit_pipeline_replayed_functions", 0)))
     if not ok:
         failures.append("%s[incremental]" % name)
+    elif not pipeline_hits:
+        # An unchanged warm re-check must serve phases 2-4 from the
+        # store, not just the phase-5 verdicts.
+        failures.append("%s[no phase 2-4 replay]" % name)
 
 
 def run_incremental_edit(failures):
@@ -170,6 +178,13 @@ def run_incremental_edit(failures):
             INCREMENTAL_EDITED_SOURCE, INCREMENTAL_SPEC,
             name="incremental",
             options=CheckerOptions(jobs=1, cache_path=cache))
+        # The warm run just re-stored phases 2-4 for the edited
+        # program; an *unchanged* re-check must now replay them
+        # wholesale and still match the cache-free reference.
+        recheck = check_assembly(
+            INCREMENTAL_EDITED_SOURCE, INCREMENTAL_SPEC,
+            name="incremental",
+            options=CheckerOptions(jobs=1, cache_path=cache))
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
     ok = fingerprint(reference) == fingerprint(warm)
@@ -183,6 +198,18 @@ def run_incremental_edit(failures):
         failures.append("incremental-edit[verdicts]")
     elif not hits:
         failures.append("incremental-edit[no unit hits]")
+    replay_ok = fingerprint(reference) == fingerprint(recheck)
+    replayed = recheck.prover_stats.get(
+        "unit_pipeline_replayed_functions", 0)
+    print("%-18s %-14s %s (phases 2-4: %d functions replayed)"
+          % ("incremental-replay", "incremental",
+             "parity OK" if replay_ok and replayed else
+             "PARITY MISMATCH" if not replay_ok else "NO PHASE REPLAY",
+             replayed))
+    if not replay_ok:
+        failures.append("incremental-replay[verdicts]")
+    elif not replayed:
+        failures.append("incremental-replay[no phase 2-4 replay]")
 
 
 def run_sparc(jobs, full, failures, ablations=False,

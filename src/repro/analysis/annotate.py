@@ -101,11 +101,18 @@ class NodeAnnotation:
 
 
 def annotate(cfg: CFG, stores: Dict[int, AbstractStore], spec: HostSpec,
-             locations: LocationTable) -> Dict[int, NodeAnnotation]:
-    """Run Phase 3: one annotation per reachable CFG node."""
+             locations: LocationTable,
+             check_deadline=None) -> Dict[int, NodeAnnotation]:
+    """Run Phase 3: one annotation per reachable CFG node.
+
+    ``check_deadline`` (when given) is called once per node so a check
+    over a huge program respects its wall-clock budget even before the
+    prover runs."""
     annotator = _Annotator(cfg, stores, spec, locations)
     out: Dict[int, NodeAnnotation] = {}
     for uid in sorted(stores):
+        if check_deadline is not None:
+            check_deadline()
         node = cfg.node(uid)
         if node.instruction is None:
             continue

@@ -20,7 +20,7 @@ object with a ``lower()`` method.
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.errors import ProverTimeout
 from repro.cfg.builder import build_cfg
@@ -193,6 +193,18 @@ class SafetyChecker:
         info = self.program.arch
         return getattr(info, "name", "") or ""
 
+    def _header_facts(self, engine) -> Dict[int, "Formula"]:
+        """Loop-header forward facts worth persisting: only when the
+        forward pass is enabled (otherwise every header reads TRUE and
+        the replay path would not consult them either)."""
+        if not self.options.enable_forward_bounds:
+            return {}
+        facts = {}
+        for label in engine.cfg.functions:
+            for loop in engine.loops[label].loops:
+                facts[loop.header] = engine.header_facts(loop)
+        return facts
+
     def _check(self) -> CheckResult:
         times = PhaseTimes()
 
@@ -210,36 +222,82 @@ class SafetyChecker:
             CallGraph(cfg).check_no_recursion()
         times.preparation = time.perf_counter() - t0
 
-        # Phase 2: typestate propagation.
-        t0 = time.perf_counter()
-        with self.tracer.span("phase:typestate_propagation"):
-            propagation = propagate(cfg, preparation, self.spec,
-                                    self.options)
-        times.typestate_propagation = time.perf_counter() - t0
-        self.prover.check_deadline()
+        # Phases 2–4 replay: with a persistent cache, the phase 2–4
+        # artifacts of an unchanged program (body + CFG structure, spec,
+        # verdict-affecting options all digest-identical) come from the
+        # store — a warm unchanged re-check is digest computation plus
+        # lookups end-to-end.
+        pipeline = None
+        replayed = None
+        if self.persistent is not None and self.options.enable_unit_cache:
+            from repro.analysis.units import PipelineCache
+            pipeline = PipelineCache(cfg, self.spec, self.options,
+                                     self._arch_name(), self.persistent)
+            t0 = time.perf_counter()
+            replayed = pipeline.lookup()
+            if replayed is not None:
+                with self.tracer.span(
+                        "phase:replayed",
+                        functions=len(cfg.functions),
+                        nodes=len(replayed.propagation.inputs),
+                        local_violations=len(replayed.local_violations)):
+                    propagation = replayed.propagation
+                    annotations = replayed.annotations
+                    local_violations = replayed.local_violations
+                # The whole warm phase 2–4 cost is the lookup itself;
+                # report it where the phases it replaces would have.
+                times.typestate_propagation = time.perf_counter() - t0
 
-        # Phase 3 + 4: annotation and local verification.
-        t0 = time.perf_counter()
-        with self.tracer.span("phase:annotation"):
-            annotations = annotate(cfg, propagation.inputs, self.spec,
-                                   preparation.locations)
-        with self.tracer.span("phase:local_verification"):
-            local_violations = verify_local(annotations)
-            if self.spec.automata:
-                from repro.analysis.automaton import check_automata
-                local_violations = local_violations \
-                    + check_automata(cfg, self.spec)
-        times.annotation_and_local = time.perf_counter() - t0
-        self.prover.check_deadline()
+        if replayed is None:
+            # Phase 2: typestate propagation.
+            t0 = time.perf_counter()
+            with self.tracer.span("phase:typestate_propagation"):
+                propagation = propagate(
+                    cfg, preparation, self.spec, self.options,
+                    check_deadline=self.prover.check_deadline)
+            times.typestate_propagation = time.perf_counter() - t0
+            self.prover.check_deadline()
+
+            # Phase 3 + 4: annotation and local verification.
+            t0 = time.perf_counter()
+            with self.tracer.span("phase:annotation"):
+                annotations = annotate(
+                    cfg, propagation.inputs, self.spec,
+                    preparation.locations,
+                    check_deadline=self.prover.check_deadline)
+            with self.tracer.span("phase:local_verification"):
+                local_violations = verify_local(
+                    annotations,
+                    check_deadline=self.prover.check_deadline)
+                if self.spec.automata:
+                    from repro.analysis.automaton import check_automata
+                    local_violations = local_violations \
+                        + check_automata(cfg, self.spec)
+            times.annotation_and_local = time.perf_counter() - t0
+            self.prover.check_deadline()
 
         # Phase 5: global verification — obligation generation, then
         # serial or pooled discharge.
         t0 = time.perf_counter()
         with self.tracer.span("phase:global_verification"):
+            forward = None
+            if replayed is not None \
+                    and self.options.enable_forward_bounds:
+                from repro.analysis.forward import ReplayedForward
+                forward = ReplayedForward(replayed.header_facts)
             engine = VerificationEngine(cfg, propagation, preparation,
                                         self.spec, self.options,
-                                        self.prover)
+                                        self.prover, forward=forward)
             engine.tracer = self.tracer
+            if pipeline is not None and replayed is None:
+                # Freshly computed phases 2–4: persist them (the engine
+                # has just run the forward pass, so the header facts
+                # exist now).  A later phase-5 timeout does not unstore
+                # them — they are complete, and the next attempt with a
+                # bigger budget replays straight through to phase 5.
+                pipeline.store(propagation, annotations,
+                               local_violations,
+                               self._header_facts(engine))
             proofs, global_violations, pool_info = \
                 self._discharge(engine, annotations)
         times.global_verification = time.perf_counter() - t0
@@ -248,6 +306,8 @@ class SafetyChecker:
         characteristics = self._characteristics(cfg, annotations)
         prover_stats = self.prover.stats.as_dict()
         prover_stats.update(pool_info)
+        if pipeline is not None:
+            prover_stats.update(pipeline.stats)
         if self.persistent is not None:
             self.persistent.flush()
             prover_stats["persistent_cache_size"] = len(self.persistent)

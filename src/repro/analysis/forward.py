@@ -377,18 +377,39 @@ class _FactTransfer(OpVisitor):
         return facts
 
 
+class ReplayedForward:
+    """A ``facts_at`` provider reconstructed from stored loop-header
+    facts (the phase 2–4 replay path).  The verification engine only
+    ever consults the forward pass at loop headers, so per-header
+    formulas are the whole observable surface; any other uid yields the
+    empty conjunction, exactly like an unreached node in a fresh run."""
+
+    def __init__(self, facts: Dict[int, Formula]):
+        self._facts = dict(facts)
+
+    def facts_at(self, uid: int) -> Formula:
+        return self._facts.get(uid, conj())
+
+
 class ForwardBounds:
     """Worklist forward propagation of :class:`FactSet` over the CFG.
 
     Produces, per node, facts that hold whenever control reaches it —
     in particular at loop headers, where the verification engine uses
     them as ambient invariants.
+
+    ``check_deadline`` (when given) is called once per worklist step:
+    the checker passes ``Prover.check_deadline`` so a pathological
+    fixpoint aborts with :class:`~repro.errors.ProverTimeout` instead
+    of overrunning the wall-clock budget unnoticed.
     """
 
-    def __init__(self, cfg: CFG, initial: Formula):
+    def __init__(self, cfg: CFG, initial: Formula,
+                 check_deadline=None):
         self.cfg = cfg
         self.before: Dict[int, FactSet] = {}
         self._transfer_visitor = _FactTransfer()
+        self._check_deadline = check_deadline
         self._run(initial)
 
     def facts_at(self, uid: int) -> Formula:
@@ -413,6 +434,8 @@ class ForwardBounds:
         steps = 0
         while worklist and steps < 100_000:
             steps += 1
+            if self._check_deadline is not None:
+                self._check_deadline()
             uid = worklist.pop(0)
             queued.discard(uid)
             if uid != entry:

@@ -220,7 +220,6 @@ def build_engine(program, spec, options: CheckerOptions
         entry = program.label_index(label)
     cfg = build_cfg(program, trusted_labels=set(spec.functions),
                     entry=entry)
-    propagation = propagate(cfg, preparation, spec, options)
     persistent = None
     if options.cache_path:
         from repro.logic.persist import PersistentProverCache
@@ -237,10 +236,13 @@ def build_engine(program, spec, options: CheckerOptions
     # per-process) and is translated back to this process's monotonic
     # clock exactly once, here.  An expired budget makes every query
     # raise, so the worker fails fast and the parent converts the
-    # unproved verdicts into a timeout.
+    # unproved verdicts into a timeout.  The budget is installed before
+    # re-running propagation so its worklist honours it too.
     if options.deadline_epoch is not None:
         prover.deadline = time.monotonic() \
             + (options.deadline_epoch - time.time())
+    propagation = propagate(cfg, preparation, spec, options,
+                            check_deadline=prover.check_deadline)
     engine = VerificationEngine(cfg, propagation, preparation, spec,
                                 options, prover)
     if options.trace_spans:

@@ -67,9 +67,15 @@ class PropagationResult:
 
 
 def propagate(cfg: CFG, preparation: Preparation, spec: HostSpec,
-              options: Optional[CheckerOptions] = None
-              ) -> PropagationResult:
-    """Run typestate propagation to its greatest fixed point."""
+              options: Optional[CheckerOptions] = None,
+              check_deadline=None) -> PropagationResult:
+    """Run typestate propagation to its greatest fixed point.
+
+    ``check_deadline`` (when given) is called once per worklist step:
+    the checker passes ``Prover.check_deadline`` so a pathological
+    fixpoint aborts with :class:`~repro.errors.ProverTimeout` — the
+    distinct ``undecided:timeout`` verdict — instead of overrunning the
+    wall-clock budget until the step guard trips."""
     options = options or CheckerOptions()
     result = PropagationResult()
     locations = preparation.locations
@@ -83,6 +89,8 @@ def propagate(cfg: CFG, preparation: Preparation, spec: HostSpec,
         if result.steps > options.max_propagation_steps:
             raise AnalysisError("typestate propagation exceeded %d steps"
                                 % options.max_propagation_steps)
+        if check_deadline is not None:
+            check_deadline()
         uid = worklist.pop(0)
         queued.discard(uid)
         node = cfg.node(uid)

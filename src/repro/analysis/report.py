@@ -184,6 +184,15 @@ class CheckResult:
                        s.get("unit_replayed_obligations", 0),
                        s.get("unit_stores", 0),
                        s.get("unit_aborts", 0)))
+            if s.get("unit_pipeline_lookups"):
+                lines.append(
+                    "  pipeline (phases 2-4): lookups=%d hits=%d "
+                    "misses=%d replayed-functions=%d stores=%d"
+                    % (s.get("unit_pipeline_lookups", 0),
+                       s.get("unit_pipeline_hits", 0),
+                       s.get("unit_pipeline_misses", 0),
+                       s.get("unit_pipeline_replayed_functions", 0),
+                       s.get("unit_pipeline_stores", 0)))
         for violation in self.violations:
             lines.append("  VIOLATION %s" % violation)
         return "\n".join(lines)

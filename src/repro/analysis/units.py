@@ -43,22 +43,59 @@ Replay therefore follows two rules:
   re-proves everything on a virgin engine (``unit_aborts``): the fresh
   proofs might otherwise observe different memo state than a full
   uncached run would have produced, and parity is the contract.
+
+**Phase 2–4 payloads.**  The same store also holds per-function
+*pipeline* payloads (:class:`PipelineCache`): the typestate-propagation
+fixpoint, the phase-3 annotations, the phase-4 local verdicts, and the
+loop-header forward facts.  Their keys cannot reuse
+:func:`function_input_digest` — it embeds the propagation stores and
+header facts, i.e. the very outputs being cached — so they key on the
+store-free :func:`function_structure_digest` (body + CFG edges only),
+computable right after phase 1.  Soundness is simpler than for the
+phase-5 verdicts: phases 2–4 are *pure, order-independent* functions of
+(program, spec, verdict-affecting options) with no cross-obligation
+memo state, so the claimed-set and abort-replay rules do not apply to
+them — validity is exactly "every function's structure digest and the
+program layout match" (propagation is interprocedural, so the
+dependency set of every payload is the whole program: the
+self-contained-store rule holds by construction).  Replay is
+all-or-nothing for the same reason.  The artifacts are uid-keyed, and
+uid assignment is a deterministic function of the instruction stream,
+so the recorded :func:`program_layout_digest` (labels, uids, absolute
+indices, in program order) pins replay to programs whose uids are
+byte-for-byte those of the producing run — e.g. two functions swapped
+in the file have unchanged per-function digests but a different
+layout, and correctly miss.
 """
 
 from __future__ import annotations
 
+import base64
 import dataclasses
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.analysis.annotate import NodeAnnotation
 from repro.analysis.options import CheckerOptions
-from repro.analysis.verify import VerificationEngine
+from repro.analysis.propagate import PropagationResult
+from repro.analysis.verify import VerificationEngine, Violation
+from repro.cfg.graph import CFG
 from repro.ir.ops import Call, CondBranch
+from repro.logic.formula import Formula
 from repro.logic.serialize import formula_digest, text_digest
 from repro.policy.model import HostSpec
 
 #: Bump when the unit payload layout or digest recipe changes.
 UNIT_SCHEMA = 1
+
+#: Bump when the pipeline (phase 2–4) payload layout or digest recipe
+#: changes.
+PIPELINE_SCHEMA = 1
+
+#: ``units.kind`` column value for phase 2–4 payload rows ("unit" marks
+#: the phase-5 verdict rows).
+PIPELINE_KIND = "pipeline"
 
 #: Checker options whose value can change phase-5 verdicts.  Everything
 #: else (cache levels, kernels, jobs, tracing) is parity-gated to be
@@ -144,6 +181,62 @@ def _render_op(op, base_index: int) -> str:
                 continue
         parts.append("%s=%r" % (f.name, value))
     return " ".join(parts)
+
+
+def _structure_parts(cfg: CFG, label: str) -> List[str]:
+    """Position-independent rendering of one function's body and CFG
+    edges (the store-free core shared by the phase-5 input digest and
+    the phase 2–4 structure digest)."""
+    uids = sorted(cfg.functions[label].node_uids)
+    ordinal = {uid: position for position, uid in enumerate(uids)}
+    indices = [cfg.node(uid).index for uid in uids if cfg.node(uid).index]
+    base_index = min(indices) if indices else 0
+    body: List[str] = []
+    for uid in uids:
+        node = cfg.node(uid)
+        relative = node.index - base_index if node.index else -1
+        body.append("n%d i%d %s %s" % (
+            ordinal[uid], relative, node.role.value,
+            _render_op(node.instruction, base_index)))
+    edges: List[str] = []
+    for uid in uids:
+        for edge in cfg.successors(uid):
+            if edge.dst in ordinal:
+                dst = str(ordinal[edge.dst])
+            else:
+                # Cross-function edge: name the peer function, never its
+                # node ordinals — an edit inside the callee must not
+                # invalidate the caller through edge numbering.
+                dst = "x:" + cfg.node(edge.dst).function
+            edges.append("e %d %s %s %s" % (
+                ordinal[uid], dst, edge.kind.value,
+                edge.condition if edge.condition is not None else "-"))
+    return body + sorted(edges)
+
+
+def function_structure_digest(cfg: CFG, label: str) -> str:
+    """Store-free content digest of one function: its body and CFG
+    edges, rendered position-independently.  Unlike
+    :func:`function_input_digest` this never consults phase-2 output
+    (propagated stores, forward facts), so it is computable right after
+    phase 1 — which is what lets the phase 2–4 payloads key on it
+    without circularity."""
+    return text_digest("fnstruct", label, *_structure_parts(cfg, label))
+
+
+def program_layout_digest(cfg: CFG) -> str:
+    """Digest of the program's absolute layout: every function's label,
+    node uids, and instruction indices, in program order.  Pipeline
+    payloads carry uid-keyed artifacts, so replay additionally requires
+    this digest to match — it does exactly when the current program's
+    uid/index assignment is identical to the producing run's."""
+    parts: List[str] = []
+    for label in cfg.functions:
+        uids = sorted(cfg.functions[label].node_uids)
+        parts.append("%s u%s i%s" % (
+            label, ",".join(str(uid) for uid in uids),
+            ",".join(str(cfg.node(uid).index) for uid in uids)))
+    return text_digest("layout", *parts)
 
 
 def function_input_digest(engine: VerificationEngine,
@@ -412,3 +505,216 @@ class UnitManager:
             self.persistent.put_unit(unit.key, deps_digest, unit.label,
                                      payload)
             self.stats["unit_stores"] += 1
+
+
+# ---------------------------------------------------------------------------
+# phase 2–4 payloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineReplay:
+    """Phases 2–4 reconstructed from the store: the propagation
+    fixpoint, the annotations, the local-verification verdicts, and the
+    loop-header forward facts (uid-keyed; empty when the producing run
+    had ``enable_forward_bounds`` off — the options digest pins that)."""
+
+    propagation: PropagationResult
+    annotations: Dict[int, NodeAnnotation]
+    local_violations: List[Violation]
+    header_facts: Dict[int, Formula]
+
+
+class PipelineCache:
+    """Content-addressed storage and replay of the phase 2–4 artifacts,
+    one payload row per function (``kind='pipeline'`` in the store).
+
+    Propagation is interprocedural — a caller edit changes a callee's
+    reaching typestates — so every payload's dependency set is the
+    whole program and replay is all-or-nothing: one missing or stale
+    function reruns phases 2–4 in full (and restores every row).
+    Phases 2–4 are pure, order-independent functions of their inputs,
+    so none of the phase-5 claimed-set/abort machinery applies; see the
+    module docstring."""
+
+    def __init__(self, cfg: CFG, spec: HostSpec,
+                 options: CheckerOptions, arch: str, persistent,
+                 enabled: bool = True):
+        self.cfg = cfg
+        self.spec = spec
+        self.options = options
+        self.arch = arch
+        self.persistent = persistent
+        self.enabled = bool(enabled and persistent is not None)
+        self.stats: Dict[str, int] = {
+            "unit_pipeline_lookups": 0,
+            "unit_pipeline_hits": 0,
+            "unit_pipeline_misses": 0,
+            "unit_pipeline_replayed_functions": 0,
+            "unit_pipeline_stores": 0,
+        }
+        self._structure: Dict[str, str] = {}
+        self._layout: Optional[str] = None
+        self._spec_digest: Optional[str] = None
+        self._options_digest: Optional[str] = None
+
+    # -- digests -------------------------------------------------------------
+
+    def structure_digest(self, label: str) -> str:
+        digest = self._structure.get(label)
+        if digest is None:
+            digest = function_structure_digest(self.cfg, label)
+            self._structure[label] = digest
+        return digest
+
+    def layout_digest(self) -> str:
+        if self._layout is None:
+            self._layout = program_layout_digest(self.cfg)
+        return self._layout
+
+    def key(self, label: str) -> str:
+        if self._spec_digest is None:
+            self._spec_digest = spec_digest(self.spec)
+            self._options_digest = options_digest(self.options)
+        from repro import __version__
+        return text_digest(
+            "pipeline", PIPELINE_SCHEMA, __version__, self.arch,
+            self._spec_digest, self._options_digest, label,
+            self.structure_digest(label))
+
+    def _deps(self) -> Dict[str, str]:
+        return {label: self.structure_digest(label)
+                for label in self.cfg.functions}
+
+    # -- lookup / replay -----------------------------------------------------
+
+    def lookup(self) -> Optional[PipelineReplay]:
+        """The whole program's phase 2–4 artifacts, or None when any
+        function misses (all-or-nothing)."""
+        if not self.enabled:
+            return None
+        self.stats["unit_pipeline_lookups"] += 1
+        deps = self._deps()
+        layout = self.layout_digest()
+        rows: List[Dict[str, Any]] = []
+        for label in self.cfg.functions:
+            match = None
+            for payload in self.persistent.get_unit(self.key(label)):
+                if self._payload_valid(label, payload, deps, layout):
+                    match = payload
+                    break
+            if match is None:
+                self.stats["unit_pipeline_misses"] += 1
+                return None
+            rows.append(match)
+        replay = self._decode(rows)
+        if replay is None:
+            # Undecodable blob (e.g. written by a different build):
+            # degrade to a miss, never fail the check.
+            self.stats["unit_pipeline_misses"] += 1
+            return None
+        self.stats["unit_pipeline_hits"] += 1
+        self.stats["unit_pipeline_replayed_functions"] += len(rows)
+        return replay
+
+    def _payload_valid(self, label: str, payload: Dict[str, Any],
+                       deps: Dict[str, str], layout: str) -> bool:
+        return (isinstance(payload, dict)
+                and payload.get("schema") == PIPELINE_SCHEMA
+                and payload.get("function") == label
+                and payload.get("layout") == layout
+                and payload.get("deps") == deps)
+
+    def _decode(self, rows: List[Dict[str, Any]]
+                ) -> Optional[PipelineReplay]:
+        inputs: Dict[int, Any] = {}
+        outputs: Dict[int, Any] = {}
+        annotations: Dict[int, NodeAnnotation] = {}
+        headers: Dict[int, Formula] = {}
+        ordered: List[Tuple[int, Violation]] = []
+        steps = 0
+        try:
+            for payload in rows:
+                blob = pickle.loads(base64.b64decode(payload["blob"]))
+                inputs.update(blob["inputs"])
+                outputs.update(blob["outputs"])
+                annotations.update(blob["annotations"])
+                headers.update(blob["headers"])
+                steps = max(steps, int(payload.get("steps", 0)))
+                for seq, index, category, description, phase \
+                        in payload["violations"]:
+                    ordered.append((seq, Violation(
+                        index=index, category=category,
+                        description=description, phase=phase)))
+        except Exception:
+            return None
+        ordered.sort(key=lambda pair: pair[0])
+        return PipelineReplay(
+            propagation=PropagationResult(inputs=inputs, outputs=outputs,
+                                          steps=steps),
+            annotations=annotations,
+            local_violations=[v for _, v in ordered],
+            header_facts=headers)
+
+    # -- storage -------------------------------------------------------------
+
+    def store(self, propagation: PropagationResult,
+              annotations: Dict[int, NodeAnnotation],
+              local_violations: List[Violation],
+              header_facts: Dict[int, Formula]) -> None:
+        """Persist the freshly computed phase 2–4 artifacts, sliced per
+        owning function.  Local violations keep a global sequence
+        number so replay reconstructs the exact report order."""
+        if not self.enabled:
+            return
+        deps = self._deps()
+        layout = self.layout_digest()
+        slices: Dict[str, Dict[str, Dict]] = {
+            label: {"inputs": {}, "outputs": {}, "annotations": {},
+                    "headers": {}}
+            for label in self.cfg.functions}
+        for uid, value in propagation.inputs.items():
+            slices[self.cfg.node(uid).function]["inputs"][uid] = value
+        for uid, value in propagation.outputs.items():
+            slices[self.cfg.node(uid).function]["outputs"][uid] = value
+        for uid, annotation in annotations.items():
+            slices[self.cfg.node(uid).function]["annotations"][uid] = \
+                annotation
+        for uid, facts in header_facts.items():
+            slices[self.cfg.node(uid).function]["headers"][uid] = facts
+        # Violations are attributed by instruction index (automaton
+        # violations carry no uid); unresolvable ones ride on MAIN.
+        index_function: Dict[int, str] = {}
+        for uid in self.cfg.nodes:
+            node = self.cfg.node(uid)
+            if node.instruction is not None:
+                index_function.setdefault(node.index, node.function)
+        violations: Dict[str, List[List]] = {
+            label: [] for label in self.cfg.functions}
+        for seq, violation in enumerate(local_violations):
+            label = index_function.get(violation.index, CFG.MAIN)
+            violations.setdefault(label, []).append(
+                [seq, violation.index, violation.category,
+                 violation.description, violation.phase])
+        deps_digest = text_digest(
+            "deps", layout, *("%s=%s" % item
+                              for item in sorted(deps.items())))
+        for label in self.cfg.functions:
+            try:
+                blob = base64.b64encode(pickle.dumps(
+                    slices[label], protocol=4)).decode("ascii")
+            except Exception:
+                return  # unpicklable artifact: skip storing, never fail
+            payload = {
+                "schema": PIPELINE_SCHEMA,
+                "function": label,
+                "deps": deps,
+                "layout": layout,
+                "steps": propagation.steps,
+                "blob": blob,
+                "violations": violations[label],
+            }
+            self.persistent.put_unit(self.key(label), deps_digest,
+                                     label, payload,
+                                     kind=PIPELINE_KIND)
+            self.stats["unit_pipeline_stores"] += 1

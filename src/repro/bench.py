@@ -278,13 +278,21 @@ def run_incremental(cache_path: str, repeat: int = 3,
     ``incremental-warm`` (per attempt: prime a fresh cache with the
     *base* program, then time a check of the edited one — the
     "edit one function, re-check" path, where the two untouched
-    routines replay from the cache)."""
+    routines replay from the cache).
+
+    ``incremental-full`` is the unchanged re-check: prime a fresh
+    cache with the *edited* program, then time a second check of the
+    very same program — phases 2–4 replay from the pipeline payloads
+    and every phase-5 unit replays, so the run is digest computation
+    plus store lookups end-to-end."""
     repeat = max(1, repeat)
     configs: Dict[str, dict] = {}
     plans = [
         ("incremental-ref", dict(cache=None)),
         ("incremental-cold", dict(cache=cache_path, cold=True)),
         ("incremental-warm", dict(cache=cache_path, prime=True)),
+        ("incremental-full", dict(cache=cache_path, prime=True,
+                                  prime_source=INCREMENTAL_EDITED_SOURCE)),
     ]
     for config_name, plan in plans:
         timings: List[float] = []
@@ -298,10 +306,12 @@ def run_incremental(cache_path: str, repeat: int = 3,
                 base["cache"] = plan["cache"]
             options = _apply_config(base)
             if plan.get("prime"):
-                # Populate the cache from the base program, then reset
-                # the in-process caches so only the persistent verdict
-                # units carry over — as in a fresh process.
-                _check_incremental(INCREMENTAL_SOURCE, options)
+                # Populate the cache from the priming program, then
+                # reset the in-process caches so only the persistent
+                # payloads carry over — as in a fresh process.
+                _check_incremental(
+                    plan.get("prime_source", INCREMENTAL_SOURCE),
+                    options)
                 options = _apply_config(base)
             t0 = time.perf_counter()
             attempt_result = _check_incremental(
@@ -481,6 +491,9 @@ def _add_speedups(report: dict) -> None:
     incremental = ratio("incremental-cold", "incremental-warm")
     if incremental is not None:
         report["incremental_warm_speedup"] = incremental
+    full = ratio("incremental-cold", "incremental-full")
+    if full is not None:
+        report["incremental_full_speedup"] = full
 
 
 def comparison_table(report: dict, serial: str = "enhanced",
@@ -745,6 +758,18 @@ def main(full: bool = False, repeat: int = 3,
         if report.get("incremental_warm_speedup"):
             print("incremental warm speedup: %.2fx"
                   % report["incremental_warm_speedup"])
+        full = report["configs"].get("incremental-full")
+        if full is not None:
+            frow = full["programs"][0]
+            print("unchanged re-check replayed phases 2-4 for %d "
+                  "functions and %d phase-5 obligations"
+                  % (frow["prover"].get(
+                      "unit_pipeline_replayed_functions", 0),
+                     frow["prover"].get(
+                         "unit_replayed_obligations", 0)))
+        if report.get("incremental_full_speedup"):
+            print("incremental full-replay speedup: %.2fx"
+                  % report["incremental_full_speedup"])
     parity = report.get("verdict_parity")
     if parity is not None:
         print("verdict parity across configs: %s"

@@ -618,6 +618,8 @@ def _cmd_cache_stats(args) -> int:
     print("size:           %.1f KiB" % (stats["size_bytes"] / 1024.0))
     print("prover results: %d" % stats["results"])
     print("function units: %d" % stats["units"])
+    for kind, count in sorted(stats.get("units_by_kind", {}).items()):
+        print("  %-13s %d" % (kind + ":", count))
     return 0
 
 

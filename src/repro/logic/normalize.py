@@ -127,11 +127,15 @@ def _dnf_uncached(f: Formula) -> List[Conjunct]:
         product: List[Conjunct] = [()]
         for part in f.parts:
             branches = to_dnf(part)
-            product = [existing + branch
-                       for existing in product for branch in branches]
-            if len(product) > MAX_DNF_CONJUNCTS:
+            # The product length is exactly len(product)*len(branches),
+            # so checking the bound before materializing raises in
+            # precisely the same cases — without first allocating up to
+            # MAX_DNF_CONJUNCTS*len(branches) doomed tuples.
+            if len(product) * len(branches) > MAX_DNF_CONJUNCTS:
                 raise ProverError("DNF blow-up: more than %d conjuncts"
                                   % MAX_DNF_CONJUNCTS)
+            product = [existing + branch
+                       for existing in product for branch in branches]
         return product
     if isinstance(f, (Exists, Forall, Not)):
         raise ProverError(

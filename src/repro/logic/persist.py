@@ -11,30 +11,44 @@ The same file also stores *function units*: per-function verdict
 summaries keyed on a content digest of (function body, reaching
 typestate/spec context, verdict-affecting options), produced by
 :mod:`repro.analysis.units` and replayed on warm incremental runs.
+Since schema v3 the ``units`` table carries a ``kind`` column
+distinguishing the phase-5 verdict rows (``'unit'``) from the phase
+2–4 pipeline payload rows (``'pipeline'`` — propagation fixpoint,
+annotations, local verdicts, forward facts).
 
 Layout (schema version :data:`SCHEMA_VERSION`)::
 
     meta(key TEXT PRIMARY KEY, value TEXT)   -- {"schema_version": N}
     results(digest TEXT PRIMARY KEY, satisfiable INTEGER)
     units(unit_key TEXT, deps_digest TEXT, function TEXT,
-          payload TEXT, created REAL, last_used REAL,
+          payload TEXT, created REAL, last_used REAL, kind TEXT,
           PRIMARY KEY (unit_key, deps_digest))
 
 ``last_used`` is bumped whenever a unit is looked up for replay, and
 ``gc`` evicts least-recently-used units first — a unit that keeps
-pricing warm re-checks survives however old its proof is.
+pricing warm re-checks survives however old its proof is.  The bumps
+are **write-behind**: lookups record them in an in-memory batch
+(:attr:`PersistentProverCache._touched`) that :meth:`flush` applies and
+commits, keeping UPDATE statements off the replay hot path.  Every
+owner must therefore flush on close/drain — :meth:`close` does — or a
+unit replayed just before shutdown looks cold to the next ``gc``.
 
 Robustness rules:
 
 * a file that is not a SQLite database is **discarded and rebuilt**
   (counted in ``invalidations``) — a corrupt cache must never change
   verdicts, only cost a cold start;
-* a file with a *different recorded schema version* keeps the file but
-  drops all rows (migrate-in-place): older processes wrote valid
-  SQLite, only the row contents are stale;
-* a ``units`` table from before the ``last_used`` column is migrated
-  in place — ``ALTER TABLE ADD COLUMN`` seeded from ``created`` — so
-  stored proofs survive the upgrade (counted in ``migrations``);
+* a file recorded as schema v2 is migrated **in place with its rows
+  kept** (counted in ``migrations``): v3 only added the ``kind``
+  column, and the v2 digest recipes are unchanged, so stored proofs
+  stay valid;
+* a file with any *other* recorded schema version keeps the file but
+  drops all rows: older processes wrote valid SQLite, only the row
+  contents are stale;
+* a ``units`` table from before the ``last_used`` or ``kind`` columns
+  is migrated in place — ``ALTER TABLE ADD COLUMN`` with seeded
+  defaults — so stored proofs survive the upgrade (counted in
+  ``migrations``);
 * any *other* wrong column layout (e.g. a half-written upgrade) is
   dropped and recreated individually without touching the other
   tables;
@@ -56,8 +70,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when the digest definition or the table layout changes; an
 #: existing file with a different version keeps the file but drops the
-#: stale rows on open.  v2 added the ``units`` function-verdict table.
-SCHEMA_VERSION = 2
+#: stale rows on open — except v2, whose rows survive the v3 upgrade
+#: (v2 added the ``units`` function-verdict table; v3 added its
+#: ``kind`` column for the phase 2–4 pipeline payloads).
+SCHEMA_VERSION = 3
 
 #: Default location, relative to the working directory.
 DEFAULT_CACHE_PATH = os.path.join(".repro-cache", "prover.sqlite")
@@ -70,7 +86,7 @@ _TABLE_COLUMNS = {
     "meta": ("key", "value"),
     "results": ("digest", "satisfiable"),
     "units": ("unit_key", "deps_digest", "function", "payload",
-              "created", "last_used"),
+              "created", "last_used", "kind"),
 }
 
 #: The pre-``last_used`` layout of ``units``; recognized by
@@ -78,6 +94,11 @@ _TABLE_COLUMNS = {
 #: instead of dropped.
 _UNITS_LEGACY_COLUMNS = ("unit_key", "deps_digest", "function",
                          "payload", "created")
+
+#: The v2 layout (``last_used`` but no ``kind``); likewise upgraded in
+#: place.
+_UNITS_V2_COLUMNS = ("unit_key", "deps_digest", "function",
+                     "payload", "created", "last_used")
 
 _TABLE_DDL = {
     "meta": ("CREATE TABLE IF NOT EXISTS meta ("
@@ -92,6 +113,7 @@ _TABLE_DDL = {
               "payload TEXT NOT NULL, "
               "created REAL NOT NULL, "
               "last_used REAL NOT NULL, "
+              "kind TEXT NOT NULL DEFAULT 'unit', "
               "PRIMARY KEY (unit_key, deps_digest))"),
 }
 
@@ -125,6 +147,11 @@ class PersistentProverCache:
         self.migrations = 0
         self.io_errors = 0
         self._pending = 0
+        #: Write-behind ``last_used`` bumps: unit_key → timestamp,
+        #: applied and committed by :meth:`flush`.  Keeping the UPDATE
+        #: off the lookup hot path is what makes a warm full-pipeline
+        #: replay digest-computation + SELECT and nothing else.
+        self._touched: Dict[str, float] = {}
         self._conn: Optional[sqlite3.Connection] = None
         self._open()
 
@@ -157,7 +184,7 @@ class PersistentProverCache:
         try:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
-            self._ensure_layout(conn)
+            layout_migrated = self._ensure_layout(conn)
             row = conn.execute(
                 "SELECT value FROM meta WHERE key='schema_version'"
             ).fetchone()
@@ -167,10 +194,20 @@ class PersistentProverCache:
                     "('schema_version', ?)", (str(self.schema_version),))
                 conn.commit()
             elif row[0] != str(self.schema_version):
-                # Version bump: drop the stale rows, keep the file.
-                self.invalidations += 1
-                conn.execute("DELETE FROM results")
-                conn.execute("DELETE FROM units")
+                if row[0] == "2" and self.schema_version == 3:
+                    # v2 → v3 is additive (the ``kind`` column, already
+                    # added by the layout pass) and the v2 digest
+                    # recipes are unchanged: keep every row.  One open
+                    # counts one migration, even when the layout pass
+                    # already tagged the column.
+                    if not layout_migrated:
+                        self.migrations += 1
+                else:
+                    # Any other version bump: drop the stale rows, keep
+                    # the file.
+                    self.invalidations += 1
+                    conn.execute("DELETE FROM results")
+                    conn.execute("DELETE FROM units")
                 conn.execute(
                     "INSERT OR REPLACE INTO meta VALUES "
                     "('schema_version', ?)", (str(self.schema_version),))
@@ -180,15 +217,17 @@ class PersistentProverCache:
             raise
         return conn
 
-    def _ensure_layout(self, conn: sqlite3.Connection) -> None:
+    def _ensure_layout(self, conn: sqlite3.Connection) -> bool:
         """Create missing tables; drop and recreate incompatible ones.
+        Returns True when a legacy ``units`` layout was migrated.
 
         A v1 file simply lacks the ``units`` table — its ``results``
         rows survive the layout pass untouched (the version check above
         then decides whether they are still trustworthy).  A ``units``
-        table from before the ``last_used`` column is migrated in place
-        rather than dropped: stored proofs are expensive, the new
-        column is not."""
+        table from before the ``last_used`` or ``kind`` columns is
+        migrated in place rather than dropped: stored proofs are
+        expensive, the new columns are not."""
+        migrated = False
         for table, columns in _TABLE_COLUMNS.items():
             info = conn.execute(
                 "PRAGMA table_info(%s)" % table).fetchall()
@@ -200,7 +239,18 @@ class PersistentProverCache:
                 conn.execute("ALTER TABLE units ADD COLUMN "
                              "last_used REAL NOT NULL DEFAULT 0")
                 conn.execute("UPDATE units SET last_used = created")
+                conn.execute("ALTER TABLE units ADD COLUMN "
+                             "kind TEXT NOT NULL DEFAULT 'unit'")
                 self.migrations += 1
+                migrated = True
+                continue
+            if table == "units" and present == _UNITS_V2_COLUMNS:
+                # Pre-``kind`` rows are all phase-5 verdict units (the
+                # only payload kind that existed before v3).
+                conn.execute("ALTER TABLE units ADD COLUMN "
+                             "kind TEXT NOT NULL DEFAULT 'unit'")
+                self.migrations += 1
+                migrated = True
                 continue
             if info and present != columns:
                 conn.execute("DROP TABLE %s" % table)
@@ -208,6 +258,7 @@ class PersistentProverCache:
             if not info:
                 conn.execute(_TABLE_DDL[table])
         conn.commit()
+        return migrated
 
     def _discard_file(self) -> None:
         self.invalidations += 1
@@ -283,18 +334,18 @@ class PersistentProverCache:
             rows = self._conn.execute(
                 "SELECT payload FROM units WHERE unit_key=? "
                 "ORDER BY created DESC", (unit_key,)).fetchall()
-            if rows:
-                # Replay lookups are what make a unit *hot*; gc evicts
-                # in last_used order so bumped units survive.
-                self._conn.execute(
-                    "UPDATE units SET last_used=? WHERE unit_key=?",
-                    (time.time(), unit_key))
-                self._pending += 1
-                if self._pending >= _COMMIT_EVERY:
-                    self.flush()
         except sqlite3.Error:
             self.io_errors += 1
             return []
+        if rows:
+            # Replay lookups are what make a unit *hot*; gc evicts in
+            # last_used order so bumped units survive.  The bump is
+            # write-behind: recorded here, applied by flush() — owners
+            # flush on close/drain so a unit replayed just before
+            # shutdown is not evicted as cold by the next gc.
+            self._touched[unit_key] = time.time()
+            if len(self._touched) >= _COMMIT_EVERY:
+                self.flush()
         payloads = []
         for (text,) in rows:
             try:
@@ -306,7 +357,8 @@ class PersistentProverCache:
         return payloads
 
     def put_unit(self, unit_key: str, deps_digest: str,
-                 function: str, payload: Dict[str, Any]) -> None:
+                 function: str, payload: Dict[str, Any],
+                 kind: str = "unit") -> None:
         if self._conn is None:
             return
         try:
@@ -318,8 +370,8 @@ class PersistentProverCache:
         try:
             self._conn.execute(
                 "INSERT OR REPLACE INTO units VALUES "
-                "(?, ?, ?, ?, ?, ?)",
-                (unit_key, deps_digest, function, text, now, now))
+                "(?, ?, ?, ?, ?, ?, ?)",
+                (unit_key, deps_digest, function, text, now, now, kind))
         except sqlite3.Error:
             self.io_errors += 1
             return
@@ -328,8 +380,20 @@ class PersistentProverCache:
             self.flush()
 
     def flush(self) -> None:
-        if self._conn is None or not self._pending:
+        """Apply the write-behind ``last_used`` batch and commit every
+        pending write.  Called by owners on close, at the end of each
+        check/worker job, and on graceful service drain."""
+        if self._conn is None or not (self._pending or self._touched):
             return
+        if self._touched:
+            try:
+                self._conn.executemany(
+                    "UPDATE units SET last_used=? WHERE unit_key=?",
+                    [(stamp, key)
+                     for key, stamp in self._touched.items()])
+            except sqlite3.Error:
+                self.io_errors += 1
+            self._touched.clear()
         try:
             self._conn.commit()
         except sqlite3.Error:
@@ -356,6 +420,7 @@ class PersistentProverCache:
             "size_bytes": 0,
             "results": 0,
             "units": 0,
+            "units_by_kind": {},
         }
         if self._conn is None:
             return info
@@ -366,6 +431,9 @@ class PersistentProverCache:
                 "SELECT COUNT(*) FROM results").fetchone()[0]
             info["units"] = self._conn.execute(
                 "SELECT COUNT(*) FROM units").fetchone()[0]
+            info["units_by_kind"] = dict(self._conn.execute(
+                "SELECT kind, COUNT(*) FROM units "
+                "GROUP BY kind ORDER BY kind").fetchall())
         except sqlite3.Error:
             self.io_errors += 1
         try:
@@ -386,6 +454,7 @@ class PersistentProverCache:
         except sqlite3.Error:
             self.io_errors += 1
         self._pending = 0
+        self._touched.clear()
 
     def gc(self, max_mb: float) -> Dict[str, Any]:
         """Shrink the file to at most ``max_mb`` megabytes.

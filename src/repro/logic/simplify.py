@@ -149,6 +149,15 @@ def _simplify_and(parts: List[Formula]) -> Formula:
         other = strongest.get(negkey)
         if other is not None and constant + other < 0:
             return FALSE
+    # Congruence contradiction: t + c ≡ 0 and t + c' ≡ 0 (mod m) with
+    # c ≢ c' pin the same linear part to two different residues.
+    residues: Dict[Tuple[int, Tuple[Tuple[str, int], ...]], int] = {}
+    for p in others:
+        if isinstance(p, Cong):
+            key2 = (p.modulus, _linear_key(p.term))
+            r = p.term.constant % p.modulus
+            if residues.setdefault(key2, r) != r:
+                return FALSE
     others = _merge_complementary_guards(others)
     result = conj(*(atoms + others))
     return result
@@ -227,6 +236,18 @@ def _simplify_or(parts: List[Formula]) -> Formula:
         other = weakest.get(negkey)
         if other is not None and constant + other >= -1:
             return TRUE
+    # Complete residue system: t + r ≡ 0 (mod m) for every r in [0, m)
+    # covers ℤ.  Negating an alignment congruence fans it into the m−1
+    # other residues, so a second negation (or a join of branch arms)
+    # routinely rebuilds the full fan; without this rule those
+    # tautological fans survive into loop wlps and grind the prover.
+    fans: Dict[Tuple[int, Tuple[Tuple[str, int], ...]], set] = {}
+    for p in others:
+        if isinstance(p, Cong):
+            seen = fans.setdefault((p.modulus, _linear_key(p.term)), set())
+            seen.add(p.term.constant % p.modulus)
+            if len(seen) == p.modulus:
+                return TRUE
     atoms: List[Formula] = [
         Geq(Linear(dict(key), constant))
         for key, constant in weakest.items()

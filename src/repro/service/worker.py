@@ -139,6 +139,12 @@ class Worker(threading.Thread):
             # truncated trace file).
             if tracer is not None:
                 tracer.close()
+            # Push the write-behind batch (pending rows + last_used
+            # bumps) after every job so a later hard exit — a drain
+            # timeout killing the daemon thread, a shard's os._exit —
+            # loses at most the in-flight job's recency data.
+            if self._persistent is not None:
+                self._persistent.flush()
         self.scheduler.finish(job, result=payload)
         log.info("job=%s worker=%d done verdict=%s trace=%s in %.3fs",
                  job.id, self.index, payload["verdict"],

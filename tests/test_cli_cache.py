@@ -39,7 +39,7 @@ class TestStats:
         capsys.readouterr()
         assert main(["cache", "stats", "--cache", str(cache)]) == 0
         out = capsys.readouterr().out
-        assert "schema version: 2" in out
+        assert "schema version: 3" in out
         assert "prover results:" in out
         assert "function units:" in out
 
@@ -51,7 +51,7 @@ class TestStats:
                      "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["exists"] is True
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["results"] > 0
         assert payload["units"] > 0
         assert payload["size_bytes"] > 0
